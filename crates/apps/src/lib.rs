@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # alicoco-apps
+//!
+//! Downstream applications of the AliCoCo concept net, as described in §8
+//! of the paper — the pieces that turn the knowledge graph into product
+//! features:
+//!
+//! - [`search`] — semantic search: keyword queries trigger concept cards
+//!   with the items a scenario needs (§8.1, Figure 2a),
+//! - [`recommend`] — cognitive recommendation: infer user needs from
+//!   browsing history and recommend concept cards with novelty, plus
+//!   human-readable recommendation reasons (§8.2, Figure 2b/c),
+//! - [`qa`] — scenario question answering: "what should I prepare for
+//!   hosting next week's barbecue?" → a shopping checklist (§8.1.2),
+//! - [`relevance`] — search relevance with isA expansion: "jacket is a kind
+//!   of top" closes query–title vocabulary gaps (§8.1.1).
+//!
+//! Everything here operates on a read-only [`alicoco::AliCoCo`] — these are
+//! serving-side features, independent of the construction pipeline.
+
+pub mod qa;
+pub mod recommend;
+pub mod relevance;
+pub mod search;
+
+pub use qa::{Answer, ScenarioQa};
+pub use recommend::{CognitiveRecommender, Recommendation, RecommendConfig};
+pub use relevance::RelevanceScorer;
+pub use search::{ConceptCard, SearchConfig, SemanticSearch};

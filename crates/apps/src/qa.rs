@@ -1,0 +1,213 @@
+//! Scenario question answering (§8.1.2): "What should I prepare for hosting
+//! next week's barbecue?" — parse the question, locate the scenario
+//! concept, and answer with a shopping checklist.
+
+use alicoco::{AliCoCo, ConceptId, ItemId};
+use alicoco_nn::util::FxHashSet;
+
+/// A structured answer to a scenario question.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// The scenario concept the question resolved to.
+    pub concept: ConceptId,
+    /// Concept name.
+    pub concept_name: String,
+    /// Checklist: distinct leading items grouped by their first primitive
+    /// property when available.
+    pub checklist: Vec<ChecklistEntry>,
+}
+
+#[derive(Clone, Debug)]
+/// Checklist entry.
+pub struct ChecklistEntry {
+    /// Item.
+    pub item: ItemId,
+    /// Title.
+    pub title: String,
+    /// Confidence.
+    pub confidence: f32,
+}
+
+/// Question words stripped before resolution.
+const QUESTION_WORDS: &[&str] = &[
+    "what", "should", "i", "prepare", "for", "hosting", "next", "week", "weeks", "s", "a",
+    "an", "the", "do", "need", "my", "to", "buy", "how", "get", "ready",
+];
+
+/// The QA engine: strips question scaffolding, resolves remaining content
+/// words against the concept layer (via primitives, so "barbecue" resolves
+/// even when the concept is "outdoor barbecue").
+pub struct ScenarioQa<'kg> {
+    kg: &'kg AliCoCo,
+}
+
+impl<'kg> ScenarioQa<'kg> {
+    /// Create a new instance.
+    pub fn new(kg: &'kg AliCoCo) -> Self {
+        ScenarioQa { kg }
+    }
+
+    /// Extract content words from a natural question.
+    pub fn content_words(question: &str) -> Vec<String> {
+        question
+            .to_lowercase()
+            .split(|c: char| !c.is_alphanumeric() && c != '-')
+            .filter(|w| !w.is_empty() && !QUESTION_WORDS.contains(w))
+            .map(String::from)
+            .collect()
+    }
+
+    /// Score one concept against the question's content words.
+    fn match_score(&self, cid: ConceptId, word_set: &FxHashSet<&str>) -> f64 {
+        let c = self.kg.concept(cid);
+        let surf: FxHashSet<&str> = c.name.split(' ').collect();
+        let overlap = word_set.intersection(&surf).count() as f64;
+        let prim = c
+            .primitives
+            .iter()
+            .filter(|&&p| word_set.contains(self.kg.primitive(p).name.as_str()))
+            .count() as f64;
+        overlap + 0.5 * prim
+    }
+
+    /// Answer a scenario question, if a concept resolves.
+    ///
+    /// Resolution prefers concepts with suggested items; when the best match
+    /// has none, the checklist falls back to items of *sibling* concepts —
+    /// concepts sharing an interpreting primitive — so "barbecue" can still
+    /// be answered through "garden barbecue".
+    pub fn answer(&self, question: &str) -> Option<Answer> {
+        let words = Self::content_words(question);
+        if words.is_empty() {
+            return None;
+        }
+        let word_set: FxHashSet<&str> = words.iter().map(String::as_str).collect();
+        let mut best: Option<(ConceptId, f64)> = None;
+        for cid in self.kg.concept_ids() {
+            // Stocked concepts get a bonus so they win ties.
+            let stocked = !self.kg.concept(cid).items.is_empty();
+            let score = self.match_score(cid, &word_set)
+                + if stocked { 0.25 } else { 0.0 };
+            if self.match_score(cid, &word_set) > 0.0 && best.is_none_or(|(_, s)| score > s) {
+                best = Some((cid, score));
+            }
+        }
+        let (cid, _) = best?;
+        let mut items = self.kg.items_for_concept(cid);
+        if items.is_empty() {
+            // Sibling fallback: union of items from concepts sharing a
+            // primitive, discounted. Restrict to the primitives that matched
+            // the question ("barbecue"), not incidental ones ("beach") —
+            // otherwise a beach-barbecue question borrows swimsuits.
+            let mut prims: FxHashSet<_> = self
+                .kg
+                .concept(cid)
+                .primitives
+                .iter()
+                .copied()
+                .filter(|&p| word_set.contains(self.kg.primitive(p).name.as_str()))
+                .collect();
+            if prims.is_empty() {
+                prims = self.kg.concept(cid).primitives.iter().copied().collect();
+            }
+            let mut seen: FxHashSet<ItemId> = FxHashSet::default();
+            for other in self.kg.concept_ids() {
+                if other == cid
+                    || !self.kg.concept(other).primitives.iter().any(|p| prims.contains(p))
+                {
+                    continue;
+                }
+                for (item, w) in self.kg.items_for_concept(other) {
+                    if seen.insert(item) {
+                        items.push((item, w * 0.8));
+                    }
+                }
+            }
+            items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        if items.is_empty() {
+            return None;
+        }
+        let checklist = items
+            .into_iter()
+            .take(8)
+            .map(|(item, confidence)| ChecklistEntry {
+                item,
+                title: self.kg.item(item).title.join(" "),
+                confidence,
+            })
+            .collect();
+        Some(Answer { concept: cid, concept_name: self.kg.concept(cid).name.clone(), checklist })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_kg() -> AliCoCo {
+        let mut kg = AliCoCo::new();
+        let root = kg.add_class("concept", None);
+        let event = kg.add_class("Event", Some(root));
+        let bbq = kg.add_primitive("barbecue", event);
+        let c = kg.add_concept("outdoor barbecue");
+        kg.link_concept_primitive(c, bbq);
+        let grill = kg.add_item(&["pro".into(), "grill".into()]);
+        let charcoal = kg.add_item(&["oak".into(), "charcoal".into()]);
+        kg.link_concept_item(c, grill, 0.95);
+        kg.link_concept_item(c, charcoal, 0.85);
+        kg
+    }
+
+    #[test]
+    fn content_word_extraction_strips_scaffolding() {
+        let words =
+            ScenarioQa::content_words("What should I prepare for hosting next week's barbecue?");
+        assert_eq!(words, vec!["barbecue".to_string()]);
+    }
+
+    #[test]
+    fn barbecue_question_yields_checklist() {
+        let kg = sample_kg();
+        let qa = ScenarioQa::new(&kg);
+        let a = qa
+            .answer("What should I prepare for hosting next week's barbecue?")
+            .expect("question resolves");
+        assert_eq!(a.concept_name, "outdoor barbecue");
+        assert_eq!(a.checklist.len(), 2);
+        assert!(a.checklist[0].confidence >= a.checklist[1].confidence);
+        assert!(a.checklist.iter().any(|e| e.title.contains("grill")));
+        assert!(a.checklist.iter().any(|e| e.title.contains("charcoal")));
+    }
+
+    #[test]
+    fn unresolvable_question_returns_none() {
+        let kg = sample_kg();
+        let qa = ScenarioQa::new(&kg);
+        assert!(qa.answer("what should i buy for quantum entanglement?").is_none());
+        assert!(qa.answer("what should i do?").is_none());
+    }
+
+    #[test]
+    fn concepts_without_items_or_siblings_cannot_answer() {
+        let mut kg = sample_kg();
+        kg.add_concept("indoor knitting");
+        let qa = ScenarioQa::new(&kg);
+        assert!(qa.answer("what do i need for indoor knitting?").is_none());
+    }
+
+    #[test]
+    fn unstocked_concept_borrows_sibling_items() {
+        let mut kg = sample_kg();
+        // "beach barbecue" shares the "barbecue" primitive with the stocked
+        // "outdoor barbecue" but has no items of its own.
+        let bbq = kg.primitives_by_name("barbecue")[0];
+        let beach = kg.add_concept("beach barbecue");
+        kg.link_concept_primitive(beach, bbq);
+        let qa = ScenarioQa::new(&kg);
+        let a = qa.answer("what do i need for a beach barbecue?").expect("resolves");
+        assert_eq!(a.concept_name, "beach barbecue");
+        assert!(!a.checklist.is_empty(), "sibling fallback produced no items");
+        assert!(a.checklist.iter().any(|e| e.title.contains("grill")));
+    }
+}

@@ -1,0 +1,226 @@
+//! Cognitive recommendation (§8.2): trigger concept cards from a user's
+//! browsing history — recommending *needs*, not lookalike items — plus
+//! human-readable recommendation reasons (§8.2.2).
+
+use alicoco::{AliCoCo, ConceptId, ItemId, PrimitiveId};
+use alicoco_nn::util::{FxHashMap, FxHashSet};
+
+/// A scored recommendation with its explanation.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// Concept.
+    pub concept: ConceptId,
+    /// Concept surface form.
+    pub name: String,
+    /// Affinity.
+    pub affinity: f64,
+    /// Reason.
+    pub reason: Reason,
+    /// Items to display on the card, excluding already-viewed ones.
+    pub items: Vec<(ItemId, f32)>,
+}
+
+/// Why this concept was recommended (§8.2.2: concepts are "perfect
+/// recommendation reasons" because they are clear and brief).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reason {
+    /// A viewed item is directly linked to the concept.
+    ViewedItem {
+        /// The viewed item that triggered the card.
+        item: ItemId,
+    },
+    /// Viewed items share interpreting primitives with the concept.
+    SharedNeed {
+        /// The shared primitive concepts.
+        primitives: Vec<PrimitiveId>,
+    },
+}
+
+impl Reason {
+    /// Render the reason as user-facing text.
+    pub fn text(&self, kg: &AliCoCo, concept: &str) -> String {
+        match self {
+            Reason::ViewedItem { item } => format!(
+                "because you viewed \"{}\" — everything for {}",
+                kg.item(*item).title.join(" "),
+                concept
+            ),
+            Reason::SharedNeed { primitives } => {
+                let names: Vec<&str> =
+                    primitives.iter().map(|&p| kg.primitive(p).name.as_str()).collect();
+                format!("matches your interest in {} — {}", names.join(", "), concept)
+            }
+        }
+    }
+}
+
+/// Tuning for the recommender.
+#[derive(Clone, Copy, Debug)]
+pub struct RecommendConfig {
+    /// Max recommendations returned.
+    pub k: usize,
+    /// Items per card.
+    pub items_per_card: usize,
+    /// Vote weight of a direct item->concept link.
+    pub direct_weight: f64,
+    /// Vote weight of each shared primitive.
+    pub shared_weight: f64,
+}
+
+impl Default for RecommendConfig {
+    fn default() -> Self {
+        RecommendConfig { k: 3, items_per_card: 8, direct_weight: 1.0, shared_weight: 0.2 }
+    }
+}
+
+/// The user-needs recommender.
+pub struct CognitiveRecommender<'kg> {
+    kg: &'kg AliCoCo,
+    cfg: RecommendConfig,
+    /// primitive -> concepts interpreted by it (inverted index built once).
+    by_primitive: FxHashMap<PrimitiveId, Vec<ConceptId>>,
+}
+
+impl<'kg> CognitiveRecommender<'kg> {
+    /// Create a new instance.
+    pub fn new(kg: &'kg AliCoCo, cfg: RecommendConfig) -> Self {
+        let mut by_primitive: FxHashMap<PrimitiveId, Vec<ConceptId>> = FxHashMap::default();
+        for cid in kg.concept_ids() {
+            for &p in &kg.concept(cid).primitives {
+                by_primitive.entry(p).or_default().push(cid);
+            }
+        }
+        CognitiveRecommender { kg, cfg, by_primitive }
+    }
+
+    /// Recommend concept cards for a browsing history.
+    pub fn recommend(&self, history: &[ItemId]) -> Vec<Recommendation> {
+        let mut votes: FxHashMap<ConceptId, f64> = FxHashMap::default();
+        let mut direct_trigger: FxHashMap<ConceptId, ItemId> = FxHashMap::default();
+        let mut shared: FxHashMap<ConceptId, FxHashSet<PrimitiveId>> = FxHashMap::default();
+        for &item in history {
+            for &cid in self.kg.concepts_for_item(item) {
+                *votes.entry(cid).or_insert(0.0) += self.cfg.direct_weight;
+                direct_trigger.entry(cid).or_insert(item);
+            }
+            for &p in &self.kg.item(item).primitives {
+                if let Some(concepts) = self.by_primitive.get(&p) {
+                    for &cid in concepts {
+                        *votes.entry(cid).or_insert(0.0) += self.cfg.shared_weight;
+                        shared.entry(cid).or_default().insert(p);
+                    }
+                }
+            }
+        }
+        let mut ranked: Vec<(ConceptId, f64)> = votes.into_iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(self.cfg.k);
+        let viewed: FxHashSet<ItemId> = history.iter().copied().collect();
+        ranked
+            .into_iter()
+            .map(|(cid, affinity)| {
+                let reason = match direct_trigger.get(&cid) {
+                    Some(&item) => Reason::ViewedItem { item },
+                    None => {
+                        let mut prims: Vec<PrimitiveId> =
+                            shared.get(&cid).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                        prims.sort();
+                        Reason::SharedNeed { primitives: prims }
+                    }
+                };
+                // Novelty (§8.2.1): never re-show viewed items.
+                let items: Vec<(ItemId, f32)> = self
+                    .kg
+                    .items_for_concept(cid)
+                    .into_iter()
+                    .filter(|(i, _)| !viewed.contains(i))
+                    .take(self.cfg.items_per_card)
+                    .collect();
+                Recommendation {
+                    concept: cid,
+                    name: self.kg.concept(cid).name.clone(),
+                    affinity,
+                    reason,
+                    items,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_kg() -> (AliCoCo, ItemId, ItemId, ConceptId) {
+        let mut kg = AliCoCo::new();
+        let root = kg.add_class("concept", None);
+        let event = kg.add_class("Event", Some(root));
+        let bbq = kg.add_primitive("barbecue", event);
+        let c = kg.add_concept("outdoor barbecue");
+        kg.link_concept_primitive(c, bbq);
+        let grill = kg.add_item(&["grill".into()]);
+        let charcoal = kg.add_item(&["charcoal".into()]);
+        kg.link_concept_item(c, grill, 0.9);
+        kg.link_concept_item(c, charcoal, 0.8);
+        kg.link_item_primitive(grill, bbq);
+        (kg, grill, charcoal, c)
+    }
+
+    #[test]
+    fn direct_link_triggers_recommendation_with_reason() {
+        let (kg, grill, charcoal, c) = sample_kg();
+        let rec = CognitiveRecommender::new(&kg, RecommendConfig::default());
+        let out = rec.recommend(&[grill]);
+        assert_eq!(out.len(), 1);
+        let r = &out[0];
+        assert_eq!(r.concept, c);
+        assert_eq!(r.reason, Reason::ViewedItem { item: grill });
+        let text = r.reason.text(&kg, &r.name);
+        assert!(text.contains("grill"), "reason text: {text}");
+        // Novelty: viewed grill is excluded; charcoal remains.
+        assert_eq!(r.items.len(), 1);
+        assert_eq!(r.items[0].0, charcoal);
+    }
+
+    #[test]
+    fn shared_primitive_triggers_indirect_recommendation() {
+        let (mut kg, _, _, c) = sample_kg();
+        // A new item that shares the "barbecue" primitive but is not linked
+        // to the concept.
+        let bbq = kg.primitives_by_name("barbecue")[0];
+        let skewers = kg.add_item(&["skewers".into()]);
+        kg.link_item_primitive(skewers, bbq);
+        let rec = CognitiveRecommender::new(&kg, RecommendConfig::default());
+        let out = rec.recommend(&[skewers]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].concept, c);
+        match &out[0].reason {
+            Reason::SharedNeed { primitives } => assert_eq!(primitives, &vec![bbq]),
+            other => panic!("expected shared-need reason, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_history_yields_nothing() {
+        let (kg, _, _, _) = sample_kg();
+        let rec = CognitiveRecommender::new(&kg, RecommendConfig::default());
+        assert!(rec.recommend(&[]).is_empty());
+    }
+
+    #[test]
+    fn direct_links_outrank_shared_primitives() {
+        let (mut kg, grill, _, c_direct) = sample_kg();
+        let event = kg.class_by_name("Event").unwrap();
+        let picnic = kg.add_primitive("picnic", event);
+        let c_indirect = kg.add_concept("park picnic");
+        kg.link_concept_primitive(c_indirect, picnic);
+        kg.link_item_primitive(grill, picnic);
+        let rec = CognitiveRecommender::new(&kg, RecommendConfig::default());
+        let out = rec.recommend(&[grill]);
+        assert!(out.len() >= 2);
+        assert_eq!(out[0].concept, c_direct, "direct link must rank first");
+    }
+}

@@ -1,0 +1,153 @@
+//! Search relevance with isA knowledge (§8.1.1): expanding a query (or the
+//! matching vocabulary) with the concept net's hypernym relations closes
+//! vocabulary gaps — "if a user searches for a top, items titled only
+//! 'jacket' are relevant because jacket isA top".
+
+use alicoco::{AliCoCo, PrimitiveId};
+use alicoco_nn::util::FxHashSet;
+use alicoco_text::bm25::{Bm25Index, Bm25Params};
+use alicoco_text::vocab::{TokenId, Vocab};
+
+/// A relevance scorer over item titles with optional isA expansion.
+pub struct RelevanceScorer<'kg> {
+    kg: &'kg AliCoCo,
+    vocab: Vocab,
+    index: Bm25Index,
+}
+
+impl<'kg> RelevanceScorer<'kg> {
+    /// Build the title index over all items in the net.
+    pub fn build(kg: &'kg AliCoCo) -> Self {
+        let mut vocab = Vocab::new();
+        let mut docs: Vec<Vec<TokenId>> = Vec::with_capacity(kg.num_items());
+        for iid in kg.item_ids() {
+            let doc = kg.item(iid).title.iter().map(|t| vocab.add(t)).collect();
+            docs.push(doc);
+        }
+        let index = Bm25Index::build(&docs, Bm25Params::default());
+        RelevanceScorer { kg, vocab, index }
+    }
+
+    fn encode(&self, words: &[String]) -> Vec<TokenId> {
+        words.iter().map(|w| self.vocab.get_or_unk(w)).collect()
+    }
+
+    /// The transitive hyponym closure of a primitive (all its descendants in
+    /// the isA graph).
+    fn hyponym_closure(&self, root: PrimitiveId) -> Vec<PrimitiveId> {
+        let mut seen: FxHashSet<PrimitiveId> = FxHashSet::default();
+        let mut stack = vec![root];
+        let mut out = Vec::new();
+        while let Some(p) = stack.pop() {
+            for &h in &self.kg.primitive(p).hyponyms {
+                if seen.insert(h) {
+                    out.push(h);
+                    stack.push(h);
+                }
+            }
+        }
+        out
+    }
+
+    /// Expand query words with the names of hyponyms of any matching
+    /// primitive concept.
+    pub fn expand_query(&self, words: &[String]) -> Vec<String> {
+        let mut out: Vec<String> = words.to_vec();
+        let mut seen: FxHashSet<String> = words.iter().cloned().collect();
+        // Try single words and the full phrase as primitive surfaces.
+        let mut surfaces: Vec<String> = words.to_vec();
+        if words.len() > 1 {
+            surfaces.push(words.join(" "));
+        }
+        for surface in surfaces {
+            for &p in self.kg.primitives_by_name(&surface) {
+                for h in self.hyponym_closure(p) {
+                    for tok in self.kg.primitive(h).name.split(' ') {
+                        if seen.insert(tok.to_string()) {
+                            out.push(tok.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// BM25 score of an item for a query, keyword-only.
+    pub fn score_plain(&self, words: &[String], item: alicoco::ItemId) -> f64 {
+        self.index.score(&self.encode(words), item.index())
+    }
+
+    /// BM25 score with isA query expansion.
+    pub fn score_expanded(&self, words: &[String], item: alicoco::ItemId) -> f64 {
+        let expanded = self.expand_query(words);
+        self.index.score(&self.encode(&expanded), item.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// "jacket isA top": a query for "top" must reach an item titled only
+    /// "jacket" after expansion.
+    fn sample_kg() -> AliCoCo {
+        let mut kg = AliCoCo::new();
+        let root = kg.add_class("concept", None);
+        let cat = kg.add_class("Category", Some(root));
+        let top = kg.add_primitive("top", cat);
+        let jacket = kg.add_primitive("jacket", cat);
+        let hoodie = kg.add_primitive("hoodie", cat);
+        kg.add_primitive_is_a(jacket, top);
+        kg.add_primitive_is_a(hoodie, top);
+        kg.add_item(&["warm".into(), "jacket".into()]);
+        kg.add_item(&["grey".into(), "hoodie".into()]);
+        kg.add_item(&["ceramic".into(), "pot".into()]);
+        kg
+    }
+
+    #[test]
+    fn expansion_adds_hyponyms() {
+        let kg = sample_kg();
+        let scorer = RelevanceScorer::build(&kg);
+        let expanded = scorer.expand_query(&["top".to_string()]);
+        assert!(expanded.contains(&"jacket".to_string()));
+        assert!(expanded.contains(&"hoodie".to_string()));
+        assert!(!expanded.contains(&"pot".to_string()));
+    }
+
+    #[test]
+    fn expanded_query_reaches_hyponym_titled_items() {
+        let kg = sample_kg();
+        let scorer = RelevanceScorer::build(&kg);
+        let q = vec!["top".to_string()];
+        let jacket_item = kg.item_ids().next().unwrap();
+        assert_eq!(scorer.score_plain(&q, jacket_item), 0.0, "keyword-only misses the jacket");
+        assert!(
+            scorer.score_expanded(&q, jacket_item) > 0.0,
+            "isA expansion must recover the jacket item"
+        );
+    }
+
+    #[test]
+    fn expansion_does_not_leak_to_unrelated_items() {
+        let kg = sample_kg();
+        let scorer = RelevanceScorer::build(&kg);
+        let q = vec!["top".to_string()];
+        let pot_item = kg.item_ids().nth(2).unwrap();
+        assert_eq!(scorer.score_expanded(&q, pot_item), 0.0);
+    }
+
+    #[test]
+    fn multiword_surfaces_expand() {
+        let mut kg = sample_kg();
+        let cat = kg.class_by_name("Category").unwrap();
+        let coat = kg.add_primitive("trench coat", cat);
+        let top = kg.primitives_by_name("top")[0];
+        kg.add_primitive_is_a(coat, top);
+        let scorer = RelevanceScorer::build(&kg);
+        let expanded = scorer.expand_query(&["top".to_string()]);
+        assert!(expanded.contains(&"trench".to_string()));
+        assert!(expanded.contains(&"coat".to_string()));
+    }
+}

@@ -1,0 +1,196 @@
+//! Semantic search over the concept net (§8.1): map a keyword query to
+//! e-commerce concept cards — "items you will need for outdoor barbecue" —
+//! rather than bare keyword item matching.
+
+use alicoco::{AliCoCo, ConceptId, ItemId};
+use alicoco_nn::util::FxHashSet;
+
+/// A rendered concept card (Figure 2a/b): the concept, its interpretation,
+/// and suggested items.
+#[derive(Clone, Debug)]
+pub struct ConceptCard {
+    /// Concept.
+    pub concept: ConceptId,
+    /// Concept surface form.
+    pub name: String,
+    /// `(domain, primitive surface)` interpretation pairs.
+    pub interpretation: Vec<(String, String)>,
+    /// Suggested items with edge probabilities, best first.
+    pub items: Vec<(ItemId, f32)>,
+    /// Query-match score.
+    pub score: f64,
+}
+
+/// Configuration for concept retrieval.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchConfig {
+    /// Max cards returned.
+    pub k: usize,
+    /// Items shown per card.
+    pub items_per_card: usize,
+    /// Weight of primitive-level matches relative to surface overlap.
+    pub primitive_weight: f64,
+    /// Bonus for cards that have items to show.
+    pub stocked_bonus: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig { k: 3, items_per_card: 10, primitive_weight: 0.3, stocked_bonus: 0.1 }
+    }
+}
+
+/// The semantic-search engine: retrieval is order-free over concept surfaces
+/// and their interpreting primitives, which is what makes the query
+/// "barbecue outdoor" trigger the concept "outdoor barbecue" (Figure 2a).
+pub struct SemanticSearch<'kg> {
+    kg: &'kg AliCoCo,
+    cfg: SearchConfig,
+}
+
+impl<'kg> SemanticSearch<'kg> {
+    /// Create a new instance.
+    pub fn new(kg: &'kg AliCoCo, cfg: SearchConfig) -> Self {
+        SemanticSearch { kg, cfg }
+    }
+
+    /// Score a single concept against query words.
+    fn score_concept(&self, cid: ConceptId, words: &FxHashSet<&str>) -> f64 {
+        let c = self.kg.concept(cid);
+        let concept_words: FxHashSet<&str> = c.name.split(' ').collect();
+        let overlap = words.intersection(&concept_words).count() as f64;
+        let mut score = overlap / concept_words.len().max(1) as f64;
+        let prim_hits = c
+            .primitives
+            .iter()
+            .filter(|&&p| words.contains(self.kg.primitive(p).name.as_str()))
+            .count() as f64;
+        score += self.cfg.primitive_weight * prim_hits;
+        if score > 0.0 && !c.items.is_empty() {
+            score += self.cfg.stocked_bonus;
+        }
+        score
+    }
+
+    /// Retrieve concept cards for a keyword query.
+    pub fn search(&self, query: &str) -> Vec<ConceptCard> {
+        let words: FxHashSet<&str> = query.split_whitespace().collect();
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let mut scored: Vec<(ConceptId, f64)> = self
+            .kg
+            .concept_ids()
+            .map(|cid| (cid, self.score_concept(cid, &words)))
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        scored.truncate(self.cfg.k);
+        scored.into_iter().map(|(cid, score)| self.card(cid, score)).collect()
+    }
+
+    /// Render the card for a concept.
+    pub fn card(&self, cid: ConceptId, score: f64) -> ConceptCard {
+        let c = self.kg.concept(cid);
+        let interpretation = c
+            .primitives
+            .iter()
+            .map(|&p| {
+                let prim = self.kg.primitive(p);
+                let domain = self.kg.class(self.kg.class_domain(prim.class)).name.clone();
+                (domain, prim.name.clone())
+            })
+            .collect();
+        let mut items = self.kg.items_for_concept(cid);
+        items.truncate(self.cfg.items_per_card);
+        ConceptCard { concept: cid, name: c.name.clone(), interpretation, items, score }
+    }
+
+    /// Keyword fallback (the pre-AliCoCo experience): items whose title
+    /// contains any query word.
+    pub fn keyword_items(&self, query: &str, k: usize) -> Vec<ItemId> {
+        let words: FxHashSet<&str> = query.split_whitespace().collect();
+        self.kg
+            .item_ids()
+            .filter(|&i| self.kg.item(i).title.iter().any(|t| words.contains(t.as_str())))
+            .take(k)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_kg() -> AliCoCo {
+        let mut kg = AliCoCo::new();
+        let root = kg.add_class("concept", None);
+        let loc = kg.add_class("Location", Some(root));
+        let event = kg.add_class("Event", Some(root));
+        let outdoor = kg.add_primitive("outdoor", loc);
+        let bbq = kg.add_primitive("barbecue", event);
+        let c1 = kg.add_concept("outdoor barbecue");
+        kg.link_concept_primitive(c1, outdoor);
+        kg.link_concept_primitive(c1, bbq);
+        let c2 = kg.add_concept("indoor yoga");
+        let _ = c2;
+        let grill = kg.add_item(&["brand".into(), "grill".into()]);
+        let charcoal = kg.add_item(&["best".into(), "charcoal".into()]);
+        kg.link_concept_item(c1, grill, 0.9);
+        kg.link_concept_item(c1, charcoal, 0.8);
+        kg
+    }
+
+    #[test]
+    fn order_free_query_triggers_concept_card() {
+        let kg = sample_kg();
+        let s = SemanticSearch::new(&kg, SearchConfig::default());
+        let cards = s.search("barbecue outdoor");
+        assert_eq!(cards.len(), 1);
+        let card = &cards[0];
+        assert_eq!(card.name, "outdoor barbecue");
+        assert_eq!(card.items.len(), 2);
+        assert!(card.items[0].1 >= card.items[1].1);
+        assert!(card
+            .interpretation
+            .contains(&("Event".to_string(), "barbecue".to_string())));
+    }
+
+    #[test]
+    fn partial_match_still_scores() {
+        let kg = sample_kg();
+        let s = SemanticSearch::new(&kg, SearchConfig::default());
+        let cards = s.search("barbecue");
+        assert_eq!(cards.len(), 1);
+        assert!(cards[0].score > 0.0);
+    }
+
+    #[test]
+    fn unrelated_query_returns_nothing() {
+        let kg = sample_kg();
+        let s = SemanticSearch::new(&kg, SearchConfig::default());
+        assert!(s.search("quantum physics").is_empty());
+        assert!(s.search("").is_empty());
+    }
+
+    #[test]
+    fn keyword_fallback_matches_titles() {
+        let kg = sample_kg();
+        let s = SemanticSearch::new(&kg, SearchConfig::default());
+        let items = s.keyword_items("charcoal", 10);
+        assert_eq!(items.len(), 1);
+        assert_eq!(kg.item(items[0]).title, vec!["best".to_string(), "charcoal".to_string()]);
+    }
+
+    #[test]
+    fn k_truncates_results() {
+        let mut kg = sample_kg();
+        for i in 0..10 {
+            kg.add_concept(&format!("barbecue idea {i}"));
+        }
+        let s = SemanticSearch::new(&kg, SearchConfig { k: 2, ..Default::default() });
+        assert_eq!(s.search("barbecue").len(), 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Serving-side latency of the §8 applications over a ground-truth-populated
+//! net: semantic search, recommendation, QA, and isA-expanded relevance.
+
+use alicoco::AliCoCo;
+use alicoco_apps::{
+    CognitiveRecommender, RecommendConfig, RelevanceScorer, ScenarioQa, SearchConfig,
+    SemanticSearch,
+};
+use alicoco_corpus::{concept_relevant_item, Dataset};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn ground_truth_kg(ds: &Dataset) -> AliCoCo {
+    let mut kg = AliCoCo::new();
+    let root = kg.add_class("concept", None);
+    let mut domain_class = Vec::new();
+    for d in alicoco_corpus::Domain::ALL {
+        domain_class.push(kg.add_class(d.name(), Some(root)));
+    }
+    for (surface, d) in ds.world.lexicon.all_terms() {
+        kg.add_primitive(surface, domain_class[d.index()]);
+    }
+    let cat = domain_class[alicoco_corpus::Domain::Category.index()];
+    let mut prim_of_node = std::collections::HashMap::new();
+    for id in ds.world.tree.ids().skip(1) {
+        prim_of_node.insert(id, kg.add_primitive(ds.world.tree.name(id), cat));
+    }
+    let item_ids: Vec<_> = ds.items.iter().map(|it| kg.add_item(&it.title)).collect();
+    for (it, &iid) in ds.items.iter().zip(&item_ids) {
+        kg.link_item_primitive(iid, prim_of_node[&it.category]);
+    }
+    for spec in ds.concepts.iter().filter(|c| c.good) {
+        let cid = kg.add_concept(&spec.text());
+        for s in &spec.slots {
+            for &p in kg.primitives_by_name(&s.surface).to_vec().iter() {
+                kg.link_concept_primitive(cid, p);
+            }
+        }
+        for (ii, it) in ds.items.iter().enumerate().take(300) {
+            if concept_relevant_item(&ds.world, spec, it) {
+                kg.link_concept_item(cid, item_ids[ii], 0.9);
+            }
+        }
+    }
+    kg
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let ds = Dataset::tiny();
+    let kg = ground_truth_kg(&ds);
+
+    let search = SemanticSearch::new(&kg, SearchConfig::default());
+    c.bench_function("apps/semantic_search", |b| {
+        b.iter(|| black_box(search.search(black_box("outdoor barbecue"))))
+    });
+
+    let recommender = CognitiveRecommender::new(&kg, RecommendConfig::default());
+    let history: Vec<alicoco::ItemId> = kg
+        .item_ids()
+        .filter(|&i| !kg.concepts_for_item(i).is_empty())
+        .take(3)
+        .collect();
+    c.bench_function("apps/recommend_3_item_history", |b| {
+        b.iter(|| black_box(recommender.recommend(black_box(&history))))
+    });
+    c.bench_function("apps/recommender_index_build", |b| {
+        b.iter(|| black_box(CognitiveRecommender::new(&kg, RecommendConfig::default())))
+    });
+
+    let qa = ScenarioQa::new(&kg);
+    c.bench_function("apps/question_answering", |b| {
+        b.iter(|| black_box(qa.answer(black_box("what do i need for hiking?"))))
+    });
+
+    let scorer = RelevanceScorer::build(&kg);
+    let q = vec!["top".to_string()];
+    let item = kg.item_ids().next().unwrap();
+    c.bench_function("apps/relevance_plain", |b| {
+        b.iter(|| black_box(scorer.score_plain(black_box(&q), item)))
+    });
+    c.bench_function("apps/relevance_isa_expanded", |b| {
+        b.iter(|| black_box(scorer.score_expanded(black_box(&q), item)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_apps
+}
+criterion_main!(benches);

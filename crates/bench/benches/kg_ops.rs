@@ -1,0 +1,110 @@
+//! Microbenchmarks of the concept-net data structure: lookups, traversals,
+//! coverage evaluation, statistics, implication mining, and snapshot IO.
+
+use alicoco::coverage::{evaluate, FullVocabulary};
+use alicoco::infer::{mine_implications, InferConfig};
+use alicoco::{AliCoCo, Stats};
+use alicoco_corpus::{concept_relevant_item, Dataset};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Build a ground-truth-populated net (no model training) for benching.
+fn ground_truth_kg(ds: &Dataset) -> AliCoCo {
+    let mut kg = AliCoCo::new();
+    let root = kg.add_class("concept", None);
+    let mut domain_class = Vec::new();
+    for d in alicoco_corpus::Domain::ALL {
+        domain_class.push(kg.add_class(d.name(), Some(root)));
+    }
+    for (surface, d) in ds.world.lexicon.all_terms() {
+        kg.add_primitive(surface, domain_class[d.index()]);
+    }
+    let cat = domain_class[alicoco_corpus::Domain::Category.index()];
+    let mut prim_of_node = std::collections::HashMap::new();
+    for id in ds.world.tree.ids().skip(1) {
+        prim_of_node.insert(id, kg.add_primitive(ds.world.tree.name(id), cat));
+    }
+    for (child, parent) in ds.world.tree.is_a_edges() {
+        if parent == 0 {
+            continue;
+        }
+        kg.add_primitive_is_a(prim_of_node[&child], prim_of_node[&parent]);
+    }
+    let item_ids: Vec<_> = ds.items.iter().map(|it| kg.add_item(&it.title)).collect();
+    for (it, &iid) in ds.items.iter().zip(&item_ids) {
+        kg.link_item_primitive(iid, prim_of_node[&it.category]);
+    }
+    for spec in ds.concepts.iter().filter(|c| c.good) {
+        let cid = kg.add_concept(&spec.text());
+        for s in &spec.slots {
+            for &p in kg.primitives_by_name(&s.surface).to_vec().iter() {
+                kg.link_concept_primitive(cid, p);
+            }
+        }
+        for (ii, it) in ds.items.iter().enumerate().take(300) {
+            if concept_relevant_item(&ds.world, spec, it) {
+                kg.link_concept_item(cid, item_ids[ii], 0.9);
+            }
+        }
+    }
+    kg
+}
+
+fn bench_kg(c: &mut Criterion) {
+    let ds = Dataset::tiny();
+    let kg = ground_truth_kg(&ds);
+    let names: Vec<&str> = ["grill", "outdoor", "barbecue", "red", "village"].to_vec();
+
+    c.bench_function("kg/primitive_name_lookup", |b| {
+        b.iter(|| {
+            for n in &names {
+                black_box(kg.primitives_by_name(black_box(n)));
+            }
+        })
+    });
+
+    let concept = kg.concept_ids().find(|&c| !kg.concept(c).items.is_empty()).unwrap();
+    c.bench_function("kg/items_for_concept", |b| {
+        b.iter(|| black_box(kg.items_for_concept(black_box(concept))))
+    });
+
+    let deep = kg
+        .primitive_ids()
+        .max_by_key(|&p| kg.primitive_ancestors(p).len())
+        .unwrap();
+    c.bench_function("kg/primitive_ancestors", |b| {
+        b.iter(|| black_box(kg.primitive_ancestors(black_box(deep))))
+    });
+
+    let queries: Vec<Vec<String>> = ds.corpora.queries.iter().take(200).cloned().collect();
+    c.bench_function("kg/coverage_200_queries", |b| {
+        let vocab = FullVocabulary::new(&kg);
+        b.iter(|| black_box(evaluate(&vocab, black_box(&queries))))
+    });
+
+    c.bench_function("kg/stats", |b| b.iter(|| black_box(Stats::compute(black_box(&kg)))));
+
+    c.bench_function("kg/mine_implications", |b| {
+        b.iter(|| black_box(mine_implications(black_box(&kg), &InferConfig::default())))
+    });
+
+    c.bench_function("kg/snapshot_save", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            alicoco::snapshot::save(black_box(&kg), &mut buf).unwrap();
+            black_box(buf)
+        })
+    });
+
+    let mut buf = Vec::new();
+    alicoco::snapshot::save(&kg, &mut buf).unwrap();
+    c.bench_function("kg/snapshot_load", |b| {
+        b.iter(|| black_box(alicoco::snapshot::load(&mut black_box(buf.as_slice())).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kg
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Inference-throughput benchmarks for the five construction models —
+//! the numbers that matter for production scoring (billions of pairs in the
+//! paper's setting).
+
+use alicoco_corpus::Dataset;
+use alicoco_mining::congen::{ClassifierConfig, ConceptClassifier};
+use alicoco_mining::hypernym::{HypernymDataset, ProjectionConfig, ProjectionModel};
+use alicoco_mining::matching::{build_matching_dataset, MatchingDataConfig, OursConfig, OursMatcher};
+use alicoco_mining::resources::{Resources, ResourcesConfig};
+use alicoco_mining::tagging::{AmbiguityIndex, ConceptTagger, ContextIndex, TaggerConfig};
+use alicoco_mining::vocab_mining::{VocabMiner, VocabMinerConfig};
+use alicoco_nn::crf::Crf;
+use alicoco_nn::{ParamSet, Tensor};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_models(c: &mut Criterion) {
+    let ds = Dataset::tiny();
+    let res = Resources::build(&ds, ResourcesConfig::default());
+    let mut rng = alicoco_nn::util::seeded_rng(5);
+
+    // Untrained models: inference cost is identical, no need to train.
+    let miner = VocabMiner::new(&res, VocabMinerConfig::default());
+    let sentence: Vec<String> =
+        ["i", "bought", "this", "red", "trench", "coat", "for", "hiking"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    c.bench_function("model/miner_tag_8_tokens", |b| {
+        b.iter(|| black_box(miner.tag(&res, black_box(&sentence))))
+    });
+
+    let classifier = ConceptClassifier::new(&res, ClassifierConfig::full());
+    let concept: Vec<String> =
+        ["warm", "hat", "for", "traveling"].iter().map(|s| s.to_string()).collect();
+    c.bench_function("model/classifier_score", |b| {
+        b.iter(|| black_box(classifier.score(&res, black_box(&concept))))
+    });
+
+    let amb = AmbiguityIndex::build(&ds);
+    let _ = &amb;
+    let ctx = ContextIndex::build(&res, &ds, ["warm", "hat", "for", "traveling"], 3);
+    let tagger = ConceptTagger::new(&res, TaggerConfig::full());
+    c.bench_function("model/tagger_tag_concept", |b| {
+        b.iter(|| black_box(tagger.tag(&res, &ctx, black_box(&concept))))
+    });
+
+    let data = build_matching_dataset(&ds, &MatchingDataConfig::default());
+    let matcher = OursMatcher::new(&res, OursConfig::default());
+    c.bench_function("model/matcher_score_pair", |b| {
+        b.iter(|| black_box(matcher.score(&res, &data, black_box(0), black_box(0))))
+    });
+
+    let hyp = HypernymDataset::build(&ds, &res, &mut rng);
+    let proj = ProjectionModel::new(res.word_vectors.dim(), ProjectionConfig::default());
+    c.bench_function("model/projection_score_pair", |b| {
+        b.iter(|| black_box(proj.score(black_box(&hyp.vecs[0]), black_box(&hyp.vecs[1]))))
+    });
+
+    // CRF decode vs fuzzy-constrained decode on the 41-label space.
+    let mut ps = ParamSet::new();
+    let crf = Crf::new(&mut ps, "bench", 41, &mut rng);
+    let emissions = Tensor::uniform(5, 41, 1.0, &mut rng);
+    c.bench_function("model/crf_decode_41_labels", |b| {
+        b.iter(|| black_box(crf.decode(black_box(&emissions))))
+    });
+    let allowed: Vec<Vec<usize>> = (0..5).map(|i| vec![i, i + 1, i + 2]).collect();
+    c.bench_function("model/crf_constrained_decode", |b| {
+        b.iter(|| black_box(crf.decode_constrained(black_box(&emissions), &allowed)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_models
+}
+criterion_main!(benches);

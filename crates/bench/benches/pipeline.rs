@@ -1,0 +1,44 @@
+//! Coarse-grained benchmarks: synthetic-world generation, shared-resource
+//! training, and the full construction pipeline on the tiny world.
+
+use alicoco_corpus::{Dataset, WorldConfig};
+use alicoco_mining::congen::ClassifierConfig;
+use alicoco_mining::hypernym::ProjectionConfig;
+use alicoco_mining::matching::OursConfig;
+use alicoco_mining::pipeline::{build_alicoco, PipelineConfig};
+use alicoco_mining::resources::{Resources, ResourcesConfig};
+use alicoco_mining::tagging::TaggerConfig;
+use alicoco_mining::vocab_mining::VocabMinerConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("pipeline/dataset_generate_tiny", |b| {
+        b.iter(|| black_box(Dataset::generate(black_box(WorldConfig::tiny()))))
+    });
+
+    let ds = Dataset::tiny();
+    c.bench_function("pipeline/resources_build", |b| {
+        b.iter(|| black_box(Resources::build(black_box(&ds), ResourcesConfig::default())))
+    });
+
+    let fast = PipelineConfig {
+        miner: VocabMinerConfig { epochs: 1, ..Default::default() },
+        projection: ProjectionConfig { epochs: 2, ..Default::default() },
+        classifier: ClassifierConfig { epochs: 3, ..ClassifierConfig::full() },
+        tagger: TaggerConfig { epochs: 1, ..TaggerConfig::full() },
+        matcher: OursConfig { epochs: 1, ..Default::default() },
+        pattern_candidates: 100,
+        item_candidates: 10,
+        ..Default::default()
+    };
+    c.bench_function("pipeline/build_alicoco_tiny", |b| {
+        b.iter(|| black_box(build_alicoco(black_box(&ds), &fast)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks of the text substrate: segmentation, BM25 retrieval,
+//! phrase mining, perplexity scoring, and Hearst-pattern extraction.
+
+use alicoco_corpus::Dataset;
+use alicoco_text::bm25::{Bm25Index, Bm25Params};
+use alicoco_text::hearst;
+use alicoco_text::lm::NgramLm;
+use alicoco_text::phrase::{mine, PhraseMinerConfig};
+use alicoco_text::segment::MaxMatchSegmenter;
+use alicoco_text::vocab::Vocab;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_text(c: &mut Criterion) {
+    let ds = Dataset::tiny();
+    let refs: Vec<&[String]> = ds.corpora.all_sentences().map(|s| s.as_slice()).collect();
+    let vocab = Vocab::from_corpus(refs.iter().copied(), 1);
+    let encoded: Vec<Vec<usize>> = refs.iter().map(|s| vocab.encode(s)).collect();
+
+    // Segmentation over an unspaced concatenation of lexicon entries.
+    let seg = MaxMatchSegmenter::from_entries(
+        ds.world.lexicon.all_terms().map(|(s, _)| s.to_string()),
+    );
+    let text = "waterproofoutdoorbarbecuewinterredcotton";
+    c.bench_function("text/max_match_segment", |b| {
+        b.iter(|| black_box(seg.segment(black_box(text))))
+    });
+
+    // BM25 index over item titles.
+    let docs: Vec<Vec<usize>> = ds.items.iter().map(|it| vocab.encode(&it.title)).collect();
+    let index = Bm25Index::build(&docs, Bm25Params::default());
+    let query = vocab.encode(&["red".to_string(), "cotton".to_string(), "skirt".to_string()]);
+    c.bench_function("text/bm25_search_top10", |b| {
+        b.iter(|| black_box(index.search(black_box(&query), 10)))
+    });
+    c.bench_function("text/bm25_build_500_docs", |b| {
+        b.iter(|| black_box(Bm25Index::build(black_box(&docs), Bm25Params::default())))
+    });
+
+    // Phrase mining over the full corpus.
+    c.bench_function("text/phrase_mining", |b| {
+        b.iter(|| black_box(mine(black_box(&encoded), &PhraseMinerConfig::default())))
+    });
+
+    // Trigram LM training + perplexity.
+    c.bench_function("text/lm_train", |b| {
+        b.iter(|| black_box(NgramLm::train(black_box(&encoded), vocab.len())))
+    });
+    let lm = NgramLm::train(&encoded, vocab.len());
+    let sent = vocab.encode(&["outdoor".to_string(), "barbecue".to_string()]);
+    c.bench_function("text/lm_perplexity", |b| {
+        b.iter(|| black_box(lm.perplexity(black_box(&sent))))
+    });
+
+    // Hearst extraction over the guide corpus.
+    let guides: Vec<&[String]> = ds.corpora.guides.iter().map(|s| s.as_slice()).collect();
+    c.bench_function("text/hearst_extract", |b| {
+        b.iter(|| black_box(hearst::extract_from_corpus(black_box(guides.iter().copied()))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_text
+}
+criterion_main!(benches);

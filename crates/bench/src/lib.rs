@@ -1,0 +1,40 @@
+//! Shared helpers for the experiment runner and criterion benches.
+
+use alicoco_corpus::{Dataset, WorldConfig};
+use alicoco_mining::resources::{Resources, ResourcesConfig};
+
+/// The "paper-scale" (for this reproduction) evaluation world: the default
+/// configuration — 3000 items, 1200 labeled concepts.
+pub fn medium_dataset() -> Dataset {
+    Dataset::generate(WorldConfig::default())
+}
+
+/// A small dataset for fast benches.
+pub fn small_dataset() -> Dataset {
+    Dataset::tiny()
+}
+
+/// A concept-heavy world for the classification ablation (Table 4): more
+/// labeled concepts stabilize the comparison.
+pub fn classification_dataset() -> Dataset {
+    Dataset::generate(WorldConfig {
+        num_good_concepts: 1500,
+        num_bad_concepts: 1500,
+        ..WorldConfig::default()
+    })
+}
+
+/// Build shared resources with default sizing.
+pub fn resources_for(ds: &Dataset) -> Resources {
+    Resources::build(ds, ResourcesConfig::default())
+}
+
+/// Render a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Format an f64 with 4 decimals.
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}

@@ -1,0 +1,59 @@
+//! Typed node identifiers for the four layers of AliCoCo.
+//!
+//! Using newtypes (rather than bare `usize`) makes cross-layer confusion a
+//! compile error: an `ItemId` can never index the primitive-concept arena.
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Raw index (for stable serialization).
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Rebuild from a raw index (used by snapshot loading).
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id overflow"))
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A class in the taxonomy layer (§3).
+    ClassId
+);
+id_type!(
+    /// A primitive concept (§4).
+    PrimitiveId
+);
+id_type!(
+    /// An e-commerce concept (§5).
+    ConceptId
+);
+id_type!(
+    /// An item (§6).
+    ItemId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let c = ClassId::from_index(42);
+        assert_eq!(c.index(), 42);
+        assert_eq!(c, ClassId::from_index(42));
+        assert_ne!(c, ClassId::from_index(43));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ItemId::from_index(1) < ItemId::from_index(2));
+    }
+}

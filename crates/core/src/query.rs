@@ -1,0 +1,263 @@
+//! Read-side query helpers over a built concept net: inverted lookups,
+//! degree statistics, path explanations, and subgraph extraction — the
+//! serving-layer API downstream applications compose.
+
+use alicoco_nn::util::{FxHashMap, FxHashSet};
+
+use crate::graph::AliCoCo;
+use crate::ids::{ClassId, ConceptId, ItemId, PrimitiveId};
+
+/// Inverted indices built once over a net for fast serving-side queries.
+pub struct QueryIndex<'kg> {
+    kg: &'kg AliCoCo,
+    concepts_by_primitive: FxHashMap<PrimitiveId, Vec<ConceptId>>,
+    items_by_primitive: FxHashMap<PrimitiveId, Vec<ItemId>>,
+    primitives_by_domain: FxHashMap<ClassId, Vec<PrimitiveId>>,
+}
+
+impl<'kg> QueryIndex<'kg> {
+    /// Build all inverted indices (one pass over each layer).
+    pub fn build(kg: &'kg AliCoCo) -> Self {
+        let mut concepts_by_primitive: FxHashMap<PrimitiveId, Vec<ConceptId>> =
+            FxHashMap::default();
+        for c in kg.concept_ids() {
+            for &p in &kg.concept(c).primitives {
+                concepts_by_primitive.entry(p).or_default().push(c);
+            }
+        }
+        let mut items_by_primitive: FxHashMap<PrimitiveId, Vec<ItemId>> = FxHashMap::default();
+        for i in kg.item_ids() {
+            for &p in &kg.item(i).primitives {
+                items_by_primitive.entry(p).or_default().push(i);
+            }
+        }
+        let mut primitives_by_domain: FxHashMap<ClassId, Vec<PrimitiveId>> = FxHashMap::default();
+        for p in kg.primitive_ids() {
+            let d = kg.class_domain(kg.primitive(p).class);
+            primitives_by_domain.entry(d).or_default().push(p);
+        }
+        QueryIndex { kg, concepts_by_primitive, items_by_primitive, primitives_by_domain }
+    }
+
+    /// Concepts interpreted by a primitive ("which needs involve
+    /// *barbecue*?").
+    pub fn concepts_by_primitive(&self, p: PrimitiveId) -> &[ConceptId] {
+        self.concepts_by_primitive.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Items carrying a primitive property.
+    pub fn items_by_primitive(&self, p: PrimitiveId) -> &[ItemId] {
+        self.items_by_primitive.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All primitives under a first-level domain class.
+    pub fn primitives_in_domain(&self, domain: ClassId) -> &[PrimitiveId] {
+        self.primitives_by_domain.get(&domain).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Explain why an item is suggested for a concept: the direct edge
+    /// weight plus any primitives they share.
+    pub fn explain_suggestion(&self, concept: ConceptId, item: ItemId) -> Explanation {
+        let direct = self
+            .kg
+            .concept(concept)
+            .items
+            .iter()
+            .find(|&&(i, _)| i == item)
+            .map(|&(_, w)| w);
+        let cp: FxHashSet<PrimitiveId> =
+            self.kg.concept(concept).primitives.iter().copied().collect();
+        let shared: Vec<PrimitiveId> = self
+            .kg
+            .item(item)
+            .primitives
+            .iter()
+            .copied()
+            .filter(|p| cp.contains(p))
+            .collect();
+        Explanation { direct_weight: direct, shared_primitives: shared }
+    }
+}
+
+/// Why an item relates to a concept.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Explanation {
+    /// Weight of the direct suggestion edge, if present.
+    pub direct_weight: Option<f32>,
+    /// Primitive concepts on both the concept's interpretation and the
+    /// item's properties.
+    pub shared_primitives: Vec<PrimitiveId>,
+}
+
+/// Degree statistics of a layer's out-edges.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DegreeStats {
+    /// Min.
+    pub min: usize,
+    /// Max.
+    pub max: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Nodes with zero out-edges.
+    pub isolated: usize,
+}
+
+fn degree_stats(degrees: impl Iterator<Item = usize>) -> DegreeStats {
+    let mut n = 0usize;
+    let mut sum = 0usize;
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut isolated = 0usize;
+    for d in degrees {
+        n += 1;
+        sum += d;
+        min = min.min(d);
+        max = max.max(d);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    if n == 0 {
+        return DegreeStats::default();
+    }
+    DegreeStats { min, max, mean: sum as f64 / n as f64, isolated }
+}
+
+/// Degree statistics of concept→item edges.
+pub fn concept_item_degrees(kg: &AliCoCo) -> DegreeStats {
+    degree_stats(kg.concept_ids().map(|c| kg.concept(c).items.len()))
+}
+
+/// Degree statistics of item→primitive edges.
+pub fn item_primitive_degrees(kg: &AliCoCo) -> DegreeStats {
+    degree_stats(kg.item_ids().map(|i| kg.item(i).primitives.len()))
+}
+
+/// Extract the neighbourhood subgraph of a concept (its primitives, items,
+/// hypernyms, and the item titles) as a new standalone net — useful for
+/// debugging one concept card or shipping a card's data to a client.
+pub fn concept_subgraph(kg: &AliCoCo, concept: ConceptId) -> AliCoCo {
+    let mut out = AliCoCo::new();
+    let src = kg.concept(concept);
+    // Classes along each primitive's ancestor chain.
+    let mut class_map: FxHashMap<ClassId, ClassId> = FxHashMap::default();
+    let mut add_class_chain = |kg: &AliCoCo, out: &mut AliCoCo, class: ClassId| -> ClassId {
+        // Insert ancestors root-first.
+        let mut chain = kg.class_ancestors(class);
+        chain.reverse();
+        chain.push(class);
+        let mut parent: Option<ClassId> = None;
+        let mut mapped = None;
+        for c in chain {
+            let id = match class_map.get(&c) {
+                Some(&id) => id,
+                None => {
+                    let id = out.add_class(&kg.class(c).name, parent);
+                    class_map.insert(c, id);
+                    id
+                }
+            };
+            parent = Some(id);
+            mapped = Some(id);
+        }
+        mapped.expect("chain non-empty")
+    };
+    let new_concept = out.add_concept(&src.name);
+    for &p in &src.primitives {
+        let prim = kg.primitive(p);
+        let class = add_class_chain(kg, &mut out, prim.class);
+        let np = out.add_primitive(&prim.name, class);
+        out.link_concept_primitive(new_concept, np);
+    }
+    for &(item, w) in &src.items {
+        let ni = out.add_item(&kg.item(item).title);
+        out.link_concept_item(new_concept, ni, w);
+    }
+    for &h in &src.hypernyms {
+        let nh = out.add_concept(&kg.concept(h).name);
+        out.add_concept_is_a(new_concept, nh);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (AliCoCo, ConceptId, ItemId, PrimitiveId) {
+        let mut kg = AliCoCo::new();
+        let root = kg.add_class("concept", None);
+        let event = kg.add_class("Event", Some(root));
+        let loc = kg.add_class("Location", Some(root));
+        let bbq = kg.add_primitive("barbecue", event);
+        let outdoor = kg.add_primitive("outdoor", loc);
+        let c = kg.add_concept("outdoor barbecue");
+        kg.link_concept_primitive(c, bbq);
+        kg.link_concept_primitive(c, outdoor);
+        let hyper = kg.add_concept("barbecue");
+        kg.add_concept_is_a(c, hyper);
+        let grill = kg.add_item(&["grill".into()]);
+        kg.link_concept_item(c, grill, 0.9);
+        kg.link_item_primitive(grill, bbq);
+        (kg, c, grill, bbq)
+    }
+
+    #[test]
+    fn inverted_indices_answer_reverse_lookups() {
+        let (kg, c, grill, bbq) = sample();
+        let q = QueryIndex::build(&kg);
+        assert_eq!(q.concepts_by_primitive(bbq), &[c]);
+        assert_eq!(q.items_by_primitive(bbq), &[grill]);
+        let event = kg.class_by_name("Event").unwrap();
+        assert_eq!(q.primitives_in_domain(event), &[bbq]);
+        let missing = PrimitiveId::from_index(999);
+        assert!(q.concepts_by_primitive(missing).is_empty());
+    }
+
+    #[test]
+    fn explanation_combines_direct_and_shared_evidence() {
+        let (kg, c, grill, bbq) = sample();
+        let q = QueryIndex::build(&kg);
+        let e = q.explain_suggestion(c, grill);
+        assert_eq!(e.direct_weight, Some(0.9));
+        assert_eq!(e.shared_primitives, vec![bbq]);
+    }
+
+    #[test]
+    fn degree_stats_account_isolated_nodes() {
+        let (mut kg, _, _, _) = sample();
+        kg.add_concept("lonely concept");
+        let d = concept_item_degrees(&kg);
+        assert_eq!(d.max, 1);
+        assert_eq!(d.min, 0);
+        assert_eq!(d.isolated, 2); // "barbecue" hypernym + "lonely concept"
+        let i = item_primitive_degrees(&kg);
+        assert_eq!(i.mean, 1.0);
+    }
+
+    #[test]
+    fn degree_stats_empty_graph() {
+        let kg = AliCoCo::new();
+        assert_eq!(concept_item_degrees(&kg), DegreeStats::default());
+    }
+
+    #[test]
+    fn subgraph_contains_the_concept_neighbourhood() {
+        let (kg, c, _, _) = sample();
+        let sub = concept_subgraph(&kg, c);
+        assert_eq!(sub.num_concepts(), 2); // concept + hypernym
+        assert_eq!(sub.num_primitives(), 2);
+        assert_eq!(sub.num_items(), 1);
+        let nc = sub.concept_by_name("outdoor barbecue").unwrap();
+        assert_eq!(sub.concept(nc).primitives.len(), 2);
+        assert_eq!(sub.concept(nc).items.len(), 1);
+        assert_eq!(sub.concept(nc).hypernyms.len(), 1);
+        // Classes were carried over with their hierarchy.
+        let event = sub.class_by_name("Event").unwrap();
+        assert!(sub.class(event).parent.is_some());
+        // And the subgraph snapshots cleanly.
+        let mut buf = Vec::new();
+        crate::snapshot::save(&sub, &mut buf).unwrap();
+        assert!(crate::snapshot::load(&mut buf.as_slice()).is_ok());
+    }
+}

@@ -1,0 +1,291 @@
+//! Line-oriented TSV snapshot format for persisting a concept net.
+//!
+//! The format is a single text stream of typed records, one per line:
+//!
+//! ```text
+//! C\t<id>\t<name>\t<parent|->            taxonomy class
+//! P\t<id>\t<name>\t<class>               primitive concept
+//! E\t<id>\t<name>                        e-commerce concept
+//! I\t<id>\t<title tokens space-joined>   item
+//! pp\t<hypo>\t<hyper>                    primitive isA
+//! ee\t<hypo>\t<hyper>                    concept isA
+//! ep\t<concept>\t<primitive>             concept -> primitive
+//! ip\t<item>\t<primitive>                item -> primitive
+//! ei\t<concept>\t<item>\t<weight>        concept -> item
+//! S\t<name>\t<from>\t<to>                schema relation
+//! R\t<name>\t<from>\t<to>                primitive instance relation
+//! ```
+//!
+//! Ids are written in arena order, so loading reproduces identical ids.
+//! Tabs and newlines are forbidden in names (asserted on save).
+
+use std::io::{self, BufRead, Write};
+
+use crate::graph::AliCoCo;
+use crate::ids::{ClassId, ConceptId, ItemId, PrimitiveId};
+
+/// Serialize the graph to a writer.
+pub fn save<W: Write>(kg: &AliCoCo, w: &mut W) -> io::Result<()> {
+    fn check(s: &str) -> &str {
+        assert!(!s.contains('\t') && !s.contains('\n'), "name contains separator: {s:?}");
+        s
+    }
+    for id in kg.class_ids() {
+        let c = kg.class(id);
+        let parent = match c.parent {
+            Some(p) => p.index().to_string(),
+            None => "-".to_string(),
+        };
+        writeln!(w, "C\t{}\t{}\t{}", id.index(), check(&c.name), parent)?;
+    }
+    for id in kg.primitive_ids() {
+        let p = kg.primitive(id);
+        writeln!(w, "P\t{}\t{}\t{}", id.index(), check(&p.name), p.class.index())?;
+    }
+    for id in kg.concept_ids() {
+        writeln!(w, "E\t{}\t{}", id.index(), check(&kg.concept(id).name))?;
+    }
+    for id in kg.item_ids() {
+        let title = kg.item(id).title.join(" ");
+        writeln!(w, "I\t{}\t{}", id.index(), check(&title))?;
+    }
+    for id in kg.primitive_ids() {
+        for &h in &kg.primitive(id).hypernyms {
+            writeln!(w, "pp\t{}\t{}", id.index(), h.index())?;
+        }
+    }
+    for id in kg.concept_ids() {
+        let c = kg.concept(id);
+        for &h in &c.hypernyms {
+            writeln!(w, "ee\t{}\t{}", id.index(), h.index())?;
+        }
+        for &p in &c.primitives {
+            writeln!(w, "ep\t{}\t{}", id.index(), p.index())?;
+        }
+        for &(item, weight) in &c.items {
+            writeln!(w, "ei\t{}\t{}\t{}", id.index(), item.index(), weight)?;
+        }
+    }
+    for id in kg.item_ids() {
+        for &p in &kg.item(id).primitives {
+            writeln!(w, "ip\t{}\t{}", id.index(), p.index())?;
+        }
+    }
+    for s in kg.schema() {
+        writeln!(w, "S\t{}\t{}\t{}", check(&s.name), s.from.index(), s.to.index())?;
+    }
+    for r in kg.primitive_relations() {
+        writeln!(w, "R\t{}\t{}\t{}", check(&r.name), r.from.index(), r.to.index())?;
+    }
+    Ok(())
+}
+
+/// Error kind for snapshot loading.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Io.
+    Io(io::Error),
+    /// Malformed record with line number and description.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Deserialize a graph from a reader.
+pub fn load<R: BufRead>(r: &mut R) -> Result<AliCoCo, LoadError> {
+    let mut kg = AliCoCo::new();
+    let err = |ln: usize, msg: &str| LoadError::Parse(ln, msg.to_string());
+    let parse_idx = |ln: usize, s: &str| -> Result<usize, LoadError> {
+        s.parse::<usize>().map_err(|_| err(ln, "bad id"))
+    };
+    for (ln, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('\t').collect();
+        match parts[0] {
+            "C" => {
+                if parts.len() != 4 {
+                    return Err(err(ln, "class record needs 4 fields"));
+                }
+                let parent = if parts[3] == "-" {
+                    None
+                } else {
+                    Some(ClassId::from_index(parse_idx(ln, parts[3])?))
+                };
+                let id = kg.add_class(parts[2], parent);
+                if id.index() != parse_idx(ln, parts[1])? {
+                    return Err(err(ln, "class ids out of order"));
+                }
+            }
+            "P" => {
+                if parts.len() != 4 {
+                    return Err(err(ln, "primitive record needs 4 fields"));
+                }
+                let class = ClassId::from_index(parse_idx(ln, parts[3])?);
+                let id = kg.add_primitive(parts[2], class);
+                if id.index() != parse_idx(ln, parts[1])? {
+                    return Err(err(ln, "primitive ids out of order"));
+                }
+            }
+            "E" => {
+                if parts.len() != 3 {
+                    return Err(err(ln, "concept record needs 3 fields"));
+                }
+                let id = kg.add_concept(parts[2]);
+                if id.index() != parse_idx(ln, parts[1])? {
+                    return Err(err(ln, "concept ids out of order"));
+                }
+            }
+            "I" => {
+                if parts.len() != 3 {
+                    return Err(err(ln, "item record needs 3 fields"));
+                }
+                let title: Vec<String> = if parts[2].is_empty() {
+                    Vec::new()
+                } else {
+                    parts[2].split(' ').map(String::from).collect()
+                };
+                let id = kg.add_item(&title);
+                if id.index() != parse_idx(ln, parts[1])? {
+                    return Err(err(ln, "item ids out of order"));
+                }
+            }
+            "pp" => kg.add_primitive_is_a(
+                PrimitiveId::from_index(parse_idx(ln, parts[1])?),
+                PrimitiveId::from_index(parse_idx(ln, parts[2])?),
+            ),
+            "ee" => kg.add_concept_is_a(
+                ConceptId::from_index(parse_idx(ln, parts[1])?),
+                ConceptId::from_index(parse_idx(ln, parts[2])?),
+            ),
+            "ep" => kg.link_concept_primitive(
+                ConceptId::from_index(parse_idx(ln, parts[1])?),
+                PrimitiveId::from_index(parse_idx(ln, parts[2])?),
+            ),
+            "ip" => kg.link_item_primitive(
+                ItemId::from_index(parse_idx(ln, parts[1])?),
+                PrimitiveId::from_index(parse_idx(ln, parts[2])?),
+            ),
+            "ei" => {
+                if parts.len() != 4 {
+                    return Err(err(ln, "concept-item record needs 4 fields"));
+                }
+                let weight: f32 = parts[3].parse().map_err(|_| err(ln, "bad weight"))?;
+                kg.link_concept_item(
+                    ConceptId::from_index(parse_idx(ln, parts[1])?),
+                    ItemId::from_index(parse_idx(ln, parts[2])?),
+                    weight,
+                );
+            }
+            "S" => kg.add_schema_relation(
+                parts[1],
+                ClassId::from_index(parse_idx(ln, parts[2])?),
+                ClassId::from_index(parse_idx(ln, parts[3])?),
+            ),
+            "R" => kg.add_primitive_relation(
+                parts[1],
+                PrimitiveId::from_index(parse_idx(ln, parts[2])?),
+                PrimitiveId::from_index(parse_idx(ln, parts[3])?),
+            ),
+            other => return Err(err(ln, &format!("unknown record type {other:?}"))),
+        }
+    }
+    Ok(kg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Stats;
+
+    fn build_sample() -> AliCoCo {
+        let mut kg = AliCoCo::new();
+        let root = kg.add_class("root", None);
+        let cat = kg.add_class("Category", Some(root));
+        let event = kg.add_class("Event", Some(root));
+        let time = kg.add_class("Time", Some(root));
+        let grill = kg.add_primitive("grill", cat);
+        let cookware = kg.add_primitive("cookware", cat);
+        let bbq = kg.add_primitive("barbecue", event);
+        let winter = kg.add_primitive("winter", time);
+        kg.add_primitive_is_a(grill, cookware);
+        kg.add_primitive_relation("suitable_when", grill, winter);
+        kg.add_schema_relation("suitable_when", cat, time);
+        let c1 = kg.add_concept("outdoor barbecue");
+        let c2 = kg.add_concept("barbecue");
+        kg.add_concept_is_a(c1, c2);
+        kg.link_concept_primitive(c1, bbq);
+        let i = kg.add_item(&["brand".to_string(), "grill".to_string()]);
+        kg.link_item_primitive(i, grill);
+        kg.link_concept_item(c1, i, 0.75);
+        kg
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let kg = build_sample();
+        let mut buf = Vec::new();
+        save(&kg, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        let a = Stats::compute(&kg);
+        let b = Stats::compute(&loaded);
+        assert_eq!(a.num_classes, b.num_classes);
+        assert_eq!(a.num_primitives, b.num_primitives);
+        assert_eq!(a.num_concepts, b.num_concepts);
+        assert_eq!(a.num_items, b.num_items);
+        assert_eq!(a.total_relations(), b.total_relations());
+        assert_eq!(a.schema_relations, b.schema_relations);
+        // Weighted edge survives.
+        let c1 = loaded.concept_by_name("outdoor barbecue").unwrap();
+        let items = loaded.items_for_concept(c1);
+        assert_eq!(items.len(), 1);
+        assert!((items[0].1 - 0.75).abs() < 1e-6);
+        // Disambiguation index rebuilt.
+        assert_eq!(loaded.primitives_by_name("grill").len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let mut buf = Vec::new();
+        save(&AliCoCo::new(), &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.num_classes(), 0);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        let bad = b"X\t0\tfoo\n";
+        let e = load(&mut bad.as_slice()).unwrap_err();
+        assert!(matches!(e, LoadError::Parse(0, _)));
+        let bad2 = b"C\t0\tfoo\n"; // missing parent field
+        assert!(load(&mut bad2.as_slice()).is_err());
+        let bad3 = b"C\t5\tfoo\t-\n"; // id out of order
+        assert!(load(&mut bad3.as_slice()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "separator")]
+    fn names_with_tabs_rejected_on_save() {
+        let mut kg = AliCoCo::new();
+        kg.add_class("bad\tname", None);
+        let mut buf = Vec::new();
+        let _ = save(&kg, &mut buf);
+    }
+}

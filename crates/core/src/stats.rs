@@ -1,0 +1,188 @@
+//! Statistics of an assembled AliCoCo instance, mirroring Table 2 of the
+//! paper (overall counts, per-domain primitive counts, relation counts and
+//! per-node averages).
+
+use std::fmt;
+
+use alicoco_nn::util::FxHashMap;
+
+use crate::graph::AliCoCo;
+
+/// The Table 2 analogue for a built concept net.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Number of primitives.
+    pub num_primitives: usize,
+    /// Number of concepts.
+    pub num_concepts: usize,
+    /// Number of items.
+    pub num_items: usize,
+    /// Primitive counts per first-level domain, sorted by domain name.
+    pub per_domain: Vec<(String, usize)>,
+    /// Is a primitive.
+    pub is_a_primitive: usize,
+    /// Is a concept.
+    pub is_a_concept: usize,
+    /// Item primitive links.
+    pub item_primitive_links: usize,
+    /// Item concept links.
+    pub item_concept_links: usize,
+    /// Concept primitive links.
+    pub concept_primitive_links: usize,
+    /// Schema relations.
+    pub schema_relations: usize,
+    /// Instance relations.
+    pub instance_relations: usize,
+    /// Fraction of items linked to at least one concept or primitive.
+    pub item_linkage: f64,
+    /// Avg primitives per item.
+    pub avg_primitives_per_item: f64,
+    /// Avg concepts per item.
+    pub avg_concepts_per_item: f64,
+    /// Avg items per concept.
+    pub avg_items_per_concept: f64,
+}
+
+impl Stats {
+    /// Compute statistics over a graph.
+    pub fn compute(kg: &AliCoCo) -> Stats {
+        let mut per_domain: FxHashMap<String, usize> = FxHashMap::default();
+        for p in kg.primitive_ids() {
+            let class = kg.primitive(p).class;
+            let domain = kg.class_domain(class);
+            *per_domain.entry(kg.class(domain).name.clone()).or_insert(0) += 1;
+        }
+        let mut per_domain: Vec<(String, usize)> = per_domain.into_iter().collect();
+        per_domain.sort();
+
+        let num_items = kg.num_items();
+        let linked = kg
+            .item_ids()
+            .filter(|&i| {
+                let it = kg.item(i);
+                !it.primitives.is_empty() || !it.concepts.is_empty()
+            })
+            .count();
+        let item_primitive_links = kg.num_item_primitive_links();
+        let item_concept_links = kg.num_concept_item_links();
+        Stats {
+            num_classes: kg.num_classes(),
+            num_primitives: kg.num_primitives(),
+            num_concepts: kg.num_concepts(),
+            num_items,
+            per_domain,
+            is_a_primitive: kg.num_primitive_is_a(),
+            is_a_concept: kg.num_concept_is_a(),
+            item_primitive_links,
+            item_concept_links,
+            concept_primitive_links: kg.num_concept_primitive_links(),
+            schema_relations: kg.schema().len(),
+            instance_relations: kg.primitive_relations().len(),
+            item_linkage: if num_items == 0 { 0.0 } else { linked as f64 / num_items as f64 },
+            avg_primitives_per_item: if num_items == 0 {
+                0.0
+            } else {
+                item_primitive_links as f64 / num_items as f64
+            },
+            avg_concepts_per_item: if num_items == 0 {
+                0.0
+            } else {
+                item_concept_links as f64 / num_items as f64
+            },
+            avg_items_per_concept: if kg.num_concepts() == 0 {
+                0.0
+            } else {
+                item_concept_links as f64 / kg.num_concepts() as f64
+            },
+        }
+    }
+
+    /// Total relation count across all edge kinds.
+    pub fn total_relations(&self) -> usize {
+        self.is_a_primitive
+            + self.is_a_concept
+            + self.item_primitive_links
+            + self.item_concept_links
+            + self.concept_primitive_links
+            + self.instance_relations
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Overall")?;
+        writeln!(f, "  # Taxonomy classes            {:>12}", self.num_classes)?;
+        writeln!(f, "  # Primitive concepts          {:>12}", self.num_primitives)?;
+        writeln!(f, "  # E-commerce concepts         {:>12}", self.num_concepts)?;
+        writeln!(f, "  # Items                       {:>12}", self.num_items)?;
+        writeln!(f, "  # Relations                   {:>12}", self.total_relations())?;
+        writeln!(f, "Primitive concepts per domain")?;
+        for (name, count) in &self.per_domain {
+            writeln!(f, "  # {:<28}{:>12}", name, count)?;
+        }
+        writeln!(f, "Relations")?;
+        writeln!(f, "  # IsA in primitive concepts   {:>12}", self.is_a_primitive)?;
+        writeln!(f, "  # IsA in e-commerce concepts  {:>12}", self.is_a_concept)?;
+        writeln!(f, "  # Item - Primitive concepts   {:>12}", self.item_primitive_links)?;
+        writeln!(f, "  # Item - E-commerce concepts  {:>12}", self.item_concept_links)?;
+        writeln!(f, "  # E-commerce - Primitive cpts {:>12}", self.concept_primitive_links)?;
+        writeln!(f, "  # Schema relations            {:>12}", self.schema_relations)?;
+        writeln!(f, "  # Instance relations          {:>12}", self.instance_relations)?;
+        writeln!(f, "Averages")?;
+        writeln!(f, "  items linked to the net       {:>11.1}%", self.item_linkage * 100.0)?;
+        writeln!(f, "  primitives per item           {:>12.2}", self.avg_primitives_per_item)?;
+        writeln!(f, "  concepts per item             {:>12.2}", self.avg_concepts_per_item)?;
+        writeln!(f, "  items per concept             {:>12.2}", self.avg_items_per_concept)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = Stats::compute(&AliCoCo::new());
+        assert_eq!(s.num_classes, 0);
+        assert_eq!(s.total_relations(), 0);
+        assert_eq!(s.item_linkage, 0.0);
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let mut kg = AliCoCo::new();
+        let root = kg.add_class("root", None);
+        let cat = kg.add_class("Category", Some(root));
+        let event = kg.add_class("Event", Some(root));
+        let p1 = kg.add_primitive("grill", cat);
+        let p2 = kg.add_primitive("cookware", cat);
+        let p3 = kg.add_primitive("barbecue", event);
+        kg.add_primitive_is_a(p1, p2);
+        let c = kg.add_concept("outdoor barbecue");
+        kg.link_concept_primitive(c, p3);
+        let i = kg.add_item(&["grill".to_string()]);
+        kg.link_item_primitive(i, p1);
+        kg.link_concept_item(c, i, 1.0);
+        let s = Stats::compute(&kg);
+        assert_eq!(s.num_primitives, 3);
+        assert_eq!(s.per_domain, vec![("Category".to_string(), 2), ("Event".to_string(), 1)]);
+        assert_eq!(s.is_a_primitive, 1);
+        assert_eq!(s.item_primitive_links, 1);
+        assert_eq!(s.item_concept_links, 1);
+        assert_eq!(s.concept_primitive_links, 1);
+        assert_eq!(s.total_relations(), 4);
+        assert_eq!(s.item_linkage, 1.0);
+        assert_eq!(s.avg_items_per_concept, 1.0);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let s = Stats::compute(&AliCoCo::new());
+        let text = s.to_string();
+        assert!(text.contains("Primitive concepts"));
+        assert!(text.contains("IsA in e-commerce concepts"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Click-log simulation — the stand-in for "user click logs of the running
+//! application on Taobao" (§7.6), which supply the positive concept–item
+//! pairs the matching model trains on.
+//!
+//! The simulator shows concept cards with ranked item lists and samples
+//! clicks with an examination model: users click relevant items with high
+//! probability, irrelevant ones occasionally (noise), and attention decays
+//! with display position (position bias) — so the resulting log is a noisy,
+//! biased view of true relevance, as real logs are.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::concepts::{concept_relevant_item, ConceptSpec};
+use crate::items::ItemSpec;
+use crate::world::World;
+
+/// One impression of one item on a concept card.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Impression {
+    /// Index into the concept list passed to the simulator.
+    pub concept: usize,
+    /// Index into the item list.
+    pub item: usize,
+    /// Display slot (0 = top).
+    pub position: usize,
+    /// Clicked.
+    pub clicked: bool,
+}
+
+/// Click-model parameters.
+#[derive(Clone, Debug)]
+pub struct ClickConfig {
+    /// Sessions (card impressions) to simulate.
+    pub sessions: usize,
+    /// Items displayed per card.
+    pub slots: usize,
+    /// P(click | examined, relevant).
+    pub p_click_relevant: f64,
+    /// P(click | examined, irrelevant) — curiosity noise.
+    pub p_click_irrelevant: f64,
+    /// Examination decay per position: `P(examined at k) = decay^k`.
+    pub position_decay: f64,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for ClickConfig {
+    fn default() -> Self {
+        ClickConfig {
+            sessions: 400,
+            slots: 8,
+            p_click_relevant: 0.7,
+            p_click_irrelevant: 0.05,
+            position_decay: 0.85,
+            seed: 777,
+        }
+    }
+}
+
+/// Simulate a click log over concept cards.
+///
+/// Cards show a mix of relevant and random items (as a cold-start system
+/// would), shuffled; clicks follow the examination model above.
+pub fn simulate_clicks(
+    world: &World,
+    concepts: &[ConceptSpec],
+    items: &[ItemSpec],
+    cfg: &ClickConfig,
+) -> Vec<Impression> {
+    assert!(!items.is_empty(), "click simulation needs items");
+    let good: Vec<usize> =
+        (0..concepts.len()).filter(|&i| concepts[i].good).collect();
+    if good.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = alicoco_nn::util::seeded_rng(cfg.seed);
+    let mut log = Vec::with_capacity(cfg.sessions * cfg.slots);
+    for _ in 0..cfg.sessions {
+        let ci = good[rng.gen_range(0..good.len())];
+        let concept = &concepts[ci];
+        // Assemble the card: up to half relevant (if available), rest random.
+        let mut card: Vec<usize> = Vec::with_capacity(cfg.slots);
+        let relevant: Vec<usize> = (0..items.len())
+            .filter(|&ii| concept_relevant_item(world, concept, &items[ii]))
+            .collect();
+        let mut rel_pool = relevant.clone();
+        rel_pool.shuffle(&mut rng);
+        card.extend(rel_pool.into_iter().take(cfg.slots / 2));
+        while card.len() < cfg.slots {
+            card.push(rng.gen_range(0..items.len()));
+        }
+        card.shuffle(&mut rng);
+        for (position, &ii) in card.iter().enumerate() {
+            let examined = rng.gen_bool(cfg.position_decay.powi(position as i32));
+            let relevant = concept_relevant_item(world, concept, &items[ii]);
+            let p = if relevant { cfg.p_click_relevant } else { cfg.p_click_irrelevant };
+            let clicked = examined && rng.gen_bool(p);
+            log.push(Impression { concept: ci, item: ii, position, clicked });
+        }
+    }
+    log
+}
+
+/// Aggregate a click log into `(concept, item)` training pairs: positives
+/// are clicked pairs; negatives are impressed-but-never-clicked pairs
+/// (the standard click-log heuristic).
+pub fn pairs_from_log(log: &[Impression]) -> Vec<(usize, usize, f32)> {
+    use alicoco_nn::util::FxHashMap;
+    let mut agg: FxHashMap<(usize, usize), (u32, u32)> = FxHashMap::default();
+    for imp in log {
+        let e = agg.entry((imp.concept, imp.item)).or_insert((0, 0));
+        e.0 += 1;
+        if imp.clicked {
+            e.1 += 1;
+        }
+    }
+    let mut out: Vec<(usize, usize, f32)> = agg
+        .into_iter()
+        .map(|((c, i), (_shown, clicks))| (c, i, if clicks > 0 { 1.0 } else { 0.0 }))
+        .collect();
+    out.sort_unstable_by_key(|a| (a.0, a.1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::generate_items;
+    use crate::world::WorldConfig;
+    use crate::Dataset;
+
+    fn setup() -> (crate::World, Vec<ConceptSpec>, Vec<ItemSpec>) {
+        let ds = Dataset::tiny();
+        let mut rng = alicoco_nn::util::seeded_rng(3);
+        let items = generate_items(&ds.world, 300, &mut rng);
+        (World::generate(WorldConfig::tiny()), ds.concepts, items)
+    }
+    use crate::world::World;
+
+    #[test]
+    fn click_rate_correlates_with_relevance() {
+        let (world, concepts, items) = setup();
+        let log = simulate_clicks(&world, &concepts, &items, &ClickConfig::default());
+        assert!(!log.is_empty());
+        let (mut rel_clicks, mut rel_shown) = (0u32, 0u32);
+        let (mut irr_clicks, mut irr_shown) = (0u32, 0u32);
+        for imp in &log {
+            let rel = concept_relevant_item(&world, &concepts[imp.concept], &items[imp.item]);
+            if rel {
+                rel_shown += 1;
+                rel_clicks += imp.clicked as u32;
+            } else {
+                irr_shown += 1;
+                irr_clicks += imp.clicked as u32;
+            }
+        }
+        assert!(rel_shown > 0 && irr_shown > 0);
+        let rel_ctr = rel_clicks as f64 / rel_shown as f64;
+        let irr_ctr = irr_clicks as f64 / irr_shown as f64;
+        assert!(
+            rel_ctr > irr_ctr * 3.0,
+            "CTR gap too small: relevant {rel_ctr:.3} vs irrelevant {irr_ctr:.3}"
+        );
+    }
+
+    #[test]
+    fn position_bias_lowers_tail_ctr() {
+        let (world, concepts, items) = setup();
+        let cfg = ClickConfig { sessions: 1500, position_decay: 0.6, ..Default::default() };
+        let log = simulate_clicks(&world, &concepts, &items, &cfg);
+        let ctr_at = |pos: usize| {
+            let (mut c, mut n) = (0u32, 0u32);
+            for imp in log.iter().filter(|i| i.position == pos) {
+                n += 1;
+                c += imp.clicked as u32;
+            }
+            c as f64 / n.max(1) as f64
+        };
+        assert!(
+            ctr_at(0) > ctr_at(cfg.slots - 1),
+            "position bias missing: top {} vs bottom {}",
+            ctr_at(0),
+            ctr_at(cfg.slots - 1)
+        );
+    }
+
+    #[test]
+    fn pairs_from_log_deduplicates() {
+        let log = vec![
+            Impression { concept: 1, item: 2, position: 0, clicked: false },
+            Impression { concept: 1, item: 2, position: 1, clicked: true },
+            Impression { concept: 1, item: 3, position: 2, clicked: false },
+        ];
+        let pairs = pairs_from_log(&log);
+        assert_eq!(pairs, vec![(1, 2, 1.0), (1, 3, 0.0)]);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let (world, concepts, items) = setup();
+        let a = simulate_clicks(&world, &concepts, &items, &ClickConfig::default());
+        let b = simulate_clicks(&world, &concepts, &items, &ClickConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_concepts_produce_empty_log() {
+        let (world, _, items) = setup();
+        let log = simulate_clicks(&world, &[], &items, &ClickConfig::default());
+        assert!(log.is_empty());
+    }
+}

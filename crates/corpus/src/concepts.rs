@@ -1,0 +1,746 @@
+//! Ground-truth e-commerce concept generation (§5, Table 1).
+//!
+//! Each concept candidate is generated from a pattern over primitive-concept
+//! slots and labelled good/bad against the world's compatibility model. Bad
+//! candidates come in the three flavours the paper's criteria (§5.1) are
+//! designed to reject:
+//!
+//! - **implausible** — violates commonsense compatibility ("warm shoes for
+//!   swimming"); only *knowledge* can catch these,
+//! - **incoherent** — scrambled word order ("for kids keep warm"); language
+//!   model features catch these,
+//! - **no e-commerce meaning** — fluent but unshoppable ("blue sky").
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::domain::Domain;
+use crate::items::ItemSpec;
+use crate::lexicon;
+use crate::world::{World, GIFT_OCCASIONS};
+
+/// A slot of a concept: which tokens realize which primitive-concept domain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Slot {
+    /// Domain.
+    pub domain: Domain,
+    /// Surface form of the primitive concept (may contain spaces).
+    pub surface: String,
+    /// Token range `[start, start+len)` in the concept's token list.
+    pub start: usize,
+    /// Len.
+    pub len: usize,
+}
+
+/// Why a bad candidate is bad.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Defect {
+    /// Violates compatibility ground truth.
+    Implausible,
+    /// Scrambled word order.
+    Incoherent,
+    /// No shopping meaning at all.
+    NoMeaning,
+}
+
+/// A generated concept candidate with full ground truth.
+#[derive(Clone, Debug)]
+pub struct ConceptSpec {
+    /// Tokens.
+    pub tokens: Vec<String>,
+    /// Slots.
+    pub slots: Vec<Slot>,
+    /// Pattern.
+    pub pattern: &'static str,
+    /// Good.
+    pub good: bool,
+    /// Defect.
+    pub defect: Option<Defect>,
+}
+
+impl ConceptSpec {
+    /// Surface text of the concept.
+    pub fn text(&self) -> String {
+        self.tokens.join(" ")
+    }
+
+    /// First slot of a given domain.
+    pub fn slot(&self, d: Domain) -> Option<&Slot> {
+        self.slots.iter().find(|s| s.domain == d)
+    }
+}
+
+/// Non-commerce filler words for "no e-commerce meaning" negatives.
+const FILLER: &[&str] = &[
+    "sky", "cloud", "idea", "rumor", "story", "news", "sunshine", "opinion", "tuesday",
+    "philosophy", "gossip", "silence", "gravity", "hens", "lay", "eggs",
+];
+
+struct Builder<'w, R: Rng> {
+    world: &'w World,
+    rng: R,
+}
+
+impl<'w, R: Rng> Builder<'w, R> {
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[self.rng.gen_range(0..xs.len())]
+    }
+
+    fn random_leaf(&mut self) -> usize {
+        self.world.random_leaf(&mut self.rng)
+    }
+
+    fn cat_slot(&self, cat: usize, start: usize) -> (Vec<String>, Slot) {
+        let name = self.world.tree.name(cat);
+        let tokens: Vec<String> = name.split(' ').map(String::from).collect();
+        let len = tokens.len();
+        (tokens, Slot { domain: Domain::Category, surface: name.to_string(), start, len })
+    }
+
+    /// `[Function] [Category] for [Event]` — "warm hat for traveling".
+    fn fn_cat_event(&mut self) -> ConceptSpec {
+        let e = self.pick(lexicon::EVENTS);
+        // Bias toward the event's own gear and functions (mined concepts in
+        // the paper come from real co-occurrences, not uniform sampling).
+        let profile = self.world.event(e);
+        let cat = match profile {
+            Some(p) if !p.needs.is_empty() && self.rng.gen_bool(0.5) => {
+                let need = p.needs[self.rng.gen_range(0..p.needs.len())];
+                self.world.category(need).expect("event need resolves")
+            }
+            _ => self.random_leaf(),
+        };
+        let f = match profile {
+            Some(p) if !p.functions.is_empty() && self.rng.gen_bool(0.5) => {
+                p.functions[self.rng.gen_range(0..p.functions.len())]
+            }
+            _ => self.pick(lexicon::FUNCTIONS),
+        };
+        let (cat_tokens, cat_slot) = self.cat_slot(cat, 1);
+        let mut tokens = vec![f.to_string()];
+        tokens.extend(cat_tokens);
+        let for_pos = tokens.len();
+        tokens.push("for".into());
+        tokens.push(e.to_string());
+        let slots = vec![
+            Slot { domain: Domain::Function, surface: f.into(), start: 0, len: 1 },
+            cat_slot,
+            Slot { domain: Domain::Event, surface: e.into(), start: for_pos + 1, len: 1 },
+        ];
+        let good = self.world.fn_event_ok(f, e)
+            && self.world.fn_cat_ok(f, cat)
+            && self.world.cat_event_ok(cat, e);
+        ConceptSpec {
+            tokens,
+            slots,
+            pattern: "fn_cat_for_event",
+            good,
+            defect: (!good).then_some(Defect::Implausible),
+        }
+    }
+
+    /// `[Style] [Time] [Category]` — "british-style winter trench coat".
+    fn style_time_cat(&mut self) -> ConceptSpec {
+        let s = self.pick(lexicon::STYLES);
+        let t = self.pick(&["winter", "summer", "spring", "autumn"]);
+        let cat = self.random_leaf();
+        let (cat_tokens, cat_slot) = self.cat_slot(cat, 2);
+        let mut tokens = vec![s.to_string(), t.to_string()];
+        tokens.extend(cat_tokens);
+        let slots = vec![
+            Slot { domain: Domain::Style, surface: s.into(), start: 0, len: 1 },
+            Slot { domain: Domain::Time, surface: t.into(), start: 1, len: 1 },
+            cat_slot,
+        ];
+        let good = self.world.cat_styled(cat) && self.world.cat_time_ok(cat, t);
+        ConceptSpec {
+            tokens,
+            slots,
+            pattern: "style_time_cat",
+            good,
+            defect: (!good).then_some(Defect::Implausible),
+        }
+    }
+
+    /// `[Location] [Event]` — "outdoor barbecue".
+    fn loc_event(&mut self) -> ConceptSpec {
+        let l = self.pick(lexicon::LOCATIONS);
+        let e = self.pick(lexicon::EVENTS);
+        let tokens = vec![l.to_string(), e.to_string()];
+        let slots = vec![
+            Slot { domain: Domain::Location, surface: l.into(), start: 0, len: 1 },
+            Slot { domain: Domain::Event, surface: e.into(), start: 1, len: 1 },
+        ];
+        let good = self.world.event_loc_ok(e, l);
+        ConceptSpec {
+            tokens,
+            slots,
+            pattern: "loc_event",
+            good,
+            defect: (!good).then_some(Defect::Implausible),
+        }
+    }
+
+    /// `[Event] in [Location]` — "traveling in european".
+    fn event_in_loc(&mut self) -> ConceptSpec {
+        let e = self.pick(lexicon::EVENTS);
+        let l = self.pick(lexicon::LOCATIONS);
+        let tokens = vec![e.to_string(), "in".into(), l.to_string()];
+        let slots = vec![
+            Slot { domain: Domain::Event, surface: e.into(), start: 0, len: 1 },
+            Slot { domain: Domain::Location, surface: l.into(), start: 2, len: 1 },
+        ];
+        let good = self.world.event_loc_ok(e, l);
+        ConceptSpec {
+            tokens,
+            slots,
+            pattern: "event_in_loc",
+            good,
+            defect: (!good).then_some(Defect::Implausible),
+        }
+    }
+
+    /// `[Function] for [Audience]` — "health-care for elders".
+    fn fn_aud(&mut self) -> ConceptSpec {
+        let f = self.pick(lexicon::FUNCTIONS);
+        let a = self.pick(lexicon::AUDIENCES);
+        let tokens = vec![f.to_string(), "for".into(), a.to_string()];
+        let slots = vec![
+            Slot { domain: Domain::Function, surface: f.into(), start: 0, len: 1 },
+            Slot { domain: Domain::Audience, surface: a.into(), start: 2, len: 1 },
+        ];
+        let good = self.world.fn_aud_ok(f, a);
+        ConceptSpec {
+            tokens,
+            slots,
+            pattern: "fn_for_aud",
+            good,
+            defect: (!good).then_some(Defect::Implausible),
+        }
+    }
+
+    /// `[Time] gifts for [Audience]` — "christmas gifts for grandpa".
+    fn time_gifts_aud(&mut self) -> ConceptSpec {
+        let t = self.pick(lexicon::TIMES);
+        let a = self.pick(lexicon::AUDIENCES);
+        let tokens = vec![t.to_string(), "gifts".into(), "for".into(), a.to_string()];
+        let slots = vec![
+            Slot { domain: Domain::Time, surface: t.into(), start: 0, len: 1 },
+            Slot { domain: Domain::Audience, surface: a.into(), start: 3, len: 1 },
+        ];
+        let good = GIFT_OCCASIONS.contains(&t) && !self.world.gift_needs(a).is_empty();
+        ConceptSpec {
+            tokens,
+            slots,
+            pattern: "time_gifts_for_aud",
+            good,
+            defect: (!good).then_some(Defect::Implausible),
+        }
+    }
+
+    /// `[Color] [Material] [Category]` — "red cotton skirt".
+    fn color_mat_cat(&mut self) -> ConceptSpec {
+        let c = self.pick(lexicon::COLORS);
+        let m = self.pick(lexicon::MATERIALS);
+        let cat = self.random_leaf();
+        let (cat_tokens, cat_slot) = self.cat_slot(cat, 2);
+        let mut tokens = vec![c.to_string(), m.to_string()];
+        tokens.extend(cat_tokens);
+        let slots = vec![
+            Slot { domain: Domain::Color, surface: c.into(), start: 0, len: 1 },
+            Slot { domain: Domain::Material, surface: m.into(), start: 1, len: 1 },
+            cat_slot,
+        ];
+        let good = self.world.cat_colored(cat) && self.world.material_cat_ok(m, cat);
+        ConceptSpec {
+            tokens,
+            slots,
+            pattern: "color_mat_cat",
+            good,
+            defect: (!good).then_some(Defect::Implausible),
+        }
+    }
+
+    /// `[Style] [Category]` — "village skirt" (ambiguous surface on purpose).
+    fn style_cat(&mut self) -> ConceptSpec {
+        let s = self.pick(lexicon::STYLES);
+        let cat = self.random_leaf();
+        let (cat_tokens, cat_slot) = self.cat_slot(cat, 1);
+        let mut tokens = vec![s.to_string()];
+        tokens.extend(cat_tokens);
+        let slots =
+            vec![Slot { domain: Domain::Style, surface: s.into(), start: 0, len: 1 }, cat_slot];
+        let good = self.world.cat_styled(cat);
+        ConceptSpec {
+            tokens,
+            slots,
+            pattern: "style_cat",
+            good,
+            defect: (!good).then_some(Defect::Implausible),
+        }
+    }
+
+    /// `[Time] [Event]` — "winter skiing".
+    fn time_event(&mut self) -> ConceptSpec {
+        let t = self.pick(lexicon::TIMES);
+        let e = self.pick(lexicon::EVENTS);
+        let tokens = vec![t.to_string(), e.to_string()];
+        let slots = vec![
+            Slot { domain: Domain::Time, surface: t.into(), start: 0, len: 1 },
+            Slot { domain: Domain::Event, surface: e.into(), start: 1, len: 1 },
+        ];
+        let good = self.world.event_time_ok(e, t);
+        ConceptSpec {
+            tokens,
+            slots,
+            pattern: "time_event",
+            good,
+            defect: (!good).then_some(Defect::Implausible),
+        }
+    }
+
+    /// Scramble a good concept into an incoherent negative.
+    fn scramble(&mut self, spec: &ConceptSpec) -> Option<ConceptSpec> {
+        if spec.tokens.len() < 3 {
+            return None;
+        }
+        let mut tokens = spec.tokens.clone();
+        for _ in 0..10 {
+            tokens.shuffle(&mut self.rng);
+            if tokens != spec.tokens {
+                // Slots no longer hold; an incoherent candidate has none.
+                return Some(ConceptSpec {
+                    tokens,
+                    slots: Vec::new(),
+                    pattern: spec.pattern,
+                    good: false,
+                    defect: Some(Defect::Incoherent),
+                });
+            }
+        }
+        None
+    }
+
+    /// A fluent but unshoppable phrase ("blue sky").
+    fn nonsense(&mut self) -> ConceptSpec {
+        let n = 2 + self.rng.gen_range(0..2);
+        let mut tokens: Vec<String> = Vec::with_capacity(n);
+        if self.rng.gen_bool(0.4) {
+            // Mix in one real primitive ("blue" in "blue sky").
+            tokens.push(self.pick(lexicon::COLORS).to_string());
+        }
+        while tokens.len() < n {
+            tokens.push(self.pick(FILLER).to_string());
+        }
+        ConceptSpec {
+            tokens,
+            slots: Vec::new(),
+            pattern: "nonsense",
+            good: false,
+            defect: Some(Defect::NoMeaning),
+        }
+    }
+}
+
+/// Generate `num_good` good and `num_bad` bad concept candidates
+/// (deduplicated by surface text; deterministic per `rng`).
+pub fn generate_concepts<R: Rng>(
+    world: &World,
+    num_good: usize,
+    num_bad: usize,
+    rng: &mut R,
+) -> Vec<ConceptSpec> {
+    let mut b = Builder { world, rng };
+    let mut good: Vec<ConceptSpec> = Vec::with_capacity(num_good);
+    let mut bad: Vec<ConceptSpec> = Vec::with_capacity(num_bad);
+    let mut seen = alicoco_nn::util::FxHashSet::default();
+    let mut guard = 0usize;
+    let max_iters = (num_good + num_bad) * 200;
+    while (good.len() < num_good || bad.len() < num_bad) && guard < max_iters {
+        guard += 1;
+        let spec = match b.rng.gen_range(0..12u32) {
+            0 | 1 => b.fn_cat_event(),
+            2 => b.style_time_cat(),
+            3 | 4 => b.loc_event(),
+            5 => b.event_in_loc(),
+            6 => b.fn_aud(),
+            7 => b.time_gifts_aud(),
+            8 => b.color_mat_cat(),
+            9 => b.style_cat(),
+            10 => b.time_event(),
+            _ => b.nonsense(),
+        };
+        if spec.good {
+            if good.len() < num_good && seen.insert(spec.text()) {
+                // Also derive an incoherent negative from some good ones.
+                if bad.len() < num_bad && b.rng.gen_bool(0.2) {
+                    if let Some(scr) = b.scramble(&spec) {
+                        if seen.insert(scr.text()) {
+                            bad.push(scr);
+                        }
+                    }
+                }
+                good.push(spec);
+            }
+        } else if bad.len() < num_bad && seen.insert(spec.text()) {
+            bad.push(spec);
+        }
+    }
+    let mut all = good;
+    all.extend(bad);
+    all
+}
+
+/// Parse an arbitrary token sequence into `(pattern, slots)` if it matches
+/// one of the known concept templates. This is how the labeling oracle
+/// judges candidates produced by the mining pipeline (which are plain
+/// strings, not [`ConceptSpec`]s).
+pub fn parse_candidate(world: &World, tokens: &[String]) -> Option<(&'static str, Vec<Slot>)> {
+    let dom = |t: &str| world.lexicon.domains_of(t);
+    let has = |t: &str, d: Domain| dom(t).contains(&d);
+    // Try to read a category (1–2 tokens) ending at the final token.
+    let cat_at = |start: usize, tokens: &[String]| -> Option<Slot> {
+        if start >= tokens.len() {
+            return None;
+        }
+        let joined = tokens[start..].join(" ");
+        if world.category(&joined).is_some() {
+            return Some(Slot {
+                domain: Domain::Category,
+                surface: joined,
+                start,
+                len: tokens.len() - start,
+            });
+        }
+        None
+    };
+    let one = |i: usize, d: Domain, tokens: &[String]| -> Slot {
+        Slot { domain: d, surface: tokens[i].clone(), start: i, len: 1 }
+    };
+    let n = tokens.len();
+    // [Time] gifts for [Audience]
+    if n == 4 && tokens[1] == "gifts" && tokens[2] == "for" && has(&tokens[0], Domain::Time) && has(&tokens[3], Domain::Audience) {
+        return Some(("time_gifts_for_aud", vec![one(0, Domain::Time, tokens), one(3, Domain::Audience, tokens)]));
+    }
+    // [Function] for [Audience]
+    if n == 3 && tokens[1] == "for" && has(&tokens[0], Domain::Function) && has(&tokens[2], Domain::Audience) {
+        return Some(("fn_for_aud", vec![one(0, Domain::Function, tokens), one(2, Domain::Audience, tokens)]));
+    }
+    // [Event] in [Location]
+    if n == 3 && tokens[1] == "in" && has(&tokens[0], Domain::Event) && has(&tokens[2], Domain::Location) {
+        return Some(("event_in_loc", vec![one(0, Domain::Event, tokens), one(2, Domain::Location, tokens)]));
+    }
+    // [Function] [Category] for [Event]
+    if n >= 4 && has(&tokens[0], Domain::Function) && has(&tokens[n - 1], Domain::Event) && tokens[n - 2] == "for" {
+        if let Some(cat) = cat_at(1, &tokens[..n - 2]) {
+            return Some((
+                "fn_cat_for_event",
+                vec![one(0, Domain::Function, tokens), cat, one(n - 1, Domain::Event, tokens)],
+            ));
+        }
+    }
+    // [Location] [Event]
+    if n == 2 && has(&tokens[0], Domain::Location) && has(&tokens[1], Domain::Event) {
+        return Some(("loc_event", vec![one(0, Domain::Location, tokens), one(1, Domain::Event, tokens)]));
+    }
+    // [Time] [Event]
+    if n == 2 && has(&tokens[0], Domain::Time) && has(&tokens[1], Domain::Event) {
+        return Some(("time_event", vec![one(0, Domain::Time, tokens), one(1, Domain::Event, tokens)]));
+    }
+    // [Style] [Time] [Category]
+    if n >= 3 && has(&tokens[0], Domain::Style) && has(&tokens[1], Domain::Time) {
+        if let Some(cat) = cat_at(2, tokens) {
+            return Some((
+                "style_time_cat",
+                vec![one(0, Domain::Style, tokens), one(1, Domain::Time, tokens), cat],
+            ));
+        }
+    }
+    // [Color] [Material] [Category]
+    if n >= 3 && has(&tokens[0], Domain::Color) && has(&tokens[1], Domain::Material) {
+        if let Some(cat) = cat_at(2, tokens) {
+            return Some((
+                "color_mat_cat",
+                vec![one(0, Domain::Color, tokens), one(1, Domain::Material, tokens), cat],
+            ));
+        }
+    }
+    // [Function] [Category]
+    if n >= 2 && has(&tokens[0], Domain::Function) {
+        if let Some(cat) = cat_at(1, tokens) {
+            return Some(("fn_cat", vec![one(0, Domain::Function, tokens), cat]));
+        }
+    }
+    // [Style] [Category]
+    if n >= 2 && has(&tokens[0], Domain::Style) {
+        if let Some(cat) = cat_at(1, tokens) {
+            return Some(("style_cat", vec![one(0, Domain::Style, tokens), cat]));
+        }
+    }
+    // [Material] [Category]
+    if n >= 2 && has(&tokens[0], Domain::Material) {
+        if let Some(cat) = cat_at(1, tokens) {
+            return Some(("mat_cat", vec![one(0, Domain::Material, tokens), cat]));
+        }
+    }
+    // [Color] [Category]
+    if n >= 2 && has(&tokens[0], Domain::Color) {
+        if let Some(cat) = cat_at(1, tokens) {
+            return Some(("color_cat", vec![one(0, Domain::Color, tokens), cat]));
+        }
+    }
+    None
+}
+
+/// Judge an arbitrary candidate token sequence against the ground truth:
+/// it is a good e-commerce concept iff it parses into a known template *and*
+/// the slot combination is plausible. This mirrors the per-pattern
+/// conditions used during generation (a test asserts the two agree).
+pub fn judge_tokens(world: &World, tokens: &[String]) -> bool {
+    let Some((pattern, slots)) = parse_candidate(world, tokens) else {
+        return false;
+    };
+    let get = |d: Domain| slots.iter().find(|s| s.domain == d);
+    let cat_id = get(Domain::Category).and_then(|s| world.category(&s.surface));
+    match pattern {
+        "time_gifts_for_aud" => {
+            let t = &get(Domain::Time).expect("time slot").surface;
+            let a = &get(Domain::Audience).expect("aud slot").surface;
+            GIFT_OCCASIONS.contains(&t.as_str()) && !world.gift_needs(a).is_empty()
+        }
+        "fn_for_aud" => {
+            world.fn_aud_ok(&get(Domain::Function).expect("fn").surface, &get(Domain::Audience).expect("aud").surface)
+        }
+        "event_in_loc" | "loc_event" => world.event_loc_ok(
+            &get(Domain::Event).expect("event").surface,
+            &get(Domain::Location).expect("loc").surface,
+        ),
+        "time_event" => world.event_time_ok(
+            &get(Domain::Event).expect("event").surface,
+            &get(Domain::Time).expect("time").surface,
+        ),
+        "fn_cat_for_event" => {
+            let f = &get(Domain::Function).expect("fn").surface;
+            let e = &get(Domain::Event).expect("event").surface;
+            let cat = cat_id.expect("category resolves");
+            world.fn_event_ok(f, e) && world.fn_cat_ok(f, cat) && world.cat_event_ok(cat, e)
+        }
+        "style_time_cat" => {
+            let cat = cat_id.expect("category resolves");
+            world.cat_styled(cat) && world.cat_time_ok(cat, &get(Domain::Time).expect("time").surface)
+        }
+        "color_mat_cat" => {
+            let cat = cat_id.expect("category resolves");
+            world.cat_colored(cat) && world.material_cat_ok(&get(Domain::Material).expect("mat").surface, cat)
+        }
+        "fn_cat" => {
+            let cat = cat_id.expect("category resolves");
+            world.fn_cat_ok(&get(Domain::Function).expect("fn").surface, cat)
+        }
+        "style_cat" => world.cat_styled(cat_id.expect("category resolves")),
+        "mat_cat" => {
+            let cat = cat_id.expect("category resolves");
+            world.material_cat_ok(&get(Domain::Material).expect("mat").surface, cat)
+        }
+        "color_cat" => world.cat_colored(cat_id.expect("category resolves")),
+        _ => false,
+    }
+}
+
+/// Ground-truth relevance between an e-commerce concept and an item — the
+/// relation the semantic-matching model (§6) must learn.
+pub fn concept_relevant_item(world: &World, concept: &ConceptSpec, item: &ItemSpec) -> bool {
+    if !concept.good {
+        return false;
+    }
+    // Category constraint.
+    let cat_ok = if let Some(cs) = concept.slot(Domain::Category) {
+        world
+            .category(&cs.surface)
+            .is_some_and(|cat| item.in_category(world, cat))
+    } else if let Some(es) = concept.slot(Domain::Event) {
+        world.event_needs(&es.surface, item.category)
+    } else if concept.pattern == "time_gifts_for_aud" {
+        let aud = concept.slot(Domain::Audience).expect("gift pattern has audience");
+        world.gift_needs(&aud.surface).iter().any(|&c| item.in_category(world, c))
+    } else if let Some(fs) = concept.slot(Domain::Function) {
+        // Pure function concepts ("health-care for elders"): any item with
+        // the function.
+        return item.functions.iter().any(|f| f == &fs.surface)
+            && concept.slot(Domain::Audience).is_none_or(|a| {
+                item.audience.as_deref().is_none_or(|ia| ia == a.surface)
+            });
+    } else {
+        return false;
+    };
+    if !cat_ok {
+        return false;
+    }
+    // Attribute constraints.
+    if let Some(f) = concept.slot(Domain::Function) {
+        if !item.functions.iter().any(|x| x == &f.surface) {
+            return false;
+        }
+    }
+    if let Some(c) = concept.slot(Domain::Color) {
+        if item.color.as_deref() != Some(c.surface.as_str()) {
+            return false;
+        }
+    }
+    if let Some(m) = concept.slot(Domain::Material) {
+        if item.material.as_deref() != Some(m.surface.as_str()) {
+            return false;
+        }
+    }
+    if let Some(s) = concept.slot(Domain::Style) {
+        if item.style.as_deref() != Some(s.surface.as_str()) {
+            return false;
+        }
+    }
+    if concept.pattern != "time_gifts_for_aud" {
+        if let Some(a) = concept.slot(Domain::Audience) {
+            if item.audience.as_deref().is_some_and(|ia| ia != a.surface) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::generate_items;
+    use crate::world::WorldConfig;
+    use alicoco_nn::util::seeded_rng;
+
+    fn setup() -> (World, Vec<ConceptSpec>) {
+        let w = World::generate(WorldConfig::tiny());
+        let mut rng = seeded_rng(11);
+        let concepts = generate_concepts(&w, 100, 100, &mut rng);
+        (w, concepts)
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let (_, concepts) = setup();
+        let good = concepts.iter().filter(|c| c.good).count();
+        let bad = concepts.len() - good;
+        assert_eq!(good, 100);
+        assert_eq!(bad, 100);
+    }
+
+    #[test]
+    fn surfaces_are_unique() {
+        let (_, concepts) = setup();
+        let mut texts: Vec<String> = concepts.iter().map(|c| c.text()).collect();
+        texts.sort();
+        let before = texts.len();
+        texts.dedup();
+        assert_eq!(before, texts.len());
+    }
+
+    #[test]
+    fn all_defect_kinds_are_produced() {
+        let w = World::generate(WorldConfig::tiny());
+        let mut rng = seeded_rng(12);
+        let concepts = generate_concepts(&w, 200, 200, &mut rng);
+        let has = |d: Defect| concepts.iter().any(|c| c.defect == Some(d));
+        assert!(has(Defect::Implausible));
+        assert!(has(Defect::Incoherent));
+        assert!(has(Defect::NoMeaning));
+    }
+
+    #[test]
+    fn slots_align_with_tokens() {
+        let (_, concepts) = setup();
+        for c in &concepts {
+            for s in &c.slots {
+                assert!(s.start + s.len <= c.tokens.len(), "slot out of range in {:?}", c.text());
+                let joined = c.tokens[s.start..s.start + s.len].join(" ");
+                assert_eq!(joined, s.surface, "slot mismatch in {:?}", c.text());
+            }
+        }
+    }
+
+    #[test]
+    fn good_concepts_satisfy_compat() {
+        let (w, concepts) = setup();
+        for c in concepts.iter().filter(|c| c.good) {
+            if c.pattern == "loc_event" || c.pattern == "event_in_loc" {
+                let e = c.slot(Domain::Event).unwrap();
+                let l = c.slot(Domain::Location).unwrap();
+                assert!(w.event_loc_ok(&e.surface, &l.surface), "bad good concept {}", c.text());
+            }
+        }
+    }
+
+    #[test]
+    fn relevance_respects_semantic_drift() {
+        // "outdoor barbecue" must match charcoal items but not, say, lipstick.
+        let w = World::generate(WorldConfig::tiny());
+        let concept = ConceptSpec {
+            tokens: vec!["outdoor".into(), "barbecue".into()],
+            slots: vec![
+                Slot { domain: Domain::Location, surface: "outdoor".into(), start: 0, len: 1 },
+                Slot { domain: Domain::Event, surface: "barbecue".into(), start: 1, len: 1 },
+            ],
+            pattern: "loc_event",
+            good: true,
+            defect: None,
+        };
+        let items = generate_items(&w, 500, &mut seeded_rng(5));
+        let charcoal = w.category("charcoal").unwrap();
+        let lipstick = w.category("lipstick").unwrap();
+        let mut saw_charcoal = false;
+        for it in &items {
+            let rel = concept_relevant_item(&w, &concept, it);
+            // Compound expansion may have made "charcoal" an internal node;
+            // items sit on its compound children.
+            if it.in_category(&w, charcoal) {
+                assert!(rel, "charcoal item must be relevant to outdoor barbecue");
+                saw_charcoal = true;
+            }
+            if it.in_category(&w, lipstick) {
+                assert!(!rel, "lipstick is not barbecue gear");
+            }
+        }
+        assert!(saw_charcoal, "no charcoal item generated");
+    }
+
+    #[test]
+    fn bad_concepts_match_nothing() {
+        let (w, concepts) = setup();
+        let items = generate_items(&w, 100, &mut seeded_rng(6));
+        for c in concepts.iter().filter(|c| !c.good) {
+            for it in &items {
+                assert!(!concept_relevant_item(&w, c, it));
+            }
+        }
+    }
+
+    #[test]
+    fn function_slot_filters_items() {
+        let w = World::generate(WorldConfig::tiny());
+        let hat = w.category("hat").unwrap();
+        let concept = ConceptSpec {
+            tokens: vec!["warm".into(), "hat".into(), "for".into(), "traveling".into()],
+            slots: vec![
+                Slot { domain: Domain::Function, surface: "warm".into(), start: 0, len: 1 },
+                Slot { domain: Domain::Category, surface: "hat".into(), start: 1, len: 1 },
+                Slot { domain: Domain::Event, surface: "traveling".into(), start: 3, len: 1 },
+            ],
+            pattern: "fn_cat_for_event",
+            good: true,
+            defect: None,
+        };
+        let items = generate_items(&w, 800, &mut seeded_rng(7));
+        for it in &items {
+            let rel = concept_relevant_item(&w, &concept, it);
+            if rel {
+                assert!(it.in_category(&w, hat));
+                assert!(it.functions.iter().any(|f| f == "warm"));
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Text corpora of the synthetic world: search queries, item titles,
+//! user-written reviews and shopping guides (§4.1, §5.2.1).
+//!
+//! Reviews tie categories to the events/locations they serve (feeding
+//! word2vec and projection learning); guides carry Hearst patterns and
+//! event-needs sentences (feeding pattern-based hypernym discovery and
+//! concept–item evidence).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::concepts::ConceptSpec;
+use crate::items::ItemSpec;
+use crate::world::World;
+
+/// The four corpora, each a list of token sequences.
+#[derive(Clone, Debug, Default)]
+pub struct Corpora {
+    /// Queries.
+    pub queries: Vec<Vec<String>>,
+    /// Titles.
+    pub titles: Vec<Vec<String>>,
+    /// Reviews.
+    pub reviews: Vec<Vec<String>>,
+    /// Guides.
+    pub guides: Vec<Vec<String>>,
+}
+
+impl Corpora {
+    /// Iterate every sentence across the four corpora.
+    pub fn all_sentences(&self) -> impl Iterator<Item = &Vec<String>> {
+        self.queries
+            .iter()
+            .chain(self.titles.iter())
+            .chain(self.reviews.iter())
+            .chain(self.guides.iter())
+    }
+
+    /// Total sentences.
+    pub fn total_sentences(&self) -> usize {
+        self.queries.len() + self.titles.len() + self.reviews.len() + self.guides.len()
+    }
+}
+
+/// In guide prose, multi-token names are hyphen-joined so pattern matchers
+/// treat them as units (the analogue of Chinese words being atomic).
+fn guide_token(name: &str) -> String {
+    name.replace(' ', "-")
+}
+
+/// Generate all four corpora.
+pub fn generate_corpora<R: Rng>(
+    world: &World,
+    items: &[ItemSpec],
+    concepts: &[ConceptSpec],
+    rng: &mut R,
+) -> Corpora {
+    let cfg = &world.config;
+    let mut c = Corpora {
+        titles: items.iter().map(|it| it.title.clone()).collect(),
+        ..Default::default()
+    };
+    let good: Vec<&ConceptSpec> = concepts.iter().filter(|x| x.good).collect();
+
+    // ---- queries --------------------------------------------------------
+    let leaves = world.tree.leaves();
+    for _ in 0..cfg.num_queries {
+        let q: Vec<String> = match rng.gen_range(0..8u32) {
+            0 => {
+                let cat = leaves[rng.gen_range(0..leaves.len())];
+                world.tree.name(cat).split(' ').map(String::from).collect()
+            }
+            1 => {
+                let cat = leaves[rng.gen_range(0..leaves.len())];
+                let color = crate::lexicon::COLORS[rng.gen_range(0..crate::lexicon::COLORS.len())];
+                std::iter::once(color.to_string())
+                    .chain(world.tree.name(cat).split(' ').map(String::from))
+                    .collect()
+            }
+            2 => {
+                let cat = leaves[rng.gen_range(0..leaves.len())];
+                let funcs = world.cat_functions(cat);
+                let f = if funcs.is_empty() { "new" } else { funcs[rng.gen_range(0..funcs.len())] };
+                std::iter::once(f.to_string())
+                    .chain(world.tree.name(cat).split(' ').map(String::from))
+                    .collect()
+            }
+            3 => {
+                let cat = leaves[rng.gen_range(0..leaves.len())];
+                let a = crate::lexicon::AUDIENCES[rng.gen_range(0..crate::lexicon::AUDIENCES.len())];
+                world
+                    .tree
+                    .name(cat)
+                    .split(' ')
+                    .map(String::from)
+                    .chain(["for".to_string(), a.to_string()])
+                    .collect()
+            }
+            4 => {
+                let e = &world.events()[rng.gen_range(0..world.events().len())];
+                vec![e.event.to_string()]
+            }
+            5 => {
+                let e = &world.events()[rng.gen_range(0..world.events().len())];
+                let l = e.locations[rng.gen_range(0..e.locations.len())];
+                vec![l.to_string(), e.event.to_string()]
+            }
+            6 => {
+                let brands = world.lexicon.terms(crate::domain::Domain::Brand);
+                let cat = leaves[rng.gen_range(0..leaves.len())];
+                std::iter::once(brands[rng.gen_range(0..brands.len())].clone())
+                    .chain(world.tree.name(cat).split(' ').map(String::from))
+                    .collect()
+            }
+            _ => {
+                if good.is_empty() {
+                    vec!["sale".to_string()]
+                } else {
+                    good[rng.gen_range(0..good.len())].tokens.clone()
+                }
+            }
+        };
+        // New-trend noise (§7.1: the paper re-measures coverage daily to
+        // catch new trends): a fraction of queries carry a token the
+        // ontology has never seen.
+        let mut q = q;
+        if rng.gen_bool(0.12) {
+            q.push(format!("trend-{}", rng.gen_range(0..500u32)));
+        }
+        c.queries.push(q);
+    }
+
+    // ---- reviews ---------------------------------------------------------
+    for _ in 0..cfg.num_reviews {
+        let it = &items[rng.gen_range(0..items.len())];
+        let cat_tokens: Vec<String> = world.tree.name(it.category).split(' ').map(String::from).collect();
+        // Pick an event this item serves, if any.
+        let serving: Vec<&crate::world::EventProfile> = world
+            .events()
+            .iter()
+            .filter(|e| world.event_needs(e.event, it.category) || world.cat_event_ok(it.category, e.event))
+            .collect();
+        let mut sent: Vec<String> = Vec::with_capacity(16);
+        match rng.gen_range(0..3u32) {
+            0 if !serving.is_empty() => {
+                let e = serving[rng.gen_range(0..serving.len())];
+                let l = e.locations[rng.gen_range(0..e.locations.len())];
+                sent.push("these".into());
+                sent.extend(cat_tokens.clone());
+                if let Some(f) = it.functions.first() {
+                    sent.push("are".into());
+                    sent.push(f.clone());
+                    sent.push("and".into());
+                }
+                sent.extend(["great".into(), "for".into(), e.event.to_string(), "in".into(), "the".into(), l.to_string()]);
+            }
+            1 if !serving.is_empty() => {
+                let e = serving[rng.gen_range(0..serving.len())];
+                sent.extend(["i".into(), "bought".into(), "this".into()]);
+                if let Some(col) = &it.color {
+                    sent.push(col.clone());
+                }
+                sent.extend(cat_tokens.clone());
+                sent.extend(["for".into(), e.event.to_string()]);
+                if let Some(f) = it.functions.first() {
+                    sent.extend(["it".into(), "is".into(), f.clone()]);
+                }
+            }
+            _ => {
+                sent.push("the".into());
+                if let Some(m) = &it.material {
+                    sent.push(m.clone());
+                }
+                sent.extend(cat_tokens.clone());
+                sent.extend(["from".into(), it.brand.clone(), "feels".into(), "premium".into()]);
+            }
+        }
+        c.reviews.push(sent);
+    }
+
+    // ---- guides ----------------------------------------------------------
+    let edges = world.tree.is_a_edges();
+    for _ in 0..cfg.num_guides {
+        let sent: Vec<String> = match rng.gen_range(0..5u32) {
+            0 => {
+                // "<parent> such as <c1> and <c2>"
+                let &(child, parent) = &edges[rng.gen_range(0..edges.len())];
+                let siblings = &world.tree.node(parent).children;
+                let other = siblings[rng.gen_range(0..siblings.len())];
+                let mut s = vec![guide_token(world.tree.name(parent)), "such".into(), "as".into(), guide_token(world.tree.name(child))];
+                if other != child {
+                    s.push("and".into());
+                    s.push(guide_token(world.tree.name(other)));
+                }
+                s
+            }
+            1 => {
+                let &(child, parent) = &edges[rng.gen_range(0..edges.len())];
+                vec![
+                    guide_token(world.tree.name(child)),
+                    "is".into(),
+                    "a".into(),
+                    "kind".into(),
+                    "of".into(),
+                    guide_token(world.tree.name(parent)),
+                ]
+            }
+            2 => {
+                let &(child, parent) = &edges[rng.gen_range(0..edges.len())];
+                let mut s = vec!["buy".into(), guide_token(world.tree.name(child)), "and".into(), "other".into(), guide_token(world.tree.name(parent))];
+                if rng.gen_bool(0.3) {
+                    s.push("today".into());
+                }
+                s
+            }
+            3 => {
+                // "for <event> you need <n1> , <n2> and <n3>"
+                let e = &world.events()[rng.gen_range(0..world.events().len())];
+                let mut needs: Vec<&str> = e.needs.to_vec();
+                needs.shuffle(rng);
+                let picks: Vec<String> = needs.iter().take(3).map(|n| guide_token(n)).collect();
+                let mut s = vec!["for".into(), e.event.to_string(), "you".into(), "need".into()];
+                for (i, p) in picks.iter().enumerate() {
+                    if i > 0 {
+                        s.push(if i + 1 == picks.len() { "and".into() } else { ",".into() });
+                    }
+                    s.push(p.clone());
+                }
+                s
+            }
+            _ => {
+                // Contextual prose mentioning a good concept and a need.
+                if good.is_empty() {
+                    vec!["shop".into(), "smart".into()]
+                } else {
+                    let g = good[rng.gen_range(0..good.len())];
+                    let mut s = vec!["our".into(), "guide".into(), "to".into()];
+                    s.extend(g.tokens.clone());
+                    s
+                }
+            }
+        };
+        c.guides.push(sent);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::generate_concepts;
+    use crate::items::generate_items;
+    use crate::world::WorldConfig;
+    use alicoco_nn::util::seeded_rng;
+
+    fn build() -> (World, Corpora) {
+        let w = World::generate(WorldConfig::tiny());
+        let mut rng = seeded_rng(3);
+        let items = generate_items(&w, 200, &mut rng);
+        let concepts = generate_concepts(&w, 60, 60, &mut rng);
+        let c = generate_corpora(&w, &items, &concepts, &mut rng);
+        (w, c)
+    }
+
+    #[test]
+    fn corpora_have_configured_sizes() {
+        let (w, c) = build();
+        assert_eq!(c.queries.len(), w.config.num_queries);
+        assert_eq!(c.reviews.len(), w.config.num_reviews);
+        assert_eq!(c.guides.len(), w.config.num_guides);
+        assert_eq!(c.titles.len(), 200);
+        assert_eq!(c.total_sentences(), c.all_sentences().count());
+    }
+
+    #[test]
+    fn guides_contain_hearst_patterns() {
+        let (_, c) = build();
+        let refs: Vec<&[String]> = c.guides.iter().map(|s| s.as_slice()).collect();
+        let pairs = alicoco_text::hearst::extract_from_corpus(refs.iter().copied());
+        assert!(pairs.len() > 20, "only {} hearst pairs extracted", pairs.len());
+    }
+
+    #[test]
+    fn hearst_pairs_are_mostly_true_edges() {
+        let (w, c) = build();
+        let refs: Vec<&[String]> = c.guides.iter().map(|s| s.as_slice()).collect();
+        let pairs = alicoco_text::hearst::extract_from_corpus(refs.iter().copied());
+        let resolve = |name: &str| {
+            w.category(name).or_else(|| w.category(&name.replace('-', " ")))
+        };
+        let mut checked = 0;
+        let mut correct = 0;
+        for p in &pairs {
+            if let (Some(c), Some(h)) = (resolve(&p.hyponym), resolve(&p.hypernym)) {
+                checked += 1;
+                if w.tree.is_ancestor(h, c) {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(checked > 10);
+        assert!(
+            correct as f64 / checked as f64 > 0.9,
+            "hearst precision too low: {correct}/{checked}"
+        );
+    }
+
+    #[test]
+    fn reviews_mention_events_for_needed_items() {
+        let (_, c) = build();
+        let mentions_barbecue =
+            c.reviews.iter().filter(|s| s.iter().any(|t| t == "barbecue")).count();
+        assert!(mentions_barbecue > 0, "no review ever mentions barbecue");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, a) = build();
+        let (_, b) = build();
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.guides, b.guides);
+    }
+}

@@ -1,0 +1,262 @@
+//! Synthetic gloss knowledge base — the stand-in for Wikipedia.
+//!
+//! The paper links concept words to Wikipedia and encodes each article's
+//! gloss with Doc2vec (§5.2.2). Our glosses are short bags of related words
+//! derived from the compatibility ground truth, e.g. the gloss of
+//! "mid-autumn-festival" mentions "moon cake" — exactly the relatedness that
+//! lets knowledge bridge the concept–item gap in Table 6's case study.
+
+use alicoco_nn::util::FxHashMap;
+
+use crate::domain::Domain;
+use crate::world::{World, GIFT_NEEDS, GIFT_OCCASIONS};
+
+/// Gloss documents keyed by surface form.
+#[derive(Clone, Debug, Default)]
+pub struct GlossKb {
+    glosses: FxHashMap<String, Vec<String>>,
+}
+
+impl GlossKb {
+    /// Build glosses for every category node, lexicon term and event.
+    pub fn build(world: &World) -> Self {
+        let mut kb = GlossKb::default();
+        let tree = &world.tree;
+
+        // Category nodes.
+        for id in tree.ids() {
+            let name = tree.name(id);
+            let mut g: Vec<String> = name.split(' ').map(String::from).collect();
+            if let Some(parent) = tree.node(id).parent {
+                g.push("a".into());
+                g.push("kind".into());
+                g.push("of".into());
+                g.extend(tree.name(parent).split(' ').map(String::from));
+            }
+            g.push("product".into());
+            if let Some(branch) = tree.top_branch(id) {
+                g.push(tree.name(branch).to_string());
+            }
+            for f in world.cat_functions(id).iter().take(3) {
+                g.push(f.to_string());
+            }
+            // Events that need this category (ties "moon cake" to
+            // "mid-autumn-festival" via the gift table below, and "charcoal"
+            // to "barbecue" here).
+            for e in world.events() {
+                if world.event_needs(e.event, id) {
+                    g.push(e.event.to_string());
+                }
+            }
+            kb.glosses.insert(name.to_string(), g);
+        }
+
+        // Events.
+        for e in world.events() {
+            let mut g: Vec<String> = vec![e.event.to_string(), "event".into(), "activity".into()];
+            g.extend(e.locations.iter().map(|s| s.to_string()));
+            for n in e.needs {
+                g.extend(n.split(' ').map(String::from));
+            }
+            g.extend(e.functions.iter().map(|s| s.to_string()));
+            kb.glosses.insert(e.event.to_string(), g);
+        }
+
+        // Functions: which branches/leaves they fit.
+        for f in crate::lexicon::FUNCTIONS {
+            let mut g: Vec<String> = vec![f.to_string(), "function".into(), "feature".into()];
+            let mut added = 0;
+            for id in tree.leaves() {
+                if world.fn_cat_ok(f, id) {
+                    g.extend(tree.name(id).split(' ').map(String::from));
+                    added += 1;
+                    if added >= 5 {
+                        break;
+                    }
+                }
+            }
+            for e in world.events() {
+                if e.functions.contains(f) {
+                    g.push(e.event.to_string());
+                }
+            }
+            // Audiences this function serves ("health-care" mentions elders).
+            for (func, auds) in crate::world::FUNCTION_AUDIENCES {
+                if func == f {
+                    g.extend(auds.iter().map(|a| a.to_string()));
+                }
+            }
+            kb.glosses.insert(f.to_string(), g);
+        }
+
+        // Times: seasons and gift occasions.
+        for t in crate::lexicon::TIMES {
+            let mut g: Vec<String> = vec![t.to_string(), "time".into()];
+            if GIFT_OCCASIONS.contains(t) {
+                g.push("festival".into());
+                g.push("gifts".into());
+                // Traditional gift categories for this occasion.
+                for (occ, cats) in crate::world::OCCASION_GIFTS {
+                    if occ == t {
+                        for c in *cats {
+                            g.extend(c.split(' ').map(String::from));
+                        }
+                    }
+                }
+            } else {
+                g.push("season".into());
+            }
+            for e in world.events() {
+                if e.times.contains(t) {
+                    g.push(e.event.to_string());
+                }
+            }
+            kb.glosses.insert(t.to_string(), g);
+        }
+
+        // Locations.
+        for l in crate::lexicon::LOCATIONS {
+            let mut g: Vec<String> = vec![l.to_string(), "place".into(), "location".into()];
+            for e in world.events() {
+                if e.locations.contains(l) {
+                    g.push(e.event.to_string());
+                }
+            }
+            kb.extend_gloss(l, g);
+        }
+
+        // Audiences: who they are plus their gift needs.
+        for a in crate::lexicon::AUDIENCES {
+            let mut g: Vec<String> = vec![a.to_string(), "people".into(), "audience".into()];
+            for (aud, cats) in GIFT_NEEDS {
+                if aud == a {
+                    for c in *cats {
+                        g.extend(c.split(' ').map(String::from));
+                    }
+                }
+            }
+            // Functions that serve this audience.
+            for (func, auds) in crate::world::FUNCTION_AUDIENCES {
+                if auds.contains(a) {
+                    g.push(func.to_string());
+                }
+            }
+            kb.extend_gloss(a, g);
+        }
+
+        // Remaining attribute domains: a light gloss naming the domain.
+        let flat: &[(&[&str], &str)] = &[
+            (crate::lexicon::COLORS, "color"),
+            (crate::lexicon::MATERIALS, "material"),
+            (crate::lexicon::STYLES, "style"),
+            (crate::lexicon::DESIGNS, "design"),
+            (crate::lexicon::PATTERNS, "pattern"),
+            (crate::lexicon::SHAPES, "shape"),
+            (crate::lexicon::SMELLS, "smell"),
+            (crate::lexicon::TASTES, "taste"),
+            (crate::lexicon::NATURES, "nature"),
+            (crate::lexicon::QUANTITIES, "quantity"),
+            (crate::lexicon::MODIFIERS, "modifier"),
+        ];
+        for (terms, dom) in flat {
+            for t in *terms {
+                kb.extend_gloss(t, vec![t.to_string(), dom.to_string(), "attribute".into()]);
+            }
+        }
+        for b in world.lexicon.terms(Domain::Brand) {
+            kb.extend_gloss(b, vec![b.clone(), "brand".into(), "maker".into()]);
+        }
+        for i in world.lexicon.terms(Domain::Ip) {
+            kb.extend_gloss(i, vec![i.clone(), "series".into(), "entertainment".into()]);
+        }
+        for o in world.lexicon.terms(Domain::Organization) {
+            kb.extend_gloss(o, vec![o.clone(), "organization".into()]);
+        }
+        kb
+    }
+
+    /// Append tokens to a surface's gloss (creating it if missing). Surfaces
+    /// shared by several domains ("village") accumulate all senses, like a
+    /// disambiguation page.
+    fn extend_gloss(&mut self, surface: &str, tokens: Vec<String>) {
+        self.glosses.entry(surface.to_string()).or_default().extend(tokens);
+    }
+
+    /// Gloss of a surface form, if known.
+    pub fn gloss(&self, surface: &str) -> Option<&[String]> {
+        self.glosses.get(surface).map(Vec::as_slice)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.glosses.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.glosses.is_empty()
+    }
+
+    /// Iterate `(surface, gloss)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.glosses.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn kb() -> (World, GlossKb) {
+        let w = World::generate(WorldConfig::tiny());
+        let kb = GlossKb::build(&w);
+        (w, kb)
+    }
+
+    #[test]
+    fn covers_categories_and_lexicon() {
+        let (w, kb) = kb();
+        assert!(kb.gloss("grill").is_some());
+        assert!(kb.gloss("waterproof").is_some());
+        assert!(kb.gloss("barbecue").is_some());
+        assert!(kb.gloss(w.lexicon.terms(Domain::Brand)[0].as_str()).is_some());
+        assert!(kb.gloss("no-such-term").is_none());
+        assert!(kb.len() > 200);
+    }
+
+    #[test]
+    fn festival_gloss_mentions_gift_categories() {
+        // The Table 6 case study: knowledge for "mid-autumn-festival" must
+        // relate it to "moon cake".
+        let (_, kb) = kb();
+        let g = kb.gloss("mid-autumn-festival").unwrap();
+        assert!(g.iter().any(|t| t == "moon" || t == "cake"), "gloss: {g:?}");
+    }
+
+    #[test]
+    fn event_gloss_names_needed_gear() {
+        let (_, kb) = kb();
+        let g = kb.gloss("barbecue").unwrap();
+        assert!(g.iter().any(|t| t == "charcoal"), "gloss: {g:?}");
+        assert!(g.iter().any(|t| t == "grill"), "gloss: {g:?}");
+    }
+
+    #[test]
+    fn ambiguous_surface_merges_senses() {
+        let (_, kb) = kb();
+        let g = kb.gloss("village").unwrap();
+        assert!(g.iter().any(|t| t == "place"));
+        assert!(g.iter().any(|t| t == "style"));
+    }
+
+    #[test]
+    fn compound_categories_inherit_event_relations() {
+        let (w, kb) = kb();
+        let grill = w.category("grill").unwrap();
+        if let Some(&child) = w.tree.node(grill).children.first() {
+            let g = kb.gloss(w.tree.name(child)).unwrap();
+            assert!(g.iter().any(|t| t == "barbecue"), "compound grill gloss: {g:?}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Synthetic item generation.
+//!
+//! Items are the smallest selling units (§6). Each synthetic item has a
+//! category leaf plus CPV-style attributes drawn from the compatibility
+//! model, and a title assembled the way merchants write them: brand +
+//! attributes + category head, with occasional promotional noise.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::world::World;
+
+/// A generated item with its ground-truth attributes.
+#[derive(Clone, Debug)]
+pub struct ItemSpec {
+    /// Identifier.
+    pub id: usize,
+    /// Category node id (always a leaf).
+    pub category: usize,
+    /// Brand.
+    pub brand: String,
+    /// Color.
+    pub color: Option<String>,
+    /// Material.
+    pub material: Option<String>,
+    /// Functions.
+    pub functions: Vec<String>,
+    /// Style.
+    pub style: Option<String>,
+    /// Audience.
+    pub audience: Option<String>,
+    /// Title tokens as shown to models.
+    pub title: Vec<String>,
+}
+
+const PROMO_NOISE: &[&str] =
+    &["hot", "sale", "free-shipping", "2026", "official", "flagship", "authentic", "quality"];
+
+const STYLES_FOR_ITEMS: &[&str] =
+    &["casual", "british-style", "bohemian", "vintage", "minimalist", "sporty", "elegant", "street"];
+
+/// Generate `n` items against the world's compatibility model.
+pub fn generate_items<R: Rng>(world: &World, n: usize, rng: &mut R) -> Vec<ItemSpec> {
+    let leaves = world.tree.leaves();
+    let brands = world.lexicon.terms(crate::domain::Domain::Brand);
+    let colors = crate::lexicon::COLORS;
+    let audiences = crate::lexicon::AUDIENCES;
+    let mut items = Vec::with_capacity(n);
+    for id in 0..n {
+        let category = leaves[rng.gen_range(0..leaves.len())];
+        let brand = brands[rng.gen_range(0..brands.len())].clone();
+        let color = (world.cat_colored(category) && rng.gen_bool(0.8))
+            .then(|| colors[rng.gen_range(0..colors.len())].to_string());
+        let materials = world.cat_materials(category);
+        let material = (!materials.is_empty() && rng.gen_bool(0.6))
+            .then(|| materials[rng.gen_range(0..materials.len())].to_string());
+        let functions_pool = world.cat_functions(category);
+        let mut functions: Vec<String> = Vec::new();
+        if !functions_pool.is_empty() {
+            let k = match rng.gen_range(0..10) {
+                0..=3 => 0,
+                4..=7 => 1,
+                _ => 2usize.min(functions_pool.len()),
+            };
+            let mut pool: Vec<&str> = functions_pool.to_vec();
+            pool.shuffle(rng);
+            functions.extend(pool.into_iter().take(k).map(String::from));
+        }
+        let style = (world.cat_styled(category) && rng.gen_bool(0.4))
+            .then(|| STYLES_FOR_ITEMS[rng.gen_range(0..STYLES_FOR_ITEMS.len())].to_string());
+        let audience = (world.cat_audienced(category) && rng.gen_bool(0.35))
+            .then(|| audiences[rng.gen_range(0..audiences.len())].to_string());
+
+        let mut title: Vec<String> = Vec::with_capacity(10);
+        title.push(brand.clone());
+        if let Some(c) = &color {
+            title.push(c.clone());
+        }
+        if let Some(m) = &material {
+            title.push(m.clone());
+        }
+        for f in &functions {
+            title.push(f.clone());
+        }
+        if let Some(s) = &style {
+            title.push(s.clone());
+        }
+        // Category name may be multi-token ("trench coat").
+        title.extend(world.tree.name(category).split(' ').map(String::from));
+        if let Some(a) = &audience {
+            title.push("for".into());
+            title.push(a.clone());
+        }
+        if rng.gen_bool(0.5) {
+            title.push(PROMO_NOISE[rng.gen_range(0..PROMO_NOISE.len())].to_string());
+        }
+        if rng.gen_bool(0.2) {
+            title.push(PROMO_NOISE[rng.gen_range(0..PROMO_NOISE.len())].to_string());
+        }
+        items.push(ItemSpec { id, category, brand, color, material, functions, style, audience, title });
+    }
+    items
+}
+
+impl ItemSpec {
+    /// Does the item's category equal `cat` or descend from it?
+    pub fn in_category(&self, world: &World, cat: usize) -> bool {
+        self.category == cat || world.tree.is_ancestor(cat, self.category)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use alicoco_nn::util::seeded_rng;
+
+    #[test]
+    fn items_have_valid_attributes() {
+        let w = World::generate(WorldConfig::tiny());
+        let items = generate_items(&w, 200, &mut seeded_rng(1));
+        assert_eq!(items.len(), 200);
+        for it in &items {
+            assert!(w.tree.node(it.category).children.is_empty(), "category must be a leaf");
+            if let Some(m) = &it.material {
+                assert!(w.material_cat_ok(m, it.category), "material {m} incompatible");
+            }
+            for f in &it.functions {
+                assert!(w.fn_cat_ok(f, it.category), "function {f} incompatible");
+            }
+            assert!(!it.title.is_empty());
+            assert!(it.title.contains(&it.brand));
+        }
+    }
+
+    #[test]
+    fn titles_include_category_tokens() {
+        let w = World::generate(WorldConfig::tiny());
+        let items = generate_items(&w, 100, &mut seeded_rng(2));
+        for it in &items {
+            for tok in w.tree.name(it.category).split(' ') {
+                assert!(it.title.iter().any(|t| t == tok), "title missing category token {tok}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = World::generate(WorldConfig::tiny());
+        let a = generate_items(&w, 50, &mut seeded_rng(3));
+        let b = generate_items(&w, 50, &mut seeded_rng(3));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.title, y.title);
+        }
+    }
+
+    #[test]
+    fn in_category_respects_hierarchy() {
+        let w = World::generate(WorldConfig::tiny());
+        let items = generate_items(&w, 300, &mut seeded_rng(4));
+        let cookware = w.tree.find("cookware").unwrap();
+        let any_cookware = items.iter().any(|it| it.in_category(&w, cookware));
+        assert!(any_cookware, "no cookware item generated out of 300");
+        for it in &items {
+            assert!(it.in_category(&w, 0), "every item descends from root");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Seed lexicons for the 19 non-Category domains, plus synthetic name
+//! generation for the open-ended domains (Brand, IP, Organization).
+//!
+//! Several surfaces are deliberately ambiguous across domains ("village" is
+//! both a Location and a Style, "cream" a Color and a Category-ish food
+//! term) — this is what the fuzzy CRF (§5.3.2) exists to handle.
+
+use rand::Rng;
+
+use crate::domain::Domain;
+
+/// Color surfaces ("red", "mocha" — the latter also a Taste).
+pub const COLORS: &[&str] = &[
+    "red", "blue", "green", "black", "white", "yellow", "pink", "purple", "beige", "navy",
+    "grey", "brown", "orange", "cream", "mocha", "ivory", "teal", "maroon",
+];
+
+/// Material surfaces.
+pub const MATERIALS: &[&str] = &[
+    "cotton", "leather", "wool", "silk", "denim", "bamboo", "linen", "cashmere", "velvet",
+    "canvas", "fleece", "nylon", "ceramic", "stainless-steel", "glass", "oak",
+];
+
+/// Function surfaces ("waterproof", "health-care").
+pub const FUNCTIONS: &[&str] = &[
+    "waterproof", "windproof", "warm", "breathable", "anti-slip", "insulated", "foldable",
+    "portable", "quick-dry", "noise-cancelling", "non-stick", "moisturizing", "sun-protective",
+    "health-care", "anti-lost", "shockproof",
+];
+
+/// Style surfaces ("village" is also a Location).
+pub const STYLES: &[&str] = &[
+    "casual", "british-style", "bohemian", "vintage", "minimalist", "sporty", "elegant",
+    "street", "korean-style", "french-style", "village", "preppy",
+];
+
+/// Time surfaces: seasons, occasions, day parts.
+pub const TIMES: &[&str] = &[
+    "winter", "summer", "spring", "autumn", "christmas", "new-year", "mid-autumn-festival",
+    "evening", "weekend", "morning", "valentines-day", "back-to-school",
+];
+
+/// Location surfaces ("village" is also a Style).
+pub const LOCATIONS: &[&str] = &[
+    "outdoor", "indoor", "beach", "mountain", "office", "garden", "park", "home", "gym",
+    "pool", "classroom", "village", "european", "seaside", "forest",
+];
+
+/// Event (shopping-scenario) surfaces.
+pub const EVENTS: &[&str] = &[
+    "barbecue", "camping", "hiking", "swimming", "baking", "wedding", "traveling", "picnic",
+    "fishing", "skiing", "party", "graduation", "yoga", "commuting", "gardening", "bathing",
+];
+
+/// Audience surfaces.
+pub const AUDIENCES: &[&str] = &[
+    "kids", "men", "women", "babies", "elders", "teens", "students", "grandpa", "grandma",
+    "runners", "couples", "toddlers", "middle-school-students",
+];
+
+/// Design surfaces.
+pub const DESIGNS: &[&str] = &[
+    "zipper", "hooded", "pleated", "sleeveless", "high-waist", "lace-up", "button-down",
+    "drawstring", "pocketed", "reversible",
+];
+
+/// Pattern surfaces.
+pub const PATTERNS: &[&str] = &[
+    "striped", "floral", "plaid", "polka-dot", "camouflage", "geometric", "paisley", "solid",
+];
+
+/// Shape surfaces.
+pub const SHAPES: &[&str] =
+    &["round", "square", "oval", "slim", "oversized", "a-line", "tapered", "boxy"];
+
+/// Smell surfaces.
+pub const SMELLS: &[&str] =
+    &["floral-scent", "citrus-scent", "fresh-scent", "woody-scent", "vanilla-scent", "musk-scent"];
+
+/// Taste surfaces ("mocha" is also a Color).
+pub const TASTES: &[&str] = &["sweet", "spicy", "salty", "sour", "bitter", "umami", "mocha"];
+
+/// Nature surfaces (organic, handmade, ...).
+pub const NATURES: &[&str] =
+    &["organic", "eco-friendly", "natural", "synthetic", "recycled", "handmade", "vegan"];
+
+/// Quantity surfaces (pair, set, bulk, ...).
+pub const QUANTITIES: &[&str] =
+    &["single", "pair", "set", "pack", "dozen", "bulk", "family-size", "travel-size"];
+
+/// Modifier surfaces (premium, mini, ...).
+pub const MODIFIERS: &[&str] =
+    &["premium", "deluxe", "classic", "new", "mini", "large", "lightweight", "budget", "luxury"];
+
+/// Syllables for synthesizing Brand / IP / Organization names.
+const SYLLABLES: &[&str] = &[
+    "zor", "vex", "lum", "nak", "tia", "ril", "mon", "dra", "fei", "qua", "bel", "sor", "kin",
+    "ora", "pex", "yun", "hal", "miv", "ces", "tur",
+];
+
+/// Generate `n` distinct synthetic proper names, each 2–3 syllables with a
+/// domain-specific suffix for flavour.
+pub fn synth_names<R: Rng>(n: usize, suffixes: &[&str], rng: &mut R) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    let mut seen = alicoco_nn::util::FxHashSet::default();
+    while out.len() < n {
+        let sylls = 2 + (rng.gen::<u8>() % 2) as usize;
+        let mut name = String::new();
+        for _ in 0..sylls {
+            name.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+        }
+        if !suffixes.is_empty() && rng.gen_bool(0.5) {
+            name.push('-');
+            name.push_str(suffixes[rng.gen_range(0..suffixes.len())]);
+        }
+        if seen.insert(name.clone()) {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// The full non-Category lexicon: per-domain surface lists.
+#[derive(Clone, Debug)]
+pub struct Lexicon {
+    per_domain: Vec<Vec<String>>,
+}
+
+impl Lexicon {
+    /// Build the lexicon. `brands`, `ips`, `orgs` control the sizes of the
+    /// synthesized open-ended domains.
+    pub fn generate<R: Rng>(brands: usize, ips: usize, orgs: usize, rng: &mut R) -> Self {
+        let mut per_domain: Vec<Vec<String>> = vec![Vec::new(); 20];
+        let fill = |v: &mut Vec<String>, items: &[&str]| {
+            v.extend(items.iter().map(|s| s.to_string()));
+        };
+        fill(&mut per_domain[Domain::Color.index()], COLORS);
+        fill(&mut per_domain[Domain::Material.index()], MATERIALS);
+        fill(&mut per_domain[Domain::Function.index()], FUNCTIONS);
+        fill(&mut per_domain[Domain::Style.index()], STYLES);
+        fill(&mut per_domain[Domain::Time.index()], TIMES);
+        fill(&mut per_domain[Domain::Location.index()], LOCATIONS);
+        fill(&mut per_domain[Domain::Event.index()], EVENTS);
+        fill(&mut per_domain[Domain::Audience.index()], AUDIENCES);
+        fill(&mut per_domain[Domain::Design.index()], DESIGNS);
+        fill(&mut per_domain[Domain::Pattern.index()], PATTERNS);
+        fill(&mut per_domain[Domain::Shape.index()], SHAPES);
+        fill(&mut per_domain[Domain::Smell.index()], SMELLS);
+        fill(&mut per_domain[Domain::Taste.index()], TASTES);
+        fill(&mut per_domain[Domain::Nature.index()], NATURES);
+        fill(&mut per_domain[Domain::Quantity.index()], QUANTITIES);
+        fill(&mut per_domain[Domain::Modifier.index()], MODIFIERS);
+        per_domain[Domain::Brand.index()] = synth_names(brands, &["wear", "labs", "co"], rng);
+        per_domain[Domain::Ip.index()] = synth_names(ips, &["saga", "heroes", "world"], rng);
+        per_domain[Domain::Organization.index()] = synth_names(orgs, &["group", "guild"], rng);
+        Lexicon { per_domain }
+    }
+
+    /// Surfaces of a domain (empty for Category, which lives in
+    /// [`crate::taxonomy::CategoryTree`]).
+    pub fn terms(&self, d: Domain) -> &[String] {
+        &self.per_domain[d.index()]
+    }
+
+    /// All `(surface, domain)` pairs across non-Category domains.
+    pub fn all_terms(&self) -> impl Iterator<Item = (&str, Domain)> {
+        Domain::ALL.iter().flat_map(move |&d| {
+            self.per_domain[d.index()].iter().map(move |s| (s.as_str(), d))
+        })
+    }
+
+    /// Domains that list `surface` (ambiguity probe).
+    pub fn domains_of(&self, surface: &str) -> Vec<Domain> {
+        Domain::ALL
+            .iter()
+            .copied()
+            .filter(|&d| self.per_domain[d.index()].iter().any(|s| s == surface))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alicoco_nn::util::seeded_rng;
+
+    #[test]
+    fn lexicon_fills_all_expected_domains() {
+        let lex = Lexicon::generate(50, 30, 10, &mut seeded_rng(1));
+        for d in [Domain::Color, Domain::Event, Domain::Brand, Domain::Ip] {
+            assert!(!lex.terms(d).is_empty(), "{} empty", d.name());
+        }
+        assert!(lex.terms(Domain::Category).is_empty(), "Category lives in the tree");
+        assert_eq!(lex.terms(Domain::Brand).len(), 50);
+    }
+
+    #[test]
+    fn ambiguous_surfaces_exist() {
+        let lex = Lexicon::generate(5, 5, 5, &mut seeded_rng(2));
+        let village = lex.domains_of("village");
+        assert!(village.contains(&Domain::Style));
+        assert!(village.contains(&Domain::Location));
+        let mocha = lex.domains_of("mocha");
+        assert!(mocha.contains(&Domain::Color));
+        assert!(mocha.contains(&Domain::Taste));
+    }
+
+    #[test]
+    fn synth_names_are_unique_and_sized() {
+        let names = synth_names(100, &["co"], &mut seeded_rng(3));
+        assert_eq!(names.len(), 100);
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Lexicon::generate(20, 20, 5, &mut seeded_rng(7));
+        let b = Lexicon::generate(20, 20, 5, &mut seeded_rng(7));
+        assert_eq!(a.terms(Domain::Brand), b.terms(Domain::Brand));
+    }
+}

@@ -1,0 +1,119 @@
+#![warn(missing_docs)]
+//! # alicoco-corpus
+//!
+//! The synthetic e-commerce world that substitutes Alibaba's proprietary
+//! data in this reproduction (see DESIGN.md §2 for the substitution table).
+//! It provides, all seeded and deterministic:
+//!
+//! - the 20-domain taxonomy skeleton ([`domain`], [`taxonomy`]) and the
+//!   primitive-concept lexicons ([`lexicon`]),
+//! - a compatibility ground truth ([`world`]) defining which attribute /
+//!   category / event / audience combinations are plausible, which items a
+//!   shopping scenario needs (including the paper's "semantic drift":
+//!   charcoal is barbecue gear but unrelated to "outdoor"),
+//! - items with CPV-style attributes and merchant-style titles ([`items`]),
+//! - good and bad e-commerce concept candidates in the three defect flavours
+//!   the paper's criteria reject ([`concepts`]),
+//! - four text corpora — queries, titles, reviews, shopping guides —
+//!   ([`corpus`]),
+//! - a gloss knowledge base standing in for Wikipedia ([`gloss`]),
+//! - a labeling [`oracle`] that answers annotation queries from ground truth
+//!   with per-query accounting and optional noise.
+
+pub mod clicks;
+pub mod concepts;
+pub mod corpus;
+pub mod domain;
+pub mod gloss;
+pub mod items;
+pub mod lexicon;
+pub mod oracle;
+pub mod taxonomy;
+pub mod world;
+
+pub use concepts::{concept_relevant_item, generate_concepts, judge_tokens, ConceptSpec, Defect, Slot};
+pub use clicks::{pairs_from_log, simulate_clicks, ClickConfig, Impression};
+pub use corpus::{generate_corpora, Corpora};
+pub use domain::Domain;
+pub use gloss::GlossKb;
+pub use items::{generate_items, ItemSpec};
+pub use oracle::Oracle;
+pub use taxonomy::CategoryTree;
+pub use world::{World, WorldConfig, EVENT_PROFILES};
+
+/// Everything the construction pipeline consumes, generated in one call.
+pub struct Dataset {
+    /// World.
+    pub world: World,
+    /// Items.
+    pub items: Vec<ItemSpec>,
+    /// Concepts.
+    pub concepts: Vec<ConceptSpec>,
+    /// Corpora.
+    pub corpora: Corpora,
+    /// Glosses.
+    pub glosses: GlossKb,
+}
+
+impl Dataset {
+    /// Generate the full dataset for a configuration (deterministic per
+    /// `config.seed`).
+    pub fn generate(config: WorldConfig) -> Self {
+        let world = World::generate(config.clone());
+        let mut rng = alicoco_nn::util::seeded_rng(config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        let items = generate_items(&world, config.num_items, &mut rng);
+        let concepts =
+            generate_concepts(&world, config.num_good_concepts, config.num_bad_concepts, &mut rng);
+        let corpora = generate_corpora(&world, &items, &concepts, &mut rng);
+        let glosses = GlossKb::build(&world);
+        Dataset { world, items, concepts, corpora, glosses }
+    }
+
+    /// Convenience: the tiny configuration used across unit tests.
+    pub fn tiny() -> Self {
+        Self::generate(WorldConfig::tiny())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_assembles_consistently() {
+        let ds = Dataset::tiny();
+        assert_eq!(ds.items.len(), ds.world.config.num_items);
+        assert_eq!(
+            ds.concepts.iter().filter(|c| c.good).count(),
+            ds.world.config.num_good_concepts
+        );
+        assert!(ds.glosses.len() > 100);
+        assert!(ds.corpora.total_sentences() > 500);
+    }
+
+    #[test]
+    fn every_good_concept_judged_good_by_oracle() {
+        let ds = Dataset::tiny();
+        let oracle = Oracle::new(&ds.world);
+        for c in ds.concepts.iter().filter(|c| c.good) {
+            assert!(oracle.label_concept(&c.tokens), "oracle rejects {:?}", c.text());
+        }
+    }
+
+    #[test]
+    fn most_good_concepts_have_relevant_items() {
+        let ds = Dataset::tiny();
+        let mut with_items = 0;
+        let mut total = 0;
+        for c in ds.concepts.iter().filter(|c| c.good) {
+            total += 1;
+            if ds.items.iter().any(|it| concept_relevant_item(&ds.world, c, it)) {
+                with_items += 1;
+            }
+        }
+        assert!(
+            with_items as f64 / total as f64 > 0.45,
+            "only {with_items}/{total} good concepts have any relevant item"
+        );
+    }
+}

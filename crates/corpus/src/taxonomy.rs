@@ -1,0 +1,270 @@
+//! Ground-truth category taxonomy of the synthetic e-commerce world.
+//!
+//! The paper's taxonomy has "Category" as its largest domain (~800 leaf
+//! classes, §3) organized in a hierarchy ("Category -> ClothingAndAccessory
+//! -> Clothing -> Dress"). We seed a realistic tree and expand it with
+//! hyphen-compound leaves ("alpine-jacket" under "jacket"), which also gives
+//! the head-word hypernym rule (§4.2.1) something real to find.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A node of the category tree.
+#[derive(Clone, Debug)]
+pub struct CatNode {
+    /// Category name (may contain spaces: "trench coat").
+    pub name: String,
+    /// Parent.
+    pub parent: Option<usize>,
+    /// Children.
+    pub children: Vec<usize>,
+    /// Depth.
+    pub depth: usize,
+}
+
+/// The category hierarchy; node `0` is the root `"category"`.
+#[derive(Clone, Debug)]
+pub struct CategoryTree {
+    nodes: Vec<CatNode>,
+}
+
+/// One mid-level group of the seed hierarchy: `(mid, leaves)`.
+type SeedMid = (&'static str, &'static [&'static str]);
+
+/// Seed hierarchy: (top, [(mid, [leaf, ...])]).
+const SEED: &[(&str, &[SeedMid])] = &[
+    (
+        "clothing-and-accessory",
+        &[
+            ("top", &["jacket", "hoodie", "sweater", "shirt", "tee", "trench coat", "blouse"]),
+            ("bottom", &["pants", "jeans", "shorts", "skirt", "leggings"]),
+            ("dress", &["sundress", "gown", "slip dress"]),
+            ("accessory", &["hat", "scarf", "gloves", "belt", "socks"]),
+        ],
+    ),
+    (
+        "footwear",
+        &[("shoes", &["boots", "sneakers", "sandals", "slippers", "rain boots", "loafers"])],
+    ),
+    (
+        "kitchen",
+        &[
+            ("cookware", &["grill", "pan", "pot", "skillet", "wok", "skewers"]),
+            ("bakeware", &["whisk", "strainer", "mixer", "baking tray", "egg beater", "rolling pin"]),
+            ("tableware", &["plate", "bowl", "cup", "chopsticks"]),
+        ],
+    ),
+    (
+        "outdoor-gear",
+        &[(
+            "camping",
+            &["sleeping bag", "tent", "backpack", "lantern", "camping stove", "picnic mat", "charcoal", "cooler"],
+        )],
+    ),
+    (
+        "electronics",
+        &[("gadgets", &["phone", "laptop", "headphones", "camera", "power bank", "tablet"])],
+    ),
+    (
+        "beauty",
+        &[("cosmetics", &["lipstick", "mascara", "face cream", "perfume", "sunscreen", "shampoo"])],
+    ),
+    (
+        "food",
+        &[("snacks-and-drinks", &["moon cake", "snacks", "butter", "chocolate", "tea", "coffee", "noodles"])],
+    ),
+    ("toys", &[("playthings", &["plush toy", "blocks", "puzzle", "kite", "doll"])]),
+    (
+        "sports",
+        &[("fitness", &["yoga mat", "dumbbell", "swim goggles", "swimsuit", "racket", "skis"])],
+    ),
+    ("home", &[("decor", &["curtain", "pillow", "blanket", "lamp", "rug", "storage box"])]),
+];
+
+/// Prefixes used to synthesize compound leaf categories under existing
+/// leaves ("alpine-jacket" isA "jacket").
+const COMPOUND_PREFIXES: &[&str] = &[
+    "alpine", "rain", "down", "travel", "sport", "city", "pocket", "twin", "pro", "eco", "night",
+    "snow", "beach", "retro", "smart", "maxi", "mini", "cargo", "thermal", "denim",
+];
+
+impl CategoryTree {
+    /// Build the seeded tree, expanding each seed leaf with
+    /// `compounds_per_leaf` hyphen compounds (deterministic per `rng`).
+    pub fn generate<R: Rng>(compounds_per_leaf: usize, rng: &mut R) -> Self {
+        let mut tree = CategoryTree {
+            nodes: vec![CatNode { name: "category".into(), parent: None, children: Vec::new(), depth: 0 }],
+        };
+        for (top, mids) in SEED {
+            let t = tree.add(top, 0);
+            for (mid, leaves) in *mids {
+                let m = tree.add(mid, t);
+                for leaf in *leaves {
+                    let l = tree.add(leaf, m);
+                    // Compound expansion. Compounds only make sense for
+                    // single-token heads ("alpine-jacket", not
+                    // "alpine-trench coat").
+                    if !leaf.contains(' ') && compounds_per_leaf > 0 {
+                        let mut prefixes: Vec<&str> = COMPOUND_PREFIXES.to_vec();
+                        prefixes.shuffle(rng);
+                        for p in prefixes.into_iter().take(compounds_per_leaf) {
+                            tree.add(&format!("{p}-{leaf}"), l);
+                        }
+                    }
+                }
+            }
+        }
+        tree
+    }
+
+    fn add(&mut self, name: &str, parent: usize) -> usize {
+        let id = self.nodes.len();
+        let depth = self.nodes[parent].depth + 1;
+        self.nodes.push(CatNode { name: name.to_string(), parent: Some(parent), children: Vec::new(), depth });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node.
+    pub fn node(&self, id: usize) -> &CatNode {
+        &self.nodes[id]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self, id: usize) -> &str {
+        &self.nodes[id].name
+    }
+
+    /// Find a node id by name (names are unique in the generated tree).
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Ids of all leaf nodes.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].children.is_empty()).collect()
+    }
+
+    /// All `(child, parent)` edges — the ground-truth isA pairs.
+    pub fn is_a_edges(&self) -> Vec<(usize, usize)> {
+        (1..self.nodes.len()).map(|i| (i, self.nodes[i].parent.expect("non-root has parent"))).collect()
+    }
+
+    /// Ancestors of `id` from parent to root.
+    pub fn ancestors(&self, id: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[id].parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.nodes[p].parent;
+        }
+        out
+    }
+
+    /// Is `anc` a strict ancestor of `id`?
+    pub fn is_ancestor(&self, anc: usize, id: usize) -> bool {
+        self.ancestors(id).contains(&anc)
+    }
+
+    /// The top-level branch (child of the root) containing `id`, or `None`
+    pub fn top_branch(&self, id: usize) -> Option<usize> {
+        if id == 0 {
+            return None;
+        }
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur].parent {
+            if p == 0 {
+                return Some(cur);
+            }
+            cur = p;
+        }
+        None
+    }
+
+    /// Iterate all node ids.
+    pub fn ids(&self) -> impl Iterator<Item = usize> {
+        0..self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alicoco_nn::util::seeded_rng;
+
+    #[test]
+    fn generated_tree_has_expected_structure() {
+        let mut rng = seeded_rng(1);
+        let tree = CategoryTree::generate(3, &mut rng);
+        assert!(tree.len() > 100, "tree too small: {}", tree.len());
+        let jacket = tree.find("jacket").unwrap();
+        assert_eq!(tree.node(jacket).depth, 3);
+        // Compounds hang under their head.
+        let compound = tree
+            .ids()
+            .find(|&i| tree.name(i).ends_with("-jacket"))
+            .expect("compound jacket leaf");
+        assert_eq!(tree.node(compound).parent, Some(jacket));
+        assert_eq!(tree.node(compound).depth, 4);
+    }
+
+    #[test]
+    fn ancestors_reach_root() {
+        let mut rng = seeded_rng(2);
+        let tree = CategoryTree::generate(2, &mut rng);
+        let grill = tree.find("grill").unwrap();
+        let anc = tree.ancestors(grill);
+        assert_eq!(*anc.last().unwrap(), 0);
+        let cookware = tree.find("cookware").unwrap();
+        assert!(tree.is_ancestor(cookware, grill));
+        assert!(!tree.is_ancestor(grill, cookware));
+    }
+
+    #[test]
+    fn top_branch_identifies_vertical() {
+        let mut rng = seeded_rng(3);
+        let tree = CategoryTree::generate(2, &mut rng);
+        let skirt = tree.find("skirt").unwrap();
+        let branch = tree.top_branch(skirt).unwrap();
+        assert_eq!(tree.name(branch), "clothing-and-accessory");
+        assert_eq!(tree.top_branch(0), None);
+    }
+
+    #[test]
+    fn is_a_edges_cover_all_non_roots() {
+        let mut rng = seeded_rng(4);
+        let tree = CategoryTree::generate(2, &mut rng);
+        assert_eq!(tree.is_a_edges().len(), tree.len() - 1);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut rng = seeded_rng(5);
+        let tree = CategoryTree::generate(3, &mut rng);
+        let mut names: Vec<&str> = tree.ids().map(|i| tree.name(i)).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let t1 = CategoryTree::generate(3, &mut seeded_rng(9));
+        let t2 = CategoryTree::generate(3, &mut seeded_rng(9));
+        assert_eq!(t1.len(), t2.len());
+        for i in t1.ids() {
+            assert_eq!(t1.name(i), t2.name(i));
+        }
+    }
+}

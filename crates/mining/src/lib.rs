@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # alicoco-mining
+//!
+//! The semi-automatic construction pipeline of AliCoCo — the five machine
+//! learning modules of §4–§6 plus the end-to-end builder:
+//!
+//! - [`resources`] — shared pre-trained assets (word2vec, doc2vec glosses,
+//!   n-gram LM, POS/NER taggers) built once per dataset,
+//! - [`vocab_mining`] — §4.1: distant supervision + BiLSTM-CRF primitive
+//!   mining with the oracle acceptance gate,
+//! - [`hypernym`] — §4.2: Hearst/head-word patterns, bilinear projection
+//!   learning, and the UCS active-learning loop of Algorithm 1,
+//! - [`congen`] — §5.2: concept candidate generation (phrase mining +
+//!   pattern combination) and the knowledge-enhanced Wide&Deep classifier,
+//! - [`tagging`] — §5.3: text-augmented NER with the fuzzy CRF,
+//! - [`matching`] — §6: the knowledge-aware deep semantic matcher and the
+//!   BM25 / DSSM / MatchPyramid / RE2 baselines of Table 6,
+//! - [`relations`] — §2: instance-level schema-relation mining
+//!   (`suitable_when`, `happens_in`),
+//! - [`pipeline`] — wires everything into an [`alicoco::AliCoCo`] instance.
+
+pub mod congen;
+pub mod hypernym;
+pub mod matching;
+pub mod pipeline;
+pub mod relations;
+pub mod resources;
+pub mod tagging;
+pub mod vocab_mining;

@@ -1,0 +1,326 @@
+//! Shared, pre-trained resources consumed by the five pipeline models.
+//!
+//! The paper assumes a stack of pre-trained assets: word embeddings trained
+//! on e-commerce corpora, Doc2vec gloss encoders, a POS tagger, an NER
+//! tagger, and a fluency model. [`Resources::build`] trains all of them once
+//! from the synthetic [`alicoco_corpus::Dataset`] so individual models can
+//! share them.
+
+use alicoco_corpus::{Dataset, Domain};
+use alicoco_nn::util::FxHashMap;
+use alicoco_text::doc2vec::{Doc2Vec, Doc2VecConfig};
+use alicoco_text::lm::NgramLm;
+use alicoco_text::tagger::{NerTagger, PosTagger};
+use alicoco_text::vocab::{TokenId, Vocab};
+use alicoco_text::word2vec::{train as w2v_train, Word2VecConfig, WordVectors};
+
+/// Sizing knobs for resource training.
+#[derive(Clone, Debug)]
+pub struct ResourcesConfig {
+    /// Word embedding dimension.
+    pub word_dim: usize,
+    /// Word epochs.
+    pub word_epochs: usize,
+    /// Gloss embedding dimension.
+    pub gloss_dim: usize,
+    /// Gloss epochs.
+    pub gloss_epochs: usize,
+    /// Min count.
+    pub min_count: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ResourcesConfig {
+    fn default() -> Self {
+        ResourcesConfig {
+            word_dim: 24,
+            word_epochs: 4,
+            gloss_dim: 16,
+            gloss_epochs: 8,
+            min_count: 1,
+            seed: 1234,
+        }
+    }
+}
+
+/// Everything the models share.
+pub struct Resources {
+    /// Configuration.
+    pub cfg: ResourcesConfig,
+    /// Word-level vocabulary over all corpora.
+    pub vocab: Vocab,
+    /// Character vocabulary.
+    pub chars: Vocab,
+    /// Pre-trained SGNS word vectors aligned with `vocab`.
+    pub word_vectors: WordVectors,
+    /// Lexicon POS tagger.
+    pub pos: PosTagger,
+    /// Lexicon NER tagger over the 20 domains (label = domain index + 1).
+    pub ner: NerTagger,
+    /// Trigram LM for perplexity features (BERT substitute).
+    pub lm: NgramLm,
+    /// Doc2vec model trained over gloss documents.
+    pub gloss_model: Doc2Vec,
+    /// Precomputed gloss vector per known surface form (mean-centered to
+    /// remove the anisotropy PV-DBOW exhibits at small scale).
+    gloss_vectors: FxHashMap<String, Vec<f32>>,
+    /// TF-IDF sparse vector per gloss, for lexical-overlap similarity.
+    gloss_tfidf: FxHashMap<String, FxHashMap<TokenId, f32>>,
+    /// Per-word popularity (corpus frequency, log-scaled).
+    popularity: FxHashMap<String, f32>,
+}
+
+impl Resources {
+    /// Train all shared resources from a dataset.
+    pub fn build(ds: &Dataset, cfg: ResourcesConfig) -> Self {
+        // Vocabulary over corpora + concept tokens (so candidate concepts
+        // are never all-UNK).
+        let concept_sents: Vec<Vec<String>> =
+            ds.concepts.iter().map(|c| c.tokens.clone()).collect();
+        let all_refs: Vec<&[String]> = ds
+            .corpora
+            .all_sentences()
+            .map(|s| s.as_slice())
+            .chain(concept_sents.iter().map(|s| s.as_slice()))
+            .collect();
+        let vocab = Vocab::from_corpus(all_refs.iter().copied(), cfg.min_count);
+
+        let mut chars = Vocab::new();
+        for (_, tok, _) in vocab.iter() {
+            for ch in tok.chars() {
+                chars.add(&ch.to_string());
+            }
+        }
+
+        let encoded: Vec<Vec<TokenId>> =
+            all_refs.iter().map(|s| vocab.encode(s)).collect();
+        let w2v_cfg = Word2VecConfig {
+            dim: cfg.word_dim,
+            epochs: cfg.word_epochs,
+            seed: cfg.seed,
+            ..Default::default()
+        };
+        let word_vectors = w2v_train(&vocab, &encoded, &w2v_cfg);
+
+        let lm = NgramLm::train(&encoded, vocab.len());
+
+        // Taggers from the world lexicons (simulating off-the-shelf tools).
+        let pos = PosTagger::new();
+        let mut ner = NerTagger::new(20);
+        for (surface, domain) in ds.world.lexicon.all_terms() {
+            ner.insert(surface, domain.index() + 1);
+        }
+        for id in ds.world.tree.ids() {
+            // Multi-token category names tag each token.
+            for tok in ds.world.tree.name(id).split(' ') {
+                ner.insert(tok, Domain::Category.index() + 1);
+            }
+        }
+
+        // Gloss encoder.
+        let mut gloss_surfaces: Vec<String> = Vec::new();
+        let mut gloss_docs: Vec<Vec<TokenId>> = Vec::new();
+        for (surface, gloss) in ds.glosses.iter() {
+            gloss_surfaces.push(surface.to_string());
+            gloss_docs.push(vocab.encode(gloss));
+        }
+        let d2v_cfg = Doc2VecConfig {
+            dim: cfg.gloss_dim,
+            epochs: cfg.gloss_epochs,
+            seed: cfg.seed ^ 0xd2c,
+            ..Default::default()
+        };
+        let gloss_model = Doc2Vec::train(&vocab, &gloss_docs, &d2v_cfg);
+        // Mean-center the doc vectors: small PV-DBOW models collapse toward
+        // one dominant direction, which destroys cosine contrast.
+        let n_glosses = gloss_surfaces.len().max(1);
+        let mut mean = vec![0.0f32; cfg.gloss_dim];
+        for i in 0..gloss_surfaces.len() {
+            for (m, v) in mean.iter_mut().zip(gloss_model.doc_vector(i)) {
+                *m += v / n_glosses as f32;
+            }
+        }
+        let mut gloss_vectors = FxHashMap::default();
+        for (i, s) in gloss_surfaces.iter().enumerate() {
+            let centered: Vec<f32> =
+                gloss_model.doc_vector(i).iter().zip(&mean).map(|(v, m)| v - m).collect();
+            gloss_vectors.insert(s.clone(), centered);
+        }
+
+        // TF-IDF sparse gloss vectors for lexical-overlap similarity.
+        let mut df: FxHashMap<TokenId, u32> = FxHashMap::default();
+        for doc in &gloss_docs {
+            let uniq: std::collections::BTreeSet<TokenId> = doc.iter().copied().collect();
+            for t in uniq {
+                *df.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut gloss_tfidf = FxHashMap::default();
+        for (s, doc) in gloss_surfaces.iter().zip(&gloss_docs) {
+            let mut tf: FxHashMap<TokenId, f32> = FxHashMap::default();
+            for &t in doc {
+                *tf.entry(t).or_insert(0.0) += 1.0;
+            }
+            for (t, v) in tf.iter_mut() {
+                let idf = (n_glosses as f32 / (1.0 + df[t] as f32)).ln().max(0.0);
+                *v *= idf;
+            }
+            gloss_tfidf.insert(s.clone(), tf);
+        }
+
+        let mut popularity = FxHashMap::default();
+        for (_, tok, count) in vocab.iter() {
+            popularity.insert(tok.to_string(), (count as f32 + 1.0).ln());
+        }
+
+        Resources {
+            cfg,
+            vocab,
+            chars,
+            word_vectors,
+            pos,
+            ner,
+            lm,
+            gloss_model,
+            gloss_vectors,
+            gloss_tfidf,
+            popularity,
+        }
+    }
+
+    /// Lexical-overlap similarity between two surfaces' glosses (TF-IDF
+    /// cosine in `[0, 1]`; 0 when either gloss is unknown). Glosses of
+    /// compatible primitives share vocabulary (the gloss of "warm" mentions
+    /// skiing and hats; the gloss of "swimming" does not), so this is the
+    /// wide-feature realization of "knowledge".
+    pub fn gloss_similarity(&self, a: &str, b: &str) -> f32 {
+        let (Some(va), Some(vb)) = (self.gloss_tfidf.get(a), self.gloss_tfidf.get(b)) else {
+            return 0.0;
+        };
+        let (small, large) = if va.len() <= vb.len() { (va, vb) } else { (vb, va) };
+        let dot: f32 = small
+            .iter()
+            .filter_map(|(t, x)| large.get(t).map(|y| x * y))
+            .sum();
+        let na: f32 = va.values().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.values().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Gloss vector of a surface form (zeros when unknown — the model learns
+    /// to ignore the null gloss).
+    pub fn gloss_vector(&self, surface: &str) -> Vec<f32> {
+        self.gloss_vectors
+            .get(surface)
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.cfg.gloss_dim])
+    }
+
+    /// Whether a surface has a real gloss.
+    pub fn has_gloss(&self, surface: &str) -> bool {
+        self.gloss_vectors.contains_key(surface)
+    }
+
+    /// Log-scaled corpus popularity of a word.
+    pub fn popularity(&self, word: &str) -> f32 {
+        self.popularity.get(word).copied().unwrap_or(0.0)
+    }
+
+    /// Perplexity of a token sequence under the fluency LM.
+    pub fn perplexity(&self, tokens: &[String]) -> f64 {
+        let ids = self.vocab.encode(tokens);
+        self.lm.perplexity(&ids)
+    }
+
+    /// Char ids of a token sequence (flattened, with a separator char per
+    /// word boundary).
+    pub fn char_ids(&self, tokens: &[String]) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(alicoco_text::UNK); // separator stands in as UNK char
+            }
+            for ch in tok.chars() {
+                out.push(self.chars.get_or_unk(&ch.to_string()));
+            }
+        }
+        out
+    }
+
+    /// Char ids per token (for per-word char CNNs).
+    pub fn word_char_ids(&self, token: &str) -> Vec<usize> {
+        token.chars().map(|c| self.chars.get_or_unk(&c.to_string())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alicoco_corpus::Dataset;
+
+    fn resources() -> (Dataset, Resources) {
+        let ds = Dataset::tiny();
+        let cfg = ResourcesConfig { word_epochs: 2, gloss_epochs: 3, ..Default::default() };
+        let r = Resources::build(&ds, cfg);
+        (ds, r)
+    }
+
+    #[test]
+    fn vocab_covers_corpus_and_concepts() {
+        let (ds, r) = resources();
+        assert!(r.vocab.get("barbecue").is_some());
+        assert!(r.vocab.get("grill").is_some());
+        for c in ds.concepts.iter().take(20) {
+            for t in &c.tokens {
+                assert!(r.vocab.get(t).is_some(), "concept token {t} missing from vocab");
+            }
+        }
+    }
+
+    #[test]
+    fn ner_tags_domains() {
+        let (_, r) = resources();
+        assert_eq!(r.ner.tag("red"), alicoco_corpus::Domain::Color.index() + 1);
+        assert_eq!(r.ner.tag("barbecue"), alicoco_corpus::Domain::Event.index() + 1);
+        assert_eq!(r.ner.tag("zzzz"), 0);
+    }
+
+    #[test]
+    fn gloss_vectors_have_right_dim() {
+        let (_, r) = resources();
+        assert!(r.has_gloss("barbecue"));
+        assert_eq!(r.gloss_vector("barbecue").len(), r.cfg.gloss_dim);
+        assert!(!r.has_gloss("qqqq"));
+        assert!(r.gloss_vector("qqqq").iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn fluent_phrases_have_lower_perplexity() {
+        let (_, r) = resources();
+        let fluent = r.perplexity(&["outdoor".into(), "barbecue".into()]);
+        let garbled = r.perplexity(&["barbecue".into(), "outdoor".into()]);
+        // "outdoor barbecue" style phrases appear in queries; the reversed
+        // order should be rarer.
+        assert!(fluent < garbled, "fluent {fluent} !< garbled {garbled}");
+    }
+
+    #[test]
+    fn char_ids_flatten_tokens() {
+        let (_, r) = resources();
+        let ids = r.char_ids(&["red".into(), "hat".into()]);
+        assert_eq!(ids.len(), 7); // 3 + separator + 3
+        assert!(!r.word_char_ids("red").is_empty());
+    }
+
+    #[test]
+    fn popularity_reflects_frequency() {
+        let (_, r) = resources();
+        // "for" appears in many queries; a random brand name is rare.
+        assert!(r.popularity("for") > r.popularity("nonexistent-word"));
+    }
+}

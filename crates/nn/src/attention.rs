@@ -1,0 +1,197 @@
+//! Attention mechanisms.
+//!
+//! [`SelfAttention`] is the scaled-dot-product self-attention used to encode
+//! mutual influence within a concept (§5.2.2, §5.3.1). [`PairAttention`] is
+//! the additive two-way attention matrix between a concept and an item title
+//! (§6, eq. 11–13).
+
+use rand::Rng;
+
+use crate::graph::{Graph, NodeId};
+use crate::param::{Param, ParamSet};
+use crate::tensor::Tensor;
+
+/// Single-head scaled dot-product self-attention.
+///
+/// `H (T, d) -> softmax(HWq (HWk)^T / sqrt(dk)) HWv : (T, dk)`.
+pub struct SelfAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    dk: usize,
+}
+
+impl SelfAttention {
+    /// Create a new instance.
+    pub fn new<R: Rng>(ps: &mut ParamSet, name: &str, dim: usize, dk: usize, rng: &mut R) -> Self {
+        SelfAttention {
+            wq: ps.add(format!("{name}.wq"), Tensor::xavier(dim, dk, rng)),
+            wk: ps.add(format!("{name}.wk"), Tensor::xavier(dim, dk, rng)),
+            wv: ps.add(format!("{name}.wv"), Tensor::xavier(dim, dk, rng)),
+            dk,
+        }
+    }
+
+    /// `(T, d) -> (T, dk)`.
+    pub fn forward(&self, g: &mut Graph, h: NodeId) -> NodeId {
+        let wq = g.param(&self.wq);
+        let wk = g.param(&self.wk);
+        let wv = g.param(&self.wv);
+        let q = g.matmul(h, wq);
+        let k = g.matmul(h, wk);
+        let v = g.matmul(h, wv);
+        let kt = g.transpose(k);
+        let scores = g.matmul(q, kt);
+        let scaled = g.scale(scores, 1.0 / (self.dk as f32).sqrt());
+        let attn = g.softmax_rows(scaled);
+        g.matmul(attn, v)
+    }
+
+    /// Output embedding dimension.
+    pub fn output_dim(&self) -> usize {
+        self.dk
+    }
+}
+
+/// Additive (Bahdanau-style) pairwise attention matrix between two sequences:
+///
+/// `att[i][j] = v^T tanh(W1 a_i + W2 b_j)` (paper eq. 11).
+pub struct PairAttention {
+    w1: Param,
+    w2: Param,
+    v: Param,
+}
+
+impl PairAttention {
+    /// Create a new instance.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        name: &str,
+        dim_a: usize,
+        dim_b: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        PairAttention {
+            w1: ps.add(format!("{name}.w1"), Tensor::xavier(dim_a, hidden, rng)),
+            w2: ps.add(format!("{name}.w2"), Tensor::xavier(dim_b, hidden, rng)),
+            v: ps.add(format!("{name}.v"), Tensor::xavier(hidden, 1, rng)),
+        }
+    }
+
+    /// `a: (m, da)`, `b: (l, db)` -> attention matrix `(m, l)`.
+    pub fn forward(&self, g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
+        let m = g.value(a).rows();
+        let l = g.value(b).rows();
+        let w1 = g.param(&self.w1);
+        let w2 = g.param(&self.w2);
+        let v = g.param(&self.v);
+        let pa = g.matmul(a, w1); // (m, h)
+        let pb = g.matmul(b, w2); // (l, h)
+        // All (i, j) pairs: interleave a-rows l times, tile b-rows m times.
+        let pa_rep = g.repeat_interleave(pa, l); // (m*l, h): a0,a0..,a1,a1..
+        let pb_rep = g.repeat_tile(pb, m); // (m*l, h): b0,b1..,b0,b1..
+        let sum = g.add(pa_rep, pb_rep);
+        let t = g.tanh(sum);
+        let s = g.matmul(t, v); // (m*l, 1)
+        g.reshape(s, m, l)
+    }
+}
+
+/// Attention-weighted pooling (paper eq. 12–14): turns an attention matrix
+/// and a sequence into a single vector.
+///
+/// `weights_i = softmax_i(sum_j att[i][j])`, output `= sum_i weights_i seq_i`.
+pub fn attentive_pool(g: &mut Graph, att: NodeId, seq: NodeId) -> NodeId {
+    let rowsum = g.sum_cols(att); // (m, 1)
+    let scores = g.transpose(rowsum); // (1, m)
+    let weights = g.softmax_rows(scores); // (1, m)
+    g.matmul(weights, seq) // (1, d)
+}
+
+/// Pooling along the other axis of the attention matrix (weights for the
+/// second sequence, eq. 13).
+pub fn attentive_pool_cols(g: &mut Graph, att: NodeId, seq: NodeId) -> NodeId {
+    let colsum = g.sum_rows(att); // (1, l)
+    let weights = g.softmax_rows(colsum); // (1, l)
+    g.matmul(weights, seq) // (1, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn self_attention_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut ps = ParamSet::new();
+        let sa = SelfAttention::new(&mut ps, "sa", 6, 4, &mut rng);
+        let mut g = Graph::new();
+        let h = g.input(Tensor::zeros(5, 6));
+        let out = sa.forward(&mut g, h);
+        assert_eq!(g.value(out).shape(), (5, 4));
+    }
+
+    #[test]
+    fn pair_attention_matches_naive_computation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut ps = ParamSet::new();
+        let pa = PairAttention::new(&mut ps, "pa", 3, 2, 4, &mut rng);
+        let a = Tensor::from_vec(2, 3, vec![0.1, 0.2, 0.3, -0.1, 0.0, 0.5]);
+        let b = Tensor::from_vec(3, 2, vec![0.4, -0.2, 0.7, 0.1, -0.3, 0.6]);
+
+        let mut g = Graph::new();
+        let an = g.input(a.clone());
+        let bn = g.input(b.clone());
+        let att = pa.forward(&mut g, an, bn);
+        assert_eq!(g.value(att).shape(), (2, 3));
+
+        // Naive reference: att[i][j] = v^T tanh(W1 a_i + W2 b_j).
+        let w1 = pa.w1.value().clone();
+        let w2 = pa.w2.value().clone();
+        let v = pa.v.value().clone();
+        for i in 0..2 {
+            for j in 0..3 {
+                let ai = Tensor::row(a.row_slice(i).to_vec());
+                let bj = Tensor::row(b.row_slice(j).to_vec());
+                let x = ai.matmul(&w1).add(&bj.matmul(&w2)).map(f32::tanh);
+                let expected = x.matmul(&v).item();
+                let got = g.value(att).get(i, j);
+                assert!(
+                    (expected - got).abs() < 1e-5,
+                    "att[{i}][{j}]: naive {expected} vs graph {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attentive_pool_produces_convex_combination() {
+        // With a uniform attention matrix, the pooled vector is the mean row.
+        let mut g = Graph::new();
+        let att = g.input(Tensor::zeros(2, 3));
+        let seq = g.input(Tensor::from_vec(2, 2, vec![1.0, 0.0, 3.0, 4.0]));
+        let pooled = attentive_pool(&mut g, att, seq);
+        let out = g.value(pooled);
+        assert_eq!(out.shape(), (1, 2));
+        assert!((out.get(0, 0) - 2.0).abs() < 1e-5);
+        assert!((out.get(0, 1) - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradients_flow_through_pair_attention() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut ps = ParamSet::new();
+        let pa = PairAttention::new(&mut ps, "pa", 2, 2, 3, &mut rng);
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(2, 2, vec![0.3; 4]));
+        let b = g.input(Tensor::from_vec(2, 2, vec![0.7; 4]));
+        let att = pa.forward(&mut g, a, b);
+        let loss = g.sum_all(att);
+        g.backward(loss);
+        assert!(pa.w1.grad().data().iter().any(|&v| v != 0.0));
+        assert!(pa.w2.grad().data().iter().any(|&v| v != 0.0));
+        assert!(pa.v.grad().data().iter().any(|&v| v != 0.0));
+    }
+}

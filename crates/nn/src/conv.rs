@@ -1,0 +1,128 @@
+//! 1-D convolution over token sequences.
+//!
+//! Used for the char-level CNN in the concept-tagging model (§5.3.1, eq. 4–5)
+//! and the wide CNN encoders in the semantic-matching model (§6, eq. 9–10).
+
+use rand::Rng;
+
+use crate::graph::{Graph, NodeId};
+use crate::layers::Linear;
+use crate::param::ParamSet;
+use crate::tensor::Tensor;
+
+/// Convolution along the row (time) axis of a `(T, in)` matrix with an odd
+/// window size `k` and zero padding, producing `(T, out)`.
+///
+/// Implemented as a window-unfold followed by one shared linear map — exactly
+/// the im2col formulation of a convolution.
+pub struct Conv1d {
+    proj: Linear,
+    window: usize,
+    input: usize,
+}
+
+impl Conv1d {
+    /// # Panics
+    /// Panics if `window` is even (the paper's CNNs center each window on a
+    /// token).
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        name: &str,
+        input: usize,
+        output: usize,
+        window: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(window % 2 == 1, "Conv1d window must be odd, got {window}");
+        Conv1d { proj: Linear::new(ps, name, window * input, output, rng), window, input }
+    }
+
+    /// `(T, in) -> (T, out)`.
+    pub fn forward(&self, g: &mut Graph, xs: NodeId) -> NodeId {
+        let t_len = g.value(xs).rows();
+        assert!(t_len > 0, "Conv1d over empty sequence");
+        assert_eq!(g.value(xs).cols(), self.input, "Conv1d input dim mismatch");
+        let half = self.window / 2;
+        let pad = g.input(Tensor::zeros(1, self.input));
+        let mut rows: Vec<NodeId> = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let mut parts: Vec<NodeId> = Vec::with_capacity(self.window);
+            for off in -(half as isize)..=(half as isize) {
+                let pos = t as isize + off;
+                if pos < 0 || pos >= t_len as isize {
+                    parts.push(pad);
+                } else {
+                    parts.push(g.slice_rows(xs, pos as usize, 1));
+                }
+            }
+            rows.push(g.concat_cols(&parts));
+        }
+        let unfolded = g.concat_rows(&rows);
+        self.proj.forward(g, unfolded)
+    }
+
+    /// Output embedding dimension.
+    pub fn output_dim(&self) -> usize {
+        self.proj.output_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_output_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut ps = ParamSet::new();
+        let conv = Conv1d::new(&mut ps, "c", 4, 6, 3, &mut rng);
+        let mut g = Graph::new();
+        let xs = g.input(Tensor::zeros(5, 4));
+        let y = conv.forward(&mut g, xs);
+        assert_eq!(g.value(y).shape(), (5, 6));
+        assert_eq!(conv.output_dim(), 6);
+    }
+
+    #[test]
+    fn conv_is_translation_consistent_in_interior() {
+        // A pattern moved by one position (away from the boundary) must yield
+        // the same activation, shifted by one.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut ps = ParamSet::new();
+        let conv = Conv1d::new(&mut ps, "c", 1, 3, 3, &mut rng);
+        let run = |seq: Vec<f32>| {
+            let mut g = Graph::new();
+            let xs = g.input(Tensor::from_vec(seq.len(), 1, seq));
+            let y = conv.forward(&mut g, xs);
+            g.value(y).clone()
+        };
+        let a = run(vec![0.0, 1.0, 2.0, 3.0, 0.0, 0.0]);
+        let b = run(vec![0.0, 0.0, 1.0, 2.0, 3.0, 0.0]);
+        for c in 0..3 {
+            assert!((a.get(2, c) - b.get(3, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be odd")]
+    fn even_window_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut ps = ParamSet::new();
+        let _ = Conv1d::new(&mut ps, "c", 2, 2, 4, &mut rng);
+    }
+
+    #[test]
+    fn conv_gradient_flows_to_projection() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut ps = ParamSet::new();
+        let conv = Conv1d::new(&mut ps, "c", 2, 2, 3, &mut rng);
+        let mut g = Graph::new();
+        let xs = g.input(Tensor::from_vec(3, 2, vec![0.5; 6]));
+        let y = conv.forward(&mut g, xs);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        let wg = conv.proj.w.grad();
+        assert!(wg.data().iter().any(|&v| v != 0.0), "no gradient reached conv weights");
+    }
+}

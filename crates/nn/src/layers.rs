@@ -1,0 +1,236 @@
+//! Basic trainable layers: linear, embedding, MLP.
+
+use rand::Rng;
+
+use crate::graph::{Graph, NodeId};
+use crate::param::{Param, ParamSet};
+use crate::tensor::Tensor;
+
+/// Activation functions selectable in composite layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Sigmoid.
+    Sigmoid,
+    /// Tanh.
+    Tanh,
+    /// Relu.
+    Relu,
+    /// No activation (identity).
+    None,
+}
+
+impl Activation {
+    /// Apply.
+    pub fn apply(self, g: &mut Graph, x: NodeId) -> NodeId {
+        match self {
+            Activation::Sigmoid => g.sigmoid(x),
+            Activation::Tanh => g.tanh(x),
+            Activation::Relu => g.relu(x),
+            Activation::None => x,
+        }
+    }
+}
+
+/// Fully connected layer `y = x W + b` with `W: (in, out)`, `b: (1, out)`.
+pub struct Linear {
+    /// W.
+    pub w: Param,
+    /// B.
+    pub b: Param,
+}
+
+impl Linear {
+    /// Create a new instance.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        name: &str,
+        input: usize,
+        output: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = ps.add(format!("{name}.w"), Tensor::xavier(input, output, rng));
+        let b = ps.add(format!("{name}.b"), Tensor::zeros(1, output));
+        Linear { w, b }
+    }
+
+    /// `x: (m, in) -> (m, out)`.
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let w = g.param(&self.w);
+        let b = g.param(&self.b);
+        let xw = g.matmul(x, w);
+        g.add_row(xw, b)
+    }
+
+    /// Output embedding dimension.
+    pub fn output_dim(&self) -> usize {
+        self.w.value().cols()
+    }
+}
+
+/// Embedding table: rows are vectors for ids `0..vocab`.
+pub struct Embedding {
+    /// Table.
+    pub table: Param,
+}
+
+impl Embedding {
+    /// Create a new instance.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        // Small uniform init, as is conventional for embeddings.
+        let table = ps.add(format!("{name}.table"), Tensor::uniform(vocab, dim, 0.1, rng));
+        Embedding { table }
+    }
+
+    /// Build an embedding layer from pre-trained vectors (fine-tuned during
+    /// training, matching the paper's use of pre-trained word embeddings).
+    pub fn from_pretrained(ps: &mut ParamSet, name: &str, table: Tensor) -> Self {
+        let table = ps.add(format!("{name}.table"), table);
+        Embedding { table }
+    }
+
+    /// Build a *frozen* embedding layer from pre-trained vectors: the table
+    /// is not registered with the optimizer's parameter set, so it never
+    /// updates. Use when fine-tuning on small data would destroy the
+    /// pre-trained geometry that generalization depends on.
+    pub fn from_pretrained_frozen(name: &str, table: Tensor) -> Self {
+        Embedding { table: crate::param::Param::new(format!("{name}.table"), table) }
+    }
+
+    /// `ids -> (ids.len(), dim)`.
+    pub fn forward(&self, g: &mut Graph, ids: &[usize]) -> NodeId {
+        g.lookup(&self.table, ids)
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.value().cols()
+    }
+
+    /// Vocab.
+    pub fn vocab(&self) -> usize {
+        self.table.value().rows()
+    }
+}
+
+/// Multi-layer perceptron: hidden layers use `activation`, the final layer is
+/// linear (producing logits).
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// `dims` is `[input, hidden..., output]` and must have at least two
+    /// entries.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(ps, &format!("{name}.{i}"), w[0], w[1], rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Run the forward pass.
+    pub fn forward(&self, g: &mut Graph, mut x: NodeId) -> NodeId {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(g, x);
+            if i < last {
+                x = self.activation.apply(g, x);
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{Adam, Optimizer};
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut ps = ParamSet::new();
+        let lin = Linear::new(&mut ps, "l", 4, 3, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(5, 4));
+        let y = lin.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), (5, 3));
+        assert_eq!(lin.output_dim(), 3);
+    }
+
+    #[test]
+    fn embedding_shapes_and_vocab() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut ps = ParamSet::new();
+        let emb = Embedding::new(&mut ps, "e", 10, 6, &mut rng);
+        assert_eq!(emb.vocab(), 10);
+        assert_eq!(emb.dim(), 6);
+        let mut g = Graph::new();
+        let e = emb.forward(&mut g, &[1, 5, 9]);
+        assert_eq!(g.value(e).shape(), (3, 6));
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        // The classic nonlinear sanity check: a 2-4-1 MLP must fit XOR.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut ps = ParamSet::new();
+        let mlp = Mlp::new(&mut ps, "xor", &[2, 8, 1], Activation::Tanh, &mut rng);
+        let mut opt = Adam::new(0.05);
+        let data = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        for _ in 0..400 {
+            let mut g = Graph::new();
+            let mut losses = Vec::new();
+            for (x, t) in &data {
+                let input = g.input(Tensor::row(x.to_vec()));
+                let logit = mlp.forward(&mut g, input);
+                losses.push(g.bce_with_logits(logit, &[*t]));
+            }
+            let l01 = g.add(losses[0], losses[1]);
+            let l23 = g.add(losses[2], losses[3]);
+            let total = g.add(l01, l23);
+            g.backward(total);
+            opt.step(&ps);
+        }
+        for (x, t) in &data {
+            let mut g = Graph::new();
+            let input = g.input(Tensor::row(x.to_vec()));
+            let logit = mlp.forward(&mut g, input);
+            let p = 1.0 / (1.0 + (-g.value(logit).item()).exp());
+            assert!(
+                (p - t).abs() < 0.25,
+                "xor({x:?}) predicted {p}, expected {t}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_rejects_single_dim() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut ps = ParamSet::new();
+        let _ = Mlp::new(&mut ps, "bad", &[4], Activation::Relu, &mut rng);
+    }
+}

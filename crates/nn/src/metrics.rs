@@ -1,0 +1,238 @@
+//! Evaluation metrics used throughout the paper's experiments: ROC-AUC and
+//! F1 for matching (Table 6), MAP / MRR / P@1 for hypernym ranking (Table 3),
+//! and precision/recall/F1 for tagging (Table 5).
+
+/// Area under the ROC curve from `(score, is_positive)` pairs, computed via
+/// the rank statistic (equivalent to the Mann–Whitney U). Ties share rank.
+///
+/// Returns 0.5 when one class is absent (no ranking information).
+pub fn roc_auc(scored: &[(f32, bool)]) -> f64 {
+    let pos = scored.iter().filter(|(_, y)| *y).count();
+    let neg = scored.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    let mut sorted: Vec<(f32, bool)> = scored.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Assign average ranks to ties.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1].0 == sorted[i].0 {
+            j += 1;
+        }
+        // Ranks are 1-based; ties get the mean rank of the run.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for item in &sorted[i..=j] {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (pos as f64) * (pos as f64 + 1.0) / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
+/// Binary classification counts at a threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PrF1 {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+}
+
+/// Precision/recall/F1 for predictions `score >= threshold`.
+pub fn binary_prf(scored: &[(f32, bool)], threshold: f32) -> PrF1 {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for &(s, y) in scored {
+        let pred = s >= threshold;
+        match (pred, y) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    prf_from_counts(tp, fp, fn_)
+}
+
+/// Precision/recall/F1 from raw counts.
+pub fn prf_from_counts(tp: usize, fp: usize, fn_: usize) -> PrF1 {
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PrF1 { precision, recall, f1 }
+}
+
+/// Classification accuracy over `(prediction, gold)` pairs.
+pub fn accuracy(pairs: &[(bool, bool)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().filter(|(p, y)| p == y).count() as f64 / pairs.len() as f64
+}
+
+/// One ranked query: candidate scores with relevance flags, ranked by
+/// descending score before metric computation.
+fn ranked(scored: &[(f32, bool)]) -> Vec<bool> {
+    let mut v: Vec<(f32, bool)> = scored.to_vec();
+    v.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    v.into_iter().map(|(_, y)| y).collect()
+}
+
+/// Average precision of one ranked query (0 if it has no relevant items).
+pub fn average_precision(scored: &[(f32, bool)]) -> f64 {
+    let flags = ranked(scored);
+    let total_rel = flags.iter().filter(|&&y| y).count();
+    if total_rel == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &rel) in flags.iter().enumerate() {
+        if rel {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_rel as f64
+}
+
+/// Reciprocal rank of the first relevant item (0 if none).
+pub fn reciprocal_rank(scored: &[(f32, bool)]) -> f64 {
+    for (i, rel) in ranked(scored).into_iter().enumerate() {
+        if rel {
+            return 1.0 / (i + 1) as f64;
+        }
+    }
+    0.0
+}
+
+/// Precision among the top `k` ranked items.
+pub fn precision_at_k(scored: &[(f32, bool)], k: usize) -> f64 {
+    let flags = ranked(scored);
+    let k = k.min(flags.len());
+    if k == 0 {
+        return 0.0;
+    }
+    flags[..k].iter().filter(|&&y| y).count() as f64 / k as f64
+}
+
+/// Aggregate ranking metrics over many queries, as reported in Table 3.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RankingMetrics {
+    /// Map.
+    pub map: f64,
+    /// Mrr.
+    pub mrr: f64,
+    /// P at 1.
+    pub p_at_1: f64,
+}
+
+/// Mean of AP / RR / P@1 over queries (each query: `(score, relevant)`
+pub fn ranking_metrics(queries: &[Vec<(f32, bool)>]) -> RankingMetrics {
+    if queries.is_empty() {
+        return RankingMetrics::default();
+    }
+    let n = queries.len() as f64;
+    let mut m = RankingMetrics::default();
+    for q in queries {
+        m.map += average_precision(q);
+        m.mrr += reciprocal_rank(q);
+        m.p_at_1 += precision_at_k(q, 1);
+    }
+    m.map /= n;
+    m.mrr /= n;
+    m.p_at_1 /= n;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let perfect = vec![(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert!((roc_auc(&perfect) - 1.0).abs() < 1e-9);
+        let inverted = vec![(0.1, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert!(roc_auc(&inverted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let ties = vec![(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert!((roc_auc(&ties) - 0.5).abs() < 1e-9);
+        assert_eq!(roc_auc(&[(0.3, true)]), 0.5); // degenerate: one class
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // 2 pos, 2 neg; one inversion out of 4 pairs -> AUC = 0.75.
+        let s = vec![(0.9, true), (0.6, false), (0.4, true), (0.2, false)];
+        assert!((roc_auc(&s) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prf_counts() {
+        let m = prf_from_counts(8, 2, 2);
+        assert!((m.precision - 0.8).abs() < 1e-9);
+        assert!((m.recall - 0.8).abs() < 1e-9);
+        assert!((m.f1 - 0.8).abs() < 1e-9);
+        assert_eq!(prf_from_counts(0, 0, 0), PrF1::default());
+    }
+
+    #[test]
+    fn binary_prf_threshold() {
+        let s = vec![(0.9, true), (0.7, false), (0.3, true), (0.1, false)];
+        let m = binary_prf(&s, 0.5);
+        assert!((m.precision - 0.5).abs() < 1e-9);
+        assert!((m.recall - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_precision_known() {
+        // Ranked relevance: [1, 0, 1] -> AP = (1/1 + 2/3) / 2 = 5/6.
+        let s = vec![(0.9, true), (0.5, false), (0.1, true)];
+        assert!((average_precision(&s) - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reciprocal_rank_and_p_at_k() {
+        let s = vec![(0.9, false), (0.5, true), (0.1, true)];
+        assert!((reciprocal_rank(&s) - 0.5).abs() < 1e-9);
+        assert!((precision_at_k(&s, 2) - 0.5).abs() < 1e-9);
+        assert!((precision_at_k(&s, 3) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(reciprocal_rank(&[(0.4, false)]), 0.0);
+    }
+
+    #[test]
+    fn ranking_metrics_aggregates() {
+        let queries = vec![
+            vec![(0.9, true), (0.1, false)],  // AP=1, RR=1, P@1=1
+            vec![(0.9, false), (0.1, true)],  // AP=0.5, RR=0.5, P@1=0
+        ];
+        let m = ranking_metrics(&queries);
+        assert!((m.map - 0.75).abs() < 1e-9);
+        assert!((m.mrr - 0.75).abs() < 1e-9);
+        assert!((m.p_at_1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let pairs = vec![(true, true), (false, true), (false, false), (true, false)];
+        assert!((accuracy(&pairs) - 0.5).abs() < 1e-9);
+        assert_eq!(accuracy(&[]), 0.0);
+    }
+}

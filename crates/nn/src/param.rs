@@ -1,0 +1,319 @@
+//! Trainable parameters and optimizers.
+//!
+//! Parameters live outside the per-example [`crate::graph::Graph`] tapes and
+//! are shared into them via [`crate::graph::Graph::param`] /
+//! [`crate::graph::Graph::lookup`]. A [`ParamSet`] groups every parameter of
+//! a model so optimizers can step them together.
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+use crate::tensor::Tensor;
+
+struct ParamInner {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    /// Adam first-moment state (lazily sized).
+    m: Tensor,
+    /// Adam second-moment state.
+    v: Tensor,
+}
+
+/// A shared, trainable tensor.
+#[derive(Clone)]
+pub struct Param(Rc<RefCell<ParamInner>>);
+
+impl Param {
+    /// Create a new instance.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let (r, c) = value.shape();
+        Param(Rc::new(RefCell::new(ParamInner {
+            name: name.into(),
+            value,
+            grad: Tensor::zeros(r, c),
+            m: Tensor::zeros(r, c),
+            v: Tensor::zeros(r, c),
+        })))
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> String {
+        self.0.borrow().name.clone()
+    }
+
+    /// Value.
+    pub fn value(&self) -> Ref<'_, Tensor> {
+        Ref::map(self.0.borrow(), |p| &p.value)
+    }
+
+    /// Value mut.
+    pub fn value_mut(&self) -> RefMut<'_, Tensor> {
+        RefMut::map(self.0.borrow_mut(), |p| &mut p.value)
+    }
+
+    /// Grad.
+    pub fn grad(&self) -> Ref<'_, Tensor> {
+        Ref::map(self.0.borrow(), |p| &p.grad)
+    }
+
+    /// Grad mut.
+    pub fn grad_mut(&self) -> RefMut<'_, Tensor> {
+        RefMut::map(self.0.borrow_mut(), |p| &mut p.grad)
+    }
+
+    /// Zero grad.
+    pub fn zero_grad(&self) {
+        self.0.borrow_mut().grad.fill_zero();
+    }
+
+    /// Number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.0.borrow().value.len()
+    }
+}
+
+/// All parameters of a model.
+#[derive(Clone, Default)]
+pub struct ParamSet {
+    params: Vec<Param>,
+}
+
+impl ParamSet {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create, register and return a new parameter.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> Param {
+        let p = Param::new(name, value);
+        self.params.push(p.clone());
+        p
+    }
+
+    /// Register an existing parameter (e.g. one shared between models).
+    pub fn register(&mut self, p: &Param) {
+        self.params.push(p.clone());
+    }
+
+    /// Absorb all parameters of another set (for composite models).
+    pub fn extend(&mut self, other: &ParamSet) {
+        self.params.extend(other.params.iter().cloned());
+    }
+
+    /// Iterate over entries.
+    pub fn iter(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Zero grad.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar weight count across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(Param::num_weights).sum()
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| {
+                let g = p.grad();
+                g.data().iter().map(|v| v * v).sum::<f32>()
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scale all gradients so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for p in &self.params {
+                let mut g = p.grad_mut();
+                for v in g.data_mut() {
+                    *v *= s;
+                }
+            }
+        }
+    }
+}
+
+/// Optimizer interface: apply accumulated gradients, then zero them.
+pub trait Optimizer {
+    /// See the module documentation.
+    fn step(&mut self, params: &ParamSet);
+}
+
+/// Plain stochastic gradient descent with optional gradient clipping.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Clip.
+    pub clip: Option<f32>,
+}
+
+impl Sgd {
+    /// Create a new instance.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, clip: Some(5.0) }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &ParamSet) {
+        if let Some(c) = self.clip {
+            params.clip_grad_norm(c);
+        }
+        for p in params.iter() {
+            let inner = &p.0;
+            let mut b = inner.borrow_mut();
+            let ParamInner { value, grad, .. } = &mut *b;
+            value.axpy(-self.lr, grad);
+            grad.fill_zero();
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and optional gradient clipping.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Beta1.
+    pub beta1: f32,
+    /// Beta2.
+    pub beta2: f32,
+    /// Eps.
+    pub eps: f32,
+    /// Clip.
+    pub clip: Option<f32>,
+    t: i32,
+}
+
+impl Adam {
+    /// Create a new instance.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: Some(5.0), t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &ParamSet) {
+        if let Some(c) = self.clip {
+            params.clip_grad_norm(c);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for p in params.iter() {
+            let mut b = p.0.borrow_mut();
+            let ParamInner { value, grad, m, v, .. } = &mut *b;
+            for k in 0..value.len() {
+                let g = grad.data()[k];
+                let mk = self.beta1 * m.data()[k] + (1.0 - self.beta1) * g;
+                let vk = self.beta2 * v.data()[k] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[k] = mk;
+                v.data_mut()[k] = vk;
+                let mhat = mk / bc1;
+                let vhat = vk / bc2;
+                value.data_mut()[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            grad.fill_zero();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn quadratic_loss(p: &Param) -> f32 {
+        // L = (w - 3)^2 summed; minimized at w = 3.
+        let mut g = Graph::new();
+        let w = g.param(p);
+        let target = g.input(Tensor::full(2, 1, 3.0));
+        let d = g.sub(w, target);
+        let sq = g.mul(d, d);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.value(loss).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::zeros(2, 1));
+        let mut set = ParamSet::new();
+        set.register(&p);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            quadratic_loss(&p);
+            opt.step(&set);
+        }
+        assert!((p.value().get(0, 0) - 3.0).abs() < 1e-2);
+        assert!((p.value().get(1, 0) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::zeros(2, 1));
+        let mut set = ParamSet::new();
+        set.register(&p);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            quadratic_loss(&p);
+            opt.step(&set);
+        }
+        assert!((p.value().get(0, 0) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_global_norm() {
+        let p = Param::new("w", Tensor::zeros(3, 1));
+        *p.grad_mut() = Tensor::from_vec(3, 1, vec![3.0, 4.0, 0.0]);
+        let mut set = ParamSet::new();
+        set.register(&p);
+        assert!((set.grad_norm() - 5.0).abs() < 1e-6);
+        set.clip_grad_norm(1.0);
+        assert!((set.grad_norm() - 1.0).abs() < 1e-5);
+        // Direction preserved.
+        let g = p.grad();
+        assert!((g.data()[0] / g.data()[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let p = Param::new("w", Tensor::zeros(1, 1));
+        let mut set = ParamSet::new();
+        set.register(&p);
+        *p.grad_mut() = Tensor::scalar(1.0);
+        Sgd::new(0.1).step(&set);
+        assert_eq!(p.grad().item(), 0.0);
+    }
+
+    #[test]
+    fn param_set_counts_weights() {
+        let mut set = ParamSet::new();
+        set.add("a", Tensor::zeros(2, 3));
+        set.add("b", Tensor::zeros(4, 1));
+        assert_eq!(set.num_weights(), 10);
+        assert_eq!(set.len(), 2);
+    }
+}

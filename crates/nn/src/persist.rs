@@ -1,0 +1,238 @@
+//! Trained-parameter persistence.
+//!
+//! A [`crate::param::ParamSet`] serializes to a line-oriented text format:
+//! one record per parameter with its name, shape, and values. Loading
+//! restores values *into an existing model* (built with the same
+//! architecture/config), matched by parameter name — the usual
+//! "rebuild the graph, load the weights" workflow.
+//!
+//! ```text
+//! alicoco-params v1
+//! <name>\t<rows>\t<cols>\t<v0> <v1> ...
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use crate::param::ParamSet;
+use crate::tensor::Tensor;
+
+const MAGIC: &str = "alicoco-params v1";
+
+/// Serialize every parameter of the set.
+///
+/// # Panics
+/// Panics if a parameter name contains a tab or newline.
+pub fn save<W: Write>(params: &ParamSet, w: &mut W) -> io::Result<()> {
+    writeln!(w, "{MAGIC}")?;
+    for p in params.iter() {
+        let name = p.name();
+        assert!(
+            !name.contains('\t') && !name.contains('\n'),
+            "parameter name contains separator: {name:?}"
+        );
+        let v = p.value();
+        write!(w, "{name}\t{}\t{}\t", v.rows(), v.cols())?;
+        for (i, x) in v.data().iter().enumerate() {
+            if i > 0 {
+                write!(w, " ")?;
+            }
+            // `{:?}` prints round-trippable f32.
+            write!(w, "{x:?}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Errors raised while loading parameters.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Io.
+    Io(io::Error),
+    /// Bad magic.
+    BadMagic,
+    /// Parse.
+    Parse(usize, String),
+    /// A parameter in the stream has no counterpart in the target set.
+    UnknownParam(String),
+    /// Shape in the stream disagrees with the target parameter.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape of the target parameter.
+        expected: (usize, usize),
+        /// Shape found in the stream.
+        found: (usize, usize),
+    },
+    /// Parameters of the target set missing from the stream.
+    MissingParams(Vec<String>),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::BadMagic => write!(f, "not an alicoco-params stream"),
+            LoadError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+            LoadError::UnknownParam(n) => write!(f, "unknown parameter {n:?}"),
+            LoadError::ShapeMismatch { name, expected, found } => {
+                write!(f, "shape mismatch for {name:?}: expected {expected:?}, found {found:?}")
+            }
+            LoadError::MissingParams(names) => write!(f, "missing parameters: {names:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Load saved values into an existing set (matched by name). Every
+/// parameter of the target must be present in the stream, and vice versa.
+pub fn load<R: BufRead>(params: &ParamSet, r: &mut R) -> Result<(), LoadError> {
+    let mut by_name = alicoco_nn_collect(params);
+    let mut lines = r.lines();
+    match lines.next() {
+        Some(Ok(l)) if l == MAGIC => {}
+        Some(Ok(_)) => return Err(LoadError::BadMagic),
+        Some(Err(e)) => return Err(e.into()),
+        None => return Err(LoadError::BadMagic),
+    }
+    for (ln, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(4, '\t');
+        let name = parts.next().ok_or_else(|| LoadError::Parse(ln, "missing name".into()))?;
+        let rows: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| LoadError::Parse(ln, "bad rows".into()))?;
+        let cols: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| LoadError::Parse(ln, "bad cols".into()))?;
+        let values = parts.next().ok_or_else(|| LoadError::Parse(ln, "missing values".into()))?;
+        let data: Result<Vec<f32>, _> = values.split(' ').map(str::parse::<f32>).collect();
+        let data = data.map_err(|_| LoadError::Parse(ln, "bad value".into()))?;
+        if data.len() != rows * cols {
+            return Err(LoadError::Parse(ln, "value count != shape".into()));
+        }
+        let p = by_name
+            .remove(name)
+            .ok_or_else(|| LoadError::UnknownParam(name.to_string()))?;
+        let expected = p.value().shape();
+        if expected != (rows, cols) {
+            return Err(LoadError::ShapeMismatch {
+                name: name.to_string(),
+                expected,
+                found: (rows, cols),
+            });
+        }
+        *p.value_mut() = Tensor::from_vec(rows, cols, data);
+    }
+    if !by_name.is_empty() {
+        let mut missing: Vec<String> = by_name.into_keys().collect();
+        missing.sort();
+        return Err(LoadError::MissingParams(missing));
+    }
+    Ok(())
+}
+
+fn alicoco_nn_collect(params: &ParamSet) -> crate::util::FxHashMap<String, crate::param::Param> {
+    params.iter().map(|p| (p.name(), p.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Mlp};
+    use crate::util::seeded_rng;
+    use crate::{Graph, Tensor as T};
+
+    fn model(seed: u64) -> (ParamSet, Mlp) {
+        let mut rng = seeded_rng(seed);
+        let mut ps = ParamSet::new();
+        let mlp = Mlp::new(&mut ps, "m", &[3, 5, 1], Activation::Tanh, &mut rng);
+        (ps, mlp)
+    }
+
+    fn forward(mlp: &Mlp, x: &[f32]) -> f32 {
+        let mut g = Graph::new();
+        let input = g.input(T::row(x.to_vec()));
+        let out = mlp.forward(&mut g, input);
+        g.value(out).item()
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_behaviour() {
+        let (ps_a, mlp_a) = model(1);
+        let mut buf = Vec::new();
+        save(&ps_a, &mut buf).unwrap();
+        // Differently-initialized model disagrees before loading...
+        let (ps_b, mlp_b) = model(2);
+        let x = [0.3, -0.7, 0.5];
+        assert_ne!(forward(&mlp_a, &x), forward(&mlp_b, &x));
+        // ...and agrees exactly afterwards.
+        load(&ps_b, &mut buf.as_slice()).unwrap();
+        assert_eq!(forward(&mlp_a, &x), forward(&mlp_b, &x));
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_shape() {
+        let (ps, _) = model(3);
+        assert!(matches!(load(&ps, &mut &b"garbage"[..]), Err(LoadError::BadMagic)));
+
+        // Same names, different architecture -> shape mismatch.
+        let mut rng = seeded_rng(4);
+        let mut ps_big = ParamSet::new();
+        let _ = Mlp::new(&mut ps_big, "m", &[3, 9, 1], Activation::Tanh, &mut rng);
+        let mut buf = Vec::new();
+        save(&ps_big, &mut buf).unwrap();
+        assert!(matches!(
+            load(&ps, &mut buf.as_slice()),
+            Err(LoadError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_and_unknown_params() {
+        let (ps, _) = model(5);
+        // Stream with only the magic: everything missing.
+        let buf = format!("{MAGIC}\n");
+        assert!(matches!(
+            load(&ps, &mut buf.as_bytes()),
+            Err(LoadError::MissingParams(_))
+        ));
+        // Stream with an extra unknown parameter.
+        let mut full = Vec::new();
+        save(&ps, &mut full).unwrap();
+        let mut text = String::from_utf8(full).unwrap();
+        text.push_str("ghost.param\t1\t1\t0.5\n");
+        assert!(matches!(
+            load(&ps, &mut text.as_bytes()),
+            Err(LoadError::UnknownParam(_))
+        ));
+    }
+
+    #[test]
+    fn values_roundtrip_bit_exact() {
+        let (ps, _) = model(6);
+        // Poke in awkward values.
+        for p in ps.iter() {
+            p.value_mut().data_mut()[0] = f32::MIN_POSITIVE;
+        }
+        let mut buf = Vec::new();
+        save(&ps, &mut buf).unwrap();
+        let (ps2, _) = model(7);
+        load(&ps2, &mut buf.as_slice()).unwrap();
+        for (a, b) in ps.iter().zip(ps2.iter()) {
+            assert_eq!(a.value().data(), b.value().data());
+        }
+    }
+}

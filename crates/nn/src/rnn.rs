@@ -1,0 +1,231 @@
+//! LSTM and bidirectional LSTM over `(seq_len, dim)` matrices.
+//!
+//! The BiLSTM is the workhorse encoder of every sequence model in the paper
+//! (vocabulary mining §4.1, concept classification §5.2.2, concept tagging
+//! §5.3).
+
+use rand::Rng;
+
+use crate::graph::{Graph, NodeId};
+use crate::layers::Linear;
+use crate::param::ParamSet;
+use crate::tensor::Tensor;
+
+/// A single-direction LSTM.
+///
+/// Gates are parameterized as four linear maps over `[x_t ; h_{t-1}]`.
+pub struct Lstm {
+    wi: Linear,
+    wf: Linear,
+    wo: Linear,
+    wg: Linear,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Create a new instance.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        let cat = input + hidden;
+        let cell = Lstm {
+            wi: Linear::new(ps, &format!("{name}.wi"), cat, hidden, rng),
+            wf: Linear::new(ps, &format!("{name}.wf"), cat, hidden, rng),
+            wo: Linear::new(ps, &format!("{name}.wo"), cat, hidden, rng),
+            wg: Linear::new(ps, &format!("{name}.wg"), cat, hidden, rng),
+            hidden,
+        };
+        // Forget-gate bias of 1.0: the standard trick to ease gradient flow
+        // early in training.
+        cell.wf.b.value_mut().data_mut().iter_mut().for_each(|v| *v = 1.0);
+        cell
+    }
+
+    /// Hidden embedding dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Run over the rows of `xs` (`(T, input)`), returning the hidden state
+    /// at every step as a `(T, hidden)` matrix. If `reverse` is set the
+    /// sequence is processed right-to-left but the output rows stay in the
+    /// original order.
+    pub fn forward(&self, g: &mut Graph, xs: NodeId, reverse: bool) -> NodeId {
+        let t_len = g.value(xs).rows();
+        assert!(t_len > 0, "LSTM over empty sequence");
+        let mut h = g.input(Tensor::zeros(1, self.hidden));
+        let mut c = g.input(Tensor::zeros(1, self.hidden));
+        let mut outputs: Vec<NodeId> = vec![h; t_len];
+        let order: Vec<usize> = if reverse {
+            (0..t_len).rev().collect()
+        } else {
+            (0..t_len).collect()
+        };
+        for t in order {
+            let xt = g.slice_rows(xs, t, 1);
+            let cat = g.concat_cols(&[xt, h]);
+            let i_lin = self.wi.forward(g, cat);
+            let i = g.sigmoid(i_lin);
+            let f_lin = self.wf.forward(g, cat);
+            let f = g.sigmoid(f_lin);
+            let o_lin = self.wo.forward(g, cat);
+            let o = g.sigmoid(o_lin);
+            let g_lin = self.wg.forward(g, cat);
+            let cand = g.tanh(g_lin);
+            let fc = g.mul(f, c);
+            let ic = g.mul(i, cand);
+            c = g.add(fc, ic);
+            let tc = g.tanh(c);
+            h = g.mul(o, tc);
+            outputs[t] = h;
+        }
+        g.concat_rows(&outputs)
+    }
+}
+
+/// Bidirectional LSTM: concatenates forward and backward hidden states, so
+/// the output is `(T, 2 * hidden)`.
+pub struct BiLstm {
+    fwd: Lstm,
+    bwd: Lstm,
+}
+
+impl BiLstm {
+    /// Create a new instance.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        BiLstm {
+            fwd: Lstm::new(ps, &format!("{name}.fwd"), input, hidden, rng),
+            bwd: Lstm::new(ps, &format!("{name}.bwd"), input, hidden, rng),
+        }
+    }
+
+    /// `(T, input) -> (T, 2*hidden)`.
+    pub fn forward(&self, g: &mut Graph, xs: NodeId) -> NodeId {
+        let f = self.fwd.forward(g, xs, false);
+        let b = self.bwd.forward(g, xs, true);
+        g.concat_cols(&[f, b])
+    }
+
+    /// Output embedding dimension.
+    pub fn output_dim(&self) -> usize {
+        self.fwd.hidden_dim() + self.bwd.hidden_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{Adam, Optimizer};
+    use rand::SeedableRng;
+
+    #[test]
+    fn lstm_output_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut ps = ParamSet::new();
+        let lstm = Lstm::new(&mut ps, "l", 3, 5, &mut rng);
+        let mut g = Graph::new();
+        let xs = g.input(Tensor::zeros(7, 3));
+        let hs = lstm.forward(&mut g, xs, false);
+        assert_eq!(g.value(hs).shape(), (7, 5));
+    }
+
+    #[test]
+    fn bilstm_output_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut ps = ParamSet::new();
+        let bi = BiLstm::new(&mut ps, "b", 3, 4, &mut rng);
+        assert_eq!(bi.output_dim(), 8);
+        let mut g = Graph::new();
+        let xs = g.input(Tensor::zeros(6, 3));
+        let hs = bi.forward(&mut g, xs);
+        assert_eq!(g.value(hs).shape(), (6, 8));
+    }
+
+    #[test]
+    fn reverse_direction_sees_future_context() {
+        // With a reversed LSTM, the output at position 0 must depend on the
+        // input at the last position.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut ps = ParamSet::new();
+        let lstm = Lstm::new(&mut ps, "r", 2, 3, &mut rng);
+
+        let run = |last: f32| {
+            let mut g = Graph::new();
+            let xs = g.input(Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, last, last]));
+            let hs = lstm.forward(&mut g, xs, true);
+            g.value(hs).row_slice(0).to_vec()
+        };
+        let a = run(0.0);
+        let b = run(1.0);
+        assert_ne!(a, b, "reversed LSTM output at t=0 ignored input at t=2");
+
+        // And a forward LSTM's first output must NOT depend on the future.
+        let run_fwd = |last: f32| {
+            let mut g = Graph::new();
+            let xs = g.input(Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, last, last]));
+            let hs = lstm.forward(&mut g, xs, false);
+            g.value(hs).row_slice(0).to_vec()
+        };
+        assert_eq!(run_fwd(0.0), run_fwd(1.0));
+    }
+
+    #[test]
+    fn lstm_learns_sequence_parity_of_first_token() {
+        // Train a tiny classifier: label = first element of the sequence.
+        // Only the backward direction can carry this to the last position, so
+        // use a BiLSTM and read the final row.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut ps = ParamSet::new();
+        let bi = BiLstm::new(&mut ps, "b", 1, 4, &mut rng);
+        let head = crate::layers::Linear::new(&mut ps, "head", 8, 1, &mut rng);
+        let mut opt = Adam::new(0.05);
+        let seqs: Vec<(Vec<f32>, f32)> = vec![
+            (vec![1.0, 0.3, 0.7], 1.0),
+            (vec![0.0, 0.3, 0.7], 0.0),
+            (vec![1.0, 0.9, 0.1], 1.0),
+            (vec![0.0, 0.9, 0.1], 0.0),
+        ];
+        for _ in 0..150 {
+            for (seq, label) in &seqs {
+                let mut g = Graph::new();
+                let xs = g.input(Tensor::from_vec(seq.len(), 1, seq.clone()));
+                let hs = bi.forward(&mut g, xs);
+                let last = g.slice_rows(hs, seq.len() - 1, 1);
+                let logit = head.forward(&mut g, last);
+                let loss = g.bce_with_logits(logit, &[*label]);
+                g.backward(loss);
+                opt.step(&ps);
+            }
+        }
+        for (seq, label) in &seqs {
+            let mut g = Graph::new();
+            let xs = g.input(Tensor::from_vec(seq.len(), 1, seq.clone()));
+            let hs = bi.forward(&mut g, xs);
+            let last = g.slice_rows(hs, seq.len() - 1, 1);
+            let logit = head.forward(&mut g, last);
+            let p = 1.0 / (1.0 + (-g.value(logit).item()).exp());
+            assert!((p - label).abs() < 0.3, "seq {seq:?}: got {p}, want {label}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn lstm_rejects_empty_sequence() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut ps = ParamSet::new();
+        let lstm = Lstm::new(&mut ps, "l", 2, 2, &mut rng);
+        let mut g = Graph::new();
+        let xs = g.input(Tensor::zeros(0, 2));
+        lstm.forward(&mut g, xs, false);
+    }
+}

@@ -1,0 +1,173 @@
+//! `alicoco` — command-line interface over the concept net.
+//!
+//! ```text
+//! alicoco build <snapshot.tsv> [--full]    build a synthetic world, run the
+//!                                          pipeline, save the net
+//! alicoco stats <snapshot.tsv>             Table-2-style statistics
+//! alicoco search <snapshot.tsv> <query>    concept cards for a query
+//! alicoco qa <snapshot.tsv> <question>     scenario question answering
+//! alicoco recommend <snapshot.tsv>         concept cards for a sampled user
+//! alicoco concept <snapshot.tsv> <name>    dump one concept's neighbourhood
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use alicoco::{AliCoCo, Stats};
+use alicoco_apps::{
+    CognitiveRecommender, RecommendConfig, ScenarioQa, SearchConfig, SemanticSearch,
+};
+use alicoco_corpus::{Dataset, WorldConfig};
+use alicoco_mining::pipeline::{build_alicoco, PipelineConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
+        Some("qa") => cmd_qa(&args[1..]),
+        Some("recommend") => cmd_recommend(&args[1..]),
+        Some("concept") => cmd_concept(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: alicoco <build|stats|search|qa|recommend|concept> <snapshot.tsv> [args]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load_net(path: &str) -> Result<AliCoCo, Box<dyn std::error::Error>> {
+    let file = File::open(path)?;
+    Ok(alicoco::snapshot::load(&mut BufReader::new(file))?)
+}
+
+fn require<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
+    args.get(i).map(String::as_str).ok_or_else(|| format!("missing argument: {what}"))
+}
+
+fn cmd_build(args: &[String]) -> CliResult {
+    let path = require(args, 0, "snapshot path")?;
+    let full = args.iter().any(|a| a == "--full");
+    let config = if full { WorldConfig::default() } else { WorldConfig::tiny() };
+    eprintln!("generating world ({} items)...", config.num_items);
+    let ds = Dataset::generate(config);
+    eprintln!("running construction pipeline...");
+    let (kg, report) = build_alicoco(&ds, &PipelineConfig::default());
+    eprintln!("{report:#?}");
+    let file = File::create(path)?;
+    alicoco::snapshot::save(&kg, &mut BufWriter::new(file))?;
+    eprintln!("saved {path}");
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let kg = load_net(require(args, 0, "snapshot path")?)?;
+    print!("{}", Stats::compute(&kg));
+    let ci = alicoco::query::concept_item_degrees(&kg);
+    let ip = alicoco::query::item_primitive_degrees(&kg);
+    println!("Degrees");
+    println!("  concept->item   min {} max {} mean {:.2} (isolated {})", ci.min, ci.max, ci.mean, ci.isolated);
+    println!("  item->primitive min {} max {} mean {:.2} (isolated {})", ip.min, ip.max, ip.mean, ip.isolated);
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> CliResult {
+    let kg = load_net(require(args, 0, "snapshot path")?)?;
+    let query = require(args, 1, "query")?;
+    let engine = SemanticSearch::new(&kg, SearchConfig::default());
+    let cards = engine.search(query);
+    if cards.is_empty() {
+        println!("no concept card for {query:?}; keyword items:");
+        for iid in engine.keyword_items(query, 5) {
+            println!("  {}", kg.item(iid).title.join(" "));
+        }
+        return Ok(());
+    }
+    for card in cards {
+        println!("[{:.2}] {}", card.score, card.name);
+        for (domain, surface) in &card.interpretation {
+            println!("    <{domain}: {surface}>");
+        }
+        for (iid, w) in card.items.iter().take(5) {
+            println!("    ({w:.2}) {}", kg.item(*iid).title.join(" "));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_qa(args: &[String]) -> CliResult {
+    let kg = load_net(require(args, 0, "snapshot path")?)?;
+    let question = require(args, 1, "question")?;
+    match ScenarioQa::new(&kg).answer(question) {
+        Some(a) => {
+            println!("for \"{}\" you will need:", a.concept_name);
+            for e in &a.checklist {
+                println!("  [{:.0}%] {}", e.confidence * 100.0, e.title);
+            }
+        }
+        None => println!("no shopping scenario found for that question"),
+    }
+    Ok(())
+}
+
+fn cmd_recommend(args: &[String]) -> CliResult {
+    let kg = load_net(require(args, 0, "snapshot path")?)?;
+    let history: Vec<alicoco::ItemId> = kg
+        .item_ids()
+        .filter(|&i| !kg.concepts_for_item(i).is_empty())
+        .take(3)
+        .collect();
+    if history.is_empty() {
+        println!("net has no concept-item links to recommend from");
+        return Ok(());
+    }
+    println!("history:");
+    for &i in &history {
+        println!("  viewed {}", kg.item(i).title.join(" "));
+    }
+    let rec = CognitiveRecommender::new(&kg, RecommendConfig::default());
+    for r in rec.recommend(&history) {
+        println!("[{:.2}] {}", r.affinity, r.name);
+        println!("    {}", r.reason.text(&kg, &r.name));
+        for (iid, w) in r.items.iter().take(3) {
+            println!("    ({w:.2}) {}", kg.item(*iid).title.join(" "));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_concept(args: &[String]) -> CliResult {
+    let kg = load_net(require(args, 0, "snapshot path")?)?;
+    let name = require(args, 1, "concept name")?;
+    let cid = kg
+        .concept_by_name(name)
+        .ok_or_else(|| format!("no concept named {name:?}"))?;
+    let c = kg.concept(cid);
+    println!("concept: {}", c.name);
+    println!("interpreted by:");
+    for &p in &c.primitives {
+        let prim = kg.primitive(p);
+        let domain = kg.class(kg.class_domain(prim.class)).name.clone();
+        println!("  <{domain}: {}>", prim.name);
+    }
+    for &h in &c.hypernyms {
+        println!("isA: {}", kg.concept(h).name);
+    }
+    println!("items ({}):", c.items.len());
+    for (iid, w) in kg.items_for_concept(cid).iter().take(10) {
+        println!("  ({w:.2}) {}", kg.item(*iid).title.join(" "));
+    }
+    Ok(())
+}

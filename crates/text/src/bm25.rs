@@ -1,0 +1,156 @@
+//! Okapi BM25 retrieval index — the non-neural baseline of Table 6.
+
+use alicoco_nn::util::FxHashMap;
+
+use crate::vocab::TokenId;
+
+/// BM25 hyperparameters (standard defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct Bm25Params {
+    /// K1.
+    pub k1: f64,
+    /// B.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// An inverted index over id-encoded documents.
+pub struct Bm25Index {
+    params: Bm25Params,
+    /// term -> list of (doc, term frequency).
+    postings: FxHashMap<TokenId, Vec<(usize, u32)>>,
+    doc_len: Vec<usize>,
+    avg_len: f64,
+    n_docs: usize,
+}
+
+impl Bm25Index {
+    /// Build from documents (each a token-id sequence).
+    pub fn build(docs: &[Vec<TokenId>], params: Bm25Params) -> Self {
+        let mut postings: FxHashMap<TokenId, Vec<(usize, u32)>> = FxHashMap::default();
+        let mut doc_len = Vec::with_capacity(docs.len());
+        for (di, doc) in docs.iter().enumerate() {
+            doc_len.push(doc.len());
+            let mut tf: FxHashMap<TokenId, u32> = FxHashMap::default();
+            for &t in doc {
+                *tf.entry(t).or_insert(0) += 1;
+            }
+            for (t, f) in tf {
+                postings.entry(t).or_default().push((di, f));
+            }
+        }
+        let n_docs = docs.len();
+        let avg_len = if n_docs == 0 {
+            0.0
+        } else {
+            doc_len.iter().sum::<usize>() as f64 / n_docs as f64
+        };
+        Bm25Index { params, postings, doc_len, avg_len, n_docs }
+    }
+
+    /// Number of docs.
+    pub fn num_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    fn idf(&self, term: TokenId) -> f64 {
+        let df = self.postings.get(&term).map(Vec::len).unwrap_or(0) as f64;
+        // BM25+-style floor keeps idf non-negative.
+        (((self.n_docs as f64 - df + 0.5) / (df + 0.5)) + 1.0).ln()
+    }
+
+    /// BM25 score of a single document for a query.
+    pub fn score(&self, query: &[TokenId], doc: usize) -> f64 {
+        assert!(doc < self.n_docs, "doc id out of range");
+        let mut s = 0.0;
+        let dl = self.doc_len[doc] as f64;
+        for &term in query {
+            let Some(plist) = self.postings.get(&term) else { continue };
+            let Ok(pos) = plist.binary_search_by_key(&doc, |&(d, _)| d) else { continue };
+            let tf = plist[pos].1 as f64;
+            let idf = self.idf(term);
+            let denom = tf + self.params.k1 * (1.0 - self.params.b + self.params.b * dl / self.avg_len.max(1e-9));
+            s += idf * tf * (self.params.k1 + 1.0) / denom;
+        }
+        s
+    }
+
+    /// Top-`k` documents for a query, as `(doc, score)` sorted descending.
+    pub fn search(&self, query: &[TokenId], k: usize) -> Vec<(usize, f64)> {
+        let mut acc: FxHashMap<usize, f64> = FxHashMap::default();
+        let dl_norm = |doc: usize| {
+            1.0 - self.params.b + self.params.b * self.doc_len[doc] as f64 / self.avg_len.max(1e-9)
+        };
+        for &term in query {
+            let Some(plist) = self.postings.get(&term) else { continue };
+            let idf = self.idf(term);
+            for &(doc, tf) in plist {
+                let tf = tf as f64;
+                let score = idf * tf * (self.params.k1 + 1.0) / (tf + self.params.k1 * dl_norm(doc));
+                *acc.entry(doc).or_insert(0.0) += score;
+            }
+        }
+        let mut hits: Vec<(usize, f64)> = acc.into_iter().collect();
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<TokenId>> {
+        vec![
+            vec![1, 2, 3],       // "outdoor barbecue grill"
+            vec![4, 5, 6, 6],    // "red summer dress dress"
+            vec![1, 7],          // "outdoor tent"
+            vec![8, 9, 10, 11],  // unrelated
+        ]
+    }
+
+    #[test]
+    fn exact_match_ranks_first() {
+        let idx = Bm25Index::build(&docs(), Bm25Params::default());
+        let hits = idx.search(&[1, 2], 4);
+        assert_eq!(hits[0].0, 0, "doc 0 contains both query terms");
+        assert!(hits[0].1 > hits[1].1);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        let idx = Bm25Index::build(&docs(), Bm25Params::default());
+        // Term 2 appears in 1 doc; term 1 in 2 docs. idf(2) > idf(1).
+        assert!(idx.idf(2) > idx.idf(1));
+    }
+
+    #[test]
+    fn score_and_search_agree() {
+        let idx = Bm25Index::build(&docs(), Bm25Params::default());
+        let q = vec![1, 2, 3];
+        let hits = idx.search(&q, 4);
+        for &(d, s) in &hits {
+            assert!((idx.score(&q, d) - s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn missing_terms_score_zero() {
+        let idx = Bm25Index::build(&docs(), Bm25Params::default());
+        assert_eq!(idx.score(&[999], 0), 0.0);
+        assert!(idx.search(&[999], 3).is_empty());
+    }
+
+    #[test]
+    fn empty_index_is_safe() {
+        let idx = Bm25Index::build(&[], Bm25Params::default());
+        assert_eq!(idx.num_docs(), 0);
+        assert!(idx.search(&[1], 3).is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Doc2vec in the PV-DBOW flavour (Le & Mikolov 2014).
+//!
+//! The paper uses Doc2vec to encode Wikipedia glosses (§5.2.2, eq. 15) and
+//! surrounding-context documents (§5.3.1). Each document gets a dense vector
+//! trained to predict the words it contains via negative sampling; unseen
+//! documents are embedded by [`Doc2Vec::infer`], which optimizes a fresh
+//! vector against the frozen word matrix.
+
+use alicoco_nn::Tensor;
+use rand::Rng;
+
+use crate::vocab::{TokenId, Vocab, UNK};
+use crate::word2vec::NegativeTable;
+
+/// Training configuration.
+#[derive(Clone, Debug)]
+pub struct Doc2VecConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Negatives.
+    pub negatives: usize,
+    /// Epochs.
+    pub epochs: usize,
+    /// Infer epochs.
+    pub infer_epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Doc2VecConfig {
+    fn default() -> Self {
+        Doc2VecConfig { dim: 24, negatives: 5, epochs: 15, infer_epochs: 20, lr: 0.05, seed: 23 }
+    }
+}
+
+/// A trained PV-DBOW model.
+pub struct Doc2Vec {
+    /// Document vectors, one row per training document.
+    pub doc_vectors: Tensor,
+    /// Output word matrix (shared predictor weights).
+    word_output: Tensor,
+    cfg: Doc2VecConfig,
+    neg_weights: Vec<f64>,
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Doc2Vec {
+    /// Train on id-encoded documents.
+    pub fn train(vocab: &Vocab, docs: &[Vec<TokenId>], cfg: &Doc2VecConfig) -> Self {
+        let d = cfg.dim;
+        let v = vocab.len();
+        let n = docs.len();
+        let mut rng = alicoco_nn::util::seeded_rng(cfg.seed);
+        let mut doc_vecs: Vec<f32> = (0..n * d).map(|_| (rng.gen::<f32>() - 0.5) / d as f32).collect();
+        let mut out: Vec<f32> = vec![0.0; v * d];
+        let table = NegativeTable::new(vocab, 10_000.max(v * 4));
+        let mut grad = vec![0.0f32; d];
+        for epoch in 0..cfg.epochs {
+            let lr = cfg.lr * (1.0 - epoch as f32 / cfg.epochs as f32).max(0.1);
+            for (di, doc) in docs.iter().enumerate() {
+                let doc_row_start = di * d;
+                for &word in doc {
+                    if word == UNK {
+                        continue;
+                    }
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    let doc_row = &mut doc_vecs[doc_row_start..doc_row_start + d];
+                    for s in 0..=cfg.negatives {
+                        let (target, label) = if s == 0 {
+                            (word, 1.0f32)
+                        } else {
+                            (table.sample(&mut rng), 0.0f32)
+                        };
+                        if s > 0 && target == word {
+                            continue;
+                        }
+                        let orow = &mut out[target * d..(target + 1) * d];
+                        let dot: f32 = doc_row.iter().zip(orow.iter()).map(|(a, b)| a * b).sum();
+                        let err = (sigmoid(dot) - label) * lr;
+                        for k in 0..d {
+                            grad[k] += err * orow[k];
+                            orow[k] -= err * doc_row[k];
+                        }
+                    }
+                    for k in 0..d {
+                        doc_row[k] -= grad[k];
+                    }
+                }
+            }
+        }
+        let neg_weights = (0..v)
+            .map(|i| if i == UNK { 0.0 } else { (vocab.count(i) as f64).powf(0.75) })
+            .collect();
+        Doc2Vec {
+            doc_vectors: Tensor::from_vec(n, d, doc_vecs),
+            word_output: Tensor::from_vec(v, d, out),
+            cfg: cfg.clone(),
+            neg_weights,
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    /// Vector of training document `i`.
+    pub fn doc_vector(&self, i: usize) -> &[f32] {
+        self.doc_vectors.row_slice(i)
+    }
+
+    /// Infer a vector for an unseen document by gradient steps on a fresh
+    /// vector with the word matrix frozen. Deterministic given the model.
+    pub fn infer(&self, doc: &[TokenId]) -> Vec<f32> {
+        let d = self.cfg.dim;
+        let mut rng = alicoco_nn::util::seeded_rng(self.cfg.seed ^ 0x5eed);
+        let mut vec: Vec<f32> = (0..d).map(|_| (rng.gen::<f32>() - 0.5) / d as f32).collect();
+        let total: f64 = self.neg_weights.iter().sum::<f64>().max(1e-9);
+        for _ in 0..self.cfg.infer_epochs {
+            for &word in doc {
+                if word == UNK || word >= self.word_output.rows() {
+                    continue;
+                }
+                let mut grad = vec![0.0f32; d];
+                for s in 0..=self.cfg.negatives {
+                    let (target, label) = if s == 0 {
+                        (word, 1.0f32)
+                    } else {
+                        // Roulette-wheel sample from stored weights.
+                        let mut r = rng.gen::<f64>() * total;
+                        let mut t = 0usize;
+                        for (i, w) in self.neg_weights.iter().enumerate() {
+                            r -= w;
+                            if r <= 0.0 {
+                                t = i;
+                                break;
+                            }
+                        }
+                        (t, 0.0f32)
+                    };
+                    if s > 0 && target == word {
+                        continue;
+                    }
+                    let orow = self.word_output.row_slice(target);
+                    let dot: f32 = vec.iter().zip(orow).map(|(a, b)| a * b).sum();
+                    let err = (sigmoid(dot) - label) * self.cfg.lr;
+                    for k in 0..d {
+                        grad[k] += err * orow[k];
+                    }
+                }
+                for k in 0..d {
+                    vec[k] -= grad[k];
+                }
+            }
+        }
+        vec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word2vec::cosine;
+
+    fn toy_docs() -> (Vocab, Vec<Vec<TokenId>>) {
+        let mut docs: Vec<Vec<String>> = Vec::new();
+        for _ in 0..30 {
+            docs.push(["grill", "charcoal", "fire", "meat"].iter().map(|s| s.to_string()).collect());
+            docs.push(["lipstick", "mascara", "beauty", "powder"].iter().map(|s| s.to_string()).collect());
+        }
+        let refs: Vec<&[String]> = docs.iter().map(|s| s.as_slice()).collect();
+        let vocab = Vocab::from_corpus(refs.iter().copied(), 1);
+        let encoded = docs.iter().map(|s| vocab.encode(s)).collect();
+        (vocab, encoded)
+    }
+
+    #[test]
+    fn same_topic_docs_are_closer() {
+        let (vocab, docs) = toy_docs();
+        let model = Doc2Vec::train(&vocab, &docs, &Doc2VecConfig::default());
+        // Docs 0 and 2 are barbecue; doc 1 is beauty.
+        let same = cosine(model.doc_vector(0), model.doc_vector(2));
+        let diff = cosine(model.doc_vector(0), model.doc_vector(1));
+        assert!(same > diff, "same-topic {same} <= cross-topic {diff}");
+    }
+
+    #[test]
+    fn inferred_vector_lands_near_topic() {
+        let (vocab, docs) = toy_docs();
+        let model = Doc2Vec::train(&vocab, &docs, &Doc2VecConfig::default());
+        let unseen = vocab.encode(&["charcoal", "meat", "fire"]);
+        let v = model.infer(&unseen);
+        let to_bbq = cosine(&v, model.doc_vector(0));
+        let to_beauty = cosine(&v, model.doc_vector(1));
+        assert!(to_bbq > to_beauty, "inferred bbq doc closer to beauty ({to_bbq} vs {to_beauty})");
+    }
+
+    #[test]
+    fn infer_is_deterministic() {
+        let (vocab, docs) = toy_docs();
+        let model = Doc2Vec::train(&vocab, &docs, &Doc2VecConfig::default());
+        let doc = vocab.encode(&["grill", "fire"]);
+        assert_eq!(model.infer(&doc), model.infer(&doc));
+    }
+
+    #[test]
+    fn infer_handles_unknown_tokens() {
+        let (vocab, docs) = toy_docs();
+        let model = Doc2Vec::train(&vocab, &docs, &Doc2VecConfig::default());
+        let v = model.infer(&[UNK, UNK]);
+        assert_eq!(v.len(), model.dim());
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,201 @@
+//! Pattern-based hypernym extraction (Hearst 1992) plus the paper's
+//! suffix-grammar rule.
+//!
+//! §4.2.1: the pattern-based method mines hyponym–hypernym pairs from text
+//! via lexical patterns such as "Y such as X", and additionally exploits
+//! head-word grammar ("XX pants" must be a kind of "pants" — in our
+//! synthetic English-like corpus, the compound "alpine-jacket" is a kind of
+//! "jacket").
+
+use alicoco_nn::util::FxHashSet;
+
+/// An extracted `(hyponym, hypernym)` pair with the pattern that produced it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct HypernymPair {
+    /// Hyponym.
+    pub hyponym: String,
+    /// Hypernym.
+    pub hypernym: String,
+    /// Pattern.
+    pub pattern: &'static str,
+}
+
+/// Extract hypernym pairs from one tokenized sentence using Hearst-style
+/// patterns:
+///
+/// - `Y such as X (and/or X2 ...)`
+/// - `X is a Y` / `X is a kind of Y`
+/// - `X and other Y`
+pub fn extract_pairs(tokens: &[&str]) -> Vec<HypernymPair> {
+    let mut out = Vec::new();
+    let n = tokens.len();
+    for i in 0..n {
+        // "Y such as X [and X2 ...]"
+        if i + 3 < n + 1 && i >= 1 && tokens.get(i) == Some(&"such") && tokens.get(i + 1) == Some(&"as") {
+            let hypernym = tokens[i - 1];
+            let mut j = i + 2;
+            while j < n {
+                let tok = tokens[j];
+                if tok == "and" || tok == "or" || tok == "," {
+                    j += 1;
+                    continue;
+                }
+                if !is_content_word(tok) {
+                    break;
+                }
+                out.push(HypernymPair {
+                    hyponym: tok.to_string(),
+                    hypernym: hypernym.to_string(),
+                    pattern: "such_as",
+                });
+                j += 1;
+                // Stop unless a conjunction follows.
+                if j < n && tokens[j] != "and" && tokens[j] != "or" && tokens[j] != "," {
+                    break;
+                }
+            }
+        }
+        // "X is a [kind of] Y"
+        if i + 2 < n && i >= 1 && tokens[i] == "is" && (tokens[i + 1] == "a" || tokens[i + 1] == "an") {
+            let hyponym = tokens[i - 1];
+            let mut k = i + 2;
+            if k + 1 < n && tokens[k] == "kind" && tokens[k + 1] == "of" {
+                k += 2;
+            }
+            if k < n && is_content_word(tokens[k]) && is_content_word(hyponym) {
+                out.push(HypernymPair {
+                    hyponym: hyponym.to_string(),
+                    hypernym: tokens[k].to_string(),
+                    pattern: "is_a",
+                });
+            }
+        }
+        // "X and other Y"
+        if i + 2 < n && i >= 1 && tokens[i] == "and" && tokens[i + 1] == "other" {
+            let hyponym = tokens[i - 1];
+            let hypernym = tokens[i + 2];
+            if is_content_word(hyponym) && is_content_word(hypernym) {
+                out.push(HypernymPair {
+                    hyponym: hyponym.to_string(),
+                    hypernym: hypernym.to_string(),
+                    pattern: "and_other",
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Suffix / head-word rule: a hyphenated compound `a-b` is a kind of its
+/// head `b` when `b` is a known term ("alpine-jacket" isA "jacket"). This is
+/// the analogue of the paper's "XX裤 must be a 裤" rule.
+pub fn head_word_pairs<'a>(
+    terms: impl IntoIterator<Item = &'a str>,
+    known_heads: &FxHashSet<String>,
+) -> Vec<HypernymPair> {
+    let mut out = Vec::new();
+    for term in terms {
+        if let Some((_, head)) = term.rsplit_once('-') {
+            if known_heads.contains(head) && head != term {
+                out.push(HypernymPair {
+                    hyponym: term.to_string(),
+                    hypernym: head.to_string(),
+                    pattern: "head_word",
+                });
+            }
+        }
+    }
+    out
+}
+
+fn is_content_word(tok: &str) -> bool {
+    const STOP: &[&str] = &[
+        "a", "an", "the", "and", "or", "of", "for", "in", "on", "with", "to", "is", "are", ",",
+        ".", "such", "as", "other",
+    ];
+    !tok.is_empty() && !STOP.contains(&tok)
+}
+
+/// Scan a corpus of tokenized sentences and return the deduplicated pairs.
+pub fn extract_from_corpus<'a, I, S>(sentences: I) -> Vec<HypernymPair>
+where
+    I: IntoIterator<Item = &'a [S]>,
+    S: AsRef<str> + 'a,
+{
+    let mut seen: FxHashSet<HypernymPair> = FxHashSet::default();
+    let mut out = Vec::new();
+    for sent in sentences {
+        let toks: Vec<&str> = sent.iter().map(|s| s.as_ref()).collect();
+        for pair in extract_pairs(&toks) {
+            if seen.insert(pair.clone()) {
+                out.push(pair);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn such_as_single() {
+        let pairs = extract_pairs(&["tops", "such", "as", "jackets"]);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].hyponym, "jackets");
+        assert_eq!(pairs[0].hypernym, "tops");
+    }
+
+    #[test]
+    fn such_as_conjunction_list() {
+        let pairs = extract_pairs(&["tops", "such", "as", "jackets", "and", "hoodies"]);
+        let hyponyms: Vec<&str> = pairs.iter().map(|p| p.hyponym.as_str()).collect();
+        assert!(hyponyms.contains(&"jackets"));
+        assert!(hyponyms.contains(&"hoodies"));
+    }
+
+    #[test]
+    fn is_a_and_kind_of() {
+        let a = extract_pairs(&["jacket", "is", "a", "top"]);
+        assert_eq!(a[0].hyponym, "jacket");
+        assert_eq!(a[0].hypernym, "top");
+        let b = extract_pairs(&["jacket", "is", "a", "kind", "of", "top"]);
+        assert_eq!(b[0].hypernym, "top");
+    }
+
+    #[test]
+    fn and_other() {
+        let pairs = extract_pairs(&["buy", "grills", "and", "other", "cookware"]);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].hyponym, "grills");
+        assert_eq!(pairs[0].hypernym, "cookware");
+    }
+
+    #[test]
+    fn stop_words_do_not_become_terms() {
+        let pairs = extract_pairs(&["the", "is", "a", "of"]);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn head_word_rule() {
+        let heads: FxHashSet<String> =
+            ["jacket".to_string(), "pants".to_string()].into_iter().collect();
+        let pairs = head_word_pairs(["alpine-jacket", "cargo-pants", "snowboard"], &heads);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].hypernym, "jacket");
+        assert_eq!(pairs[1].hypernym, "pants");
+    }
+
+    #[test]
+    fn corpus_extraction_dedupes() {
+        let sents: Vec<Vec<String>> = vec![
+            vec!["tops", "such", "as", "jackets"].into_iter().map(String::from).collect(),
+            vec!["tops", "such", "as", "jackets"].into_iter().map(String::from).collect(),
+        ];
+        let refs: Vec<&[String]> = sents.iter().map(|s| s.as_slice()).collect();
+        let pairs = extract_from_corpus(refs.iter().copied());
+        assert_eq!(pairs.len(), 1);
+    }
+}

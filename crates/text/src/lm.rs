@@ -1,0 +1,179 @@
+//! Interpolated trigram language model with perplexity scoring.
+//!
+//! Substitutes the paper's e-commerce BERT: the concept classifier (§5.2.2)
+//! only consumes a *fluency* feature — the perplexity of the candidate
+//! phrase. An interpolated n-gram model ranks fluent phrases below shuffled
+//! or implausible ones on the same corpus, which is all the wide feature
+//! needs.
+
+use alicoco_nn::util::FxHashMap;
+
+use crate::vocab::TokenId;
+
+/// Sentence-boundary marker ids are synthesized internally; callers only
+/// provide real token ids.
+const BOS: u64 = u64::MAX - 1;
+const EOS: u64 = u64::MAX;
+
+#[inline]
+fn key2(a: u64, b: u64) -> (u64, u64) {
+    (a, b)
+}
+
+/// An interpolated trigram LM: `p = l3*p3 + l2*p2 + l1*p1 + l0*uniform`.
+#[derive(Clone, Debug)]
+pub struct NgramLm {
+    unigram: FxHashMap<u64, u64>,
+    bigram: FxHashMap<(u64, u64), u64>,
+    trigram: FxHashMap<(u64, u64, u64), u64>,
+    total_unigrams: u64,
+    vocab_size: usize,
+    /// Interpolation weights `(l3, l2, l1)`; the uniform floor gets the rest.
+    pub lambdas: (f64, f64, f64),
+}
+
+impl NgramLm {
+    /// Train on id-encoded sentences. `vocab_size` controls the uniform
+    /// floor.
+    pub fn train(sentences: &[Vec<TokenId>], vocab_size: usize) -> Self {
+        let mut lm = NgramLm {
+            unigram: FxHashMap::default(),
+            bigram: FxHashMap::default(),
+            trigram: FxHashMap::default(),
+            total_unigrams: 0,
+            vocab_size: vocab_size.max(1),
+            lambdas: (0.5, 0.3, 0.15),
+        };
+        for sent in sentences {
+            let padded: Vec<u64> = std::iter::once(BOS)
+                .chain(std::iter::once(BOS))
+                .chain(sent.iter().map(|&t| t as u64))
+                .chain(std::iter::once(EOS))
+                .collect();
+            for w in padded.windows(3) {
+                *lm.trigram.entry((w[0], w[1], w[2])).or_insert(0) += 1;
+            }
+            for w in padded.windows(2) {
+                *lm.bigram.entry(key2(w[0], w[1])).or_insert(0) += 1;
+            }
+            for &t in &padded[2..] {
+                *lm.unigram.entry(t).or_insert(0) += 1;
+                lm.total_unigrams += 1;
+            }
+        }
+        lm
+    }
+
+    fn p_unigram(&self, w: u64) -> f64 {
+        if self.total_unigrams == 0 {
+            return 0.0;
+        }
+        *self.unigram.get(&w).unwrap_or(&0) as f64 / self.total_unigrams as f64
+    }
+
+    fn p_bigram(&self, a: u64, w: u64) -> f64 {
+        let ctx = *self.unigram.get(&a).unwrap_or(&0) + u64::from(a == BOS) * self.sentence_count();
+        if ctx == 0 {
+            return 0.0;
+        }
+        *self.bigram.get(&key2(a, w)).unwrap_or(&0) as f64 / ctx as f64
+    }
+
+    fn p_trigram(&self, a: u64, b: u64, w: u64) -> f64 {
+        let ctx = *self.bigram.get(&key2(a, b)).unwrap_or(&0);
+        if ctx == 0 {
+            return 0.0;
+        }
+        *self.trigram.get(&(a, b, w)).unwrap_or(&0) as f64 / ctx as f64
+    }
+
+    fn sentence_count(&self) -> u64 {
+        *self.unigram.get(&EOS).unwrap_or(&0)
+    }
+
+    fn p_interp(&self, a: u64, b: u64, w: u64) -> f64 {
+        let (l3, l2, l1) = self.lambdas;
+        let l0 = 1.0 - l3 - l2 - l1;
+        l3 * self.p_trigram(a, b, w)
+            + l2 * self.p_bigram(b, w)
+            + l1 * self.p_unigram(w)
+            + l0 / self.vocab_size as f64
+    }
+
+    /// Log-probability (natural log) of a sentence including the end marker.
+    pub fn log_prob(&self, sent: &[TokenId]) -> f64 {
+        let padded: Vec<u64> = std::iter::once(BOS)
+            .chain(std::iter::once(BOS))
+            .chain(sent.iter().map(|&t| t as u64))
+            .chain(std::iter::once(EOS))
+            .collect();
+        padded
+            .windows(3)
+            .map(|w| self.p_interp(w[0], w[1], w[2]).max(1e-12).ln())
+            .sum()
+    }
+
+    /// Perplexity of a sentence: `exp(-log_prob / (len + 1))`.
+    pub fn perplexity(&self, sent: &[TokenId]) -> f64 {
+        if sent.is_empty() {
+            return self.vocab_size as f64;
+        }
+        (-self.log_prob(sent) / (sent.len() + 1) as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_toy() -> NgramLm {
+        // "warm hat for kids" style sentences; word ids: 1 warm, 2 hat,
+        // 3 for, 4 kids, 5 shoes.
+        let mut sents = Vec::new();
+        for _ in 0..50 {
+            sents.push(vec![1, 2, 3, 4]);
+            sents.push(vec![1, 5, 3, 4]);
+        }
+        NgramLm::train(&sents, 10)
+    }
+
+    #[test]
+    fn seen_order_beats_shuffled_order() {
+        let lm = train_toy();
+        let fluent = lm.perplexity(&[1, 2, 3, 4]);
+        let shuffled = lm.perplexity(&[4, 3, 2, 1]);
+        assert!(
+            fluent < shuffled,
+            "fluent ppl {fluent} should be below shuffled {shuffled}"
+        );
+    }
+
+    #[test]
+    fn unseen_words_raise_perplexity() {
+        let lm = train_toy();
+        let seen = lm.perplexity(&[1, 2, 3, 4]);
+        let unseen = lm.perplexity(&[7, 8, 9]);
+        assert!(seen < unseen);
+    }
+
+    #[test]
+    fn empty_sentence_has_finite_ppl() {
+        let lm = train_toy();
+        assert!(lm.perplexity(&[]).is_finite());
+    }
+
+    #[test]
+    fn log_prob_is_negative_and_finite() {
+        let lm = train_toy();
+        let lp = lm.log_prob(&[1, 2, 3, 4]);
+        assert!(lp.is_finite());
+        assert!(lp < 0.0);
+    }
+
+    #[test]
+    fn probabilities_interpolate_to_valid_range() {
+        let lm = train_toy();
+        let p = lm.p_interp(1, 2, 3);
+        assert!(p > 0.0 && p <= 1.0);
+    }
+}

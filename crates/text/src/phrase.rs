@@ -1,0 +1,204 @@
+//! Quality-phrase mining from raw corpora.
+//!
+//! Substitutes AutoPhrase (Shang et al. 2018), which the paper uses to mine
+//! e-commerce concept candidates from queries, titles, reviews and shopping
+//! guides (§5.2.1). Candidates are frequent n-grams scored by pointwise
+//! mutual information (cohesion — do the words belong together?) and left /
+//! right boundary entropy (completeness — does the phrase appear in diverse
+//! contexts, i.e. is it a free-standing unit?).
+
+use alicoco_nn::util::FxHashMap;
+
+use crate::vocab::TokenId;
+
+/// Mining configuration.
+#[derive(Clone, Debug)]
+pub struct PhraseMinerConfig {
+    /// Minimum phrase frequency.
+    pub min_count: u64,
+    /// Minimum and maximum phrase length in tokens.
+    pub min_len: usize,
+    /// Max len.
+    pub max_len: usize,
+    /// Quality-score threshold in `[0, 1]`.
+    pub min_score: f64,
+}
+
+impl Default for PhraseMinerConfig {
+    fn default() -> Self {
+        PhraseMinerConfig { min_count: 3, min_len: 2, max_len: 4, min_score: 0.25 }
+    }
+}
+
+/// A mined phrase candidate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhraseCandidate {
+    /// Tokens.
+    pub tokens: Vec<TokenId>,
+    /// Count.
+    pub count: u64,
+    /// Normalized PMI cohesion in roughly `[-1, 1]`.
+    pub cohesion: f64,
+    /// Min of left/right boundary entropy (nats).
+    pub boundary_entropy: f64,
+    /// Combined quality score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Sentinel for sentence boundaries in context statistics.
+const BOUNDARY: u64 = u64::MAX;
+
+/// Mine phrase candidates from id-encoded sentences.
+pub fn mine(sentences: &[Vec<TokenId>], cfg: &PhraseMinerConfig) -> Vec<PhraseCandidate> {
+    assert!(cfg.min_len >= 2, "phrases must have at least 2 tokens");
+    assert!(cfg.max_len >= cfg.min_len);
+
+    let mut unigram: FxHashMap<TokenId, u64> = FxHashMap::default();
+    let mut total_tokens = 0u64;
+    for s in sentences {
+        for &t in s {
+            *unigram.entry(t).or_insert(0) += 1;
+            total_tokens += 1;
+        }
+    }
+    if total_tokens == 0 {
+        return Vec::new();
+    }
+
+    // N-gram counts plus left/right context distributions.
+    type Ctx = FxHashMap<u64, u64>;
+    let mut grams: FxHashMap<Vec<TokenId>, (u64, Ctx, Ctx)> = FxHashMap::default();
+    for s in sentences {
+        for n in cfg.min_len..=cfg.max_len {
+            if s.len() < n {
+                continue;
+            }
+            for i in 0..=s.len() - n {
+                let gram = s[i..i + n].to_vec();
+                let entry = grams.entry(gram).or_insert_with(|| (0, Ctx::default(), Ctx::default()));
+                entry.0 += 1;
+                let left = if i == 0 { BOUNDARY } else { s[i - 1] as u64 };
+                let right = if i + n == s.len() { BOUNDARY } else { s[i + n] as u64 };
+                *entry.1.entry(left).or_insert(0) += 1;
+                *entry.2.entry(right).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let entropy = |ctx: &Ctx| -> f64 {
+        let total: u64 = ctx.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        ctx.values()
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.ln()
+            })
+            .sum()
+    };
+
+    let mut out = Vec::new();
+    for (tokens, (count, lctx, rctx)) in &grams {
+        if *count < cfg.min_count {
+            continue;
+        }
+        // Normalized PMI: log(p(gram) / prod p(w)) / (-log p(gram)).
+        let p_gram = *count as f64 / total_tokens as f64;
+        let mut indep = 1.0f64;
+        for t in tokens {
+            indep *= *unigram.get(t).unwrap_or(&1) as f64 / total_tokens as f64;
+        }
+        let pmi = (p_gram / indep.max(1e-300)).ln();
+        let npmi = pmi / (-(p_gram.ln())).max(1e-9);
+        let be = entropy(lctx).min(entropy(rctx));
+        // Squash into [0,1]: cohesion must be positive, and boundary entropy
+        // saturates around ~2 nats.
+        let score = (npmi.clamp(0.0, 1.0)) * (1.0 - (-be).exp());
+        if score >= cfg.min_score {
+            out.push(PhraseCandidate {
+                tokens: tokens.clone(),
+                count: *count,
+                cohesion: npmi,
+                boundary_entropy: be,
+                score,
+            });
+        }
+    }
+    // Deterministic: by score desc, then tokens.
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.tokens.cmp(&b.tokens))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocab;
+
+    /// Corpus where "outdoor barbecue" is a strong phrase appearing in many
+    /// contexts, while "barbecue the" is a junk bigram.
+    fn toy() -> (Vocab, Vec<Vec<TokenId>>) {
+        let raw: Vec<Vec<&str>> = vec![
+            vec!["i", "love", "outdoor", "barbecue", "with", "friends"],
+            vec!["great", "outdoor", "barbecue", "tools"],
+            vec!["outdoor", "barbecue", "needs", "charcoal"],
+            vec!["plan", "an", "outdoor", "barbecue", "today"],
+            vec!["buy", "outdoor", "barbecue", "grill"],
+            vec!["the", "weather", "suits", "outdoor", "barbecue", "fun"],
+        ];
+        let owned: Vec<Vec<String>> =
+            raw.iter().map(|s| s.iter().map(|w| w.to_string()).collect()).collect();
+        let refs: Vec<&[String]> = owned.iter().map(|s| s.as_slice()).collect();
+        let vocab = Vocab::from_corpus(refs.iter().copied(), 1);
+        let enc = owned.iter().map(|s| vocab.encode(s)).collect();
+        (vocab, enc)
+    }
+
+    #[test]
+    fn mines_the_strong_phrase() {
+        let (vocab, sents) = toy();
+        let cands = mine(&sents, &PhraseMinerConfig { min_count: 3, ..Default::default() });
+        assert!(!cands.is_empty());
+        let top = &cands[0];
+        let words: Vec<&str> = top.tokens.iter().map(|&t| vocab.token(t)).collect();
+        assert_eq!(words, vec!["outdoor", "barbecue"]);
+        assert!(top.count >= 6);
+        assert!(top.boundary_entropy > 1.0, "phrase seen in many contexts");
+    }
+
+    #[test]
+    fn respects_min_count() {
+        let (_, sents) = toy();
+        let cands = mine(&sents, &PhraseMinerConfig { min_count: 100, ..Default::default() });
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn empty_corpus_yields_nothing() {
+        let cands = mine(&[], &PhraseMinerConfig::default());
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_by_score() {
+        let (_, sents) = toy();
+        let cands = mine(
+            &sents,
+            &PhraseMinerConfig { min_count: 1, min_score: 0.0, ..Default::default() },
+        );
+        for w in cands.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 tokens")]
+    fn unigram_phrases_rejected() {
+        mine(&[], &PhraseMinerConfig { min_len: 1, ..Default::default() });
+    }
+}

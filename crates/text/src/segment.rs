@@ -1,0 +1,285 @@
+//! Dictionary-based word segmentation by dynamic-programming max-matching.
+//!
+//! The paper (§7.2) generates distant-supervision training data by running a
+//! "dynamic programming algorithm of max-matching" over unsegmented text with
+//! the existing primitive-concept lexicon, keeping only sentences that match
+//! *perfectly* (every word tagged by exactly one label). This module
+//! implements that algorithm over character sequences.
+
+use alicoco_nn::util::{FxHashMap, FxHashSet};
+
+/// A lexicon-driven segmenter.
+///
+/// Entries are strings; segmentation splits an unspaced character string into
+/// lexicon entries, maximizing (a) characters covered by entries and
+/// (b) preferring longer entries, via dynamic programming.
+#[derive(Clone, Debug, Default)]
+pub struct MaxMatchSegmenter {
+    entries: FxHashSet<String>,
+    max_len: usize,
+}
+
+/// One segment of a segmentation result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// The surface text of the segment.
+    pub text: String,
+    /// Whether the segment is a lexicon entry (vs. an uncovered gap).
+    pub in_lexicon: bool,
+}
+
+impl MaxMatchSegmenter {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// From entries.
+    pub fn from_entries<S: AsRef<str>>(entries: impl IntoIterator<Item = S>) -> Self {
+        let mut s = Self::new();
+        for e in entries {
+            s.insert(e.as_ref());
+        }
+        s
+    }
+
+    /// Insert.
+    pub fn insert(&mut self, entry: &str) {
+        if entry.is_empty() {
+            return;
+        }
+        self.max_len = self.max_len.max(entry.chars().count());
+        self.entries.insert(entry.to_string());
+    }
+
+    /// Contains.
+    pub fn contains(&self, entry: &str) -> bool {
+        self.entries.contains(entry)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Segment `text` (treated as a character sequence, no whitespace
+    /// splitting) into lexicon entries and gap segments.
+    ///
+    /// DP objective: maximize covered characters; break ties toward fewer
+    /// segments (i.e. prefer longer matches).
+    pub fn segment(&self, text: &str) -> Vec<Segment> {
+        let chars: Vec<char> = text.chars().collect();
+        let n = chars.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // best[i]: (covered chars, -segments) achievable for prefix of len i.
+        #[derive(Clone, Copy)]
+        struct Cell {
+            covered: usize,
+            segs: usize,
+            /// Back-pointer: (start, matched).
+            back: (usize, bool),
+        }
+        let mut best: Vec<Option<Cell>> = vec![None; n + 1];
+        best[0] = Some(Cell { covered: 0, segs: 0, back: (0, false) });
+        let mut buf = String::new();
+        for i in 0..n {
+            let Some(cur) = best[i] else { continue };
+            // Option 1: single uncovered char.
+            let cand = Cell { covered: cur.covered, segs: cur.segs + 1, back: (i, false) };
+            if better(&best[i + 1], &cand) {
+                best[i + 1] = Some(cand);
+            }
+            // Option 2: lexicon entry starting at i.
+            let max_j = (i + self.max_len).min(n);
+            for j in (i + 1)..=max_j {
+                buf.clear();
+                buf.extend(&chars[i..j]);
+                if self.entries.contains(buf.as_str()) {
+                    let cand = Cell {
+                        covered: cur.covered + (j - i),
+                        segs: cur.segs + 1,
+                        back: (i, true),
+                    };
+                    if better(&best[j], &cand) {
+                        best[j] = Some(cand);
+                    }
+                }
+            }
+        }
+        fn better(old: &Option<Cell>, new: &Cell) -> bool {
+            match old {
+                None => true,
+                Some(o) => {
+                    new.covered > o.covered || (new.covered == o.covered && new.segs < o.segs)
+                }
+            }
+        }
+        // Reconstruct.
+        let mut out = Vec::new();
+        let mut i = n;
+        while i > 0 {
+            let cell = best[i].expect("dp table hole");
+            let (start, matched) = cell.back;
+            let text: String = chars[start..i].iter().collect();
+            out.push(Segment { text, in_lexicon: matched });
+            i = start;
+        }
+        out.reverse();
+        // Merge adjacent gap segments into one.
+        let mut merged: Vec<Segment> = Vec::with_capacity(out.len());
+        for seg in out {
+            match merged.last_mut() {
+                Some(last) if !last.in_lexicon && !seg.in_lexicon => last.text.push_str(&seg.text),
+                _ => merged.push(seg),
+            }
+        }
+        merged
+    }
+
+    /// True when `text` segments *perfectly*: every segment is a lexicon
+    /// entry. This is the paper's filter for distant-supervision sentences.
+    pub fn matches_perfectly(&self, text: &str) -> bool {
+        let segs = self.segment(text);
+        !segs.is_empty() && segs.iter().all(|s| s.in_lexicon)
+    }
+}
+
+/// A segmenter whose entries carry a label, used to produce IOB-tagged
+/// distant-supervision data (§7.2).
+#[derive(Clone, Debug, Default)]
+pub struct LabeledSegmenter {
+    segmenter: MaxMatchSegmenter,
+    labels: FxHashMap<String, Vec<usize>>,
+}
+
+impl LabeledSegmenter {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a lexicon entry with a class label. The same surface form may
+    /// carry several labels (ambiguity).
+    pub fn insert(&mut self, entry: &str, label: usize) {
+        self.segmenter.insert(entry);
+        let ls = self.labels.entry(entry.to_string()).or_default();
+        if !ls.contains(&label) {
+            ls.push(label);
+        }
+    }
+
+    /// Labels of.
+    pub fn labels_of(&self, entry: &str) -> &[usize] {
+        self.labels.get(entry).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Segment and label `text`. Returns `None` unless the match is perfect
+    /// and every segment has exactly **one** label — the paper reserves
+    /// ambiguous sentences out of the training data.
+    pub fn unambiguous_segments(&self, text: &str) -> Option<Vec<(String, usize)>> {
+        let segs = self.segmenter.segment(text);
+        if segs.is_empty() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(segs.len());
+        for s in segs {
+            if !s.in_lexicon {
+                return None;
+            }
+            let labels = self.labels_of(&s.text);
+            if labels.len() != 1 {
+                return None;
+            }
+            out.push((s.text, labels[0]));
+        }
+        Some(out)
+    }
+
+    /// Segmenter.
+    pub fn segmenter(&self) -> &MaxMatchSegmenter {
+        &self.segmenter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(entries: &[&str]) -> MaxMatchSegmenter {
+        MaxMatchSegmenter::from_entries(entries.iter().copied())
+    }
+
+    #[test]
+    fn empty_text_yields_nothing() {
+        assert!(seg(&["a"]).segment("").is_empty());
+    }
+
+    #[test]
+    fn prefers_longer_match() {
+        let s = seg(&["out", "door", "outdoor"]);
+        let r = s.segment("outdoor");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].text, "outdoor");
+        assert!(r[0].in_lexicon);
+    }
+
+    #[test]
+    fn maximizes_coverage_over_greedy() {
+        // Greedy left-to-right would take "abc" then fail on "de"; DP finds
+        // "ab" + "cde" covering everything.
+        let s = seg(&["abc", "ab", "cde"]);
+        let r = s.segment("abcde");
+        let texts: Vec<&str> = r.iter().map(|x| x.text.as_str()).collect();
+        assert_eq!(texts, vec!["ab", "cde"]);
+        assert!(s.matches_perfectly("abcde"));
+    }
+
+    #[test]
+    fn gaps_are_merged() {
+        let s = seg(&["warm", "hat"]);
+        let r = s.segment("warmxxhat");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[1].text, "xx");
+        assert!(!r[1].in_lexicon);
+        assert!(!s.matches_perfectly("warmxxhat"));
+    }
+
+    #[test]
+    fn unicode_entries_segment_correctly() {
+        let s = seg(&["牛仔裤", "红色"]);
+        let r = s.segment("红色牛仔裤");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].text, "红色");
+        assert_eq!(r[1].text, "牛仔裤");
+        assert!(s.matches_perfectly("红色牛仔裤"));
+    }
+
+    #[test]
+    fn labeled_segmenter_rejects_ambiguity() {
+        let mut ls = LabeledSegmenter::new();
+        ls.insert("village", 0); // Location
+        ls.insert("village", 1); // Style — ambiguous!
+        ls.insert("skirt", 2);
+        assert!(ls.unambiguous_segments("villageskirt").is_none());
+
+        let mut ls2 = LabeledSegmenter::new();
+        ls2.insert("red", 3);
+        ls2.insert("skirt", 2);
+        let r = ls2.unambiguous_segments("redskirt").unwrap();
+        assert_eq!(r, vec![("red".to_string(), 3), ("skirt".to_string(), 2)]);
+    }
+
+    #[test]
+    fn labeled_segmenter_rejects_gaps() {
+        let mut ls = LabeledSegmenter::new();
+        ls.insert("red", 0);
+        assert!(ls.unambiguous_segments("redzz").is_none());
+    }
+}

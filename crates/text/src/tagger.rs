@@ -1,0 +1,179 @@
+//! Lexicon-based POS and NER taggers.
+//!
+//! The paper feeds POS-tag and NER-label embeddings into its deep models
+//! (§5.2.2, §5.3.1, §6) using off-the-shelf taggers. Offline, we derive the
+//! tags from lexicons (the synthetic world generator knows each token's
+//! class) with suffix heuristics as fallback — the downstream models only
+//! consume tag-id embeddings, so lexicon provenance is equivalent.
+
+use alicoco_nn::util::FxHashMap;
+
+/// A coarse part-of-speech tag set sufficient for feature embeddings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    /// Noun.
+    Noun,
+    /// Adjective.
+    Adjective,
+    /// Verb.
+    Verb,
+    /// Preposition.
+    Preposition,
+    /// Other.
+    Other,
+}
+
+impl PosTag {
+    /// Count.
+    pub const COUNT: usize = 5;
+
+    /// Stable index.
+    pub fn index(self) -> usize {
+        match self {
+            PosTag::Noun => 0,
+            PosTag::Adjective => 1,
+            PosTag::Verb => 2,
+            PosTag::Preposition => 3,
+            PosTag::Other => 4,
+        }
+    }
+}
+
+/// Lexicon-backed POS tagger with suffix heuristics.
+#[derive(Clone, Debug, Default)]
+pub struct PosTagger {
+    lexicon: FxHashMap<String, PosTag>,
+}
+
+impl PosTagger {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert.
+    pub fn insert(&mut self, token: &str, tag: PosTag) {
+        self.lexicon.insert(token.to_string(), tag);
+    }
+
+    /// Tag.
+    pub fn tag(&self, token: &str) -> PosTag {
+        if let Some(&t) = self.lexicon.get(token) {
+            return t;
+        }
+        // Suffix heuristics for out-of-lexicon tokens.
+        const PREPOSITIONS: &[&str] = &["for", "in", "on", "with", "of", "to", "at", "from"];
+        if PREPOSITIONS.contains(&token) {
+            return PosTag::Preposition;
+        }
+        if token.ends_with("ing") || token.ends_with("ed") {
+            return PosTag::Verb;
+        }
+        if token.ends_with("ful")
+            || token.ends_with("ous")
+            || token.ends_with("ive")
+            || token.ends_with("able")
+            || token.ends_with("al")
+            || token.ends_with("y")
+        {
+            return PosTag::Adjective;
+        }
+        if token.chars().all(|c| c.is_alphabetic() || c == '-') && !token.is_empty() {
+            return PosTag::Noun;
+        }
+        PosTag::Other
+    }
+
+    /// Tag a sequence, returning tag indices (for embedding lookup).
+    pub fn tag_indices(&self, tokens: &[&str]) -> Vec<usize> {
+        tokens.iter().map(|t| self.tag(t).index()).collect()
+    }
+}
+
+/// Lexicon-backed named-entity labeler: maps tokens to class ids (e.g. the
+/// taxonomy's 20 domains), with `0` reserved for "outside".
+#[derive(Clone, Debug, Default)]
+pub struct NerTagger {
+    lexicon: FxHashMap<String, usize>,
+    num_labels: usize,
+}
+
+impl NerTagger {
+    /// `num_labels` counts real classes; emitted indices are in
+    /// `0..=num_labels` where `0` = outside.
+    pub fn new(num_labels: usize) -> Self {
+        NerTagger { lexicon: FxHashMap::default(), num_labels }
+    }
+
+    /// Insert a token with a 1-based class id.
+    ///
+    /// # Panics
+    /// Panics if `class_id` is 0 or exceeds `num_labels`.
+    pub fn insert(&mut self, token: &str, class_id: usize) {
+        assert!(class_id >= 1 && class_id <= self.num_labels, "class id out of range");
+        self.lexicon.insert(token.to_string(), class_id);
+    }
+
+    /// Label index of a token (`0` when unknown).
+    pub fn tag(&self, token: &str) -> usize {
+        self.lexicon.get(token).copied().unwrap_or(0)
+    }
+
+    /// Tag indices.
+    pub fn tag_indices(&self, tokens: &[&str]) -> Vec<usize> {
+        tokens.iter().map(|t| self.tag(t)).collect()
+    }
+
+    /// Number of distinct emitted indices (`num_labels + 1` for outside).
+    pub fn num_indices(&self) -> usize {
+        self.num_labels + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicon_overrides_heuristics() {
+        let mut t = PosTagger::new();
+        t.insert("swimming", PosTag::Noun); // heuristics would say Verb
+        assert_eq!(t.tag("swimming"), PosTag::Noun);
+        assert_eq!(t.tag("running"), PosTag::Verb);
+    }
+
+    #[test]
+    fn suffix_heuristics() {
+        let t = PosTagger::new();
+        assert_eq!(t.tag("waterproof"), PosTag::Noun);
+        assert_eq!(t.tag("colorful"), PosTag::Adjective);
+        assert_eq!(t.tag("cozy"), PosTag::Adjective);
+        assert_eq!(t.tag("for"), PosTag::Preposition);
+        assert_eq!(t.tag("123"), PosTag::Other);
+    }
+
+    #[test]
+    fn tag_indices_align() {
+        let t = PosTagger::new();
+        let idx = t.tag_indices(&["warm", "hat", "for", "traveling"]);
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx[2], PosTag::Preposition.index());
+        assert!(idx.iter().all(|&i| i < PosTag::COUNT));
+    }
+
+    #[test]
+    fn ner_unknown_is_outside() {
+        let mut n = NerTagger::new(3);
+        n.insert("nike", 2);
+        assert_eq!(n.tag("nike"), 2);
+        assert_eq!(n.tag("zzz"), 0);
+        assert_eq!(n.num_indices(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "class id out of range")]
+    fn ner_rejects_zero_class() {
+        let mut n = NerTagger::new(3);
+        n.insert("x", 0);
+    }
+}

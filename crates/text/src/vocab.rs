@@ -1,0 +1,166 @@
+//! String-interning vocabulary with frequency counts.
+
+use alicoco_nn::util::FxHashMap;
+
+/// Token id. `0` is always the unknown token `<unk>`.
+pub type TokenId = usize;
+
+/// The reserved unknown-token id.
+pub const UNK: TokenId = 0;
+
+/// A bidirectional token ↔ id map with occurrence counts.
+#[derive(Clone, Debug, Default)]
+pub struct Vocab {
+    token_to_id: FxHashMap<String, TokenId>,
+    id_to_token: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl Vocab {
+    /// An empty vocabulary containing only `<unk>`.
+    pub fn new() -> Self {
+        let mut v = Vocab {
+            token_to_id: FxHashMap::default(),
+            id_to_token: Vec::new(),
+            counts: Vec::new(),
+        };
+        v.add("<unk>");
+        v
+    }
+
+    /// Build from a token-sequence corpus, keeping tokens with at least
+    /// `min_count` occurrences.
+    pub fn from_corpus<'a, I, S>(sentences: I, min_count: u64) -> Self
+    where
+        I: IntoIterator<Item = &'a [S]>,
+        S: AsRef<str> + 'a,
+    {
+        let mut freq: FxHashMap<&str, u64> = FxHashMap::default();
+        for sent in sentences {
+            for tok in sent {
+                *freq.entry(tok.as_ref()).or_insert(0) += 1;
+            }
+        }
+        let mut items: Vec<(&str, u64)> = freq.into_iter().filter(|&(_, c)| c >= min_count).collect();
+        // Deterministic order: by count desc, then token.
+        items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let mut v = Vocab::new();
+        for (tok, c) in items {
+            let id = v.add(tok);
+            v.counts[id] = c;
+        }
+        v
+    }
+
+    /// Intern `token`, returning its id (existing or new).
+    pub fn add(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.token_to_id.get(token) {
+            self.counts[id] += 1;
+            return id;
+        }
+        let id = self.id_to_token.len();
+        self.token_to_id.insert(token.to_string(), id);
+        self.id_to_token.push(token.to_string());
+        self.counts.push(0);
+        id
+    }
+
+    /// Id of `token`, or `None` if unseen.
+    pub fn get(&self, token: &str) -> Option<TokenId> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Id of `token`, falling back to [`UNK`].
+    pub fn get_or_unk(&self, token: &str) -> TokenId {
+        self.get(token).unwrap_or(UNK)
+    }
+
+    /// Token string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn token(&self, id: TokenId) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// Occurrence count recorded for `id`.
+    pub fn count(&self, id: TokenId) -> u64 {
+        self.counts[id]
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Map a token sequence to ids (unknowns become [`UNK`]).
+    pub fn encode<S: AsRef<str>>(&self, tokens: &[S]) -> Vec<TokenId> {
+        tokens.iter().map(|t| self.get_or_unk(t.as_ref())).collect()
+    }
+
+    /// Iterate `(id, token, count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str, u64)> {
+        self.id_to_token
+            .iter()
+            .enumerate()
+            .map(move |(i, t)| (i, t.as_str(), self.counts[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_vocab_has_unk() {
+        let v = Vocab::new();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.token(UNK), "<unk>");
+        assert_eq!(v.get_or_unk("missing"), UNK);
+    }
+
+    #[test]
+    fn add_is_idempotent_on_id() {
+        let mut v = Vocab::new();
+        let a = v.add("grill");
+        let b = v.add("grill");
+        assert_eq!(a, b);
+        assert_eq!(v.count(a), 1); // second add counted as an occurrence
+    }
+
+    #[test]
+    fn from_corpus_respects_min_count() {
+        let sents: Vec<Vec<String>> = vec![
+            vec!["a".into(), "b".into(), "a".into()],
+            vec!["a".into(), "c".into()],
+        ];
+        let refs: Vec<&[String]> = sents.iter().map(|s| s.as_slice()).collect();
+        let v = Vocab::from_corpus(refs.iter().copied(), 2);
+        assert!(v.get("a").is_some());
+        assert!(v.get("b").is_none());
+        assert!(v.get("c").is_none());
+        assert_eq!(v.count(v.get("a").unwrap()), 3);
+    }
+
+    #[test]
+    fn from_corpus_is_deterministic() {
+        let sents: Vec<Vec<String>> = vec![vec!["x".into(), "y".into(), "z".into()]];
+        let refs: Vec<&[String]> = sents.iter().map(|s| s.as_slice()).collect();
+        let a = Vocab::from_corpus(refs.iter().copied(), 1);
+        let b = Vocab::from_corpus(refs.iter().copied(), 1);
+        assert_eq!(a.get("y"), b.get("y"));
+    }
+
+    #[test]
+    fn encode_maps_unknowns_to_unk() {
+        let mut v = Vocab::new();
+        v.add("outdoor");
+        let ids = v.encode(&["outdoor", "barbecue"]);
+        assert_eq!(ids, vec![v.get("outdoor").unwrap(), UNK]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the text substrate: LM probability bounds, BM25
+//! scoring laws, vocabulary invariants, and phrase-mining sanity.
+
+use alicoco_text::bm25::{Bm25Index, Bm25Params};
+use alicoco_text::lm::NgramLm;
+use alicoco_text::phrase::{mine, PhraseMinerConfig};
+use alicoco_text::vocab::{Vocab, UNK};
+use proptest::prelude::*;
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(1usize..30, 1..12), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- language model ----------------------------------------------------
+
+    #[test]
+    fn lm_perplexity_is_finite_and_positive(
+        corpus in corpus_strategy(),
+        probe in prop::collection::vec(0usize..40, 0..10),
+    ) {
+        let lm = NgramLm::train(&corpus, 40);
+        let ppl = lm.perplexity(&probe);
+        prop_assert!(ppl.is_finite() && ppl > 0.0, "ppl {ppl}");
+        let lp = lm.log_prob(&probe);
+        prop_assert!(lp <= 0.0 || probe.is_empty());
+    }
+
+    #[test]
+    fn lm_training_sentences_beat_noise_on_average(corpus in corpus_strategy()) {
+        prop_assume!(corpus.iter().map(Vec::len).sum::<usize>() > 30);
+        let lm = NgramLm::train(&corpus, 40);
+        let train_avg: f64 = corpus.iter().map(|s| lm.perplexity(s)).sum::<f64>()
+            / corpus.len() as f64;
+        // Out-of-vocabulary noise sentence.
+        let noise: Vec<usize> = (100..108).collect();
+        prop_assert!(lm.perplexity(&noise) >= train_avg * 0.5);
+    }
+
+    // ---- BM25 ---------------------------------------------------------------
+
+    #[test]
+    fn bm25_scores_are_nonnegative_and_search_is_sorted(
+        docs in corpus_strategy(),
+        query in prop::collection::vec(1usize..30, 1..5),
+    ) {
+        let index = Bm25Index::build(&docs, Bm25Params::default());
+        for d in 0..docs.len() {
+            prop_assert!(index.score(&query, d) >= 0.0);
+        }
+        let hits = index.search(&query, 10);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        // Every returned hit actually contains a query term.
+        for &(d, s) in &hits {
+            prop_assert!(s > 0.0);
+            prop_assert!(query.iter().any(|t| docs[d].contains(t)));
+        }
+    }
+
+    #[test]
+    fn bm25_adding_a_matching_term_never_hurts(
+        docs in corpus_strategy(),
+        query in prop::collection::vec(1usize..30, 1..4),
+    ) {
+        let index = Bm25Index::build(&docs, Bm25Params::default());
+        for (d, doc) in docs.iter().enumerate().take(10) {
+            let base = index.score(&query, d);
+            // Extend the query with a term this document contains.
+            let mut extended = query.clone();
+            extended.push(doc[0]);
+            prop_assert!(index.score(&extended, d) >= base - 1e-9);
+        }
+    }
+
+    // ---- vocabulary ----------------------------------------------------------
+
+    #[test]
+    fn vocab_encode_roundtrips_known_tokens(words in prop::collection::vec("[a-z]{1,6}", 1..20)) {
+        let mut vocab = Vocab::new();
+        for w in &words {
+            vocab.add(w);
+        }
+        let ids = vocab.encode(&words);
+        for (w, &id) in words.iter().zip(&ids) {
+            prop_assert_ne!(id, UNK);
+            prop_assert_eq!(vocab.token(id), w.as_str());
+        }
+    }
+
+    // ---- phrase mining --------------------------------------------------------
+
+    #[test]
+    fn phrase_candidates_respect_config(corpus in corpus_strategy()) {
+        let cfg = PhraseMinerConfig { min_count: 2, min_len: 2, max_len: 3, min_score: 0.0 };
+        for c in mine(&corpus, &cfg) {
+            prop_assert!(c.count >= 2);
+            prop_assert!(c.tokens.len() >= 2 && c.tokens.len() <= 3);
+            prop_assert!(c.score.is_finite());
+            // The candidate really occurs `count` times in the corpus.
+            let occurrences: usize = corpus
+                .iter()
+                .map(|s| s.windows(c.tokens.len()).filter(|w| *w == c.tokens.as_slice()).count())
+                .sum();
+            prop_assert_eq!(occurrences as u64, c.count);
+        }
+    }
+}
