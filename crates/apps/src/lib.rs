@@ -24,6 +24,6 @@ pub mod relevance;
 pub mod search;
 
 pub use qa::{Answer, ScenarioQa};
-pub use recommend::{CognitiveRecommender, Recommendation, RecommendConfig};
+pub use recommend::{CognitiveRecommender, RecommendConfig, Recommendation};
 pub use relevance::RelevanceScorer;
 pub use search::{ConceptCard, SearchConfig, SemanticSearch};

@@ -2,6 +2,8 @@
 //! next week's barbecue?" — parse the question, locate the scenario
 //! concept, and answer with a shopping checklist.
 
+use alicoco::query::QueryIndex;
+use alicoco::rank::{by_score_then_id, TopK};
 use alicoco::{AliCoCo, ConceptId, ItemId};
 use alicoco_nn::util::FxHashSet;
 
@@ -30,21 +32,27 @@ pub struct ChecklistEntry {
 
 /// Question words stripped before resolution.
 const QUESTION_WORDS: &[&str] = &[
-    "what", "should", "i", "prepare", "for", "hosting", "next", "week", "weeks", "s", "a",
-    "an", "the", "do", "need", "my", "to", "buy", "how", "get", "ready",
+    "what", "should", "i", "prepare", "for", "hosting", "next", "week", "weeks", "s", "a", "an",
+    "the", "do", "need", "my", "to", "buy", "how", "get", "ready",
 ];
 
 /// The QA engine: strips question scaffolding, resolves remaining content
 /// words against the concept layer (via primitives, so "barbecue" resolves
-/// even when the concept is "outdoor barbecue").
+/// even when the concept is "outdoor barbecue"). Resolution scores only
+/// the concepts on the content words' posting lists — the full concept
+/// layer is never scanned.
 pub struct ScenarioQa<'kg> {
     kg: &'kg AliCoCo,
+    index: QueryIndex<'kg>,
 }
 
 impl<'kg> ScenarioQa<'kg> {
-    /// Create a new instance.
+    /// Create a new instance (builds the serving index once).
     pub fn new(kg: &'kg AliCoCo) -> Self {
-        ScenarioQa { kg }
+        ScenarioQa {
+            kg,
+            index: QueryIndex::build(kg),
+        }
     }
 
     /// Extract content words from a natural question.
@@ -82,17 +90,19 @@ impl<'kg> ScenarioQa<'kg> {
             return None;
         }
         let word_set: FxHashSet<&str> = words.iter().map(String::as_str).collect();
-        let mut best: Option<(ConceptId, f64)> = None;
-        for cid in self.kg.concept_ids() {
-            // Stocked concepts get a bonus so they win ties.
-            let stocked = !self.kg.concept(cid).items.is_empty();
-            let score = self.match_score(cid, &word_set)
-                + if stocked { 0.25 } else { 0.0 };
-            if self.match_score(cid, &word_set) > 0.0 && best.is_none_or(|(_, s)| score > s) {
-                best = Some((cid, score));
+        // Only concepts on the content words' posting lists can have a
+        // positive match score; keep the single best (ties resolve to the
+        // lowest concept id, as a full in-order scan would).
+        let mut best = TopK::new(1);
+        for cid in self.index.concept_candidates(word_set.iter().copied()) {
+            let base = self.match_score(cid, &word_set);
+            if base > 0.0 {
+                // Stocked concepts get a bonus so they win ties.
+                let stocked = !self.kg.concept(cid).items.is_empty();
+                best.push(cid, base + if stocked { 0.25 } else { 0.0 });
             }
         }
-        let (cid, _) = best?;
+        let (cid, _) = best.into_sorted_vec().into_iter().next()?;
         let mut items = self.kg.items_for_concept(cid);
         if items.is_empty() {
             // Sibling fallback: union of items from concepts sharing a
@@ -110,20 +120,26 @@ impl<'kg> ScenarioQa<'kg> {
             if prims.is_empty() {
                 prims = self.kg.concept(cid).primitives.iter().copied().collect();
             }
-            let mut seen: FxHashSet<ItemId> = FxHashSet::default();
-            for other in self.kg.concept_ids() {
-                if other == cid
-                    || !self.kg.concept(other).primitives.iter().any(|p| prims.contains(p))
-                {
-                    continue;
+            // Sibling concepts come straight off the primitive postings
+            // (sorted so the borrowing order is concept-id deterministic).
+            let mut siblings: Vec<ConceptId> = {
+                let mut set: FxHashSet<ConceptId> = FxHashSet::default();
+                for &p in &prims {
+                    set.extend(self.index.concepts_by_primitive(p).iter().copied());
                 }
+                set.remove(&cid);
+                set.into_iter().collect()
+            };
+            siblings.sort();
+            let mut seen: FxHashSet<ItemId> = FxHashSet::default();
+            for other in siblings {
                 for (item, w) in self.kg.items_for_concept(other) {
                     if seen.insert(item) {
                         items.push((item, w * 0.8));
                     }
                 }
             }
-            items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            items.sort_by(by_score_then_id);
         }
         if items.is_empty() {
             return None;
@@ -137,7 +153,11 @@ impl<'kg> ScenarioQa<'kg> {
                 confidence,
             })
             .collect();
-        Some(Answer { concept: cid, concept_name: self.kg.concept(cid).name.clone(), checklist })
+        Some(Answer {
+            concept: cid,
+            concept_name: self.kg.concept(cid).name.clone(),
+            checklist,
+        })
     }
 }
 
@@ -184,7 +204,9 @@ mod tests {
     fn unresolvable_question_returns_none() {
         let kg = sample_kg();
         let qa = ScenarioQa::new(&kg);
-        assert!(qa.answer("what should i buy for quantum entanglement?").is_none());
+        assert!(qa
+            .answer("what should i buy for quantum entanglement?")
+            .is_none());
         assert!(qa.answer("what should i do?").is_none());
     }
 
@@ -205,9 +227,14 @@ mod tests {
         let beach = kg.add_concept("beach barbecue");
         kg.link_concept_primitive(beach, bbq);
         let qa = ScenarioQa::new(&kg);
-        let a = qa.answer("what do i need for a beach barbecue?").expect("resolves");
+        let a = qa
+            .answer("what do i need for a beach barbecue?")
+            .expect("resolves");
         assert_eq!(a.concept_name, "beach barbecue");
-        assert!(!a.checklist.is_empty(), "sibling fallback produced no items");
+        assert!(
+            !a.checklist.is_empty(),
+            "sibling fallback produced no items"
+        );
         assert!(a.checklist.iter().any(|e| e.title.contains("grill")));
     }
 }

@@ -2,6 +2,8 @@
 //! browsing history — recommending *needs*, not lookalike items — plus
 //! human-readable recommendation reasons (§8.2.2).
 
+use alicoco::query::QueryIndex;
+use alicoco::rank::TopK;
 use alicoco::{AliCoCo, ConceptId, ItemId, PrimitiveId};
 use alicoco_nn::util::{FxHashMap, FxHashSet};
 
@@ -46,9 +48,15 @@ impl Reason {
                 concept
             ),
             Reason::SharedNeed { primitives } => {
-                let names: Vec<&str> =
-                    primitives.iter().map(|&p| kg.primitive(p).name.as_str()).collect();
-                format!("matches your interest in {} — {}", names.join(", "), concept)
+                let names: Vec<&str> = primitives
+                    .iter()
+                    .map(|&p| kg.primitive(p).name.as_str())
+                    .collect();
+                format!(
+                    "matches your interest in {} — {}",
+                    names.join(", "),
+                    concept
+                )
             }
         }
     }
@@ -69,7 +77,12 @@ pub struct RecommendConfig {
 
 impl Default for RecommendConfig {
     fn default() -> Self {
-        RecommendConfig { k: 3, items_per_card: 8, direct_weight: 1.0, shared_weight: 0.2 }
+        RecommendConfig {
+            k: 3,
+            items_per_card: 8,
+            direct_weight: 1.0,
+            shared_weight: 0.2,
+        }
     }
 }
 
@@ -77,20 +90,18 @@ impl Default for RecommendConfig {
 pub struct CognitiveRecommender<'kg> {
     kg: &'kg AliCoCo,
     cfg: RecommendConfig,
-    /// primitive -> concepts interpreted by it (inverted index built once).
-    by_primitive: FxHashMap<PrimitiveId, Vec<ConceptId>>,
+    /// Shared serving index (primitive → concepts postings).
+    index: QueryIndex<'kg>,
 }
 
 impl<'kg> CognitiveRecommender<'kg> {
     /// Create a new instance.
     pub fn new(kg: &'kg AliCoCo, cfg: RecommendConfig) -> Self {
-        let mut by_primitive: FxHashMap<PrimitiveId, Vec<ConceptId>> = FxHashMap::default();
-        for cid in kg.concept_ids() {
-            for &p in &kg.concept(cid).primitives {
-                by_primitive.entry(p).or_default().push(cid);
-            }
+        CognitiveRecommender {
+            kg,
+            cfg,
+            index: QueryIndex::build(kg),
         }
-        CognitiveRecommender { kg, cfg, by_primitive }
     }
 
     /// Recommend concept cards for a browsing history.
@@ -104,19 +115,17 @@ impl<'kg> CognitiveRecommender<'kg> {
                 direct_trigger.entry(cid).or_insert(item);
             }
             for &p in &self.kg.item(item).primitives {
-                if let Some(concepts) = self.by_primitive.get(&p) {
-                    for &cid in concepts {
-                        *votes.entry(cid).or_insert(0.0) += self.cfg.shared_weight;
-                        shared.entry(cid).or_default().insert(p);
-                    }
+                for &cid in self.index.concepts_by_primitive(p) {
+                    *votes.entry(cid).or_insert(0.0) += self.cfg.shared_weight;
+                    shared.entry(cid).or_default().insert(p);
                 }
             }
         }
-        let mut ranked: Vec<(ConceptId, f64)> = votes.into_iter().collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-        });
-        ranked.truncate(self.cfg.k);
+        let mut top = TopK::new(self.cfg.k);
+        for (cid, v) in votes {
+            top.push(cid, v);
+        }
+        let ranked = top.into_sorted_vec();
         let viewed: FxHashSet<ItemId> = history.iter().copied().collect();
         ranked
             .into_iter()
@@ -124,8 +133,10 @@ impl<'kg> CognitiveRecommender<'kg> {
                 let reason = match direct_trigger.get(&cid) {
                     Some(&item) => Reason::ViewedItem { item },
                     None => {
-                        let mut prims: Vec<PrimitiveId> =
-                            shared.get(&cid).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                        let mut prims: Vec<PrimitiveId> = shared
+                            .get(&cid)
+                            .map(|s| s.iter().copied().collect())
+                            .unwrap_or_default();
                         prims.sort();
                         Reason::SharedNeed { primitives: prims }
                     }

@@ -83,6 +83,25 @@ impl<'kg> RelevanceScorer<'kg> {
         let expanded = self.expand_query(words);
         self.index.score(&self.encode(&expanded), item.index())
     }
+
+    /// Top-`k` items for a query, keyword-only: candidates come from the
+    /// BM25 postings (items sharing no query term are never touched) and
+    /// the best `k` are kept in a bounded heap with the workspace ranking
+    /// order (score descending, item id ascending).
+    pub fn top_items(&self, words: &[String], k: usize) -> Vec<(alicoco::ItemId, f64)> {
+        let mut top = alicoco::rank::TopK::new(k);
+        for (doc, score) in self.index.candidate_scores(&self.encode(words)) {
+            top.push(alicoco::ItemId::from_index(doc), score);
+        }
+        top.into_sorted_vec()
+    }
+
+    /// Top-`k` items with isA query expansion — the §8.1.1 serving path:
+    /// expand, then retrieve from postings only.
+    pub fn top_items_expanded(&self, words: &[String], k: usize) -> Vec<(alicoco::ItemId, f64)> {
+        let expanded = self.expand_query(words);
+        self.top_items(&expanded, k)
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +141,11 @@ mod tests {
         let scorer = RelevanceScorer::build(&kg);
         let q = vec!["top".to_string()];
         let jacket_item = kg.item_ids().next().unwrap();
-        assert_eq!(scorer.score_plain(&q, jacket_item), 0.0, "keyword-only misses the jacket");
+        assert_eq!(
+            scorer.score_plain(&q, jacket_item),
+            0.0,
+            "keyword-only misses the jacket"
+        );
         assert!(
             scorer.score_expanded(&q, jacket_item) > 0.0,
             "isA expansion must recover the jacket item"
@@ -136,6 +159,24 @@ mod tests {
         let q = vec!["top".to_string()];
         let pot_item = kg.item_ids().nth(2).unwrap();
         assert_eq!(scorer.score_expanded(&q, pot_item), 0.0);
+    }
+
+    #[test]
+    fn top_items_retrieval_agrees_with_per_item_scores() {
+        let kg = sample_kg();
+        let scorer = RelevanceScorer::build(&kg);
+        let q = vec!["top".to_string()];
+        // Keyword-only: no item titled "top" exists, nothing retrieved.
+        assert!(scorer.top_items(&q, 5).is_empty());
+        // Expanded: jacket and hoodie items surface; the pot never does.
+        let hits = scorer.top_items_expanded(&q, 5);
+        assert_eq!(hits.len(), 2);
+        for &(item, score) in &hits {
+            assert!((score - scorer.score_expanded(&q, item)).abs() < 1e-12);
+            assert!(score > 0.0);
+        }
+        // Bounded k keeps only the best.
+        assert_eq!(scorer.top_items_expanded(&q, 1).len(), 1);
     }
 
     #[test]

@@ -1,13 +1,23 @@
 //! Semantic search over the concept net (§8.1): map a keyword query to
 //! e-commerce concept cards — "items you will need for outdoor barbecue" —
 //! rather than bare keyword item matching.
+//!
+//! Retrieval is index-driven: a [`QueryIndex`] built at construction maps
+//! every concept-surface token and interpreting-primitive surface to its
+//! concepts, so a query only scores the union of its words' posting lists
+//! (the exact set of concepts that can score above zero) and keeps the
+//! best `k` in a bounded heap. [`SemanticSearch::search_scan`] retains the
+//! original full-scan ranking as the reference implementation; property
+//! tests assert the two agree card-for-card.
 
+use alicoco::query::QueryIndex;
+use alicoco::rank::TopK;
 use alicoco::{AliCoCo, ConceptId, ItemId};
 use alicoco_nn::util::FxHashSet;
 
 /// A rendered concept card (Figure 2a/b): the concept, its interpretation,
 /// and suggested items.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ConceptCard {
     /// Concept.
     pub concept: ConceptId,
@@ -32,11 +42,19 @@ pub struct SearchConfig {
     pub primitive_weight: f64,
     /// Bonus for cards that have items to show.
     pub stocked_bonus: f64,
+    /// Worker threads used by [`SemanticSearch::search_batch`].
+    pub batch_workers: usize,
 }
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        SearchConfig { k: 3, items_per_card: 10, primitive_weight: 0.3, stocked_bonus: 0.1 }
+        SearchConfig {
+            k: 3,
+            items_per_card: 10,
+            primitive_weight: 0.3,
+            stocked_bonus: 0.1,
+            batch_workers: 4,
+        }
     }
 }
 
@@ -45,13 +63,23 @@ impl Default for SearchConfig {
 /// "barbecue outdoor" trigger the concept "outdoor barbecue" (Figure 2a).
 pub struct SemanticSearch<'kg> {
     kg: &'kg AliCoCo,
+    index: QueryIndex<'kg>,
     cfg: SearchConfig,
 }
 
 impl<'kg> SemanticSearch<'kg> {
-    /// Create a new instance.
+    /// Build the engine (constructs the inverted token index once).
     pub fn new(kg: &'kg AliCoCo, cfg: SearchConfig) -> Self {
-        SemanticSearch { kg, cfg }
+        SemanticSearch {
+            kg,
+            index: QueryIndex::build(kg),
+            cfg,
+        }
+    }
+
+    /// The token index the engine retrieves from.
+    pub fn index(&self) -> &QueryIndex<'kg> {
+        &self.index
     }
 
     /// Score a single concept against query words.
@@ -73,7 +101,33 @@ impl<'kg> SemanticSearch<'kg> {
     }
 
     /// Retrieve concept cards for a keyword query.
+    ///
+    /// Only concepts on the posting lists of the query's words are scored
+    /// — any other concept has zero surface overlap and zero primitive
+    /// hits, so it cannot score above zero — and the best `k` are kept in
+    /// a bounded heap (`O(c log k)` over `c` candidates).
     pub fn search(&self, query: &str) -> Vec<ConceptCard> {
+        let words: FxHashSet<&str> = query.split_whitespace().collect();
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let mut top = TopK::new(self.cfg.k);
+        for cid in self.index.concept_candidates(words.iter().copied()) {
+            let score = self.score_concept(cid, &words);
+            if score > 0.0 {
+                top.push(cid, score);
+            }
+        }
+        top.into_sorted_vec()
+            .into_iter()
+            .map(|(cid, score)| self.card(cid, score))
+            .collect()
+    }
+
+    /// Reference ranking: score every concept in the net, sort, truncate.
+    /// Kept as the oracle the indexed [`search`](Self::search) is verified
+    /// against (and benchmarked over).
+    pub fn search_scan(&self, query: &str) -> Vec<ConceptCard> {
         let words: FxHashSet<&str> = query.split_whitespace().collect();
         if words.is_empty() {
             return Vec::new();
@@ -84,11 +138,37 @@ impl<'kg> SemanticSearch<'kg> {
             .map(|cid| (cid, self.score_concept(cid, &words)))
             .filter(|&(_, s)| s > 0.0)
             .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-        });
+        scored.sort_by(alicoco::rank::by_score_then_id);
         scored.truncate(self.cfg.k);
-        scored.into_iter().map(|(cid, score)| self.card(cid, score)).collect()
+        scored
+            .into_iter()
+            .map(|(cid, score)| self.card(cid, score))
+            .collect()
+    }
+
+    /// Search many queries, sharding the batch across scoped worker
+    /// threads. Results are returned in query order and are identical to
+    /// calling [`search`](Self::search) per query; `cfg.batch_workers`
+    /// caps the thread count (a batch of one, or one worker, degenerates
+    /// to the sequential path).
+    pub fn search_batch(&self, queries: &[&str]) -> Vec<Vec<ConceptCard>> {
+        let workers = self.cfg.batch_workers.max(1).min(queries.len().max(1));
+        if workers <= 1 {
+            return queries.iter().map(|q| self.search(q)).collect();
+        }
+        let mut results: Vec<Vec<ConceptCard>> = Vec::new();
+        results.resize_with(queries.len(), Vec::new);
+        let chunk = queries.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            for (qs, out) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (q, slot) in qs.iter().zip(out.iter_mut()) {
+                        *slot = self.search(q);
+                    }
+                });
+            }
+        });
+        results
     }
 
     /// Render the card for a concept.
@@ -105,18 +185,35 @@ impl<'kg> SemanticSearch<'kg> {
             .collect();
         let mut items = self.kg.items_for_concept(cid);
         items.truncate(self.cfg.items_per_card);
-        ConceptCard { concept: cid, name: c.name.clone(), interpretation, items, score }
+        ConceptCard {
+            concept: cid,
+            name: c.name.clone(),
+            interpretation,
+            items,
+            score,
+        }
     }
 
-    /// Keyword fallback (the pre-AliCoCo experience): items whose title
-    /// contains any query word.
+    /// Keyword fallback (the pre-AliCoCo experience): items ranked by how
+    /// many distinct query words their title contains (ties broken by
+    /// ascending item id), retrieved from the title-token postings.
     pub fn keyword_items(&self, query: &str, k: usize) -> Vec<ItemId> {
         let words: FxHashSet<&str> = query.split_whitespace().collect();
-        self.kg
-            .item_ids()
-            .filter(|&i| self.kg.item(i).title.iter().any(|t| words.contains(t.as_str())))
-            .take(k)
-            .collect()
+        let mut seen: FxHashSet<ItemId> = FxHashSet::default();
+        let mut top = TopK::new(k);
+        for &w in &words {
+            for &i in self.index.items_by_token(w) {
+                if seen.insert(i) {
+                    let title = &self.kg.item(i).title;
+                    let hits = words
+                        .iter()
+                        .filter(|w| title.iter().any(|t| t == *w))
+                        .count() as f64;
+                    top.push(i, hits);
+                }
+            }
+        }
+        top.into_sorted_vec().into_iter().map(|(i, _)| i).collect()
     }
 }
 
@@ -176,12 +273,52 @@ mod tests {
     }
 
     #[test]
+    fn indexed_search_matches_reference_scan() {
+        let kg = sample_kg();
+        let s = SemanticSearch::new(&kg, SearchConfig::default());
+        for q in [
+            "barbecue outdoor",
+            "barbecue",
+            "indoor",
+            "outdoor grill",
+            "nothing here",
+        ] {
+            assert_eq!(s.search(q), s.search_scan(q), "query {q:?}");
+        }
+    }
+
+    #[test]
     fn keyword_fallback_matches_titles() {
         let kg = sample_kg();
         let s = SemanticSearch::new(&kg, SearchConfig::default());
         let items = s.keyword_items("charcoal", 10);
         assert_eq!(items.len(), 1);
-        assert_eq!(kg.item(items[0]).title, vec!["best".to_string(), "charcoal".to_string()]);
+        assert_eq!(
+            kg.item(items[0]).title,
+            vec!["best".to_string(), "charcoal".to_string()]
+        );
+    }
+
+    /// Regression: items covering more query words must outrank earlier-id
+    /// items that merely contain one word (the old implementation returned
+    /// the first `k` matches in arena order).
+    #[test]
+    fn keyword_items_rank_by_title_overlap_not_arena_order() {
+        let mut kg = sample_kg();
+        // Earlier-arena items each match one word; this one matches both.
+        let both = kg.add_item(&["best".into(), "grill".into()]);
+        let items =
+            SemanticSearch::new(&kg, SearchConfig::default()).keyword_items("best grill", 2);
+        assert_eq!(items[0], both, "two-word match must rank first");
+        assert_eq!(items.len(), 2);
+        // Tie on one word each: lower item id wins.
+        let tied =
+            SemanticSearch::new(&kg, SearchConfig::default()).keyword_items("brand charcoal", 10);
+        assert_eq!(tied.len(), 2);
+        assert!(
+            tied[0] < tied[1],
+            "equal overlap breaks ties by ascending id"
+        );
     }
 
     #[test]
@@ -190,7 +327,42 @@ mod tests {
         for i in 0..10 {
             kg.add_concept(&format!("barbecue idea {i}"));
         }
-        let s = SemanticSearch::new(&kg, SearchConfig { k: 2, ..Default::default() });
+        let s = SemanticSearch::new(
+            &kg,
+            SearchConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(s.search("barbecue").len(), 2);
+    }
+
+    #[test]
+    fn batch_search_equals_per_query_search() {
+        let mut kg = sample_kg();
+        for i in 0..20 {
+            kg.add_concept(&format!("barbecue idea {i}"));
+        }
+        let s = SemanticSearch::new(
+            &kg,
+            SearchConfig {
+                batch_workers: 3,
+                ..Default::default()
+            },
+        );
+        let queries: Vec<&str> = vec![
+            "barbecue",
+            "indoor yoga",
+            "",
+            "idea 7",
+            "outdoor",
+            "grill",
+            "barbecue idea",
+        ];
+        let batched = s.search_batch(&queries);
+        assert_eq!(batched.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batched) {
+            assert_eq!(got, &s.search(q), "query {q:?}");
+        }
     }
 }

@@ -1,0 +1,166 @@
+//! Property tests for the serving layer: on random worlds, the inverted-
+//! index retrieval path must return exactly the cards (content and order)
+//! of the reference full-scan ranking, and sharded batch search must be
+//! indistinguishable from searching each query on its own.
+
+use alicoco::AliCoCo;
+use alicoco_apps::search::{SearchConfig, SemanticSearch};
+use proptest::prelude::*;
+
+/// Shared vocabulary so random queries actually collide with random
+/// concept surfaces, primitive names, and item titles.
+const VOCAB: &[&str] = &[
+    "outdoor", "barbecue", "summer", "beach", "grill", "party", "yoga", "indoor", "camping",
+    "picnic", "winter", "gift",
+];
+
+fn word(i: u8) -> &'static str {
+    VOCAB[i as usize % VOCAB.len()]
+}
+
+#[derive(Clone, Debug)]
+struct WorldSpec {
+    primitives: Vec<(u8, u8)>,        // (vocab word, class index)
+    concepts: Vec<(u8, u8)>,          // two-word surface
+    items: Vec<(u8, u8)>,             // two-word title
+    concept_prims: Vec<(u8, u8)>,     // concept idx, primitive idx
+    concept_items: Vec<(u8, u8, u8)>, // concept idx, item idx, weight 0..=100
+}
+
+fn world_strategy() -> impl Strategy<Value = WorldSpec> {
+    (
+        prop::collection::vec((0u8..12, 0u8..3), 1..10),
+        prop::collection::vec((0u8..12, 0u8..12), 1..14),
+        prop::collection::vec((0u8..12, 0u8..12), 1..10),
+        prop::collection::vec((0u8..14, 0u8..10), 0..16),
+        prop::collection::vec((0u8..14, 0u8..10, 0u8..=100), 0..16),
+    )
+        .prop_map(
+            |(primitives, concepts, items, concept_prims, concept_items)| WorldSpec {
+                primitives,
+                concepts,
+                items,
+                concept_prims,
+                concept_items,
+            },
+        )
+}
+
+fn build_world(spec: &WorldSpec) -> AliCoCo {
+    let mut kg = AliCoCo::new();
+    let root = kg.add_class("concept", None);
+    let classes: Vec<_> = (0..3)
+        .map(|i| kg.add_class(&format!("domain{i}"), Some(root)))
+        .collect();
+    let prims: Vec<_> = spec
+        .primitives
+        .iter()
+        .map(|&(w, c)| kg.add_primitive(word(w), classes[c as usize % classes.len()]))
+        .collect();
+    let concepts: Vec<_> = spec
+        .concepts
+        .iter()
+        .map(|&(a, b)| kg.add_concept(&format!("{} {}", word(a), word(b))))
+        .collect();
+    let items: Vec<_> = spec
+        .items
+        .iter()
+        .map(|&(a, b)| kg.add_item(&[word(a).to_string(), word(b).to_string()]))
+        .collect();
+    for &(c, p) in &spec.concept_prims {
+        kg.link_concept_primitive(
+            concepts[c as usize % concepts.len()],
+            prims[p as usize % prims.len()],
+        );
+    }
+    for &(c, i, w) in &spec.concept_items {
+        kg.link_concept_item(
+            concepts[c as usize % concepts.len()],
+            items[i as usize % items.len()],
+            w as f32 / 100.0,
+        );
+    }
+    kg
+}
+
+fn query_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..16, 1..4) // indices past VOCAB give miss words
+}
+
+fn render_query(q: &[u8]) -> String {
+    q.iter()
+        .map(|&i| {
+            if (i as usize) < VOCAB.len() {
+                VOCAB[i as usize]
+            } else {
+                "unrelated"
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The tentpole equivalence: posting-list retrieval + bounded heap
+    /// returns exactly the cards of the full-scan sort, in order.
+    #[test]
+    fn indexed_search_equals_reference_scan(
+        spec in world_strategy(),
+        query in query_strategy(),
+        k in 1usize..6,
+    ) {
+        let kg = build_world(&spec);
+        let s = SemanticSearch::new(&kg, SearchConfig { k, ..Default::default() });
+        let q = render_query(&query);
+        prop_assert_eq!(s.search(&q), s.search_scan(&q), "query {:?}", q);
+    }
+
+    /// Sharded batch search returns per-query results in query order.
+    #[test]
+    fn batch_search_equals_sequential(
+        spec in world_strategy(),
+        queries in prop::collection::vec(query_strategy(), 1..10),
+        workers in 1usize..5,
+    ) {
+        let kg = build_world(&spec);
+        let s = SemanticSearch::new(
+            &kg,
+            SearchConfig { batch_workers: workers, ..Default::default() },
+        );
+        let rendered: Vec<String> = queries.iter().map(|q| render_query(q)).collect();
+        let refs: Vec<&str> = rendered.iter().map(String::as_str).collect();
+        let batched = s.search_batch(&refs);
+        prop_assert_eq!(batched.len(), refs.len());
+        for (q, got) in refs.iter().zip(batched) {
+            prop_assert_eq!(got, s.search(q), "query {:?}", q);
+        }
+    }
+
+    /// The keyword fallback ranks by distinct-word title overlap with the
+    /// id tie-break, never exceeds k, and only returns real matches.
+    #[test]
+    fn keyword_items_ranking_invariants(
+        spec in world_strategy(),
+        query in query_strategy(),
+        k in 1usize..6,
+    ) {
+        let kg = build_world(&spec);
+        let s = SemanticSearch::new(&kg, SearchConfig::default());
+        let q = render_query(&query);
+        let hits = s.keyword_items(&q, k);
+        prop_assert!(hits.len() <= k);
+        let words: std::collections::HashSet<&str> = q.split_whitespace().collect();
+        let overlap = |i: alicoco::ItemId| {
+            words.iter().filter(|w| kg.item(i).title.iter().any(|t| t == *w)).count()
+        };
+        for w in hits.windows(2) {
+            let (a, b) = (overlap(w[0]), overlap(w[1]));
+            prop_assert!(a > b || (a == b && w[0] < w[1]), "not ranked: {:?}", hits);
+        }
+        for &i in &hits {
+            prop_assert!(overlap(i) > 0);
+        }
+    }
+}

@@ -1,5 +1,7 @@
 //! Serving-side latency of the §8 applications over a ground-truth-populated
-//! net: semantic search, recommendation, QA, and isA-expanded relevance.
+//! net: semantic search, recommendation, QA, and isA-expanded relevance —
+//! plus the retrieval-at-scale comparison (linear scan vs. inverted index
+//! vs. shard-parallel batch) on a 50k-concept synthetic world.
 
 use alicoco::AliCoCo;
 use alicoco_apps::{
@@ -8,6 +10,7 @@ use alicoco_apps::{
 };
 use alicoco_corpus::{concept_relevant_item, Dataset};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
 fn ground_truth_kg(ds: &Dataset) -> AliCoCo {
     let mut kg = AliCoCo::new();
@@ -82,9 +85,174 @@ fn bench_apps(c: &mut Criterion) {
     });
 }
 
+const SCALE_BASE: &[&str] = &[
+    "outdoor", "barbecue", "summer", "beach", "grill", "party", "yoga", "indoor", "camping",
+    "picnic", "winter", "gift", "hiking", "garden", "travel", "kids", "retro", "festival",
+    "wedding", "office", "budget", "luxury", "vintage", "portable", "family", "night", "morning",
+    "spring", "autumn", "rain", "snow", "city", "lake", "forest", "desert", "island", "sports",
+    "music", "art", "cooking", "baking", "fishing", "cycling", "running", "climbing", "reading",
+    "gaming", "crafts", "pets", "garage", "balcony", "rooftop", "street", "market", "school",
+    "holiday", "birthday", "romantic", "minimal", "cozy",
+];
+
+/// 240 distinct single-word tokens ("outdoor0" … "cozy3").
+fn scale_vocab() -> Vec<String> {
+    SCALE_BASE
+        .iter()
+        .flat_map(|w| (0..4).map(move |v| format!("{w}{v}")))
+        .collect()
+}
+
+/// A deterministic synthetic world big enough that full-layer scans hurt:
+/// `n_concepts` *distinct* two-word concepts over a 240-token vocabulary
+/// (concept `i` gets the base-240 digit pair of `i`, so names never
+/// collide and `add_concept` cannot dedup them away), each interpreted by
+/// its two word primitives, with a thin item layer.
+fn scale_world(n_concepts: usize) -> AliCoCo {
+    let vocab = scale_vocab();
+    assert!(
+        n_concepts <= vocab.len() * vocab.len(),
+        "digit pairs must stay distinct"
+    );
+    let mut kg = AliCoCo::new();
+    let root = kg.add_class("concept", None);
+    let classes: Vec<_> = (0..4)
+        .map(|d| kg.add_class(&format!("domain{d}"), Some(root)))
+        .collect();
+    let prims: Vec<_> = vocab
+        .iter()
+        .enumerate()
+        .map(|(i, w)| kg.add_primitive(w, classes[i % classes.len()]))
+        .collect();
+    let items: Vec<_> = (0..n_concepts / 4)
+        .map(|i| {
+            kg.add_item(&[
+                vocab[i % vocab.len()].clone(),
+                vocab[(i * 7 + 3) % vocab.len()].clone(),
+            ])
+        })
+        .collect();
+    for i in 0..n_concepts {
+        let (a, b) = (i % vocab.len(), i / vocab.len());
+        let c = kg.add_concept(&format!("{} {}", vocab[a], vocab[b]));
+        kg.link_concept_primitive(c, prims[a]);
+        kg.link_concept_primitive(c, prims[b]);
+        if i % 3 == 0 {
+            kg.link_concept_item(c, items[i % items.len()], 0.5 + (i % 50) as f32 / 100.0);
+        }
+    }
+    assert_eq!(kg.num_concepts(), n_concepts, "synthetic names collided");
+    kg
+}
+
+/// Median wall-clock seconds of `runs` executions of `f`.
+fn median_secs<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The tentpole comparison: on a 50k-concept world, indexed retrieval vs.
+/// the reference full scan, and 4-worker sharded batch vs. sequential
+/// indexed over a 64-query batch. Results are asserted identical before
+/// anything is timed, so the speedups never come from answer drift.
+fn bench_search_at_scale(c: &mut Criterion) {
+    const N_CONCEPTS: usize = 50_000;
+    const BATCH: usize = 64;
+    let kg = scale_world(N_CONCEPTS);
+    let engine = SemanticSearch::new(
+        &kg,
+        SearchConfig {
+            batch_workers: 4,
+            ..Default::default()
+        },
+    );
+    let sequential = SemanticSearch::new(
+        &kg,
+        SearchConfig {
+            batch_workers: 1,
+            ..Default::default()
+        },
+    );
+
+    let vocab = scale_vocab();
+    let queries: Vec<String> = (0..BATCH)
+        .map(|i| {
+            format!(
+                "{} {}",
+                vocab[(i * 31) % vocab.len()],
+                vocab[(i * 17 + 5) % vocab.len()]
+            )
+        })
+        .collect();
+    let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+
+    // Correctness gate: indexed == scan per query, batched == sequential.
+    for q in &refs {
+        assert_eq!(
+            engine.search(q),
+            engine.search_scan(q),
+            "index diverged on {q:?}"
+        );
+    }
+    assert_eq!(engine.search_batch(&refs), sequential.search_batch(&refs));
+
+    c.bench_function("scale/search_linear_scan_50k", |b| {
+        b.iter(|| black_box(engine.search_scan(black_box(refs[0]))))
+    });
+    c.bench_function("scale/search_indexed_50k", |b| {
+        b.iter(|| black_box(engine.search(black_box(refs[0]))))
+    });
+    c.bench_function("scale/search_batch64_seq_50k", |b| {
+        b.iter(|| black_box(sequential.search_batch(black_box(&refs))))
+    });
+    c.bench_function("scale/search_batch64_4workers_50k", |b| {
+        b.iter(|| black_box(engine.search_batch(black_box(&refs))))
+    });
+
+    // Headline numbers: medians over fixed runs, printed as ratios.
+    let scan = median_secs(9, || {
+        refs.iter()
+            .map(|q| engine.search_scan(q).len())
+            .sum::<usize>()
+    });
+    let indexed = median_secs(9, || {
+        refs.iter().map(|q| engine.search(q).len()).sum::<usize>()
+    });
+    let batch_seq = median_secs(9, || sequential.search_batch(&refs).len());
+    let batch_par = median_secs(9, || engine.search_batch(&refs).len());
+    println!(
+        "scale/summary: indexed is {:.1}x faster than linear scan ({:.2} ms vs {:.2} ms per 64-query batch)",
+        scan / indexed,
+        indexed * 1e3,
+        scan * 1e3,
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "scale/summary: 4-worker batch is {:.2}x faster than sequential indexed \
+         ({:.2} ms vs {:.2} ms) on {cores} core(s){}",
+        batch_seq / batch_par,
+        batch_par * 1e3,
+        batch_seq * 1e3,
+        if cores == 1 {
+            " — sharding needs >1 core to win; expect ~parity here"
+        } else {
+            ""
+        },
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_apps
+    targets = bench_apps, bench_search_at_scale
 }
 criterion_main!(benches);

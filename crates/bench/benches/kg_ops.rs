@@ -62,7 +62,10 @@ fn bench_kg(c: &mut Criterion) {
         })
     });
 
-    let concept = kg.concept_ids().find(|&c| !kg.concept(c).items.is_empty()).unwrap();
+    let concept = kg
+        .concept_ids()
+        .find(|&c| !kg.concept(c).items.is_empty())
+        .unwrap();
     c.bench_function("kg/items_for_concept", |b| {
         b.iter(|| black_box(kg.items_for_concept(black_box(concept))))
     });
@@ -81,7 +84,9 @@ fn bench_kg(c: &mut Criterion) {
         b.iter(|| black_box(evaluate(&vocab, black_box(&queries))))
     });
 
-    c.bench_function("kg/stats", |b| b.iter(|| black_box(Stats::compute(black_box(&kg)))));
+    c.bench_function("kg/stats", |b| {
+        b.iter(|| black_box(Stats::compute(black_box(&kg))))
+    });
 
     c.bench_function("kg/mine_implications", |b| {
         b.iter(|| black_box(mine_implications(black_box(&kg), &InferConfig::default())))

@@ -5,7 +5,9 @@
 use alicoco_corpus::Dataset;
 use alicoco_mining::congen::{ClassifierConfig, ConceptClassifier};
 use alicoco_mining::hypernym::{HypernymDataset, ProjectionConfig, ProjectionModel};
-use alicoco_mining::matching::{build_matching_dataset, MatchingDataConfig, OursConfig, OursMatcher};
+use alicoco_mining::matching::{
+    build_matching_dataset, MatchingDataConfig, OursConfig, OursMatcher,
+};
 use alicoco_mining::resources::{Resources, ResourcesConfig};
 use alicoco_mining::tagging::{AmbiguityIndex, ConceptTagger, ContextIndex, TaggerConfig};
 use alicoco_mining::vocab_mining::{VocabMiner, VocabMinerConfig};
@@ -20,18 +22,21 @@ fn bench_models(c: &mut Criterion) {
 
     // Untrained models: inference cost is identical, no need to train.
     let miner = VocabMiner::new(&res, VocabMinerConfig::default());
-    let sentence: Vec<String> =
-        ["i", "bought", "this", "red", "trench", "coat", "for", "hiking"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let sentence: Vec<String> = [
+        "i", "bought", "this", "red", "trench", "coat", "for", "hiking",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     c.bench_function("model/miner_tag_8_tokens", |b| {
         b.iter(|| black_box(miner.tag(&res, black_box(&sentence))))
     });
 
     let classifier = ConceptClassifier::new(&res, ClassifierConfig::full());
-    let concept: Vec<String> =
-        ["warm", "hat", "for", "traveling"].iter().map(|s| s.to_string()).collect();
+    let concept: Vec<String> = ["warm", "hat", "for", "traveling"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     c.bench_function("model/classifier_score", |b| {
         b.iter(|| black_box(classifier.score(&res, black_box(&concept))))
     });

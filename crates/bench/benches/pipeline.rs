@@ -22,11 +22,26 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     let fast = PipelineConfig {
-        miner: VocabMinerConfig { epochs: 1, ..Default::default() },
-        projection: ProjectionConfig { epochs: 2, ..Default::default() },
-        classifier: ClassifierConfig { epochs: 3, ..ClassifierConfig::full() },
-        tagger: TaggerConfig { epochs: 1, ..TaggerConfig::full() },
-        matcher: OursConfig { epochs: 1, ..Default::default() },
+        miner: VocabMinerConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+        projection: ProjectionConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+        classifier: ClassifierConfig {
+            epochs: 3,
+            ..ClassifierConfig::full()
+        },
+        tagger: TaggerConfig {
+            epochs: 1,
+            ..TaggerConfig::full()
+        },
+        matcher: OursConfig {
+            epochs: 1,
+            ..Default::default()
+        },
         pattern_candidates: 100,
         item_candidates: 10,
         ..Default::default()

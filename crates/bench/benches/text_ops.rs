@@ -17,9 +17,8 @@ fn bench_text(c: &mut Criterion) {
     let encoded: Vec<Vec<usize>> = refs.iter().map(|s| vocab.encode(s)).collect();
 
     // Segmentation over an unspaced concatenation of lexicon entries.
-    let seg = MaxMatchSegmenter::from_entries(
-        ds.world.lexicon.all_terms().map(|(s, _)| s.to_string()),
-    );
+    let seg =
+        MaxMatchSegmenter::from_entries(ds.world.lexicon.all_terms().map(|(s, _)| s.to_string()));
     let text = "waterproofoutdoorbarbecuewinterredcotton";
     c.bench_function("text/max_match_segment", |b| {
         b.iter(|| black_box(seg.segment(black_box(text))))
@@ -54,7 +53,11 @@ fn bench_text(c: &mut Criterion) {
     // Hearst extraction over the guide corpus.
     let guides: Vec<&[String]> = ds.corpora.guides.iter().map(|s| s.as_slice()).collect();
     c.bench_function("text/hearst_extract", |b| {
-        b.iter(|| black_box(hearst::extract_from_corpus(black_box(guides.iter().copied()))))
+        b.iter(|| {
+            black_box(hearst::extract_from_corpus(black_box(
+                guides.iter().copied(),
+            )))
+        })
     });
 }
 

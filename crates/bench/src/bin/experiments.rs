@@ -15,8 +15,8 @@ use alicoco_mining::congen::{
     PrimitivePools,
 };
 use alicoco_mining::hypernym::{
-    run_active_learning, ActiveLearningConfig, HypernymDataset, ProjectionConfig,
-    ProjectionModel, Strategy,
+    run_active_learning, ActiveLearningConfig, HypernymDataset, ProjectionConfig, ProjectionModel,
+    Strategy,
 };
 use alicoco_mining::matching::{
     build_matching_dataset, evaluate_matcher, Bm25Matcher, DssmMatcher, MatchPyramidMatcher,
@@ -117,15 +117,30 @@ fn coverage() {
         &CpvVocabulary::new(&kg, &["Category", "Brand", "Color", "Material"]),
         &queries,
     );
-    println!("{}", row(&["vocabulary".into(), "word coverage".into(), "full-query coverage".into()]));
+    println!(
+        "{}",
+        row(&[
+            "vocabulary".into(),
+            "word coverage".into(),
+            "full-query coverage".into()
+        ])
+    );
     println!("{}", dashes(3));
     println!(
         "{}",
-        row(&["AliCoCo (paper ~0.75)".into(), f(full.word_coverage), f(full.full_query_coverage)])
+        row(&[
+            "AliCoCo (paper ~0.75)".into(),
+            f(full.word_coverage),
+            f(full.full_query_coverage)
+        ])
     );
     println!(
         "{}",
-        row(&["CPV ontology (paper ~0.30)".into(), f(cpv.word_coverage), f(cpv.full_query_coverage)])
+        row(&[
+            "CPV ontology (paper ~0.30)".into(),
+            f(cpv.word_coverage),
+            f(cpv.full_query_coverage)
+        ])
     );
     println!();
 }
@@ -159,7 +174,13 @@ fn mining() {
     println!("{}", dashes(6));
     for round in 0..3 {
         let data = distant_supervision(&known, &sentences, 2000);
-        let mut miner = VocabMiner::new(&res, VocabMinerConfig { epochs: 3, ..Default::default() });
+        let mut miner = VocabMiner::new(
+            &res,
+            VocabMinerConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         miner.train(&res, &data, &mut rng);
         let candidates = mine_candidates(&miner, &res, &known, &sentences);
         let (accepted, report) = verify_candidates(&candidates, &oracle, &heldout, &surfaces);
@@ -199,15 +220,29 @@ fn table3_fig9right() {
         max_rounds: 14,
         patience: 4,
         pool_negative_ratio: 8,
-        projection: ProjectionConfig { epochs: 4, ..Default::default() },
+        projection: ProjectionConfig {
+            epochs: 4,
+            ..Default::default()
+        },
         ..Default::default()
     };
-    let strategies =
-        [Strategy::Random, Strategy::Us, Strategy::Cs, Strategy::Ucs { alpha: 0.5 }];
+    let strategies = [
+        Strategy::Random,
+        Strategy::Us,
+        Strategy::Cs,
+        Strategy::Ucs { alpha: 0.5 },
+    ];
     let outcomes: Vec<_> = strategies
         .iter()
         .map(|&s| {
-            run_active_learning(&data, &oracle, &ActiveLearningConfig { strategy: s, ..base.clone() })
+            run_active_learning(
+                &data,
+                &oracle,
+                &ActiveLearningConfig {
+                    strategy: s,
+                    ..base.clone()
+                },
+            )
         })
         .collect();
     // Labels needed to reach a shared target: the paper anchors on the
@@ -263,7 +298,10 @@ fn fig9left() {
     let mut rng = seeded_rng(91);
     let data = HypernymDataset::build(&ds, &res, &mut rng);
     let test_queries = data.ranking_queries(&data.test_pos, 30, &mut rng);
-    println!("{}", row(&["1:N".into(), "MAP".into(), "MRR".into(), "P@1".into()]));
+    println!(
+        "{}",
+        row(&["1:N".into(), "MAP".into(), "MRR".into(), "P@1".into()])
+    );
     println!("{}", dashes(4));
     for n in [1usize, 2, 4, 8, 16, 32, 64] {
         // Average 3 seeds: single runs are noisy at this scale.
@@ -273,7 +311,11 @@ fn fig9left() {
             let triples = data.labeled_pairs(&data.train_pos, n, &mut run_rng);
             let mut model = ProjectionModel::new(
                 res.word_vectors.dim(),
-                ProjectionConfig { epochs: 4, seed: 99 + seed, ..Default::default() },
+                ProjectionConfig {
+                    epochs: 4,
+                    seed: 99 + seed,
+                    ..Default::default()
+                },
             );
             model.train(&data, &triples, &mut run_rng);
             let m = model.evaluate(&data, &test_queries);
@@ -299,12 +341,26 @@ fn table4() {
     let mut rng = seeded_rng(74);
     let (train, _val, test) = classification_splits(&ds, &mut rng);
     let configs: [(&str, ClassifierConfig); 4] = [
-        ("Baseline (LSTM + Self Attention)", ClassifierConfig::baseline()),
+        (
+            "Baseline (LSTM + Self Attention)",
+            ClassifierConfig::baseline(),
+        ),
         ("+Wide", ClassifierConfig::with_wide()),
-        ("+Wide & LM (BERT substitute)", ClassifierConfig::with_wide_lm()),
+        (
+            "+Wide & LM (BERT substitute)",
+            ClassifierConfig::with_wide_lm(),
+        ),
         ("+Wide & LM & Knowledge", ClassifierConfig::full()),
     ];
-    println!("{}", row(&["model".into(), "precision".into(), "recall".into(), "accuracy".into()]));
+    println!(
+        "{}",
+        row(&[
+            "model".into(),
+            "precision".into(),
+            "recall".into(),
+            "accuracy".into()
+        ])
+    );
     println!("{}", dashes(4));
     for (name, cfg) in configs {
         // Average 3 seeds: single runs are noisy at this data scale.
@@ -313,7 +369,11 @@ fn table4() {
             let mut rng = seeded_rng(74 + seed);
             let mut model = ConceptClassifier::new(
                 &res,
-                ClassifierConfig { epochs: 10, seed: 2020 + seed, ..cfg.clone() },
+                ClassifierConfig {
+                    epochs: 10,
+                    seed: 2020 + seed,
+                    ..cfg.clone()
+                },
             );
             model.train(&res, &train, &mut rng);
             let m = model.evaluate(&res, &test);
@@ -368,15 +428,29 @@ fn table5() {
         ("+Fuzzy CRF", TaggerConfig::with_fuzzy()),
         ("+Fuzzy CRF & Knowledge", TaggerConfig::full()),
     ];
-    println!("{}", row(&["model".into(), "precision".into(), "recall".into(), "F1".into()]));
+    println!(
+        "{}",
+        row(&[
+            "model".into(),
+            "precision".into(),
+            "recall".into(),
+            "F1".into()
+        ])
+    );
     println!("{}", dashes(4));
     for (name, cfg) in configs {
         // Average 3 seeds.
         let (mut pr, mut rc, mut f1) = (0.0, 0.0, 0.0);
         for seed in 0..3u64 {
             let mut rng = seeded_rng(75 + seed);
-            let mut model =
-                ConceptTagger::new(&res, TaggerConfig { epochs: 2, seed: 31 + seed, ..cfg.clone() });
+            let mut model = ConceptTagger::new(
+                &res,
+                TaggerConfig {
+                    epochs: 2,
+                    seed: 31 + seed,
+                    ..cfg.clone()
+                },
+            );
             model.train(&res, &ctx, &amb, &train, &mut rng);
             let m = model.evaluate(&res, &ctx, &test);
             pr += m.precision / 3.0;
@@ -407,12 +481,18 @@ fn table6() {
         data.test.len(),
         data.queries.len()
     );
-    println!("{}", row(&["model".into(), "AUC".into(), "F1".into(), "P@10".into()]));
+    println!(
+        "{}",
+        row(&["model".into(), "AUC".into(), "F1".into(), "P@10".into()])
+    );
     println!("{}", dashes(4));
 
     let bm = Bm25Matcher::build(&res, &data);
     let m = evaluate_matcher(&data, |c, i| bm.score(c, i));
-    println!("{}", row(&["BM25".into(), f(m.auc), "-".into(), f(m.p_at_10)]));
+    println!(
+        "{}",
+        row(&["BM25".into(), f(m.auc), "-".into(), f(m.p_at_10)])
+    );
 
     // The neural baselines are small and under-confident at this data
     // scale; longer training helps them cross the 0.5 F1 threshold.
@@ -430,7 +510,10 @@ fn table6() {
         let mut mp = MatchPyramidMatcher::new(&res, baseline_epochs, 762);
         mp.train(&res, &data, &mut rng);
         let m = evaluate_matcher(&data, |c, i| mp.score(&res, &data, c, i));
-        println!("{}", row(&["MatchPyramid".into(), f(m.auc), f(m.f1), f(m.p_at_10)]));
+        println!(
+            "{}",
+            row(&["MatchPyramid".into(), f(m.auc), f(m.f1), f(m.p_at_10)])
+        );
     }
     {
         let mut rng = seeded_rng(763);
@@ -441,19 +524,34 @@ fn table6() {
     }
     {
         let mut rng = seeded_rng(764);
-        let mut ours =
-            OursMatcher::new(&res, OursConfig { use_knowledge: false, epochs, ..Default::default() });
+        let mut ours = OursMatcher::new(
+            &res,
+            OursConfig {
+                use_knowledge: false,
+                epochs,
+                ..Default::default()
+            },
+        );
         ours.train(&res, &data, &mut rng);
         let m = evaluate_matcher(&data, |c, i| ours.score(&res, &data, c, i));
         println!("{}", row(&["Ours".into(), f(m.auc), f(m.f1), f(m.p_at_10)]));
     }
     {
         let mut rng = seeded_rng(764);
-        let mut ours =
-            OursMatcher::new(&res, OursConfig { use_knowledge: true, epochs, ..Default::default() });
+        let mut ours = OursMatcher::new(
+            &res,
+            OursConfig {
+                use_knowledge: true,
+                epochs,
+                ..Default::default()
+            },
+        );
         ours.train(&res, &data, &mut rng);
         let m = evaluate_matcher(&data, |c, i| ours.score(&res, &data, c, i));
-        println!("{}", row(&["Ours + Knowledge".into(), f(m.auc), f(m.f1), f(m.p_at_10)]));
+        println!(
+            "{}",
+            row(&["Ours + Knowledge".into(), f(m.auc), f(m.f1), f(m.p_at_10)])
+        );
     }
     println!();
 }
@@ -469,12 +567,20 @@ fn table1() {
     let oracle = Oracle::new(&ds.world);
     let mut rng = seeded_rng(11);
     let (train, _, _) = classification_splits(&ds, &mut rng);
-    let mut model =
-        ConceptClassifier::new(&res, ClassifierConfig { epochs: 8, ..ClassifierConfig::full() });
+    let mut model = ConceptClassifier::new(
+        &res,
+        ClassifierConfig {
+            epochs: 8,
+            ..ClassifierConfig::full()
+        },
+    );
     model.train(&res, &train, &mut rng);
     let pools = PrimitivePools::from_dataset(&ds);
     let cands = candidates_from_patterns(&pools, 400, &mut rng);
-    println!("{}", row(&["candidate".into(), "oracle".into(), "classifier".into()]));
+    println!(
+        "{}",
+        row(&["candidate".into(), "oracle".into(), "classifier".into()])
+    );
     println!("{}", dashes(3));
     let mut shown_good = 0;
     let mut shown_bad = 0;
@@ -482,7 +588,10 @@ fn table1() {
         let good = oracle.label_concept(&c.tokens);
         if (good && shown_good < 6) || (!good && shown_bad < 6) {
             let score = model.score(&res, &c.tokens);
-            println!("{}", row(&[c.tokens.join(" "), good.to_string(), format!("{score:.3}")]));
+            println!(
+                "{}",
+                row(&[c.tokens.join(" "), good.to_string(), format!("{score:.3}")])
+            );
             if good {
                 shown_good += 1;
             } else {
@@ -515,12 +624,17 @@ fn search_relevance() {
     // Mixed query set: internal category nodes ("cookware" — pure
     // vocabulary gap) and leaf nodes (exact title matches), mirroring the
     // head/tail mix of real queries.
-    let mut queries: Vec<usize> =
-        tree.ids().filter(|&i| i != 0 && tree.node(i).depth >= 2).collect();
+    let mut queries: Vec<usize> = tree
+        .ids()
+        .filter(|&i| i != 0 && tree.node(i).depth >= 2)
+        .collect();
     queries.shuffle(&mut rng);
     queries.truncate(120);
-    let docs: Vec<Vec<alicoco_text::TokenId>> =
-        ds.items.iter().map(|it| res.vocab.encode(&it.title)).collect();
+    let docs: Vec<Vec<alicoco_text::TokenId>> = ds
+        .items
+        .iter()
+        .map(|it| res.vocab.encode(&it.title))
+        .collect();
     let index = alicoco_text::bm25::Bm25Index::build(&docs, Default::default());
 
     let mut plain_scores = Vec::new();
@@ -530,8 +644,9 @@ fn search_relevance() {
     let mut total_queries = 0usize;
     for &q in &queries {
         let name = tree.name(q);
-        let plain_q =
-            res.vocab.encode(&name.split(' ').map(String::from).collect::<Vec<_>>());
+        let plain_q = res
+            .vocab
+            .encode(&name.split(' ').map(String::from).collect::<Vec<_>>());
         // isA expansion: add the names of all descendants (the KG's hyponyms
         // of the query term).
         let mut expanded_q = plain_q.clone();
@@ -561,8 +676,7 @@ fn search_relevance() {
         let mut cands: Vec<(usize, bool)> = rel.iter().map(|&i| (i, true)).collect();
         while cands.len() < 30 {
             let i = rng.gen_range(0..ds.items.len());
-            let is_rel =
-                ds.items[i].category == q || tree.is_ancestor(q, ds.items[i].category);
+            let is_rel = ds.items[i].category == q || tree.is_ancestor(q, ds.items[i].category);
             cands.push((i, is_rel));
         }
         for &(i, y) in &cands {
@@ -590,7 +704,10 @@ fn search_relevance() {
         }
     }
     use alicoco_nn::metrics::roc_auc;
-    println!("{}", row(&["setting".into(), "AUC".into(), "bad cases".into()]));
+    println!(
+        "{}",
+        row(&["setting".into(), "AUC".into(), "bad cases".into()])
+    );
     println!("{}", dashes(3));
     println!(
         "{}",
@@ -626,7 +743,11 @@ fn recommendation() {
     let (kg, _) = build_alicoco(&ds, &PipelineConfig::default());
     let recommender = alicoco_apps::CognitiveRecommender::new(
         &kg,
-        alicoco_apps::RecommendConfig { k: 3, items_per_card: 10, ..Default::default() },
+        alicoco_apps::RecommendConfig {
+            k: 3,
+            items_per_card: 10,
+            ..Default::default()
+        },
     );
     let mut rng = seeded_rng(82);
 
@@ -652,17 +773,18 @@ fn recommendation() {
         if recs.iter().any(|r| r.concept == cid) {
             concept_hits += 1;
         }
-        let cc_items: alicoco_nn::util::FxHashSet<alicoco::ItemId> =
-            recs.iter().flat_map(|r| r.items.iter().map(|&(i, _)| i)).collect();
-        cc_recall += cc_items.intersection(&remaining).count() as f64
-            / remaining.len().max(1) as f64;
+        let cc_items: alicoco_nn::util::FxHashSet<alicoco::ItemId> = recs
+            .iter()
+            .flat_map(|r| r.items.iter().map(|&(i, _)| i))
+            .collect();
+        cc_recall +=
+            cc_items.intersection(&remaining).count() as f64 / remaining.len().max(1) as f64;
         cc_novelty += cc_items.iter().filter(|i| !history.contains(i)).count() as f64
             / cc_items.len().max(1) as f64;
 
         // Item-CF baseline: items sharing the most primitive properties
         // with the history ("similar to what you viewed").
-        let mut hist_prims: alicoco_nn::util::FxHashSet<alicoco::PrimitiveId> =
-            Default::default();
+        let mut hist_prims: alicoco_nn::util::FxHashSet<alicoco::PrimitiveId> = Default::default();
         for &h in &history {
             hist_prims.extend(kg.item(h).primitives.iter().copied());
         }
@@ -670,33 +792,59 @@ fn recommendation() {
             .item_ids()
             .filter(|i| !history.contains(i))
             .map(|i| {
-                let overlap =
-                    kg.item(i).primitives.iter().filter(|p| hist_prims.contains(p)).count();
+                let overlap = kg
+                    .item(i)
+                    .primitives
+                    .iter()
+                    .filter(|p| hist_prims.contains(p))
+                    .count();
                 (i, overlap)
             })
             .collect();
         scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let cf_items: alicoco_nn::util::FxHashSet<alicoco::ItemId> =
             scored.iter().take(30).map(|&(i, _)| i).collect();
-        cf_recall += cf_items.intersection(&remaining).count() as f64
-            / remaining.len().max(1) as f64;
+        cf_recall +=
+            cf_items.intersection(&remaining).count() as f64 / remaining.len().max(1) as f64;
     }
     if users == 0 {
         println!("(no concepts with enough items — increase world size)\n");
         return;
     }
     let n = users as f64;
-    println!("{}", row(&["metric".into(), "cognitive (concept cards)".into(), "item-CF baseline".into()]));
+    println!(
+        "{}",
+        row(&[
+            "metric".into(),
+            "cognitive (concept cards)".into(),
+            "item-CF baseline".into()
+        ])
+    );
     println!("{}", dashes(3));
     println!(
         "{}",
-        row(&["need recognized (hit@3)".into(), f(concept_hits as f64 / n), "-".into()])
+        row(&[
+            "need recognized (hit@3)".into(),
+            f(concept_hits as f64 / n),
+            "-".into()
+        ])
     );
     println!(
         "{}",
-        row(&["remaining-needs recall".into(), f(cc_recall / n), f(cf_recall / n)])
+        row(&[
+            "remaining-needs recall".into(),
+            f(cc_recall / n),
+            f(cf_recall / n)
+        ])
     );
-    println!("{}", row(&["novelty of shown items".into(), f(cc_novelty / n), "-".into()]));
+    println!(
+        "{}",
+        row(&[
+            "novelty of shown items".into(),
+            f(cc_novelty / n),
+            "-".into()
+        ])
+    );
     println!("\n({users} simulated users)\n");
 }
 
@@ -713,7 +861,10 @@ fn ablations() {
 
     // (a) UCS alpha sweep.
     println!("### UCS alpha sweep (alpha = confidence share of each batch)\n");
-    println!("{}", row(&["alpha".into(), "labels".into(), "best val MAP".into()]));
+    println!(
+        "{}",
+        row(&["alpha".into(), "labels".into(), "best val MAP".into()])
+    );
     println!("{}", dashes(3));
     for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let oracle = Oracle::new(&ds.world);
@@ -725,11 +876,21 @@ fn ablations() {
                 k_per_round: 200,
                 max_rounds: 10,
                 patience: 3,
-                projection: ProjectionConfig { epochs: 3, ..Default::default() },
+                projection: ProjectionConfig {
+                    epochs: 3,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
-        println!("{}", row(&[format!("{alpha:.2}"), out.labeled.to_string(), f(out.best_val_map)]));
+        println!(
+            "{}",
+            row(&[
+                format!("{alpha:.2}"),
+                out.labeled.to_string(),
+                f(out.best_val_map)
+            ])
+        );
     }
 
     // (b) Oracle noise sweep: how annotator errors degrade active learning.
@@ -746,7 +907,10 @@ fn ablations() {
                 k_per_round: 200,
                 max_rounds: 8,
                 patience: 3,
-                projection: ProjectionConfig { epochs: 3, ..Default::default() },
+                projection: ProjectionConfig {
+                    epochs: 3,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );

@@ -47,9 +47,11 @@ impl<'a> CpvVocabulary<'a> {
     /// `domains` are first-level domain names, e.g.
     /// `["Category", "Brand", "Color"]`.
     pub fn new(kg: &'a AliCoCo, domains: &[&str]) -> Self {
-        let allowed_domains =
-            domains.iter().filter_map(|d| kg.class_by_name(d)).collect();
-        CpvVocabulary { kg, allowed_domains }
+        let allowed_domains = domains.iter().filter_map(|d| kg.class_by_name(d)).collect();
+        CpvVocabulary {
+            kg,
+            allowed_domains,
+        }
     }
 }
 
@@ -75,7 +77,9 @@ pub struct Coverage {
 
 /// Stop words skipped during coverage (query rewriting in the paper produces
 /// coherent sequences; function words don't count against the ontology).
-const STOP: &[&str] = &["for", "in", "the", "a", "an", "and", "of", "with", "to", "gifts"];
+const STOP: &[&str] = &[
+    "for", "in", "the", "a", "an", "and", "of", "with", "to", "gifts",
+];
 
 /// Measure coverage of token-sequence queries against a vocabulary.
 ///
@@ -122,7 +126,11 @@ pub fn evaluate<V: VocabularySource>(vocab: &V, queries: &[Vec<String>]) -> Cove
         }
     }
     Coverage {
-        word_coverage: if total_words == 0 { 0.0 } else { covered_words as f64 / total_words as f64 },
+        word_coverage: if total_words == 0 {
+            0.0
+        } else {
+            covered_words as f64 / total_words as f64
+        },
         full_query_coverage: full as f64 / queries.len() as f64,
         queries: queries.len(),
     }
@@ -154,7 +162,10 @@ mod tests {
     fn full_vocabulary_covers_multiword_and_concepts() {
         let kg = kg_with_vocab();
         let vocab = FullVocabulary::new(&kg);
-        let cov = evaluate(&vocab, &[q(&["trench", "coat"]), q(&["outdoor", "barbecue"])]);
+        let cov = evaluate(
+            &vocab,
+            &[q(&["trench", "coat"]), q(&["outdoor", "barbecue"])],
+        );
         assert_eq!(cov.word_coverage, 1.0);
         assert_eq!(cov.full_query_coverage, 1.0);
     }

@@ -124,7 +124,11 @@ impl AliCoCo {
             assert!(p.index() < self.classes.len(), "invalid parent class");
         }
         let id = ClassId::from_index(self.classes.len());
-        self.classes.push(ClassNode { name: name.to_string(), parent, children: Vec::new() });
+        self.classes.push(ClassNode {
+            name: name.to_string(),
+            parent,
+            children: Vec::new(),
+        });
         if let Some(p) = parent {
             self.classes[p.index()].children.push(id);
         }
@@ -173,7 +177,11 @@ impl AliCoCo {
 
     /// Declare a schema relation between two classes.
     pub fn add_schema_relation(&mut self, name: &str, from: ClassId, to: ClassId) {
-        self.schema.push(SchemaRelation { name: name.to_string(), from, to });
+        self.schema.push(SchemaRelation {
+            name: name.to_string(),
+            from,
+            to,
+        });
     }
 
     /// Schema.
@@ -189,8 +197,9 @@ impl AliCoCo {
     pub fn add_primitive(&mut self, name: &str, class: ClassId) -> PrimitiveId {
         assert!(class.index() < self.classes.len(), "invalid class id");
         if let Some(ids) = self.primitives_by_name.get(name) {
-            if let Some(&existing) =
-                ids.iter().find(|&&p| self.primitives[p.index()].class == class)
+            if let Some(&existing) = ids
+                .iter()
+                .find(|&&p| self.primitives[p.index()].class == class)
             {
                 return existing;
             }
@@ -202,7 +211,10 @@ impl AliCoCo {
             hypernyms: Vec::new(),
             hyponyms: Vec::new(),
         });
-        self.primitives_by_name.entry(name.to_string()).or_default().push(id);
+        self.primitives_by_name
+            .entry(name.to_string())
+            .or_default()
+            .push(id);
         id
     }
 
@@ -213,7 +225,10 @@ impl AliCoCo {
 
     /// All senses of a surface form (the disambiguation entry point).
     pub fn primitives_by_name(&self, name: &str) -> &[PrimitiveId] {
-        self.primitives_by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+        self.primitives_by_name
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The sense of `name` belonging to a given first-level domain, if any.
@@ -235,10 +250,25 @@ impl AliCoCo {
     /// Panics on self-loops.
     pub fn add_primitive_is_a(&mut self, hyponym: PrimitiveId, hypernym: PrimitiveId) {
         assert_ne!(hyponym, hypernym, "isA self-loop");
-        if !self.primitives[hyponym.index()].hypernyms.contains(&hypernym) {
+        if !self.primitives[hyponym.index()]
+            .hypernyms
+            .contains(&hypernym)
+        {
             self.primitives[hyponym.index()].hypernyms.push(hypernym);
             self.primitives[hypernym.index()].hyponyms.push(hyponym);
         }
+    }
+
+    /// Record `hyponym isA hypernym` between primitives unless the edge
+    /// would close a cycle (or is a self-loop); returns whether the edge
+    /// is in the graph afterwards. Mining pipelines use this admission
+    /// check so noisy pattern/model extractions cannot corrupt the DAG.
+    pub fn try_add_primitive_is_a(&mut self, hyponym: PrimitiveId, hypernym: PrimitiveId) -> bool {
+        if hyponym == hypernym || self.primitive_ancestors(hypernym).contains(&hyponym) {
+            return false;
+        }
+        self.add_primitive_is_a(hyponym, hypernym);
+        true
     }
 
     /// Transitive hypernym closure of a primitive (BFS order, no dups).
@@ -262,7 +292,11 @@ impl AliCoCo {
 
     /// Record an instance-level relation ("suitable_when").
     pub fn add_primitive_relation(&mut self, name: &str, from: PrimitiveId, to: PrimitiveId) {
-        self.primitive_relations.push(PrimitiveRelation { name: name.to_string(), from, to });
+        self.primitive_relations.push(PrimitiveRelation {
+            name: name.to_string(),
+            from,
+            to,
+        });
     }
 
     /// Primitive relations.
@@ -319,6 +353,32 @@ impl AliCoCo {
         }
     }
 
+    /// Record `hyponym isA hypernym` between concepts unless the edge
+    /// would close a cycle (or is a self-loop); returns whether the edge
+    /// is in the graph afterwards. Construction pipelines use this
+    /// admission check to keep the mined hierarchy a DAG.
+    pub fn try_add_concept_is_a(&mut self, hyponym: ConceptId, hypernym: ConceptId) -> bool {
+        if hyponym == hypernym || self.concept_ancestors(hypernym).contains(&hyponym) {
+            return false;
+        }
+        self.add_concept_is_a(hyponym, hypernym);
+        true
+    }
+
+    /// Transitive hypernym closure of a concept (BFS order, no dups).
+    pub fn concept_ancestors(&self, id: ConceptId) -> Vec<ConceptId> {
+        let mut seen = alicoco_nn::util::FxHashSet::default();
+        let mut queue: Vec<ConceptId> = self.concepts[id.index()].hypernyms.clone();
+        let mut out = Vec::new();
+        while let Some(c) = queue.pop() {
+            if seen.insert(c) {
+                out.push(c);
+                queue.extend(self.concepts[c.index()].hypernyms.iter().copied());
+            }
+        }
+        out
+    }
+
     /// Number of concept is a.
     pub fn num_concept_is_a(&self) -> usize {
         self.concepts.iter().map(|c| c.hypernyms.len()).sum()
@@ -329,7 +389,11 @@ impl AliCoCo {
     /// Add item.
     pub fn add_item(&mut self, title: &[String]) -> ItemId {
         let id = ItemId::from_index(self.items.len());
-        self.items.push(ItemNode { title: title.to_vec(), primitives: Vec::new(), concepts: Vec::new() });
+        self.items.push(ItemNode {
+            title: title.to_vec(),
+            primitives: Vec::new(),
+            concepts: Vec::new(),
+        });
         id
     }
 
@@ -357,7 +421,10 @@ impl AliCoCo {
     /// # Panics
     /// Panics if the weight is not a probability.
     pub fn link_concept_item(&mut self, concept: ConceptId, item: ItemId, weight: f32) {
-        assert!((0.0..=1.0).contains(&weight), "weight must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&weight),
+            "weight must be a probability"
+        );
         let c = &mut self.concepts[concept.index()];
         if let Some(e) = c.items.iter_mut().find(|(i, _)| *i == item) {
             e.1 = weight;
@@ -370,7 +437,7 @@ impl AliCoCo {
     /// Items suggested for a concept, highest weight first.
     pub fn items_for_concept(&self, concept: ConceptId) -> Vec<(ItemId, f32)> {
         let mut v = self.concepts[concept.index()].items.clone();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v.sort_by(crate::rank::by_score_then_id);
         v
     }
 

@@ -39,7 +39,11 @@ pub struct InferConfig {
 
 impl Default for InferConfig {
     fn default() -> Self {
-        InferConfig { min_support: 3, min_confidence: 0.6, min_lift: 1.5 }
+        InferConfig {
+            min_support: 3,
+            min_confidence: 0.6,
+            min_lift: 1.5,
+        }
     }
 }
 
@@ -80,14 +84,18 @@ pub fn mine_implications(kg: &AliCoCo, cfg: &InferConfig) -> Vec<Implication> {
             let base = cons_count as f64 / n_concepts as f64;
             let lift = if base == 0.0 { 0.0 } else { confidence / base };
             if confidence >= cfg.min_confidence && lift >= cfg.min_lift {
-                out.push(Implication { antecedent: ante, consequent: cons, support: both, confidence, lift });
+                out.push(Implication {
+                    antecedent: ante,
+                    consequent: cons,
+                    support: both,
+                    confidence,
+                    lift,
+                });
             }
         }
     }
     out.sort_by(|x, y| {
-        y.confidence
-            .partial_cmp(&x.confidence)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        crate::rank::score_desc(&x.confidence, &y.confidence)
             .then(y.support.cmp(&x.support))
             .then(x.antecedent.cmp(&y.antecedent))
             .then(x.consequent.cmp(&y.consequent))
@@ -165,7 +173,10 @@ mod tests {
         let kg = kg_with_pattern();
         let rules = mine_implications(&kg, &InferConfig::default());
         for r in &rules {
-            assert_ne!(kg.primitive(r.antecedent).class, kg.primitive(r.consequent).class);
+            assert_ne!(
+                kg.primitive(r.antecedent).class,
+                kg.primitive(r.consequent).class
+            );
         }
     }
 
@@ -177,7 +188,13 @@ mod tests {
     #[test]
     fn support_threshold_filters() {
         let kg = kg_with_pattern();
-        let rules = mine_implications(&kg, &InferConfig { min_support: 100, ..Default::default() });
+        let rules = mine_implications(
+            &kg,
+            &InferConfig {
+                min_support: 100,
+                ..Default::default()
+            },
+        );
         assert!(rules.is_empty());
     }
 }

@@ -18,6 +18,8 @@
 //! - [`coverage`] — the §7.1 user-needs coverage evaluator, with the
 //!   CPV-only baseline vocabulary,
 //! - [`snapshot`] — a line-oriented TSV persistence format,
+//! - [`rank`] — the shared `(score desc, id asc)` ranking order and a
+//!   bounded top-k heap used by every serving surface,
 //! - [`infer`] — implied-relation mining (§10 future work: "boy's T-shirt"
 //!   implies `Time: Summer`).
 //!
@@ -72,6 +74,7 @@ pub mod graph;
 pub mod ids;
 pub mod infer;
 pub mod query;
+pub mod rank;
 pub mod snapshot;
 pub mod stats;
 pub mod validate;

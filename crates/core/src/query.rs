@@ -8,11 +8,22 @@ use crate::graph::AliCoCo;
 use crate::ids::{ClassId, ConceptId, ItemId, PrimitiveId};
 
 /// Inverted indices built once over a net for fast serving-side queries.
+///
+/// Besides the id-level lookups (`concepts_by_primitive`, …), the index
+/// carries *token-level* postings so keyword retrieval never scans a
+/// layer: [`concepts_by_token`](Self::concepts_by_token) maps every
+/// concept-surface token **and** every interpreting-primitive surface to
+/// the concepts it evidences (which is exactly the set of concepts a
+/// query word can give a non-zero retrieval score to, preserving
+/// order-free matching), and [`items_by_token`](Self::items_by_token)
+/// maps title tokens to items.
 pub struct QueryIndex<'kg> {
     kg: &'kg AliCoCo,
     concepts_by_primitive: FxHashMap<PrimitiveId, Vec<ConceptId>>,
     items_by_primitive: FxHashMap<PrimitiveId, Vec<ItemId>>,
     primitives_by_domain: FxHashMap<ClassId, Vec<PrimitiveId>>,
+    concepts_by_token: FxHashMap<String, Vec<ConceptId>>,
+    items_by_token: FxHashMap<String, Vec<ItemId>>,
 }
 
 impl<'kg> QueryIndex<'kg> {
@@ -20,15 +31,40 @@ impl<'kg> QueryIndex<'kg> {
     pub fn build(kg: &'kg AliCoCo) -> Self {
         let mut concepts_by_primitive: FxHashMap<PrimitiveId, Vec<ConceptId>> =
             FxHashMap::default();
+        let mut concepts_by_token: FxHashMap<String, Vec<ConceptId>> = FxHashMap::default();
+        let mut token_set: FxHashSet<&str> = FxHashSet::default();
         for c in kg.concept_ids() {
             for &p in &kg.concept(c).primitives {
                 concepts_by_primitive.entry(p).or_default().push(c);
             }
+            // One posting entry per distinct token: surface words plus the
+            // full surface of every interpreting primitive (a primitive
+            // match is what makes retrieval order-free, §8.1).
+            token_set.clear();
+            let node = kg.concept(c);
+            token_set.extend(node.name.split(' '));
+            token_set.extend(
+                node.primitives
+                    .iter()
+                    .map(|&p| kg.primitive(p).name.as_str()),
+            );
+            for tok in token_set.drain() {
+                concepts_by_token
+                    .entry(tok.to_string())
+                    .or_default()
+                    .push(c);
+            }
         }
         let mut items_by_primitive: FxHashMap<PrimitiveId, Vec<ItemId>> = FxHashMap::default();
+        let mut items_by_token: FxHashMap<String, Vec<ItemId>> = FxHashMap::default();
         for i in kg.item_ids() {
             for &p in &kg.item(i).primitives {
                 items_by_primitive.entry(p).or_default().push(i);
+            }
+            token_set.clear();
+            token_set.extend(kg.item(i).title.iter().map(String::as_str));
+            for tok in token_set.drain() {
+                items_by_token.entry(tok.to_string()).or_default().push(i);
             }
         }
         let mut primitives_by_domain: FxHashMap<ClassId, Vec<PrimitiveId>> = FxHashMap::default();
@@ -36,23 +72,82 @@ impl<'kg> QueryIndex<'kg> {
             let d = kg.class_domain(kg.primitive(p).class);
             primitives_by_domain.entry(d).or_default().push(p);
         }
-        QueryIndex { kg, concepts_by_primitive, items_by_primitive, primitives_by_domain }
+        QueryIndex {
+            kg,
+            concepts_by_primitive,
+            items_by_primitive,
+            primitives_by_domain,
+            concepts_by_token,
+            items_by_token,
+        }
     }
 
     /// Concepts interpreted by a primitive ("which needs involve
     /// *barbecue*?").
     pub fn concepts_by_primitive(&self, p: PrimitiveId) -> &[ConceptId] {
-        self.concepts_by_primitive.get(&p).map(Vec::as_slice).unwrap_or(&[])
+        self.concepts_by_primitive
+            .get(&p)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Items carrying a primitive property.
     pub fn items_by_primitive(&self, p: PrimitiveId) -> &[ItemId] {
-        self.items_by_primitive.get(&p).map(Vec::as_slice).unwrap_or(&[])
+        self.items_by_primitive
+            .get(&p)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// All primitives under a first-level domain class.
     pub fn primitives_in_domain(&self, domain: ClassId) -> &[PrimitiveId] {
-        self.primitives_by_domain.get(&domain).map(Vec::as_slice).unwrap_or(&[])
+        self.primitives_by_domain
+            .get(&domain)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Concepts a query token can evidence: every concept whose surface
+    /// contains the token as a word, or that is interpreted by a primitive
+    /// whose full surface equals the token. Ascending id order, no dups.
+    pub fn concepts_by_token(&self, token: &str) -> &[ConceptId] {
+        self.concepts_by_token
+            .get(token)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Items whose title contains the token. Ascending id order, no dups.
+    pub fn items_by_token(&self, token: &str) -> &[ItemId] {
+        self.items_by_token
+            .get(token)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Distinct candidate concepts for a set of query words (the union of
+    /// the words' postings). Exactly the concepts a token-overlap scorer
+    /// can give a positive score — scoring only these is equivalent to a
+    /// full concept-layer scan.
+    pub fn concept_candidates<'w>(
+        &self,
+        words: impl IntoIterator<Item = &'w str>,
+    ) -> Vec<ConceptId> {
+        let mut seen: FxHashSet<ConceptId> = FxHashSet::default();
+        let mut out = Vec::new();
+        for w in words {
+            for &c in self.concepts_by_token(w) {
+                if seen.insert(c) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// The net this index serves.
+    pub fn kg(&self) -> &'kg AliCoCo {
+        self.kg
     }
 
     /// Explain why an item is suggested for a concept: the direct edge
@@ -65,8 +160,13 @@ impl<'kg> QueryIndex<'kg> {
             .iter()
             .find(|&&(i, _)| i == item)
             .map(|&(_, w)| w);
-        let cp: FxHashSet<PrimitiveId> =
-            self.kg.concept(concept).primitives.iter().copied().collect();
+        let cp: FxHashSet<PrimitiveId> = self
+            .kg
+            .concept(concept)
+            .primitives
+            .iter()
+            .copied()
+            .collect();
         let shared: Vec<PrimitiveId> = self
             .kg
             .item(item)
@@ -75,7 +175,10 @@ impl<'kg> QueryIndex<'kg> {
             .copied()
             .filter(|p| cp.contains(p))
             .collect();
-        Explanation { direct_weight: direct, shared_primitives: shared }
+        Explanation {
+            direct_weight: direct,
+            shared_primitives: shared,
+        }
     }
 }
 
@@ -120,7 +223,12 @@ fn degree_stats(degrees: impl Iterator<Item = usize>) -> DegreeStats {
     if n == 0 {
         return DegreeStats::default();
     }
-    DegreeStats { min, max, mean: sum as f64 / n as f64, isolated }
+    DegreeStats {
+        min,
+        max,
+        mean: sum as f64 / n as f64,
+        isolated,
+    }
 }
 
 /// Degree statistics of concept→item edges.
@@ -212,6 +320,30 @@ mod tests {
         assert_eq!(q.primitives_in_domain(event), &[bbq]);
         let missing = PrimitiveId::from_index(999);
         assert!(q.concepts_by_primitive(missing).is_empty());
+    }
+
+    #[test]
+    fn token_postings_cover_surfaces_and_primitive_names() {
+        let (kg, c, grill, _) = sample();
+        let q = QueryIndex::build(&kg);
+        let hyper = kg.concept_by_name("barbecue").unwrap();
+        // "barbecue" evidences both the compound concept (surface token +
+        // interpreting primitive) and its hypernym — each exactly once.
+        assert_eq!(q.concepts_by_token("barbecue"), &[c, hyper]);
+        assert_eq!(q.concepts_by_token("outdoor"), &[c]);
+        assert!(q.concepts_by_token("nonexistent").is_empty());
+        assert_eq!(q.items_by_token("grill"), &[grill]);
+        assert!(q.items_by_token("barbecue").is_empty());
+    }
+
+    #[test]
+    fn concept_candidates_union_is_deduped() {
+        let (kg, c, _, _) = sample();
+        let q = QueryIndex::build(&kg);
+        let hyper = kg.concept_by_name("barbecue").unwrap();
+        let mut cands = q.concept_candidates(["barbecue", "outdoor", "missing"]);
+        cands.sort();
+        assert_eq!(cands, vec![c, hyper]);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Shared ranking primitives for the serving layer: one total-order
+//! comparator (`score` descending, id ascending) used by every ranked
+//! surface in the workspace, and a bounded top-k heap so retrieval cost
+//! is `O(n log k)` instead of sorting the whole candidate set.
+//!
+//! Float scores are ordered with [`f64::total_cmp`]/[`f32::total_cmp`],
+//! so the comparator is a genuine total order even in the presence of
+//! NaN (positive NaN sorts above `+inf`, negative NaN below `-inf`,
+//! deterministically) — unlike `partial_cmp(..).unwrap_or(Equal)`,
+//! which silently makes NaN equal to everything and can scramble
+//! neighbouring ranks.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A ranking score: a float type with a total order.
+pub trait Score: Copy {
+    /// Total-order comparison (ascending, `total_cmp` semantics).
+    fn total_cmp_asc(&self, other: &Self) -> Ordering;
+}
+
+impl Score for f32 {
+    fn total_cmp_asc(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Score for f64 {
+    fn total_cmp_asc(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+/// Descending total order on scores: `Less` means `a` ranks better.
+pub fn score_desc<S: Score>(a: &S, b: &S) -> Ordering {
+    b.total_cmp_asc(a)
+}
+
+/// The workspace-wide ranking order for `(id, score)` pairs: score
+/// descending, id ascending as the deterministic tie-break. `Less`
+/// means `a` ranks better (so `sort_by(by_score_then_id)` is
+/// best-first).
+pub fn by_score_then_id<I: Ord, S: Score>(a: &(I, S), b: &(I, S)) -> Ordering {
+    score_desc(&a.1, &b.1).then_with(|| a.0.cmp(&b.0))
+}
+
+/// Heap entry ordered so the binary max-heap's root is the *worst*
+/// currently-kept candidate (the one a better candidate evicts).
+struct Entry<I, S>((I, S));
+
+impl<I: Ord, S: Score> PartialEq for Entry<I, S> {
+    fn eq(&self, other: &Self) -> bool {
+        by_score_then_id(&self.0, &other.0) == Ordering::Equal
+    }
+}
+impl<I: Ord, S: Score> Eq for Entry<I, S> {}
+impl<I: Ord, S: Score> PartialOrd for Entry<I, S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<I: Ord, S: Score> Ord for Entry<I, S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Ranking order directly: the heap max is the worst-ranked entry.
+        by_score_then_id(&self.0, &other.0)
+    }
+}
+
+/// Bounded best-k collector over `(id, score)` pairs under
+/// [`by_score_then_id`]. Push is `O(log k)`; candidates worse than the
+/// current k-th are rejected without allocation.
+pub struct TopK<I, S> {
+    k: usize,
+    heap: BinaryHeap<Entry<I, S>>,
+}
+
+impl<I: Ord, S: Score> TopK<I, S> {
+    /// Collector keeping the best `k` entries.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k.min(1024) + 1),
+        }
+    }
+
+    /// Offer a candidate.
+    pub fn push(&mut self, id: I, score: S) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = Entry((id, score));
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if let Some(mut worst) = self.heap.peek_mut() {
+            if entry.cmp(&worst) == Ordering::Less {
+                *worst = entry;
+            }
+        }
+    }
+
+    /// Number of entries currently kept.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The kept entries, best first.
+    pub fn into_sorted_vec(self) -> Vec<(I, S)> {
+        // Ascending under `Ord` = best-ranked first, by construction.
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| e.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparator_ranks_score_desc_then_id_asc() {
+        let mut v = vec![(3u32, 0.5f64), (1, 0.9), (2, 0.9), (4, 0.1)];
+        v.sort_by(by_score_then_id);
+        assert_eq!(v, vec![(1, 0.9), (2, 0.9), (3, 0.5), (4, 0.1)]);
+    }
+
+    #[test]
+    fn nan_scores_order_deterministically() {
+        // total_cmp: positive NaN sits above +inf, so it ranks first in
+        // descending order — the point is the order is total and stable.
+        let mut v = vec![(1u32, f64::NAN), (2, 0.0), (3, -1.0)];
+        v.sort_by(by_score_then_id);
+        assert!(v[0].1.is_nan());
+        assert_eq!(v[1].0, 2);
+        assert_eq!(v[2].0, 3);
+        // And sorting is idempotent (a genuine total order).
+        let w = v.clone();
+        v.sort_by(by_score_then_id);
+        assert_eq!(v[1..], w[1..]);
+    }
+
+    #[test]
+    fn topk_matches_full_sort_truncate() {
+        let items: Vec<(u32, f64)> = (0..100)
+            .map(|i| (i, ((i * 37) % 13) as f64 / 13.0))
+            .collect();
+        for k in [0, 1, 3, 7, 100, 200] {
+            let mut heap = TopK::new(k);
+            for &(id, s) in &items {
+                heap.push(id, s);
+            }
+            let mut sorted = items.clone();
+            sorted.sort_by(by_score_then_id);
+            sorted.truncate(k);
+            assert_eq!(heap.into_sorted_vec(), sorted, "k={k}");
+        }
+    }
+
+    #[test]
+    fn topk_works_with_f32_scores() {
+        let mut heap = TopK::new(2);
+        heap.push(10u64, 0.5f32);
+        heap.push(20, 0.5);
+        heap.push(5, 0.4);
+        assert_eq!(heap.into_sorted_vec(), vec![(10, 0.5), (20, 0.5)]);
+    }
+}

@@ -27,7 +27,10 @@ use crate::ids::{ClassId, ConceptId, ItemId, PrimitiveId};
 /// Serialize the graph to a writer.
 pub fn save<W: Write>(kg: &AliCoCo, w: &mut W) -> io::Result<()> {
     fn check(s: &str) -> &str {
-        assert!(!s.contains('\t') && !s.contains('\n'), "name contains separator: {s:?}");
+        assert!(
+            !s.contains('\t') && !s.contains('\n'),
+            "name contains separator: {s:?}"
+        );
         s
     }
     for id in kg.class_ids() {
@@ -40,7 +43,13 @@ pub fn save<W: Write>(kg: &AliCoCo, w: &mut W) -> io::Result<()> {
     }
     for id in kg.primitive_ids() {
         let p = kg.primitive(id);
-        writeln!(w, "P\t{}\t{}\t{}", id.index(), check(&p.name), p.class.index())?;
+        writeln!(
+            w,
+            "P\t{}\t{}\t{}",
+            id.index(),
+            check(&p.name),
+            p.class.index()
+        )?;
     }
     for id in kg.concept_ids() {
         writeln!(w, "E\t{}\t{}", id.index(), check(&kg.concept(id).name))?;
@@ -72,10 +81,22 @@ pub fn save<W: Write>(kg: &AliCoCo, w: &mut W) -> io::Result<()> {
         }
     }
     for s in kg.schema() {
-        writeln!(w, "S\t{}\t{}\t{}", check(&s.name), s.from.index(), s.to.index())?;
+        writeln!(
+            w,
+            "S\t{}\t{}\t{}",
+            check(&s.name),
+            s.from.index(),
+            s.to.index()
+        )?;
     }
     for r in kg.primitive_relations() {
-        writeln!(w, "R\t{}\t{}\t{}", check(&r.name), r.from.index(), r.to.index())?;
+        writeln!(
+            w,
+            "R\t{}\t{}\t{}",
+            check(&r.name),
+            r.from.index(),
+            r.to.index()
+        )?;
     }
     Ok(())
 }

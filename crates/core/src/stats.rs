@@ -80,7 +80,11 @@ impl Stats {
             concept_primitive_links: kg.num_concept_primitive_links(),
             schema_relations: kg.schema().len(),
             instance_relations: kg.primitive_relations().len(),
-            item_linkage: if num_items == 0 { 0.0 } else { linked as f64 / num_items as f64 },
+            item_linkage: if num_items == 0 {
+                0.0
+            } else {
+                linked as f64 / num_items as f64
+            },
             avg_primitives_per_item: if num_items == 0 {
                 0.0
             } else {
@@ -113,28 +117,88 @@ impl Stats {
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Overall")?;
-        writeln!(f, "  # Taxonomy classes            {:>12}", self.num_classes)?;
-        writeln!(f, "  # Primitive concepts          {:>12}", self.num_primitives)?;
-        writeln!(f, "  # E-commerce concepts         {:>12}", self.num_concepts)?;
+        writeln!(
+            f,
+            "  # Taxonomy classes            {:>12}",
+            self.num_classes
+        )?;
+        writeln!(
+            f,
+            "  # Primitive concepts          {:>12}",
+            self.num_primitives
+        )?;
+        writeln!(
+            f,
+            "  # E-commerce concepts         {:>12}",
+            self.num_concepts
+        )?;
         writeln!(f, "  # Items                       {:>12}", self.num_items)?;
-        writeln!(f, "  # Relations                   {:>12}", self.total_relations())?;
+        writeln!(
+            f,
+            "  # Relations                   {:>12}",
+            self.total_relations()
+        )?;
         writeln!(f, "Primitive concepts per domain")?;
         for (name, count) in &self.per_domain {
             writeln!(f, "  # {:<28}{:>12}", name, count)?;
         }
         writeln!(f, "Relations")?;
-        writeln!(f, "  # IsA in primitive concepts   {:>12}", self.is_a_primitive)?;
-        writeln!(f, "  # IsA in e-commerce concepts  {:>12}", self.is_a_concept)?;
-        writeln!(f, "  # Item - Primitive concepts   {:>12}", self.item_primitive_links)?;
-        writeln!(f, "  # Item - E-commerce concepts  {:>12}", self.item_concept_links)?;
-        writeln!(f, "  # E-commerce - Primitive cpts {:>12}", self.concept_primitive_links)?;
-        writeln!(f, "  # Schema relations            {:>12}", self.schema_relations)?;
-        writeln!(f, "  # Instance relations          {:>12}", self.instance_relations)?;
+        writeln!(
+            f,
+            "  # IsA in primitive concepts   {:>12}",
+            self.is_a_primitive
+        )?;
+        writeln!(
+            f,
+            "  # IsA in e-commerce concepts  {:>12}",
+            self.is_a_concept
+        )?;
+        writeln!(
+            f,
+            "  # Item - Primitive concepts   {:>12}",
+            self.item_primitive_links
+        )?;
+        writeln!(
+            f,
+            "  # Item - E-commerce concepts  {:>12}",
+            self.item_concept_links
+        )?;
+        writeln!(
+            f,
+            "  # E-commerce - Primitive cpts {:>12}",
+            self.concept_primitive_links
+        )?;
+        writeln!(
+            f,
+            "  # Schema relations            {:>12}",
+            self.schema_relations
+        )?;
+        writeln!(
+            f,
+            "  # Instance relations          {:>12}",
+            self.instance_relations
+        )?;
         writeln!(f, "Averages")?;
-        writeln!(f, "  items linked to the net       {:>11.1}%", self.item_linkage * 100.0)?;
-        writeln!(f, "  primitives per item           {:>12.2}", self.avg_primitives_per_item)?;
-        writeln!(f, "  concepts per item             {:>12.2}", self.avg_concepts_per_item)?;
-        writeln!(f, "  items per concept             {:>12.2}", self.avg_items_per_concept)?;
+        writeln!(
+            f,
+            "  items linked to the net       {:>11.1}%",
+            self.item_linkage * 100.0
+        )?;
+        writeln!(
+            f,
+            "  primitives per item           {:>12.2}",
+            self.avg_primitives_per_item
+        )?;
+        writeln!(
+            f,
+            "  concepts per item             {:>12.2}",
+            self.avg_concepts_per_item
+        )?;
+        writeln!(
+            f,
+            "  items per concept             {:>12.2}",
+            self.avg_items_per_concept
+        )?;
         Ok(())
     }
 }
@@ -168,7 +232,10 @@ mod tests {
         kg.link_concept_item(c, i, 1.0);
         let s = Stats::compute(&kg);
         assert_eq!(s.num_primitives, 3);
-        assert_eq!(s.per_domain, vec![("Category".to_string(), 2), ("Event".to_string(), 1)]);
+        assert_eq!(
+            s.per_domain,
+            vec![("Category".to_string(), 2), ("Event".to_string(), 1)]
+        );
         assert_eq!(s.is_a_primitive, 1);
         assert_eq!(s.item_primitive_links, 1);
         assert_eq!(s.item_concept_links, 1);

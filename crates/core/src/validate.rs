@@ -111,7 +111,10 @@ pub fn validate(kg: &AliCoCo) -> Vec<Violation> {
         for p in kg.primitive_ids() {
             for &h in &kg.primitive(p).hypernyms {
                 if !kg.primitive(h).hyponyms.contains(&p) {
-                    out.push(Violation::AsymmetricIsA { hyponym: p, hypernym: h });
+                    out.push(Violation::AsymmetricIsA {
+                        hyponym: p,
+                        hypernym: h,
+                    });
                 }
             }
         }
@@ -152,7 +155,10 @@ pub fn validate(kg: &AliCoCo) -> Vec<Violation> {
     for c in kg.concept_ids() {
         for &(item, w) in &kg.concept(c).items {
             if !w.is_finite() || !(0.0..=1.0).contains(&w) {
-                out.push(Violation::BadWeight { concept: c, weight: w });
+                out.push(Violation::BadWeight {
+                    concept: c,
+                    weight: w,
+                });
             }
             if !kg.concepts_for_item(item).contains(&c) {
                 out.push(Violation::MissingBackLink { concept: c, item });
@@ -164,7 +170,10 @@ pub fn validate(kg: &AliCoCo) -> Vec<Violation> {
             let forward: FxHashSet<crate::ids::ItemId> =
                 kg.concept(c).items.iter().map(|&(it, _)| it).collect();
             if !forward.contains(&i) {
-                out.push(Violation::DanglingBackLink { item: i, concept: c });
+                out.push(Violation::DanglingBackLink {
+                    item: i,
+                    concept: c,
+                });
             }
         }
     }
@@ -204,7 +213,8 @@ mod tests {
         kg.add_primitive_is_a(b, a);
         let v = validate(&kg);
         assert!(
-            v.iter().any(|x| matches!(x, Violation::PrimitiveIsACycle(_))),
+            v.iter()
+                .any(|x| matches!(x, Violation::PrimitiveIsACycle(_))),
             "cycle not flagged: {v:?}"
         );
     }

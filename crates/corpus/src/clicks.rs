@@ -69,8 +69,7 @@ pub fn simulate_clicks(
     cfg: &ClickConfig,
 ) -> Vec<Impression> {
     assert!(!items.is_empty(), "click simulation needs items");
-    let good: Vec<usize> =
-        (0..concepts.len()).filter(|&i| concepts[i].good).collect();
+    let good: Vec<usize> = (0..concepts.len()).filter(|&i| concepts[i].good).collect();
     if good.is_empty() {
         return Vec::new();
     }
@@ -94,9 +93,18 @@ pub fn simulate_clicks(
         for (position, &ii) in card.iter().enumerate() {
             let examined = rng.gen_bool(cfg.position_decay.powi(position as i32));
             let relevant = concept_relevant_item(world, concept, &items[ii]);
-            let p = if relevant { cfg.p_click_relevant } else { cfg.p_click_irrelevant };
+            let p = if relevant {
+                cfg.p_click_relevant
+            } else {
+                cfg.p_click_irrelevant
+            };
             let clicked = examined && rng.gen_bool(p);
-            log.push(Impression { concept: ci, item: ii, position, clicked });
+            log.push(Impression {
+                concept: ci,
+                item: ii,
+                position,
+                clicked,
+            });
         }
     }
     log
@@ -167,7 +175,11 @@ mod tests {
     #[test]
     fn position_bias_lowers_tail_ctr() {
         let (world, concepts, items) = setup();
-        let cfg = ClickConfig { sessions: 1500, position_decay: 0.6, ..Default::default() };
+        let cfg = ClickConfig {
+            sessions: 1500,
+            position_decay: 0.6,
+            ..Default::default()
+        };
         let log = simulate_clicks(&world, &concepts, &items, &cfg);
         let ctr_at = |pos: usize| {
             let (mut c, mut n) = (0u32, 0u32);
@@ -188,9 +200,24 @@ mod tests {
     #[test]
     fn pairs_from_log_deduplicates() {
         let log = vec![
-            Impression { concept: 1, item: 2, position: 0, clicked: false },
-            Impression { concept: 1, item: 2, position: 1, clicked: true },
-            Impression { concept: 1, item: 3, position: 2, clicked: false },
+            Impression {
+                concept: 1,
+                item: 2,
+                position: 0,
+                clicked: false,
+            },
+            Impression {
+                concept: 1,
+                item: 2,
+                position: 1,
+                clicked: true,
+            },
+            Impression {
+                concept: 1,
+                item: 3,
+                position: 2,
+                clicked: false,
+            },
         ];
         let pairs = pairs_from_log(&log);
         assert_eq!(pairs, vec![(1, 2, 1.0), (1, 3, 0.0)]);

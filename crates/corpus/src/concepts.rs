@@ -72,8 +72,22 @@ impl ConceptSpec {
 
 /// Non-commerce filler words for "no e-commerce meaning" negatives.
 const FILLER: &[&str] = &[
-    "sky", "cloud", "idea", "rumor", "story", "news", "sunshine", "opinion", "tuesday",
-    "philosophy", "gossip", "silence", "gravity", "hens", "lay", "eggs",
+    "sky",
+    "cloud",
+    "idea",
+    "rumor",
+    "story",
+    "news",
+    "sunshine",
+    "opinion",
+    "tuesday",
+    "philosophy",
+    "gossip",
+    "silence",
+    "gravity",
+    "hens",
+    "lay",
+    "eggs",
 ];
 
 struct Builder<'w, R: Rng> {
@@ -94,7 +108,15 @@ impl<'w, R: Rng> Builder<'w, R> {
         let name = self.world.tree.name(cat);
         let tokens: Vec<String> = name.split(' ').map(String::from).collect();
         let len = tokens.len();
-        (tokens, Slot { domain: Domain::Category, surface: name.to_string(), start, len })
+        (
+            tokens,
+            Slot {
+                domain: Domain::Category,
+                surface: name.to_string(),
+                start,
+                len,
+            },
+        )
     }
 
     /// `[Function] [Category] for [Event]` — "warm hat for traveling".
@@ -123,9 +145,19 @@ impl<'w, R: Rng> Builder<'w, R> {
         tokens.push("for".into());
         tokens.push(e.to_string());
         let slots = vec![
-            Slot { domain: Domain::Function, surface: f.into(), start: 0, len: 1 },
+            Slot {
+                domain: Domain::Function,
+                surface: f.into(),
+                start: 0,
+                len: 1,
+            },
             cat_slot,
-            Slot { domain: Domain::Event, surface: e.into(), start: for_pos + 1, len: 1 },
+            Slot {
+                domain: Domain::Event,
+                surface: e.into(),
+                start: for_pos + 1,
+                len: 1,
+            },
         ];
         let good = self.world.fn_event_ok(f, e)
             && self.world.fn_cat_ok(f, cat)
@@ -148,8 +180,18 @@ impl<'w, R: Rng> Builder<'w, R> {
         let mut tokens = vec![s.to_string(), t.to_string()];
         tokens.extend(cat_tokens);
         let slots = vec![
-            Slot { domain: Domain::Style, surface: s.into(), start: 0, len: 1 },
-            Slot { domain: Domain::Time, surface: t.into(), start: 1, len: 1 },
+            Slot {
+                domain: Domain::Style,
+                surface: s.into(),
+                start: 0,
+                len: 1,
+            },
+            Slot {
+                domain: Domain::Time,
+                surface: t.into(),
+                start: 1,
+                len: 1,
+            },
             cat_slot,
         ];
         let good = self.world.cat_styled(cat) && self.world.cat_time_ok(cat, t);
@@ -168,8 +210,18 @@ impl<'w, R: Rng> Builder<'w, R> {
         let e = self.pick(lexicon::EVENTS);
         let tokens = vec![l.to_string(), e.to_string()];
         let slots = vec![
-            Slot { domain: Domain::Location, surface: l.into(), start: 0, len: 1 },
-            Slot { domain: Domain::Event, surface: e.into(), start: 1, len: 1 },
+            Slot {
+                domain: Domain::Location,
+                surface: l.into(),
+                start: 0,
+                len: 1,
+            },
+            Slot {
+                domain: Domain::Event,
+                surface: e.into(),
+                start: 1,
+                len: 1,
+            },
         ];
         let good = self.world.event_loc_ok(e, l);
         ConceptSpec {
@@ -187,8 +239,18 @@ impl<'w, R: Rng> Builder<'w, R> {
         let l = self.pick(lexicon::LOCATIONS);
         let tokens = vec![e.to_string(), "in".into(), l.to_string()];
         let slots = vec![
-            Slot { domain: Domain::Event, surface: e.into(), start: 0, len: 1 },
-            Slot { domain: Domain::Location, surface: l.into(), start: 2, len: 1 },
+            Slot {
+                domain: Domain::Event,
+                surface: e.into(),
+                start: 0,
+                len: 1,
+            },
+            Slot {
+                domain: Domain::Location,
+                surface: l.into(),
+                start: 2,
+                len: 1,
+            },
         ];
         let good = self.world.event_loc_ok(e, l);
         ConceptSpec {
@@ -206,8 +268,18 @@ impl<'w, R: Rng> Builder<'w, R> {
         let a = self.pick(lexicon::AUDIENCES);
         let tokens = vec![f.to_string(), "for".into(), a.to_string()];
         let slots = vec![
-            Slot { domain: Domain::Function, surface: f.into(), start: 0, len: 1 },
-            Slot { domain: Domain::Audience, surface: a.into(), start: 2, len: 1 },
+            Slot {
+                domain: Domain::Function,
+                surface: f.into(),
+                start: 0,
+                len: 1,
+            },
+            Slot {
+                domain: Domain::Audience,
+                surface: a.into(),
+                start: 2,
+                len: 1,
+            },
         ];
         let good = self.world.fn_aud_ok(f, a);
         ConceptSpec {
@@ -225,8 +297,18 @@ impl<'w, R: Rng> Builder<'w, R> {
         let a = self.pick(lexicon::AUDIENCES);
         let tokens = vec![t.to_string(), "gifts".into(), "for".into(), a.to_string()];
         let slots = vec![
-            Slot { domain: Domain::Time, surface: t.into(), start: 0, len: 1 },
-            Slot { domain: Domain::Audience, surface: a.into(), start: 3, len: 1 },
+            Slot {
+                domain: Domain::Time,
+                surface: t.into(),
+                start: 0,
+                len: 1,
+            },
+            Slot {
+                domain: Domain::Audience,
+                surface: a.into(),
+                start: 3,
+                len: 1,
+            },
         ];
         let good = GIFT_OCCASIONS.contains(&t) && !self.world.gift_needs(a).is_empty();
         ConceptSpec {
@@ -247,8 +329,18 @@ impl<'w, R: Rng> Builder<'w, R> {
         let mut tokens = vec![c.to_string(), m.to_string()];
         tokens.extend(cat_tokens);
         let slots = vec![
-            Slot { domain: Domain::Color, surface: c.into(), start: 0, len: 1 },
-            Slot { domain: Domain::Material, surface: m.into(), start: 1, len: 1 },
+            Slot {
+                domain: Domain::Color,
+                surface: c.into(),
+                start: 0,
+                len: 1,
+            },
+            Slot {
+                domain: Domain::Material,
+                surface: m.into(),
+                start: 1,
+                len: 1,
+            },
             cat_slot,
         ];
         let good = self.world.cat_colored(cat) && self.world.material_cat_ok(m, cat);
@@ -268,8 +360,15 @@ impl<'w, R: Rng> Builder<'w, R> {
         let (cat_tokens, cat_slot) = self.cat_slot(cat, 1);
         let mut tokens = vec![s.to_string()];
         tokens.extend(cat_tokens);
-        let slots =
-            vec![Slot { domain: Domain::Style, surface: s.into(), start: 0, len: 1 }, cat_slot];
+        let slots = vec![
+            Slot {
+                domain: Domain::Style,
+                surface: s.into(),
+                start: 0,
+                len: 1,
+            },
+            cat_slot,
+        ];
         let good = self.world.cat_styled(cat);
         ConceptSpec {
             tokens,
@@ -286,8 +385,18 @@ impl<'w, R: Rng> Builder<'w, R> {
         let e = self.pick(lexicon::EVENTS);
         let tokens = vec![t.to_string(), e.to_string()];
         let slots = vec![
-            Slot { domain: Domain::Time, surface: t.into(), start: 0, len: 1 },
-            Slot { domain: Domain::Event, surface: e.into(), start: 1, len: 1 },
+            Slot {
+                domain: Domain::Time,
+                surface: t.into(),
+                start: 0,
+                len: 1,
+            },
+            Slot {
+                domain: Domain::Event,
+                surface: e.into(),
+                start: 1,
+                len: 1,
+            },
         ];
         let good = self.world.event_time_ok(e, t);
         ConceptSpec {
@@ -415,44 +524,101 @@ pub fn parse_candidate(world: &World, tokens: &[String]) -> Option<(&'static str
         None
     };
     let one = |i: usize, d: Domain, tokens: &[String]| -> Slot {
-        Slot { domain: d, surface: tokens[i].clone(), start: i, len: 1 }
+        Slot {
+            domain: d,
+            surface: tokens[i].clone(),
+            start: i,
+            len: 1,
+        }
     };
     let n = tokens.len();
     // [Time] gifts for [Audience]
-    if n == 4 && tokens[1] == "gifts" && tokens[2] == "for" && has(&tokens[0], Domain::Time) && has(&tokens[3], Domain::Audience) {
-        return Some(("time_gifts_for_aud", vec![one(0, Domain::Time, tokens), one(3, Domain::Audience, tokens)]));
+    if n == 4
+        && tokens[1] == "gifts"
+        && tokens[2] == "for"
+        && has(&tokens[0], Domain::Time)
+        && has(&tokens[3], Domain::Audience)
+    {
+        return Some((
+            "time_gifts_for_aud",
+            vec![
+                one(0, Domain::Time, tokens),
+                one(3, Domain::Audience, tokens),
+            ],
+        ));
     }
     // [Function] for [Audience]
-    if n == 3 && tokens[1] == "for" && has(&tokens[0], Domain::Function) && has(&tokens[2], Domain::Audience) {
-        return Some(("fn_for_aud", vec![one(0, Domain::Function, tokens), one(2, Domain::Audience, tokens)]));
+    if n == 3
+        && tokens[1] == "for"
+        && has(&tokens[0], Domain::Function)
+        && has(&tokens[2], Domain::Audience)
+    {
+        return Some((
+            "fn_for_aud",
+            vec![
+                one(0, Domain::Function, tokens),
+                one(2, Domain::Audience, tokens),
+            ],
+        ));
     }
     // [Event] in [Location]
-    if n == 3 && tokens[1] == "in" && has(&tokens[0], Domain::Event) && has(&tokens[2], Domain::Location) {
-        return Some(("event_in_loc", vec![one(0, Domain::Event, tokens), one(2, Domain::Location, tokens)]));
+    if n == 3
+        && tokens[1] == "in"
+        && has(&tokens[0], Domain::Event)
+        && has(&tokens[2], Domain::Location)
+    {
+        return Some((
+            "event_in_loc",
+            vec![
+                one(0, Domain::Event, tokens),
+                one(2, Domain::Location, tokens),
+            ],
+        ));
     }
     // [Function] [Category] for [Event]
-    if n >= 4 && has(&tokens[0], Domain::Function) && has(&tokens[n - 1], Domain::Event) && tokens[n - 2] == "for" {
+    if n >= 4
+        && has(&tokens[0], Domain::Function)
+        && has(&tokens[n - 1], Domain::Event)
+        && tokens[n - 2] == "for"
+    {
         if let Some(cat) = cat_at(1, &tokens[..n - 2]) {
             return Some((
                 "fn_cat_for_event",
-                vec![one(0, Domain::Function, tokens), cat, one(n - 1, Domain::Event, tokens)],
+                vec![
+                    one(0, Domain::Function, tokens),
+                    cat,
+                    one(n - 1, Domain::Event, tokens),
+                ],
             ));
         }
     }
     // [Location] [Event]
     if n == 2 && has(&tokens[0], Domain::Location) && has(&tokens[1], Domain::Event) {
-        return Some(("loc_event", vec![one(0, Domain::Location, tokens), one(1, Domain::Event, tokens)]));
+        return Some((
+            "loc_event",
+            vec![
+                one(0, Domain::Location, tokens),
+                one(1, Domain::Event, tokens),
+            ],
+        ));
     }
     // [Time] [Event]
     if n == 2 && has(&tokens[0], Domain::Time) && has(&tokens[1], Domain::Event) {
-        return Some(("time_event", vec![one(0, Domain::Time, tokens), one(1, Domain::Event, tokens)]));
+        return Some((
+            "time_event",
+            vec![one(0, Domain::Time, tokens), one(1, Domain::Event, tokens)],
+        ));
     }
     // [Style] [Time] [Category]
     if n >= 3 && has(&tokens[0], Domain::Style) && has(&tokens[1], Domain::Time) {
         if let Some(cat) = cat_at(2, tokens) {
             return Some((
                 "style_time_cat",
-                vec![one(0, Domain::Style, tokens), one(1, Domain::Time, tokens), cat],
+                vec![
+                    one(0, Domain::Style, tokens),
+                    one(1, Domain::Time, tokens),
+                    cat,
+                ],
             ));
         }
     }
@@ -461,7 +627,11 @@ pub fn parse_candidate(world: &World, tokens: &[String]) -> Option<(&'static str
         if let Some(cat) = cat_at(2, tokens) {
             return Some((
                 "color_mat_cat",
-                vec![one(0, Domain::Color, tokens), one(1, Domain::Material, tokens), cat],
+                vec![
+                    one(0, Domain::Color, tokens),
+                    one(1, Domain::Material, tokens),
+                    cat,
+                ],
             ));
         }
     }
@@ -508,9 +678,10 @@ pub fn judge_tokens(world: &World, tokens: &[String]) -> bool {
             let a = &get(Domain::Audience).expect("aud slot").surface;
             GIFT_OCCASIONS.contains(&t.as_str()) && !world.gift_needs(a).is_empty()
         }
-        "fn_for_aud" => {
-            world.fn_aud_ok(&get(Domain::Function).expect("fn").surface, &get(Domain::Audience).expect("aud").surface)
-        }
+        "fn_for_aud" => world.fn_aud_ok(
+            &get(Domain::Function).expect("fn").surface,
+            &get(Domain::Audience).expect("aud").surface,
+        ),
         "event_in_loc" | "loc_event" => world.event_loc_ok(
             &get(Domain::Event).expect("event").surface,
             &get(Domain::Location).expect("loc").surface,
@@ -527,11 +698,13 @@ pub fn judge_tokens(world: &World, tokens: &[String]) -> bool {
         }
         "style_time_cat" => {
             let cat = cat_id.expect("category resolves");
-            world.cat_styled(cat) && world.cat_time_ok(cat, &get(Domain::Time).expect("time").surface)
+            world.cat_styled(cat)
+                && world.cat_time_ok(cat, &get(Domain::Time).expect("time").surface)
         }
         "color_mat_cat" => {
             let cat = cat_id.expect("category resolves");
-            world.cat_colored(cat) && world.material_cat_ok(&get(Domain::Material).expect("mat").surface, cat)
+            world.cat_colored(cat)
+                && world.material_cat_ok(&get(Domain::Material).expect("mat").surface, cat)
         }
         "fn_cat" => {
             let cat = cat_id.expect("category resolves");
@@ -561,15 +734,20 @@ pub fn concept_relevant_item(world: &World, concept: &ConceptSpec, item: &ItemSp
     } else if let Some(es) = concept.slot(Domain::Event) {
         world.event_needs(&es.surface, item.category)
     } else if concept.pattern == "time_gifts_for_aud" {
-        let aud = concept.slot(Domain::Audience).expect("gift pattern has audience");
-        world.gift_needs(&aud.surface).iter().any(|&c| item.in_category(world, c))
+        let aud = concept
+            .slot(Domain::Audience)
+            .expect("gift pattern has audience");
+        world
+            .gift_needs(&aud.surface)
+            .iter()
+            .any(|&c| item.in_category(world, c))
     } else if let Some(fs) = concept.slot(Domain::Function) {
         // Pure function concepts ("health-care for elders"): any item with
         // the function.
         return item.functions.iter().any(|f| f == &fs.surface)
-            && concept.slot(Domain::Audience).is_none_or(|a| {
-                item.audience.as_deref().is_none_or(|ia| ia == a.surface)
-            });
+            && concept
+                .slot(Domain::Audience)
+                .is_none_or(|a| item.audience.as_deref().is_none_or(|ia| ia == a.surface));
     } else {
         return false;
     };
@@ -656,7 +834,11 @@ mod tests {
         let (_, concepts) = setup();
         for c in &concepts {
             for s in &c.slots {
-                assert!(s.start + s.len <= c.tokens.len(), "slot out of range in {:?}", c.text());
+                assert!(
+                    s.start + s.len <= c.tokens.len(),
+                    "slot out of range in {:?}",
+                    c.text()
+                );
                 let joined = c.tokens[s.start..s.start + s.len].join(" ");
                 assert_eq!(joined, s.surface, "slot mismatch in {:?}", c.text());
             }
@@ -670,7 +852,11 @@ mod tests {
             if c.pattern == "loc_event" || c.pattern == "event_in_loc" {
                 let e = c.slot(Domain::Event).unwrap();
                 let l = c.slot(Domain::Location).unwrap();
-                assert!(w.event_loc_ok(&e.surface, &l.surface), "bad good concept {}", c.text());
+                assert!(
+                    w.event_loc_ok(&e.surface, &l.surface),
+                    "bad good concept {}",
+                    c.text()
+                );
             }
         }
     }
@@ -682,8 +868,18 @@ mod tests {
         let concept = ConceptSpec {
             tokens: vec!["outdoor".into(), "barbecue".into()],
             slots: vec![
-                Slot { domain: Domain::Location, surface: "outdoor".into(), start: 0, len: 1 },
-                Slot { domain: Domain::Event, surface: "barbecue".into(), start: 1, len: 1 },
+                Slot {
+                    domain: Domain::Location,
+                    surface: "outdoor".into(),
+                    start: 0,
+                    len: 1,
+                },
+                Slot {
+                    domain: Domain::Event,
+                    surface: "barbecue".into(),
+                    start: 1,
+                    len: 1,
+                },
             ],
             pattern: "loc_event",
             good: true,
@@ -724,11 +920,31 @@ mod tests {
         let w = World::generate(WorldConfig::tiny());
         let hat = w.category("hat").unwrap();
         let concept = ConceptSpec {
-            tokens: vec!["warm".into(), "hat".into(), "for".into(), "traveling".into()],
+            tokens: vec![
+                "warm".into(),
+                "hat".into(),
+                "for".into(),
+                "traveling".into(),
+            ],
             slots: vec![
-                Slot { domain: Domain::Function, surface: "warm".into(), start: 0, len: 1 },
-                Slot { domain: Domain::Category, surface: "hat".into(), start: 1, len: 1 },
-                Slot { domain: Domain::Event, surface: "traveling".into(), start: 3, len: 1 },
+                Slot {
+                    domain: Domain::Function,
+                    surface: "warm".into(),
+                    start: 0,
+                    len: 1,
+                },
+                Slot {
+                    domain: Domain::Category,
+                    surface: "hat".into(),
+                    start: 1,
+                    len: 1,
+                },
+                Slot {
+                    domain: Domain::Event,
+                    surface: "traveling".into(),
+                    start: 3,
+                    len: 1,
+                },
             ],
             pattern: "fn_cat_for_event",
             good: true,

@@ -80,14 +80,19 @@ pub fn generate_corpora<R: Rng>(
             2 => {
                 let cat = leaves[rng.gen_range(0..leaves.len())];
                 let funcs = world.cat_functions(cat);
-                let f = if funcs.is_empty() { "new" } else { funcs[rng.gen_range(0..funcs.len())] };
+                let f = if funcs.is_empty() {
+                    "new"
+                } else {
+                    funcs[rng.gen_range(0..funcs.len())]
+                };
                 std::iter::once(f.to_string())
                     .chain(world.tree.name(cat).split(' ').map(String::from))
                     .collect()
             }
             3 => {
                 let cat = leaves[rng.gen_range(0..leaves.len())];
-                let a = crate::lexicon::AUDIENCES[rng.gen_range(0..crate::lexicon::AUDIENCES.len())];
+                let a =
+                    crate::lexicon::AUDIENCES[rng.gen_range(0..crate::lexicon::AUDIENCES.len())];
                 world
                     .tree
                     .name(cat)
@@ -133,12 +138,19 @@ pub fn generate_corpora<R: Rng>(
     // ---- reviews ---------------------------------------------------------
     for _ in 0..cfg.num_reviews {
         let it = &items[rng.gen_range(0..items.len())];
-        let cat_tokens: Vec<String> = world.tree.name(it.category).split(' ').map(String::from).collect();
+        let cat_tokens: Vec<String> = world
+            .tree
+            .name(it.category)
+            .split(' ')
+            .map(String::from)
+            .collect();
         // Pick an event this item serves, if any.
         let serving: Vec<&crate::world::EventProfile> = world
             .events()
             .iter()
-            .filter(|e| world.event_needs(e.event, it.category) || world.cat_event_ok(it.category, e.event))
+            .filter(|e| {
+                world.event_needs(e.event, it.category) || world.cat_event_ok(it.category, e.event)
+            })
             .collect();
         let mut sent: Vec<String> = Vec::with_capacity(16);
         match rng.gen_range(0..3u32) {
@@ -152,7 +164,14 @@ pub fn generate_corpora<R: Rng>(
                     sent.push(f.clone());
                     sent.push("and".into());
                 }
-                sent.extend(["great".into(), "for".into(), e.event.to_string(), "in".into(), "the".into(), l.to_string()]);
+                sent.extend([
+                    "great".into(),
+                    "for".into(),
+                    e.event.to_string(),
+                    "in".into(),
+                    "the".into(),
+                    l.to_string(),
+                ]);
             }
             1 if !serving.is_empty() => {
                 let e = serving[rng.gen_range(0..serving.len())];
@@ -172,7 +191,12 @@ pub fn generate_corpora<R: Rng>(
                     sent.push(m.clone());
                 }
                 sent.extend(cat_tokens.clone());
-                sent.extend(["from".into(), it.brand.clone(), "feels".into(), "premium".into()]);
+                sent.extend([
+                    "from".into(),
+                    it.brand.clone(),
+                    "feels".into(),
+                    "premium".into(),
+                ]);
             }
         }
         c.reviews.push(sent);
@@ -187,7 +211,12 @@ pub fn generate_corpora<R: Rng>(
                 let &(child, parent) = &edges[rng.gen_range(0..edges.len())];
                 let siblings = &world.tree.node(parent).children;
                 let other = siblings[rng.gen_range(0..siblings.len())];
-                let mut s = vec![guide_token(world.tree.name(parent)), "such".into(), "as".into(), guide_token(world.tree.name(child))];
+                let mut s = vec![
+                    guide_token(world.tree.name(parent)),
+                    "such".into(),
+                    "as".into(),
+                    guide_token(world.tree.name(child)),
+                ];
                 if other != child {
                     s.push("and".into());
                     s.push(guide_token(world.tree.name(other)));
@@ -207,7 +236,13 @@ pub fn generate_corpora<R: Rng>(
             }
             2 => {
                 let &(child, parent) = &edges[rng.gen_range(0..edges.len())];
-                let mut s = vec!["buy".into(), guide_token(world.tree.name(child)), "and".into(), "other".into(), guide_token(world.tree.name(parent))];
+                let mut s = vec![
+                    "buy".into(),
+                    guide_token(world.tree.name(child)),
+                    "and".into(),
+                    "other".into(),
+                    guide_token(world.tree.name(parent)),
+                ];
                 if rng.gen_bool(0.3) {
                     s.push("today".into());
                 }
@@ -219,10 +254,19 @@ pub fn generate_corpora<R: Rng>(
                 let mut needs: Vec<&str> = e.needs.to_vec();
                 needs.shuffle(rng);
                 let picks: Vec<String> = needs.iter().take(3).map(|n| guide_token(n)).collect();
-                let mut s = vec!["for".into(), e.event.to_string(), "you".into(), "need".into()];
+                let mut s = vec![
+                    "for".into(),
+                    e.event.to_string(),
+                    "you".into(),
+                    "need".into(),
+                ];
                 for (i, p) in picks.iter().enumerate() {
                     if i > 0 {
-                        s.push(if i + 1 == picks.len() { "and".into() } else { ",".into() });
+                        s.push(if i + 1 == picks.len() {
+                            "and".into()
+                        } else {
+                            ",".into()
+                        });
                     }
                     s.push(p.clone());
                 }
@@ -277,7 +321,11 @@ mod tests {
         let (_, c) = build();
         let refs: Vec<&[String]> = c.guides.iter().map(|s| s.as_slice()).collect();
         let pairs = alicoco_text::hearst::extract_from_corpus(refs.iter().copied());
-        assert!(pairs.len() > 20, "only {} hearst pairs extracted", pairs.len());
+        assert!(
+            pairs.len() > 20,
+            "only {} hearst pairs extracted",
+            pairs.len()
+        );
     }
 
     #[test]
@@ -286,7 +334,8 @@ mod tests {
         let refs: Vec<&[String]> = c.guides.iter().map(|s| s.as_slice()).collect();
         let pairs = alicoco_text::hearst::extract_from_corpus(refs.iter().copied());
         let resolve = |name: &str| {
-            w.category(name).or_else(|| w.category(&name.replace('-', " ")))
+            w.category(name)
+                .or_else(|| w.category(&name.replace('-', " ")))
         };
         let mut checked = 0;
         let mut correct = 0;
@@ -308,8 +357,11 @@ mod tests {
     #[test]
     fn reviews_mention_events_for_needed_items() {
         let (_, c) = build();
-        let mentions_barbecue =
-            c.reviews.iter().filter(|s| s.iter().any(|t| t == "barbecue")).count();
+        let mentions_barbecue = c
+            .reviews
+            .iter()
+            .filter(|s| s.iter().any(|t| t == "barbecue"))
+            .count();
         assert!(mentions_barbecue > 0, "no review ever mentions barbecue");
     }
 

@@ -73,7 +73,10 @@ impl Domain {
 
     /// Stable index in `0..20`.
     pub fn index(self) -> usize {
-        Domain::ALL.iter().position(|&d| d == self).expect("domain in ALL")
+        Domain::ALL
+            .iter()
+            .position(|&d| d == self)
+            .expect("domain in ALL")
     }
 
     /// Domain from its stable index.

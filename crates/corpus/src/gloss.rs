@@ -179,7 +179,10 @@ impl GlossKb {
     /// shared by several domains ("village") accumulate all senses, like a
     /// disambiguation page.
     fn extend_gloss(&mut self, surface: &str, tokens: Vec<String>) {
-        self.glosses.entry(surface.to_string()).or_default().extend(tokens);
+        self.glosses
+            .entry(surface.to_string())
+            .or_default()
+            .extend(tokens);
     }
 
     /// Gloss of a surface form, if known.
@@ -220,7 +223,9 @@ mod tests {
         assert!(kb.gloss("grill").is_some());
         assert!(kb.gloss("waterproof").is_some());
         assert!(kb.gloss("barbecue").is_some());
-        assert!(kb.gloss(w.lexicon.terms(Domain::Brand)[0].as_str()).is_some());
+        assert!(kb
+            .gloss(w.lexicon.terms(Domain::Brand)[0].as_str())
+            .is_some());
         assert!(kb.gloss("no-such-term").is_none());
         assert!(kb.len() > 200);
     }
@@ -256,7 +261,10 @@ mod tests {
         let grill = w.category("grill").unwrap();
         if let Some(&child) = w.tree.node(grill).children.first() {
             let g = kb.gloss(w.tree.name(child)).unwrap();
-            assert!(g.iter().any(|t| t == "barbecue"), "compound grill gloss: {g:?}");
+            assert!(
+                g.iter().any(|t| t == "barbecue"),
+                "compound grill gloss: {g:?}"
+            );
         }
     }
 }

@@ -33,11 +33,27 @@ pub struct ItemSpec {
     pub title: Vec<String>,
 }
 
-const PROMO_NOISE: &[&str] =
-    &["hot", "sale", "free-shipping", "2026", "official", "flagship", "authentic", "quality"];
+const PROMO_NOISE: &[&str] = &[
+    "hot",
+    "sale",
+    "free-shipping",
+    "2026",
+    "official",
+    "flagship",
+    "authentic",
+    "quality",
+];
 
-const STYLES_FOR_ITEMS: &[&str] =
-    &["casual", "british-style", "bohemian", "vintage", "minimalist", "sporty", "elegant", "street"];
+const STYLES_FOR_ITEMS: &[&str] = &[
+    "casual",
+    "british-style",
+    "bohemian",
+    "vintage",
+    "minimalist",
+    "sporty",
+    "elegant",
+    "street",
+];
 
 /// Generate `n` items against the world's compatibility model.
 pub fn generate_items<R: Rng>(world: &World, n: usize, rng: &mut R) -> Vec<ItemSpec> {
@@ -97,7 +113,17 @@ pub fn generate_items<R: Rng>(world: &World, n: usize, rng: &mut R) -> Vec<ItemS
         if rng.gen_bool(0.2) {
             title.push(PROMO_NOISE[rng.gen_range(0..PROMO_NOISE.len())].to_string());
         }
-        items.push(ItemSpec { id, category, brand, color, material, functions, style, audience, title });
+        items.push(ItemSpec {
+            id,
+            category,
+            brand,
+            color,
+            material,
+            functions,
+            style,
+            audience,
+            title,
+        });
     }
     items
 }
@@ -121,9 +147,15 @@ mod tests {
         let items = generate_items(&w, 200, &mut seeded_rng(1));
         assert_eq!(items.len(), 200);
         for it in &items {
-            assert!(w.tree.node(it.category).children.is_empty(), "category must be a leaf");
+            assert!(
+                w.tree.node(it.category).children.is_empty(),
+                "category must be a leaf"
+            );
             if let Some(m) = &it.material {
-                assert!(w.material_cat_ok(m, it.category), "material {m} incompatible");
+                assert!(
+                    w.material_cat_ok(m, it.category),
+                    "material {m} incompatible"
+                );
             }
             for f in &it.functions {
                 assert!(w.fn_cat_ok(f, it.category), "function {f} incompatible");
@@ -139,7 +171,10 @@ mod tests {
         let items = generate_items(&w, 100, &mut seeded_rng(2));
         for it in &items {
             for tok in w.tree.name(it.category).split(' ') {
-                assert!(it.title.iter().any(|t| t == tok), "title missing category token {tok}");
+                assert!(
+                    it.title.iter().any(|t| t == tok),
+                    "title missing category token {tok}"
+                );
             }
         }
     }

@@ -11,86 +11,226 @@ use crate::domain::Domain;
 
 /// Color surfaces ("red", "mocha" — the latter also a Taste).
 pub const COLORS: &[&str] = &[
-    "red", "blue", "green", "black", "white", "yellow", "pink", "purple", "beige", "navy",
-    "grey", "brown", "orange", "cream", "mocha", "ivory", "teal", "maroon",
+    "red", "blue", "green", "black", "white", "yellow", "pink", "purple", "beige", "navy", "grey",
+    "brown", "orange", "cream", "mocha", "ivory", "teal", "maroon",
 ];
 
 /// Material surfaces.
 pub const MATERIALS: &[&str] = &[
-    "cotton", "leather", "wool", "silk", "denim", "bamboo", "linen", "cashmere", "velvet",
-    "canvas", "fleece", "nylon", "ceramic", "stainless-steel", "glass", "oak",
+    "cotton",
+    "leather",
+    "wool",
+    "silk",
+    "denim",
+    "bamboo",
+    "linen",
+    "cashmere",
+    "velvet",
+    "canvas",
+    "fleece",
+    "nylon",
+    "ceramic",
+    "stainless-steel",
+    "glass",
+    "oak",
 ];
 
 /// Function surfaces ("waterproof", "health-care").
 pub const FUNCTIONS: &[&str] = &[
-    "waterproof", "windproof", "warm", "breathable", "anti-slip", "insulated", "foldable",
-    "portable", "quick-dry", "noise-cancelling", "non-stick", "moisturizing", "sun-protective",
-    "health-care", "anti-lost", "shockproof",
+    "waterproof",
+    "windproof",
+    "warm",
+    "breathable",
+    "anti-slip",
+    "insulated",
+    "foldable",
+    "portable",
+    "quick-dry",
+    "noise-cancelling",
+    "non-stick",
+    "moisturizing",
+    "sun-protective",
+    "health-care",
+    "anti-lost",
+    "shockproof",
 ];
 
 /// Style surfaces ("village" is also a Location).
 pub const STYLES: &[&str] = &[
-    "casual", "british-style", "bohemian", "vintage", "minimalist", "sporty", "elegant",
-    "street", "korean-style", "french-style", "village", "preppy",
+    "casual",
+    "british-style",
+    "bohemian",
+    "vintage",
+    "minimalist",
+    "sporty",
+    "elegant",
+    "street",
+    "korean-style",
+    "french-style",
+    "village",
+    "preppy",
 ];
 
 /// Time surfaces: seasons, occasions, day parts.
 pub const TIMES: &[&str] = &[
-    "winter", "summer", "spring", "autumn", "christmas", "new-year", "mid-autumn-festival",
-    "evening", "weekend", "morning", "valentines-day", "back-to-school",
+    "winter",
+    "summer",
+    "spring",
+    "autumn",
+    "christmas",
+    "new-year",
+    "mid-autumn-festival",
+    "evening",
+    "weekend",
+    "morning",
+    "valentines-day",
+    "back-to-school",
 ];
 
 /// Location surfaces ("village" is also a Style).
 pub const LOCATIONS: &[&str] = &[
-    "outdoor", "indoor", "beach", "mountain", "office", "garden", "park", "home", "gym",
-    "pool", "classroom", "village", "european", "seaside", "forest",
+    "outdoor",
+    "indoor",
+    "beach",
+    "mountain",
+    "office",
+    "garden",
+    "park",
+    "home",
+    "gym",
+    "pool",
+    "classroom",
+    "village",
+    "european",
+    "seaside",
+    "forest",
 ];
 
 /// Event (shopping-scenario) surfaces.
 pub const EVENTS: &[&str] = &[
-    "barbecue", "camping", "hiking", "swimming", "baking", "wedding", "traveling", "picnic",
-    "fishing", "skiing", "party", "graduation", "yoga", "commuting", "gardening", "bathing",
+    "barbecue",
+    "camping",
+    "hiking",
+    "swimming",
+    "baking",
+    "wedding",
+    "traveling",
+    "picnic",
+    "fishing",
+    "skiing",
+    "party",
+    "graduation",
+    "yoga",
+    "commuting",
+    "gardening",
+    "bathing",
 ];
 
 /// Audience surfaces.
 pub const AUDIENCES: &[&str] = &[
-    "kids", "men", "women", "babies", "elders", "teens", "students", "grandpa", "grandma",
-    "runners", "couples", "toddlers", "middle-school-students",
+    "kids",
+    "men",
+    "women",
+    "babies",
+    "elders",
+    "teens",
+    "students",
+    "grandpa",
+    "grandma",
+    "runners",
+    "couples",
+    "toddlers",
+    "middle-school-students",
 ];
 
 /// Design surfaces.
 pub const DESIGNS: &[&str] = &[
-    "zipper", "hooded", "pleated", "sleeveless", "high-waist", "lace-up", "button-down",
-    "drawstring", "pocketed", "reversible",
+    "zipper",
+    "hooded",
+    "pleated",
+    "sleeveless",
+    "high-waist",
+    "lace-up",
+    "button-down",
+    "drawstring",
+    "pocketed",
+    "reversible",
 ];
 
 /// Pattern surfaces.
 pub const PATTERNS: &[&str] = &[
-    "striped", "floral", "plaid", "polka-dot", "camouflage", "geometric", "paisley", "solid",
+    "striped",
+    "floral",
+    "plaid",
+    "polka-dot",
+    "camouflage",
+    "geometric",
+    "paisley",
+    "solid",
 ];
 
 /// Shape surfaces.
-pub const SHAPES: &[&str] =
-    &["round", "square", "oval", "slim", "oversized", "a-line", "tapered", "boxy"];
+pub const SHAPES: &[&str] = &[
+    "round",
+    "square",
+    "oval",
+    "slim",
+    "oversized",
+    "a-line",
+    "tapered",
+    "boxy",
+];
 
 /// Smell surfaces.
-pub const SMELLS: &[&str] =
-    &["floral-scent", "citrus-scent", "fresh-scent", "woody-scent", "vanilla-scent", "musk-scent"];
+pub const SMELLS: &[&str] = &[
+    "floral-scent",
+    "citrus-scent",
+    "fresh-scent",
+    "woody-scent",
+    "vanilla-scent",
+    "musk-scent",
+];
 
 /// Taste surfaces ("mocha" is also a Color).
-pub const TASTES: &[&str] = &["sweet", "spicy", "salty", "sour", "bitter", "umami", "mocha"];
+pub const TASTES: &[&str] = &[
+    "sweet", "spicy", "salty", "sour", "bitter", "umami", "mocha",
+];
 
 /// Nature surfaces (organic, handmade, ...).
-pub const NATURES: &[&str] =
-    &["organic", "eco-friendly", "natural", "synthetic", "recycled", "handmade", "vegan"];
+pub const NATURES: &[&str] = &[
+    "organic",
+    "eco-friendly",
+    "natural",
+    "synthetic",
+    "recycled",
+    "handmade",
+    "vegan",
+];
 
 /// Quantity surfaces (pair, set, bulk, ...).
-pub const QUANTITIES: &[&str] =
-    &["single", "pair", "set", "pack", "dozen", "bulk", "family-size", "travel-size"];
+pub const QUANTITIES: &[&str] = &[
+    "single",
+    "pair",
+    "set",
+    "pack",
+    "dozen",
+    "bulk",
+    "family-size",
+    "travel-size",
+];
 
 /// Modifier surfaces (premium, mini, ...).
-pub const MODIFIERS: &[&str] =
-    &["premium", "deluxe", "classic", "new", "mini", "large", "lightweight", "budget", "luxury"];
+pub const MODIFIERS: &[&str] = &[
+    "premium",
+    "deluxe",
+    "classic",
+    "new",
+    "mini",
+    "large",
+    "lightweight",
+    "budget",
+    "luxury",
+];
 
 /// Syllables for synthesizing Brand / IP / Organization names.
 const SYLLABLES: &[&str] = &[
@@ -165,7 +305,9 @@ impl Lexicon {
     /// All `(surface, domain)` pairs across non-Category domains.
     pub fn all_terms(&self) -> impl Iterator<Item = (&str, Domain)> {
         Domain::ALL.iter().flat_map(move |&d| {
-            self.per_domain[d.index()].iter().map(move |s| (s.as_str(), d))
+            self.per_domain[d.index()]
+                .iter()
+                .map(move |s| (s.as_str(), d))
         })
     }
 
@@ -190,7 +332,10 @@ mod tests {
         for d in [Domain::Color, Domain::Event, Domain::Brand, Domain::Ip] {
             assert!(!lex.terms(d).is_empty(), "{} empty", d.name());
         }
-        assert!(lex.terms(Domain::Category).is_empty(), "Category lives in the tree");
+        assert!(
+            lex.terms(Domain::Category).is_empty(),
+            "Category lives in the tree"
+        );
         assert_eq!(lex.terms(Domain::Brand).len(), 50);
     }
 

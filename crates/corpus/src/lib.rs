@@ -31,8 +31,10 @@ pub mod oracle;
 pub mod taxonomy;
 pub mod world;
 
-pub use concepts::{concept_relevant_item, generate_concepts, judge_tokens, ConceptSpec, Defect, Slot};
 pub use clicks::{pairs_from_log, simulate_clicks, ClickConfig, Impression};
+pub use concepts::{
+    concept_relevant_item, generate_concepts, judge_tokens, ConceptSpec, Defect, Slot,
+};
 pub use corpus::{generate_corpora, Corpora};
 pub use domain::Domain;
 pub use gloss::GlossKb;
@@ -60,13 +62,24 @@ impl Dataset {
     /// `config.seed`).
     pub fn generate(config: WorldConfig) -> Self {
         let world = World::generate(config.clone());
-        let mut rng = alicoco_nn::util::seeded_rng(config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        let mut rng =
+            alicoco_nn::util::seeded_rng(config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
         let items = generate_items(&world, config.num_items, &mut rng);
-        let concepts =
-            generate_concepts(&world, config.num_good_concepts, config.num_bad_concepts, &mut rng);
+        let concepts = generate_concepts(
+            &world,
+            config.num_good_concepts,
+            config.num_bad_concepts,
+            &mut rng,
+        );
         let corpora = generate_corpora(&world, &items, &concepts, &mut rng);
         let glosses = GlossKb::build(&world);
-        Dataset { world, items, concepts, corpora, glosses }
+        Dataset {
+            world,
+            items,
+            concepts,
+            corpora,
+            glosses,
+        }
     }
 
     /// Convenience: the tiny configuration used across unit tests.
@@ -96,7 +109,11 @@ mod tests {
         let ds = Dataset::tiny();
         let oracle = Oracle::new(&ds.world);
         for c in ds.concepts.iter().filter(|c| c.good) {
-            assert!(oracle.label_concept(&c.tokens), "oracle rejects {:?}", c.text());
+            assert!(
+                oracle.label_concept(&c.tokens),
+                "oracle rejects {:?}",
+                c.text()
+            );
         }
     }
 
@@ -107,7 +124,11 @@ mod tests {
         let mut total = 0;
         for c in ds.concepts.iter().filter(|c| c.good) {
             total += 1;
-            if ds.items.iter().any(|it| concept_relevant_item(&ds.world, c, it)) {
+            if ds
+                .items
+                .iter()
+                .any(|it| concept_relevant_item(&ds.world, c, it))
+            {
                 with_items += 1;
             }
         }

@@ -67,7 +67,9 @@ impl<'w> Oracle<'w> {
     /// Names may be space- or hyphen-joined.
     pub fn label_hypernym(&self, hyponym: &str, hypernym: &str) -> bool {
         let resolve = |n: &str| {
-            self.world.category(n).or_else(|| self.world.category(&n.replace('-', " ")))
+            self.world
+                .category(n)
+                .or_else(|| self.world.category(&n.replace('-', " ")))
         };
         let truth = match (resolve(hyponym), resolve(hypernym)) {
             (Some(c), Some(h)) => self.world.tree.is_ancestor(h, c),
@@ -180,7 +182,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong > 20 && wrong < 120, "flip count {wrong} outside plausible band");
+        assert!(
+            wrong > 20 && wrong < 120,
+            "flip count {wrong} outside plausible band"
+        );
     }
 
     #[test]

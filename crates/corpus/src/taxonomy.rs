@@ -36,7 +36,18 @@ const SEED: &[(&str, &[SeedMid])] = &[
     (
         "clothing-and-accessory",
         &[
-            ("top", &["jacket", "hoodie", "sweater", "shirt", "tee", "trench coat", "blouse"]),
+            (
+                "top",
+                &[
+                    "jacket",
+                    "hoodie",
+                    "sweater",
+                    "shirt",
+                    "tee",
+                    "trench coat",
+                    "blouse",
+                ],
+            ),
             ("bottom", &["pants", "jeans", "shorts", "skirt", "leggings"]),
             ("dress", &["sundress", "gown", "slip dress"]),
             ("accessory", &["hat", "scarf", "gloves", "belt", "socks"]),
@@ -44,13 +55,36 @@ const SEED: &[(&str, &[SeedMid])] = &[
     ),
     (
         "footwear",
-        &[("shoes", &["boots", "sneakers", "sandals", "slippers", "rain boots", "loafers"])],
+        &[(
+            "shoes",
+            &[
+                "boots",
+                "sneakers",
+                "sandals",
+                "slippers",
+                "rain boots",
+                "loafers",
+            ],
+        )],
     ),
     (
         "kitchen",
         &[
-            ("cookware", &["grill", "pan", "pot", "skillet", "wok", "skewers"]),
-            ("bakeware", &["whisk", "strainer", "mixer", "baking tray", "egg beater", "rolling pin"]),
+            (
+                "cookware",
+                &["grill", "pan", "pot", "skillet", "wok", "skewers"],
+            ),
+            (
+                "bakeware",
+                &[
+                    "whisk",
+                    "strainer",
+                    "mixer",
+                    "baking tray",
+                    "egg beater",
+                    "rolling pin",
+                ],
+            ),
             ("tableware", &["plate", "bowl", "cup", "chopsticks"]),
         ],
     ),
@@ -58,27 +92,89 @@ const SEED: &[(&str, &[SeedMid])] = &[
         "outdoor-gear",
         &[(
             "camping",
-            &["sleeping bag", "tent", "backpack", "lantern", "camping stove", "picnic mat", "charcoal", "cooler"],
+            &[
+                "sleeping bag",
+                "tent",
+                "backpack",
+                "lantern",
+                "camping stove",
+                "picnic mat",
+                "charcoal",
+                "cooler",
+            ],
         )],
     ),
     (
         "electronics",
-        &[("gadgets", &["phone", "laptop", "headphones", "camera", "power bank", "tablet"])],
+        &[(
+            "gadgets",
+            &[
+                "phone",
+                "laptop",
+                "headphones",
+                "camera",
+                "power bank",
+                "tablet",
+            ],
+        )],
     ),
     (
         "beauty",
-        &[("cosmetics", &["lipstick", "mascara", "face cream", "perfume", "sunscreen", "shampoo"])],
+        &[(
+            "cosmetics",
+            &[
+                "lipstick",
+                "mascara",
+                "face cream",
+                "perfume",
+                "sunscreen",
+                "shampoo",
+            ],
+        )],
     ),
     (
         "food",
-        &[("snacks-and-drinks", &["moon cake", "snacks", "butter", "chocolate", "tea", "coffee", "noodles"])],
+        &[(
+            "snacks-and-drinks",
+            &[
+                "moon cake",
+                "snacks",
+                "butter",
+                "chocolate",
+                "tea",
+                "coffee",
+                "noodles",
+            ],
+        )],
     ),
-    ("toys", &[("playthings", &["plush toy", "blocks", "puzzle", "kite", "doll"])]),
+    (
+        "toys",
+        &[(
+            "playthings",
+            &["plush toy", "blocks", "puzzle", "kite", "doll"],
+        )],
+    ),
     (
         "sports",
-        &[("fitness", &["yoga mat", "dumbbell", "swim goggles", "swimsuit", "racket", "skis"])],
+        &[(
+            "fitness",
+            &[
+                "yoga mat",
+                "dumbbell",
+                "swim goggles",
+                "swimsuit",
+                "racket",
+                "skis",
+            ],
+        )],
     ),
-    ("home", &[("decor", &["curtain", "pillow", "blanket", "lamp", "rug", "storage box"])]),
+    (
+        "home",
+        &[(
+            "decor",
+            &["curtain", "pillow", "blanket", "lamp", "rug", "storage box"],
+        )],
+    ),
 ];
 
 /// Prefixes used to synthesize compound leaf categories under existing
@@ -93,7 +189,12 @@ impl CategoryTree {
     /// `compounds_per_leaf` hyphen compounds (deterministic per `rng`).
     pub fn generate<R: Rng>(compounds_per_leaf: usize, rng: &mut R) -> Self {
         let mut tree = CategoryTree {
-            nodes: vec![CatNode { name: "category".into(), parent: None, children: Vec::new(), depth: 0 }],
+            nodes: vec![CatNode {
+                name: "category".into(),
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            }],
         };
         for (top, mids) in SEED {
             let t = tree.add(top, 0);
@@ -120,7 +221,12 @@ impl CategoryTree {
     fn add(&mut self, name: &str, parent: usize) -> usize {
         let id = self.nodes.len();
         let depth = self.nodes[parent].depth + 1;
-        self.nodes.push(CatNode { name: name.to_string(), parent: Some(parent), children: Vec::new(), depth });
+        self.nodes.push(CatNode {
+            name: name.to_string(),
+            parent: Some(parent),
+            children: Vec::new(),
+            depth,
+        });
         self.nodes[parent].children.push(id);
         id
     }
@@ -152,12 +258,16 @@ impl CategoryTree {
 
     /// Ids of all leaf nodes.
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].children.is_empty()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty())
+            .collect()
     }
 
     /// All `(child, parent)` edges — the ground-truth isA pairs.
     pub fn is_a_edges(&self) -> Vec<(usize, usize)> {
-        (1..self.nodes.len()).map(|i| (i, self.nodes[i].parent.expect("non-root has parent"))).collect()
+        (1..self.nodes.len())
+            .map(|i| (i, self.nodes[i].parent.expect("non-root has parent")))
+            .collect()
     }
 
     /// Ancestors of `id` from parent to root.

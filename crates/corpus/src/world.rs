@@ -102,7 +102,14 @@ pub const EVENT_PROFILES: &[EventProfile] = &[
         event: "barbecue",
         locations: &["outdoor", "garden", "park", "beach"],
         times: &["summer", "weekend", "evening"],
-        needs: &["grill", "charcoal", "skewers", "butter", "cooler", "picnic mat"],
+        needs: &[
+            "grill",
+            "charcoal",
+            "skewers",
+            "butter",
+            "cooler",
+            "picnic mat",
+        ],
         functions: &["portable", "non-stick", "foldable"],
         wearables: false,
     },
@@ -110,8 +117,21 @@ pub const EVENT_PROFILES: &[EventProfile] = &[
         event: "camping",
         locations: &["outdoor", "mountain", "forest"],
         times: &["summer", "autumn", "weekend"],
-        needs: &["tent", "sleeping bag", "backpack", "lantern", "camping stove", "cooler"],
-        functions: &["waterproof", "portable", "foldable", "insulated", "windproof"],
+        needs: &[
+            "tent",
+            "sleeping bag",
+            "backpack",
+            "lantern",
+            "camping stove",
+            "cooler",
+        ],
+        functions: &[
+            "waterproof",
+            "portable",
+            "foldable",
+            "insulated",
+            "windproof",
+        ],
         wearables: true,
     },
     EventProfile {
@@ -119,7 +139,14 @@ pub const EVENT_PROFILES: &[EventProfile] = &[
         locations: &["mountain", "outdoor", "forest"],
         times: &["spring", "autumn", "weekend"],
         needs: &["boots", "backpack", "pants", "hat"],
-        functions: &["waterproof", "breathable", "quick-dry", "anti-slip", "warm", "windproof"],
+        functions: &[
+            "waterproof",
+            "breathable",
+            "quick-dry",
+            "anti-slip",
+            "warm",
+            "windproof",
+        ],
         wearables: true,
     },
     EventProfile {
@@ -134,7 +161,15 @@ pub const EVENT_PROFILES: &[EventProfile] = &[
         event: "baking",
         locations: &["home", "indoor"],
         times: &["weekend", "morning", "christmas"],
-        needs: &["whisk", "strainer", "mixer", "baking tray", "egg beater", "rolling pin", "butter"],
+        needs: &[
+            "whisk",
+            "strainer",
+            "mixer",
+            "baking tray",
+            "egg beater",
+            "rolling pin",
+            "butter",
+        ],
         functions: &["non-stick"],
         wearables: false,
     },
@@ -151,7 +186,13 @@ pub const EVENT_PROFILES: &[EventProfile] = &[
         locations: &["european", "seaside", "mountain", "beach"],
         times: &["summer", "spring", "weekend"],
         needs: &["backpack", "power bank", "hat", "camera"],
-        functions: &["portable", "foldable", "warm", "sun-protective", "quick-dry"],
+        functions: &[
+            "portable",
+            "foldable",
+            "warm",
+            "sun-protective",
+            "quick-dry",
+        ],
         wearables: true,
     },
     EventProfile {
@@ -230,11 +271,19 @@ pub const EVENT_PROFILES: &[EventProfile] = &[
 
 /// Gift-occasion times and who-gets-what ground truth (drives "christmas
 /// gifts for grandpa" concepts).
-pub const GIFT_OCCASIONS: &[&str] = &["christmas", "new-year", "valentines-day", "mid-autumn-festival"];
+pub const GIFT_OCCASIONS: &[&str] = &[
+    "christmas",
+    "new-year",
+    "valentines-day",
+    "mid-autumn-festival",
+];
 
 /// Gift needs.
 pub const GIFT_NEEDS: &[(&str, &[&str])] = &[
-    ("kids", &["plush toy", "blocks", "puzzle", "kite", "doll", "chocolate"]),
+    (
+        "kids",
+        &["plush toy", "blocks", "puzzle", "kite", "doll", "chocolate"],
+    ),
     ("babies", &["plush toy", "blanket", "doll"]),
     ("toddlers", &["plush toy", "blocks", "doll"]),
     ("grandpa", &["tea", "scarf", "gloves", "moon cake"]),
@@ -264,8 +313,16 @@ pub const OCCASION_GIFTS: &[(&str, &[&str])] = &[
 pub const FUNCTION_AUDIENCES: &[(&str, &[&str])] = &[
     ("health-care", &["elders", "grandpa", "grandma", "babies"]),
     ("anti-lost", &["kids", "toddlers", "elders", "babies"]),
-    ("warm", &["kids", "babies", "elders", "grandpa", "grandma", "men", "women", "teens"]),
-    ("sun-protective", &["kids", "women", "men", "babies", "runners"]),
+    (
+        "warm",
+        &[
+            "kids", "babies", "elders", "grandpa", "grandma", "men", "women", "teens",
+        ],
+    ),
+    (
+        "sun-protective",
+        &["kids", "women", "men", "babies", "runners"],
+    ),
     ("moisturizing", &["women", "men", "babies", "elders"]),
     ("breathable", &["runners", "kids", "men", "women"]),
     ("quick-dry", &["runners", "teens", "men", "women"]),
@@ -275,10 +332,27 @@ pub const FUNCTION_AUDIENCES: &[(&str, &[&str])] = &[
 
 /// Categories that only suit cold seasons or warm seasons. Everything else
 /// is season-neutral.
-pub const COLD_WEAR: &[&str] =
-    &["jacket", "sweater", "hoodie", "trench coat", "boots", "gloves", "scarf", "skis", "blanket"];
+pub const COLD_WEAR: &[&str] = &[
+    "jacket",
+    "sweater",
+    "hoodie",
+    "trench coat",
+    "boots",
+    "gloves",
+    "scarf",
+    "skis",
+    "blanket",
+];
 /// Warm wear.
-pub const WARM_WEAR: &[&str] = &["shorts", "sandals", "swimsuit", "sundress", "tee", "slip dress", "kite"];
+pub const WARM_WEAR: &[&str] = &[
+    "shorts",
+    "sandals",
+    "swimsuit",
+    "sundress",
+    "tee",
+    "slip dress",
+    "kite",
+];
 /// Cold times.
 pub const COLD_TIMES: &[&str] = &["winter", "autumn", "christmas", "new-year"];
 /// Warm times.
@@ -298,8 +372,17 @@ struct BranchCompat {
 const BRANCH_COMPAT: &[BranchCompat] = &[
     BranchCompat {
         branch: "clothing-and-accessory",
-        functions: &["warm", "breathable", "waterproof", "windproof", "sun-protective", "quick-dry"],
-        materials: &["cotton", "wool", "silk", "denim", "linen", "cashmere", "velvet", "fleece", "nylon"],
+        functions: &[
+            "warm",
+            "breathable",
+            "waterproof",
+            "windproof",
+            "sun-protective",
+            "quick-dry",
+        ],
+        materials: &[
+            "cotton", "wool", "silk", "denim", "linen", "cashmere", "velvet", "fleece", "nylon",
+        ],
         styled: true,
         colored: true,
         audienced: true,
@@ -322,7 +405,13 @@ const BRANCH_COMPAT: &[BranchCompat] = &[
     },
     BranchCompat {
         branch: "outdoor-gear",
-        functions: &["waterproof", "portable", "foldable", "insulated", "windproof"],
+        functions: &[
+            "waterproof",
+            "portable",
+            "foldable",
+            "insulated",
+            "windproof",
+        ],
         materials: &["canvas", "nylon"],
         styled: false,
         colored: true,
@@ -404,8 +493,11 @@ impl World {
         for id in tree.ids() {
             name_to_node.insert(tree.name(id).to_string(), id);
         }
-        let event_index =
-            EVENT_PROFILES.iter().enumerate().map(|(i, p)| (p.event, i)).collect();
+        let event_index = EVENT_PROFILES
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.event, i))
+            .collect();
         let mut event_needs = Vec::with_capacity(EVENT_PROFILES.len());
         for p in EVENT_PROFILES {
             let mut set = FxHashSet::default();
@@ -422,7 +514,14 @@ impl World {
             }
             event_needs.push(set);
         }
-        World { config, tree, lexicon, event_index, name_to_node, event_needs }
+        World {
+            config,
+            tree,
+            lexicon,
+            event_index,
+            name_to_node,
+            event_needs,
+        }
     }
 
     /// Events.
@@ -462,12 +561,14 @@ impl World {
 
     /// Is a function plausible on a category?
     pub fn fn_cat_ok(&self, function: &str, cat: usize) -> bool {
-        self.branch_compat(cat).is_some_and(|b| b.functions.contains(&function))
+        self.branch_compat(cat)
+            .is_some_and(|b| b.functions.contains(&function))
     }
 
     /// Is a material plausible on a category?
     pub fn material_cat_ok(&self, material: &str, cat: usize) -> bool {
-        self.branch_compat(cat).is_some_and(|b| b.materials.contains(&material))
+        self.branch_compat(cat)
+            .is_some_and(|b| b.materials.contains(&material))
     }
 
     /// Does the branch take styles / colors / audiences?
@@ -500,7 +601,11 @@ impl World {
         let name = self.tree.name(cat);
         let head = name.rsplit('-').next().unwrap_or(name);
         // Compounds inherit their head's seasonality.
-        let base = if self.name_to_node.contains_key(head) { head } else { name };
+        let base = if self.name_to_node.contains_key(head) {
+            head
+        } else {
+            name
+        };
         if COLD_WEAR.contains(&base) {
             COLD_TIMES.contains(&time)
         } else if WARM_WEAR.contains(&base) {
@@ -512,12 +617,14 @@ impl World {
 
     /// Is a function plausible for an event's gear?
     pub fn fn_event_ok(&self, function: &str, event: &str) -> bool {
-        self.event(event).is_some_and(|p| p.functions.contains(&function))
+        self.event(event)
+            .is_some_and(|p| p.functions.contains(&function))
     }
 
     /// Is a location plausible for an event?
     pub fn event_loc_ok(&self, event: &str, location: &str) -> bool {
-        self.event(event).is_some_and(|p| p.locations.contains(&location))
+        self.event(event)
+            .is_some_and(|p| p.locations.contains(&location))
     }
 
     /// Is a time plausible for an event?
@@ -531,7 +638,9 @@ impl World {
         if self.event_needs(event, cat) {
             return true;
         }
-        let Some(p) = self.event(event) else { return false };
+        let Some(p) = self.event(event) else {
+            return false;
+        };
         if !p.wearables {
             return false;
         }
@@ -591,9 +700,17 @@ mod tests {
 
     #[test]
     fn compound_leaves_inherit_needs() {
-        let w = World::generate(WorldConfig { compounds_per_leaf: 3, ..WorldConfig::tiny() });
+        let w = World::generate(WorldConfig {
+            compounds_per_leaf: 3,
+            ..WorldConfig::tiny()
+        });
         let grill = w.category("grill").unwrap();
-        let child = *w.tree.node(grill).children.first().expect("compound grill child");
+        let child = *w
+            .tree
+            .node(grill)
+            .children
+            .first()
+            .expect("compound grill child");
         assert!(w.event_needs("barbecue", child));
     }
 
@@ -645,7 +762,10 @@ mod tests {
 
     #[test]
     fn compound_seasonality_inherited() {
-        let w = World::generate(WorldConfig { compounds_per_leaf: 3, ..WorldConfig::tiny() });
+        let w = World::generate(WorldConfig {
+            compounds_per_leaf: 3,
+            ..WorldConfig::tiny()
+        });
         let jacket = w.category("jacket").unwrap();
         let compound = *w.tree.node(jacket).children.first().unwrap();
         assert!(!w.cat_time_ok(compound, "summer"));

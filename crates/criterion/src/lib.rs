@@ -1,0 +1,228 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses. The crates.io registry is unreachable in the build environment,
+//! so the workspace resolves `criterion` to this path crate.
+//!
+//! It is a plain wall-clock harness: per benchmark it warms up, then
+//! takes `sample_size` samples (each a batch of iterations sized so a
+//! sample lasts ≥ ~2ms) and reports min / median / mean. Statistical
+//! machinery (outlier classification, HTML reports, comparisons against
+//! saved baselines) is out of scope; the numbers are honest wall-clock
+//! medians, which is what the experiment tables quote.
+//!
+//! Covered: [`Criterion::bench_function`], `sample_size`,
+//! `measurement_time`, [`black_box`], [`criterion_group!`] (both the
+//! plain and `name/config/targets` forms) and [`criterion_main!`].
+//! Binaries accept the arguments cargo-bench passes (`--bench`, a name
+//! filter) and ignore the rest.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(900),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run benchmarks whose id contains `filter` only (cargo bench
+    /// positional argument).
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Configure from command-line arguments as cargo bench invokes us.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Unknown flags (e.g. --save-baseline) are accepted and
+                    // ignored; skip a following value if there is one.
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Time one closure-driven benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibrate: grow the batch until one sample takes >= ~2ms.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(2) || b.iters >= (1 << 24) {
+                break;
+            }
+            b.iters *= 4;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time.max(Duration::from_millis(10));
+        for i in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            if Instant::now() > deadline && i >= 1 {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{id:<48} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_time(samples[0]),
+            fmt_time(median),
+            fmt_time(mean),
+            samples.len(),
+            b.iters,
+        );
+        self
+    }
+
+    /// Finalize (upstream prints summaries here; we print per bench).
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Passed to the benchmark closure; times the iteration batch.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine for the calibrated number of iterations and record
+    /// the elapsed wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Group benchmark functions, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        c.bench_function("smoke/add", |b| {
+            ran = true;
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion::default().sample_size(2).with_filter("nope");
+        let mut ran = false;
+        c.bench_function("smoke/add", |b| {
+            ran = true;
+            b.iter(|| 1u64)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with(" s"));
+    }
+}

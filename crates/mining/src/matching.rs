@@ -110,8 +110,7 @@ pub fn build_matching_dataset(ds: &Dataset, cfg: &MatchingDataConfig) -> Matchin
                 loop {
                     guard += 1;
                     let cand = rng.gen_range(0..items.len());
-                    if guard > 50
-                        || !concept_relevant_item(&ds.world, &concepts[ci], &items[cand])
+                    if guard > 50 || !concept_relevant_item(&ds.world, &concepts[ci], &items[cand])
                     {
                         sink.push((ci, cand, 0.0));
                         break;
@@ -134,7 +133,13 @@ pub fn build_matching_dataset(ds: &Dataset, cfg: &MatchingDataConfig) -> Matchin
         }
     }
     train.shuffle(&mut rng);
-    MatchingDataset { concepts, items, train, test, queries }
+    MatchingDataset {
+        concepts,
+        items,
+        train,
+        test,
+        queries,
+    }
 }
 
 /// Build the matching dataset with *click-log* training labels (§7.6: "the
@@ -178,20 +183,26 @@ pub fn evaluate_matcher(
     data: &MatchingDataset,
     mut score: impl FnMut(usize, usize) -> f32,
 ) -> MatchingMetrics {
-    let scored: Vec<(f32, bool)> =
-        data.test.iter().map(|&(c, i, y)| (score(c, i), y >= 0.5)).collect();
+    let scored: Vec<(f32, bool)> = data
+        .test
+        .iter()
+        .map(|&(c, i, y)| (score(c, i), y >= 0.5))
+        .collect();
     let auc = roc_auc(&scored);
     let f1 = binary_prf(&scored, 0.5).f1;
     let mut p10 = 0.0;
     for (c, cands) in &data.queries {
-        let ranked: Vec<(f32, bool)> =
-            cands.iter().map(|&(i, y)| (score(*c, i), y)).collect();
+        let ranked: Vec<(f32, bool)> = cands.iter().map(|&(i, y)| (score(*c, i), y)).collect();
         p10 += precision_at_k(&ranked, 10);
     }
     if !data.queries.is_empty() {
         p10 /= data.queries.len() as f64;
     }
-    MatchingMetrics { auc, f1, p_at_10: p10 }
+    MatchingMetrics {
+        auc,
+        f1,
+        p_at_10: p10,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -208,11 +219,20 @@ pub struct Bm25Matcher {
 impl Bm25Matcher {
     /// Build the structure.
     pub fn build(res: &Resources, data: &MatchingDataset) -> Self {
-        let docs: Vec<Vec<alicoco_text::TokenId>> =
-            data.items.iter().map(|it| res.vocab.encode(&it.title)).collect();
-        let queries =
-            data.concepts.iter().map(|c| res.vocab.encode(&c.tokens)).collect();
-        Bm25Matcher { index: Bm25Index::build(&docs, Bm25Params::default()), queries }
+        let docs: Vec<Vec<alicoco_text::TokenId>> = data
+            .items
+            .iter()
+            .map(|it| res.vocab.encode(&it.title))
+            .collect();
+        let queries = data
+            .concepts
+            .iter()
+            .map(|c| res.vocab.encode(&c.tokens))
+            .collect();
+        Bm25Matcher {
+            index: Bm25Index::build(&docs, Bm25Params::default()),
+            queries,
+        }
     }
 
     /// Score the input.
@@ -254,8 +274,17 @@ impl InputEmbedder {
             // Frozen: the matchers must generalize to unseen concepts, and
             // fine-tuning pre-trained vectors on a small pair set destroys
             // the embedding geometry that transfer depends on.
-            word: Embedding::from_pretrained_frozen(&format!("{name}.word"), res.word_vectors.vectors.clone()),
-            pos: Embedding::new(ps, &format!("{name}.pos"), alicoco_text::tagger::PosTag::COUNT, 4, rng),
+            word: Embedding::from_pretrained_frozen(
+                &format!("{name}.word"),
+                res.word_vectors.vectors.clone(),
+            ),
+            pos: Embedding::new(
+                ps,
+                &format!("{name}.pos"),
+                alicoco_text::tagger::PosTag::COUNT,
+                4,
+                rng,
+            ),
             ner: Embedding::new(ps, &format!("{name}.ner"), res.ner.num_indices(), 6, rng),
         }
     }
@@ -366,7 +395,15 @@ impl DssmMatcher {
         let tower_c = Mlp::new(&mut ps, "dssm.c", &[d, 32, 16], Activation::Tanh, &mut rng);
         let tower_i = Mlp::new(&mut ps, "dssm.i", &[d, 32, 16], Activation::Tanh, &mut rng);
         let scale = ps.add("dssm.scale", Tensor::scalar(5.0));
-        DssmMatcher { ps, emb, tower_c, tower_i, scale, epochs, lr: 0.01 }
+        DssmMatcher {
+            ps,
+            emb,
+            tower_c,
+            tower_i,
+            scale,
+            epochs,
+            lr: 0.01,
+        }
     }
 
     fn logit(&self, g: &mut Graph, res: &Resources, c: &[String], t: &[String]) -> NodeId {
@@ -397,14 +434,9 @@ impl DssmMatcher {
 
     /// Train on the given data.
     pub fn train(&mut self, res: &Resources, data: &MatchingDataset, rng: &mut impl Rng) {
-        train_pairwise(
-            &self.ps,
-            self.epochs,
-            self.lr,
-            data,
-            rng,
-            |g, c, t| self.logit(g, res, c, t),
-        );
+        train_pairwise(&self.ps, self.epochs, self.lr, data, rng, |g, c, t| {
+            self.logit(g, res, c, t)
+        });
     }
 
     /// Score the input.
@@ -435,7 +467,13 @@ impl MatchPyramidMatcher {
         let mut ps = ParamSet::new();
         let emb = InputEmbedder::new(&mut ps, "mp", res, &mut rng);
         let head = Mlp::new(&mut ps, "mp.head", &[9, 16, 1], Activation::Relu, &mut rng);
-        MatchPyramidMatcher { ps, emb, head, epochs, lr: 0.01 }
+        MatchPyramidMatcher {
+            ps,
+            emb,
+            head,
+            epochs,
+            lr: 0.01,
+        }
     }
 
     fn logit(&self, g: &mut Graph, res: &Resources, c: &[String], t: &[String]) -> NodeId {
@@ -451,7 +489,9 @@ impl MatchPyramidMatcher {
 
     /// Train on the given data.
     pub fn train(&mut self, res: &Resources, data: &MatchingDataset, rng: &mut impl Rng) {
-        train_pairwise(&self.ps, self.epochs, self.lr, data, rng, |g, c, t| self.logit(g, res, c, t));
+        train_pairwise(&self.ps, self.epochs, self.lr, data, rng, |g, c, t| {
+            self.logit(g, res, c, t)
+        });
     }
 
     /// Score the input.
@@ -485,8 +525,21 @@ impl Re2Matcher {
         let d = emb.dim();
         // Fusion of [a ; aligned ; a - aligned ; a * aligned].
         let fuse = Linear::new(&mut ps, "re2.fuse", 4 * d, 24, &mut rng);
-        let head = Mlp::new(&mut ps, "re2.head", &[4 * 24, 24, 1], Activation::Relu, &mut rng);
-        Re2Matcher { ps, emb, fuse, head, epochs, lr: 0.01 }
+        let head = Mlp::new(
+            &mut ps,
+            "re2.head",
+            &[4 * 24, 24, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        Re2Matcher {
+            ps,
+            emb,
+            fuse,
+            head,
+            epochs,
+            lr: 0.01,
+        }
     }
 
     /// Align `a` against `b` and produce a fused, max-pooled vector.
@@ -518,7 +571,9 @@ impl Re2Matcher {
 
     /// Train on the given data.
     pub fn train(&mut self, res: &Resources, data: &MatchingDataset, rng: &mut impl Rng) {
-        train_pairwise(&self.ps, self.epochs, self.lr, data, rng, |g, c, t| self.logit(g, res, c, t));
+        train_pairwise(&self.ps, self.epochs, self.lr, data, rng, |g, c, t| {
+            self.logit(g, res, c, t)
+        });
     }
 
     /// Score the input.
@@ -598,24 +653,58 @@ impl OursMatcher {
         let d = emb.dim();
         let conv_c = Conv1d::new(&mut ps, "ours.convc", d, cfg.conv_channels, 3, &mut rng);
         let conv_t = Conv1d::new(&mut ps, "ours.convt", d, cfg.conv_channels, 3, &mut rng);
-        let pair_attn =
-            PairAttention::new(&mut ps, "ours.attn", cfg.conv_channels, cfg.conv_channels, cfg.attn_hidden, &mut rng);
+        let pair_attn = PairAttention::new(
+            &mut ps,
+            "ours.attn",
+            cfg.conv_channels,
+            cfg.conv_channels,
+            cfg.attn_hidden,
+            &mut rng,
+        );
         let wdim = emb.word.dim();
         let gloss_proj = Linear::new(&mut ps, "ours.gloss", res.cfg.gloss_dim, wdim, &mut rng);
         let class_emb = Embedding::new(&mut ps, "ours.class", 21, wdim, &mut rng);
         let match_w = (0..cfg.k_layers)
-            .map(|k| ps.add(format!("ours.match{k}"), Tensor::xavier(wdim, wdim, &mut rng)))
+            .map(|k| {
+                ps.add(
+                    format!("ours.match{k}"),
+                    Tensor::xavier(wdim, wdim, &mut rng),
+                )
+            })
             .collect();
         // K learned matching layers plus the precomputed gloss-overlap
         // matrix (also grid-pooled).
-        let match_head =
-            Mlp::new(&mut ps, "ours.mhead", &[9 * cfg.k_layers + 9, 16, 12], Activation::Relu, &mut rng);
+        let match_head = Mlp::new(
+            &mut ps,
+            "ours.mhead",
+            &[9 * cfg.k_layers + 9, 16, 12],
+            Activation::Relu,
+            &mut rng,
+        );
         // Head consumes both pooled vectors plus explicit interaction
         // features: elementwise product, difference, and the grid-pooled
         // attention matrix (the interaction signal of Figure 8).
         let head_in = 4 * cfg.conv_channels + 18 + if cfg.use_knowledge { 12 } else { 0 };
-        let head = Mlp::new(&mut ps, "ours.head", &[head_in, 16, 1], Activation::Relu, &mut rng);
-        OursMatcher { ps, emb, conv_c, conv_t, pair_attn, gloss_proj, class_emb, match_w, match_head, head, cfg }
+        let head = Mlp::new(
+            &mut ps,
+            "ours.head",
+            &[head_in, 16, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        OursMatcher {
+            ps,
+            emb,
+            conv_c,
+            conv_t,
+            pair_attn,
+            gloss_proj,
+            class_emb,
+            match_w,
+            match_head,
+            head,
+            cfg,
+        }
     }
 
     /// Number of weights.
@@ -628,7 +717,13 @@ impl OursMatcher {
         &self.ps
     }
 
-    fn logit(&self, g: &mut Graph, res: &Resources, concept: &ConceptSpec, title: &[String]) -> NodeId {
+    fn logit(
+        &self,
+        g: &mut Graph,
+        res: &Resources,
+        concept: &ConceptSpec,
+        title: &[String],
+    ) -> NodeId {
         let ce = encode(res, &concept.tokens);
         let te = encode(res, title);
         let cm = self.emb.forward(g, &ce);
@@ -640,7 +735,10 @@ impl OursMatcher {
         // (eq. 14).
         let att = self.pair_attn.forward(g, cenc, tenc);
         let (cvec, ivec) = if self.cfg.use_attention {
-            (attentive_pool(g, att, cenc), attentive_pool_cols(g, att, tenc))
+            (
+                attentive_pool(g, att, cenc),
+                attentive_pool_cols(g, att, tenc),
+            )
         } else {
             (g.mean_rows(cenc), g.mean_rows(tenc))
         };
@@ -657,13 +755,22 @@ impl OursMatcher {
             // Knowledge-enriched concept-side sequence {w, k, cls}
             // (eq. 15–17): word embeddings, projected gloss vectors, and
             // class-id embeddings of the linked primitive concepts.
-            let wids: Vec<usize> =
-                concept.tokens.iter().map(|t| res.vocab.get_or_unk(t)).collect();
+            let wids: Vec<usize> = concept
+                .tokens
+                .iter()
+                .map(|t| res.vocab.get_or_unk(t))
+                .collect();
             let words = self.emb.word.forward(g, &wids);
-            let gloss_rows: Vec<f32> =
-                concept.tokens.iter().flat_map(|t| res.gloss_vector(t)).collect();
-            let gloss_in =
-                g.input(Tensor::from_vec(concept.tokens.len(), res.cfg.gloss_dim, gloss_rows));
+            let gloss_rows: Vec<f32> = concept
+                .tokens
+                .iter()
+                .flat_map(|t| res.gloss_vector(t))
+                .collect();
+            let gloss_in = g.input(Tensor::from_vec(
+                concept.tokens.len(),
+                res.cfg.gloss_dim,
+                gloss_rows,
+            ));
             let gloss = self.gloss_proj.forward(g, gloss_in);
             let class_ids: Vec<usize> = concept
                 .slots
@@ -695,7 +802,12 @@ impl OursMatcher {
     }
 
     /// Train on the given data.
-    pub fn train(&mut self, res: &Resources, data: &MatchingDataset, rng: &mut impl Rng) -> Vec<f32> {
+    pub fn train(
+        &mut self,
+        res: &Resources,
+        data: &MatchingDataset,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
         let mut opt = Adam::new(self.cfg.lr);
         let mut order: Vec<usize> = (0..data.train.len()).collect();
         let mut losses = Vec::with_capacity(self.cfg.epochs);
@@ -784,7 +896,10 @@ mod tests {
             data.train.iter().map(|&(c, _, _)| c).collect();
         let test_c: alicoco_nn::util::FxHashSet<usize> =
             data.test.iter().map(|&(c, _, _)| c).collect();
-        assert!(train_c.is_disjoint(&test_c), "concept leakage between splits");
+        assert!(
+            train_c.is_disjoint(&test_c),
+            "concept leakage between splits"
+        );
         // Labels agree with ground truth.
         for &(c, i, y) in data.train.iter().take(100) {
             let truth = concept_relevant_item(&ds.world, &data.concepts[c], &data.items[i]);
@@ -807,7 +922,13 @@ mod tests {
     fn ours_beats_chance_after_training() {
         let (_, res, data) = setup();
         let mut rng = alicoco_nn::util::seeded_rng(70);
-        let mut ours = OursMatcher::new(&res, OursConfig { epochs: 2, ..Default::default() });
+        let mut ours = OursMatcher::new(
+            &res,
+            OursConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         let losses = ours.train(&res, &data, &mut rng);
         assert!(losses.last().unwrap() < losses.first().unwrap());
         let m = evaluate_matcher(&data, |c, i| ours.score(&res, &data, c, i));
@@ -819,7 +940,13 @@ mod tests {
     fn knowledge_changes_the_architecture() {
         let (_, res, _) = setup();
         let with = OursMatcher::new(&res, OursConfig::default());
-        let without = OursMatcher::new(&res, OursConfig { use_knowledge: false, ..Default::default() });
+        let without = OursMatcher::new(
+            &res,
+            OursConfig {
+                use_knowledge: false,
+                ..Default::default()
+            },
+        );
         assert!(with.num_weights() > without.num_weights());
         // The two configs must also score differently on the same pair.
         let data = build_matching_dataset(&Dataset::tiny(), &MatchingDataConfig::default());
@@ -860,14 +987,23 @@ mod tests {
         let data = build_matching_dataset_from_clicks(
             &ds,
             &MatchingDataConfig::default(),
-            &alicoco_corpus::ClickConfig { sessions: 600, ..Default::default() },
+            &alicoco_corpus::ClickConfig {
+                sessions: 600,
+                ..Default::default()
+            },
         );
         assert!(!data.train.is_empty());
         // Click labels are noisy: some positives and negatives both present.
         let pos = data.train.iter().filter(|&&(_, _, y)| y >= 0.5).count();
         assert!(pos > 0 && pos < data.train.len());
         let mut rng = alicoco_nn::util::seeded_rng(72);
-        let mut ours = OursMatcher::new(&res, OursConfig { epochs: 2, ..Default::default() });
+        let mut ours = OursMatcher::new(
+            &res,
+            OursConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         ours.train(&res, &data, &mut rng);
         let m = evaluate_matcher(&data, |c, i| ours.score(&res, &data, c, i));
         assert!(m.auc > 0.7, "click-trained AUC too low: {m:?}");

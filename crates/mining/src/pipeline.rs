@@ -141,7 +141,11 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
     // Schema relations (§2): a category may be suitable_when a time; events
     // happen_in locations.
     kg.add_schema_relation("suitable_when", cat_domain, domain_class[&Domain::Time]);
-    kg.add_schema_relation("happens_in", domain_class[&Domain::Event], domain_class[&Domain::Location]);
+    kg.add_schema_relation(
+        "happens_in",
+        domain_class[&Domain::Event],
+        domain_class[&Domain::Location],
+    );
 
     // ---- 2. primitive layer ----------------------------------------------
     let (known, heldout) = KnownLexicon::sample(ds, cfg.known_fraction, &mut rng);
@@ -207,9 +211,11 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
     // Pattern-based pairs are high precision; add directly (paper applies
     // rule-based extraction without model gating).
     for (hypo, hyper) in pattern_based_pairs(ds) {
-        if let (Some(a), Some(b)) = (find_cat_primitive(&kg, &hypo), find_cat_primitive(&kg, &hyper)) {
-            if a != b {
-                kg.add_primitive_is_a(a, b);
+        if let (Some(a), Some(b)) = (
+            find_cat_primitive(&kg, &hypo),
+            find_cat_primitive(&kg, &hyper),
+        ) {
+            if kg.try_add_primitive_is_a(a, b) {
                 report.is_a_from_patterns += 1;
             }
         }
@@ -220,7 +226,9 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
     let mut proj = ProjectionModel::new(res.word_vectors.dim(), cfg.projection.clone());
     proj.train(&hyp_data, &triples, &mut rng);
     for (hi, hypo_name) in hyp_data.terms.iter().enumerate() {
-        let Some(a) = find_cat_primitive(&kg, hypo_name) else { continue };
+        let Some(a) = find_cat_primitive(&kg, hypo_name) else {
+            continue;
+        };
         for (ai, hyper_name) in hyp_data.terms.iter().enumerate() {
             if hi == ai {
                 continue;
@@ -229,8 +237,7 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
                 && oracle.label_hypernym(hypo_name, hyper_name)
             {
                 if let Some(b) = find_cat_primitive(&kg, hyper_name) {
-                    if a != b {
-                        kg.add_primitive_is_a(a, b);
+                    if kg.try_add_primitive_is_a(a, b) {
                         report.is_a_from_model += 1;
                     }
                 }
@@ -261,14 +268,19 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
     // ---- 4. e-commerce concepts --------------------------------------------
     let pools = PrimitivePools::from_dataset(ds);
     let mut candidates: Vec<Candidate> = candidates_from_text(ds, &res, 150);
-    candidates.extend(candidates_from_patterns(&pools, cfg.pattern_candidates, &mut rng));
+    candidates.extend(candidates_from_patterns(
+        &pools,
+        cfg.pattern_candidates,
+        &mut rng,
+    ));
     report.concept_candidates = candidates.len();
     // Annotation (§7.4): a large sampled portion of the *candidate set* is
     // labeled and becomes training data, so the classifier sees the same
     // distribution it must filter. The curated ground-truth concepts serve
     // as extra examples.
     use rand::seq::SliceRandom;
-    let mut cls_train: Vec<(Vec<String>, f32)> = crate::congen::classification_splits(ds, &mut rng).0;
+    let mut cls_train: Vec<(Vec<String>, f32)> =
+        crate::congen::classification_splits(ds, &mut rng).0;
     let mut cand_ixs: Vec<usize> = (0..candidates.len()).collect();
     cand_ixs.shuffle(&mut rng);
     let annotate = cand_ixs.len() * 6 / 10;
@@ -313,7 +325,11 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
 
     // ---- 5. tagging / linking ----------------------------------------------
     let (mut tag_train, _, _) = tagging_splits(ds, &mut rng);
-    tag_train.extend(crate::tagging::distant_tagging_examples(ds, 300, cfg.seed ^ tag_placeholder()));
+    tag_train.extend(crate::tagging::distant_tagging_examples(
+        ds,
+        300,
+        cfg.seed ^ tag_placeholder(),
+    ));
     let amb = AmbiguityIndex::build(ds);
     let ctx_words: FxHashSet<String> = admitted
         .iter()
@@ -348,8 +364,10 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
     // valid concept that was not itself admitted, ask the oracle once and
     // admit it — this is how the concept layer densifies into the paper's
     // 22M-edge isA structure.
-    let mut by_text: FxHashMap<String, alicoco::ConceptId> =
-        admitted_specs.iter().map(|&c| (kg.concept(c).name.clone(), c)).collect();
+    let mut by_text: FxHashMap<String, alicoco::ConceptId> = admitted_specs
+        .iter()
+        .map(|&c| (kg.concept(c).name.clone(), c))
+        .collect();
     let concept_texts: Vec<String> = by_text.keys().cloned().collect();
     for text in &concept_texts {
         let tokens: Vec<String> = text.split(' ').map(String::from).collect();
@@ -373,9 +391,7 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
         };
         if let Some(hyper) = hyper {
             let hypo = by_text[text];
-            if hypo != hyper {
-                kg.add_concept_is_a(hypo, hyper);
-            }
+            kg.try_add_concept_is_a(hypo, hyper);
         }
     }
 
@@ -426,12 +442,15 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
             res.vocab.encode(&toks)
         })
         .collect();
-    let bm25 = alicoco_text::bm25::Bm25Index::build(&item_docs, alicoco_text::bm25::Bm25Params::default());
+    let bm25 =
+        alicoco_text::bm25::Bm25Index::build(&item_docs, alicoco_text::bm25::Bm25Params::default());
     // Reconstruct a spec per admitted concept from its tagged spans so the
     // matcher's knowledge side has slots to embed.
     for cand in &admitted {
         let text = cand.tokens.join(" ");
-        let Some(&cid) = by_text.get(&text) else { continue };
+        let Some(&cid) = by_text.get(&text) else {
+            continue;
+        };
         let labels = tagger.tag(&res, &ctx, &cand.tokens);
         let slots: Vec<alicoco_corpus::Slot> = spans(&labels)
             .into_iter()
@@ -486,7 +505,13 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
     // "winter coat" card can show what "british-style winter coat" sells.
     let is_a_pairs: Vec<(alicoco::ConceptId, alicoco::ConceptId)> = kg
         .concept_ids()
-        .flat_map(|c| kg.concept(c).hypernyms.clone().into_iter().map(move |h| (c, h)))
+        .flat_map(|c| {
+            kg.concept(c)
+                .hypernyms
+                .clone()
+                .into_iter()
+                .map(move |h| (c, h))
+        })
         .collect();
     for (hypo, hyper) in is_a_pairs {
         for (item, w) in kg.items_for_concept(hypo) {
@@ -513,11 +538,26 @@ mod tests {
 
     fn fast_config() -> PipelineConfig {
         PipelineConfig {
-            miner: VocabMinerConfig { epochs: 2, ..Default::default() },
-            projection: ProjectionConfig { epochs: 3, ..Default::default() },
-            classifier: ClassifierConfig { epochs: 4, ..ClassifierConfig::full() },
-            tagger: TaggerConfig { epochs: 2, ..TaggerConfig::full() },
-            matcher: OursConfig { epochs: 1, ..Default::default() },
+            miner: VocabMinerConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+            projection: ProjectionConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+            classifier: ClassifierConfig {
+                epochs: 4,
+                ..ClassifierConfig::full()
+            },
+            tagger: TaggerConfig {
+                epochs: 2,
+                ..TaggerConfig::full()
+            },
+            matcher: OursConfig {
+                epochs: 1,
+                ..Default::default()
+            },
             pattern_candidates: 150,
             item_candidates: 15,
             ..Default::default()
@@ -530,10 +570,22 @@ mod tests {
         let (kg, report) = build_alicoco(&ds, &fast_config());
         let stats = Stats::compute(&kg);
         assert!(stats.num_classes > 20, "taxonomy missing: {stats:?}");
-        assert!(stats.num_primitives > 200, "too few primitives: {}", stats.num_primitives);
+        assert!(
+            stats.num_primitives > 200,
+            "too few primitives: {}",
+            stats.num_primitives
+        );
         assert!(report.primitives_mined > 0, "mining admitted nothing");
-        assert!(stats.num_concepts > 20, "too few concepts: {}", stats.num_concepts);
-        assert!(stats.is_a_primitive > 50, "too few isA edges: {}", stats.is_a_primitive);
+        assert!(
+            stats.num_concepts > 20,
+            "too few concepts: {}",
+            stats.num_concepts
+        );
+        assert!(
+            stats.is_a_primitive > 50,
+            "too few isA edges: {}",
+            stats.is_a_primitive
+        );
         assert!(report.concept_primitive_links > 20);
         assert!(stats.item_concept_links > 0, "no concept-item links");
         assert!(stats.item_primitive_links > 500);
@@ -556,8 +608,7 @@ mod tests {
         let mut good = 0;
         let mut total = 0;
         for c in kg.concept_ids() {
-            let tokens: Vec<String> =
-                kg.concept(c).name.split(' ').map(String::from).collect();
+            let tokens: Vec<String> = kg.concept(c).name.split(' ').map(String::from).collect();
             total += 1;
             if oracle.label_concept(&tokens) {
                 good += 1;

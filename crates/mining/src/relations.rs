@@ -41,7 +41,10 @@ pub struct RelationMinerConfig {
 
 impl Default for RelationMinerConfig {
     fn default() -> Self {
-        RelationMinerConfig { min_cooccurrence: 3, min_pmi: 0.5 }
+        RelationMinerConfig {
+            min_cooccurrence: 3,
+            min_pmi: 0.5,
+        }
     }
 }
 
@@ -58,8 +61,16 @@ pub struct RelationSchema {
 
 /// The two schemas the paper names explicitly.
 pub const DEFAULT_SCHEMAS: &[RelationSchema] = &[
-    RelationSchema { name: "suitable_when", from: Domain::Category, to: Domain::Time },
-    RelationSchema { name: "happens_in", from: Domain::Event, to: Domain::Location },
+    RelationSchema {
+        name: "suitable_when",
+        from: Domain::Category,
+        to: Domain::Time,
+    },
+    RelationSchema {
+        name: "happens_in",
+        from: Domain::Event,
+        to: Domain::Location,
+    },
 ];
 
 /// Mine instance relations from sentence-level co-occurrence across all
@@ -269,7 +280,10 @@ mod tests {
         let strict = mine_relations(
             &ds,
             DEFAULT_SCHEMAS,
-            &RelationMinerConfig { min_cooccurrence: 10_000, min_pmi: 10.0 },
+            &RelationMinerConfig {
+                min_cooccurrence: 10_000,
+                min_pmi: 10.0,
+            },
         );
         assert!(strict.is_empty());
     }

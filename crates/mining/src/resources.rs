@@ -93,8 +93,7 @@ impl Resources {
             }
         }
 
-        let encoded: Vec<Vec<TokenId>> =
-            all_refs.iter().map(|s| vocab.encode(s)).collect();
+        let encoded: Vec<Vec<TokenId>> = all_refs.iter().map(|s| vocab.encode(s)).collect();
         let w2v_cfg = Word2VecConfig {
             dim: cfg.word_dim,
             epochs: cfg.word_epochs,
@@ -143,8 +142,12 @@ impl Resources {
         }
         let mut gloss_vectors = FxHashMap::default();
         for (i, s) in gloss_surfaces.iter().enumerate() {
-            let centered: Vec<f32> =
-                gloss_model.doc_vector(i).iter().zip(&mean).map(|(v, m)| v - m).collect();
+            let centered: Vec<f32> = gloss_model
+                .doc_vector(i)
+                .iter()
+                .zip(&mean)
+                .map(|(v, m)| v - m)
+                .collect();
             gloss_vectors.insert(s.clone(), centered);
         }
 
@@ -198,7 +201,11 @@ impl Resources {
         let (Some(va), Some(vb)) = (self.gloss_tfidf.get(a), self.gloss_tfidf.get(b)) else {
             return 0.0;
         };
-        let (small, large) = if va.len() <= vb.len() { (va, vb) } else { (vb, va) };
+        let (small, large) = if va.len() <= vb.len() {
+            (va, vb)
+        } else {
+            (vb, va)
+        };
         let dot: f32 = small
             .iter()
             .filter_map(|(t, x)| large.get(t).map(|y| x * y))
@@ -254,7 +261,10 @@ impl Resources {
 
     /// Char ids per token (for per-word char CNNs).
     pub fn word_char_ids(&self, token: &str) -> Vec<usize> {
-        token.chars().map(|c| self.chars.get_or_unk(&c.to_string())).collect()
+        token
+            .chars()
+            .map(|c| self.chars.get_or_unk(&c.to_string()))
+            .collect()
     }
 }
 
@@ -265,7 +275,11 @@ mod tests {
 
     fn resources() -> (Dataset, Resources) {
         let ds = Dataset::tiny();
-        let cfg = ResourcesConfig { word_epochs: 2, gloss_epochs: 3, ..Default::default() };
+        let cfg = ResourcesConfig {
+            word_epochs: 2,
+            gloss_epochs: 3,
+            ..Default::default()
+        };
         let r = Resources::build(&ds, cfg);
         (ds, r)
     }
@@ -277,7 +291,10 @@ mod tests {
         assert!(r.vocab.get("grill").is_some());
         for c in ds.concepts.iter().take(20) {
             for t in &c.tokens {
-                assert!(r.vocab.get(t).is_some(), "concept token {t} missing from vocab");
+                assert!(
+                    r.vocab.get(t).is_some(),
+                    "concept token {t} missing from vocab"
+                );
             }
         }
     }
@@ -286,7 +303,10 @@ mod tests {
     fn ner_tags_domains() {
         let (_, r) = resources();
         assert_eq!(r.ner.tag("red"), alicoco_corpus::Domain::Color.index() + 1);
-        assert_eq!(r.ner.tag("barbecue"), alicoco_corpus::Domain::Event.index() + 1);
+        assert_eq!(
+            r.ner.tag("barbecue"),
+            alicoco_corpus::Domain::Event.index() + 1
+        );
         assert_eq!(r.ner.tag("zzzz"), 0);
     }
 

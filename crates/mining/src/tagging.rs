@@ -42,7 +42,10 @@ impl TaggingExample {
                 labels[s.start + k] = i_label(s.domain);
             }
         }
-        TaggingExample { tokens: spec.tokens.clone(), labels }
+        TaggingExample {
+            tokens: spec.tokens.clone(),
+            labels,
+        }
     }
 }
 
@@ -119,8 +122,11 @@ impl AmbiguityIndex {
     /// plus alternative `B-` labels for ambiguous single-token spans.
     pub fn allowed_sets(&self, example: &TaggingExample) -> Vec<Vec<usize>> {
         let gold_spans = spans(&example.labels);
-        let single: FxHashSet<usize> =
-            gold_spans.iter().filter(|(_, len, _)| *len == 1).map(|(s, _, _)| *s).collect();
+        let single: FxHashSet<usize> = gold_spans
+            .iter()
+            .filter(|(_, len, _)| *len == 1)
+            .map(|(s, _, _)| *s)
+            .collect();
         example
             .labels
             .iter()
@@ -189,12 +195,20 @@ impl Default for TaggerConfig {
 impl TaggerConfig {
     /// Table 5 "Baseline": BiLSTM + strict CRF.
     pub fn baseline() -> Self {
-        TaggerConfig { use_fuzzy: false, use_knowledge: false, ..Default::default() }
+        TaggerConfig {
+            use_fuzzy: false,
+            use_knowledge: false,
+            ..Default::default()
+        }
     }
 
     /// "+Fuzzy CRF".
     pub fn with_fuzzy() -> Self {
-        TaggerConfig { use_fuzzy: true, use_knowledge: false, ..Default::default() }
+        TaggerConfig {
+            use_fuzzy: true,
+            use_knowledge: false,
+            ..Default::default()
+        }
     }
 
     /// "+Fuzzy CRF & Knowledge" (the full model).
@@ -243,7 +257,10 @@ impl ContextIndex {
 
     /// Vector.
     pub fn vector(&self, word: &str) -> Vec<f32> {
-        self.vectors.get(word).cloned().unwrap_or_else(|| vec![0.0; self.dim])
+        self.vectors
+            .get(word)
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.dim])
     }
 
     /// Embedding dimension.
@@ -273,8 +290,16 @@ impl ConceptTagger {
         let mut rng = alicoco_nn::util::seeded_rng(cfg.seed);
         let mut ps = ParamSet::new();
         let char_emb = Embedding::new(&mut ps, "tag.char", res.chars.len(), cfg.char_dim, &mut rng);
-        let char_cnn = Conv1d::new(&mut ps, "tag.charcnn", cfg.char_dim, cfg.char_channels, 3, &mut rng);
-        let word_emb = Embedding::from_pretrained(&mut ps, "tag.word", res.word_vectors.vectors.clone());
+        let char_cnn = Conv1d::new(
+            &mut ps,
+            "tag.charcnn",
+            cfg.char_dim,
+            cfg.char_channels,
+            3,
+            &mut rng,
+        );
+        let word_emb =
+            Embedding::from_pretrained(&mut ps, "tag.word", res.word_vectors.vectors.clone());
         let pos_emb = Embedding::new(
             &mut ps,
             "tag.pos",
@@ -282,15 +307,42 @@ impl ConceptTagger {
             cfg.pos_dim,
             &mut rng,
         );
-        let word_in =
-            word_emb.dim() + if cfg.use_char_cnn { cfg.char_channels } else { 0 } + cfg.pos_dim;
+        let word_in = word_emb.dim()
+            + if cfg.use_char_cnn {
+                cfg.char_channels
+            } else {
+                0
+            }
+            + cfg.pos_dim;
         let encoder = BiLstm::new(&mut ps, "tag.bilstm", word_in, cfg.hidden, &mut rng);
         // Knowledge augmentation doubles gloss_dim (gloss vec + context vec).
-        let know_dim = if cfg.use_knowledge { res.cfg.gloss_dim * 2 } else { 0 };
-        let attn = SelfAttention::new(&mut ps, "tag.attn", 2 * cfg.hidden + know_dim, cfg.attn_dim, &mut rng);
+        let know_dim = if cfg.use_knowledge {
+            res.cfg.gloss_dim * 2
+        } else {
+            0
+        };
+        let attn = SelfAttention::new(
+            &mut ps,
+            "tag.attn",
+            2 * cfg.hidden + know_dim,
+            cfg.attn_dim,
+            &mut rng,
+        );
         let proj = Linear::new(&mut ps, "tag.proj", cfg.attn_dim, NUM_LABELS, &mut rng);
         let crf = Crf::new(&mut ps, "tag.crf", NUM_LABELS, &mut rng);
-        ConceptTagger { ps, char_emb, char_cnn, word_emb, pos_emb, encoder, attn, proj, crf, cfg, know_dim }
+        ConceptTagger {
+            ps,
+            char_emb,
+            char_cnn,
+            word_emb,
+            pos_emb,
+            encoder,
+            attn,
+            proj,
+            crf,
+            cfg,
+            know_dim,
+        }
     }
 
     /// Number of weights.
@@ -320,7 +372,11 @@ impl ConceptTagger {
             let mut char_feats: Vec<NodeId> = Vec::with_capacity(tokens.len());
             for t in tokens {
                 let ids = res.word_char_ids(t);
-                let ids = if ids.is_empty() { vec![alicoco_text::UNK] } else { ids };
+                let ids = if ids.is_empty() {
+                    vec![alicoco_text::UNK]
+                } else {
+                    ids
+                };
                 let ce = self.char_emb.forward(g, &ids);
                 let conv = self.char_cnn.forward(g, ce);
                 char_feats.push(g.max_rows(conv));
@@ -396,15 +452,9 @@ impl ConceptTagger {
     }
 
     /// Span-level evaluation on examples.
-    pub fn evaluate(
-        &self,
-        res: &Resources,
-        ctx: &ContextIndex,
-        data: &[TaggingExample],
-    ) -> PrF1 {
+    pub fn evaluate(&self, res: &Resources, ctx: &ContextIndex, data: &[TaggingExample]) -> PrF1 {
         let golds: Vec<Vec<usize>> = data.iter().map(|e| e.labels.clone()).collect();
-        let preds: Vec<Vec<usize>> =
-            data.iter().map(|e| self.tag(res, ctx, &e.tokens)).collect();
+        let preds: Vec<Vec<usize>> = data.iter().map(|e| self.tag(res, ctx, &e.tokens)).collect();
         span_prf(&golds, &preds)
     }
 }
@@ -428,7 +478,11 @@ pub fn distant_tagging_examples(ds: &Dataset, n: usize, seed: u64) -> Vec<Taggin
 pub fn tagging_splits(
     ds: &Dataset,
     rng: &mut impl Rng,
-) -> (Vec<TaggingExample>, Vec<TaggingExample>, Vec<TaggingExample>) {
+) -> (
+    Vec<TaggingExample>,
+    Vec<TaggingExample>,
+    Vec<TaggingExample>,
+) {
     let mut all: Vec<TaggingExample> = ds
         .concepts
         .iter()
@@ -498,7 +552,10 @@ mod tests {
         };
         let sets = amb.allowed_sets(&ex);
         assert!(sets[0].contains(&b_label(Domain::Style)));
-        assert!(sets[0].contains(&b_label(Domain::Location)), "fuzzy alternative missing");
+        assert!(
+            sets[0].contains(&b_label(Domain::Location)),
+            "fuzzy alternative missing"
+        );
         assert!(sets[1].contains(&b_label(Domain::Category)));
     }
 
@@ -508,7 +565,10 @@ mod tests {
         let ctx = ContextIndex::build(&res, &ds, ["barbecue", "grill"], 3);
         let v = ctx.vector("barbecue");
         assert_eq!(v.len(), ctx.dim());
-        assert!(v.iter().any(|&x| x != 0.0), "no context vector for barbecue");
+        assert!(
+            v.iter().any(|&x| x != 0.0),
+            "no context vector for barbecue"
+        );
         assert!(ctx.vector("zzz-unknown").iter().all(|&x| x == 0.0));
     }
 
@@ -517,7 +577,11 @@ mod tests {
         let (ds, res) = setup();
         let mut rng = alicoco_nn::util::seeded_rng(17);
         let (mut train, _val, test) = tagging_splits(&ds, &mut rng);
-        assert!(train.len() > 40, "too few tagging examples: {}", train.len());
+        assert!(
+            train.len() > 40,
+            "too few tagging examples: {}",
+            train.len()
+        );
         // §7.5: distant supervision enlarges the training set.
         train.extend(distant_tagging_examples(&ds, 300, 9999));
         let words: FxHashSet<String> = train
@@ -527,9 +591,18 @@ mod tests {
             .collect();
         let ctx = ContextIndex::build(&res, &ds, words.iter().map(String::as_str), 3);
         let amb = AmbiguityIndex::build(&ds);
-        let mut model = ConceptTagger::new(&res, TaggerConfig { epochs: 2, ..TaggerConfig::full() });
+        let mut model = ConceptTagger::new(
+            &res,
+            TaggerConfig {
+                epochs: 2,
+                ..TaggerConfig::full()
+            },
+        );
         let losses = model.train(&res, &ctx, &amb, &train, &mut rng);
-        assert!(losses.last().unwrap() < losses.first().unwrap(), "loss not decreasing: {losses:?}");
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "loss not decreasing: {losses:?}"
+        );
         let m = model.evaluate(&res, &ctx, &test);
         assert!(m.f1 > 0.8, "tagging F1 too low: {m:?}");
     }

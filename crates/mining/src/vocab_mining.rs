@@ -58,7 +58,11 @@ impl KnownLexicon {
     /// Sample a known subset of the world's full lexicon: each domain keeps
     /// ~`fraction` of its surfaces (deterministic per `rng`). The rest is
     /// the mining target.
-    pub fn sample<R: Rng>(ds: &Dataset, fraction: f64, rng: &mut R) -> (KnownLexicon, KnownLexicon) {
+    pub fn sample<R: Rng>(
+        ds: &Dataset,
+        fraction: f64,
+        rng: &mut R,
+    ) -> (KnownLexicon, KnownLexicon) {
         assert!((0.0..=1.0).contains(&fraction));
         let mut known = KnownLexicon::default();
         let mut heldout = KnownLexicon::default();
@@ -125,10 +129,48 @@ pub type TaggedSentence = (Vec<String>, Vec<usize>);
 /// (§7.2), and it is essential: without it, held-out vocabulary appearing
 /// in training sentences would be trained as `O` and never discovered.
 const O_WORDS: &[&str] = &[
-    "for", "in", "the", "a", "an", "and", "or", "of", "to", "i", "it", "is", "are", "this",
-    "these", "from", "with", "you", "need", "our", "guide", "buy", "other", "such", "as",
-    "kind", "bought", "great", "feels", "premium", "today", "gifts", ",", "hot", "sale",
-    "free-shipping", "2026", "official", "flagship", "authentic", "quality", "new",
+    "for",
+    "in",
+    "the",
+    "a",
+    "an",
+    "and",
+    "or",
+    "of",
+    "to",
+    "i",
+    "it",
+    "is",
+    "are",
+    "this",
+    "these",
+    "from",
+    "with",
+    "you",
+    "need",
+    "our",
+    "guide",
+    "buy",
+    "other",
+    "such",
+    "as",
+    "kind",
+    "bought",
+    "great",
+    "feels",
+    "premium",
+    "today",
+    "gifts",
+    ",",
+    "hot",
+    "sale",
+    "free-shipping",
+    "2026",
+    "official",
+    "flagship",
+    "authentic",
+    "quality",
+    "new",
 ];
 
 /// Longest-match distant supervision (§7.2): tag each sentence with IOB
@@ -198,7 +240,12 @@ pub struct VocabMinerConfig {
 
 impl Default for VocabMinerConfig {
     fn default() -> Self {
-        VocabMinerConfig { hidden: 24, epochs: 3, lr: 0.01, seed: 77 }
+        VocabMinerConfig {
+            hidden: 24,
+            epochs: 3,
+            lr: 0.01,
+            seed: 77,
+        }
     }
 }
 
@@ -218,12 +265,20 @@ impl VocabMiner {
     pub fn new(res: &crate::resources::Resources, cfg: VocabMinerConfig) -> Self {
         let mut rng = alicoco_nn::util::seeded_rng(cfg.seed);
         let mut ps = ParamSet::new();
-        let emb = Embedding::from_pretrained(&mut ps, "miner.emb", res.word_vectors.vectors.clone());
+        let emb =
+            Embedding::from_pretrained(&mut ps, "miner.emb", res.word_vectors.vectors.clone());
         let dim = emb.dim();
         let encoder = BiLstm::new(&mut ps, "miner.bilstm", dim, cfg.hidden, &mut rng);
         let proj = Linear::new(&mut ps, "miner.proj", 2 * cfg.hidden, NUM_LABELS, &mut rng);
         let crf = Crf::new(&mut ps, "miner.crf", NUM_LABELS, &mut rng);
-        VocabMiner { ps, emb, encoder, proj, crf, cfg }
+        VocabMiner {
+            ps,
+            emb,
+            encoder,
+            proj,
+            crf,
+            cfg,
+        }
     }
 
     /// Number of weights.
@@ -236,7 +291,12 @@ impl VocabMiner {
         &self.ps
     }
 
-    fn emissions(&self, g: &mut Graph, res: &crate::resources::Resources, tokens: &[String]) -> alicoco_nn::NodeId {
+    fn emissions(
+        &self,
+        g: &mut Graph,
+        res: &crate::resources::Resources,
+        tokens: &[String],
+    ) -> alicoco_nn::NodeId {
         let ids: Vec<usize> = tokens.iter().map(|t| res.vocab.get_or_unk(t)).collect();
         let e = self.emb.forward(g, &ids);
         let h = self.encoder.forward(g, e);
@@ -330,7 +390,11 @@ pub fn mine_candidates(
     }
     let mut out: Vec<MinedCandidate> = counts
         .into_iter()
-        .map(|((surface, domain), count)| MinedCandidate { surface, domain, count })
+        .map(|((surface, domain), count)| MinedCandidate {
+            surface,
+            domain,
+            count,
+        })
         .collect();
     out.sort_by(|a, b| b.count.cmp(&a.count).then(a.surface.cmp(&b.surface)));
     out
@@ -364,8 +428,7 @@ pub fn verify_candidates(
             accepted.push(c.clone());
         }
     }
-    let accepted_surfaces: FxHashSet<&str> =
-        accepted.iter().map(|c| c.surface.as_str()).collect();
+    let accepted_surfaces: FxHashSet<&str> = accepted.iter().map(|c| c.surface.as_str()).collect();
     let mut reachable = 0usize;
     let mut recovered = 0usize;
     for (surface, _) in heldout.iter() {
@@ -384,7 +447,11 @@ pub fn verify_candidates(
         } else {
             accepted.len() as f64 / candidates.len() as f64
         },
-        heldout_recall: if reachable == 0 { 0.0 } else { recovered as f64 / reachable as f64 },
+        heldout_recall: if reachable == 0 {
+            0.0
+        } else {
+            recovered as f64 / reachable as f64
+        },
     };
     (accepted, report)
 }
@@ -444,7 +511,12 @@ mod tests {
         let mut rng = alicoco_nn::util::seeded_rng(6);
         let (known, _) = KnownLexicon::sample(&ds, 1.0, &mut rng);
         let sentences: Vec<Vec<String>> = vec![
-            vec!["red".to_string(), "trench".to_string(), "coat".to_string(), "for".to_string()],
+            vec![
+                "red".to_string(),
+                "trench".to_string(),
+                "coat".to_string(),
+                "for".to_string(),
+            ],
             // Contains an unknown content word -> imperfect match, dropped.
             vec!["red".to_string(), "zzz".to_string()],
         ];
@@ -473,15 +545,29 @@ mod tests {
     #[test]
     fn mining_recovers_heldout_terms() {
         let ds = Dataset::tiny();
-        let res = Resources::build(&ds, ResourcesConfig { word_epochs: 3, ..Default::default() });
+        let res = Resources::build(
+            &ds,
+            ResourcesConfig {
+                word_epochs: 3,
+                ..Default::default()
+            },
+        );
         let mut rng = alicoco_nn::util::seeded_rng(8);
         let (known, heldout) = KnownLexicon::sample(&ds, 0.65, &mut rng);
-        let sentences: Vec<Vec<String>> =
-            ds.corpora.all_sentences().cloned().collect();
+        let sentences: Vec<Vec<String>> = ds.corpora.all_sentences().cloned().collect();
         let data = distant_supervision(&known, &sentences, 500);
-        assert!(data.len() > 50, "too little distant supervision: {}", data.len());
-        let mut miner =
-            VocabMiner::new(&res, VocabMinerConfig { epochs: 3, ..Default::default() });
+        assert!(
+            data.len() > 50,
+            "too little distant supervision: {}",
+            data.len()
+        );
+        let mut miner = VocabMiner::new(
+            &res,
+            VocabMinerConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         let losses = miner.train(&res, &data, &mut rng);
         assert!(
             losses.last().unwrap() < losses.first().unwrap(),

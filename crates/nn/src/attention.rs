@@ -88,7 +88,7 @@ impl PairAttention {
         let v = g.param(&self.v);
         let pa = g.matmul(a, w1); // (m, h)
         let pb = g.matmul(b, w2); // (l, h)
-        // All (i, j) pairs: interleave a-rows l times, tile b-rows m times.
+                                  // All (i, j) pairs: interleave a-rows l times, tile b-rows m times.
         let pa_rep = g.repeat_interleave(pa, l); // (m*l, h): a0,a0..,a1,a1..
         let pb_rep = g.repeat_tile(pb, m); // (m*l, h): b0,b1..,b0,b1..
         let sum = g.add(pa_rep, pb_rep);

@@ -34,7 +34,11 @@ impl Conv1d {
         rng: &mut R,
     ) -> Self {
         assert!(window % 2 == 1, "Conv1d window must be odd, got {window}");
-        Conv1d { proj: Linear::new(ps, name, window * input, output, rng), window, input }
+        Conv1d {
+            proj: Linear::new(ps, name, window * input, output, rng),
+            window,
+            input,
+        }
     }
 
     /// `(T, in) -> (T, out)`.
@@ -123,6 +127,9 @@ mod tests {
         let loss = g.sum_all(y);
         g.backward(loss);
         let wg = conv.proj.w.grad();
-        assert!(wg.data().iter().any(|&v| v != 0.0), "no gradient reached conv weights");
+        assert!(
+            wg.data().iter().any(|&v| v != 0.0),
+            "no gradient reached conv weights"
+        );
     }
 }

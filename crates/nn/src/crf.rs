@@ -35,7 +35,10 @@ pub struct Crf {
 impl Crf {
     /// Create a new instance.
     pub fn new<R: Rng>(ps: &mut ParamSet, name: &str, labels: usize, rng: &mut R) -> Self {
-        let trans = ps.add(format!("{name}.trans"), Tensor::uniform(labels + 2, labels + 2, 0.1, rng));
+        let trans = ps.add(
+            format!("{name}.trans"),
+            Tensor::uniform(labels + 2, labels + 2, 0.1, rng),
+        );
         Crf { trans, labels }
     }
 
@@ -60,11 +63,18 @@ impl Crf {
     pub fn fuzzy_nll(&self, g: &mut Graph, emissions: NodeId, allowed: &[Vec<usize>]) -> NodeId {
         let emit = g.value(emissions);
         let t_len = emit.rows();
-        assert_eq!(t_len, allowed.len(), "allowed sets must match sequence length");
+        assert_eq!(
+            t_len,
+            allowed.len(),
+            "allowed sets must match sequence length"
+        );
         assert_eq!(emit.cols(), self.labels, "emission width != label count");
         for (t, set) in allowed.iter().enumerate() {
             assert!(!set.is_empty(), "empty allowed set at position {t}");
-            assert!(set.iter().all(|&y| y < self.labels), "label out of range at {t}");
+            assert!(
+                set.iter().all(|&y| y < self.labels),
+                "label out of range at {t}"
+            );
         }
         let trans_node = g.param(&self.trans);
         let emit_v = g.value(emissions).clone();
@@ -72,7 +82,10 @@ impl Crf {
         let (_, _, log_z_full) = marginals(&emit_v, &trans_v, self.labels, None);
         let (_, _, log_z_allowed) = marginals(&emit_v, &trans_v, self.labels, Some(allowed));
         let loss = log_z_full - log_z_allowed;
-        let op = CrfNllOp { allowed: allowed.to_vec(), labels: self.labels };
+        let op = CrfNllOp {
+            allowed: allowed.to_vec(),
+            labels: self.labels,
+        };
         g.custom(&[emissions, trans_node], Tensor::scalar(loss), Box::new(op))
     }
 
@@ -181,9 +194,14 @@ fn marginals(
             alpha[t][y] = emit.get(t, y) + log_sum_exp(&scratch);
         }
     }
-    let finals: Vec<f32> = (0..labels).map(|y| alpha[t_len - 1][y] + trans.get(y, end)).collect();
+    let finals: Vec<f32> = (0..labels)
+        .map(|y| alpha[t_len - 1][y] + trans.get(y, end))
+        .collect();
     let log_z = log_sum_exp(&finals);
-    assert!(log_z.is_finite(), "CRF partition is not finite (no allowed path?)");
+    assert!(
+        log_z.is_finite(),
+        "CRF partition is not finite (no allowed path?)"
+    );
 
     // beta[t][y]
     let mut beta = vec![vec![ninf; labels]; t_len];
@@ -231,8 +249,8 @@ fn marginals(
                 continue;
             }
             for yn in 0..labels {
-                let lp = alpha[t][y] + trans.get(y, yn) + emit.get(t + 1, yn) + beta[t + 1][yn]
-                    - log_z;
+                let lp =
+                    alpha[t][y] + trans.get(y, yn) + emit.get(t + 1, yn) + beta[t + 1][yn] - log_z;
                 if lp.is_finite() {
                     let v = dt.get(y, yn) + lp.exp();
                     dt.set(y, yn, v);
@@ -464,7 +482,11 @@ mod tests {
             for b in 0..3 {
                 for c in 0..3 {
                     let s = crf.path_score(&emit, &[a, b, c]);
-                    assert!(s <= decoded_score + 1e-5, "path {:?} beats viterbi", [a, b, c]);
+                    assert!(
+                        s <= decoded_score + 1e-5,
+                        "path {:?} beats viterbi",
+                        [a, b, c]
+                    );
                 }
             }
         }

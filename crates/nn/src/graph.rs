@@ -37,7 +37,10 @@ enum Op {
     /// Leaf tied to an external parameter.
     Param(Param),
     /// Embedding gather: rows of the parameter indexed by `indices`.
-    Lookup { param: Param, indices: Vec<usize> },
+    Lookup {
+        param: Param,
+        indices: Vec<usize>,
+    },
     MatMul(NodeId, NodeId),
     Add(NodeId, NodeId),
     /// `(m,n) + (1,n)` broadcast over rows.
@@ -66,7 +69,10 @@ enum Op {
     RepeatInterleave(NodeId, usize),
     /// Mean binary cross-entropy with logits against fixed targets.
     BceWithLogits(NodeId, Vec<f32>),
-    Custom { parents: Vec<NodeId>, op: Box<dyn CustomOp> },
+    Custom {
+        parents: Vec<NodeId>,
+        op: Box<dyn CustomOp>,
+    },
 }
 
 struct Node {
@@ -84,7 +90,9 @@ pub struct Graph {
 impl Graph {
     /// Create a new instance.
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(64) }
+        Graph {
+            nodes: Vec::with_capacity(64),
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -99,7 +107,11 @@ impl Graph {
 
     fn push(&mut self, value: Tensor, op: Op) -> NodeId {
         let (r, c) = value.shape();
-        self.nodes.push(Node { value, grad: Tensor::zeros(r, c), op });
+        self.nodes.push(Node {
+            value,
+            grad: Tensor::zeros(r, c),
+            op,
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -134,11 +146,21 @@ impl Graph {
         let dim = table.cols();
         let mut out = Tensor::zeros(indices.len(), dim);
         for (r, &ix) in indices.iter().enumerate() {
-            assert!(ix < table.rows(), "lookup index {ix} out of range {}", table.rows());
+            assert!(
+                ix < table.rows(),
+                "lookup index {ix} out of range {}",
+                table.rows()
+            );
             out.row_slice_mut(r).copy_from_slice(table.row_slice(ix));
         }
         drop(table);
-        self.push(out, Op::Lookup { param: p.clone(), indices: indices.to_vec() })
+        self.push(
+            out,
+            Op::Lookup {
+                param: p.clone(),
+                indices: indices.to_vec(),
+            },
+        )
     }
 
     // ---- arithmetic ------------------------------------------------------
@@ -158,7 +180,11 @@ impl Graph {
     /// Broadcast add: `a` is `(m,n)`, `b` is `(1,n)`.
     pub fn add_row(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (m, n) = self.value(a).shape();
-        assert_eq!(self.value(b).shape(), (1, n), "add_row: bias must be (1,{n})");
+        assert_eq!(
+            self.value(b).shape(),
+            (1, n),
+            "add_row: bias must be (1,{n})"
+        );
         let mut v = self.value(a).clone();
         for r in 0..m {
             let bias = self.nodes[b.0].value.row_slice(0).to_vec();
@@ -348,19 +374,32 @@ impl Graph {
     /// target per element. Returns a scalar node.
     pub fn bce_with_logits(&mut self, logits: NodeId, targets: &[f32]) -> NodeId {
         let x = self.value(logits);
-        assert_eq!(x.len(), targets.len(), "bce: logits/targets length mismatch");
+        assert_eq!(
+            x.len(),
+            targets.len(),
+            "bce: logits/targets length mismatch"
+        );
         let mut loss = 0.0;
         for (&l, &t) in x.data().iter().zip(targets) {
             // Numerically stable: max(l,0) - l*t + ln(1+exp(-|l|)).
             loss += l.max(0.0) - l * t + (1.0 + (-l.abs()).exp()).ln();
         }
         loss /= targets.len() as f32;
-        self.push(Tensor::scalar(loss), Op::BceWithLogits(logits, targets.to_vec()))
+        self.push(
+            Tensor::scalar(loss),
+            Op::BceWithLogits(logits, targets.to_vec()),
+        )
     }
 
     /// Record a custom op with analytically computed gradients.
     pub fn custom(&mut self, parents: &[NodeId], value: Tensor, op: Box<dyn CustomOp>) -> NodeId {
-        self.push(value, Op::Custom { parents: parents.to_vec(), op })
+        self.push(
+            value,
+            Op::Custom {
+                parents: parents.to_vec(),
+                op,
+            },
+        )
     }
 
     // ---- backward --------------------------------------------------------
@@ -576,7 +615,12 @@ impl Graph {
                     let values: Vec<&Tensor> =
                         parents.iter().map(|p| &self.nodes[p.0].value).collect();
                     let grads = op.grads(&g, &values);
-                    assert_eq!(grads.len(), parents.len(), "{}: wrong grad count", op.name());
+                    assert_eq!(
+                        grads.len(),
+                        parents.len(),
+                        "{}: wrong grad count",
+                        op.name()
+                    );
                     for (&p, gp) in parents.iter().zip(grads) {
                         contrib.push((p.0, gp));
                     }
@@ -745,7 +789,10 @@ mod tests {
 
     #[test]
     fn lookup_accumulates_into_rows() {
-        let p = Param::new("emb", Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let p = Param::new(
+            "emb",
+            Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+        );
         let mut g = Graph::new();
         let e = g.lookup(&p, &[0, 2, 0]);
         assert_eq!(g.value(e).row_slice(0), &[1.0, 2.0]);

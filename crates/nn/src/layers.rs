@@ -83,7 +83,10 @@ impl Embedding {
         rng: &mut R,
     ) -> Self {
         // Small uniform init, as is conventional for embeddings.
-        let table = ps.add(format!("{name}.table"), Tensor::uniform(vocab, dim, 0.1, rng));
+        let table = ps.add(
+            format!("{name}.table"),
+            Tensor::uniform(vocab, dim, 0.1, rng),
+        );
         Embedding { table }
     }
 
@@ -99,7 +102,9 @@ impl Embedding {
     /// updates. Use when fine-tuning on small data would destroy the
     /// pre-trained geometry that generalization depends on.
     pub fn from_pretrained_frozen(name: &str, table: Tensor) -> Self {
-        Embedding { table: crate::param::Param::new(format!("{name}.table"), table) }
+        Embedding {
+            table: crate::param::Param::new(format!("{name}.table"), table),
+        }
     }
 
     /// `ids -> (ids.len(), dim)`.

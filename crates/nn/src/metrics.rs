@@ -65,14 +65,26 @@ pub fn binary_prf(scored: &[(f32, bool)], threshold: f32) -> PrF1 {
 
 /// Precision/recall/F1 from raw counts.
 pub fn prf_from_counts(tp: usize, fp: usize, fn_: usize) -> PrF1 {
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    PrF1 { precision, recall, f1 }
+    PrF1 {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Classification accuracy over `(prediction, gold)` pairs.
@@ -220,8 +232,8 @@ mod tests {
     #[test]
     fn ranking_metrics_aggregates() {
         let queries = vec![
-            vec![(0.9, true), (0.1, false)],  // AP=1, RR=1, P@1=1
-            vec![(0.9, false), (0.1, true)],  // AP=0.5, RR=0.5, P@1=0
+            vec![(0.9, true), (0.1, false)], // AP=1, RR=1, P@1=1
+            vec![(0.9, false), (0.1, true)], // AP=0.5, RR=0.5, P@1=0
         ];
         let m = ranking_metrics(&queries);
         assert!((m.map - 0.75).abs() < 1e-9);

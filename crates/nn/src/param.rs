@@ -173,7 +173,10 @@ pub struct Sgd {
 impl Sgd {
     /// Create a new instance.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, clip: Some(5.0) }
+        Sgd {
+            lr,
+            clip: Some(5.0),
+        }
     }
 }
 
@@ -210,7 +213,14 @@ pub struct Adam {
 impl Adam {
     /// Create a new instance.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: Some(5.0), t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: Some(5.0),
+            t: 0,
+        }
     }
 }
 
@@ -224,7 +234,9 @@ impl Optimizer for Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t);
         for p in params.iter() {
             let mut b = p.0.borrow_mut();
-            let ParamInner { value, grad, m, v, .. } = &mut *b;
+            let ParamInner {
+                value, grad, m, v, ..
+            } = &mut *b;
             for k in 0..value.len() {
                 let g = grad.data()[k];
                 let mk = self.beta1 * m.data()[k] + (1.0 - self.beta1) * g;

@@ -75,8 +75,15 @@ impl std::fmt::Display for LoadError {
             LoadError::BadMagic => write!(f, "not an alicoco-params stream"),
             LoadError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
             LoadError::UnknownParam(n) => write!(f, "unknown parameter {n:?}"),
-            LoadError::ShapeMismatch { name, expected, found } => {
-                write!(f, "shape mismatch for {name:?}: expected {expected:?}, found {found:?}")
+            LoadError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch for {name:?}: expected {expected:?}, found {found:?}"
+                )
             }
             LoadError::MissingParams(names) => write!(f, "missing parameters: {names:?}"),
         }
@@ -108,7 +115,9 @@ pub fn load<R: BufRead>(params: &ParamSet, r: &mut R) -> Result<(), LoadError> {
             continue;
         }
         let mut parts = line.splitn(4, '\t');
-        let name = parts.next().ok_or_else(|| LoadError::Parse(ln, "missing name".into()))?;
+        let name = parts
+            .next()
+            .ok_or_else(|| LoadError::Parse(ln, "missing name".into()))?;
         let rows: usize = parts
             .next()
             .and_then(|s| s.parse().ok())
@@ -117,7 +126,9 @@ pub fn load<R: BufRead>(params: &ParamSet, r: &mut R) -> Result<(), LoadError> {
             .next()
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| LoadError::Parse(ln, "bad cols".into()))?;
-        let values = parts.next().ok_or_else(|| LoadError::Parse(ln, "missing values".into()))?;
+        let values = parts
+            .next()
+            .ok_or_else(|| LoadError::Parse(ln, "missing values".into()))?;
         let data: Result<Vec<f32>, _> = values.split(' ').map(str::parse::<f32>).collect();
         let data = data.map_err(|_| LoadError::Parse(ln, "bad value".into()))?;
         if data.len() != rows * cols {
@@ -186,7 +197,10 @@ mod tests {
     #[test]
     fn rejects_wrong_magic_and_shape() {
         let (ps, _) = model(3);
-        assert!(matches!(load(&ps, &mut &b"garbage"[..]), Err(LoadError::BadMagic)));
+        assert!(matches!(
+            load(&ps, &mut &b"garbage"[..]),
+            Err(LoadError::BadMagic)
+        ));
 
         // Same names, different architecture -> shape mismatch.
         let mut rng = seeded_rng(4);

@@ -41,7 +41,12 @@ impl Lstm {
         };
         // Forget-gate bias of 1.0: the standard trick to ease gradient flow
         // early in training.
-        cell.wf.b.value_mut().data_mut().iter_mut().for_each(|v| *v = 1.0);
+        cell.wf
+            .b
+            .value_mut()
+            .data_mut()
+            .iter_mut()
+            .for_each(|v| *v = 1.0);
         cell
     }
 
@@ -214,7 +219,10 @@ mod tests {
             let last = g.slice_rows(hs, seq.len() - 1, 1);
             let logit = head.forward(&mut g, last);
             let p = 1.0 / (1.0 + (-g.value(logit).item()).exp());
-            assert!((p - label).abs() < 0.3, "seq {seq:?}: got {p}, want {label}");
+            assert!(
+                (p - label).abs() < 0.3,
+                "seq {seq:?}: got {p}, want {label}"
+            );
         }
     }
 

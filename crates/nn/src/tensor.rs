@@ -19,12 +19,20 @@ pub struct Tensor {
 impl Tensor {
     /// Create a tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a tensor filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Create a tensor from a flat row-major buffer.
@@ -32,19 +40,32 @@ impl Tensor {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length {} != {rows}x{cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} != {rows}x{cols}",
+            data.len()
+        );
         Tensor { rows, cols, data }
     }
 
     /// Create a `(1, n)` row vector.
     pub fn row(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Tensor { rows: 1, cols, data }
+        Tensor {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Create a `(1, 1)` scalar tensor.
     pub fn scalar(v: f32) -> Self {
-        Tensor { rows: 1, cols: 1, data: vec![v] }
+        Tensor {
+            rows: 1,
+            cols: 1,
+            data: vec![v],
+        }
     }
 
     /// Xavier/Glorot uniform initialization: `U(-a, a)` with
@@ -209,8 +230,17 @@ impl Tensor {
     /// Elementwise `self + rhs` (same shape).
     pub fn add(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise in-place accumulate.
@@ -232,27 +262,53 @@ impl Tensor {
     /// Elementwise `self - rhs`.
     pub fn sub(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape(), rhs.shape(), "mul shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scalar multiple.
     pub fn scale(&self, alpha: f32) -> Tensor {
         let data = self.data.iter().map(|a| a * alpha).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Apply `f` elementwise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         let data = self.data.iter().map(|&a| f(a)).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Set all elements to zero, keeping the allocation.
@@ -278,8 +334,16 @@ impl Tensor {
 
     /// Reinterpret the buffer with a new shape (same element count).
     pub fn reshape(&self, rows: usize, cols: usize) -> Tensor {
-        assert_eq!(rows * cols, self.data.len(), "reshape element count mismatch");
-        Tensor { rows, cols, data: self.data.clone() }
+        assert_eq!(
+            rows * cols,
+            self.data.len(),
+            "reshape element count mismatch"
+        );
+        Tensor {
+            rows,
+            cols,
+            data: self.data.clone(),
+        }
     }
 
     /// Stack `mats` vertically. All must share the column count.

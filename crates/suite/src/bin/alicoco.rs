@@ -54,13 +54,19 @@ fn load_net(path: &str) -> Result<AliCoCo, Box<dyn std::error::Error>> {
 }
 
 fn require<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
-    args.get(i).map(String::as_str).ok_or_else(|| format!("missing argument: {what}"))
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing argument: {what}"))
 }
 
 fn cmd_build(args: &[String]) -> CliResult {
     let path = require(args, 0, "snapshot path")?;
     let full = args.iter().any(|a| a == "--full");
-    let config = if full { WorldConfig::default() } else { WorldConfig::tiny() };
+    let config = if full {
+        WorldConfig::default()
+    } else {
+        WorldConfig::tiny()
+    };
     eprintln!("generating world ({} items)...", config.num_items);
     let ds = Dataset::generate(config);
     eprintln!("running construction pipeline...");
@@ -78,8 +84,14 @@ fn cmd_stats(args: &[String]) -> CliResult {
     let ci = alicoco::query::concept_item_degrees(&kg);
     let ip = alicoco::query::item_primitive_degrees(&kg);
     println!("Degrees");
-    println!("  concept->item   min {} max {} mean {:.2} (isolated {})", ci.min, ci.max, ci.mean, ci.isolated);
-    println!("  item->primitive min {} max {} mean {:.2} (isolated {})", ip.min, ip.max, ip.mean, ip.isolated);
+    println!(
+        "  concept->item   min {} max {} mean {:.2} (isolated {})",
+        ci.min, ci.max, ci.mean, ci.isolated
+    );
+    println!(
+        "  item->primitive min {} max {} mean {:.2} (isolated {})",
+        ip.min, ip.max, ip.mean, ip.isolated
+    );
     Ok(())
 }
 

@@ -50,7 +50,13 @@ impl Bm25Index {
         } else {
             doc_len.iter().sum::<usize>() as f64 / n_docs as f64
         };
-        Bm25Index { params, postings, doc_len, avg_len, n_docs }
+        Bm25Index {
+            params,
+            postings,
+            doc_len,
+            avg_len,
+            n_docs,
+        }
     }
 
     /// Number of docs.
@@ -70,33 +76,51 @@ impl Bm25Index {
         let mut s = 0.0;
         let dl = self.doc_len[doc] as f64;
         for &term in query {
-            let Some(plist) = self.postings.get(&term) else { continue };
-            let Ok(pos) = plist.binary_search_by_key(&doc, |&(d, _)| d) else { continue };
+            let Some(plist) = self.postings.get(&term) else {
+                continue;
+            };
+            let Ok(pos) = plist.binary_search_by_key(&doc, |&(d, _)| d) else {
+                continue;
+            };
             let tf = plist[pos].1 as f64;
             let idf = self.idf(term);
-            let denom = tf + self.params.k1 * (1.0 - self.params.b + self.params.b * dl / self.avg_len.max(1e-9));
+            let denom = tf
+                + self.params.k1
+                    * (1.0 - self.params.b + self.params.b * dl / self.avg_len.max(1e-9));
             s += idf * tf * (self.params.k1 + 1.0) / denom;
         }
         s
     }
 
-    /// Top-`k` documents for a query, as `(doc, score)` sorted descending.
-    pub fn search(&self, query: &[TokenId], k: usize) -> Vec<(usize, f64)> {
+    /// Accumulated BM25 scores of every candidate document for a query —
+    /// exactly the documents sharing at least one query term, in
+    /// unspecified order. Callers rank (the serving layer keeps the best
+    /// `k` in a bounded heap rather than sorting all candidates).
+    pub fn candidate_scores(&self, query: &[TokenId]) -> Vec<(usize, f64)> {
         let mut acc: FxHashMap<usize, f64> = FxHashMap::default();
         let dl_norm = |doc: usize| {
             1.0 - self.params.b + self.params.b * self.doc_len[doc] as f64 / self.avg_len.max(1e-9)
         };
         for &term in query {
-            let Some(plist) = self.postings.get(&term) else { continue };
+            let Some(plist) = self.postings.get(&term) else {
+                continue;
+            };
             let idf = self.idf(term);
             for &(doc, tf) in plist {
                 let tf = tf as f64;
-                let score = idf * tf * (self.params.k1 + 1.0) / (tf + self.params.k1 * dl_norm(doc));
+                let score =
+                    idf * tf * (self.params.k1 + 1.0) / (tf + self.params.k1 * dl_norm(doc));
                 *acc.entry(doc).or_insert(0.0) += score;
             }
         }
-        let mut hits: Vec<(usize, f64)> = acc.into_iter().collect();
-        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        acc.into_iter().collect()
+    }
+
+    /// Top-`k` documents for a query, as `(doc, score)` sorted descending
+    /// (ties broken by ascending doc id).
+    pub fn search(&self, query: &[TokenId], k: usize) -> Vec<(usize, f64)> {
+        let mut hits = self.candidate_scores(query);
+        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         hits.truncate(k);
         hits
     }
@@ -108,10 +132,10 @@ mod tests {
 
     fn docs() -> Vec<Vec<TokenId>> {
         vec![
-            vec![1, 2, 3],       // "outdoor barbecue grill"
-            vec![4, 5, 6, 6],    // "red summer dress dress"
-            vec![1, 7],          // "outdoor tent"
-            vec![8, 9, 10, 11],  // unrelated
+            vec![1, 2, 3],      // "outdoor barbecue grill"
+            vec![4, 5, 6, 6],   // "red summer dress dress"
+            vec![1, 7],         // "outdoor tent"
+            vec![8, 9, 10, 11], // unrelated
         ]
     }
 

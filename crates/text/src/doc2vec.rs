@@ -31,7 +31,14 @@ pub struct Doc2VecConfig {
 
 impl Default for Doc2VecConfig {
     fn default() -> Self {
-        Doc2VecConfig { dim: 24, negatives: 5, epochs: 15, infer_epochs: 20, lr: 0.05, seed: 23 }
+        Doc2VecConfig {
+            dim: 24,
+            negatives: 5,
+            epochs: 15,
+            infer_epochs: 20,
+            lr: 0.05,
+            seed: 23,
+        }
     }
 }
 
@@ -57,7 +64,9 @@ impl Doc2Vec {
         let v = vocab.len();
         let n = docs.len();
         let mut rng = alicoco_nn::util::seeded_rng(cfg.seed);
-        let mut doc_vecs: Vec<f32> = (0..n * d).map(|_| (rng.gen::<f32>() - 0.5) / d as f32).collect();
+        let mut doc_vecs: Vec<f32> = (0..n * d)
+            .map(|_| (rng.gen::<f32>() - 0.5) / d as f32)
+            .collect();
         let mut out: Vec<f32> = vec![0.0; v * d];
         let table = NegativeTable::new(vocab, 10_000.max(v * 4));
         let mut grad = vec![0.0f32; d];
@@ -95,7 +104,13 @@ impl Doc2Vec {
             }
         }
         let neg_weights = (0..v)
-            .map(|i| if i == UNK { 0.0 } else { (vocab.count(i) as f64).powf(0.75) })
+            .map(|i| {
+                if i == UNK {
+                    0.0
+                } else {
+                    (vocab.count(i) as f64).powf(0.75)
+                }
+            })
             .collect();
         Doc2Vec {
             doc_vectors: Tensor::from_vec(n, d, doc_vecs),
@@ -120,7 +135,9 @@ impl Doc2Vec {
     pub fn infer(&self, doc: &[TokenId]) -> Vec<f32> {
         let d = self.cfg.dim;
         let mut rng = alicoco_nn::util::seeded_rng(self.cfg.seed ^ 0x5eed);
-        let mut vec: Vec<f32> = (0..d).map(|_| (rng.gen::<f32>() - 0.5) / d as f32).collect();
+        let mut vec: Vec<f32> = (0..d)
+            .map(|_| (rng.gen::<f32>() - 0.5) / d as f32)
+            .collect();
         let total: f64 = self.neg_weights.iter().sum::<f64>().max(1e-9);
         for _ in 0..self.cfg.infer_epochs {
             for &word in doc {
@@ -171,8 +188,18 @@ mod tests {
     fn toy_docs() -> (Vocab, Vec<Vec<TokenId>>) {
         let mut docs: Vec<Vec<String>> = Vec::new();
         for _ in 0..30 {
-            docs.push(["grill", "charcoal", "fire", "meat"].iter().map(|s| s.to_string()).collect());
-            docs.push(["lipstick", "mascara", "beauty", "powder"].iter().map(|s| s.to_string()).collect());
+            docs.push(
+                ["grill", "charcoal", "fire", "meat"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            );
+            docs.push(
+                ["lipstick", "mascara", "beauty", "powder"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            );
         }
         let refs: Vec<&[String]> = docs.iter().map(|s| s.as_slice()).collect();
         let vocab = Vocab::from_corpus(refs.iter().copied(), 1);
@@ -198,7 +225,10 @@ mod tests {
         let v = model.infer(&unseen);
         let to_bbq = cosine(&v, model.doc_vector(0));
         let to_beauty = cosine(&v, model.doc_vector(1));
-        assert!(to_bbq > to_beauty, "inferred bbq doc closer to beauty ({to_bbq} vs {to_beauty})");
+        assert!(
+            to_bbq > to_beauty,
+            "inferred bbq doc closer to beauty ({to_bbq} vs {to_beauty})"
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub fn extract_pairs(tokens: &[&str]) -> Vec<HypernymPair> {
     let n = tokens.len();
     for i in 0..n {
         // "Y such as X [and X2 ...]"
-        if i + 3 < n + 1 && i >= 1 && tokens.get(i) == Some(&"such") && tokens.get(i + 1) == Some(&"as") {
+        if i + 3 < n + 1
+            && i >= 1
+            && tokens.get(i) == Some(&"such")
+            && tokens.get(i + 1) == Some(&"as")
+        {
             let hypernym = tokens[i - 1];
             let mut j = i + 2;
             while j < n {
@@ -56,7 +60,11 @@ pub fn extract_pairs(tokens: &[&str]) -> Vec<HypernymPair> {
             }
         }
         // "X is a [kind of] Y"
-        if i + 2 < n && i >= 1 && tokens[i] == "is" && (tokens[i + 1] == "a" || tokens[i + 1] == "an") {
+        if i + 2 < n
+            && i >= 1
+            && tokens[i] == "is"
+            && (tokens[i + 1] == "a" || tokens[i + 1] == "an")
+        {
             let hyponym = tokens[i - 1];
             let mut k = i + 2;
             if k + 1 < n && tokens[k] == "kind" && tokens[k + 1] == "of" {
@@ -180,8 +188,9 @@ mod tests {
 
     #[test]
     fn head_word_rule() {
-        let heads: FxHashSet<String> =
-            ["jacket".to_string(), "pants".to_string()].into_iter().collect();
+        let heads: FxHashSet<String> = ["jacket".to_string(), "pants".to_string()]
+            .into_iter()
+            .collect();
         let pairs = head_word_pairs(["alpine-jacket", "cargo-pants", "snowboard"], &heads);
         assert_eq!(pairs.len(), 2);
         assert_eq!(pairs[0].hypernym, "jacket");
@@ -191,8 +200,14 @@ mod tests {
     #[test]
     fn corpus_extraction_dedupes() {
         let sents: Vec<Vec<String>> = vec![
-            vec!["tops", "such", "as", "jackets"].into_iter().map(String::from).collect(),
-            vec!["tops", "such", "as", "jackets"].into_iter().map(String::from).collect(),
+            vec!["tops", "such", "as", "jackets"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            vec!["tops", "such", "as", "jackets"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
         ];
         let refs: Vec<&[String]> = sents.iter().map(|s| s.as_slice()).collect();
         let pairs = extract_from_corpus(refs.iter().copied());

@@ -26,7 +26,12 @@ pub struct PhraseMinerConfig {
 
 impl Default for PhraseMinerConfig {
     fn default() -> Self {
-        PhraseMinerConfig { min_count: 3, min_len: 2, max_len: 4, min_score: 0.25 }
+        PhraseMinerConfig {
+            min_count: 3,
+            min_len: 2,
+            max_len: 4,
+            min_score: 0.25,
+        }
     }
 }
 
@@ -75,10 +80,16 @@ pub fn mine(sentences: &[Vec<TokenId>], cfg: &PhraseMinerConfig) -> Vec<PhraseCa
             }
             for i in 0..=s.len() - n {
                 let gram = s[i..i + n].to_vec();
-                let entry = grams.entry(gram).or_insert_with(|| (0, Ctx::default(), Ctx::default()));
+                let entry = grams
+                    .entry(gram)
+                    .or_insert_with(|| (0, Ctx::default(), Ctx::default()));
                 entry.0 += 1;
                 let left = if i == 0 { BOUNDARY } else { s[i - 1] as u64 };
-                let right = if i + n == s.len() { BOUNDARY } else { s[i + n] as u64 };
+                let right = if i + n == s.len() {
+                    BOUNDARY
+                } else {
+                    s[i + n] as u64
+                };
                 *entry.1.entry(left).or_insert(0) += 1;
                 *entry.2.entry(right).or_insert(0) += 1;
             }
@@ -151,8 +162,10 @@ mod tests {
             vec!["buy", "outdoor", "barbecue", "grill"],
             vec!["the", "weather", "suits", "outdoor", "barbecue", "fun"],
         ];
-        let owned: Vec<Vec<String>> =
-            raw.iter().map(|s| s.iter().map(|w| w.to_string()).collect()).collect();
+        let owned: Vec<Vec<String>> = raw
+            .iter()
+            .map(|s| s.iter().map(|w| w.to_string()).collect())
+            .collect();
         let refs: Vec<&[String]> = owned.iter().map(|s| s.as_slice()).collect();
         let vocab = Vocab::from_corpus(refs.iter().copied(), 1);
         let enc = owned.iter().map(|s| vocab.encode(s)).collect();
@@ -162,7 +175,13 @@ mod tests {
     #[test]
     fn mines_the_strong_phrase() {
         let (vocab, sents) = toy();
-        let cands = mine(&sents, &PhraseMinerConfig { min_count: 3, ..Default::default() });
+        let cands = mine(
+            &sents,
+            &PhraseMinerConfig {
+                min_count: 3,
+                ..Default::default()
+            },
+        );
         assert!(!cands.is_empty());
         let top = &cands[0];
         let words: Vec<&str> = top.tokens.iter().map(|&t| vocab.token(t)).collect();
@@ -174,7 +193,13 @@ mod tests {
     #[test]
     fn respects_min_count() {
         let (_, sents) = toy();
-        let cands = mine(&sents, &PhraseMinerConfig { min_count: 100, ..Default::default() });
+        let cands = mine(
+            &sents,
+            &PhraseMinerConfig {
+                min_count: 100,
+                ..Default::default()
+            },
+        );
         assert!(cands.is_empty());
     }
 
@@ -189,7 +214,11 @@ mod tests {
         let (_, sents) = toy();
         let cands = mine(
             &sents,
-            &PhraseMinerConfig { min_count: 1, min_score: 0.0, ..Default::default() },
+            &PhraseMinerConfig {
+                min_count: 1,
+                min_score: 0.0,
+                ..Default::default()
+            },
         );
         for w in cands.windows(2) {
             assert!(w[0].score >= w[1].score);
@@ -199,6 +228,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 2 tokens")]
     fn unigram_phrases_rejected() {
-        mine(&[], &PhraseMinerConfig { min_len: 1, ..Default::default() });
+        mine(
+            &[],
+            &PhraseMinerConfig {
+                min_len: 1,
+                ..Default::default()
+            },
+        );
     }
 }

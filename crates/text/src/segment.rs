@@ -87,12 +87,20 @@ impl MaxMatchSegmenter {
             back: (usize, bool),
         }
         let mut best: Vec<Option<Cell>> = vec![None; n + 1];
-        best[0] = Some(Cell { covered: 0, segs: 0, back: (0, false) });
+        best[0] = Some(Cell {
+            covered: 0,
+            segs: 0,
+            back: (0, false),
+        });
         let mut buf = String::new();
         for i in 0..n {
             let Some(cur) = best[i] else { continue };
             // Option 1: single uncovered char.
-            let cand = Cell { covered: cur.covered, segs: cur.segs + 1, back: (i, false) };
+            let cand = Cell {
+                covered: cur.covered,
+                segs: cur.segs + 1,
+                back: (i, false),
+            };
             if better(&best[i + 1], &cand) {
                 best[i + 1] = Some(cand);
             }
@@ -128,7 +136,10 @@ impl MaxMatchSegmenter {
             let cell = best[i].expect("dp table hole");
             let (start, matched) = cell.back;
             let text: String = chars[start..i].iter().collect();
-            out.push(Segment { text, in_lexicon: matched });
+            out.push(Segment {
+                text,
+                in_lexicon: matched,
+            });
             i = start;
         }
         out.reverse();

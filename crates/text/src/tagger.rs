@@ -102,7 +102,10 @@ impl NerTagger {
     /// `num_labels` counts real classes; emitted indices are in
     /// `0..=num_labels` where `0` = outside.
     pub fn new(num_labels: usize) -> Self {
-        NerTagger { lexicon: FxHashMap::default(), num_labels }
+        NerTagger {
+            lexicon: FxHashMap::default(),
+            num_labels,
+        }
     }
 
     /// Insert a token with a 1-based class id.
@@ -110,7 +113,10 @@ impl NerTagger {
     /// # Panics
     /// Panics if `class_id` is 0 or exceeds `num_labels`.
     pub fn insert(&mut self, token: &str, class_id: usize) {
-        assert!(class_id >= 1 && class_id <= self.num_labels, "class id out of range");
+        assert!(
+            class_id >= 1 && class_id <= self.num_labels,
+            "class id out of range"
+        );
         self.lexicon.insert(token.to_string(), class_id);
     }
 

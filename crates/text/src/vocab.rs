@@ -41,7 +41,8 @@ impl Vocab {
                 *freq.entry(tok.as_ref()).or_insert(0) += 1;
             }
         }
-        let mut items: Vec<(&str, u64)> = freq.into_iter().filter(|&(_, c)| c >= min_count).collect();
+        let mut items: Vec<(&str, u64)> =
+            freq.into_iter().filter(|&(_, c)| c >= min_count).collect();
         // Deterministic order: by count desc, then token.
         items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         let mut v = Vocab::new();

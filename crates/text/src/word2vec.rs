@@ -30,7 +30,14 @@ pub struct Word2VecConfig {
 
 impl Default for Word2VecConfig {
     fn default() -> Self {
-        Word2VecConfig { dim: 32, window: 3, negatives: 5, epochs: 5, lr: 0.025, seed: 17 }
+        Word2VecConfig {
+            dim: 32,
+            window: 3,
+            negatives: 5,
+            epochs: 5,
+            lr: 0.025,
+            seed: 17,
+        }
     }
 }
 
@@ -88,7 +95,13 @@ pub(crate) struct NegativeTable {
 impl NegativeTable {
     pub(crate) fn new(vocab: &Vocab, size: usize) -> Self {
         let mut weights: Vec<f64> = (0..vocab.len())
-            .map(|i| if i == UNK { 0.0 } else { (vocab.count(i) as f64).powf(0.75) })
+            .map(|i| {
+                if i == UNK {
+                    0.0
+                } else {
+                    (vocab.count(i) as f64).powf(0.75)
+                }
+            })
             .collect();
         let total: f64 = weights.iter().sum();
         if total == 0.0 {
@@ -123,7 +136,9 @@ pub fn train(vocab: &Vocab, sentences: &[Vec<TokenId>], cfg: &Word2VecConfig) ->
     let v = vocab.len();
     let d = cfg.dim;
     let mut rng = alicoco_nn::util::seeded_rng(cfg.seed);
-    let mut input: Vec<f32> = (0..v * d).map(|_| (rng.gen::<f32>() - 0.5) / d as f32).collect();
+    let mut input: Vec<f32> = (0..v * d)
+        .map(|_| (rng.gen::<f32>() - 0.5) / d as f32)
+        .collect();
     let mut output: Vec<f32> = vec![0.0; v * d];
     let neg_table = NegativeTable::new(vocab, 10_000.max(v * 4));
 
@@ -177,7 +192,9 @@ pub fn train(vocab: &Vocab, sentences: &[Vec<TokenId>], cfg: &Word2VecConfig) ->
             }
         }
     }
-    WordVectors { vectors: Tensor::from_vec(v, d, input) }
+    WordVectors {
+        vectors: Tensor::from_vec(v, d, input),
+    }
 }
 
 #[cfg(test)]
@@ -214,7 +231,11 @@ mod tests {
     #[test]
     fn cooccurring_words_are_closer() {
         let (vocab, sents) = toy_corpus();
-        let cfg = Word2VecConfig { dim: 16, epochs: 12, ..Default::default() };
+        let cfg = Word2VecConfig {
+            dim: 16,
+            epochs: 12,
+            ..Default::default()
+        };
         let wv = train(&vocab, &sents, &cfg);
         let grill = vocab.get("grill").unwrap();
         let charcoal = vocab.get("charcoal").unwrap();
@@ -230,7 +251,11 @@ mod tests {
     #[test]
     fn nearest_returns_topic_mates() {
         let (vocab, sents) = toy_corpus();
-        let cfg = Word2VecConfig { dim: 16, epochs: 12, ..Default::default() };
+        let cfg = Word2VecConfig {
+            dim: 16,
+            epochs: 12,
+            ..Default::default()
+        };
         let wv = train(&vocab, &sents, &cfg);
         let grill = vocab.get("grill").unwrap();
         let nearest = wv.nearest(grill, 4);
@@ -238,14 +263,21 @@ mod tests {
             .iter()
             .map(|t| vocab.get(t).unwrap())
             .collect();
-        let hits = nearest.iter().filter(|(id, _)| barbecue_topic.contains(id)).count();
+        let hits = nearest
+            .iter()
+            .filter(|(id, _)| barbecue_topic.contains(id))
+            .count();
         assert!(hits >= 3, "nearest neighbours of grill were {nearest:?}");
     }
 
     #[test]
     fn training_is_deterministic_per_seed() {
         let (vocab, sents) = toy_corpus();
-        let cfg = Word2VecConfig { dim: 8, epochs: 2, ..Default::default() };
+        let cfg = Word2VecConfig {
+            dim: 8,
+            epochs: 2,
+            ..Default::default()
+        };
         let a = train(&vocab, &sents, &cfg);
         let b = train(&vocab, &sents, &cfg);
         assert_eq!(a.vectors.data(), b.vectors.data());

@@ -34,26 +34,45 @@ fn main() {
     // ---- §4.1 vocabulary mining -----------------------------------------
     println!("== §4.1 vocabulary mining (BiLSTM-CRF + distant supervision) ==");
     let (known, heldout) = KnownLexicon::sample(&ds, 0.7, &mut rng);
-    println!("known vocabulary: {} surfaces; held out: {}", known.len(), heldout.len());
+    println!(
+        "known vocabulary: {} surfaces; held out: {}",
+        known.len(),
+        heldout.len()
+    );
     let sentences: Vec<Vec<String>> = ds.corpora.all_sentences().cloned().collect();
     let train = distant_supervision(&known, &sentences, 600);
     println!("perfectly-matched training sentences: {}", train.len());
-    let mut miner = VocabMiner::new(&res, VocabMinerConfig { epochs: 3, ..Default::default() });
+    let mut miner = VocabMiner::new(
+        &res,
+        VocabMinerConfig {
+            epochs: 3,
+            ..Default::default()
+        },
+    );
     miner.train(&res, &train, &mut rng);
     let cands = mine_candidates(&miner, &res, &known, &sentences);
-    let (accepted, report) = verify_candidates(&cands, &oracle, &heldout, &corpus_surfaces(&sentences));
+    let (accepted, report) =
+        verify_candidates(&cands, &oracle, &heldout, &corpus_surfaces(&sentences));
     println!(
         "mined {} candidates; oracle accepted {} (precision {:.2}, held-out recall {:.2})",
         report.candidates, report.accepted, report.precision, report.heldout_recall
     );
     for c in accepted.iter().take(5) {
-        println!("  new primitive: <{}: {}> (seen {} times)", c.domain.name(), c.surface, c.count);
+        println!(
+            "  new primitive: <{}: {}> (seen {} times)",
+            c.domain.name(),
+            c.surface,
+            c.count
+        );
     }
 
     // ---- §4.2 hypernym discovery ------------------------------------------
     println!("\n== §4.2 hypernym discovery (patterns + projection + UCS) ==");
     let pairs = pattern_based_pairs(&ds);
-    println!("pattern-based isA pairs (Hearst + head-word): {}", pairs.len());
+    println!(
+        "pattern-based isA pairs (Hearst + head-word): {}",
+        pairs.len()
+    );
     for (c, h) in pairs.iter().take(3) {
         println!("  {c} isA {h}");
     }
@@ -76,16 +95,38 @@ fn main() {
     // ---- §5.2 concept classification ----------------------------------------
     println!("\n== §5.2 e-commerce concept classification (knowledge-enhanced Wide&Deep) ==");
     let (cls_train, _, cls_test) = classification_splits(&ds, &mut rng);
-    let mut classifier =
-        ConceptClassifier::new(&res, ClassifierConfig { epochs: 6, ..ClassifierConfig::full() });
+    let mut classifier = ConceptClassifier::new(
+        &res,
+        ClassifierConfig {
+            epochs: 6,
+            ..ClassifierConfig::full()
+        },
+    );
     classifier.train(&res, &cls_train, &mut rng);
     let m = classifier.evaluate(&res, &cls_test);
-    println!("test precision {:.3}, accuracy {:.3}", m.precision, m.accuracy);
+    println!(
+        "test precision {:.3}, accuracy {:.3}",
+        m.precision, m.accuracy
+    );
     for probe in [
-        vec!["warm".to_string(), "hat".to_string(), "for".to_string(), "traveling".to_string()],
-        vec!["warm".to_string(), "boots".to_string(), "for".to_string(), "swimming".to_string()],
+        vec![
+            "warm".to_string(),
+            "hat".to_string(),
+            "for".to_string(),
+            "traveling".to_string(),
+        ],
+        vec![
+            "warm".to_string(),
+            "boots".to_string(),
+            "for".to_string(),
+            "swimming".to_string(),
+        ],
     ] {
-        println!("  score({}) = {:.3}", probe.join(" "), classifier.score(&res, &probe));
+        println!(
+            "  score({}) = {:.3}",
+            probe.join(" "),
+            classifier.score(&res, &probe)
+        );
     }
 
     // ---- §5.3 concept tagging --------------------------------------------
@@ -99,20 +140,37 @@ fn main() {
         .flat_map(|e| e.tokens.iter().cloned())
         .collect();
     let ctx = ContextIndex::build(&res, &ds, words.iter().map(String::as_str), 3);
-    let mut tagger = ConceptTagger::new(&res, TaggerConfig { epochs: 2, ..TaggerConfig::full() });
+    let mut tagger = ConceptTagger::new(
+        &res,
+        TaggerConfig {
+            epochs: 2,
+            ..TaggerConfig::full()
+        },
+    );
     tagger.train(&res, &ctx, &amb, &tag_train, &mut rng);
     let tm = tagger.evaluate(&res, &ctx, &tag_test);
     println!("span F1 {:.3}", tm.f1);
     let probe: Vec<String> = vec!["village".into(), "skirt".into()];
     let labels = tagger.tag(&res, &ctx, &probe);
     for (start, len, domain) in alicoco_mining::tagging::spans(&labels) {
-        println!("  \"{}\" -> <{}: {}>", probe.join(" "), domain.name(), probe[start..start + len].join(" "));
+        println!(
+            "  \"{}\" -> <{}: {}>",
+            probe.join(" "),
+            domain.name(),
+            probe[start..start + len].join(" ")
+        );
     }
 
     // ---- §6 item association -----------------------------------------------
     println!("\n== §6 concept-item association (knowledge-aware matching) ==");
     let match_data = build_matching_dataset(&ds, &MatchingDataConfig::default());
-    let mut matcher = OursMatcher::new(&res, OursConfig { epochs: 2, ..Default::default() });
+    let mut matcher = OursMatcher::new(
+        &res,
+        OursConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+    );
     matcher.train(&res, &match_data, &mut rng);
     let mm = evaluate_matcher(&match_data, |c, i| matcher.score(&res, &match_data, c, i));
     println!("AUC {:.3}, F1 {:.3}, P@10 {:.3}", mm.auc, mm.f1, mm.p_at_10);

@@ -39,7 +39,10 @@ fn main() {
         }
         None => {
             println!("A: I couldn't map that question to a shopping scenario.");
-            println!("   (content words: {:?})", ScenarioQa::content_words(&question));
+            println!(
+                "   (content words: {:?})",
+                ScenarioQa::content_words(&question)
+            );
         }
     }
 

@@ -61,14 +61,21 @@ fn main() {
         let senses = kg.primitives_by_name(name);
         let domains: Vec<String> = senses
             .iter()
-            .map(|&p| kg.class(kg.class_domain(kg.primitive(p).class)).name.clone())
+            .map(|&p| {
+                kg.class(kg.class_domain(kg.primitive(p).class))
+                    .name
+                    .clone()
+            })
             .collect();
         println!("  {name:?} has {} sense(s): {domains:?}", senses.len());
     }
 
     // 6. Coverage of user needs (§7.1).
     let cov = evaluate(&FullVocabulary::new(&kg), &ds.corpora.queries);
-    println!("\n== coverage ==\n  word coverage over queries: {:.1}%", cov.word_coverage * 100.0);
+    println!(
+        "\n== coverage ==\n  word coverage over queries: {:.1}%",
+        cov.word_coverage * 100.0
+    );
 
     // 7. Persist and reload.
     let mut buf = Vec::new();

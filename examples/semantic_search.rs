@@ -11,7 +11,9 @@ use alicoco_corpus::Dataset;
 use alicoco_mining::pipeline::{build_alicoco, PipelineConfig};
 
 fn main() {
-    let query = std::env::args().nth(1).unwrap_or_else(|| "barbecue outdoor".to_string());
+    let query = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "barbecue outdoor".to_string());
     println!("building AliCoCo (tiny world)...");
     let ds = Dataset::tiny();
     let (kg, _) = build_alicoco(&ds, &PipelineConfig::default());
@@ -28,7 +30,10 @@ fn main() {
         return;
     }
     for card in cards {
-        println!("┌─ concept card: \"{}\"  (match {:.2})", card.name, card.score);
+        println!(
+            "┌─ concept card: \"{}\"  (match {:.2})",
+            card.name, card.score
+        );
         for (domain, surface) in &card.interpretation {
             println!("│  <{domain}: {surface}>");
         }

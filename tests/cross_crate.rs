@@ -38,12 +38,24 @@ fn paper_motivating_examples_work_against_the_world() {
     // it must be implausible.
     assert!(!judge_tokens(w, &[s("indoor"), s("barbecue")]));
     // "warm hat for traveling" good / "warm shoes for swimming" bad.
-    assert!(judge_tokens(w, &[s("warm"), s("hat"), s("for"), s("traveling")]));
-    assert!(!judge_tokens(w, &[s("warm"), s("boots"), s("for"), s("swimming")]));
+    assert!(judge_tokens(
+        w,
+        &[s("warm"), s("hat"), s("for"), s("traveling")]
+    ));
+    assert!(!judge_tokens(
+        w,
+        &[s("warm"), s("boots"), s("for"), s("swimming")]
+    ));
     // "christmas gifts for grandpa".
-    assert!(judge_tokens(w, &[s("christmas"), s("gifts"), s("for"), s("grandpa")]));
+    assert!(judge_tokens(
+        w,
+        &[s("christmas"), s("gifts"), s("for"), s("grandpa")]
+    ));
     // Scrambled word order is incoherent.
-    assert!(!judge_tokens(w, &[s("for"), s("grandpa"), s("christmas"), s("gifts")]));
+    assert!(!judge_tokens(
+        w,
+        &[s("for"), s("grandpa"), s("christmas"), s("gifts")]
+    ));
     // "blue sky" has no e-commerce meaning.
     assert!(!judge_tokens(w, &[s("blue"), s("sky")]));
 }
@@ -54,8 +66,11 @@ fn hearst_extraction_on_generated_guides_matches_taxonomy() {
     let refs: Vec<&[String]> = ds.corpora.guides.iter().map(|v| v.as_slice()).collect();
     let pairs = hearst::extract_from_corpus(refs.iter().copied());
     assert!(pairs.len() > 20);
-    let resolve =
-        |n: &str| ds.world.category(n).or_else(|| ds.world.category(&n.replace('-', " ")));
+    let resolve = |n: &str| {
+        ds.world
+            .category(n)
+            .or_else(|| ds.world.category(&n.replace('-', " ")))
+    };
     let mut ok = 0;
     let mut total = 0;
     for p in &pairs {
@@ -120,12 +135,18 @@ fn gloss_similarity_reflects_world_compatibility() {
         ("non-stick", "skiing"),
     ];
     let avg = |pairs: &[(&str, &str)]| {
-        pairs.iter().map(|&(a, b)| res.gloss_similarity(a, b) as f64).sum::<f64>()
+        pairs
+            .iter()
+            .map(|&(a, b)| res.gloss_similarity(a, b) as f64)
+            .sum::<f64>()
             / pairs.len() as f64
     };
     let pos = avg(&compatible);
     let neg = avg(&incompatible);
-    assert!(pos > neg + 0.05, "gloss similarity uninformative: pos {pos} vs neg {neg}");
+    assert!(
+        pos > neg + 0.05,
+        "gloss similarity uninformative: pos {pos} vs neg {neg}"
+    );
 }
 
 #[test]
@@ -163,7 +184,13 @@ fn word2vec_learns_event_gear_proximity() {
     // The reviews tie events to their gear; embeddings must reflect it at
     // least directionally for the projection model to work.
     let ds = dataset();
-    let res = Resources::build(&ds, ResourcesConfig { word_epochs: 5, ..Default::default() });
+    let res = Resources::build(
+        &ds,
+        ResourcesConfig {
+            word_epochs: 5,
+            ..Default::default()
+        },
+    );
     let sim = |a: &str, b: &str| {
         let (Some(x), Some(y)) = (res.vocab.get(a), res.vocab.get(b)) else {
             return 0.0;

@@ -19,11 +19,26 @@ fn build() -> &'static (Dataset, alicoco::AliCoCo) {
     BUILT.get_or_init(|| {
         let ds = Dataset::tiny();
         let cfg = PipelineConfig {
-            miner: VocabMinerConfig { epochs: 2, ..Default::default() },
-            projection: ProjectionConfig { epochs: 3, ..Default::default() },
-            classifier: ClassifierConfig { epochs: 5, ..ClassifierConfig::full() },
-            tagger: TaggerConfig { epochs: 2, ..TaggerConfig::full() },
-            matcher: OursConfig { epochs: 1, ..Default::default() },
+            miner: VocabMinerConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+            projection: ProjectionConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+            classifier: ClassifierConfig {
+                epochs: 5,
+                ..ClassifierConfig::full()
+            },
+            tagger: TaggerConfig {
+                epochs: 2,
+                ..TaggerConfig::full()
+            },
+            matcher: OursConfig {
+                epochs: 1,
+                ..Default::default()
+            },
             pattern_candidates: 150,
             item_candidates: 15,
             ..Default::default()
@@ -46,13 +61,20 @@ fn full_pipeline_supports_applications() {
     assert!(stats.item_primitive_links > 500);
     assert!(stats.item_concept_links > 50);
     assert!(stats.concept_primitive_links > 10);
-    assert!(stats.item_linkage > 0.9, "items should be linked to the net: {}", stats.item_linkage);
+    assert!(
+        stats.item_linkage > 0.9,
+        "items should be linked to the net: {}",
+        stats.item_linkage
+    );
 
     // §7.1: the full vocabulary covers user queries better than the CPV
     // baseline ontology.
     let queries: Vec<Vec<String>> = ds.corpora.queries.iter().take(500).cloned().collect();
     let full = evaluate(&FullVocabulary::new(kg), &queries);
-    let cpv = evaluate(&CpvVocabulary::new(kg, &["Category", "Brand", "Color", "Material"]), &queries);
+    let cpv = evaluate(
+        &CpvVocabulary::new(kg, &["Category", "Brand", "Color", "Material"]),
+        &queries,
+    );
     assert!(
         full.word_coverage > cpv.word_coverage + 0.1,
         "coverage gap missing: full {} vs cpv {}",
@@ -129,11 +151,13 @@ fn built_net_is_structurally_valid_and_serves_applications() {
     let (_, kg) = build();
     // The construction pipeline must emit a consistent graph.
     let violations = alicoco::validate::validate(kg);
-    assert!(violations.is_empty(), "pipeline output invalid: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "pipeline output invalid: {violations:?}"
+    );
 
     // §8.1 semantic search on the real build.
-    let engine =
-        alicoco_apps::SemanticSearch::new(kg, alicoco_apps::SearchConfig::default());
+    let engine = alicoco_apps::SemanticSearch::new(kg, alicoco_apps::SearchConfig::default());
     let stocked = kg
         .concept_ids()
         .find(|&c| !kg.concept(c).items.is_empty())
@@ -149,10 +173,7 @@ fn built_net_is_structurally_valid_and_serves_applications() {
         .filter(|&i| !kg.concepts_for_item(i).is_empty())
         .take(2)
         .collect();
-    let rec = alicoco_apps::CognitiveRecommender::new(
-        kg,
-        alicoco_apps::RecommendConfig::default(),
-    );
+    let rec = alicoco_apps::CognitiveRecommender::new(kg, alicoco_apps::RecommendConfig::default());
     let out = rec.recommend(&history);
     assert!(!out.is_empty(), "no recommendations from linked history");
     // Reasons render to non-empty text.
@@ -173,7 +194,11 @@ fn implied_relations_can_be_mined_from_the_built_net() {
     let (_, kg) = build();
     let rules = alicoco::infer::mine_implications(
         kg,
-        &alicoco::infer::InferConfig { min_support: 2, min_confidence: 0.5, min_lift: 1.2 },
+        &alicoco::infer::InferConfig {
+            min_support: 2,
+            min_confidence: 0.5,
+            min_lift: 1.2,
+        },
     );
     // The tiny build may or may not surface rules; the contract is that all
     // returned rules satisfy the thresholds and cross class boundaries.
@@ -181,6 +206,9 @@ fn implied_relations_can_be_mined_from_the_built_net() {
         assert!(r.support >= 2);
         assert!(r.confidence >= 0.5);
         assert!(r.lift >= 1.2);
-        assert_ne!(kg.primitive(r.antecedent).class, kg.primitive(r.consequent).class);
+        assert_ne!(
+            kg.primitive(r.antecedent).class,
+            kg.primitive(r.consequent).class
+        );
     }
 }

@@ -18,10 +18,10 @@ struct GraphSpec {
     classes: usize,
     primitives: Vec<(u8, u8)>, // (name id, class index)
     concepts: usize,
-    items: usize,
+    items: Vec<bool>, // per item: does it get an EMPTY title?
     prim_is_a: Vec<(u8, u8)>,
     concept_prims: Vec<(u8, u8)>,
-    concept_items: Vec<(u8, u8, u8)>, // weight in 0..=100
+    concept_items: Vec<(u8, u8, u8)>, // weight in 0..=100 (0 is legal)
 }
 
 fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
@@ -29,14 +29,24 @@ fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
         2usize..6,
         prop::collection::vec((0u8..20, 0u8..5), 1..15),
         1usize..6,
-        1usize..8,
+        prop::collection::vec(any::<bool>(), 1..8),
         prop::collection::vec((0u8..15, 0u8..15), 0..10),
         prop::collection::vec((0u8..6, 0u8..15), 0..10),
         prop::collection::vec((0u8..6, 0u8..8, 0u8..=100), 0..10),
     )
-        .prop_map(|(classes, primitives, concepts, items, prim_is_a, concept_prims, concept_items)| {
-            GraphSpec { classes, primitives, concepts, items, prim_is_a, concept_prims, concept_items }
-        })
+        .prop_map(
+            |(classes, primitives, concepts, items, prim_is_a, concept_prims, concept_items)| {
+                GraphSpec {
+                    classes,
+                    primitives,
+                    concepts,
+                    items,
+                    prim_is_a,
+                    concept_prims,
+                    concept_items,
+                }
+            },
+        )
 }
 
 fn build_graph(spec: &GraphSpec) -> AliCoCo {
@@ -56,8 +66,13 @@ fn build_graph(spec: &GraphSpec) -> AliCoCo {
         concepts.push(kg.add_concept(&format!("concept {i}")));
     }
     let mut items = Vec::new();
-    for i in 0..spec.items {
-        items.push(kg.add_item(&[format!("item{i}"), "title".to_string()]));
+    for (i, &empty_title) in spec.items.iter().enumerate() {
+        let title: Vec<String> = if empty_title {
+            Vec::new()
+        } else {
+            vec![format!("item{i}"), "title".to_string()]
+        };
+        items.push(kg.add_item(&title));
     }
     for &(a, b) in &spec.prim_is_a {
         let a = prims[(a as usize) % prims.len()];
@@ -95,6 +110,14 @@ proptest! {
         prop_assert_eq!(a.num_concepts, b.num_concepts);
         prop_assert_eq!(a.num_items, b.num_items);
         prop_assert_eq!(a.total_relations(), b.total_relations());
+        // Exact node/edge payloads survive: item titles (including empty
+        // ones) and concept->item weights (including 0.0).
+        for i in kg.item_ids() {
+            prop_assert_eq!(&kg.item(i).title, &loaded.item(i).title);
+        }
+        for c in kg.concept_ids() {
+            prop_assert_eq!(&kg.concept(c).items, &loaded.concept(c).items);
+        }
         // Saving again yields identical bytes (canonical form).
         let mut buf2 = Vec::new();
         alicoco::snapshot::save(&loaded, &mut buf2).unwrap();

@@ -4,9 +4,13 @@
 
 use alicoco_corpus::Dataset;
 use alicoco_mining::congen::{classification_splits, ClassifierConfig, ConceptClassifier};
-use alicoco_mining::matching::{build_matching_dataset, MatchingDataConfig, OursConfig, OursMatcher};
+use alicoco_mining::matching::{
+    build_matching_dataset, MatchingDataConfig, OursConfig, OursMatcher,
+};
 use alicoco_mining::resources::{Resources, ResourcesConfig};
-use alicoco_mining::vocab_mining::{distant_supervision, KnownLexicon, VocabMiner, VocabMinerConfig};
+use alicoco_mining::vocab_mining::{
+    distant_supervision, KnownLexicon, VocabMiner, VocabMinerConfig,
+};
 use alicoco_nn::persist;
 use alicoco_nn::util::seeded_rng;
 
@@ -21,8 +25,13 @@ fn classifier_roundtrips_through_persistence() {
     let (ds, res) = setup();
     let mut rng = seeded_rng(1);
     let (train, _, test) = classification_splits(&ds, &mut rng);
-    let mut trained =
-        ConceptClassifier::new(&res, ClassifierConfig { epochs: 2, ..ClassifierConfig::full() });
+    let mut trained = ConceptClassifier::new(
+        &res,
+        ClassifierConfig {
+            epochs: 2,
+            ..ClassifierConfig::full()
+        },
+    );
     trained.train(&res, &train, &mut rng);
     let mut buf = Vec::new();
     persist::save(trained.params(), &mut buf).expect("save");
@@ -30,14 +39,22 @@ fn classifier_roundtrips_through_persistence() {
     // A fresh model with a *different* seed scores differently...
     let fresh = ConceptClassifier::new(
         &res,
-        ClassifierConfig { epochs: 2, seed: 999, ..ClassifierConfig::full() },
+        ClassifierConfig {
+            epochs: 2,
+            seed: 999,
+            ..ClassifierConfig::full()
+        },
     );
     let probe = &test[0].0;
     assert_ne!(trained.score(&res, probe), fresh.score(&res, probe));
     // ...until the trained weights are loaded.
     persist::load(fresh.params(), &mut buf.as_slice()).expect("load");
     for (tokens, _) in test.iter().take(20) {
-        assert_eq!(trained.score(&res, tokens), fresh.score(&res, tokens), "{tokens:?}");
+        assert_eq!(
+            trained.score(&res, tokens),
+            fresh.score(&res, tokens),
+            "{tokens:?}"
+        );
     }
 }
 
@@ -48,12 +65,24 @@ fn miner_roundtrips_through_persistence() {
     let (known, _) = KnownLexicon::sample(&ds, 0.7, &mut rng);
     let sentences: Vec<Vec<String>> = ds.corpora.all_sentences().cloned().collect();
     let data = distant_supervision(&known, &sentences, 150);
-    let mut trained = VocabMiner::new(&res, VocabMinerConfig { epochs: 1, ..Default::default() });
+    let mut trained = VocabMiner::new(
+        &res,
+        VocabMinerConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+    );
     trained.train(&res, &data, &mut rng);
     let mut buf = Vec::new();
     persist::save(trained.params(), &mut buf).expect("save");
 
-    let fresh = VocabMiner::new(&res, VocabMinerConfig { seed: 31337, ..Default::default() });
+    let fresh = VocabMiner::new(
+        &res,
+        VocabMinerConfig {
+            seed: 31337,
+            ..Default::default()
+        },
+    );
     persist::load(fresh.params(), &mut buf.as_slice()).expect("load");
     for sent in sentences.iter().take(20) {
         assert_eq!(trained.tag(&res, sent), fresh.tag(&res, sent));
@@ -65,12 +94,24 @@ fn matcher_roundtrips_through_persistence() {
     let (ds, res) = setup();
     let mut rng = seeded_rng(3);
     let data = build_matching_dataset(&ds, &MatchingDataConfig::default());
-    let mut trained = OursMatcher::new(&res, OursConfig { epochs: 1, ..Default::default() });
+    let mut trained = OursMatcher::new(
+        &res,
+        OursConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+    );
     trained.train(&res, &data, &mut rng);
     let mut buf = Vec::new();
     persist::save(trained.params(), &mut buf).expect("save");
 
-    let fresh = OursMatcher::new(&res, OursConfig { seed: 4242, ..Default::default() });
+    let fresh = OursMatcher::new(
+        &res,
+        OursConfig {
+            seed: 4242,
+            ..Default::default()
+        },
+    );
     persist::load(fresh.params(), &mut buf.as_slice()).expect("load");
     for &(c, i, _) in data.test.iter().take(20) {
         assert_eq!(
@@ -86,14 +127,23 @@ fn mismatched_architectures_are_rejected() {
     let (_, res) = setup();
     let small = ConceptClassifier::new(
         &res,
-        ClassifierConfig { word_hidden: 8, ..ClassifierConfig::full() },
+        ClassifierConfig {
+            word_hidden: 8,
+            ..ClassifierConfig::full()
+        },
     );
     let big = ConceptClassifier::new(
         &res,
-        ClassifierConfig { word_hidden: 16, ..ClassifierConfig::full() },
+        ClassifierConfig {
+            word_hidden: 16,
+            ..ClassifierConfig::full()
+        },
     );
     let mut buf = Vec::new();
     persist::save(small.params(), &mut buf).expect("save");
     let err = persist::load(big.params(), &mut buf.as_slice()).unwrap_err();
-    assert!(matches!(err, persist::LoadError::ShapeMismatch { .. }), "got {err:?}");
+    assert!(
+        matches!(err, persist::LoadError::ShapeMismatch { .. }),
+        "got {err:?}"
+    );
 }
