@@ -23,23 +23,23 @@ fn bench_pipeline(c: &mut Criterion) {
 
     let fast = PipelineConfig {
         miner: VocabMinerConfig {
-            epochs: 1,
+            train: VocabMinerConfig::default().train.with_epochs(1),
             ..Default::default()
         },
         projection: ProjectionConfig {
-            epochs: 2,
+            train: ProjectionConfig::default().train.with_epochs(2),
             ..Default::default()
         },
         classifier: ClassifierConfig {
-            epochs: 3,
+            train: ClassifierConfig::full().train.with_epochs(3),
             ..ClassifierConfig::full()
         },
         tagger: TaggerConfig {
-            epochs: 1,
+            train: TaggerConfig::full().train.with_epochs(1),
             ..TaggerConfig::full()
         },
         matcher: OursConfig {
-            epochs: 1,
+            train: OursConfig::default().train.with_epochs(1),
             ..Default::default()
         },
         pattern_candidates: 100,

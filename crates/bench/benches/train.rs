@@ -1,0 +1,201 @@
+//! Training throughput of the five construction models through the shared
+//! `nn::train::Trainer`, comparing 1 worker against N workers on the same
+//! batched configuration. Before anything is timed, the final parameters of
+//! both runs are asserted byte-identical — the engine's determinism
+//! contract — so any speedup never comes from result drift. Emits
+//! `BENCH_train.json` at the workspace root with examples/sec per model.
+
+use alicoco_corpus::Dataset;
+use alicoco_mining::congen::{classification_splits, ClassifierConfig, ConceptClassifier};
+use alicoco_mining::hypernym::{HypernymDataset, ProjectionConfig, ProjectionModel};
+use alicoco_mining::matching::{
+    build_matching_dataset, MatchingDataConfig, OursConfig, OursMatcher,
+};
+use alicoco_mining::resources::{Resources, ResourcesConfig};
+use alicoco_mining::tagging::{
+    tagging_splits, AmbiguityIndex, ConceptTagger, ContextIndex, TaggerConfig,
+};
+use alicoco_mining::vocab_mining::{
+    distant_supervision, KnownLexicon, VocabMiner, VocabMinerConfig,
+};
+use alicoco_nn::util::seeded_rng;
+use alicoco_nn::{Tensor, TrainConfig};
+use std::time::Instant;
+
+const SEED: u64 = 20200614;
+const BATCH: usize = 8;
+
+/// One timed training run: returns (examples_trained_per_epoch, secs, params).
+struct Run {
+    examples: usize,
+    epochs: usize,
+    secs: f64,
+    params: Vec<Tensor>,
+}
+
+struct ModelResult {
+    name: &'static str,
+    base: Run,
+    par: Run,
+}
+
+fn sharded(train: TrainConfig, workers: usize) -> TrainConfig {
+    train.with_batch_size(BATCH).with_workers(workers)
+}
+
+fn time_run(examples: usize, epochs: usize, f: impl FnOnce() -> Vec<Tensor>) -> Run {
+    let t = Instant::now();
+    let params = f();
+    Run {
+        examples,
+        epochs,
+        secs: t.elapsed().as_secs_f64(),
+        params,
+    }
+}
+
+fn bench_model(name: &'static str, workers: usize, run_with: impl Fn(usize) -> Run) -> ModelResult {
+    let base = run_with(1);
+    let par = run_with(workers);
+    for (a, b) in base.params.iter().zip(&par.params) {
+        assert_eq!(
+            a.data(),
+            b.data(),
+            "{name}: parameters diverged between 1 and {workers} workers"
+        );
+    }
+    println!(
+        "train/{name}: {:.0} ex/s @ 1 worker, {:.0} ex/s @ {workers} workers ({:.2}x), parity OK",
+        base.rate(),
+        par.rate(),
+        base.secs / par.secs.max(1e-9),
+    );
+    ModelResult { name, base, par }
+}
+
+impl Run {
+    fn rate(&self) -> f64 {
+        (self.examples * self.epochs) as f64 / self.secs.max(1e-9)
+    }
+}
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1)
+        .max(2);
+    let ds = Dataset::tiny();
+    let res = Resources::build(&ds, ResourcesConfig::default());
+
+    // Shared datasets, built once with a fixed seed so both runs of each
+    // model train on identical examples.
+    let mut rng = seeded_rng(SEED);
+    let (known, _) = KnownLexicon::sample(&ds, 0.75, &mut rng);
+    let sentences: Vec<Vec<String>> = ds.corpora.all_sentences().cloned().collect();
+    let miner_data = distant_supervision(&known, &sentences, 300);
+
+    let mut rng = seeded_rng(SEED);
+    let hyp_data = HypernymDataset::build(&ds, &res, &mut rng);
+    let triples = hyp_data.labeled_pairs(&hyp_data.train_pos, 6, &mut rng);
+
+    let mut rng = seeded_rng(SEED);
+    let cls_data = classification_splits(&ds, &mut rng).0;
+
+    let mut rng = seeded_rng(SEED);
+    let (tag_data, _, _) = tagging_splits(&ds, &mut rng);
+    let amb = AmbiguityIndex::build(&ds);
+    let ctx_words: Vec<String> = tag_data
+        .iter()
+        .flat_map(|e| e.tokens.iter().cloned())
+        .collect();
+    let ctx = ContextIndex::build(&res, &ds, ctx_words.iter().map(String::as_str), 3);
+
+    let match_data = build_matching_dataset(&ds, &MatchingDataConfig::default());
+
+    let results = [
+        bench_model("vocab_miner", workers, |w| {
+            let cfg = VocabMinerConfig {
+                train: sharded(VocabMinerConfig::default().train.with_epochs(1), w),
+                ..Default::default()
+            };
+            let mut rng = seeded_rng(SEED);
+            let mut m = VocabMiner::new(&res, cfg);
+            time_run(miner_data.len(), 1, || {
+                m.train(&res, &miner_data, &mut rng);
+                m.params().snapshot()
+            })
+        }),
+        bench_model("hypernym_projection", workers, |w| {
+            let cfg = ProjectionConfig {
+                train: sharded(ProjectionConfig::default().train.with_epochs(2), w),
+                ..Default::default()
+            };
+            let mut rng = seeded_rng(SEED);
+            let mut m = ProjectionModel::new(res.word_vectors.dim(), cfg);
+            time_run(triples.len(), 2, || {
+                m.train(&hyp_data, &triples, &mut rng);
+                m.params().snapshot()
+            })
+        }),
+        bench_model("concept_classifier", workers, |w| {
+            let cfg = ClassifierConfig {
+                train: sharded(ClassifierConfig::full().train.with_epochs(2), w),
+                ..ClassifierConfig::full()
+            };
+            let mut rng = seeded_rng(SEED);
+            let mut m = ConceptClassifier::new(&res, cfg);
+            time_run(cls_data.len(), 2, || {
+                m.train(&res, &cls_data, &mut rng);
+                m.params().snapshot()
+            })
+        }),
+        bench_model("concept_tagger", workers, |w| {
+            let cfg = TaggerConfig {
+                train: sharded(TaggerConfig::full().train.with_epochs(1), w),
+                ..TaggerConfig::full()
+            };
+            let mut rng = seeded_rng(SEED);
+            let mut m = ConceptTagger::new(&res, cfg);
+            time_run(tag_data.len(), 1, || {
+                m.train(&res, &ctx, &amb, &tag_data, &mut rng);
+                m.params().snapshot()
+            })
+        }),
+        bench_model("semantic_matcher", workers, |w| {
+            let cfg = OursConfig {
+                train: sharded(OursConfig::default().train.with_epochs(1), w),
+                ..Default::default()
+            };
+            let mut rng = seeded_rng(SEED);
+            let mut m = OursMatcher::new(&res, cfg);
+            time_run(match_data.train.len(), 1, || {
+                m.train(&res, &match_data, &mut rng);
+                m.params().snapshot()
+            })
+        }),
+    ];
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"batch_size\": {BATCH},\n  \"workers_compared\": [1, {workers}],\n  \"models\": [\n"
+    ));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"examples\": {}, \"epochs\": {}, \
+             \"examples_per_sec_1_worker\": {:.2}, \"examples_per_sec_{}_workers\": {:.2}, \
+             \"speedup\": {:.3}, \"parity\": true}}{}\n",
+            r.name,
+            r.base.examples,
+            r.base.epochs,
+            r.base.rate(),
+            workers,
+            r.par.rate(),
+            r.base.secs / r.par.secs.max(1e-9),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+    std::fs::write(out, &json).expect("write BENCH_train.json");
+    println!("train/summary: wrote {out}");
+}

@@ -177,7 +177,7 @@ fn mining() {
         let mut miner = VocabMiner::new(
             &res,
             VocabMinerConfig {
-                epochs: 3,
+                train: VocabMinerConfig::default().train.with_epochs(3),
                 ..Default::default()
             },
         );
@@ -221,7 +221,7 @@ fn table3_fig9right() {
         patience: 4,
         pool_negative_ratio: 8,
         projection: ProjectionConfig {
-            epochs: 4,
+            train: ProjectionConfig::default().train.with_epochs(4),
             ..Default::default()
         },
         ..Default::default()
@@ -312,7 +312,7 @@ fn fig9left() {
             let mut model = ProjectionModel::new(
                 res.word_vectors.dim(),
                 ProjectionConfig {
-                    epochs: 4,
+                    train: ProjectionConfig::default().train.with_epochs(4),
                     seed: 99 + seed,
                     ..Default::default()
                 },
@@ -370,7 +370,7 @@ fn table4() {
             let mut model = ConceptClassifier::new(
                 &res,
                 ClassifierConfig {
-                    epochs: 10,
+                    train: cfg.train.clone().with_epochs(10),
                     seed: 2020 + seed,
                     ..cfg.clone()
                 },
@@ -446,7 +446,7 @@ fn table5() {
             let mut model = ConceptTagger::new(
                 &res,
                 TaggerConfig {
-                    epochs: 2,
+                    train: cfg.train.clone().with_epochs(2),
                     seed: 31 + seed,
                     ..cfg.clone()
                 },
@@ -528,7 +528,7 @@ fn table6() {
             &res,
             OursConfig {
                 use_knowledge: false,
-                epochs,
+                train: OursConfig::default().train.with_epochs(epochs),
                 ..Default::default()
             },
         );
@@ -542,7 +542,7 @@ fn table6() {
             &res,
             OursConfig {
                 use_knowledge: true,
-                epochs,
+                train: OursConfig::default().train.with_epochs(epochs),
                 ..Default::default()
             },
         );
@@ -570,7 +570,7 @@ fn table1() {
     let mut model = ConceptClassifier::new(
         &res,
         ClassifierConfig {
-            epochs: 8,
+            train: ClassifierConfig::full().train.with_epochs(8),
             ..ClassifierConfig::full()
         },
     );
@@ -877,7 +877,7 @@ fn ablations() {
                 max_rounds: 10,
                 patience: 3,
                 projection: ProjectionConfig {
-                    epochs: 3,
+                    train: ProjectionConfig::default().train.with_epochs(3),
                     ..Default::default()
                 },
                 ..Default::default()
@@ -908,7 +908,7 @@ fn ablations() {
                 max_rounds: 8,
                 patience: 3,
                 projection: ProjectionConfig {
-                    epochs: 3,
+                    train: ProjectionConfig::default().train.with_epochs(3),
                     ..Default::default()
                 },
                 ..Default::default()

@@ -10,7 +10,7 @@ use alicoco_nn::layers::Linear;
 use alicoco_nn::metrics::{ranking_metrics, RankingMetrics};
 use alicoco_nn::param::Param;
 use alicoco_nn::util::{FxHashMap, FxHashSet};
-use alicoco_nn::{Adam, Graph, NodeId, Optimizer, ParamSet, Tensor};
+use alicoco_nn::{Adam, Graph, NodeId, ParamSet, Tensor, TrainConfig, Trainer};
 use alicoco_text::hearst;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -241,10 +241,8 @@ impl HypernymDataset {
 pub struct ProjectionConfig {
     /// Number of bilinear projection layers `K`.
     pub k: usize,
-    /// Training epochs.
-    pub epochs: usize,
-    /// Learning rate.
-    pub lr: f32,
+    /// Shared training-loop hyper-parameters.
+    pub train: TrainConfig,
     /// Initialization seed.
     pub seed: u64,
 }
@@ -253,8 +251,7 @@ impl Default for ProjectionConfig {
     fn default() -> Self {
         ProjectionConfig {
             k: 4,
-            epochs: 6,
-            lr: 0.02,
+            train: TrainConfig::new(6, 0.02),
             seed: 99,
         }
     }
@@ -324,19 +321,18 @@ impl ProjectionModel {
         triples: &[(usize, usize, f32)],
         rng: &mut impl Rng,
     ) {
-        let mut opt = Adam::new(self.cfg.lr);
-        let mut order: Vec<usize> = (0..triples.len()).collect();
-        for _ in 0..self.cfg.epochs {
-            order.shuffle(rng);
-            for &i in &order {
-                let (p, h, y) = triples[i];
-                let mut g = Graph::new();
-                let l = self.logit(&mut g, &data.vecs[p], &data.vecs[h]);
-                let loss = g.bce_with_logits(l, &[y]);
-                g.backward(loss);
-                opt.step(&self.ps);
-            }
-        }
+        let mut opt = Adam::new(self.cfg.train.lr);
+        let model = &*self;
+        let trainer = Trainer::new(&model.ps, model.cfg.train.clone());
+        trainer.train(
+            &mut opt,
+            triples,
+            |g, &(p, h, y)| {
+                let l = model.logit(g, &data.vecs[p], &data.vecs[h]);
+                Some(g.bce_with_logits(l, &[y]))
+            },
+            rng,
+        );
     }
 
     /// Evaluate ranking metrics over queries.
@@ -617,7 +613,7 @@ mod tests {
         let mut model = ProjectionModel::new(
             data.vecs[0].len(),
             ProjectionConfig {
-                epochs: 4,
+                train: ProjectionConfig::default().train.with_epochs(4),
                 ..Default::default()
             },
         );
@@ -639,7 +635,7 @@ mod tests {
             patience: 2,
             pool_negative_ratio: 5,
             projection: ProjectionConfig {
-                epochs: 3,
+                train: ProjectionConfig::default().train.with_epochs(3),
                 ..Default::default()
             },
             ..Default::default()

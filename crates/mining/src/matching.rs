@@ -12,7 +12,7 @@ use alicoco_nn::conv::Conv1d;
 use alicoco_nn::layers::{Activation, Embedding, Linear, Mlp};
 use alicoco_nn::metrics::{binary_prf, precision_at_k, roc_auc};
 use alicoco_nn::param::Param;
-use alicoco_nn::{Adam, Graph, NodeId, Optimizer, ParamSet, Tensor};
+use alicoco_nn::{Adam, Graph, NodeId, ParamSet, Tensor, TrainConfig, Trainer};
 use alicoco_text::bm25::{Bm25Index, Bm25Params};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -381,8 +381,7 @@ pub struct DssmMatcher {
     tower_c: Mlp,
     tower_i: Mlp,
     scale: Param,
-    epochs: usize,
-    lr: f32,
+    train: TrainConfig,
 }
 
 impl DssmMatcher {
@@ -401,8 +400,7 @@ impl DssmMatcher {
             tower_c,
             tower_i,
             scale,
-            epochs,
-            lr: 0.01,
+            train: TrainConfig::new(epochs, 0.01),
         }
     }
 
@@ -434,8 +432,9 @@ impl DssmMatcher {
 
     /// Train on the given data.
     pub fn train(&mut self, res: &Resources, data: &MatchingDataset, rng: &mut impl Rng) {
-        train_pairwise(&self.ps, self.epochs, self.lr, data, rng, |g, c, t| {
-            self.logit(g, res, c, t)
+        let model = &*self;
+        train_pairwise(&model.ps, &model.train, data, rng, |g, c, t| {
+            model.logit(g, res, c, t)
         });
     }
 
@@ -456,8 +455,7 @@ pub struct MatchPyramidMatcher {
     ps: ParamSet,
     emb: InputEmbedder,
     head: Mlp,
-    epochs: usize,
-    lr: f32,
+    train: TrainConfig,
 }
 
 impl MatchPyramidMatcher {
@@ -471,8 +469,7 @@ impl MatchPyramidMatcher {
             ps,
             emb,
             head,
-            epochs,
-            lr: 0.01,
+            train: TrainConfig::new(epochs, 0.01),
         }
     }
 
@@ -489,8 +486,9 @@ impl MatchPyramidMatcher {
 
     /// Train on the given data.
     pub fn train(&mut self, res: &Resources, data: &MatchingDataset, rng: &mut impl Rng) {
-        train_pairwise(&self.ps, self.epochs, self.lr, data, rng, |g, c, t| {
-            self.logit(g, res, c, t)
+        let model = &*self;
+        train_pairwise(&model.ps, &model.train, data, rng, |g, c, t| {
+            model.logit(g, res, c, t)
         });
     }
 
@@ -512,8 +510,7 @@ pub struct Re2Matcher {
     emb: InputEmbedder,
     fuse: Linear,
     head: Mlp,
-    epochs: usize,
-    lr: f32,
+    train: TrainConfig,
 }
 
 impl Re2Matcher {
@@ -537,8 +534,7 @@ impl Re2Matcher {
             emb,
             fuse,
             head,
-            epochs,
-            lr: 0.01,
+            train: TrainConfig::new(epochs, 0.01),
         }
     }
 
@@ -571,8 +567,9 @@ impl Re2Matcher {
 
     /// Train on the given data.
     pub fn train(&mut self, res: &Resources, data: &MatchingDataset, rng: &mut impl Rng) {
-        train_pairwise(&self.ps, self.epochs, self.lr, data, rng, |g, c, t| {
-            self.logit(g, res, c, t)
+        let model = &*self;
+        train_pairwise(&model.ps, &model.train, data, rng, |g, c, t| {
+            model.logit(g, res, c, t)
         });
     }
 
@@ -604,10 +601,8 @@ pub struct OursConfig {
     pub attn_hidden: usize,
     /// K matching-matrix layers (eq. 16).
     pub k_layers: usize,
-    /// Training epochs.
-    pub epochs: usize,
-    /// Learning rate.
-    pub lr: f32,
+    /// Shared training-loop hyper-parameters.
+    pub train: TrainConfig,
     /// Initialization seed.
     pub seed: u64,
 }
@@ -620,8 +615,7 @@ impl Default for OursConfig {
             conv_channels: 20,
             attn_hidden: 16,
             k_layers: 2,
-            epochs: 3,
-            lr: 0.003,
+            train: TrainConfig::new(3, 0.003),
             seed: 66,
         }
     }
@@ -808,24 +802,19 @@ impl OursMatcher {
         data: &MatchingDataset,
         rng: &mut impl Rng,
     ) -> Vec<f32> {
-        let mut opt = Adam::new(self.cfg.lr);
-        let mut order: Vec<usize> = (0..data.train.len()).collect();
-        let mut losses = Vec::with_capacity(self.cfg.epochs);
-        for _ in 0..self.cfg.epochs {
-            order.shuffle(rng);
-            let mut total = 0.0;
-            for &ix in &order {
-                let (c, i, y) = data.train[ix];
-                let mut g = Graph::new();
-                let l = self.logit(&mut g, res, &data.concepts[c], &data.items[i].title);
-                let loss = g.bce_with_logits(l, &[y]);
-                total += g.value(loss).item();
-                g.backward(loss);
-                opt.step(&self.ps);
-            }
-            losses.push(total / data.train.len().max(1) as f32);
-        }
-        losses
+        let mut opt = Adam::new(self.cfg.train.lr);
+        let model = &*self;
+        let trainer = Trainer::new(&model.ps, model.cfg.train.clone());
+        let stats = trainer.train(
+            &mut opt,
+            &data.train,
+            |g, &(c, i, y)| {
+                let l = model.logit(g, res, &data.concepts[c], &data.items[i].title);
+                Some(g.bce_with_logits(l, &[y]))
+            },
+            rng,
+        );
+        stats.iter().map(|s| s.mean_loss).collect()
     }
 
     /// Score the input.
@@ -853,27 +842,26 @@ fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
-fn train_pairwise(
+fn train_pairwise<F>(
     ps: &ParamSet,
-    epochs: usize,
-    lr: f32,
+    cfg: &TrainConfig,
     data: &MatchingDataset,
     rng: &mut impl Rng,
-    mut logit: impl FnMut(&mut Graph, &[String], &[String]) -> NodeId,
-) {
-    let mut opt = Adam::new(lr);
-    let mut order: Vec<usize> = (0..data.train.len()).collect();
-    for _ in 0..epochs {
-        order.shuffle(rng);
-        for &ix in &order {
-            let (c, i, y) = data.train[ix];
-            let mut g = Graph::new();
-            let l = logit(&mut g, &data.concepts[c].tokens, &data.items[i].title);
-            let loss = g.bce_with_logits(l, &[y]);
-            g.backward(loss);
-            opt.step(ps);
-        }
-    }
+    logit: F,
+) where
+    F: Fn(&mut Graph, &[String], &[String]) -> NodeId + Sync,
+{
+    let mut opt = Adam::new(cfg.lr);
+    let trainer = Trainer::new(ps, cfg.clone());
+    trainer.train(
+        &mut opt,
+        &data.train,
+        |g, &(c, i, y)| {
+            let l = logit(g, &data.concepts[c].tokens, &data.items[i].title);
+            Some(g.bce_with_logits(l, &[y]))
+        },
+        rng,
+    );
 }
 
 #[cfg(test)]
@@ -925,7 +913,7 @@ mod tests {
         let mut ours = OursMatcher::new(
             &res,
             OursConfig {
-                epochs: 2,
+                train: OursConfig::default().train.with_epochs(2),
                 ..Default::default()
             },
         );
@@ -1000,7 +988,7 @@ mod tests {
         let mut ours = OursMatcher::new(
             &res,
             OursConfig {
-                epochs: 2,
+                train: OursConfig::default().train.with_epochs(2),
                 ..Default::default()
             },
         );

@@ -60,6 +60,14 @@ pub struct PipelineConfig {
     pub link_threshold: f32,
     /// Hypernym-model score threshold.
     pub hypernym_threshold: f32,
+    /// Examples per optimizer step for every model trained by the pipeline
+    /// (overrides each sub-config's `train.batch_size`). `1` reproduces the
+    /// historical per-example stepping.
+    pub train_batch: usize,
+    /// Worker threads for every model's training loop (overrides each
+    /// sub-config's `train.workers`). Results are byte-identical for any
+    /// value; more workers only change wall-clock time.
+    pub train_workers: usize,
     /// Master seed for the whole run.
     pub seed: u64,
 }
@@ -78,6 +86,8 @@ impl Default for PipelineConfig {
             item_candidates: 30,
             link_threshold: 0.5,
             hypernym_threshold: 0.7,
+            train_batch: 1,
+            train_workers: 1,
             seed: 20200614,
         }
     }
@@ -112,6 +122,21 @@ pub struct PipelineReport {
 
 /// Run the full pipeline and return the assembled concept net plus report.
 pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineReport) {
+    // Apply the pipeline-wide sharding knobs to every model's training
+    // config. Byte-identical results for any `train_workers` (the trainer's
+    // determinism contract), so parallelism is safe to turn on globally.
+    let mut cfg = cfg.clone();
+    for train in [
+        &mut cfg.miner.train,
+        &mut cfg.projection.train,
+        &mut cfg.classifier.train,
+        &mut cfg.tagger.train,
+        &mut cfg.matcher.train,
+    ] {
+        train.batch_size = cfg.train_batch.max(1);
+        train.workers = cfg.train_workers.max(1);
+    }
+    let cfg = &cfg;
     let mut rng = alicoco_nn::util::seeded_rng(cfg.seed);
     let oracle = Oracle::new(&ds.world);
     let res = Resources::build(ds, cfg.resources.clone());
@@ -539,23 +564,23 @@ mod tests {
     fn fast_config() -> PipelineConfig {
         PipelineConfig {
             miner: VocabMinerConfig {
-                epochs: 2,
+                train: VocabMinerConfig::default().train.with_epochs(2),
                 ..Default::default()
             },
             projection: ProjectionConfig {
-                epochs: 3,
+                train: ProjectionConfig::default().train.with_epochs(3),
                 ..Default::default()
             },
             classifier: ClassifierConfig {
-                epochs: 4,
+                train: ClassifierConfig::full().train.with_epochs(4),
                 ..ClassifierConfig::full()
             },
             tagger: TaggerConfig {
-                epochs: 2,
+                train: TaggerConfig::full().train.with_epochs(2),
                 ..TaggerConfig::full()
             },
             matcher: OursConfig {
-                epochs: 1,
+                train: OursConfig::default().train.with_epochs(1),
                 ..Default::default()
             },
             pattern_candidates: 150,

@@ -16,7 +16,7 @@ use alicoco_nn::layers::{Embedding, Linear};
 use alicoco_nn::metrics::{prf_from_counts, PrF1};
 use alicoco_nn::rnn::BiLstm;
 use alicoco_nn::util::{FxHashMap, FxHashSet};
-use alicoco_nn::{Adam, Graph, NodeId, Optimizer, ParamSet, Tensor};
+use alicoco_nn::{Adam, Graph, NodeId, ParamSet, Tensor, TrainConfig, Trainer};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -166,10 +166,8 @@ pub struct TaggerConfig {
     pub attn_dim: usize,
     /// POS embedding dimension.
     pub pos_dim: usize,
-    /// Epochs.
-    pub epochs: usize,
-    /// Learning rate.
-    pub lr: f32,
+    /// Shared training-loop hyper-parameters.
+    pub train: TrainConfig,
     /// Seed.
     pub seed: u64,
 }
@@ -185,8 +183,7 @@ impl Default for TaggerConfig {
             hidden: 20,
             attn_dim: 24,
             pos_dim: 4,
-            epochs: 8,
-            lr: 0.01,
+            train: TrainConfig::new(8, 0.01),
             seed: 31,
         }
     }
@@ -412,32 +409,27 @@ impl ConceptTagger {
         data: &[TaggingExample],
         rng: &mut impl Rng,
     ) -> Vec<f32> {
-        let mut opt = Adam::new(self.cfg.lr);
-        let mut order: Vec<usize> = (0..data.len()).collect();
-        let mut losses = Vec::with_capacity(self.cfg.epochs);
-        for _ in 0..self.cfg.epochs {
-            order.shuffle(rng);
-            let mut total = 0.0;
-            for &i in &order {
-                let ex = &data[i];
+        let mut opt = Adam::new(self.cfg.train.lr);
+        let model = &*self;
+        let trainer = Trainer::new(&model.ps, model.cfg.train.clone());
+        let stats = trainer.train(
+            &mut opt,
+            data,
+            |g, ex: &TaggingExample| {
                 if ex.tokens.is_empty() {
-                    continue;
+                    return None;
                 }
-                let mut g = Graph::new();
-                let em = self.emissions(&mut g, res, ctx, &ex.tokens);
-                let loss = if self.cfg.use_fuzzy {
+                let em = model.emissions(g, res, ctx, &ex.tokens);
+                Some(if model.cfg.use_fuzzy {
                     let allowed = ambiguity.allowed_sets(ex);
-                    self.crf.fuzzy_nll(&mut g, em, &allowed)
+                    model.crf.fuzzy_nll(g, em, &allowed)
                 } else {
-                    self.crf.nll(&mut g, em, &ex.labels)
-                };
-                total += g.value(loss).item();
-                g.backward(loss);
-                opt.step(&self.ps);
-            }
-            losses.push(total / data.len().max(1) as f32);
-        }
-        losses
+                    model.crf.nll(g, em, &ex.labels)
+                })
+            },
+            rng,
+        );
+        stats.iter().map(|s| s.mean_loss).collect()
     }
 
     /// Decode a concept into IOB labels.
@@ -594,7 +586,7 @@ mod tests {
         let mut model = ConceptTagger::new(
             &res,
             TaggerConfig {
-                epochs: 2,
+                train: TrainConfig::new(2, 0.01),
                 ..TaggerConfig::full()
             },
         );

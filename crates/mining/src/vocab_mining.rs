@@ -13,8 +13,7 @@ use alicoco_nn::crf::Crf;
 use alicoco_nn::layers::{Embedding, Linear};
 use alicoco_nn::rnn::BiLstm;
 use alicoco_nn::util::{FxHashMap, FxHashSet};
-use alicoco_nn::{Adam, Graph, Optimizer, ParamSet, Tensor};
-use rand::seq::SliceRandom;
+use alicoco_nn::{Adam, Graph, ParamSet, Tensor, TrainConfig, Trainer};
 use rand::Rng;
 
 /// IOB label space over the 20 domains: label 0 is `O`; domain `d` has
@@ -230,10 +229,8 @@ pub fn distant_supervision(
 pub struct VocabMinerConfig {
     /// Hidden.
     pub hidden: usize,
-    /// Epochs.
-    pub epochs: usize,
-    /// Learning rate.
-    pub lr: f32,
+    /// Shared training-loop hyper-parameters.
+    pub train: TrainConfig,
     /// Seed.
     pub seed: u64,
 }
@@ -242,8 +239,7 @@ impl Default for VocabMinerConfig {
     fn default() -> Self {
         VocabMinerConfig {
             hidden: 24,
-            epochs: 3,
-            lr: 0.01,
+            train: TrainConfig::new(3, 0.01),
             seed: 77,
         }
     }
@@ -310,27 +306,22 @@ impl VocabMiner {
         data: &[TaggedSentence],
         rng: &mut impl Rng,
     ) -> Vec<f32> {
-        let mut opt = Adam::new(self.cfg.lr);
-        let mut order: Vec<usize> = (0..data.len()).collect();
-        let mut losses = Vec::with_capacity(self.cfg.epochs);
-        for _ in 0..self.cfg.epochs {
-            order.shuffle(rng);
-            let mut total = 0.0;
-            for &ix in &order {
-                let (tokens, labels) = &data[ix];
+        let mut opt = Adam::new(self.cfg.train.lr);
+        let model = &*self;
+        let trainer = Trainer::new(&model.ps, model.cfg.train.clone());
+        let stats = trainer.train(
+            &mut opt,
+            data,
+            |g, (tokens, labels)| {
                 if tokens.is_empty() {
-                    continue;
+                    return None;
                 }
-                let mut g = Graph::new();
-                let em = self.emissions(&mut g, res, tokens);
-                let loss = self.crf.nll(&mut g, em, labels);
-                total += g.value(loss).item();
-                g.backward(loss);
-                opt.step(&self.ps);
-            }
-            losses.push(total / data.len().max(1) as f32);
-        }
-        losses
+                let em = model.emissions(g, res, tokens);
+                Some(model.crf.nll(g, em, labels))
+            },
+            rng,
+        );
+        stats.iter().map(|s| s.mean_loss).collect()
     }
 
     /// Viterbi-decode a sentence into IOB labels.
@@ -564,7 +555,7 @@ mod tests {
         let mut miner = VocabMiner::new(
             &res,
             VocabMinerConfig {
-                epochs: 3,
+                train: TrainConfig::new(3, 0.01),
                 ..Default::default()
             },
         );

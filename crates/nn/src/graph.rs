@@ -11,7 +11,7 @@
 // Column-indexed pooling loops read more clearly as index loops.
 #![allow(clippy::needless_range_loop)]
 
-use crate::param::Param;
+use crate::param::{GradShadow, Param};
 use crate::tensor::Tensor;
 
 /// Handle to a node in a [`Graph`] tape.
@@ -407,6 +407,19 @@ impl Graph {
     /// Backpropagate from `loss` (must be scalar). Gradients accumulate into
     /// each node and into any [`Param`] leaves.
     pub fn backward(&mut self, loss: NodeId) {
+        self.backward_impl(loss, None);
+    }
+
+    /// Backpropagate from `loss` without touching shared [`Param`] gradient
+    /// storage: parameter gradients accumulate into `shadow` instead, in the
+    /// same (reverse-tape) order `backward` would use. This is the worker
+    /// path of the data-parallel trainer — parameters are only read, so many
+    /// tapes can run backward concurrently.
+    pub fn backward_shadow(&mut self, loss: NodeId, shadow: &mut GradShadow) {
+        self.backward_impl(loss, Some(shadow));
+    }
+
+    fn backward_impl(&mut self, loss: NodeId, mut shadow: Option<&mut GradShadow>) {
         assert_eq!(self.value(loss).shape(), (1, 1), "backward from non-scalar");
         self.nodes[loss.0].grad = Tensor::scalar(1.0);
 
@@ -420,16 +433,22 @@ impl Graph {
             let mut contrib: Vec<(usize, Tensor)> = Vec::new();
             match &self.nodes[i].op {
                 Op::Input => {}
-                Op::Param(p) => p.grad_mut().add_assign(&g),
-                Op::Lookup { param, indices } => {
-                    let mut pg = param.grad_mut();
-                    for (r, &ix) in indices.iter().enumerate() {
-                        let src = g.row_slice(r);
-                        for (dst, s) in pg.row_slice_mut(ix).iter_mut().zip(src) {
-                            *dst += s;
+                Op::Param(p) => match shadow.as_deref_mut() {
+                    Some(s) => s.accum(p, &g),
+                    None => p.grad_mut().add_assign(&g),
+                },
+                Op::Lookup { param, indices } => match shadow.as_deref_mut() {
+                    Some(s) => s.accum_rows(param, indices, &g),
+                    None => {
+                        let mut pg = param.grad_mut();
+                        for (r, &ix) in indices.iter().enumerate() {
+                            let src = g.row_slice(r);
+                            for (dst, s) in pg.row_slice_mut(ix).iter_mut().zip(src) {
+                                *dst += s;
+                            }
                         }
                     }
-                }
+                },
                 Op::MatMul(a, b) => {
                     let av = &self.nodes[a.0].value;
                     let bv = &self.nodes[b.0].value;

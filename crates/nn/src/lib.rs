@@ -7,6 +7,7 @@
 //! - dense 2-D [`tensor::Tensor`]s,
 //! - define-by-run reverse-mode autodiff ([`graph::Graph`]),
 //! - trainable parameters and optimizers ([`param`]),
+//! - a shared, deterministic data-parallel training loop ([`train`]),
 //! - the layers the paper's five models are composed of: linear / embedding /
 //!   MLP ([`layers`]), LSTM and BiLSTM ([`rnn`]), 1-D convolutions ([`conv`]),
 //!   self- and pairwise attention ([`attention`]),
@@ -31,8 +32,10 @@ pub mod param;
 pub mod persist;
 pub mod rnn;
 pub mod tensor;
+pub mod train;
 pub mod util;
 
 pub use graph::{Graph, NodeId};
-pub use param::{Adam, Optimizer, Param, ParamSet, Sgd};
+pub use param::{Adam, GradShadow, Optimizer, Param, ParamSet, Sgd};
 pub use tensor::Tensor;
+pub use train::{EpochStats, StopCriterion, TrainConfig, Trainer};

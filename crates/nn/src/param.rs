@@ -4,72 +4,166 @@
 //! are shared into them via [`crate::graph::Graph::param`] /
 //! [`crate::graph::Graph::lookup`]. A [`ParamSet`] groups every parameter of
 //! a model so optimizers can step them together.
+//!
+//! Storage is `Arc`-based with interior `RwLock`s so parameters can be read
+//! concurrently from [`std::thread::scope`] training workers (see
+//! [`crate::train`]). Workers never write gradients into shared storage
+//! directly; each accumulates into a private [`GradShadow`] which the trainer
+//! merges in a fixed order, keeping training byte-identical for any worker
+//! count.
 
-use std::cell::{Ref, RefCell, RefMut};
-use std::rc::Rc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::tensor::Tensor;
 
-struct ParamInner {
-    name: String,
-    value: Tensor,
-    grad: Tensor,
-    /// Adam first-moment state (lazily sized).
+/// Adam moment state (lazily sized with the parameter).
+struct AdamState {
+    /// First moment.
     m: Tensor,
-    /// Adam second-moment state.
+    /// Second moment.
     v: Tensor,
+}
+
+struct ParamInner {
+    /// Process-unique identity, used to key shadow-gradient buffers.
+    id: u64,
+    name: String,
+    value: RwLock<Tensor>,
+    grad: RwLock<Tensor>,
+    adam: RwLock<AdamState>,
+}
+
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A shared, trainable tensor.
 #[derive(Clone)]
-pub struct Param(Rc<RefCell<ParamInner>>);
+pub struct Param(Arc<ParamInner>);
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(0);
 
 impl Param {
     /// Create a new instance.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let (r, c) = value.shape();
-        Param(Rc::new(RefCell::new(ParamInner {
+        Param(Arc::new(ParamInner {
+            id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
             name: name.into(),
-            value,
-            grad: Tensor::zeros(r, c),
-            m: Tensor::zeros(r, c),
-            v: Tensor::zeros(r, c),
-        })))
+            value: RwLock::new(value),
+            grad: RwLock::new(Tensor::zeros(r, c)),
+            adam: RwLock::new(AdamState {
+                m: Tensor::zeros(r, c),
+                v: Tensor::zeros(r, c),
+            }),
+        }))
+    }
+
+    /// Process-unique identity (stable for all clones of this parameter).
+    pub fn id(&self) -> u64 {
+        self.0.id
     }
 
     /// Human-readable name.
     pub fn name(&self) -> String {
-        self.0.borrow().name.clone()
+        self.0.name.clone()
     }
 
     /// Value.
-    pub fn value(&self) -> Ref<'_, Tensor> {
-        Ref::map(self.0.borrow(), |p| &p.value)
+    pub fn value(&self) -> RwLockReadGuard<'_, Tensor> {
+        read_lock(&self.0.value)
     }
 
     /// Value mut.
-    pub fn value_mut(&self) -> RefMut<'_, Tensor> {
-        RefMut::map(self.0.borrow_mut(), |p| &mut p.value)
+    pub fn value_mut(&self) -> RwLockWriteGuard<'_, Tensor> {
+        write_lock(&self.0.value)
     }
 
     /// Grad.
-    pub fn grad(&self) -> Ref<'_, Tensor> {
-        Ref::map(self.0.borrow(), |p| &p.grad)
+    pub fn grad(&self) -> RwLockReadGuard<'_, Tensor> {
+        read_lock(&self.0.grad)
     }
 
     /// Grad mut.
-    pub fn grad_mut(&self) -> RefMut<'_, Tensor> {
-        RefMut::map(self.0.borrow_mut(), |p| &mut p.grad)
+    pub fn grad_mut(&self) -> RwLockWriteGuard<'_, Tensor> {
+        write_lock(&self.0.grad)
     }
 
     /// Zero grad.
     pub fn zero_grad(&self) {
-        self.0.borrow_mut().grad.fill_zero();
+        self.grad_mut().fill_zero();
     }
 
     /// Number of scalar weights.
     pub fn num_weights(&self) -> usize {
-        self.0.borrow().value.len()
+        self.value().len()
+    }
+}
+
+/// Per-worker gradient buffer: gradients of one (or a few) examples,
+/// accumulated privately during [`crate::graph::Graph::backward_shadow`] and
+/// merged into shared [`Param`] storage by the trainer in a fixed order.
+///
+/// Buffers are keyed by [`Param::id`]; parameters the tape never touched (or
+/// frozen tensors that are not registered in any [`ParamSet`]) simply have no
+/// entry and receive no gradient on merge.
+#[derive(Default)]
+pub struct GradShadow {
+    bufs: HashMap<u64, Tensor>,
+}
+
+impl GradShadow {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no gradient has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    fn buf_for(&mut self, p: &Param) -> &mut Tensor {
+        self.bufs.entry(p.id()).or_insert_with(|| {
+            let (r, c) = p.value().shape();
+            Tensor::zeros(r, c)
+        })
+    }
+
+    /// Accumulate a dense gradient for `p` (the `Op::Param` case).
+    pub fn accum(&mut self, p: &Param, g: &Tensor) {
+        self.buf_for(p).add_assign(g);
+    }
+
+    /// Scatter-add row gradients for an embedding lookup (the `Op::Lookup`
+    /// case): row `r` of `g` is added to row `indices[r]` of the buffer.
+    pub fn accum_rows(&mut self, p: &Param, indices: &[usize], g: &Tensor) {
+        let buf = self.buf_for(p);
+        for (r, &ix) in indices.iter().enumerate() {
+            let src = g.row_slice(r);
+            for (dst, s) in buf.row_slice_mut(ix).iter_mut().zip(src) {
+                *dst += s;
+            }
+        }
+    }
+
+    /// Add every buffered gradient into its parameter's shared grad storage.
+    ///
+    /// Iterates `params` in registration order, so for a fixed merge sequence
+    /// the summation order — and hence the result, bit for bit — does not
+    /// depend on how examples were sharded across workers.
+    pub fn merge_into(&self, params: &ParamSet) {
+        for p in params.iter() {
+            if let Some(buf) = self.bufs.get(&p.id()) {
+                p.grad_mut().add_assign(buf);
+            }
+        }
     }
 }
 
@@ -129,6 +223,25 @@ impl ParamSet {
         self.params.iter().map(Param::num_weights).sum()
     }
 
+    /// Copy of every parameter value, in registration order.
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.params.iter().map(|p| p.value().clone()).collect()
+    }
+
+    /// Restore values captured by [`ParamSet::snapshot`].
+    pub fn restore(&self, weights: &[Tensor]) {
+        assert_eq!(
+            weights.len(),
+            self.params.len(),
+            "snapshot size mismatch: {} weights for {} params",
+            weights.len(),
+            self.params.len()
+        );
+        for (p, w) in self.params.iter().zip(weights) {
+            *p.value_mut() = w.clone();
+        }
+    }
+
     /// Global L2 norm of all gradients.
     pub fn grad_norm(&self) -> f32 {
         self.params
@@ -186,10 +299,9 @@ impl Optimizer for Sgd {
             params.clip_grad_norm(c);
         }
         for p in params.iter() {
-            let inner = &p.0;
-            let mut b = inner.borrow_mut();
-            let ParamInner { value, grad, .. } = &mut *b;
-            value.axpy(-self.lr, grad);
+            let mut value = write_lock(&p.0.value);
+            let mut grad = write_lock(&p.0.grad);
+            value.axpy(-self.lr, &grad);
             grad.fill_zero();
         }
     }
@@ -233,10 +345,10 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);
         for p in params.iter() {
-            let mut b = p.0.borrow_mut();
-            let ParamInner {
-                value, grad, m, v, ..
-            } = &mut *b;
+            let mut value = write_lock(&p.0.value);
+            let mut grad = write_lock(&p.0.grad);
+            let mut adam = write_lock(&p.0.adam);
+            let AdamState { m, v } = &mut *adam;
             for k in 0..value.len() {
                 let g = grad.data()[k];
                 let mk = self.beta1 * m.data()[k] + (1.0 - self.beta1) * g;
@@ -318,6 +430,41 @@ mod tests {
         *p.grad_mut() = Tensor::scalar(1.0);
         Sgd::new(0.1).step(&set);
         assert_eq!(p.grad().item(), 0.0);
+    }
+
+    #[test]
+    fn param_ids_are_unique_and_clone_stable() {
+        let a = Param::new("a", Tensor::zeros(1, 1));
+        let b = Param::new("b", Tensor::zeros(1, 1));
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.id(), a.clone().id());
+    }
+
+    #[test]
+    fn shadow_merge_matches_direct_accumulation() {
+        let p = Param::new("w", Tensor::zeros(2, 2));
+        let e = Param::new("emb", Tensor::zeros(3, 2));
+        let mut set = ParamSet::new();
+        set.register(&p);
+        set.register(&e);
+
+        let mut shadow = GradShadow::new();
+        shadow.accum(&p, &Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        shadow.accum_rows(&e, &[2, 0, 2], &Tensor::from_vec(3, 2, vec![1.0; 6]));
+        shadow.merge_into(&set);
+
+        assert_eq!(p.grad().data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.grad().data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut set = ParamSet::new();
+        let p = set.add("w", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let snap = set.snapshot();
+        *p.value_mut() = Tensor::from_vec(1, 2, vec![9.0, 9.0]);
+        set.restore(&snap);
+        assert_eq!(p.value().data(), &[1.0, 2.0]);
     }
 
     #[test]

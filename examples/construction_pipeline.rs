@@ -45,7 +45,7 @@ fn main() {
     let mut miner = VocabMiner::new(
         &res,
         VocabMinerConfig {
-            epochs: 3,
+            train: VocabMinerConfig::default().train.with_epochs(3),
             ..Default::default()
         },
     );
@@ -98,7 +98,7 @@ fn main() {
     let mut classifier = ConceptClassifier::new(
         &res,
         ClassifierConfig {
-            epochs: 6,
+            train: ClassifierConfig::full().train.with_epochs(6),
             ..ClassifierConfig::full()
         },
     );
@@ -143,7 +143,7 @@ fn main() {
     let mut tagger = ConceptTagger::new(
         &res,
         TaggerConfig {
-            epochs: 2,
+            train: TaggerConfig::full().train.with_epochs(2),
             ..TaggerConfig::full()
         },
     );
@@ -167,7 +167,7 @@ fn main() {
     let mut matcher = OursMatcher::new(
         &res,
         OursConfig {
-            epochs: 2,
+            train: OursConfig::default().train.with_epochs(2),
             ..Default::default()
         },
     );

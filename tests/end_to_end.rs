@@ -20,23 +20,23 @@ fn build() -> &'static (Dataset, alicoco::AliCoCo) {
         let ds = Dataset::tiny();
         let cfg = PipelineConfig {
             miner: VocabMinerConfig {
-                epochs: 2,
+                train: VocabMinerConfig::default().train.with_epochs(2),
                 ..Default::default()
             },
             projection: ProjectionConfig {
-                epochs: 3,
+                train: ProjectionConfig::default().train.with_epochs(3),
                 ..Default::default()
             },
             classifier: ClassifierConfig {
-                epochs: 5,
+                train: ClassifierConfig::full().train.with_epochs(5),
                 ..ClassifierConfig::full()
             },
             tagger: TaggerConfig {
-                epochs: 2,
+                train: TaggerConfig::full().train.with_epochs(2),
                 ..TaggerConfig::full()
             },
             matcher: OursConfig {
-                epochs: 1,
+                train: OursConfig::default().train.with_epochs(1),
                 ..Default::default()
             },
             pattern_candidates: 150,

@@ -28,7 +28,7 @@ fn classifier_roundtrips_through_persistence() {
     let mut trained = ConceptClassifier::new(
         &res,
         ClassifierConfig {
-            epochs: 2,
+            train: ClassifierConfig::full().train.with_epochs(2),
             ..ClassifierConfig::full()
         },
     );
@@ -40,7 +40,7 @@ fn classifier_roundtrips_through_persistence() {
     let fresh = ConceptClassifier::new(
         &res,
         ClassifierConfig {
-            epochs: 2,
+            train: ClassifierConfig::full().train.with_epochs(2),
             seed: 999,
             ..ClassifierConfig::full()
         },
@@ -68,7 +68,7 @@ fn miner_roundtrips_through_persistence() {
     let mut trained = VocabMiner::new(
         &res,
         VocabMinerConfig {
-            epochs: 1,
+            train: VocabMinerConfig::default().train.with_epochs(1),
             ..Default::default()
         },
     );
@@ -97,7 +97,7 @@ fn matcher_roundtrips_through_persistence() {
     let mut trained = OursMatcher::new(
         &res,
         OursConfig {
-            epochs: 1,
+            train: OursConfig::default().train.with_epochs(1),
             ..Default::default()
         },
     );
