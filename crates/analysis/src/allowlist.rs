@@ -1,0 +1,137 @@
+//! Vetted-suppression allowlist.
+//!
+//! Findings the team has reviewed and accepted are recorded in
+//! `lint-allow.txt` at the workspace root, one per line:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! AL001 8c2f1a0b9d3e4f56 crates/core/src/ids.rs — id_type! guards a u32 arena invariant
+//! ```
+//!
+//! The second column is the finding's *fingerprint*: a hash of the rule,
+//! file, normalized source line and occurrence ordinal. Fingerprints
+//! survive unrelated edits (they do not embed line numbers) but expire when
+//! the offending line itself changes — a stale entry is reported so the
+//! allowlist never silently outlives the code it vetted. Every entry must
+//! carry a justification after the fingerprint.
+
+use crate::Finding;
+
+/// One vetted suppression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule id the entry suppresses.
+    pub rule: String,
+    /// Finding fingerprint (16 hex chars).
+    pub fingerprint: String,
+    /// Mandatory justification.
+    pub note: String,
+}
+
+/// A parsed allowlist file.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// The empty allowlist (used when no file exists).
+    pub fn empty() -> Self {
+        Allowlist::default()
+    }
+
+    /// Parse the allowlist format. Malformed lines are hard errors — a
+    /// typo'd fingerprint would otherwise silently suppress nothing.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let rule = parts.next().unwrap_or_default();
+            let fp = parts.next().unwrap_or_default();
+            let note = parts.next().unwrap_or_default().trim();
+            let rule_ok = rule.len() == 5
+                && rule.starts_with("AL")
+                && rule[2..].chars().all(|c| c.is_ascii_digit());
+            if !rule_ok {
+                return Err(format!(
+                    "allowlist line {}: expected a rule id like `AL001`, got `{rule}`",
+                    i + 1
+                ));
+            }
+            let fp_ok = fp.len() == 16 && fp.chars().all(|c| c.is_ascii_hexdigit());
+            if !fp_ok {
+                return Err(format!(
+                    "allowlist line {}: expected a 16-hex-char fingerprint, got `{fp}`",
+                    i + 1
+                ));
+            }
+            if note.is_empty() {
+                return Err(format!(
+                    "allowlist line {}: a justification is required after the fingerprint",
+                    i + 1
+                ));
+            }
+            entries.push(Entry {
+                rule: rule.to_string(),
+                fingerprint: fp.to_lowercase(),
+                note: note.to_string(),
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Split findings into (active, suppressed) and report entries that
+    /// matched nothing (stale — the vetted line changed or was fixed).
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>, Vec<Entry>) {
+        let mut active = Vec::new();
+        let mut suppressed = Vec::new();
+        let mut used = vec![false; self.entries.len()];
+        for f in findings {
+            let hit = self
+                .entries
+                .iter()
+                .position(|e| e.rule == f.rule && e.fingerprint == f.fingerprint);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed.push(f);
+                }
+                None => active.push(f),
+            }
+        }
+        let stale = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(e, _)| e.clone())
+            .collect();
+        (active, suppressed, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_entries() {
+        let text = "# header\n\nAL001 0123456789abcdef vetted: id arena bound\n";
+        let al = Allowlist::parse(text).expect("parses");
+        assert_eq!(al.entries.len(), 1);
+        assert_eq!(al.entries[0].rule, "AL001");
+        assert_eq!(al.entries[0].note, "vetted: id arena bound");
+    }
+
+    #[test]
+    fn rejects_bad_fingerprints_and_missing_notes() {
+        assert!(Allowlist::parse("AL001 xyz note").is_err());
+        assert!(Allowlist::parse("AL001 0123456789abcdef").is_err());
+        assert!(Allowlist::parse("BAD 0123456789abcdef note").is_err());
+    }
+}

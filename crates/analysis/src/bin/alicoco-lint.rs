@@ -1,0 +1,122 @@
+//! Command-line entry point for `alicoco-lint`.
+//!
+//! ```text
+//! alicoco-lint [--root DIR] [--allowlist FILE] [--json FILE]
+//! ```
+//!
+//! Exit codes: 0 = clean (possibly with vetted suppressions), 1 = active
+//! findings, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analysis::allowlist::Allowlist;
+use analysis::{lint_workspace, report};
+
+struct Args {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        allowlist: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--allowlist" => {
+                args.allowlist = Some(PathBuf::from(it.next().ok_or("--allowlist needs a file")?));
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a file")?));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: alicoco-lint [--root DIR] [--allowlist FILE] [--json FILE]".to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match lint_workspace(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("alicoco-lint: cannot walk `{}`: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let allow_path = args
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint-allow.txt"));
+    let allow = if allow_path.is_file() {
+        let text = match std::fs::read_to_string(&allow_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("alicoco-lint: cannot read `{}`: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("alicoco-lint: {}: {msg}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::empty()
+    };
+    let (active, suppressed, stale) = allow.apply(findings);
+    for f in &active {
+        println!("{}:{}:{}: {}: {}", f.path, f.line, f.col, f.rule, f.message);
+        println!("    {}", f.snippet);
+        println!(
+            "    suppress with: {} {}  <justification>",
+            f.rule, f.fingerprint
+        );
+    }
+    for e in &stale {
+        eprintln!(
+            "alicoco-lint: warning: stale allowlist entry {} {} ({}) matches nothing — remove it",
+            e.rule, e.fingerprint, e.note
+        );
+    }
+    if let Some(json_path) = &args.json {
+        let doc = report::to_json(&active, &suppressed, &stale);
+        if let Err(e) = std::fs::write(json_path, doc) {
+            eprintln!("alicoco-lint: cannot write `{}`: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "alicoco-lint: {} finding(s), {} suppressed, {} stale allowlist entr{}",
+        active.len(),
+        suppressed.len(),
+        stale.len(),
+        if stale.len() == 1 { "y" } else { "ies" }
+    );
+    if active.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

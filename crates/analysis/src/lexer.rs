@@ -1,0 +1,491 @@
+//! A hand-rolled Rust lexer — the foundation of `alicoco-lint`.
+//!
+//! The workspace builds without crates.io, so there is no `syn` or
+//! `proc-macro2` to lean on; instead this module tokenizes Rust source
+//! directly. The rules only need a faithful token stream — identifiers,
+//! punctuation, and (crucially) *correctly skipped* comments, string
+//! literals, and char-vs-lifetime disambiguation — not a full AST. Every
+//! token carries its line and column so findings point at real source
+//! locations.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `unsafe`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal (`42`, `0.5f32`, `1e-3`, `0xff_u8`).
+    Number,
+    /// String literal of any flavour (`".."`, `r#".."#`, `b".."`).
+    Str,
+    /// Character or byte literal (`'x'`, `'\n'`, `b'a'` lexes as `b` + `'a'`).
+    Char,
+    /// A single punctuation character (`.`, `{`, `!`, ...).
+    Punct,
+    /// Line or block comment, text included (`// ..`, `/* .. */`).
+    Comment,
+}
+
+/// One lexeme with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Kind.
+    pub kind: TokenKind,
+    /// Raw text of the lexeme.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Number of `#` + `"` making a raw-string opener at the cursor, if any.
+/// The cursor sits just past the `r` (or `br`) prefix.
+fn raw_string_hashes(cur: &Cursor) -> Option<usize> {
+    let mut n = 0;
+    while cur.peek(n) == Some('#') {
+        n += 1;
+    }
+    if cur.peek(n) == Some('"') {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// Tokenize Rust source. The lexer never fails: unexpected characters come
+/// out as [`TokenKind::Punct`] tokens, and unterminated literals simply end
+/// at end-of-file — for a lint over code that already compiles, that is
+/// always good enough.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.push(Token {
+                kind: TokenKind::Comment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(ch) = cur.peek(0) {
+                if ch == '/' && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    cur.bump();
+                    cur.bump();
+                } else if ch == '*' && cur.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push('*');
+                    text.push('/');
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Comment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Identifiers, and the raw/byte string prefixes that look like them.
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if is_ident_continue(ch) {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            // `r`, `b`, `br` immediately followed by a (raw) string opener
+            // are literal prefixes, not identifiers.
+            let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "c" | "cr");
+            if is_str_prefix {
+                if let Some(hashes) = raw_string_hashes(&cur) {
+                    let body = lex_raw_string(&mut cur, hashes);
+                    out.push(Token {
+                        kind: TokenKind::Str,
+                        text: format!("{text}{body}"),
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '"' {
+            let body = lex_plain_string(&mut cur);
+            out.push(Token {
+                kind: TokenKind::Str,
+                text: body,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '\'' {
+            let tok = lex_char_or_lifetime(&mut cur);
+            out.push(Token {
+                kind: tok.0,
+                text: tok.1,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let text = lex_number(&mut cur);
+            out.push(Token {
+                kind: TokenKind::Number,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Everything else: one punctuation character per token.
+        cur.bump();
+        out.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Cursor sits on `#`*n `"`; consumes through the matching `"` `#`*n.
+fn lex_raw_string(cur: &mut Cursor, hashes: usize) -> String {
+    let mut text = String::new();
+    for _ in 0..hashes {
+        text.push('#');
+        cur.bump();
+    }
+    text.push('"');
+    cur.bump();
+    while let Some(ch) = cur.peek(0) {
+        if ch == '"' {
+            let mut n = 0;
+            while n < hashes && cur.peek(1 + n) == Some('#') {
+                n += 1;
+            }
+            if n == hashes {
+                text.push('"');
+                cur.bump();
+                for _ in 0..hashes {
+                    text.push('#');
+                    cur.bump();
+                }
+                return text;
+            }
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    text
+}
+
+/// Cursor sits on the opening `"`.
+fn lex_plain_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push('"');
+    cur.bump();
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            text.push(ch);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(ch);
+        cur.bump();
+        if ch == '"' {
+            break;
+        }
+    }
+    text
+}
+
+/// Cursor sits on `'`. Disambiguates `'a'` (char) from `'a` (lifetime):
+/// an identifier run after the quote is a char literal only when a closing
+/// quote follows immediately.
+fn lex_char_or_lifetime(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    text.push('\'');
+    cur.bump();
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume escape, then through closing '.
+            text.push('\\');
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            while let Some(ch) = cur.bump() {
+                text.push(ch);
+                if ch == '\'' {
+                    break;
+                }
+            }
+            (TokenKind::Char, text)
+        }
+        Some(ch) if is_ident_start(ch) => {
+            let mut n = 0;
+            while cur.peek(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+            if cur.peek(n) == Some('\'') {
+                // 'x' — a char literal.
+                for _ in 0..=n {
+                    if let Some(c2) = cur.bump() {
+                        text.push(c2);
+                    }
+                }
+                (TokenKind::Char, text)
+            } else {
+                // 'ident — a lifetime.
+                for _ in 0..n {
+                    if let Some(c2) = cur.bump() {
+                        text.push(c2);
+                    }
+                }
+                (TokenKind::Lifetime, text)
+            }
+        }
+        Some(_) => {
+            // Punctuation char literal: ' ' , '-' , '(' ...
+            if let Some(ch) = cur.bump() {
+                text.push(ch);
+            }
+            if cur.peek(0) == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            (TokenKind::Char, text)
+        }
+        None => (TokenKind::Punct, text),
+    }
+}
+
+/// Cursor sits on a digit.
+fn lex_number(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            text.push(ch);
+            cur.bump();
+            // Exponent sign: `1e-3`, `2.5E+7`.
+            if (ch == 'e' || ch == 'E')
+                && matches!(cur.peek(0), Some('+') | Some('-'))
+                && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && text.chars().next().is_some_and(|f| f.is_ascii_digit())
+                && !text.starts_with("0x")
+                && !text.starts_with("0b")
+                && !text.starts_with("0o")
+            {
+                if let Some(sign) = cur.bump() {
+                    text.push(sign);
+                }
+            }
+        } else if ch == '.'
+            && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+            && !text.contains('.')
+        {
+            // Fractional part — but never eat the `..` of a range.
+            text.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let t = kinds("let x = v[i + 1];");
+        assert_eq!(
+            t.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Number,
+                TokenKind::Punct,
+                TokenKind::Punct,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = kinds(r#"let s = "x.unwrap() // not a comment";"#);
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Str && s.contains("unwrap")));
+        assert!(!t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let t = kinds(r##"let s = r#"quote " inside"#; after"##);
+        assert!(t.iter().any(|(k, _)| *k == TokenKind::Str));
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "after"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = t.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].0, TokenKind::Comment);
+        assert_eq!(t[1].1, "x");
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let t = kinds("for i in 0..10 {}");
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Number && s == "0"));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Number && s == "10"));
+        assert!(t.iter().filter(|(_, s)| s == ".").count() == 2);
+    }
+
+    #[test]
+    fn float_and_exponent_literals() {
+        let t = kinds("let a = 1.5f32; let b = 1e-3; let c = 2.max(3);");
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Number && s == "1.5f32"));
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Number && s == "1e-3"));
+        // `2.max` must not eat the dot.
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Number && s == "2"));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "max"));
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,181 @@
+//! `alicoco-lint`: in-tree static analysis for the AliCoCo workspace.
+//!
+//! The workspace's hardest-won properties — byte-identical training and
+//! serialization, NaN-safe total-order ranking, panic-free serving paths,
+//! deadlock-free parameter locking — are invariants the Rust compiler
+//! cannot check. This crate checks them. It is deliberately dependency-free
+//! (no `syn`, no crates.io): a hand-rolled lexer ([`lexer`]) feeds a
+//! lightweight structural pass ([`parse`]) feeds six rules ([`rules`]),
+//! and findings can be suppressed only through a fingerprinted, justified
+//! allowlist ([`allowlist`]).
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo run -p analysis --bin alicoco-lint
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod parse;
+pub mod report;
+pub mod rules;
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A finalized finding: a rule hit plus its source snippet and stable
+/// fingerprint.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule id, `AL001`..`AL006`.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// The trimmed source line the finding points at.
+    pub snippet: String,
+    /// Stable identity for allowlisting; see [`fingerprint`].
+    pub fingerprint: String,
+}
+
+/// FNV-1a 64-bit over the finding's identity: rule, file, normalized
+/// source line, and the ordinal among identical lines in that file. Line
+/// numbers are deliberately excluded so unrelated edits above a vetted
+/// finding do not invalidate its allowlist entry; editing the flagged line
+/// itself does.
+pub fn fingerprint(rule: &str, path: &str, snippet: &str, ordinal: u32) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in [rule, "|", path, "|", snippet, "|"] {
+        for b in chunk.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    for b in ordinal.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Lint one file's source, returning findings sorted by position.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let toks = lexer::lex(src);
+    let ctx = parse::FileCtx::new(path, &toks);
+    let mut raw = rules::run_all(&ctx);
+    raw.sort_by(|a, b| {
+        (a.line, a.col, a.rule)
+            .cmp(&(b.line, b.col, b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    let lines: Vec<&str> = src.lines().collect();
+    let mut ordinals: HashMap<(&'static str, String), u32> = HashMap::new();
+    raw.into_iter()
+        .map(|r| {
+            let snippet = lines
+                .get(r.line as usize - 1)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default();
+            let ord = ordinals
+                .entry((r.rule, snippet.clone()))
+                .and_modify(|o| *o += 1)
+                .or_insert(0);
+            Finding {
+                fingerprint: fingerprint(r.rule, path, &snippet, *ord),
+                rule: r.rule,
+                path: path.to_string(),
+                line: r.line,
+                col: r.col,
+                message: r.message,
+                snippet,
+            }
+        })
+        .collect()
+}
+
+/// Lint every `.rs` file under `<root>/crates`, in deterministic path
+/// order. `target/` directories are skipped. Returns findings sorted by
+/// (path, line, col).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&file)?;
+        out.extend(lint_source(&rel, &src));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" {
+                collect_rs_files(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let a = fingerprint("AL001", "crates/x.rs", "v[i]", 0);
+        let b = fingerprint("AL001", "crates/x.rs", "v[i]", 0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, fingerprint("AL001", "crates/x.rs", "v[i]", 1));
+        assert_ne!(a, fingerprint("AL002", "crates/x.rs", "v[i]", 0));
+        assert_ne!(a, fingerprint("AL001", "crates/y.rs", "v[i]", 0));
+    }
+
+    #[test]
+    fn duplicate_lines_get_distinct_ordinals() {
+        let src = "fn a() -> usize { v[i] + v[i] }\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 2);
+        assert_ne!(f[0].fingerprint, f[1].fingerprint);
+    }
+
+    #[test]
+    fn fingerprint_survives_line_shifts() {
+        let before = lint_source("crates/core/src/x.rs", "fn a() { v.unwrap(); }\n");
+        let after = lint_source(
+            "crates/core/src/x.rs",
+            "//! New header comment.\n\nfn a() { v.unwrap(); }\n",
+        );
+        assert_eq!(before.len(), 1);
+        assert_eq!(after.len(), 1);
+        assert_eq!(before[0].fingerprint, after[0].fingerprint);
+        assert_ne!(before[0].line, after[0].line);
+    }
+}

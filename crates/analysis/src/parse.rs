@@ -1,0 +1,382 @@
+//! Lightweight structural analysis over the token stream.
+//!
+//! `alicoco-lint` does not build a full AST. The rules need three structural
+//! facts the raw token stream cannot answer by itself:
+//!
+//! 1. **Is this token inside test code?** — `#[test]` functions and
+//!    `#[cfg(test)]` modules are exempt from the serving-path rules.
+//! 2. **Where are the blocks?** — lock-discipline analysis (AL004) walks
+//!    brace-delimited scopes to track guard liveness.
+//! 3. **Where do statements start and end?** — several rules reason about
+//!    "in the same statement" / "in a following statement".
+//!
+//! All of this is computed once per file into a [`FileCtx`].
+
+use crate::lexer::{Token, TokenKind};
+
+/// Per-file context shared by every rule.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    /// Full token stream, comments included.
+    pub toks: &'a [Token],
+    /// Indices into `toks` of the significant (non-comment) tokens.
+    pub sig: Vec<usize>,
+    /// Per-`toks`-index flag: is this token inside a `#[test]` /
+    /// `#[cfg(test)]` item?
+    pub in_test: Vec<bool>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Build the context for one file.
+    pub fn new(path: &'a str, toks: &'a [Token]) -> Self {
+        let sig: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != TokenKind::Comment)
+            .map(|(i, _)| i)
+            .collect();
+        let in_test = mark_test_regions(toks, &sig);
+        FileCtx {
+            path,
+            toks,
+            sig,
+            in_test,
+        }
+    }
+
+    /// The significant token at sig-index `si`.
+    pub fn tok(&self, si: usize) -> &Token {
+        &self.toks[self.sig[si]]
+    }
+
+    /// Whether the significant token at sig-index `si` is inside test code.
+    pub fn is_test(&self, si: usize) -> bool {
+        self.in_test[self.sig[si]]
+    }
+}
+
+/// Mark every token covered by a `#[test]`-like attribute's item as test
+/// code. An attribute is test-like when its identifiers include `test` and
+/// do not include `not` (so `#[cfg(not(test))]` stays serving code). The
+/// covered item extends through the brace-block that follows the attribute
+/// (skipping any further attributes and the item header), or through the
+/// next top-level `;` for block-less items.
+fn mark_test_regions(toks: &[Token], sig: &[usize]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let t = |si: usize| -> &Token { &toks[sig[si]] };
+    let mut si = 0;
+    while si + 1 < sig.len() {
+        if !(t(si).is_punct('#') && t(si + 1).is_punct('[')) {
+            si += 1;
+            continue;
+        }
+        let attr_start = si;
+        // Collect the attribute's tokens up to the matching `]`.
+        let mut j = si + 2;
+        let mut depth = 1usize;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < sig.len() && depth > 0 {
+            let tok = t(j);
+            if tok.is_punct('[') {
+                depth += 1;
+            } else if tok.is_punct(']') {
+                depth -= 1;
+            } else if tok.kind == TokenKind::Ident {
+                idents.push(&tok.text);
+            }
+            j += 1;
+        }
+        let attr_end = j; // first sig index after the closing `]`
+        let is_test_attr = idents.contains(&"test") && !idents.contains(&"not");
+        if !is_test_attr {
+            si = attr_end;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut k = attr_end;
+        while k + 1 < sig.len() && t(k).is_punct('#') && t(k + 1).is_punct('[') {
+            let mut d = 1usize;
+            k += 2;
+            while k < sig.len() && d > 0 {
+                if t(k).is_punct('[') {
+                    d += 1;
+                } else if t(k).is_punct(']') {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        // Scan the item header for its body `{` (or terminating `;` for
+        // block-less items), ignoring `;` inside parens/brackets such as
+        // `fn f(x: [u8; 2])`.
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut end = None;
+        while k < sig.len() {
+            let tok = t(k);
+            if tok.is_punct('(') {
+                paren += 1;
+            } else if tok.is_punct(')') {
+                paren -= 1;
+            } else if tok.is_punct('[') {
+                bracket += 1;
+            } else if tok.is_punct(']') {
+                bracket -= 1;
+            } else if tok.is_punct(';') && paren == 0 && bracket == 0 {
+                end = Some(k);
+                break;
+            } else if tok.is_punct('{') && paren == 0 && bracket == 0 {
+                // Match braces through the item body.
+                let mut d = 1usize;
+                let mut m = k + 1;
+                while m < sig.len() && d > 0 {
+                    if t(m).is_punct('{') {
+                        d += 1;
+                    } else if t(m).is_punct('}') {
+                        d -= 1;
+                    }
+                    m += 1;
+                }
+                end = Some(m.saturating_sub(1));
+                break;
+            }
+            k += 1;
+        }
+        if let Some(end_si) = end {
+            let lo = sig[attr_start];
+            let hi = sig[end_si.min(sig.len() - 1)];
+            for flag in in_test.iter_mut().take(hi + 1).skip(lo) {
+                *flag = true;
+            }
+        }
+        si = attr_end;
+    }
+    in_test
+}
+
+/// A brace-delimited scope, in sig-index space.
+pub struct Block {
+    /// Sig index of the opening `{`; `None` for the file-level pseudo-block.
+    pub open: Option<usize>,
+    /// Sig index one past the last token belonging to this block (the
+    /// closing `}` itself, or `sig.len()` for the file level).
+    pub close: usize,
+    /// Nested blocks, in source order.
+    pub children: Vec<Block>,
+}
+
+/// Build the tree of brace blocks for a file. Unbalanced braces (which a
+/// compiling file never has) degrade gracefully by folding into the parent.
+pub fn block_tree(ctx: &FileCtx) -> Block {
+    let mut stack: Vec<Block> = vec![Block {
+        open: None,
+        close: ctx.sig.len(),
+        children: Vec::new(),
+    }];
+    for si in 0..ctx.sig.len() {
+        let tok = ctx.tok(si);
+        if tok.is_punct('{') {
+            stack.push(Block {
+                open: Some(si),
+                close: ctx.sig.len(),
+                children: Vec::new(),
+            });
+        } else if tok.is_punct('}') && stack.len() > 1 {
+            let mut done = match stack.pop() {
+                Some(b) => b,
+                None => continue,
+            };
+            done.close = si;
+            if let Some(parent) = stack.last_mut() {
+                parent.children.push(done);
+            }
+        }
+    }
+    // Fold any unterminated blocks into their parents.
+    while stack.len() > 1 {
+        let done = match stack.pop() {
+            Some(b) => b,
+            None => break,
+        };
+        if let Some(parent) = stack.last_mut() {
+            parent.children.push(done);
+        }
+    }
+    stack.pop().unwrap_or(Block {
+        open: None,
+        close: ctx.sig.len(),
+        children: Vec::new(),
+    })
+}
+
+/// One element at a block's direct nesting level: either a token or a whole
+/// child block (whose interior tokens are not visible at this level).
+#[derive(Clone, Copy)]
+pub enum Piece {
+    /// Sig index of a token at this level.
+    Tok(usize),
+    /// Index into the block's `children`.
+    Child(usize),
+}
+
+/// Flatten a block's direct level into [`Piece`]s.
+pub fn pieces(block: &Block) -> Vec<Piece> {
+    let start = block.open.map_or(0, |o| o + 1);
+    let mut out = Vec::new();
+    let mut si = start;
+    let mut child = 0usize;
+    while si < block.close {
+        if child < block.children.len() && block.children[child].open == Some(si) {
+            out.push(Piece::Child(child));
+            si = block.children[child].close + 1;
+            child += 1;
+        } else {
+            out.push(Piece::Tok(si));
+            si += 1;
+        }
+    }
+    out
+}
+
+/// Split a block's pieces into statements. A statement ends at a top-level
+/// `;` or just after a child block (covering `if`/`match`/loop bodies and
+/// item bodies, which carry no semicolon).
+pub fn statements(ctx: &FileCtx, block: &Block) -> Vec<Vec<Piece>> {
+    let mut stmts = Vec::new();
+    let mut cur: Vec<Piece> = Vec::new();
+    for p in pieces(block) {
+        match p {
+            Piece::Tok(si) if ctx.tok(si).is_punct(';') => {
+                cur.push(p);
+                stmts.push(std::mem::take(&mut cur));
+            }
+            Piece::Child(_) => {
+                cur.push(p);
+                stmts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(p),
+        }
+    }
+    if !cur.is_empty() {
+        stmts.push(cur);
+    }
+    stmts
+}
+
+/// Reconstruct the receiver chain (`self.params`, `cfg`, ...) ending just
+/// before the sig token at `dot_si` (which should be the `.` of a method
+/// call). Returns an empty string when the receiver is not a simple
+/// ident/field/path chain (e.g. ends in `)`).
+pub fn receiver_chain(ctx: &FileCtx, dot_si: usize) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut j = dot_si;
+    while j > 0 {
+        j -= 1;
+        let tok = ctx.tok(j);
+        let chainlike = tok.kind == TokenKind::Ident || tok.is_punct('.') || tok.is_punct(':');
+        if chainlike {
+            parts.push(&tok.text);
+        } else {
+            break;
+        }
+    }
+    parts.reverse();
+    parts.join("")
+}
+
+/// Rust keywords that can directly precede a `[` without it being an index
+/// expression (`match [a, b] { .. }`, `return [0; 4]`, ...).
+pub const KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\nfn live2() {}";
+        let toks = lex(src);
+        let ctx = FileCtx::new("f.rs", &toks);
+        let unwraps: Vec<bool> = ctx
+            .sig
+            .iter()
+            .enumerate()
+            .filter(|(_, &ti)| toks[ti].is_ident("unwrap"))
+            .map(|(si, _)| ctx.is_test(si))
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        let live2 = ctx
+            .sig
+            .iter()
+            .position(|&ti| toks[ti].is_ident("live2"))
+            .expect("live2 present");
+        assert!(!ctx.in_test[ctx.sig[live2]]);
+    }
+
+    #[test]
+    fn test_attr_fn_is_marked_but_not_neighbors() {
+        let src = "#[test]\nfn check() { a.unwrap(); }\nfn serve() { b.unwrap(); }";
+        let toks = lex(src);
+        let ctx = FileCtx::new("f.rs", &toks);
+        let flags: Vec<bool> = (0..ctx.sig.len())
+            .filter(|&si| ctx.tok(si).is_ident("unwrap"))
+            .map(|si| ctx.is_test(si))
+            .collect();
+        assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let src = "#[cfg(not(test))]\nfn serve() { b.unwrap(); }";
+        let toks = lex(src);
+        let ctx = FileCtx::new("f.rs", &toks);
+        let si = (0..ctx.sig.len())
+            .find(|&si| ctx.tok(si).is_ident("unwrap"))
+            .expect("unwrap present");
+        assert!(!ctx.is_test(si));
+    }
+
+    #[test]
+    fn statements_split_on_semicolons_and_blocks() {
+        let src = "fn f() { let a = 1; if x { g(); } h(); }";
+        let toks = lex(src);
+        let ctx = FileCtx::new("f.rs", &toks);
+        let tree = block_tree(&ctx);
+        // tree: file-level -> fn body -> if body
+        assert_eq!(tree.children.len(), 1);
+        let body = &tree.children[0];
+        assert_eq!(body.children.len(), 1);
+        let stmts = statements(&ctx, body);
+        // `let a = 1;` | `if x {..}` | `h();`
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn receiver_chain_walks_fields() {
+        let src = "self.params.read()";
+        let toks = lex(src);
+        let ctx = FileCtx::new("f.rs", &toks);
+        let dot = (0..ctx.sig.len())
+            .rfind(|&si| ctx.tok(si).is_punct('.'))
+            .expect("dot present");
+        assert_eq!(receiver_chain(&ctx, dot), "self.params");
+    }
+
+    #[test]
+    fn receiver_chain_bails_on_calls() {
+        let src = "make().read()";
+        let toks = lex(src);
+        let ctx = FileCtx::new("f.rs", &toks);
+        let dot = (0..ctx.sig.len())
+            .rfind(|&si| ctx.tok(si).is_punct('.'))
+            .expect("dot present");
+        assert_eq!(receiver_chain(&ctx, dot), "");
+    }
+}

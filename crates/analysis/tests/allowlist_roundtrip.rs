@@ -1,0 +1,66 @@
+//! Round-trip test for the suppression workflow: lint → take the printed
+//! fingerprint → write an allowlist entry → the finding is suppressed, and
+//! entries that match nothing are reported stale.
+
+use analysis::allowlist::Allowlist;
+use analysis::lint_source;
+
+const FIXTURE_PATH: &str = "crates/core/src/query.rs";
+const FIXTURE_SRC: &str = "fn serve(v: &[u32]) -> u32 { v.first().unwrap() }\n";
+
+#[test]
+fn vetted_finding_round_trips_through_the_allowlist() {
+    let findings = lint_source(FIXTURE_PATH, FIXTURE_SRC);
+    assert_eq!(findings.len(), 1);
+    let text = format!(
+        "# vetted suppressions\n{} {} reviewed 2026-08: slice is non-empty by construction\n",
+        findings[0].rule, findings[0].fingerprint
+    );
+    let allow = Allowlist::parse(&text).expect("well-formed allowlist");
+    let (active, suppressed, stale) = allow.apply(findings);
+    assert!(active.is_empty(), "vetted finding must be suppressed");
+    assert_eq!(suppressed.len(), 1);
+    assert!(stale.is_empty());
+}
+
+#[test]
+fn entries_matching_nothing_are_stale_not_silent() {
+    let findings = lint_source(FIXTURE_PATH, FIXTURE_SRC);
+    let allow =
+        Allowlist::parse("AL001 00000000deadbeef suppresses a line that no longer exists\n")
+            .expect("well-formed allowlist");
+    let (active, suppressed, stale) = allow.apply(findings);
+    assert_eq!(active.len(), 1, "unmatched finding stays active");
+    assert!(suppressed.is_empty());
+    assert_eq!(stale.len(), 1, "unused entry must be reported stale");
+}
+
+#[test]
+fn suppression_expires_when_the_line_changes() {
+    let findings = lint_source(FIXTURE_PATH, FIXTURE_SRC);
+    let entry = format!("{} {} vetted\n", findings[0].rule, findings[0].fingerprint);
+    let allow = Allowlist::parse(&entry).expect("well-formed allowlist");
+    // The vetted line is edited (same rule still fires, different text).
+    let changed = lint_source(
+        FIXTURE_PATH,
+        "fn serve(v: &[u32]) -> u32 { v.last().unwrap() }\n",
+    );
+    let (active, suppressed, stale) = allow.apply(changed);
+    assert_eq!(active.len(), 1, "edited line needs re-review");
+    assert!(suppressed.is_empty());
+    assert_eq!(stale.len(), 1);
+}
+
+#[test]
+fn fingerprint_shown_to_the_user_is_what_the_allowlist_matches() {
+    // The binary prints `RULE FINGERPRINT <justification>` as the suggested
+    // entry; pasting it with any note must parse to a matching entry.
+    let findings = lint_source(FIXTURE_PATH, FIXTURE_SRC);
+    let pasted = format!(
+        "{} {}  my reason here\n",
+        findings[0].rule, findings[0].fingerprint
+    );
+    let allow = Allowlist::parse(&pasted).expect("pasted suggestion parses");
+    assert_eq!(allow.entries[0].fingerprint, findings[0].fingerprint);
+    assert_eq!(allow.entries[0].note, "my reason here");
+}

@@ -1,0 +1,261 @@
+//! Fixture tests proving each lint rule live: for every rule, a bad snippet
+//! that must trigger it and a good snippet that must not. Fixtures are
+//! in-memory sources run through [`analysis::lint_source`] under paths
+//! chosen to exercise each rule's scoping.
+
+use analysis::lint_source;
+
+/// Rules triggered by `src` linted as `path`.
+fn rules_for(path: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint_source(path, src).into_iter().map(|f| f.rule).collect();
+    rules.dedup();
+    rules
+}
+
+// ---------------------------------------------------------------- AL001
+
+#[test]
+fn al001_flags_unwrap_expect_and_panicking_macros_in_serving_code() {
+    let src = r#"
+        fn serve(v: Vec<u32>) -> u32 {
+            let a = v.first().unwrap();
+            let b = v.last().expect("non-empty");
+            if *a > *b { panic!("inverted"); }
+            match *a { 0 => unreachable!(), n => n }
+        }
+    "#;
+    let found = lint_source("crates/core/src/query.rs", src);
+    assert_eq!(found.iter().filter(|f| f.rule == "AL001").count(), 4);
+}
+
+#[test]
+fn al001_flags_bare_indexing_but_not_typed_ids() {
+    let bad = "fn f(v: &[u32], i: usize) -> u32 { v[i] }";
+    assert_eq!(rules_for("crates/apps/src/search.rs", bad), vec!["AL001"]);
+
+    let good = "fn f(v: &[u32], id: NodeId) -> u32 { v[id.index()] }";
+    assert!(rules_for("crates/apps/src/search.rs", good).is_empty());
+
+    let full_range = "fn f(v: &[u32]) -> &[u32] { &v[..] }";
+    assert!(rules_for("crates/apps/src/search.rs", full_range).is_empty());
+}
+
+#[test]
+fn al001_ignores_tests_and_out_of_scope_crates() {
+    let in_tests = r#"
+        fn serve() -> u32 { 1 }
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() { assert_eq!(super::serve(), v.first().unwrap() + v[0]); }
+        }
+    "#;
+    assert!(rules_for("crates/core/src/query.rs", in_tests).is_empty());
+
+    let mining = "fn pick(v: &[u32]) -> u32 { v.first().unwrap() + v[0] }";
+    assert!(rules_for("crates/mining/src/pipeline.rs", mining).is_empty());
+}
+
+#[test]
+fn al001_ignores_strings_and_comments() {
+    let src = r#"
+        // A comment may say v.unwrap() or v[i] freely.
+        fn f() -> &'static str { "docs: call .unwrap() on v[i]" }
+    "#;
+    assert!(rules_for("crates/core/src/query.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- AL002
+
+#[test]
+fn al002_flags_partial_cmp_sorts_everywhere() {
+    let src = "fn rank(xs: &mut Vec<f32>) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+    assert_eq!(rules_for("crates/text/src/word2vec.rs", src), vec!["AL002"]);
+    // Serving crates get the panic finding too, but AL002 still fires.
+    assert!(rules_for("crates/core/src/query.rs", src).contains(&"AL002"));
+}
+
+#[test]
+fn al002_allows_rank_module_and_total_order_call_sites() {
+    let definition = r#"
+        impl Ord for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> { None }
+        }
+        fn by_score(a: &f32, b: &f32) -> Ordering { b.total_cmp(a) }
+    "#;
+    assert!(rules_for("crates/nn/src/rank.rs", definition).is_empty());
+
+    let call_site = "fn rank(xs: &mut Vec<Entry>) { xs.sort_by(rank::by_score_then_id); }";
+    assert!(rules_for("crates/text/src/word2vec.rs", call_site).is_empty());
+}
+
+// ---------------------------------------------------------------- AL003
+
+#[test]
+fn al003_flags_private_epoch_loops() {
+    let src = r#"
+        fn train(cfg: &Config) {
+            for epoch in 0..cfg.epochs {
+                step(epoch);
+            }
+        }
+    "#;
+    assert_eq!(rules_for("crates/text/src/doc2vec.rs", src), vec!["AL003"]);
+}
+
+#[test]
+fn al003_allows_the_engine_tests_and_plain_loops() {
+    let src = "fn train(cfg: &Config) { for epoch in 0..cfg.epochs { step(epoch); } }";
+    assert!(rules_for("crates/nn/src/train.rs", src).is_empty());
+
+    let test_oracle = r#"
+        #[cfg(test)]
+        mod tests {
+            fn reference(cfg: &Config) { for epoch in 0..cfg.epochs { step(epoch); } }
+        }
+    "#;
+    assert!(rules_for("crates/text/src/doc2vec.rs", test_oracle).is_empty());
+
+    let plain = "fn sum(v: &[u32]) -> u32 { let mut s = 0; for x in v { s += x; } s }";
+    assert!(rules_for("crates/text/src/doc2vec.rs", plain).is_empty());
+}
+
+// ---------------------------------------------------------------- AL004
+
+#[test]
+fn al004_flags_two_locks_in_one_statement() {
+    let src = "fn f(m: &RwLock<u32>) -> u32 { *m.read() + *m.write() }";
+    assert_eq!(rules_for("crates/nn/src/param.rs", src), vec!["AL004"]);
+}
+
+#[test]
+fn al004_flags_read_then_write_upgrade() {
+    let src = r#"
+        fn f(p: &RwLock<u32>) {
+            let g = p.read();
+            let w = p.write();
+        }
+    "#;
+    assert_eq!(rules_for("crates/nn/src/param.rs", src), vec!["AL004"]);
+}
+
+#[test]
+fn al004_flags_spawn_with_guard_held() {
+    let src = r#"
+        fn f(p: &RwLock<u32>) {
+            let g = self.params.read();
+            std::thread::scope(|s| {
+                s.spawn(|| work(&g));
+            });
+        }
+    "#;
+    assert!(rules_for("crates/nn/src/train.rs", src).contains(&"AL004"));
+}
+
+#[test]
+fn al004_allows_dropped_scoped_and_temporary_guards() {
+    let dropped = r#"
+        fn f(p: &RwLock<u32>) {
+            let g = p.read();
+            drop(g);
+            let w = p.write();
+        }
+    "#;
+    assert!(rules_for("crates/nn/src/param.rs", dropped).is_empty());
+
+    let scoped = r#"
+        fn f(p: &RwLock<u32>) {
+            { let g = p.read(); use_it(&g); }
+            let w = p.write();
+        }
+    "#;
+    assert!(rules_for("crates/nn/src/param.rs", scoped).is_empty());
+
+    let temporary = r#"
+        fn f(p: &RwLock<Vec<u32>>) {
+            let n = p.read().len();
+            let w = p.write();
+        }
+    "#;
+    assert!(rules_for("crates/nn/src/param.rs", temporary).is_empty());
+
+    let distinct = r#"
+        fn f(a: &RwLock<u32>, b: &RwLock<u32>) {
+            let ga = a.read();
+            let gb = b.read();
+        }
+    "#;
+    assert!(rules_for("crates/nn/src/param.rs", distinct).is_empty());
+}
+
+// ---------------------------------------------------------------- AL005
+
+#[test]
+fn al005_flags_unsorted_hash_iteration_in_serialization() {
+    let src = r#"
+        fn save(out: &mut String) {
+            let mut map: FxHashMap<String, u32> = FxHashMap::default();
+            for k in map.keys() {
+                out.push_str(k);
+            }
+        }
+    "#;
+    assert_eq!(rules_for("crates/core/src/snapshot.rs", src), vec!["AL005"]);
+}
+
+#[test]
+fn al005_allows_sorted_collection_and_out_of_scope_files() {
+    let sorted = r#"
+        fn save(out: &mut String, map: &FxHashMap<String, u32>) {
+            let mut ks: Vec<&String> = map.keys().collect();
+            ks.sort();
+            for k in ks {
+                out.push_str(k);
+            }
+        }
+    "#;
+    assert!(rules_for("crates/core/src/snapshot.rs", sorted).is_empty());
+
+    let elsewhere = r#"
+        fn count(map: &FxHashMap<String, u32>) -> u32 {
+            let mut n = 0;
+            for v in map.values() { n += v; }
+            n
+        }
+    "#;
+    assert!(rules_for("crates/core/src/query.rs", elsewhere).is_empty());
+}
+
+// ---------------------------------------------------------------- AL006
+
+#[test]
+fn al006_requires_safety_comments_on_unsafe_blocks() {
+    let bad = "fn f(p: *const u32) -> u32 { unsafe { p.read_volatile() } }";
+    assert_eq!(rules_for("crates/nn/src/tensor.rs", bad), vec!["AL006"]);
+
+    let good = r#"
+        fn f(p: *const u32) -> u32 {
+            // SAFETY: p is non-null and valid for reads; caller upholds this.
+            unsafe { p.read_volatile() }
+        }
+    "#;
+    assert!(rules_for("crates/nn/src/tensor.rs", good).is_empty());
+
+    let declaration = "unsafe fn raw(p: *const u32) -> u32 { 0 }";
+    assert!(rules_for("crates/nn/src/tensor.rs", declaration).is_empty());
+}
+
+// ---------------------------------------------------------- diagnostics
+
+#[test]
+fn findings_carry_position_snippet_and_fingerprint() {
+    let src = "fn serve(v: &[u32]) -> u32 {\n    v.first().unwrap()\n}\n";
+    let found = lint_source("crates/core/src/query.rs", src);
+    assert_eq!(found.len(), 1);
+    let f = &found[0];
+    assert_eq!(f.rule, "AL001");
+    assert_eq!(f.line, 2);
+    assert_eq!(f.snippet, "v.first().unwrap()");
+    assert_eq!(f.fingerprint.len(), 16);
+    assert!(f.fingerprint.chars().all(|c| c.is_ascii_hexdigit()));
+}

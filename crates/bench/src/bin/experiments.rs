@@ -687,13 +687,9 @@ fn search_relevance() {
         let top_is_relevant = |qv: &Vec<alicoco_text::TokenId>| {
             cands
                 .iter()
-                .max_by(|a, b| {
-                    index
-                        .score(qv, a.0)
-                        .partial_cmp(&index.score(qv, b.0))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .map(|&(_, y)| y)
+                .map(|&(i, y)| ((i, index.score(qv, i)), y))
+                .min_by(|a, b| alicoco::rank::by_score_then_id(&a.0, &b.0))
+                .map(|(_, y)| y)
                 .unwrap_or(false)
         };
         if !top_is_relevant(&plain_q) {

@@ -96,15 +96,18 @@ pub fn evaluate<V: VocabularySource>(vocab: &V, queries: &[Vec<String>]) -> Cove
         let mut this_covered = 0usize;
         let mut this_total = 0usize;
         let mut i = 0;
-        while i < q.len() {
-            if STOP.contains(&q[i].as_str()) {
+        while let Some(word) = q.get(i) {
+            if STOP.contains(&word.as_str()) {
                 i += 1;
                 continue;
             }
             // Longest-first span matching, up to 3 tokens.
             let mut matched = 0;
             for len in (1..=3.min(q.len() - i)).rev() {
-                let span = q[i..i + len].join(" ");
+                let Some(window) = q.get(i..i + len) else {
+                    continue;
+                };
+                let span = window.join(" ");
                 if vocab.covers(&span) {
                     matched = len;
                     break;

@@ -64,7 +64,7 @@ pub fn mine_implications(kg: &AliCoCo, cfg: &InferConfig) -> Vec<Implication> {
             *single.entry(p).or_insert(0) += 1;
         }
         for (i, &a) in prims.iter().enumerate() {
-            for &b in &prims[i + 1..] {
+            for &b in prims.iter().skip(i + 1) {
                 *pair.entry((a.min(b), a.max(b))).or_insert(0) += 1;
             }
         }
@@ -78,8 +78,12 @@ pub fn mine_implications(kg: &AliCoCo, cfg: &InferConfig) -> Vec<Implication> {
             if kg.primitive(ante).class == kg.primitive(cons).class {
                 continue;
             }
-            let ante_count = single[&ante];
-            let cons_count = single[&cons];
+            // Both counts are populated from the same concept scan as
+            // `pair`, but look them up fallibly all the same.
+            let (Some(&ante_count), Some(&cons_count)) = (single.get(&ante), single.get(&cons))
+            else {
+                continue;
+            };
             let confidence = both as f64 / ante_count as f64;
             let base = cons_count as f64 / n_concepts as f64;
             let lift = if base == 0.0 { 0.0 } else { confidence / base };

@@ -74,10 +74,14 @@ pub mod graph;
 pub mod ids;
 pub mod infer;
 pub mod query;
-pub mod rank;
 pub mod snapshot;
 pub mod stats;
 pub mod validate;
+
+/// Shared ranking primitives, re-exported from the base `alicoco-nn` crate
+/// so every layer (including `nn` and `text`, which cannot depend on this
+/// crate) ranks under the same total order.
+pub use alicoco_nn::rank;
 
 pub use graph::{AliCoCo, ClassNode, ConceptNode, ItemNode, PrimitiveNode};
 pub use ids::{ClassId, ConceptId, ItemId, PrimitiveId};

@@ -250,12 +250,12 @@ pub fn concept_subgraph(kg: &AliCoCo, concept: ConceptId) -> AliCoCo {
     // Classes along each primitive's ancestor chain.
     let mut class_map: FxHashMap<ClassId, ClassId> = FxHashMap::default();
     let mut add_class_chain = |kg: &AliCoCo, out: &mut AliCoCo, class: ClassId| -> ClassId {
-        // Insert ancestors root-first.
+        // Insert ancestors root-first, then `class` itself — mapping the
+        // final link outside the loop keeps the return value total without
+        // an "empty chain" panic path.
         let mut chain = kg.class_ancestors(class);
         chain.reverse();
-        chain.push(class);
         let mut parent: Option<ClassId> = None;
-        let mut mapped = None;
         for c in chain {
             let id = match class_map.get(&c) {
                 Some(&id) => id,
@@ -266,9 +266,15 @@ pub fn concept_subgraph(kg: &AliCoCo, concept: ConceptId) -> AliCoCo {
                 }
             };
             parent = Some(id);
-            mapped = Some(id);
         }
-        mapped.expect("chain non-empty")
+        match class_map.get(&class) {
+            Some(&id) => id,
+            None => {
+                let id = out.add_class(&kg.class(class).name, parent);
+                class_map.insert(class, id);
+                id
+            }
+        }
     };
     let new_concept = out.add_concept(&src.name);
     for &p in &src.primitives {

@@ -127,31 +127,45 @@ impl From<io::Error> for LoadError {
     }
 }
 
-/// Deserialize a graph from a reader.
+/// Deserialize a graph from a reader. Every field access is bounds-checked,
+/// so truncated or malformed records of any type yield a
+/// [`LoadError::Parse`] rather than a panic.
 pub fn load<R: BufRead>(r: &mut R) -> Result<AliCoCo, LoadError> {
     let mut kg = AliCoCo::new();
     let err = |ln: usize, msg: &str| LoadError::Parse(ln, msg.to_string());
+    // Ids are stored as `u32` internally, so parse at that width: an
+    // out-of-range id in the stream is a parse error, not an overflow panic
+    // inside `from_index`.
     let parse_idx = |ln: usize, s: &str| -> Result<usize, LoadError> {
-        s.parse::<usize>().map_err(|_| err(ln, "bad id"))
+        s.parse::<u32>()
+            .map(|i| i as usize)
+            .map_err(|_| err(ln, "bad id"))
     };
+    fn field<'a>(ln: usize, parts: &[&'a str], i: usize) -> Result<&'a str, LoadError> {
+        parts
+            .get(i)
+            .copied()
+            .ok_or_else(|| LoadError::Parse(ln, "truncated record".to_string()))
+    }
     for (ln, line) in r.lines().enumerate() {
         let line = line?;
         if line.is_empty() {
             continue;
         }
         let parts: Vec<&str> = line.split('\t').collect();
-        match parts[0] {
+        let parts = parts.as_slice();
+        match field(ln, parts, 0)? {
             "C" => {
                 if parts.len() != 4 {
                     return Err(err(ln, "class record needs 4 fields"));
                 }
-                let parent = if parts[3] == "-" {
+                let parent = if field(ln, parts, 3)? == "-" {
                     None
                 } else {
-                    Some(ClassId::from_index(parse_idx(ln, parts[3])?))
+                    Some(ClassId::from_index(parse_idx(ln, field(ln, parts, 3)?)?))
                 };
-                let id = kg.add_class(parts[2], parent);
-                if id.index() != parse_idx(ln, parts[1])? {
+                let id = kg.add_class(field(ln, parts, 2)?, parent);
+                if id.index() != parse_idx(ln, field(ln, parts, 1)?)? {
                     return Err(err(ln, "class ids out of order"));
                 }
             }
@@ -159,9 +173,9 @@ pub fn load<R: BufRead>(r: &mut R) -> Result<AliCoCo, LoadError> {
                 if parts.len() != 4 {
                     return Err(err(ln, "primitive record needs 4 fields"));
                 }
-                let class = ClassId::from_index(parse_idx(ln, parts[3])?);
-                let id = kg.add_primitive(parts[2], class);
-                if id.index() != parse_idx(ln, parts[1])? {
+                let class = ClassId::from_index(parse_idx(ln, field(ln, parts, 3)?)?);
+                let id = kg.add_primitive(field(ln, parts, 2)?, class);
+                if id.index() != parse_idx(ln, field(ln, parts, 1)?)? {
                     return Err(err(ln, "primitive ids out of order"));
                 }
             }
@@ -169,8 +183,8 @@ pub fn load<R: BufRead>(r: &mut R) -> Result<AliCoCo, LoadError> {
                 if parts.len() != 3 {
                     return Err(err(ln, "concept record needs 3 fields"));
                 }
-                let id = kg.add_concept(parts[2]);
-                if id.index() != parse_idx(ln, parts[1])? {
+                let id = kg.add_concept(field(ln, parts, 2)?);
+                if id.index() != parse_idx(ln, field(ln, parts, 1)?)? {
                     return Err(err(ln, "concept ids out of order"));
                 }
             }
@@ -178,52 +192,55 @@ pub fn load<R: BufRead>(r: &mut R) -> Result<AliCoCo, LoadError> {
                 if parts.len() != 3 {
                     return Err(err(ln, "item record needs 3 fields"));
                 }
-                let title: Vec<String> = if parts[2].is_empty() {
+                let tokens = field(ln, parts, 2)?;
+                let title: Vec<String> = if tokens.is_empty() {
                     Vec::new()
                 } else {
-                    parts[2].split(' ').map(String::from).collect()
+                    tokens.split(' ').map(String::from).collect()
                 };
                 let id = kg.add_item(&title);
-                if id.index() != parse_idx(ln, parts[1])? {
+                if id.index() != parse_idx(ln, field(ln, parts, 1)?)? {
                     return Err(err(ln, "item ids out of order"));
                 }
             }
             "pp" => kg.add_primitive_is_a(
-                PrimitiveId::from_index(parse_idx(ln, parts[1])?),
-                PrimitiveId::from_index(parse_idx(ln, parts[2])?),
+                PrimitiveId::from_index(parse_idx(ln, field(ln, parts, 1)?)?),
+                PrimitiveId::from_index(parse_idx(ln, field(ln, parts, 2)?)?),
             ),
             "ee" => kg.add_concept_is_a(
-                ConceptId::from_index(parse_idx(ln, parts[1])?),
-                ConceptId::from_index(parse_idx(ln, parts[2])?),
+                ConceptId::from_index(parse_idx(ln, field(ln, parts, 1)?)?),
+                ConceptId::from_index(parse_idx(ln, field(ln, parts, 2)?)?),
             ),
             "ep" => kg.link_concept_primitive(
-                ConceptId::from_index(parse_idx(ln, parts[1])?),
-                PrimitiveId::from_index(parse_idx(ln, parts[2])?),
+                ConceptId::from_index(parse_idx(ln, field(ln, parts, 1)?)?),
+                PrimitiveId::from_index(parse_idx(ln, field(ln, parts, 2)?)?),
             ),
             "ip" => kg.link_item_primitive(
-                ItemId::from_index(parse_idx(ln, parts[1])?),
-                PrimitiveId::from_index(parse_idx(ln, parts[2])?),
+                ItemId::from_index(parse_idx(ln, field(ln, parts, 1)?)?),
+                PrimitiveId::from_index(parse_idx(ln, field(ln, parts, 2)?)?),
             ),
             "ei" => {
                 if parts.len() != 4 {
                     return Err(err(ln, "concept-item record needs 4 fields"));
                 }
-                let weight: f32 = parts[3].parse().map_err(|_| err(ln, "bad weight"))?;
+                let weight: f32 = field(ln, parts, 3)?
+                    .parse()
+                    .map_err(|_| err(ln, "bad weight"))?;
                 kg.link_concept_item(
-                    ConceptId::from_index(parse_idx(ln, parts[1])?),
-                    ItemId::from_index(parse_idx(ln, parts[2])?),
+                    ConceptId::from_index(parse_idx(ln, field(ln, parts, 1)?)?),
+                    ItemId::from_index(parse_idx(ln, field(ln, parts, 2)?)?),
                     weight,
                 );
             }
             "S" => kg.add_schema_relation(
-                parts[1],
-                ClassId::from_index(parse_idx(ln, parts[2])?),
-                ClassId::from_index(parse_idx(ln, parts[3])?),
+                field(ln, parts, 1)?,
+                ClassId::from_index(parse_idx(ln, field(ln, parts, 2)?)?),
+                ClassId::from_index(parse_idx(ln, field(ln, parts, 3)?)?),
             ),
             "R" => kg.add_primitive_relation(
-                parts[1],
-                PrimitiveId::from_index(parse_idx(ln, parts[2])?),
-                PrimitiveId::from_index(parse_idx(ln, parts[3])?),
+                field(ln, parts, 1)?,
+                PrimitiveId::from_index(parse_idx(ln, field(ln, parts, 2)?)?),
+                PrimitiveId::from_index(parse_idx(ln, field(ln, parts, 3)?)?),
             ),
             other => return Err(err(ln, &format!("unknown record type {other:?}"))),
         }
@@ -299,6 +316,29 @@ mod tests {
         assert!(load(&mut bad2.as_slice()).is_err());
         let bad3 = b"C\t5\tfoo\t-\n"; // id out of order
         assert!(load(&mut bad3.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_records_error_instead_of_panicking() {
+        // Relation records used to index `parts[1..3]` unchecked; every one
+        // of these must now surface as a parse error.
+        for bad in [
+            &b"pp\t0\n"[..],
+            b"ee\t0\n",
+            b"ep\n",
+            b"ip\t1\n",
+            b"S\tname\t0\n",
+            b"R\tname\n",
+        ] {
+            let e = load(&mut &bad[..]).unwrap_err();
+            assert!(matches!(e, LoadError::Parse(0, _)), "input {bad:?}");
+        }
+        // An id beyond u32 range is a parse error, not an overflow panic.
+        let huge = b"C\t99999999999999999999\tfoo\t-\n";
+        assert!(matches!(
+            load(&mut &huge[..]).unwrap_err(),
+            LoadError::Parse(0, _)
+        ));
     }
 
     #[test]

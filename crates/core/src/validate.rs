@@ -91,8 +91,7 @@ pub fn validate(kg: &AliCoCo) -> Vec<Violation> {
             color[start.index()] = Color::Grey;
             while let Some(&mut (node, ref mut next)) = stack.last_mut() {
                 let hypernyms = &kg.primitive(node).hypernyms;
-                if *next < hypernyms.len() {
-                    let child = hypernyms[*next];
+                if let Some(&child) = hypernyms.get(*next) {
                     *next += 1;
                     match color[child.index()] {
                         Color::White => {
@@ -132,8 +131,7 @@ pub fn validate(kg: &AliCoCo) -> Vec<Violation> {
             state[start.index()] = 1;
             while let Some(&mut (node, ref mut next)) = stack.last_mut() {
                 let hypernyms = &kg.concept(node).hypernyms;
-                if *next < hypernyms.len() {
-                    let child = hypernyms[*next];
+                if let Some(&child) = hypernyms.get(*next) {
                     *next += 1;
                     match state[child.index()] {
                         0 => {

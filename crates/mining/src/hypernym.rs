@@ -510,7 +510,7 @@ pub fn run_active_learning(
                         (i, (s - 0.5).abs() / 0.5)
                     })
                     .collect();
-                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                scored.sort_by(alicoco::rank::by_score_then_id);
                 let take: Vec<usize> = match cfg.strategy {
                     Strategy::Cs => scored[..k].iter().map(|&(i, _)| i).collect(),
                     Strategy::Us => scored[scored.len() - k..].iter().map(|&(i, _)| i).collect(),

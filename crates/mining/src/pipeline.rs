@@ -506,7 +506,7 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
             .into_iter()
             .map(|(ii, _)| (ii, matcher.score_spec(&res, &spec, &ds.items[ii].title)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(alicoco::rank::by_score_then_id);
         let mut linked = 0;
         for &(ii, s) in &scored {
             if s >= cfg.link_threshold {

@@ -161,9 +161,7 @@ pub fn mine_relations(
         }
     }
     out.sort_by(|a, b| {
-        b.pmi
-            .partial_cmp(&a.pmi)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        alicoco::rank::score_desc(&a.pmi, &b.pmi)
             .then(b.cooccurrences.cmp(&a.cooccurrences))
             .then(a.from.cmp(&b.from))
             .then(a.to.cmp(&b.to))

@@ -30,6 +30,7 @@ pub mod layers;
 pub mod metrics;
 pub mod param;
 pub mod persist;
+pub mod rank;
 pub mod rnn;
 pub mod tensor;
 pub mod train;
@@ -38,4 +39,4 @@ pub mod util;
 pub use graph::{Graph, NodeId};
 pub use param::{Adam, GradShadow, Optimizer, Param, ParamSet, Sgd};
 pub use tensor::Tensor;
-pub use train::{EpochStats, StopCriterion, TrainConfig, Trainer};
+pub use train::{EpochStats, RawEpoch, StopCriterion, TrainConfig, Trainer};

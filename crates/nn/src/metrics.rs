@@ -13,7 +13,7 @@ pub fn roc_auc(scored: &[(f32, bool)]) -> f64 {
         return 0.5;
     }
     let mut sorted: Vec<(f32, bool)> = scored.to_vec();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| crate::rank::score_asc(&a.0, &b.0).then(a.1.cmp(&b.1)));
     // Assign average ranks to ties.
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;
@@ -96,11 +96,15 @@ pub fn accuracy(pairs: &[(bool, bool)]) -> f64 {
 }
 
 /// One ranked query: candidate scores with relevance flags, ranked by
-/// descending score before metric computation.
+/// descending score before metric computation. Ties break on the original
+/// candidate index so the ranking (and every metric over it) is stable.
 fn ranked(scored: &[(f32, bool)]) -> Vec<bool> {
-    let mut v: Vec<(f32, bool)> = scored.to_vec();
-    v.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-    v.into_iter().map(|(_, y)| y).collect()
+    let mut order: Vec<(usize, f32)> = scored.iter().map(|&(s, _)| s).enumerate().collect();
+    order.sort_by(crate::rank::by_score_then_id);
+    order
+        .into_iter()
+        .map(|(i, _)| scored.get(i).is_some_and(|&(_, y)| y))
+        .collect()
 }
 
 /// Average precision of one ranked query (0 if it has no relevant items).
@@ -239,6 +243,20 @@ mod tests {
         assert!((m.map - 0.75).abs() < 1e-9);
         assert!((m.mrr - 0.75).abs() < 1e-9);
         assert!((m.p_at_1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tied_scores_rank_stably_by_index() {
+        // All scores tied: the ranking must be the original candidate order,
+        // so AP/RR/P@k are deterministic functions of the input order.
+        let s = vec![(0.5, false), (0.5, true), (0.5, true)];
+        assert!((reciprocal_rank(&s) - 0.5).abs() < 1e-9);
+        assert!((precision_at_k(&s, 1) - 0.0).abs() < 1e-9);
+        // AP = (1/2 + 2/3) / 2 = 7/12 under index-stable tie-breaking.
+        assert!((average_precision(&s) - 7.0 / 12.0).abs() < 1e-9);
+        // A permuted copy with the same multiset of scores ranks by its own
+        // input order — repeated evaluation of either is bit-stable.
+        assert_eq!(average_precision(&s), average_precision(&s));
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub fn score_desc<S: Score>(a: &S, b: &S) -> Ordering {
     b.total_cmp_asc(a)
 }
 
+/// Ascending total order on scores (for rank statistics that sort
+/// worst-first, e.g. ROC-AUC).
+pub fn score_asc<S: Score>(a: &S, b: &S) -> Ordering {
+    a.total_cmp_asc(b)
+}
+
 /// The workspace-wide ranking order for `(id, score)` pairs: score
 /// descending, id ascending as the deterministic tie-break. `Less`
 /// means `a` ranks better (so `sort_by(by_score_then_id)` is

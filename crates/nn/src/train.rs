@@ -110,6 +110,19 @@ pub enum StopCriterion {
     },
 }
 
+/// One epoch of a raw training loop run by [`Trainer::run_raw`]: the epoch
+/// index, the total epoch budget, and the scheduled learning rate.
+#[derive(Clone, Copy, Debug)]
+pub struct RawEpoch {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Total epoch budget ([`TrainConfig::epochs`]).
+    pub epochs: usize,
+    /// Linearly decayed learning rate for this epoch:
+    /// `lr * max(1 - epoch / epochs, floor)`.
+    pub lr: f32,
+}
+
 /// Per-epoch telemetry returned by [`Trainer::train`].
 #[derive(Clone, Debug)]
 pub struct EpochStats {
@@ -141,6 +154,37 @@ impl<'a> Trainer<'a> {
     /// The configuration this trainer runs with.
     pub fn config(&self) -> &TrainConfig {
         &self.cfg
+    }
+
+    /// Run a raw (non-autodiff) training loop: the counterpart of
+    /// [`Trainer::train`] for hot-loop models that own their parameter
+    /// arrays directly (the SGNS-style embedding trainers in
+    /// `alicoco-text`). The engine owns the epoch iteration and the linear
+    /// learning-rate decay schedule — no module needs a private epoch loop —
+    /// while `epoch_body` performs the model's own updates for one full
+    /// pass over its data at the scheduled rate.
+    ///
+    /// The schedule is `cfg.lr * max(1 - epoch / epochs, lr_floor)`; a
+    /// floor of `1.0` yields a constant `cfg.lr` for every epoch (used by
+    /// inference-time optimization and loops with their own finer-grained
+    /// schedule). The RNG is threaded through untouched, so a migrated loop
+    /// draws exactly the sequence its hand-rolled predecessor drew.
+    pub fn run_raw<R, F>(cfg: &TrainConfig, lr_floor: f32, rng: &mut R, mut epoch_body: F)
+    where
+        R: Rng + ?Sized,
+        F: FnMut(RawEpoch, &mut R),
+    {
+        for epoch in 0..cfg.epochs {
+            let lr = cfg.lr * (1.0 - epoch as f32 / cfg.epochs as f32).max(lr_floor);
+            epoch_body(
+                RawEpoch {
+                    epoch,
+                    epochs: cfg.epochs,
+                    lr,
+                },
+                rng,
+            );
+        }
     }
 
     /// Train for [`TrainConfig::epochs`] epochs. `forward` builds the loss

@@ -6,7 +6,7 @@
 //! documents are embedded by [`Doc2Vec::infer`], which optimizes a fresh
 //! vector against the frozen word matrix.
 
-use alicoco_nn::Tensor;
+use alicoco_nn::{Tensor, TrainConfig, Trainer};
 use rand::Rng;
 
 use crate::vocab::{TokenId, Vocab, UNK};
@@ -70,39 +70,47 @@ impl Doc2Vec {
         let mut out: Vec<f32> = vec![0.0; v * d];
         let table = NegativeTable::new(vocab, 10_000.max(v * 4));
         let mut grad = vec![0.0f32; d];
-        for epoch in 0..cfg.epochs {
-            let lr = cfg.lr * (1.0 - epoch as f32 / cfg.epochs as f32).max(0.1);
-            for (di, doc) in docs.iter().enumerate() {
-                let doc_row_start = di * d;
-                for &word in doc {
-                    if word == UNK {
-                        continue;
-                    }
-                    grad.iter_mut().for_each(|g| *g = 0.0);
-                    let doc_row = &mut doc_vecs[doc_row_start..doc_row_start + d];
-                    for s in 0..=cfg.negatives {
-                        let (target, label) = if s == 0 {
-                            (word, 1.0f32)
-                        } else {
-                            (table.sample(&mut rng), 0.0f32)
-                        };
-                        if s > 0 && target == word {
+        // The epoch iteration and linear lr decay (floor 0.1) belong to the
+        // shared engine; one pass over the documents is the epoch body.
+        Trainer::run_raw(
+            &TrainConfig::new(cfg.epochs, cfg.lr),
+            0.1,
+            &mut rng,
+            |ep, rng| {
+                let lr = ep.lr;
+                for (di, doc) in docs.iter().enumerate() {
+                    let doc_row_start = di * d;
+                    for &word in doc {
+                        if word == UNK {
                             continue;
                         }
-                        let orow = &mut out[target * d..(target + 1) * d];
-                        let dot: f32 = doc_row.iter().zip(orow.iter()).map(|(a, b)| a * b).sum();
-                        let err = (sigmoid(dot) - label) * lr;
+                        grad.iter_mut().for_each(|g| *g = 0.0);
+                        let doc_row = &mut doc_vecs[doc_row_start..doc_row_start + d];
+                        for s in 0..=cfg.negatives {
+                            let (target, label) = if s == 0 {
+                                (word, 1.0f32)
+                            } else {
+                                (table.sample(rng), 0.0f32)
+                            };
+                            if s > 0 && target == word {
+                                continue;
+                            }
+                            let orow = &mut out[target * d..(target + 1) * d];
+                            let dot: f32 =
+                                doc_row.iter().zip(orow.iter()).map(|(a, b)| a * b).sum();
+                            let err = (sigmoid(dot) - label) * lr;
+                            for k in 0..d {
+                                grad[k] += err * orow[k];
+                                orow[k] -= err * doc_row[k];
+                            }
+                        }
                         for k in 0..d {
-                            grad[k] += err * orow[k];
-                            orow[k] -= err * doc_row[k];
+                            doc_row[k] -= grad[k];
                         }
                     }
-                    for k in 0..d {
-                        doc_row[k] -= grad[k];
-                    }
                 }
-            }
-        }
+            },
+        );
         let neg_weights = (0..v)
             .map(|i| {
                 if i == UNK {
@@ -139,43 +147,50 @@ impl Doc2Vec {
             .map(|_| (rng.gen::<f32>() - 0.5) / d as f32)
             .collect();
         let total: f64 = self.neg_weights.iter().sum::<f64>().max(1e-9);
-        for _ in 0..self.cfg.infer_epochs {
-            for &word in doc {
-                if word == UNK || word >= self.word_output.rows() {
-                    continue;
-                }
-                let mut grad = vec![0.0f32; d];
-                for s in 0..=self.cfg.negatives {
-                    let (target, label) = if s == 0 {
-                        (word, 1.0f32)
-                    } else {
-                        // Roulette-wheel sample from stored weights.
-                        let mut r = rng.gen::<f64>() * total;
-                        let mut t = 0usize;
-                        for (i, w) in self.neg_weights.iter().enumerate() {
-                            r -= w;
-                            if r <= 0.0 {
-                                t = i;
-                                break;
-                            }
-                        }
-                        (t, 0.0f32)
-                    };
-                    if s > 0 && target == word {
+        // Constant-lr schedule (floor 1.0): inference takes plain gradient
+        // steps at `cfg.lr` for `infer_epochs` passes.
+        Trainer::run_raw(
+            &TrainConfig::new(self.cfg.infer_epochs, self.cfg.lr),
+            1.0,
+            &mut rng,
+            |ep, rng| {
+                for &word in doc {
+                    if word == UNK || word >= self.word_output.rows() {
                         continue;
                     }
-                    let orow = self.word_output.row_slice(target);
-                    let dot: f32 = vec.iter().zip(orow).map(|(a, b)| a * b).sum();
-                    let err = (sigmoid(dot) - label) * self.cfg.lr;
+                    let mut grad = vec![0.0f32; d];
+                    for s in 0..=self.cfg.negatives {
+                        let (target, label) = if s == 0 {
+                            (word, 1.0f32)
+                        } else {
+                            // Roulette-wheel sample from stored weights.
+                            let mut r = rng.gen::<f64>() * total;
+                            let mut t = 0usize;
+                            for (i, w) in self.neg_weights.iter().enumerate() {
+                                r -= w;
+                                if r <= 0.0 {
+                                    t = i;
+                                    break;
+                                }
+                            }
+                            (t, 0.0f32)
+                        };
+                        if s > 0 && target == word {
+                            continue;
+                        }
+                        let orow = self.word_output.row_slice(target);
+                        let dot: f32 = vec.iter().zip(orow).map(|(a, b)| a * b).sum();
+                        let err = (sigmoid(dot) - label) * ep.lr;
+                        for k in 0..d {
+                            grad[k] += err * orow[k];
+                        }
+                    }
                     for k in 0..d {
-                        grad[k] += err * orow[k];
+                        vec[k] -= grad[k];
                     }
                 }
-                for k in 0..d {
-                    vec[k] -= grad[k];
-                }
-            }
-        }
+            },
+        );
         vec
     }
 }
@@ -229,6 +244,80 @@ mod tests {
             to_bbq > to_beauty,
             "inferred bbq doc closer to beauty ({to_bbq} vs {to_beauty})"
         );
+    }
+
+    /// The pre-engine training loop, kept verbatim as an oracle: migrating
+    /// the epoch iteration onto `Trainer::run_raw` must not change a single
+    /// bit of the learned embeddings (same schedule, same RNG draws).
+    fn reference_train(vocab: &Vocab, docs: &[Vec<TokenId>], cfg: &Doc2VecConfig) -> Vec<f32> {
+        let d = cfg.dim;
+        let v = vocab.len();
+        let n = docs.len();
+        let mut rng = alicoco_nn::util::seeded_rng(cfg.seed);
+        let mut doc_vecs: Vec<f32> = (0..n * d)
+            .map(|_| (rng.gen::<f32>() - 0.5) / d as f32)
+            .collect();
+        let mut out: Vec<f32> = vec![0.0; v * d];
+        let table = NegativeTable::new(vocab, 10_000.max(v * 4));
+        let mut grad = vec![0.0f32; d];
+        for epoch in 0..cfg.epochs {
+            let lr = cfg.lr * (1.0 - epoch as f32 / cfg.epochs as f32).max(0.1);
+            for (di, doc) in docs.iter().enumerate() {
+                let doc_row_start = di * d;
+                for &word in doc {
+                    if word == UNK {
+                        continue;
+                    }
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    let doc_row = &mut doc_vecs[doc_row_start..doc_row_start + d];
+                    for s in 0..=cfg.negatives {
+                        let (target, label) = if s == 0 {
+                            (word, 1.0f32)
+                        } else {
+                            (table.sample(&mut rng), 0.0f32)
+                        };
+                        if s > 0 && target == word {
+                            continue;
+                        }
+                        let orow = &mut out[target * d..(target + 1) * d];
+                        let dot: f32 = doc_row.iter().zip(orow.iter()).map(|(a, b)| a * b).sum();
+                        let err = (sigmoid(dot) - label) * lr;
+                        for k in 0..d {
+                            grad[k] += err * orow[k];
+                            orow[k] -= err * doc_row[k];
+                        }
+                    }
+                    for k in 0..d {
+                        doc_row[k] -= grad[k];
+                    }
+                }
+            }
+        }
+        doc_vecs
+    }
+
+    #[test]
+    fn engine_migration_is_bit_identical_to_reference_loop() {
+        let (vocab, docs) = toy_docs();
+        for cfg in [
+            Doc2VecConfig::default(),
+            Doc2VecConfig {
+                epochs: 3,
+                seed: 99,
+                ..Doc2VecConfig::default()
+            },
+        ] {
+            let model = Doc2Vec::train(&vocab, &docs, &cfg);
+            let reference = reference_train(&vocab, &docs, &cfg);
+            let engine_bits: Vec<u32> = model
+                .doc_vectors
+                .data()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let oracle_bits: Vec<u32> = reference.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(engine_bits, oracle_bits);
+        }
     }
 
     #[test]

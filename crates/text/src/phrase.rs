@@ -136,12 +136,9 @@ pub fn mine(sentences: &[Vec<TokenId>], cfg: &PhraseMinerConfig) -> Vec<PhraseCa
             });
         }
     }
-    // Deterministic: by score desc, then tokens.
+    // Deterministic: by score desc (total order), then tokens.
     out.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.tokens.cmp(&b.tokens))
+        alicoco_nn::rank::score_desc(&a.score, &b.score).then_with(|| a.tokens.cmp(&b.tokens))
     });
     out
 }

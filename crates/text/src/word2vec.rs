@@ -6,7 +6,7 @@
 //! speed; vectors are exposed as an [`alicoco_nn::Tensor`] aligned with a
 //! [`crate::vocab::Vocab`].
 
-use alicoco_nn::Tensor;
+use alicoco_nn::{Tensor, TrainConfig, Trainer};
 use rand::Rng;
 
 use crate::vocab::{TokenId, Vocab, UNK};
@@ -69,7 +69,7 @@ impl WordVectors {
             .filter(|&j| j != id && j != UNK)
             .map(|j| (j, self.cosine(id, j)))
             .collect();
-        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        sims.sort_by(alicoco_nn::rank::by_score_then_id);
         sims.truncate(k);
         sims
     }
@@ -145,53 +145,62 @@ pub fn train(vocab: &Vocab, sentences: &[Vec<TokenId>], cfg: &Word2VecConfig) ->
     let total_steps = (cfg.epochs * sentences.iter().map(Vec::len).sum::<usize>()).max(1);
     let mut step = 0usize;
     let mut grad = vec![0.0f32; d];
-    for _ in 0..cfg.epochs {
-        for sent in sentences {
-            for (pos, &center) in sent.iter().enumerate() {
-                step += 1;
-                if center == UNK {
-                    continue;
-                }
-                let lr = cfg.lr * (1.0 - step as f32 / total_steps as f32).max(0.05);
-                let lo = pos.saturating_sub(cfg.window);
-                let hi = (pos + cfg.window + 1).min(sent.len());
-                #[allow(clippy::needless_range_loop)]
-                for ctx_pos in lo..hi {
-                    if ctx_pos == pos {
+    // The engine owns the epoch iteration; SGNS keeps its own finer-grained
+    // per-step decay (computed from `step`/`total_steps`), so the epoch body
+    // ignores the engine's per-epoch rate.
+    Trainer::run_raw(
+        &TrainConfig::new(cfg.epochs, cfg.lr),
+        1.0,
+        &mut rng,
+        |_, rng| {
+            for sent in sentences {
+                for (pos, &center) in sent.iter().enumerate() {
+                    step += 1;
+                    if center == UNK {
                         continue;
                     }
-                    let ctx = sent[ctx_pos];
-                    if ctx == UNK {
-                        continue;
-                    }
-                    grad.iter_mut().for_each(|g| *g = 0.0);
-                    let in_row = &mut input[center * d..(center + 1) * d];
-                    // Positive update + negatives, standard SGNS.
-                    for sample in 0..=cfg.negatives {
-                        let (target, label) = if sample == 0 {
-                            (ctx, 1.0f32)
-                        } else {
-                            let mut neg = neg_table.sample(&mut rng);
-                            if neg == ctx {
-                                neg = neg_table.sample(&mut rng);
-                            }
-                            (neg, 0.0f32)
-                        };
-                        let out_row = &mut output[target * d..(target + 1) * d];
-                        let dot: f32 = in_row.iter().zip(out_row.iter()).map(|(a, b)| a * b).sum();
-                        let err = (sigmoid(dot) - label) * lr;
-                        for k in 0..d {
-                            grad[k] += err * out_row[k];
-                            out_row[k] -= err * in_row[k];
+                    let lr = cfg.lr * (1.0 - step as f32 / total_steps as f32).max(0.05);
+                    let lo = pos.saturating_sub(cfg.window);
+                    let hi = (pos + cfg.window + 1).min(sent.len());
+                    #[allow(clippy::needless_range_loop)]
+                    for ctx_pos in lo..hi {
+                        if ctx_pos == pos {
+                            continue;
                         }
-                    }
-                    for k in 0..d {
-                        in_row[k] -= grad[k];
+                        let ctx = sent[ctx_pos];
+                        if ctx == UNK {
+                            continue;
+                        }
+                        grad.iter_mut().for_each(|g| *g = 0.0);
+                        let in_row = &mut input[center * d..(center + 1) * d];
+                        // Positive update + negatives, standard SGNS.
+                        for sample in 0..=cfg.negatives {
+                            let (target, label) = if sample == 0 {
+                                (ctx, 1.0f32)
+                            } else {
+                                let mut neg = neg_table.sample(rng);
+                                if neg == ctx {
+                                    neg = neg_table.sample(rng);
+                                }
+                                (neg, 0.0f32)
+                            };
+                            let out_row = &mut output[target * d..(target + 1) * d];
+                            let dot: f32 =
+                                in_row.iter().zip(out_row.iter()).map(|(a, b)| a * b).sum();
+                            let err = (sigmoid(dot) - label) * lr;
+                            for k in 0..d {
+                                grad[k] += err * out_row[k];
+                                out_row[k] -= err * in_row[k];
+                            }
+                        }
+                        for k in 0..d {
+                            in_row[k] -= grad[k];
+                        }
                     }
                 }
             }
-        }
-    }
+        },
+    );
     WordVectors {
         vectors: Tensor::from_vec(v, d, input),
     }
@@ -281,6 +290,22 @@ mod tests {
         let a = train(&vocab, &sents, &cfg);
         let b = train(&vocab, &sents, &cfg);
         assert_eq!(a.vectors.data(), b.vectors.data());
+    }
+
+    #[test]
+    fn nearest_breaks_ties_by_ascending_id() {
+        // Identical vectors make every cosine tie exactly; the ranking must
+        // fall back to ascending token id, stably across calls.
+        let rows = 6;
+        let data: Vec<f32> = (0..rows).flat_map(|_| [1.0f32, 0.5, -0.25]).collect();
+        let wv = WordVectors {
+            vectors: Tensor::from_vec(rows, 3, data),
+        };
+        let nearest = wv.nearest(3, 4);
+        let ids: Vec<TokenId> = nearest.iter().map(|&(id, _)| id).collect();
+        // Id 0 is UNK (excluded), id 3 is the query itself.
+        assert_eq!(ids, vec![1, 2, 4, 5]);
+        assert_eq!(wv.nearest(3, 4), nearest);
     }
 
     #[test]
