@@ -2,10 +2,35 @@
 //! next week's barbecue?" — parse the question, locate the scenario
 //! concept, and answer with a shopping checklist.
 
+use std::sync::Arc;
+
 use alicoco::query::QueryIndex;
 use alicoco::rank::{by_score_then_id, TopK};
 use alicoco::{AliCoCo, ConceptId, ItemId};
 use alicoco_nn::util::FxHashSet;
+use alicoco_obs::{Counter, Histogram, Registry, SpanTimer};
+
+/// Pre-registered `qa.*` metric handles.
+#[derive(Clone, Debug)]
+struct QaMetrics {
+    requests: Arc<Counter>,
+    answered: Arc<Counter>,
+    sibling_fallbacks: Arc<Counter>,
+    candidates: Arc<Counter>,
+    answer_ns: Arc<Histogram>,
+}
+
+impl QaMetrics {
+    fn register(reg: &Registry) -> Self {
+        QaMetrics {
+            requests: reg.counter("qa.requests"),
+            answered: reg.counter("qa.answered"),
+            sibling_fallbacks: reg.counter("qa.sibling_fallbacks"),
+            candidates: reg.counter("qa.candidates"),
+            answer_ns: reg.histogram("qa.answer_ns"),
+        }
+    }
+}
 
 /// A structured answer to a scenario question.
 #[derive(Clone, Debug)]
@@ -44,6 +69,7 @@ const QUESTION_WORDS: &[&str] = &[
 pub struct ScenarioQa<'kg> {
     kg: &'kg AliCoCo,
     index: QueryIndex<'kg>,
+    metrics: Option<QaMetrics>,
 }
 
 impl<'kg> ScenarioQa<'kg> {
@@ -52,7 +78,15 @@ impl<'kg> ScenarioQa<'kg> {
         ScenarioQa {
             kg,
             index: QueryIndex::build(kg),
+            metrics: None,
         }
+    }
+
+    /// Create an instance recording `qa.*` metrics into `metrics`.
+    pub fn with_metrics(kg: &'kg AliCoCo, metrics: &Registry) -> Self {
+        let mut engine = Self::new(kg);
+        engine.metrics = Some(QaMetrics::register(metrics));
+        engine
     }
 
     /// Extract content words from a natural question.
@@ -85,6 +119,24 @@ impl<'kg> ScenarioQa<'kg> {
     /// concepts sharing an interpreting primitive — so "barbecue" can still
     /// be answered through "garden barbecue".
     pub fn answer(&self, question: &str) -> Option<Answer> {
+        let span = self
+            .metrics
+            .as_ref()
+            .map(|m| SpanTimer::new(Arc::clone(&m.answer_ns)));
+        let out = self.answer_impl(question);
+        if let Some(m) = &self.metrics {
+            m.requests.inc();
+            if out.is_some() {
+                m.answered.inc();
+            }
+        }
+        if let Some(s) = span {
+            s.stop();
+        }
+        out
+    }
+
+    fn answer_impl(&self, question: &str) -> Option<Answer> {
         let words = Self::content_words(question);
         if words.is_empty() {
             return None;
@@ -94,7 +146,11 @@ impl<'kg> ScenarioQa<'kg> {
         // positive match score; keep the single best (ties resolve to the
         // lowest concept id, as a full in-order scan would).
         let mut best = TopK::new(1);
-        for cid in self.index.concept_candidates(word_set.iter().copied()) {
+        let candidates = self.index.concept_candidates(word_set.iter().copied());
+        if let Some(m) = &self.metrics {
+            m.candidates.add(candidates.len() as u64);
+        }
+        for cid in candidates {
             let base = self.match_score(cid, &word_set);
             if base > 0.0 {
                 // Stocked concepts get a bonus so they win ties.
@@ -105,6 +161,9 @@ impl<'kg> ScenarioQa<'kg> {
         let (cid, _) = best.into_sorted_vec().into_iter().next()?;
         let mut items = self.kg.items_for_concept(cid);
         if items.is_empty() {
+            if let Some(m) = &self.metrics {
+                m.sibling_fallbacks.inc();
+            }
             // Sibling fallback: union of items from concepts sharing a
             // primitive, discounted. Restrict to the primitives that matched
             // the question ("barbecue"), not incidental ones ("beach") —
@@ -216,6 +275,33 @@ mod tests {
         kg.add_concept("indoor knitting");
         let qa = ScenarioQa::new(&kg);
         assert!(qa.answer("what do i need for indoor knitting?").is_none());
+    }
+
+    #[test]
+    fn instrumented_answers_match_and_count() {
+        let mut kg = sample_kg();
+        let bbq = kg.primitives_by_name("barbecue")[0];
+        let beach = kg.add_concept("beach barbecue");
+        kg.link_concept_primitive(beach, bbq);
+        let reg = Registry::new();
+        let plain = ScenarioQa::new(&kg);
+        let wired = ScenarioQa::with_metrics(&kg, &reg);
+        for q in [
+            "what should i prepare for a barbecue?",
+            "what do i need for a beach barbecue?",
+            "what should i buy for quantum entanglement?",
+        ] {
+            assert_eq!(
+                wired.answer(q).map(|a| a.concept),
+                plain.answer(q).map(|a| a.concept),
+                "question {q:?}"
+            );
+        }
+        assert_eq!(reg.counter("qa.requests").get(), 3);
+        assert_eq!(reg.counter("qa.answered").get(), 2);
+        assert_eq!(reg.counter("qa.sibling_fallbacks").get(), 1);
+        assert!(reg.counter("qa.candidates").get() >= 2);
+        assert_eq!(reg.histogram("qa.answer_ns").count(), 3);
     }
 
     #[test]

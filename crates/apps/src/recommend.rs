@@ -2,10 +2,33 @@
 //! browsing history — recommending *needs*, not lookalike items — plus
 //! human-readable recommendation reasons (§8.2.2).
 
+use std::sync::Arc;
+
 use alicoco::query::QueryIndex;
 use alicoco::rank::TopK;
 use alicoco::{AliCoCo, ConceptId, ItemId, PrimitiveId};
 use alicoco_nn::util::{FxHashMap, FxHashSet};
+use alicoco_obs::{Counter, Histogram, Registry, SpanTimer};
+
+/// Pre-registered `recommend.*` metric handles.
+#[derive(Clone, Debug)]
+struct RecommendMetrics {
+    requests: Arc<Counter>,
+    history_items: Arc<Counter>,
+    candidates: Arc<Counter>,
+    total_ns: Arc<Histogram>,
+}
+
+impl RecommendMetrics {
+    fn register(reg: &Registry) -> Self {
+        RecommendMetrics {
+            requests: reg.counter("recommend.requests"),
+            history_items: reg.counter("recommend.history_items"),
+            candidates: reg.counter("recommend.candidates"),
+            total_ns: reg.histogram("recommend.total_ns"),
+        }
+    }
+}
 
 /// A scored recommendation with its explanation.
 #[derive(Clone, Debug)]
@@ -92,6 +115,7 @@ pub struct CognitiveRecommender<'kg> {
     cfg: RecommendConfig,
     /// Shared serving index (primitive → concepts postings).
     index: QueryIndex<'kg>,
+    metrics: Option<RecommendMetrics>,
 }
 
 impl<'kg> CognitiveRecommender<'kg> {
@@ -101,11 +125,24 @@ impl<'kg> CognitiveRecommender<'kg> {
             kg,
             cfg,
             index: QueryIndex::build(kg),
+            metrics: None,
         }
+    }
+
+    /// Create an instance recording `recommend.*` metrics into `metrics`.
+    pub fn with_metrics(kg: &'kg AliCoCo, cfg: RecommendConfig, metrics: &Registry) -> Self {
+        let mut engine = Self::new(kg, cfg);
+        engine.metrics = Some(RecommendMetrics::register(metrics));
+        engine
     }
 
     /// Recommend concept cards for a browsing history.
     pub fn recommend(&self, history: &[ItemId]) -> Vec<Recommendation> {
+        let _span = self.metrics.as_ref().map(|m| {
+            m.requests.inc();
+            m.history_items.add(history.len() as u64);
+            SpanTimer::new(Arc::clone(&m.total_ns))
+        });
         let mut votes: FxHashMap<ConceptId, f64> = FxHashMap::default();
         let mut direct_trigger: FxHashMap<ConceptId, ItemId> = FxHashMap::default();
         let mut shared: FxHashMap<ConceptId, FxHashSet<PrimitiveId>> = FxHashMap::default();
@@ -120,6 +157,9 @@ impl<'kg> CognitiveRecommender<'kg> {
                     shared.entry(cid).or_default().insert(p);
                 }
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.candidates.add(votes.len() as u64);
         }
         let mut top = TopK::new(self.cfg.k);
         for (cid, v) in votes {
@@ -219,6 +259,21 @@ mod tests {
         let (kg, _, _, _) = sample_kg();
         let rec = CognitiveRecommender::new(&kg, RecommendConfig::default());
         assert!(rec.recommend(&[]).is_empty());
+    }
+
+    #[test]
+    fn instrumented_recommendations_match_and_count() {
+        let (kg, grill, _, c) = sample_kg();
+        let reg = Registry::new();
+        let rec = CognitiveRecommender::with_metrics(&kg, RecommendConfig::default(), &reg);
+        let out = rec.recommend(&[grill]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].concept, c);
+        let _ = rec.recommend(&[]);
+        assert_eq!(reg.counter("recommend.requests").get(), 2);
+        assert_eq!(reg.counter("recommend.history_items").get(), 1);
+        assert_eq!(reg.counter("recommend.candidates").get(), 1);
+        assert_eq!(reg.histogram("recommend.total_ns").count(), 2);
     }
 
     #[test]

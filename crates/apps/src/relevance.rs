@@ -3,16 +3,40 @@
 //! vocabulary gaps — "if a user searches for a top, items titled only
 //! 'jacket' are relevant because jacket isA top".
 
+use std::sync::Arc;
+
 use alicoco::{AliCoCo, PrimitiveId};
 use alicoco_nn::util::FxHashSet;
-use alicoco_text::bm25::{Bm25Index, Bm25Params};
+use alicoco_obs::{Counter, Histogram, Registry, SpanTimer};
+use alicoco_text::bm25::{Bm25Index, Bm25Metrics, Bm25Params};
 use alicoco_text::vocab::{TokenId, Vocab};
+
+/// Pre-registered `relevance.*` metric handles.
+#[derive(Clone, Debug)]
+struct RelevanceMetrics {
+    queries: Arc<Counter>,
+    expanded_terms: Arc<Counter>,
+    expand_ns: Arc<Histogram>,
+    retrieve_ns: Arc<Histogram>,
+}
+
+impl RelevanceMetrics {
+    fn register(reg: &Registry) -> Self {
+        RelevanceMetrics {
+            queries: reg.counter("relevance.queries"),
+            expanded_terms: reg.counter("relevance.expanded_terms"),
+            expand_ns: reg.histogram("relevance.expand_ns"),
+            retrieve_ns: reg.histogram("relevance.retrieve_ns"),
+        }
+    }
+}
 
 /// A relevance scorer over item titles with optional isA expansion.
 pub struct RelevanceScorer<'kg> {
     kg: &'kg AliCoCo,
     vocab: Vocab,
     index: Bm25Index,
+    metrics: Option<RelevanceMetrics>,
 }
 
 impl<'kg> RelevanceScorer<'kg> {
@@ -25,7 +49,21 @@ impl<'kg> RelevanceScorer<'kg> {
             docs.push(doc);
         }
         let index = Bm25Index::build(&docs, Bm25Params::default());
-        RelevanceScorer { kg, vocab, index }
+        RelevanceScorer {
+            kg,
+            vocab,
+            index,
+            metrics: None,
+        }
+    }
+
+    /// Build the scorer recording `relevance.*` (and the underlying
+    /// `bm25.*`) metrics into `metrics`.
+    pub fn with_metrics(kg: &'kg AliCoCo, metrics: &Registry) -> Self {
+        let mut scorer = Self::build(kg);
+        scorer.index.set_metrics(Bm25Metrics::register(metrics));
+        scorer.metrics = Some(RelevanceMetrics::register(metrics));
+        scorer
     }
 
     fn encode(&self, words: &[String]) -> Vec<TokenId> {
@@ -52,6 +90,10 @@ impl<'kg> RelevanceScorer<'kg> {
     /// Expand query words with the names of hyponyms of any matching
     /// primitive concept.
     pub fn expand_query(&self, words: &[String]) -> Vec<String> {
+        let _span = self
+            .metrics
+            .as_ref()
+            .map(|m| SpanTimer::new(Arc::clone(&m.expand_ns)));
         let mut out: Vec<String> = words.to_vec();
         let mut seen: FxHashSet<String> = words.iter().cloned().collect();
         // Try single words and the full phrase as primitive surfaces.
@@ -69,6 +111,9 @@ impl<'kg> RelevanceScorer<'kg> {
                     }
                 }
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.expanded_terms.add((out.len() - words.len()) as u64);
         }
         out
     }
@@ -89,6 +134,10 @@ impl<'kg> RelevanceScorer<'kg> {
     /// the best `k` are kept in a bounded heap with the workspace ranking
     /// order (score descending, item id ascending).
     pub fn top_items(&self, words: &[String], k: usize) -> Vec<(alicoco::ItemId, f64)> {
+        let _span = self.metrics.as_ref().map(|m| {
+            m.queries.inc();
+            SpanTimer::new(Arc::clone(&m.retrieve_ns))
+        });
         let mut top = alicoco::rank::TopK::new(k);
         for (doc, score) in self.index.candidate_scores(&self.encode(words)) {
             top.push(alicoco::ItemId::from_index(doc), score);
@@ -177,6 +226,27 @@ mod tests {
         }
         // Bounded k keeps only the best.
         assert_eq!(scorer.top_items_expanded(&q, 1).len(), 1);
+    }
+
+    #[test]
+    fn instrumented_scorer_matches_and_counts() {
+        let kg = sample_kg();
+        let plain = RelevanceScorer::build(&kg);
+        let reg = Registry::new();
+        let wired = RelevanceScorer::with_metrics(&kg, &reg);
+        let q = vec!["top".to_string()];
+        assert_eq!(
+            wired.top_items_expanded(&q, 5),
+            plain.top_items_expanded(&q, 5)
+        );
+        assert_eq!(reg.counter("relevance.queries").get(), 1);
+        // "top" expands to at least jacket + hoodie.
+        assert!(reg.counter("relevance.expanded_terms").get() >= 2);
+        assert_eq!(reg.histogram("relevance.expand_ns").count(), 1);
+        assert_eq!(reg.histogram("relevance.retrieve_ns").count(), 1);
+        // The underlying BM25 index records too.
+        assert_eq!(reg.counter("bm25.queries").get(), 1);
+        assert!(reg.counter("bm25.postings_scanned").get() > 0);
     }
 
     #[test]

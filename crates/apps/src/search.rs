@@ -10,10 +10,42 @@
 //! original full-scan ranking as the reference implementation; property
 //! tests assert the two agree card-for-card.
 
+use std::sync::Arc;
+
 use alicoco::query::QueryIndex;
 use alicoco::rank::TopK;
 use alicoco::{AliCoCo, ConceptId, ItemId};
 use alicoco_nn::util::FxHashSet;
+use alicoco_obs::{Counter, Histogram, Registry, StageClock};
+
+/// Pre-registered `search.*` metric handles: registered once at engine
+/// construction so the query path never takes the registry lock.
+#[derive(Clone, Debug)]
+struct SearchMetrics {
+    requests: Arc<Counter>,
+    candidates_examined: Arc<Counter>,
+    postings_hit: Arc<Counter>,
+    retrieve_ns: Arc<Histogram>,
+    score_ns: Arc<Histogram>,
+    rank_ns: Arc<Histogram>,
+    batch_queries: Arc<Counter>,
+    batch_ns: Arc<Histogram>,
+}
+
+impl SearchMetrics {
+    fn register(reg: &Registry) -> Self {
+        SearchMetrics {
+            requests: reg.counter("search.requests"),
+            candidates_examined: reg.counter("search.candidates_examined"),
+            postings_hit: reg.counter("search.postings_hit"),
+            retrieve_ns: reg.histogram("search.retrieve_ns"),
+            score_ns: reg.histogram("search.score_ns"),
+            rank_ns: reg.histogram("search.rank_ns"),
+            batch_queries: reg.counter("search.batch_queries"),
+            batch_ns: reg.histogram("search.batch_ns"),
+        }
+    }
+}
 
 /// A rendered concept card (Figure 2a/b): the concept, its interpretation,
 /// and suggested items.
@@ -65,6 +97,7 @@ pub struct SemanticSearch<'kg> {
     kg: &'kg AliCoCo,
     index: QueryIndex<'kg>,
     cfg: SearchConfig,
+    metrics: Option<SearchMetrics>,
 }
 
 impl<'kg> SemanticSearch<'kg> {
@@ -74,7 +107,18 @@ impl<'kg> SemanticSearch<'kg> {
             kg,
             index: QueryIndex::build(kg),
             cfg,
+            metrics: None,
         }
+    }
+
+    /// Build the engine recording `search.*` metrics into `metrics`.
+    /// Handles are registered here, once; per-query instrumentation is a
+    /// handful of relaxed atomics and three clock reads, keeping the
+    /// instrumented path within the overhead budget (DESIGN.md §8).
+    pub fn with_metrics(kg: &'kg AliCoCo, cfg: SearchConfig, metrics: &Registry) -> Self {
+        let mut engine = Self::new(kg, cfg);
+        engine.metrics = Some(SearchMetrics::register(metrics));
+        engine
     }
 
     /// The token index the engine retrieves from.
@@ -111,17 +155,33 @@ impl<'kg> SemanticSearch<'kg> {
         if words.is_empty() {
             return Vec::new();
         }
+        let mut clock = StageClock::started(self.metrics.is_some());
+        let (candidates, postings) = self.index.concept_candidates_counted(words.iter().copied());
+        if let Some(m) = &self.metrics {
+            m.requests.inc();
+            m.postings_hit.add(postings as u64);
+            m.candidates_examined.add(candidates.len() as u64);
+            clock.lap(&m.retrieve_ns);
+        }
         let mut top = TopK::new(self.cfg.k);
-        for cid in self.index.concept_candidates(words.iter().copied()) {
+        for cid in candidates {
             let score = self.score_concept(cid, &words);
             if score > 0.0 {
                 top.push(cid, score);
             }
         }
-        top.into_sorted_vec()
+        if let Some(m) = &self.metrics {
+            clock.lap(&m.score_ns);
+        }
+        let cards = top
+            .into_sorted_vec()
             .into_iter()
             .map(|(cid, score)| self.card(cid, score))
-            .collect()
+            .collect();
+        if let Some(m) = &self.metrics {
+            clock.lap(&m.rank_ns);
+        }
+        cards
     }
 
     /// Reference ranking: score every concept in the net, sort, truncate.
@@ -152,22 +212,29 @@ impl<'kg> SemanticSearch<'kg> {
     /// caps the thread count (a batch of one, or one worker, degenerates
     /// to the sequential path).
     pub fn search_batch(&self, queries: &[&str]) -> Vec<Vec<ConceptCard>> {
+        let mut clock = StageClock::started(self.metrics.is_some());
         let workers = self.cfg.batch_workers.max(1).min(queries.len().max(1));
-        if workers <= 1 {
-            return queries.iter().map(|q| self.search(q)).collect();
+        let results = if workers <= 1 {
+            queries.iter().map(|q| self.search(q)).collect()
+        } else {
+            let mut results: Vec<Vec<ConceptCard>> = Vec::new();
+            results.resize_with(queries.len(), Vec::new);
+            let chunk = queries.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                for (qs, out) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                    s.spawn(move || {
+                        for (q, slot) in qs.iter().zip(out.iter_mut()) {
+                            *slot = self.search(q);
+                        }
+                    });
+                }
+            });
+            results
+        };
+        if let Some(m) = &self.metrics {
+            m.batch_queries.add(queries.len() as u64);
+            clock.lap(&m.batch_ns);
         }
-        let mut results: Vec<Vec<ConceptCard>> = Vec::new();
-        results.resize_with(queries.len(), Vec::new);
-        let chunk = queries.len().div_ceil(workers);
-        std::thread::scope(|s| {
-            for (qs, out) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                s.spawn(move || {
-                    for (q, slot) in qs.iter().zip(out.iter_mut()) {
-                        *slot = self.search(q);
-                    }
-                });
-            }
-        });
         results
     }
 
@@ -335,6 +402,29 @@ mod tests {
             },
         );
         assert_eq!(s.search("barbecue").len(), 2);
+    }
+
+    #[test]
+    fn instrumented_search_returns_identical_cards() {
+        let kg = sample_kg();
+        let plain = SemanticSearch::new(&kg, SearchConfig::default());
+        let reg = Registry::new();
+        let wired = SemanticSearch::with_metrics(&kg, SearchConfig::default(), &reg);
+        for q in ["barbecue outdoor", "indoor", "", "nothing here"] {
+            assert_eq!(wired.search(q), plain.search(q), "query {q:?}");
+        }
+        // Empty queries short-circuit before the request counter.
+        assert_eq!(reg.counter("search.requests").get(), 3);
+        assert!(reg.counter("search.candidates_examined").get() > 0);
+        assert!(reg.counter("search.postings_hit").get() > 0);
+        assert_eq!(reg.histogram("search.retrieve_ns").count(), 3);
+        assert_eq!(reg.histogram("search.score_ns").count(), 3);
+        assert_eq!(reg.histogram("search.rank_ns").count(), 3);
+        let batch = wired.search_batch(&["barbecue", "outdoor"]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(reg.counter("search.batch_queries").get(), 2);
+        assert_eq!(reg.histogram("search.batch_ns").count(), 1);
+        assert_eq!(reg.counter("search.requests").get(), 5);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Serving-path observability bench: on a 50k-concept world, measures the
+//! overhead of the instrumented search engine against the uninstrumented
+//! one (asserting identical answers first and gating the overhead under a
+//! few percent), then reports per-stage latency percentiles straight from
+//! the metric registry plus batch/QA/recommendation numbers. Emits
+//! `BENCH_serving.json` at the workspace root for the CI perf gate.
+
+use std::time::Instant;
+
+use alicoco_apps::{
+    CognitiveRecommender, RecommendConfig, ScenarioQa, SearchConfig, SemanticSearch,
+};
+use alicoco_bench::{scale_vocab, scale_world};
+use alicoco_obs::Registry;
+
+const N_CONCEPTS: usize = 50_000;
+const QUERIES: usize = 512;
+const ROUNDS: usize = 7;
+const BATCH: usize = 64;
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+
+fn queries(n: usize) -> Vec<String> {
+    let vocab = scale_vocab();
+    (0..n)
+        .map(|i| {
+            format!(
+                "{} {}",
+                vocab[(i * 31) % vocab.len()],
+                vocab[(i * 17 + 5) % vocab.len()]
+            )
+        })
+        .collect()
+}
+
+/// Wall-clock seconds of one full pass over the query set.
+fn round_secs(engine: &SemanticSearch, refs: &[&str]) -> f64 {
+    let t = Instant::now();
+    for q in refs {
+        std::hint::black_box(engine.search(q));
+    }
+    t.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let kg = scale_world(N_CONCEPTS);
+    let plain = SemanticSearch::new(&kg, SearchConfig::default());
+    let registry = Registry::new();
+    let instrumented = SemanticSearch::with_metrics(&kg, SearchConfig::default(), &registry);
+
+    let qs = queries(QUERIES);
+    let refs: Vec<&str> = qs.iter().map(String::as_str).collect();
+
+    // Correctness gate before any timing: instrumentation must never
+    // change an answer.
+    for q in &refs {
+        assert_eq!(
+            plain.search(q),
+            instrumented.search(q),
+            "instrumented search diverged on {q:?}"
+        );
+    }
+
+    // Interleaved rounds so drift (cache warmup, frequency scaling) hits
+    // both engines equally; medians damp outlier rounds.
+    let mut plain_rounds = Vec::with_capacity(ROUNDS);
+    let mut instr_rounds = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        plain_rounds.push(round_secs(&plain, &refs));
+        instr_rounds.push(round_secs(&instrumented, &refs));
+    }
+    let plain_med = median(plain_rounds);
+    let instr_med = median(instr_rounds);
+    let overhead_pct = (instr_med - plain_med) / plain_med * 100.0;
+    println!(
+        "serving/overhead: {:.2} us/query plain, {:.2} us/query instrumented ({overhead_pct:+.2}%)",
+        plain_med / QUERIES as f64 * 1e6,
+        instr_med / QUERIES as f64 * 1e6,
+    );
+    assert!(
+        overhead_pct < MAX_OVERHEAD_PCT,
+        "metrics overhead {overhead_pct:.2}% exceeds the {MAX_OVERHEAD_PCT}% budget"
+    );
+
+    // Per-stage percentiles straight from the registry the timed rounds
+    // populated.
+    let retrieve = registry.histogram("search.retrieve_ns").snapshot();
+    let score = registry.histogram("search.score_ns").snapshot();
+    let rank = registry.histogram("search.rank_ns").snapshot();
+    for (stage, snap) in [("retrieve", &retrieve), ("score", &score), ("rank", &rank)] {
+        println!(
+            "serving/search_{stage}: p50 {} ns, p90 {} ns, p99 {} ns over {} queries",
+            snap.p50, snap.p90, snap.p99, snap.count
+        );
+    }
+
+    // Batch throughput over the first 64 queries.
+    let batch: Vec<&str> = refs[..BATCH].to_vec();
+    let t = Instant::now();
+    let mut batch_runs = 0usize;
+    while batch_runs < 20 {
+        std::hint::black_box(instrumented.search_batch(&batch));
+        batch_runs += 1;
+    }
+    let batch_secs = t.elapsed().as_secs_f64() / batch_runs as f64;
+    let batch_qps = BATCH as f64 / batch_secs;
+    println!("serving/batch: {batch_qps:.0} queries/sec over {BATCH}-query batches");
+
+    // QA and recommendation latency percentiles via their own registries
+    // (kept separate so search counts above stay those of the timed rounds).
+    let aux = Registry::new();
+    let qa = ScenarioQa::with_metrics(&kg, &aux);
+    for q in refs.iter().take(256) {
+        std::hint::black_box(qa.answer(&format!("what do i need for {q}?")));
+    }
+    let qa_snap = aux.histogram("qa.answer_ns").snapshot();
+
+    let recommender = CognitiveRecommender::with_metrics(&kg, RecommendConfig::default(), &aux);
+    let linked: Vec<alicoco::ItemId> = kg
+        .item_ids()
+        .filter(|&i| !kg.concepts_for_item(i).is_empty())
+        .take(3)
+        .collect();
+    for _ in 0..256 {
+        std::hint::black_box(recommender.recommend(&linked));
+    }
+    let rec_snap = aux.histogram("recommend.total_ns").snapshot();
+    println!(
+        "serving/qa: p50 {} ns; serving/recommend: p50 {} ns",
+        qa_snap.p50, rec_snap.p50
+    );
+
+    let json = format!(
+        "{{\n  \"n_concepts\": {N_CONCEPTS},\n  \"queries_per_round\": {QUERIES},\n  \
+         \"rounds\": {ROUNDS},\n  \"search\": {{\n    \
+         \"plain_per_query_ns\": {:.0},\n    \"instrumented_per_query_ns\": {:.0},\n    \
+         \"overhead_pct\": {overhead_pct:.3},\n    \
+         \"retrieve_p50_ns\": {},\n    \"retrieve_p99_ns\": {},\n    \
+         \"score_p50_ns\": {},\n    \"score_p99_ns\": {},\n    \
+         \"rank_p50_ns\": {},\n    \"rank_p99_ns\": {}\n  }},\n  \"batch\": {{\n    \
+         \"batch_size\": {BATCH},\n    \"qps\": {batch_qps:.0}\n  }},\n  \"qa\": {{\n    \
+         \"p50_ns\": {},\n    \"p99_ns\": {}\n  }},\n  \"recommend\": {{\n    \
+         \"p50_ns\": {},\n    \"p99_ns\": {}\n  }}\n}}\n",
+        plain_med / QUERIES as f64 * 1e9,
+        instr_med / QUERIES as f64 * 1e9,
+        retrieve.p50,
+        retrieve.p99,
+        score.p50,
+        score.p99,
+        rank.p50,
+        rank.p99,
+        qa_snap.p50,
+        qa_snap.p99,
+        rec_snap.p50,
+        rec_snap.p99,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(out, &json).expect("write BENCH_serving.json");
+    println!("serving/summary: wrote {out}");
+}

@@ -180,15 +180,17 @@ fn main() {
         "  \"batch_size\": {BATCH},\n  \"workers_compared\": [1, {workers}],\n  \"models\": [\n"
     ));
     for (i, r) in results.iter().enumerate() {
+        // `examples_per_sec_parallel` (not `..._{workers}_workers`) so the
+        // key is stable across machines with different core counts —
+        // bench-compare diffs these names against a checked-in baseline.
         json.push_str(&format!(
-            "    {{\"model\": \"{}\", \"examples\": {}, \"epochs\": {}, \
-             \"examples_per_sec_1_worker\": {:.2}, \"examples_per_sec_{}_workers\": {:.2}, \
+            "    {{\"model\": \"{}\", \"examples\": {}, \"epochs\": {}, \"workers\": {workers}, \
+             \"examples_per_sec_1_worker\": {:.2}, \"examples_per_sec_parallel\": {:.2}, \
              \"speedup\": {:.3}, \"parity\": true}}{}\n",
             r.name,
             r.base.examples,
             r.base.epochs,
             r.base.rate(),
-            workers,
             r.par.rate(),
             r.base.secs / r.par.secs.max(1e-9),
             if i + 1 < results.len() { "," } else { "" },

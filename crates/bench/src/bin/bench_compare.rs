@@ -1,0 +1,165 @@
+//! `bench-compare` — the CI perf gate. Diffs freshly generated
+//! `BENCH_*.json` files at the workspace root against the checked-in
+//! baselines in `bench-baseline/` and exits non-zero when a gated metric
+//! regressed beyond tolerance.
+//!
+//! ```text
+//! bench-compare [--tolerance <pct>] [--baseline-dir <dir>] [files...]
+//! ```
+//!
+//! Defaults: tolerance 15%, baseline dir `bench-baseline`, files
+//! `BENCH_train.json BENCH_serving.json`. A metric present in the baseline
+//! but missing from the fresh run also fails (renames must refresh the
+//! baseline); new metrics are reported but never gated.
+
+use std::process::ExitCode;
+
+use alicoco_bench::compare::{compare, render_table, Status};
+use alicoco_bench::json::Json;
+
+struct Options {
+    tolerance_pct: f64,
+    baseline_dir: String,
+    files: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        tolerance_pct: 15.0,
+        baseline_dir: "bench-baseline".to_string(),
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance requires a percentage")?;
+                opts.tolerance_pct = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad tolerance {v:?}: {e}"))?;
+                if opts.tolerance_pct.is_nan() || opts.tolerance_pct < 0.0 {
+                    return Err(format!("tolerance must be non-negative, got {v}"));
+                }
+            }
+            "--baseline-dir" => {
+                opts.baseline_dir = it.next().ok_or("--baseline-dir requires a path")?.clone();
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench-compare [--tolerance <pct>] [--baseline-dir <dir>] [files...]"
+                        .to_string(),
+                )
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        opts.files = vec![
+            "BENCH_train.json".to_string(),
+            "BENCH_serving.json".to_string(),
+        ];
+    }
+    Ok(opts)
+}
+
+fn load_flat(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok(alicoco_bench::compare::flatten(
+        &Json::parse(&src).map_err(|e| format!("{path}: {e}"))?,
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failures = 0usize;
+    for file in &opts.files {
+        let name = std::path::Path::new(file)
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_else(|| file.clone());
+        let baseline_path = format!("{}/{name}", opts.baseline_dir);
+        let (base, cur) = match (load_flat(&baseline_path), load_flat(file)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (b, c) => {
+                for err in [b.err(), c.err()].into_iter().flatten() {
+                    eprintln!("error: {err}");
+                }
+                failures += 1;
+                continue;
+            }
+        };
+        let diffs = compare(&base, &cur, opts.tolerance_pct);
+        println!(
+            "== {name} vs {baseline_path} (tolerance {}%)",
+            opts.tolerance_pct
+        );
+        print!("{}", render_table(&diffs));
+        let regressions = diffs
+            .iter()
+            .filter(|d| matches!(d.status, Status::Regression | Status::MissingInCurrent))
+            .count();
+        let improved = diffs
+            .iter()
+            .filter(|d| d.status == Status::Improved)
+            .count();
+        if regressions > 0 {
+            println!("{name}: {regressions} regression(s)\n");
+            failures += 1;
+        } else {
+            println!(
+                "{name}: ok{}\n",
+                if improved > 0 {
+                    " (improvements found — consider refreshing the baseline)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("perf gate failed: {failures} file(s) with regressions or errors");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_both_bench_files() {
+        let opts = parse_args(&[]).unwrap();
+        assert_eq!(opts.tolerance_pct, 15.0);
+        assert_eq!(opts.baseline_dir, "bench-baseline");
+        assert_eq!(opts.files.len(), 2);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let args: Vec<String> = ["--tolerance", "5", "--baseline-dir", "b", "x.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_args(&args).unwrap();
+        assert_eq!(opts.tolerance_pct, 5.0);
+        assert_eq!(opts.baseline_dir, "b");
+        assert_eq!(opts.files, vec!["x.json".to_string()]);
+    }
+
+    #[test]
+    fn bad_flags_error_out() {
+        assert!(parse_args(&["--tolerance".to_string()]).is_err());
+        assert!(parse_args(&["--tolerance".to_string(), "-3".to_string()]).is_err());
+        assert!(parse_args(&["--bogus".to_string()]).is_err());
+    }
+}

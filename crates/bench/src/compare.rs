@@ -1,0 +1,340 @@
+//! Perf-regression comparison between two `BENCH_*.json` documents: the
+//! checked-in baseline and a fresh run. Metrics are flattened to dotted
+//! keys, classified by name into better-direction classes, and gated with
+//! a relative tolerance plus per-class absolute noise floors so that
+//! microsecond jitter on a fast machine never fails CI.
+
+use crate::json::Json;
+
+/// Which direction of change is a regression for a metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Latency-like (`*_ns`, `*_secs`): increases regress.
+    LowerBetter,
+    /// Throughput-like (`*per_sec`, `*qps`, `*speedup`): decreases regress.
+    HigherBetter,
+    /// Descriptive (counts, sizes, flags): reported but never gated.
+    Info,
+}
+
+impl Direction {
+    /// Classify a flattened metric key by suffix conventions, with the
+    /// absolute noise floor below which changes are never regressions.
+    pub fn of(key: &str) -> (Direction, f64) {
+        if key.ends_with("overhead_pct") {
+            // Percentage points: an overhead gate hovering near 0 swings
+            // by whole points run to run.
+            (Direction::LowerBetter, 2.0)
+        } else if key.ends_with("p99_ns") {
+            // Tail percentiles are the noisiest latency statistic — a
+            // single scheduler hiccup in 4k samples moves p99 by tens of
+            // microseconds. Real regressions on slow paths still trip the
+            // relative tolerance far above this floor.
+            (Direction::LowerBetter, 25_000.0)
+        } else if key.ends_with("_ns") {
+            (Direction::LowerBetter, 1_000.0)
+        } else if key.ends_with("_secs") {
+            (Direction::LowerBetter, 1e-3)
+        } else if key.ends_with("per_sec") || key.ends_with("qps") {
+            (Direction::HigherBetter, 1.0)
+        } else if key.ends_with("speedup") {
+            // Parallel speedup on a loaded shared runner (or a 1-core
+            // container, where it hovers below 1.0) swings by tenths;
+            // a parallel path collapsing to serial still drops by >0.25
+            // on any multi-core machine.
+            (Direction::HigherBetter, 0.25)
+        } else {
+            (Direction::Info, 0.0)
+        }
+    }
+}
+
+/// Flatten a parsed bench document into sorted `(dotted key, value)` pairs.
+/// Array elements that are objects with a `"model"` or `"name"` string
+/// member are keyed by it (stable across reordering); other elements fall
+/// back to their index. Booleans flatten to 0/1 so parity flags are diffed.
+pub fn flatten(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(doc, String::new(), &mut out);
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn walk(v: &Json, prefix: String, out: &mut Vec<(String, f64)>) {
+    let join = |suffix: &str| {
+        if prefix.is_empty() {
+            suffix.to_string()
+        } else {
+            format!("{prefix}.{suffix}")
+        }
+    };
+    match v {
+        Json::Num(n) => out.push((prefix, *n)),
+        Json::Bool(b) => out.push((prefix, *b as u8 as f64)),
+        Json::Obj(members) => {
+            for (k, val) in members {
+                walk(val, join(k), out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = item
+                    .get("model")
+                    .or_else(|| item.get("name"))
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| i.to_string());
+                walk(item, join(&label), out);
+            }
+        }
+        Json::Null | Json::Str(_) => {}
+    }
+}
+
+/// Outcome of one metric's baseline-vs-current comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Within tolerance (or informational).
+    Ok,
+    /// Worse than baseline beyond tolerance and noise floor.
+    Regression,
+    /// Better than baseline beyond tolerance — worth refreshing the baseline.
+    Improved,
+    /// Present in the baseline but missing from the current run.
+    MissingInCurrent,
+    /// New metric with no baseline; never gated.
+    NewInCurrent,
+}
+
+/// One row of the comparison table.
+#[derive(Clone, Debug)]
+pub struct MetricDiff {
+    /// Flattened dotted key.
+    pub key: String,
+    /// Baseline value (`None` for new metrics).
+    pub base: Option<f64>,
+    /// Current value (`None` when missing).
+    pub current: Option<f64>,
+    /// Signed relative change in percent, when both sides exist and the
+    /// baseline is non-zero.
+    pub change_pct: Option<f64>,
+    /// Gate outcome.
+    pub status: Status,
+}
+
+/// Compare flattened baseline and current metrics with a relative
+/// `tolerance_pct`. A gated metric regresses iff it moved in the worse
+/// direction by more than `max(tolerance_pct% of |baseline|, noise floor)`.
+/// Metrics present only in the baseline are flagged (renames must update
+/// the baseline); metrics present only in the current run are informational.
+pub fn compare(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    tolerance_pct: f64,
+) -> Vec<MetricDiff> {
+    let mut out = Vec::new();
+    let cur_lookup: std::collections::BTreeMap<&str, f64> =
+        current.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let base_keys: std::collections::BTreeSet<&str> =
+        baseline.iter().map(|(k, _)| k.as_str()).collect();
+    for (key, base) in baseline {
+        let Some(&cur) = cur_lookup.get(key.as_str()) else {
+            out.push(MetricDiff {
+                key: key.clone(),
+                base: Some(*base),
+                current: None,
+                change_pct: None,
+                status: Status::MissingInCurrent,
+            });
+            continue;
+        };
+        let (dir, floor) = Direction::of(key);
+        let change_pct = (*base != 0.0).then(|| (cur - base) / base.abs() * 100.0);
+        let worse_by = match dir {
+            Direction::LowerBetter => cur - base,
+            Direction::HigherBetter => base - cur,
+            Direction::Info => 0.0,
+        };
+        let budget = (tolerance_pct / 100.0 * base.abs()).max(floor);
+        let status = if dir == Direction::Info {
+            Status::Ok
+        } else if worse_by > budget {
+            Status::Regression
+        } else if -worse_by > budget {
+            Status::Improved
+        } else {
+            Status::Ok
+        };
+        out.push(MetricDiff {
+            key: key.clone(),
+            base: Some(*base),
+            current: Some(cur),
+            change_pct,
+            status,
+        });
+    }
+    for (key, cur) in current {
+        if !base_keys.contains(key.as_str()) {
+            out.push(MetricDiff {
+                key: key.clone(),
+                base: None,
+                current: Some(*cur),
+                change_pct: None,
+                status: Status::NewInCurrent,
+            });
+        }
+    }
+    out
+}
+
+/// Render the comparison as an aligned text table.
+pub fn render_table(diffs: &[MetricDiff]) -> String {
+    let fmt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.3}"),
+        None => "-".to_string(),
+    };
+    let mut rows: Vec<[String; 5]> = vec![[
+        "metric".into(),
+        "baseline".into(),
+        "current".into(),
+        "change".into(),
+        "status".into(),
+    ]];
+    for d in diffs {
+        rows.push([
+            d.key.clone(),
+            fmt(d.base),
+            fmt(d.current),
+            d.change_pct
+                .map(|p| format!("{p:+.1}%"))
+                .unwrap_or_else(|| "-".to_string()),
+            match d.status {
+                Status::Ok => "ok",
+                Status::Regression => "REGRESSION",
+                Status::Improved => "improved",
+                Status::MissingInCurrent => "MISSING",
+                Status::NewInCurrent => "new",
+            }
+            .to_string(),
+        ]);
+    }
+    let mut widths = [0usize; 5];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for row in &rows {
+        for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.len()..*w {
+                out.push(' ');
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn flatten_keys_arrays_by_model_name() {
+        let doc = Json::parse(
+            r#"{"models": [
+                {"model": "tagger", "examples_per_sec_1_worker": 100.0, "parity": true},
+                {"model": "miner", "speedup": 2.0}
+            ], "batch_size": 8}"#,
+        )
+        .unwrap();
+        let flat = flatten(&doc);
+        assert!(flat.contains(&("models.tagger.examples_per_sec_1_worker".to_string(), 100.0)));
+        assert!(flat.contains(&("models.tagger.parity".to_string(), 1.0)));
+        assert!(flat.contains(&("models.miner.speedup".to_string(), 2.0)));
+        assert!(flat.contains(&("batch_size".to_string(), 8.0)));
+    }
+
+    #[test]
+    fn injected_2x_regression_fails_both_directions() {
+        let base = metrics(&[("search.p50_ns", 100_000.0), ("batch.qps", 500.0)]);
+        // Latency doubled, throughput halved: both must regress at 15%.
+        let cur = metrics(&[("search.p50_ns", 200_000.0), ("batch.qps", 250.0)]);
+        let diffs = compare(&base, &cur, 15.0);
+        assert!(diffs.iter().all(|d| d.status == Status::Regression));
+    }
+
+    #[test]
+    fn within_tolerance_and_improvements_pass() {
+        let base = metrics(&[("search.p50_ns", 100_000.0), ("batch.qps", 500.0)]);
+        let cur = metrics(&[("search.p50_ns", 110_000.0), ("batch.qps", 1_000.0)]);
+        let diffs = compare(&base, &cur, 15.0);
+        assert_eq!(diffs[0].status, Status::Ok, "10% latency rise is tolerated");
+        assert_eq!(diffs[1].status, Status::Improved);
+    }
+
+    #[test]
+    fn noise_floors_swallow_tiny_absolute_changes() {
+        // 3x worse, but only 300ns in absolute terms — under the 1µs floor.
+        let base = metrics(&[("retrieve_ns", 150.0), ("overhead_pct", 0.2)]);
+        let cur = metrics(&[("retrieve_ns", 450.0), ("overhead_pct", 1.9)]);
+        let diffs = compare(&base, &cur, 15.0);
+        assert!(diffs.iter().all(|d| d.status == Status::Ok));
+        // Past the floor, it gates again.
+        let cur = metrics(&[("retrieve_ns", 150_000.0), ("overhead_pct", 4.0)]);
+        let diffs = compare(&base, &cur, 15.0);
+        assert!(diffs.iter().all(|d| d.status == Status::Regression));
+    }
+
+    #[test]
+    fn tail_and_speedup_floors_absorb_scheduler_jitter() {
+        // +21% on a 36µs p99 is one slow sample out of 4k; a 0.16 speedup
+        // dip is 1-core noise. Neither should gate.
+        let base = metrics(&[("retrieve_p99_ns", 36_000.0), ("m.speedup", 0.95)]);
+        let cur = metrics(&[("retrieve_p99_ns", 43_500.0), ("m.speedup", 0.79)]);
+        let diffs = compare(&base, &cur, 15.0);
+        assert!(diffs.iter().all(|d| d.status == Status::Ok), "{diffs:?}");
+        // A genuine 2× tail blowup / serialized parallel path still fails.
+        let cur = metrics(&[("retrieve_p99_ns", 72_000.0), ("m.speedup", 0.40)]);
+        let diffs = compare(&base, &cur, 15.0);
+        assert!(diffs.iter().all(|d| d.status == Status::Regression));
+    }
+
+    #[test]
+    fn info_metrics_are_never_gated() {
+        let base = metrics(&[("models.tagger.examples", 300.0)]);
+        let cur = metrics(&[("models.tagger.examples", 600.0)]);
+        assert_eq!(compare(&base, &cur, 15.0)[0].status, Status::Ok);
+    }
+
+    #[test]
+    fn missing_and_new_metrics_are_flagged() {
+        let base = metrics(&[("old_ns", 10.0)]);
+        let cur = metrics(&[("new_ns", 10.0)]);
+        let diffs = compare(&base, &cur, 15.0);
+        assert_eq!(diffs[0].status, Status::MissingInCurrent);
+        assert_eq!(diffs[1].status, Status::NewInCurrent);
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let base = metrics(&[("a_ns", 10.0)]);
+        let cur = metrics(&[("a_ns", 10.0), ("b_ns", 5.0)]);
+        let table = render_table(&compare(&base, &cur, 15.0));
+        assert!(table.contains("a_ns"));
+        assert!(table.contains("new"));
+        assert_eq!(table.lines().count(), 3);
+    }
+}

@@ -133,16 +133,30 @@ impl<'kg> QueryIndex<'kg> {
         &self,
         words: impl IntoIterator<Item = &'w str>,
     ) -> Vec<ConceptId> {
+        self.concept_candidates_counted(words).0
+    }
+
+    /// [`concept_candidates`](Self::concept_candidates) plus the number of
+    /// posting entries touched to build the union — the retrieval-side
+    /// work measure the serving metrics report (deduped candidates alone
+    /// hide how much posting traffic a hot token causes).
+    pub fn concept_candidates_counted<'w>(
+        &self,
+        words: impl IntoIterator<Item = &'w str>,
+    ) -> (Vec<ConceptId>, usize) {
         let mut seen: FxHashSet<ConceptId> = FxHashSet::default();
         let mut out = Vec::new();
+        let mut postings = 0usize;
         for w in words {
-            for &c in self.concepts_by_token(w) {
+            let hits = self.concepts_by_token(w);
+            postings += hits.len();
+            for &c in hits {
                 if seen.insert(c) {
                     out.push(c);
                 }
             }
         }
-        out
+        (out, postings)
     }
 
     /// The net this index serves.

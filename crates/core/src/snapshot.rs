@@ -20,9 +20,32 @@
 //! Tabs and newlines are forbidden in names (asserted on save).
 
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
+
+use alicoco_obs::Registry;
 
 use crate::graph::AliCoCo;
 use crate::ids::{ClassId, ConceptId, ItemId, PrimitiveId};
+
+/// A pass-through writer that counts emitted records (newlines). Names
+/// cannot contain `\n` (asserted on save), so the newline count is exactly
+/// the record count.
+struct LineCountWriter<'a, W> {
+    inner: &'a mut W,
+    lines: u64,
+}
+
+impl<W: Write> Write for LineCountWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.lines += buf.iter().take(n).filter(|&&b| b == b'\n').count() as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
 
 /// Serialize the graph to a writer.
 pub fn save<W: Write>(kg: &AliCoCo, w: &mut W) -> io::Result<()> {
@@ -101,6 +124,21 @@ pub fn save<W: Write>(kg: &AliCoCo, w: &mut W) -> io::Result<()> {
     Ok(())
 }
 
+/// [`save`] plus metrics: wall-clock time into the `snapshot.save_ns`
+/// histogram and the record count onto the `snapshot.save_records`
+/// counter. The uninstrumented [`save`] pays nothing for this path.
+pub fn save_instrumented<W: Write>(kg: &AliCoCo, w: &mut W, metrics: &Registry) -> io::Result<()> {
+    let start = Instant::now();
+    let mut counted = LineCountWriter { inner: w, lines: 0 };
+    save(kg, &mut counted)?;
+    let records = counted.lines;
+    metrics
+        .histogram("snapshot.save_ns")
+        .record_duration(start.elapsed());
+    metrics.counter("snapshot.save_records").add(records);
+    Ok(())
+}
+
 /// Error kind for snapshot loading.
 #[derive(Debug)]
 pub enum LoadError {
@@ -131,6 +169,25 @@ impl From<io::Error> for LoadError {
 /// so truncated or malformed records of any type yield a
 /// [`LoadError::Parse`] rather than a panic.
 pub fn load<R: BufRead>(r: &mut R) -> Result<AliCoCo, LoadError> {
+    load_counted(r).map(|(kg, _)| kg)
+}
+
+/// [`load`] plus metrics: wall-clock time into the `snapshot.load_ns`
+/// histogram and the record count onto the `snapshot.load_records`
+/// counter.
+pub fn load_instrumented<R: BufRead>(r: &mut R, metrics: &Registry) -> Result<AliCoCo, LoadError> {
+    let start = Instant::now();
+    let (kg, records) = load_counted(r)?;
+    metrics
+        .histogram("snapshot.load_ns")
+        .record_duration(start.elapsed());
+    metrics.counter("snapshot.load_records").add(records);
+    Ok(kg)
+}
+
+/// Shared load core returning the graph and the number of records parsed.
+fn load_counted<R: BufRead>(r: &mut R) -> Result<(AliCoCo, u64), LoadError> {
+    let mut records = 0u64;
     let mut kg = AliCoCo::new();
     let err = |ln: usize, msg: &str| LoadError::Parse(ln, msg.to_string());
     // Ids are stored as `u32` internally, so parse at that width: an
@@ -154,6 +211,7 @@ pub fn load<R: BufRead>(r: &mut R) -> Result<AliCoCo, LoadError> {
         }
         let parts: Vec<&str> = line.split('\t').collect();
         let parts = parts.as_slice();
+        records += 1;
         match field(ln, parts, 0)? {
             "C" => {
                 if parts.len() != 4 {
@@ -245,7 +303,7 @@ pub fn load<R: BufRead>(r: &mut R) -> Result<AliCoCo, LoadError> {
             other => return Err(err(ln, &format!("unknown record type {other:?}"))),
         }
     }
-    Ok(kg)
+    Ok((kg, records))
 }
 
 #[cfg(test)]
@@ -297,6 +355,23 @@ mod tests {
         assert!((items[0].1 - 0.75).abs() < 1e-6);
         // Disambiguation index rebuilt.
         assert_eq!(loaded.primitives_by_name("grill").len(), 1);
+    }
+
+    #[test]
+    fn instrumented_roundtrip_counts_records() {
+        let kg = build_sample();
+        let reg = Registry::new();
+        let mut buf = Vec::new();
+        save_instrumented(&kg, &mut buf, &reg).unwrap();
+        let saved = reg.counter("snapshot.save_records").get();
+        let lines = buf.iter().filter(|&&b| b == b'\n').count() as u64;
+        assert_eq!(saved, lines, "one record per line");
+        assert!(saved > 0);
+        let loaded = load_instrumented(&mut buf.as_slice(), &reg).unwrap();
+        assert_eq!(loaded.num_concepts(), kg.num_concepts());
+        assert_eq!(reg.counter("snapshot.load_records").get(), saved);
+        assert_eq!(reg.histogram("snapshot.save_ns").count(), 1);
+        assert_eq!(reg.histogram("snapshot.load_ns").count(), 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use alicoco_nn::layers::Linear;
 use alicoco_nn::metrics::{ranking_metrics, RankingMetrics};
 use alicoco_nn::param::Param;
 use alicoco_nn::util::{FxHashMap, FxHashSet};
-use alicoco_nn::{Adam, Graph, NodeId, ParamSet, Tensor, TrainConfig, Trainer};
+use alicoco_nn::{Adam, EpochStats, Graph, NodeId, ParamSet, Tensor, TrainConfig, Trainer};
 use alicoco_text::hearst;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -314,13 +314,14 @@ impl ProjectionModel {
         1.0 / (1.0 + (-g.value(l).item()).exp())
     }
 
-    /// Train on labeled `(hypo, hyper, label)` triples over `data.vecs`.
+    /// Train on labeled `(hypo, hyper, label)` triples over `data.vecs`;
+    /// returns per-epoch telemetry.
     pub fn train(
         &mut self,
         data: &HypernymDataset,
         triples: &[(usize, usize, f32)],
         rng: &mut impl Rng,
-    ) {
+    ) -> Vec<EpochStats> {
         let mut opt = Adam::new(self.cfg.train.lr);
         let model = &*self;
         let trainer = Trainer::new(&model.ps, model.cfg.train.clone());
@@ -332,7 +333,7 @@ impl ProjectionModel {
                 Some(g.bce_with_logits(l, &[y]))
             },
             rng,
-        );
+        )
     }
 
     /// Evaluate ranking metrics over queries.

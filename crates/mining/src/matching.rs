@@ -12,7 +12,7 @@ use alicoco_nn::conv::Conv1d;
 use alicoco_nn::layers::{Activation, Embedding, Linear, Mlp};
 use alicoco_nn::metrics::{binary_prf, precision_at_k, roc_auc};
 use alicoco_nn::param::Param;
-use alicoco_nn::{Adam, Graph, NodeId, ParamSet, Tensor, TrainConfig, Trainer};
+use alicoco_nn::{Adam, EpochStats, Graph, NodeId, ParamSet, Tensor, TrainConfig, Trainer};
 use alicoco_text::bm25::{Bm25Index, Bm25Params};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -430,12 +430,17 @@ impl DssmMatcher {
         g.mul(dot, s)
     }
 
-    /// Train on the given data.
-    pub fn train(&mut self, res: &Resources, data: &MatchingDataset, rng: &mut impl Rng) {
+    /// Train on the given data; returns per-epoch telemetry.
+    pub fn train(
+        &mut self,
+        res: &Resources,
+        data: &MatchingDataset,
+        rng: &mut impl Rng,
+    ) -> Vec<EpochStats> {
         let model = &*self;
         train_pairwise(&model.ps, &model.train, data, rng, |g, c, t| {
             model.logit(g, res, c, t)
-        });
+        })
     }
 
     /// Score the input.
@@ -484,12 +489,17 @@ impl MatchPyramidMatcher {
         self.head.forward(g, pooled)
     }
 
-    /// Train on the given data.
-    pub fn train(&mut self, res: &Resources, data: &MatchingDataset, rng: &mut impl Rng) {
+    /// Train on the given data; returns per-epoch telemetry.
+    pub fn train(
+        &mut self,
+        res: &Resources,
+        data: &MatchingDataset,
+        rng: &mut impl Rng,
+    ) -> Vec<EpochStats> {
         let model = &*self;
         train_pairwise(&model.ps, &model.train, data, rng, |g, c, t| {
             model.logit(g, res, c, t)
-        });
+        })
     }
 
     /// Score the input.
@@ -565,12 +575,17 @@ impl Re2Matcher {
         self.head.forward(g, cat)
     }
 
-    /// Train on the given data.
-    pub fn train(&mut self, res: &Resources, data: &MatchingDataset, rng: &mut impl Rng) {
+    /// Train on the given data; returns per-epoch telemetry.
+    pub fn train(
+        &mut self,
+        res: &Resources,
+        data: &MatchingDataset,
+        rng: &mut impl Rng,
+    ) -> Vec<EpochStats> {
         let model = &*self;
         train_pairwise(&model.ps, &model.train, data, rng, |g, c, t| {
             model.logit(g, res, c, t)
-        });
+        })
     }
 
     /// Score the input.
@@ -801,11 +816,11 @@ impl OursMatcher {
         res: &Resources,
         data: &MatchingDataset,
         rng: &mut impl Rng,
-    ) -> Vec<f32> {
+    ) -> Vec<EpochStats> {
         let mut opt = Adam::new(self.cfg.train.lr);
         let model = &*self;
         let trainer = Trainer::new(&model.ps, model.cfg.train.clone());
-        let stats = trainer.train(
+        trainer.train(
             &mut opt,
             &data.train,
             |g, &(c, i, y)| {
@@ -813,8 +828,7 @@ impl OursMatcher {
                 Some(g.bce_with_logits(l, &[y]))
             },
             rng,
-        );
-        stats.iter().map(|s| s.mean_loss).collect()
+        )
     }
 
     /// Score the input.
@@ -848,7 +862,8 @@ fn train_pairwise<F>(
     data: &MatchingDataset,
     rng: &mut impl Rng,
     logit: F,
-) where
+) -> Vec<EpochStats>
+where
     F: Fn(&mut Graph, &[String], &[String]) -> NodeId + Sync,
 {
     let mut opt = Adam::new(cfg.lr);
@@ -861,7 +876,7 @@ fn train_pairwise<F>(
             Some(g.bce_with_logits(l, &[y]))
         },
         rng,
-    );
+    )
 }
 
 #[cfg(test)]
@@ -918,7 +933,7 @@ mod tests {
             },
         );
         let losses = ours.train(&res, &data, &mut rng);
-        assert!(losses.last().unwrap() < losses.first().unwrap());
+        assert!(losses.last().unwrap().mean_loss < losses.first().unwrap().mean_loss);
         let m = evaluate_matcher(&data, |c, i| ours.score(&res, &data, c, i));
         assert!(m.auc > 0.75, "ours AUC too low: {m:?}");
         assert!(m.p_at_10 > 0.3, "ours P@10 too low: {m:?}");

@@ -18,7 +18,9 @@
 
 use alicoco::{AliCoCo, ClassId};
 use alicoco_corpus::{Dataset, Domain, Oracle};
+use alicoco_nn::record_epoch_stats;
 use alicoco_nn::util::{FxHashMap, FxHashSet};
+use alicoco_obs::Registry;
 
 use crate::congen::{
     candidates_from_patterns, candidates_from_text, quality_gate, Candidate, ClassifierConfig,
@@ -122,6 +124,21 @@ pub struct PipelineReport {
 
 /// Run the full pipeline and return the assembled concept net plus report.
 pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineReport) {
+    // A throwaway registry: six span histograms and the per-model epoch
+    // bridge record into it and are dropped — negligible next to model
+    // training, so the uninstrumented entry point stays the default.
+    build_alicoco_instrumented(ds, cfg, &Registry::new())
+}
+
+/// [`build_alicoco`] recording stage wall-clock (`pipeline.*_ns`
+/// histograms), per-model training telemetry (`train.<model>.*` via
+/// [`record_epoch_stats`]), and the final report counts (`pipeline.*`
+/// counters) into `metrics`.
+pub fn build_alicoco_instrumented(
+    ds: &Dataset,
+    cfg: &PipelineConfig,
+    metrics: &Registry,
+) -> (AliCoCo, PipelineReport) {
     // Apply the pipeline-wide sharding knobs to every model's training
     // config. Byte-identical results for any `train_workers` (the trainer's
     // determinism contract), so parallelism is safe to turn on globally.
@@ -144,6 +161,7 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
     let mut report = PipelineReport::default();
 
     // ---- 1. taxonomy -----------------------------------------------------
+    let stage = metrics.span("pipeline.taxonomy_ns");
     let root = kg.add_class("concept", None);
     let mut domain_class: FxHashMap<Domain, ClassId> = FxHashMap::default();
     for d in Domain::ALL {
@@ -172,7 +190,10 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
         domain_class[&Domain::Location],
     );
 
+    stage.stop();
+
     // ---- 2. primitive layer ----------------------------------------------
+    let stage = metrics.span("pipeline.primitive_layer_ns");
     let (known, heldout) = KnownLexicon::sample(ds, cfg.known_fraction, &mut rng);
     // The taxonomy class a primitive is indexed under.
     let class_of = |kg: &AliCoCo, surface: &str, d: Domain| -> ClassId {
@@ -208,7 +229,8 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
     let sentences: Vec<Vec<String>> = ds.corpora.all_sentences().cloned().collect();
     let train_data = distant_supervision(&known, &sentences, 800);
     let mut miner = VocabMiner::new(&res, cfg.miner.clone());
-    miner.train(&res, &train_data, &mut rng);
+    let miner_stats = miner.train(&res, &train_data, &mut rng);
+    record_epoch_stats(metrics, "vocab_miner", &miner_stats);
     let candidates = mine_candidates(&miner, &res, &known, &sentences);
     report.candidates_mined = candidates.len();
     let surfaces = corpus_surfaces(&sentences);
@@ -219,7 +241,10 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
         report.primitives_mined += 1;
     }
 
+    stage.stop();
+
     // ---- 3. hypernym discovery --------------------------------------------
+    let stage = metrics.span("pipeline.hypernyms_ns");
     let find_cat_primitive = |kg: &AliCoCo, name: &str| {
         kg.primitives_by_name(name)
             .iter()
@@ -249,7 +274,8 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
     let hyp_data = HypernymDataset::build(ds, &res, &mut rng);
     let triples = hyp_data.labeled_pairs(&hyp_data.train_pos, 6, &mut rng);
     let mut proj = ProjectionModel::new(res.word_vectors.dim(), cfg.projection.clone());
-    proj.train(&hyp_data, &triples, &mut rng);
+    let proj_stats = proj.train(&hyp_data, &triples, &mut rng);
+    record_epoch_stats(metrics, "hypernym_projection", &proj_stats);
     for (hi, hypo_name) in hyp_data.terms.iter().enumerate() {
         let Some(a) = find_cat_primitive(&kg, hypo_name) else {
             continue;
@@ -290,7 +316,10 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
         }
     }
 
+    stage.stop();
+
     // ---- 4. e-commerce concepts --------------------------------------------
+    let stage = metrics.span("pipeline.concept_generation_ns");
     let pools = PrimitivePools::from_dataset(ds);
     let mut candidates: Vec<Candidate> = candidates_from_text(ds, &res, 150);
     candidates.extend(candidates_from_patterns(
@@ -315,7 +344,8 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
         cls_train.push((candidates[ix].tokens.clone(), if y { 1.0 } else { 0.0 }));
     }
     let mut classifier = ConceptClassifier::new(&res, cfg.classifier.clone());
-    classifier.train(&res, &cls_train, &mut rng);
+    let cls_stats = classifier.train(&res, &cls_train, &mut rng);
+    record_epoch_stats(metrics, "concept_classifier", &cls_stats);
     // Annotated candidates bypass the model (their label is already known):
     // approved ones are admitted directly. Unlabeled candidates flow through
     // the classifier and then the batch quality gate (§5.2.2): each batch is
@@ -348,7 +378,10 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
         }
     }
 
+    stage.stop();
+
     // ---- 5. tagging / linking ----------------------------------------------
+    let stage = metrics.span("pipeline.tagging_linking_ns");
     let (mut tag_train, _, _) = tagging_splits(ds, &mut rng);
     tag_train.extend(crate::tagging::distant_tagging_examples(
         ds,
@@ -363,7 +396,8 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
         .collect();
     let ctx = ContextIndex::build(&res, ds, ctx_words.iter().map(String::as_str), 3);
     let mut tagger = ConceptTagger::new(&res, cfg.tagger.clone());
-    tagger.train(&res, &ctx, &amb, &tag_train, &mut rng);
+    let tagger_stats = tagger.train(&res, &ctx, &amb, &tag_train, &mut rng);
+    record_epoch_stats(metrics, "concept_tagger", &tagger_stats);
 
     let mut admitted_specs: Vec<alicoco::ConceptId> = Vec::new();
     for cand in &admitted {
@@ -420,7 +454,10 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
         }
     }
 
+    stage.stop();
+
     // ---- 6. items ------------------------------------------------------------
+    let stage = metrics.span("pipeline.item_association_ns");
     // Item -> primitive links: CPV-style longest-match over titles.
     let mut item_ids = Vec::with_capacity(ds.items.len());
     for item in &ds.items {
@@ -450,7 +487,8 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
     // pairs the matcher accepts, storing the score as the edge probability.
     let match_data = build_matching_dataset(ds, &MatchingDataConfig::default());
     let mut matcher = OursMatcher::new(&res, cfg.matcher.clone());
-    matcher.train(&res, &match_data, &mut rng);
+    let matcher_stats = matcher.train(&res, &match_data, &mut rng);
+    record_epoch_stats(metrics, "semantic_matcher", &matcher_stats);
     // Index titles with hyphen decompounding ("pro-grill" also indexed as
     // "pro" and "grill") so gloss-derived query terms reach compound
     // products — the standard decompounding trick of product search.
@@ -467,8 +505,9 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
             res.vocab.encode(&toks)
         })
         .collect();
-    let bm25 =
+    let mut bm25 =
         alicoco_text::bm25::Bm25Index::build(&item_docs, alicoco_text::bm25::Bm25Params::default());
+    bm25.set_metrics(alicoco_text::bm25::Bm25Metrics::register(metrics));
     // Reconstruct a spec per admitted concept from its tagged spans so the
     // matcher's knowledge side has slots to embed.
     for cand in &admitted {
@@ -547,7 +586,47 @@ pub fn build_alicoco(ds: &Dataset, cfg: &PipelineConfig) -> (AliCoCo, PipelineRe
         }
     }
 
+    stage.stop();
+
     report.oracle_labels = oracle.labels_used();
+    // Export the report counts so `--metrics` runs carry construction-side
+    // accounting next to the serving and training metrics.
+    for (name, value) in [
+        (
+            "pipeline.primitives_aligned",
+            report.primitives_aligned as u64,
+        ),
+        ("pipeline.candidates_mined", report.candidates_mined as u64),
+        ("pipeline.primitives_mined", report.primitives_mined as u64),
+        (
+            "pipeline.is_a_from_patterns",
+            report.is_a_from_patterns as u64,
+        ),
+        ("pipeline.is_a_from_model", report.is_a_from_model as u64),
+        (
+            "pipeline.concept_candidates",
+            report.concept_candidates as u64,
+        ),
+        (
+            "pipeline.concepts_admitted",
+            report.concepts_admitted as u64,
+        ),
+        (
+            "pipeline.concept_primitive_links",
+            report.concept_primitive_links as u64,
+        ),
+        (
+            "pipeline.item_primitive_links",
+            report.item_primitive_links as u64,
+        ),
+        (
+            "pipeline.concept_item_links",
+            report.concept_item_links as u64,
+        ),
+        ("pipeline.oracle_labels", report.oracle_labels),
+    ] {
+        metrics.counter(name).add(value);
+    }
     (kg, report)
 }
 

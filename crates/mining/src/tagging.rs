@@ -16,7 +16,7 @@ use alicoco_nn::layers::{Embedding, Linear};
 use alicoco_nn::metrics::{prf_from_counts, PrF1};
 use alicoco_nn::rnn::BiLstm;
 use alicoco_nn::util::{FxHashMap, FxHashSet};
-use alicoco_nn::{Adam, Graph, NodeId, ParamSet, Tensor, TrainConfig, Trainer};
+use alicoco_nn::{Adam, EpochStats, Graph, NodeId, ParamSet, Tensor, TrainConfig, Trainer};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -400,7 +400,7 @@ impl ConceptTagger {
         self.proj.forward(g, a)
     }
 
-    /// Train; returns mean loss per epoch.
+    /// Train; returns per-epoch telemetry.
     pub fn train(
         &mut self,
         res: &Resources,
@@ -408,11 +408,11 @@ impl ConceptTagger {
         ambiguity: &AmbiguityIndex,
         data: &[TaggingExample],
         rng: &mut impl Rng,
-    ) -> Vec<f32> {
+    ) -> Vec<EpochStats> {
         let mut opt = Adam::new(self.cfg.train.lr);
         let model = &*self;
         let trainer = Trainer::new(&model.ps, model.cfg.train.clone());
-        let stats = trainer.train(
+        trainer.train(
             &mut opt,
             data,
             |g, ex: &TaggingExample| {
@@ -428,8 +428,7 @@ impl ConceptTagger {
                 })
             },
             rng,
-        );
-        stats.iter().map(|s| s.mean_loss).collect()
+        )
     }
 
     /// Decode a concept into IOB labels.
@@ -592,7 +591,7 @@ mod tests {
         );
         let losses = model.train(&res, &ctx, &amb, &train, &mut rng);
         assert!(
-            losses.last().unwrap() < losses.first().unwrap(),
+            losses.last().unwrap().mean_loss < losses.first().unwrap().mean_loss,
             "loss not decreasing: {losses:?}"
         );
         let m = model.evaluate(&res, &ctx, &test);

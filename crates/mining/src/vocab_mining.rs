@@ -13,7 +13,7 @@ use alicoco_nn::crf::Crf;
 use alicoco_nn::layers::{Embedding, Linear};
 use alicoco_nn::rnn::BiLstm;
 use alicoco_nn::util::{FxHashMap, FxHashSet};
-use alicoco_nn::{Adam, Graph, ParamSet, Tensor, TrainConfig, Trainer};
+use alicoco_nn::{Adam, EpochStats, Graph, ParamSet, Tensor, TrainConfig, Trainer};
 use rand::Rng;
 
 /// IOB label space over the 20 domains: label 0 is `O`; domain `d` has
@@ -299,17 +299,17 @@ impl VocabMiner {
         self.proj.forward(g, h)
     }
 
-    /// Train on distant-supervision data; returns the mean loss per epoch.
+    /// Train on distant-supervision data; returns per-epoch telemetry.
     pub fn train(
         &mut self,
         res: &crate::resources::Resources,
         data: &[TaggedSentence],
         rng: &mut impl Rng,
-    ) -> Vec<f32> {
+    ) -> Vec<EpochStats> {
         let mut opt = Adam::new(self.cfg.train.lr);
         let model = &*self;
         let trainer = Trainer::new(&model.ps, model.cfg.train.clone());
-        let stats = trainer.train(
+        trainer.train(
             &mut opt,
             data,
             |g, (tokens, labels)| {
@@ -320,8 +320,7 @@ impl VocabMiner {
                 Some(model.crf.nll(g, em, labels))
             },
             rng,
-        );
-        stats.iter().map(|s| s.mean_loss).collect()
+        )
     }
 
     /// Viterbi-decode a sentence into IOB labels.
@@ -561,7 +560,7 @@ mod tests {
         );
         let losses = miner.train(&res, &data, &mut rng);
         assert!(
-            losses.last().unwrap() < losses.first().unwrap(),
+            losses.last().unwrap().mean_loss < losses.first().unwrap().mean_loss,
             "loss did not decrease: {losses:?}"
         );
         let candidates = mine_candidates(&miner, &res, &known, &sentences);

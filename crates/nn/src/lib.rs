@@ -39,4 +39,4 @@ pub mod util;
 pub use graph::{Graph, NodeId};
 pub use param::{Adam, GradShadow, Optimizer, Param, ParamSet, Sgd};
 pub use tensor::Tensor;
-pub use train::{EpochStats, RawEpoch, StopCriterion, TrainConfig, Trainer};
+pub use train::{record_epoch_stats, EpochStats, RawEpoch, StopCriterion, TrainConfig, Trainer};

@@ -23,8 +23,12 @@
 //! arithmetically identical to the per-example loops it replaced: the same
 //! RNG draws, the same per-example optimizer steps, the same loss telemetry.
 
+use std::time::Instant;
+
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+use alicoco_obs::Registry;
 
 use crate::graph::{Graph, NodeId};
 use crate::param::{GradShadow, Optimizer, ParamSet};
@@ -136,6 +140,32 @@ pub struct EpochStats {
     /// Validation metric `(key, secondary)` under
     /// [`StopCriterion::BestSnapshot`]; `None` for fixed-epoch runs.
     pub metric: Option<(f64, f64)>,
+    /// Wall-clock nanoseconds the epoch took (forward/backward, merge, and
+    /// optimizer steps; excludes the validation-metric closure).
+    pub elapsed_ns: u64,
+}
+
+/// Bridge per-epoch telemetry into a metrics [`Registry`] under the
+/// `train.<model>.*` namespace: epoch and example counters, an epoch
+/// wall-clock histogram, and a gauge holding the final mean loss. The
+/// pipeline calls this once per model after training; benches and the CLI
+/// export it alongside the serving metrics.
+pub fn record_epoch_stats(reg: &Registry, model: &str, stats: &[EpochStats]) {
+    if stats.is_empty() {
+        return;
+    }
+    let epochs = reg.counter(format!("train.{model}.epochs").as_str());
+    let examples = reg.counter(format!("train.{model}.examples").as_str());
+    let epoch_ns = reg.histogram(format!("train.{model}.epoch_ns").as_str());
+    for s in stats {
+        epochs.inc();
+        examples.add(s.examples as u64);
+        epoch_ns.record(s.elapsed_ns);
+    }
+    if let Some(last) = stats.last() {
+        reg.gauge(format!("train.{model}.mean_loss").as_str())
+            .set(f64::from(last.mean_loss));
+    }
 }
 
 /// The shared training loop. Borrows the model's [`ParamSet`]; the forward
@@ -242,6 +272,7 @@ impl<'a> Trainer<'a> {
         let mut stale = 0usize;
 
         for epoch in 0..self.cfg.epochs {
+            let epoch_start = Instant::now();
             order.shuffle(rng);
             let mut total = 0.0f32;
             let mut trained = 0usize;
@@ -270,6 +301,7 @@ impl<'a> Trainer<'a> {
                 examples: trained,
                 mean_loss: total / data.len().max(1) as f32,
                 metric: None,
+                elapsed_ns: epoch_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             };
             match stop {
                 StopCriterion::FixedEpochs => stats.push(epoch_stats),

@@ -1,0 +1,120 @@
+//! RAII wall-clock guards: whole-operation spans and multi-stage laps.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+/// Times a span of work and records elapsed nanoseconds into a histogram
+/// when dropped (or explicitly [`stop`](SpanTimer::stop)ped). Early
+/// returns and `?` propagation still record — the guard owns the clock.
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: Option<Arc<Histogram>>,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Start timing into `hist`.
+    pub fn new(hist: Arc<Histogram>) -> Self {
+        SpanTimer {
+            hist: Some(hist),
+            start: Instant::now(),
+        }
+    }
+
+    /// Stop now, record, and return the elapsed nanoseconds.
+    pub fn stop(mut self) -> u64 {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(h) = self.hist.take() {
+            h.record(ns);
+        }
+        ns
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some(h) = self.hist.take() {
+            h.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+/// A lap clock for splitting one request into stages without re-reading
+/// the wall clock between histogram and caller: each [`lap`] records the
+/// time since the previous lap (or construction) and restarts.
+///
+/// Built disabled, it never touches the clock — the hot path pays one
+/// branch, which is what keeps the instrumented/uninstrumented overhead
+/// gate honest.
+#[derive(Debug)]
+pub struct StageClock {
+    last: Option<Instant>,
+}
+
+impl StageClock {
+    /// Start the clock; `enabled = false` makes every lap a no-op.
+    pub fn started(enabled: bool) -> Self {
+        StageClock {
+            last: enabled.then(Instant::now),
+        }
+    }
+
+    /// Record the stage ending now into `hist` and restart the lap.
+    #[inline]
+    pub fn lap(&mut self, hist: &Histogram) {
+        if let Some(prev) = self.last {
+            let now = Instant::now();
+            hist.record_duration(now.duration_since(prev));
+            self.last = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _span = SpanTimer::new(Arc::clone(&h));
+            std::hint::black_box(1 + 1);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stop_records_exactly_once() {
+        let h = Arc::new(Histogram::new());
+        let span = SpanTimer::new(Arc::clone(&h));
+        let ns = span.stop();
+        assert_eq!(
+            h.count(),
+            1,
+            "stop consumed the guard; drop must not re-record"
+        );
+        assert_eq!(h.sum(), ns, "stop must record exactly the returned span");
+    }
+
+    #[test]
+    fn disabled_stage_clock_records_nothing() {
+        let h = Histogram::new();
+        let mut clock = StageClock::started(false);
+        clock.lap(&h);
+        clock.lap(&h);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn enabled_stage_clock_records_every_lap() {
+        let h = Histogram::new();
+        let mut clock = StageClock::started(true);
+        clock.lap(&h);
+        clock.lap(&h);
+        clock.lap(&h);
+        assert_eq!(h.count(), 3);
+    }
+}

@@ -9,34 +9,58 @@
 //! alicoco recommend <snapshot.tsv>         concept cards for a sampled user
 //! alicoco concept <snapshot.tsv> <name>    dump one concept's neighbourhood
 //! ```
+//!
+//! Any invocation also accepts a global `--metrics <out.json>` flag: the
+//! command runs with instrumented engines and the metric registry is
+//! exported as deterministic JSON to `out.json` on success. With
+//! `--metrics` and no subcommand, a built-in demo net exercises every
+//! serving path (search, batch search, QA, recommendation, relevance,
+//! snapshot roundtrip) so CI can smoke-test the observability layer
+//! without a snapshot on disk.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 use alicoco::{AliCoCo, Stats};
 use alicoco_apps::{
-    CognitiveRecommender, RecommendConfig, ScenarioQa, SearchConfig, SemanticSearch,
+    CognitiveRecommender, RecommendConfig, RelevanceScorer, ScenarioQa, SearchConfig,
+    SemanticSearch,
 };
 use alicoco_corpus::{Dataset, WorldConfig};
-use alicoco_mining::pipeline::{build_alicoco, PipelineConfig};
+use alicoco_mining::pipeline::{build_alicoco_instrumented, PipelineConfig};
+use alicoco_obs::Registry;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_path = match take_metrics_flag(&mut args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let metrics = Registry::new();
     let result = match args.first().map(String::as_str) {
-        Some("build") => cmd_build(&args[1..]),
-        Some("stats") => cmd_stats(&args[1..]),
-        Some("search") => cmd_search(&args[1..]),
-        Some("qa") => cmd_qa(&args[1..]),
-        Some("recommend") => cmd_recommend(&args[1..]),
-        Some("concept") => cmd_concept(&args[1..]),
+        Some("build") => cmd_build(&args[1..], &metrics),
+        Some("stats") => cmd_stats(&args[1..], &metrics),
+        Some("search") => cmd_search(&args[1..], &metrics),
+        Some("qa") => cmd_qa(&args[1..], &metrics),
+        Some("recommend") => cmd_recommend(&args[1..], &metrics),
+        Some("concept") => cmd_concept(&args[1..], &metrics),
+        None if metrics_path.is_some() => cmd_demo(&metrics),
         _ => {
             eprintln!(
-                "usage: alicoco <build|stats|search|qa|recommend|concept> <snapshot.tsv> [args]"
+                "usage: alicoco [--metrics <out.json>] \
+                 <build|stats|search|qa|recommend|concept> <snapshot.tsv> [args]"
             );
             return ExitCode::from(2);
         }
     };
+    let result = result.and_then(|()| match &metrics_path {
+        Some(path) => write_metrics(path, &metrics),
+        None => Ok(()),
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -48,9 +72,35 @@ fn main() -> ExitCode {
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
-fn load_net(path: &str) -> Result<AliCoCo, Box<dyn std::error::Error>> {
+/// Extract a global `--metrics <path>` flag from anywhere in the argument
+/// list, returning the path and removing both tokens.
+fn take_metrics_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--metrics") else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err("--metrics requires an output path".to_string());
+    }
+    let path = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(path))
+}
+
+fn write_metrics(path: &str, metrics: &Registry) -> CliResult {
+    let mut file = BufWriter::new(File::create(path)?);
+    file.write_all(metrics.export_json().as_bytes())?;
+    file.write_all(b"\n")?;
+    file.flush()?;
+    eprintln!("wrote metrics to {path}");
+    Ok(())
+}
+
+fn load_net(path: &str, metrics: &Registry) -> Result<AliCoCo, Box<dyn std::error::Error>> {
     let file = File::open(path)?;
-    Ok(alicoco::snapshot::load(&mut BufReader::new(file))?)
+    Ok(alicoco::snapshot::load_instrumented(
+        &mut BufReader::new(file),
+        metrics,
+    )?)
 }
 
 fn require<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
@@ -59,7 +109,7 @@ fn require<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, Stri
         .ok_or_else(|| format!("missing argument: {what}"))
 }
 
-fn cmd_build(args: &[String]) -> CliResult {
+fn cmd_build(args: &[String], metrics: &Registry) -> CliResult {
     let path = require(args, 0, "snapshot path")?;
     let full = args.iter().any(|a| a == "--full");
     let config = if full {
@@ -70,16 +120,16 @@ fn cmd_build(args: &[String]) -> CliResult {
     eprintln!("generating world ({} items)...", config.num_items);
     let ds = Dataset::generate(config);
     eprintln!("running construction pipeline...");
-    let (kg, report) = build_alicoco(&ds, &PipelineConfig::default());
+    let (kg, report) = build_alicoco_instrumented(&ds, &PipelineConfig::default(), metrics);
     eprintln!("{report:#?}");
     let file = File::create(path)?;
-    alicoco::snapshot::save(&kg, &mut BufWriter::new(file))?;
+    alicoco::snapshot::save_instrumented(&kg, &mut BufWriter::new(file), metrics)?;
     eprintln!("saved {path}");
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> CliResult {
-    let kg = load_net(require(args, 0, "snapshot path")?)?;
+fn cmd_stats(args: &[String], metrics: &Registry) -> CliResult {
+    let kg = load_net(require(args, 0, "snapshot path")?, metrics)?;
     print!("{}", Stats::compute(&kg));
     let ci = alicoco::query::concept_item_degrees(&kg);
     let ip = alicoco::query::item_primitive_degrees(&kg);
@@ -95,10 +145,10 @@ fn cmd_stats(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn cmd_search(args: &[String]) -> CliResult {
-    let kg = load_net(require(args, 0, "snapshot path")?)?;
+fn cmd_search(args: &[String], metrics: &Registry) -> CliResult {
+    let kg = load_net(require(args, 0, "snapshot path")?, metrics)?;
     let query = require(args, 1, "query")?;
-    let engine = SemanticSearch::new(&kg, SearchConfig::default());
+    let engine = SemanticSearch::with_metrics(&kg, SearchConfig::default(), metrics);
     let cards = engine.search(query);
     if cards.is_empty() {
         println!("no concept card for {query:?}; keyword items:");
@@ -119,10 +169,10 @@ fn cmd_search(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn cmd_qa(args: &[String]) -> CliResult {
-    let kg = load_net(require(args, 0, "snapshot path")?)?;
+fn cmd_qa(args: &[String], metrics: &Registry) -> CliResult {
+    let kg = load_net(require(args, 0, "snapshot path")?, metrics)?;
     let question = require(args, 1, "question")?;
-    match ScenarioQa::new(&kg).answer(question) {
+    match ScenarioQa::with_metrics(&kg, metrics).answer(question) {
         Some(a) => {
             println!("for \"{}\" you will need:", a.concept_name);
             for e in &a.checklist {
@@ -134,8 +184,8 @@ fn cmd_qa(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn cmd_recommend(args: &[String]) -> CliResult {
-    let kg = load_net(require(args, 0, "snapshot path")?)?;
+fn cmd_recommend(args: &[String], metrics: &Registry) -> CliResult {
+    let kg = load_net(require(args, 0, "snapshot path")?, metrics)?;
     let history: Vec<alicoco::ItemId> = kg
         .item_ids()
         .filter(|&i| !kg.concepts_for_item(i).is_empty())
@@ -149,7 +199,7 @@ fn cmd_recommend(args: &[String]) -> CliResult {
     for &i in &history {
         println!("  viewed {}", kg.item(i).title.join(" "));
     }
-    let rec = CognitiveRecommender::new(&kg, RecommendConfig::default());
+    let rec = CognitiveRecommender::with_metrics(&kg, RecommendConfig::default(), metrics);
     for r in rec.recommend(&history) {
         println!("[{:.2}] {}", r.affinity, r.name);
         println!("    {}", r.reason.text(&kg, &r.name));
@@ -160,8 +210,8 @@ fn cmd_recommend(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn cmd_concept(args: &[String]) -> CliResult {
-    let kg = load_net(require(args, 0, "snapshot path")?)?;
+fn cmd_concept(args: &[String], metrics: &Registry) -> CliResult {
+    let kg = load_net(require(args, 0, "snapshot path")?, metrics)?;
     let name = require(args, 1, "concept name")?;
     let cid = kg
         .concept_by_name(name)
@@ -182,4 +232,132 @@ fn cmd_concept(args: &[String]) -> CliResult {
         println!("  ({w:.2}) {}", kg.item(*iid).title.join(" "));
     }
     Ok(())
+}
+
+/// A small hand-built net covering every serving path: a concept card for
+/// search, a shopping scenario for QA, concept-item links plus a shared
+/// primitive for recommendation, and an isA edge for relevance expansion.
+fn demo_net() -> AliCoCo {
+    let mut kg = AliCoCo::new();
+    let root = kg.add_class("concept", None);
+    let loc = kg.add_class("Location", Some(root));
+    let event = kg.add_class("Event", Some(root));
+    let outdoor = kg.add_primitive("outdoor", loc);
+    let bbq = kg.add_primitive("barbecue", event);
+    let grill_prim = kg.add_primitive("grill", event);
+    kg.add_primitive_is_a(grill_prim, bbq);
+    let c1 = kg.add_concept("outdoor barbecue");
+    kg.link_concept_primitive(c1, outdoor);
+    kg.link_concept_primitive(c1, bbq);
+    let c2 = kg.add_concept("indoor yoga");
+    let _ = c2;
+    let grill = kg.add_item(&["brand".into(), "grill".into()]);
+    let charcoal = kg.add_item(&["best".into(), "charcoal".into()]);
+    let skewers = kg.add_item(&["steel".into(), "skewers".into()]);
+    kg.link_concept_item(c1, grill, 0.9);
+    kg.link_concept_item(c1, charcoal, 0.8);
+    kg.link_item_primitive(grill, bbq);
+    kg.link_item_primitive(skewers, bbq);
+    kg
+}
+
+/// Exercise every instrumented serving path against the demo net so the
+/// exported registry contains a sample of each metric family.
+fn cmd_demo(metrics: &Registry) -> CliResult {
+    let kg = demo_net();
+
+    let search = SemanticSearch::with_metrics(&kg, SearchConfig::default(), metrics);
+    let mut cards = 0;
+    for q in ["barbecue outdoor", "outdoor", "indoor yoga"] {
+        cards += search.search(q).len();
+    }
+    cards += search
+        .search_batch(&["barbecue", "charcoal grill"])
+        .iter()
+        .map(Vec::len)
+        .sum::<usize>();
+    println!("search: {cards} concept cards over 5 queries");
+
+    let qa = ScenarioQa::with_metrics(&kg, metrics);
+    let answered = ["What should I prepare for a barbecue?", "Quiet evening?"]
+        .iter()
+        .filter(|q| qa.answer(q).is_some())
+        .count();
+    println!("qa: {answered} of 2 questions answered");
+
+    let rec = CognitiveRecommender::with_metrics(&kg, RecommendConfig::default(), metrics);
+    let history: Vec<alicoco::ItemId> = kg.item_ids().take(1).collect();
+    println!("recommend: {} cards", rec.recommend(&history).len());
+
+    let scorer = RelevanceScorer::with_metrics(&kg, metrics);
+    let hits = scorer.top_items_expanded(&["barbecue".to_string()], 5);
+    println!("relevance: {} items after isA expansion", hits.len());
+
+    let mut buf: Vec<u8> = Vec::new();
+    alicoco::snapshot::save_instrumented(&kg, &mut buf, metrics)?;
+    let reloaded = alicoco::snapshot::load_instrumented(&mut buf.as_slice(), metrics)?;
+    println!(
+        "snapshot: roundtripped {} concepts / {} items",
+        reloaded.num_concepts(),
+        reloaded.num_items()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn metrics_flag_is_extracted_from_anywhere() {
+        let mut args = strings(&["search", "net.tsv", "--metrics", "out.json", "grill"]);
+        assert_eq!(
+            take_metrics_flag(&mut args).unwrap(),
+            Some("out.json".to_string())
+        );
+        assert_eq!(args, strings(&["search", "net.tsv", "grill"]));
+
+        let mut args = strings(&["--metrics", "m.json"]);
+        assert_eq!(
+            take_metrics_flag(&mut args).unwrap(),
+            Some("m.json".to_string())
+        );
+        assert!(args.is_empty());
+
+        let mut args = strings(&["stats", "net.tsv"]);
+        assert_eq!(take_metrics_flag(&mut args).unwrap(), None);
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn metrics_flag_without_path_is_an_error() {
+        let mut args = strings(&["search", "net.tsv", "--metrics"]);
+        assert!(take_metrics_flag(&mut args).is_err());
+    }
+
+    #[test]
+    fn demo_populates_every_metric_family() {
+        let reg = Registry::new();
+        cmd_demo(&reg).unwrap();
+        let json = reg.export_json();
+        for family in [
+            "search.",
+            "qa.",
+            "recommend.",
+            "relevance.",
+            "bm25.",
+            "snapshot.",
+        ] {
+            assert!(json.contains(family), "missing {family}* metrics");
+        }
+        assert!(reg.counter("search.requests").get() >= 5);
+        assert_eq!(
+            reg.counter("snapshot.save_records").get(),
+            reg.counter("snapshot.load_records").get()
+        );
+    }
 }

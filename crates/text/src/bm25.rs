@@ -1,8 +1,35 @@
 //! Okapi BM25 retrieval index — the non-neural baseline of Table 6.
 
+use std::sync::Arc;
+
 use alicoco_nn::util::FxHashMap;
+use alicoco_obs::{Counter, Registry};
 
 use crate::vocab::TokenId;
+
+/// Pre-registered handles for BM25 retrieval counters. Looked up once at
+/// registration; the query path only touches atomics.
+#[derive(Clone, Debug)]
+pub struct Bm25Metrics {
+    /// Queries answered (`bm25.queries`).
+    pub queries: Arc<Counter>,
+    /// Posting entries scanned across all query terms
+    /// (`bm25.postings_scanned`).
+    pub postings_scanned: Arc<Counter>,
+    /// Candidate documents produced (`bm25.candidates`).
+    pub candidates: Arc<Counter>,
+}
+
+impl Bm25Metrics {
+    /// Register the `bm25.*` metrics in `reg` and return the handles.
+    pub fn register(reg: &Registry) -> Self {
+        Bm25Metrics {
+            queries: reg.counter("bm25.queries"),
+            postings_scanned: reg.counter("bm25.postings_scanned"),
+            candidates: reg.counter("bm25.candidates"),
+        }
+    }
+}
 
 /// BM25 hyperparameters (standard defaults).
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +54,7 @@ pub struct Bm25Index {
     doc_len: Vec<usize>,
     avg_len: f64,
     n_docs: usize,
+    metrics: Option<Bm25Metrics>,
 }
 
 impl Bm25Index {
@@ -56,7 +84,14 @@ impl Bm25Index {
             doc_len,
             avg_len,
             n_docs,
+            metrics: None,
         }
+    }
+
+    /// Attach retrieval counters; queries from here on record into them.
+    /// The uninstrumented path pays one branch per query.
+    pub fn set_metrics(&mut self, metrics: Bm25Metrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Number of docs.
@@ -98,6 +133,7 @@ impl Bm25Index {
     /// `k` in a bounded heap rather than sorting all candidates).
     pub fn candidate_scores(&self, query: &[TokenId]) -> Vec<(usize, f64)> {
         let mut acc: FxHashMap<usize, f64> = FxHashMap::default();
+        let mut scanned = 0u64;
         let dl_norm = |doc: usize| {
             1.0 - self.params.b + self.params.b * self.doc_len[doc] as f64 / self.avg_len.max(1e-9)
         };
@@ -105,6 +141,7 @@ impl Bm25Index {
             let Some(plist) = self.postings.get(&term) else {
                 continue;
             };
+            scanned += plist.len() as u64;
             let idf = self.idf(term);
             for &(doc, tf) in plist {
                 let tf = tf as f64;
@@ -112,6 +149,11 @@ impl Bm25Index {
                     idf * tf * (self.params.k1 + 1.0) / (tf + self.params.k1 * dl_norm(doc));
                 *acc.entry(doc).or_insert(0.0) += score;
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.queries.inc();
+            m.postings_scanned.add(scanned);
+            m.candidates.add(acc.len() as u64);
         }
         acc.into_iter().collect()
     }
@@ -169,6 +211,20 @@ mod tests {
         let idx = Bm25Index::build(&docs(), Bm25Params::default());
         assert_eq!(idx.score(&[999], 0), 0.0);
         assert!(idx.search(&[999], 3).is_empty());
+    }
+
+    #[test]
+    fn metrics_count_query_work() {
+        let reg = Registry::new();
+        let mut idx = Bm25Index::build(&docs(), Bm25Params::default());
+        idx.set_metrics(Bm25Metrics::register(&reg));
+        let hits = idx.search(&[1, 2], 4);
+        assert!(!hits.is_empty());
+        assert_eq!(reg.counter("bm25.queries").get(), 1);
+        // Term 1 posts in docs {0, 2}, term 2 in doc {0}: 3 postings, 2
+        // distinct candidate docs.
+        assert_eq!(reg.counter("bm25.postings_scanned").get(), 3);
+        assert_eq!(reg.counter("bm25.candidates").get(), 2);
     }
 
     #[test]
