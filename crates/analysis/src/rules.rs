@@ -16,7 +16,9 @@
 //! - **AL004** — `RwLock` guard discipline: no two acquisitions in one
 //!   statement, no second acquisition (read→write upgrade) while a guard
 //!   on the same receiver is live, no thread spawn/scope with a guard
-//!   held.
+//!   held, and no per-op `Param::value()`/`value_mut()` guard reads in
+//!   the training hot path (`nn/src/train.rs`, `nn/src/graph.rs`) — hot
+//!   code reads through the graph's version-checked snapshot cache.
 //! - **AL005** — snapshot/persist serialization must not iterate hash
 //!   collections without a canonical sort: hash order differs between
 //!   runs and would break byte-identical artifacts.
@@ -249,6 +251,44 @@ fn al004_lock_discipline(ctx: &FileCtx, out: &mut Vec<RawFinding>) {
     let tree = block_tree(ctx);
     let mut live: Vec<Guard> = Vec::new();
     al004_block(ctx, &tree, &mut live, out);
+    al004_hot_path_snapshot_reads(ctx, out);
+}
+
+/// Training hot-path files where per-op parameter guard reads are banned:
+/// forward/backward passes run per example per epoch, so every
+/// `Param::value()` there is a lock acquisition in the innermost loop.
+const AL004_HOT_PATHS: &[&str] = &["nn/src/train.rs", "nn/src/graph.rs"];
+
+/// The engine reads parameters through the graph's version-checked snapshot
+/// cache (`Graph::snapshot_of`): one atomic version load per read, a lock
+/// only when the optimizer has actually stepped. A raw `.value()` /
+/// `.value_mut()` in the hot path reintroduces the per-op `RwLock` traffic
+/// the snapshot-pointer scheme removed, so flag it like any other lock
+/// misuse. (`Graph::value(id)` takes an argument and is not matched.)
+fn al004_hot_path_snapshot_reads(ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    if !AL004_HOT_PATHS.iter().any(|p| ctx.path.ends_with(p)) {
+        return;
+    }
+    for si in 0..ctx.sig.len() {
+        if ctx.is_test(si) {
+            continue;
+        }
+        for m in ["value", "value_mut"] {
+            let is_guard_read = is_method_call(ctx, si, m)
+                && si + 2 < ctx.sig.len()
+                && ctx.tok(si + 2).is_punct(')');
+            if is_guard_read {
+                out.push(RawFinding::at(
+                    "AL004",
+                    ctx,
+                    si,
+                    format!(
+                        "`.{m}()` takes a param lock in the training hot path; read through the version-checked snapshot cache (`Graph::snapshot_of`) instead"
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 /// Sig indices in `stmt` of empty-argument `.read()` / `.write()` calls.

@@ -188,6 +188,44 @@ fn al004_allows_dropped_scoped_and_temporary_guards() {
     assert!(rules_for("crates/nn/src/param.rs", distinct).is_empty());
 }
 
+#[test]
+fn al004_flags_per_op_guard_reads_in_the_training_hot_path() {
+    // A raw `Param::value()` inside the engine's per-example code is a lock
+    // acquisition in the innermost loop — the pattern the snapshot cache
+    // exists to replace.
+    let src = r#"
+        fn forward(p: &Param) -> Tensor {
+            let w = p.value();
+            w.clone()
+        }
+    "#;
+    assert_eq!(rules_for("crates/nn/src/graph.rs", src), vec!["AL004"]);
+    let write = "fn step(p: &Param) { p.value_mut().fill_zero(); }";
+    assert_eq!(rules_for("crates/nn/src/train.rs", write), vec!["AL004"]);
+}
+
+#[test]
+fn al004_hot_path_guard_read_exemptions() {
+    // `Graph::value(id)` takes an argument — a tape lookup, not a lock.
+    let lookup = "fn read(g: &Graph, id: NodeId) -> f32 { g.value(id).item() }";
+    assert!(rules_for("crates/nn/src/graph.rs", lookup).is_empty());
+
+    // Tests in the hot-path files may touch params directly.
+    let test_code = r#"
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn fits() { assert!(w.value().item() < 1.0); }
+        }
+    "#;
+    assert!(rules_for("crates/nn/src/train.rs", test_code).is_empty());
+
+    // Outside the hot-path files (optimizers, persistence, layers) the
+    // guard API is the intended interface.
+    let optimizer = "fn step(p: &Param) { let mut v = p.value_mut(); v.axpy(-0.1, &g); }";
+    assert!(rules_for("crates/nn/src/param.rs", optimizer).is_empty());
+}
+
 // ---------------------------------------------------------------- AL005
 
 #[test]

@@ -3,7 +3,14 @@
 //! batched configuration. Before anything is timed, the final parameters of
 //! both runs are asserted byte-identical — the engine's determinism
 //! contract — so any speedup never comes from result drift. Emits
-//! `BENCH_train.json` at the workspace root with examples/sec per model.
+//! `BENCH_train.json` at the workspace root with examples/sec per model,
+//! plus the machine context (`cpus`, `threads`) that the perf gate uses to
+//! decide which speedup floor applies: on a single-CPU box the engine runs
+//! inline and speedups hover at parity, while multi-core machines must
+//! show a real win.
+//!
+//! `TRAIN_BENCH_WORKERS` overrides the compared worker count (CI pins it
+//! to 4 so bench-smoke exercises the pooled path deterministically).
 
 use alicoco_corpus::Dataset;
 use alicoco_mining::congen::{classification_splits, ClassifierConfig, ConceptClassifier};
@@ -19,18 +26,20 @@ use alicoco_mining::vocab_mining::{
     distant_supervision, KnownLexicon, VocabMiner, VocabMinerConfig,
 };
 use alicoco_nn::util::seeded_rng;
-use alicoco_nn::{Tensor, TrainConfig};
+use alicoco_nn::{planned_threads, EpochStats, Tensor, TrainConfig};
 use std::time::Instant;
 
 const SEED: u64 = 20200614;
 const BATCH: usize = 8;
 
-/// One timed training run: returns (examples_trained_per_epoch, secs, params).
+/// One timed training run: examples per epoch, wall clock, final params,
+/// and the engine's per-epoch stage telemetry.
 struct Run {
     examples: usize,
     epochs: usize,
     secs: f64,
     params: Vec<Tensor>,
+    stats: Vec<EpochStats>,
 }
 
 struct ModelResult {
@@ -43,20 +52,48 @@ fn sharded(train: TrainConfig, workers: usize) -> TrainConfig {
     train.with_batch_size(BATCH).with_workers(workers)
 }
 
-fn time_run(examples: usize, epochs: usize, f: impl FnOnce() -> Vec<Tensor>) -> Run {
+fn time_run(
+    examples: usize,
+    epochs: usize,
+    f: impl FnOnce() -> (Vec<Tensor>, Vec<EpochStats>),
+) -> Run {
     let t = Instant::now();
-    let params = f();
+    let (params, stats) = f();
     Run {
         examples,
         epochs,
         secs: t.elapsed().as_secs_f64(),
         params,
+        stats,
     }
 }
 
+fn stage_shares(stats: &[EpochStats]) -> (f64, f64, f64) {
+    let fwd: u64 = stats.iter().map(|s| s.forward_ns).sum();
+    let merge: u64 = stats.iter().map(|s| s.merge_ns).sum();
+    let step: u64 = stats.iter().map(|s| s.step_ns).sum();
+    let total = (fwd + merge + step).max(1) as f64;
+    (
+        100.0 * fwd as f64 / total,
+        100.0 * merge as f64 / total,
+        100.0 * step as f64 / total,
+    )
+}
+
+/// Fastest of three runs: each call builds a fresh seeded model, so the
+/// repeats are identical work and min-time filters out scheduler spikes —
+/// a single slow sample on a shared runner would otherwise swing the
+/// speedup ratio by tenths.
+fn best_of_3(run_with: &impl Fn(usize) -> Run, workers: usize) -> Run {
+    (0..3)
+        .map(|_| run_with(workers))
+        .min_by(|a, b| a.secs.total_cmp(&b.secs))
+        .expect("three runs produce a minimum")
+}
+
 fn bench_model(name: &'static str, workers: usize, run_with: impl Fn(usize) -> Run) -> ModelResult {
-    let base = run_with(1);
-    let par = run_with(workers);
+    let base = best_of_3(&run_with, 1);
+    let par = best_of_3(&run_with, workers);
     for (a, b) in base.params.iter().zip(&par.params) {
         assert_eq!(
             a.data(),
@@ -64,8 +101,10 @@ fn bench_model(name: &'static str, workers: usize, run_with: impl Fn(usize) -> R
             "{name}: parameters diverged between 1 and {workers} workers"
         );
     }
+    let (fwd, merge, step) = stage_shares(&par.stats);
     println!(
-        "train/{name}: {:.0} ex/s @ 1 worker, {:.0} ex/s @ {workers} workers ({:.2}x), parity OK",
+        "train/{name}: {:.0} ex/s @ 1 worker, {:.0} ex/s @ {workers} workers ({:.2}x), parity OK \
+         [stages @ {workers}w: forward {fwd:.0}%, merge {merge:.0}%, step {step:.0}%]",
         base.rate(),
         par.rate(),
         base.secs / par.secs.max(1e-9),
@@ -80,10 +119,15 @@ impl Run {
 }
 
 fn main() {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get().min(4))
-        .unwrap_or(1)
-        .max(2);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = std::env::var("TRAIN_BENCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w >= 2)
+        .unwrap_or_else(|| cpus.clamp(2, 4));
+    let threads = planned_threads(workers);
     let ds = Dataset::tiny();
     let res = Resources::build(&ds, ResourcesConfig::default());
 
@@ -121,8 +165,8 @@ fn main() {
             let mut rng = seeded_rng(SEED);
             let mut m = VocabMiner::new(&res, cfg);
             time_run(miner_data.len(), 1, || {
-                m.train(&res, &miner_data, &mut rng);
-                m.params().snapshot()
+                let stats = m.train(&res, &miner_data, &mut rng);
+                (m.params().snapshot(), stats)
             })
         }),
         bench_model("hypernym_projection", workers, |w| {
@@ -133,8 +177,8 @@ fn main() {
             let mut rng = seeded_rng(SEED);
             let mut m = ProjectionModel::new(res.word_vectors.dim(), cfg);
             time_run(triples.len(), 2, || {
-                m.train(&hyp_data, &triples, &mut rng);
-                m.params().snapshot()
+                let stats = m.train(&hyp_data, &triples, &mut rng);
+                (m.params().snapshot(), stats)
             })
         }),
         bench_model("concept_classifier", workers, |w| {
@@ -145,8 +189,8 @@ fn main() {
             let mut rng = seeded_rng(SEED);
             let mut m = ConceptClassifier::new(&res, cfg);
             time_run(cls_data.len(), 2, || {
-                m.train(&res, &cls_data, &mut rng);
-                m.params().snapshot()
+                let stats = m.train(&res, &cls_data, &mut rng);
+                (m.params().snapshot(), stats)
             })
         }),
         bench_model("concept_tagger", workers, |w| {
@@ -157,8 +201,8 @@ fn main() {
             let mut rng = seeded_rng(SEED);
             let mut m = ConceptTagger::new(&res, cfg);
             time_run(tag_data.len(), 1, || {
-                m.train(&res, &ctx, &amb, &tag_data, &mut rng);
-                m.params().snapshot()
+                let stats = m.train(&res, &ctx, &amb, &tag_data, &mut rng);
+                (m.params().snapshot(), stats)
             })
         }),
         bench_model("semantic_matcher", workers, |w| {
@@ -169,15 +213,16 @@ fn main() {
             let mut rng = seeded_rng(SEED);
             let mut m = OursMatcher::new(&res, cfg);
             time_run(match_data.train.len(), 1, || {
-                m.train(&res, &match_data, &mut rng);
-                m.params().snapshot()
+                let stats = m.train(&res, &match_data, &mut rng);
+                (m.params().snapshot(), stats)
             })
         }),
     ];
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"batch_size\": {BATCH},\n  \"workers_compared\": [1, {workers}],\n  \"models\": [\n"
+        "  \"batch_size\": {BATCH},\n  \"workers_compared\": [1, {workers}],\n  \
+         \"cpus\": {cpus},\n  \"threads\": {threads},\n  \"models\": [\n"
     ));
     for (i, r) in results.iter().enumerate() {
         // `examples_per_sec_parallel` (not `..._{workers}_workers`) so the
@@ -199,5 +244,5 @@ fn main() {
     json.push_str("  ]\n}\n");
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
     std::fs::write(out, &json).expect("write BENCH_train.json");
-    println!("train/summary: wrote {out}");
+    println!("train/summary: wrote {out} (cpus {cpus}, threads {threads})");
 }

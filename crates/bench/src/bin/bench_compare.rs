@@ -10,11 +10,15 @@
 //! Defaults: tolerance 15%, baseline dir `bench-baseline`, files
 //! `BENCH_train.json BENCH_serving.json`. A metric present in the baseline
 //! but missing from the fresh run also fails (renames must refresh the
-//! baseline); new metrics are reported but never gated.
+//! baseline); new metrics are reported but never gated by tolerance.
+//! `*speedup` metrics additionally carry an absolute minimum chosen from
+//! the current run's recorded `cpus` (a real win on multi-core machines,
+//! parity on a single-CPU runner) — falling below it fails even when the
+//! baseline had already slipped.
 
 use std::process::ExitCode;
 
-use alicoco_bench::compare::{compare, render_table, Status};
+use alicoco_bench::compare::{compare, render_table, speedup_minimum, Status};
 use alicoco_bench::json::Json;
 
 struct Options {
@@ -96,15 +100,21 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let diffs = compare(&base, &cur, opts.tolerance_pct);
+        let min_speedup = speedup_minimum(&cur);
+        let diffs = compare(&base, &cur, opts.tolerance_pct, Some(min_speedup));
         println!(
-            "== {name} vs {baseline_path} (tolerance {}%)",
+            "== {name} vs {baseline_path} (tolerance {}%, speedup minimum {min_speedup})",
             opts.tolerance_pct
         );
         print!("{}", render_table(&diffs));
         let regressions = diffs
             .iter()
-            .filter(|d| matches!(d.status, Status::Regression | Status::MissingInCurrent))
+            .filter(|d| {
+                matches!(
+                    d.status,
+                    Status::Regression | Status::MissingInCurrent | Status::BelowMinimum
+                )
+            })
             .count();
         let improved = diffs
             .iter()

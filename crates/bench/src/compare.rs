@@ -38,14 +38,45 @@ impl Direction {
         } else if key.ends_with("per_sec") || key.ends_with("qps") {
             (Direction::HigherBetter, 1.0)
         } else if key.ends_with("speedup") {
-            // Parallel speedup on a loaded shared runner (or a 1-core
-            // container, where it hovers below 1.0) swings by tenths;
-            // a parallel path collapsing to serial still drops by >0.25
-            // on any multi-core machine.
+            // Parallel speedup on a loaded shared runner swings by tenths,
+            // so relative changes get a generous floor — but the floor
+            // alone would mask a parallel path collapsing toward serial.
+            // Speedups therefore also carry an absolute minimum (see
+            // [`speedup_minimum`] and the `min_speedup` gate in
+            // [`compare`]): a value below the machine-appropriate minimum
+            // fails regardless of what the baseline was.
             (Direction::HigherBetter, 0.25)
         } else {
             (Direction::Info, 0.0)
         }
+    }
+}
+
+/// Minimum acceptable `*speedup` value on a multi-core machine: at 2+
+/// workers the engine must deliver a real win, not just avoid regressing
+/// a possibly-already-broken baseline.
+pub const MIN_SPEEDUP_MULTICORE: f64 = 1.4;
+
+/// Minimum on a single-CPU machine, where the pool runs inline and the
+/// honest expectation is parity: the engine must not make more workers
+/// *slower* (the failure mode this gate exists to catch), but it cannot
+/// beat one core with one core.
+pub const MIN_SPEEDUP_PARITY: f64 = 0.9;
+
+/// Pick the speedup minimum for a current run from its own machine
+/// context: the flattened `cpus` key the train bench records. Runs without
+/// the key (older documents, serving benches) get the conservative parity
+/// minimum.
+pub fn speedup_minimum(current: &[(String, f64)]) -> f64 {
+    let cpus = current
+        .iter()
+        .find(|(k, _)| k == "cpus")
+        .map(|(_, v)| *v)
+        .unwrap_or(1.0);
+    if cpus >= 2.0 {
+        MIN_SPEEDUP_MULTICORE
+    } else {
+        MIN_SPEEDUP_PARITY
     }
 }
 
@@ -102,8 +133,13 @@ pub enum Status {
     Improved,
     /// Present in the baseline but missing from the current run.
     MissingInCurrent,
-    /// New metric with no baseline; never gated.
+    /// New metric with no baseline; never gated by tolerance (but `speedup`
+    /// metrics are still held to the absolute minimum).
     NewInCurrent,
+    /// A `speedup` metric below the absolute direction-aware minimum —
+    /// fails even when the (possibly already-regressed) baseline tolerates
+    /// the value.
+    BelowMinimum,
 }
 
 /// One row of the comparison table.
@@ -127,11 +163,20 @@ pub struct MetricDiff {
 /// direction by more than `max(tolerance_pct% of |baseline|, noise floor)`.
 /// Metrics present only in the baseline are flagged (renames must update
 /// the baseline); metrics present only in the current run are informational.
+///
+/// `min_speedup`, when set, is an absolute floor applied to every
+/// `*speedup` metric in the current run — including ones with a tolerant
+/// or missing baseline. A value below it becomes [`Status::BelowMinimum`],
+/// because a speedup the baseline "tolerates" can still mean the parallel
+/// path has collapsed; pick the floor with [`speedup_minimum`].
 pub fn compare(
     baseline: &[(String, f64)],
     current: &[(String, f64)],
     tolerance_pct: f64,
+    min_speedup: Option<f64>,
 ) -> Vec<MetricDiff> {
+    let below_minimum =
+        |key: &str, cur: f64| key.ends_with("speedup") && min_speedup.is_some_and(|min| cur < min);
     let mut out = Vec::new();
     let cur_lookup: std::collections::BTreeMap<&str, f64> =
         current.iter().map(|(k, v)| (k.as_str(), *v)).collect();
@@ -156,7 +201,9 @@ pub fn compare(
             Direction::Info => 0.0,
         };
         let budget = (tolerance_pct / 100.0 * base.abs()).max(floor);
-        let status = if dir == Direction::Info {
+        let status = if below_minimum(key, cur) {
+            Status::BelowMinimum
+        } else if dir == Direction::Info {
             Status::Ok
         } else if worse_by > budget {
             Status::Regression
@@ -180,7 +227,11 @@ pub fn compare(
                 base: None,
                 current: Some(*cur),
                 change_pct: None,
-                status: Status::NewInCurrent,
+                status: if below_minimum(key, *cur) {
+                    Status::BelowMinimum
+                } else {
+                    Status::NewInCurrent
+                },
             });
         }
     }
@@ -214,6 +265,7 @@ pub fn render_table(diffs: &[MetricDiff]) -> String {
                 Status::Improved => "improved",
                 Status::MissingInCurrent => "MISSING",
                 Status::NewInCurrent => "new",
+                Status::BelowMinimum => "BELOW-MIN",
             }
             .to_string(),
         ]);
@@ -272,7 +324,7 @@ mod tests {
         let base = metrics(&[("search.p50_ns", 100_000.0), ("batch.qps", 500.0)]);
         // Latency doubled, throughput halved: both must regress at 15%.
         let cur = metrics(&[("search.p50_ns", 200_000.0), ("batch.qps", 250.0)]);
-        let diffs = compare(&base, &cur, 15.0);
+        let diffs = compare(&base, &cur, 15.0, None);
         assert!(diffs.iter().all(|d| d.status == Status::Regression));
     }
 
@@ -280,7 +332,7 @@ mod tests {
     fn within_tolerance_and_improvements_pass() {
         let base = metrics(&[("search.p50_ns", 100_000.0), ("batch.qps", 500.0)]);
         let cur = metrics(&[("search.p50_ns", 110_000.0), ("batch.qps", 1_000.0)]);
-        let diffs = compare(&base, &cur, 15.0);
+        let diffs = compare(&base, &cur, 15.0, None);
         assert_eq!(diffs[0].status, Status::Ok, "10% latency rise is tolerated");
         assert_eq!(diffs[1].status, Status::Improved);
     }
@@ -290,40 +342,95 @@ mod tests {
         // 3x worse, but only 300ns in absolute terms — under the 1µs floor.
         let base = metrics(&[("retrieve_ns", 150.0), ("overhead_pct", 0.2)]);
         let cur = metrics(&[("retrieve_ns", 450.0), ("overhead_pct", 1.9)]);
-        let diffs = compare(&base, &cur, 15.0);
+        let diffs = compare(&base, &cur, 15.0, None);
         assert!(diffs.iter().all(|d| d.status == Status::Ok));
         // Past the floor, it gates again.
         let cur = metrics(&[("retrieve_ns", 150_000.0), ("overhead_pct", 4.0)]);
-        let diffs = compare(&base, &cur, 15.0);
+        let diffs = compare(&base, &cur, 15.0, None);
         assert!(diffs.iter().all(|d| d.status == Status::Regression));
     }
 
     #[test]
     fn tail_and_speedup_floors_absorb_scheduler_jitter() {
-        // +21% on a 36µs p99 is one slow sample out of 4k; a 0.16 speedup
-        // dip is 1-core noise. Neither should gate.
-        let base = metrics(&[("retrieve_p99_ns", 36_000.0), ("m.speedup", 0.95)]);
-        let cur = metrics(&[("retrieve_p99_ns", 43_500.0), ("m.speedup", 0.79)]);
-        let diffs = compare(&base, &cur, 15.0);
+        // +21% on a 36µs p99 is one slow sample out of 4k; a 0.15 dip on a
+        // healthy 1.8x speedup is shared-runner noise. Neither should gate.
+        let base = metrics(&[("retrieve_p99_ns", 36_000.0), ("m.speedup", 1.80)]);
+        let cur = metrics(&[("retrieve_p99_ns", 43_500.0), ("m.speedup", 1.65)]);
+        let diffs = compare(&base, &cur, 15.0, Some(MIN_SPEEDUP_MULTICORE));
         assert!(diffs.iter().all(|d| d.status == Status::Ok), "{diffs:?}");
         // A genuine 2× tail blowup / serialized parallel path still fails.
         let cur = metrics(&[("retrieve_p99_ns", 72_000.0), ("m.speedup", 0.40)]);
-        let diffs = compare(&base, &cur, 15.0);
+        let diffs = compare(&base, &cur, 15.0, None);
         assert!(diffs.iter().all(|d| d.status == Status::Regression));
+    }
+
+    #[test]
+    fn speedup_below_minimum_fails_even_when_the_baseline_tolerates_it() {
+        // The regression this gate exists for: the baseline itself had
+        // already slipped to 0.95, so a further dip to 0.79 sits inside the
+        // 0.25 noise floor and the pure-relative gate calls it Ok. The
+        // absolute minimum catches it anyway.
+        let base = metrics(&[("m.speedup", 0.95)]);
+        let cur = metrics(&[("m.speedup", 0.79)]);
+        assert_eq!(compare(&base, &cur, 15.0, None)[0].status, Status::Ok);
+        let diffs = compare(&base, &cur, 15.0, Some(MIN_SPEEDUP_PARITY));
+        assert_eq!(diffs[0].status, Status::BelowMinimum);
+        // On a multi-core machine the bar is a real win, not parity.
+        let cur = metrics(&[("m.speedup", 1.1)]);
+        let diffs = compare(&base, &cur, 15.0, Some(MIN_SPEEDUP_MULTICORE));
+        assert_eq!(diffs[0].status, Status::BelowMinimum);
+    }
+
+    #[test]
+    fn new_speedup_metrics_are_still_held_to_the_minimum() {
+        // A renamed/new speedup key has no baseline, so tolerance can't gate
+        // it — the absolute minimum must.
+        let base = metrics(&[]);
+        let cur = metrics(&[("m.speedup", 0.5), ("m.examples", 300.0)]);
+        let diffs = compare(&base, &cur, 15.0, Some(MIN_SPEEDUP_PARITY));
+        assert_eq!(diffs[0].status, Status::BelowMinimum);
+        assert_eq!(
+            diffs[1].status,
+            Status::NewInCurrent,
+            "non-speedup stays informational"
+        );
+        let cur = metrics(&[("m.speedup", 1.9)]);
+        assert_eq!(
+            compare(&base, &cur, 15.0, Some(MIN_SPEEDUP_MULTICORE))[0].status,
+            Status::NewInCurrent
+        );
+    }
+
+    #[test]
+    fn speedup_minimum_follows_the_cpu_context_of_the_current_run() {
+        assert_eq!(
+            speedup_minimum(&metrics(&[("cpus", 8.0), ("m.speedup", 1.0)])),
+            MIN_SPEEDUP_MULTICORE
+        );
+        assert_eq!(
+            speedup_minimum(&metrics(&[("cpus", 1.0), ("m.speedup", 1.0)])),
+            MIN_SPEEDUP_PARITY
+        );
+        // Documents without machine context (serving bench, older schemas)
+        // get the conservative parity floor.
+        assert_eq!(
+            speedup_minimum(&metrics(&[("qps", 100.0)])),
+            MIN_SPEEDUP_PARITY
+        );
     }
 
     #[test]
     fn info_metrics_are_never_gated() {
         let base = metrics(&[("models.tagger.examples", 300.0)]);
         let cur = metrics(&[("models.tagger.examples", 600.0)]);
-        assert_eq!(compare(&base, &cur, 15.0)[0].status, Status::Ok);
+        assert_eq!(compare(&base, &cur, 15.0, None)[0].status, Status::Ok);
     }
 
     #[test]
     fn missing_and_new_metrics_are_flagged() {
         let base = metrics(&[("old_ns", 10.0)]);
         let cur = metrics(&[("new_ns", 10.0)]);
-        let diffs = compare(&base, &cur, 15.0);
+        let diffs = compare(&base, &cur, 15.0, None);
         assert_eq!(diffs[0].status, Status::MissingInCurrent);
         assert_eq!(diffs[1].status, Status::NewInCurrent);
     }
@@ -332,7 +439,7 @@ mod tests {
     fn table_renders_every_row() {
         let base = metrics(&[("a_ns", 10.0)]);
         let cur = metrics(&[("a_ns", 10.0), ("b_ns", 5.0)]);
-        let table = render_table(&compare(&base, &cur, 15.0));
+        let table = render_table(&compare(&base, &cur, 15.0, None));
         assert!(table.contains("a_ns"));
         assert!(table.contains("new"));
         assert_eq!(table.lines().count(), 3);

@@ -324,7 +324,8 @@ impl ProjectionModel {
     ) -> Vec<EpochStats> {
         let mut opt = Adam::new(self.cfg.train.lr);
         let model = &*self;
-        let trainer = Trainer::new(&model.ps, model.cfg.train.clone());
+        let trainer =
+            Trainer::new(&model.ps, model.cfg.train.clone()).labeled("hypernym_projection");
         trainer.train(
             &mut opt,
             triples,

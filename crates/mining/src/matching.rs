@@ -819,7 +819,7 @@ impl OursMatcher {
     ) -> Vec<EpochStats> {
         let mut opt = Adam::new(self.cfg.train.lr);
         let model = &*self;
-        let trainer = Trainer::new(&model.ps, model.cfg.train.clone());
+        let trainer = Trainer::new(&model.ps, model.cfg.train.clone()).labeled("semantic_matcher");
         trainer.train(
             &mut opt,
             &data.train,
@@ -867,7 +867,7 @@ where
     F: Fn(&mut Graph, &[String], &[String]) -> NodeId + Sync,
 {
     let mut opt = Adam::new(cfg.lr);
-    let trainer = Trainer::new(ps, cfg.clone());
+    let trainer = Trainer::new(ps, cfg.clone()).labeled("semantic_matcher_baseline");
     trainer.train(
         &mut opt,
         &data.train,

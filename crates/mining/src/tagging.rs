@@ -411,7 +411,7 @@ impl ConceptTagger {
     ) -> Vec<EpochStats> {
         let mut opt = Adam::new(self.cfg.train.lr);
         let model = &*self;
-        let trainer = Trainer::new(&model.ps, model.cfg.train.clone());
+        let trainer = Trainer::new(&model.ps, model.cfg.train.clone()).labeled("concept_tagger");
         trainer.train(
             &mut opt,
             data,

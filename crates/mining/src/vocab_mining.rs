@@ -308,7 +308,7 @@ impl VocabMiner {
     ) -> Vec<EpochStats> {
         let mut opt = Adam::new(self.cfg.train.lr);
         let model = &*self;
-        let trainer = Trainer::new(&model.ps, model.cfg.train.clone());
+        let trainer = Trainer::new(&model.ps, model.cfg.train.clone()).labeled("vocab_miner");
         trainer.train(
             &mut opt,
             data,

@@ -4,12 +4,23 @@
 //! [`Node`] in a flat tape. Calling [`Graph::backward`] walks the tape in
 //! reverse, accumulating gradients into each node and, for leaves created by
 //! [`Graph::param`] / [`Graph::lookup`], into the external [`Param`] storage
-//! that outlives the graph. A fresh graph is built per training example,
-//! which keeps the implementation simple and is plenty fast for the model
-//! sizes AliCoCo's construction pipeline trains.
+//! that outlives the graph. A tape is built per training example; training
+//! workers keep one [`Graph`] per merge lane and [`Graph::reset`] it between
+//! examples so node storage and parameter snapshots are reused.
+//!
+//! Parameter reads are lock-free on the steady state: the tape caches each
+//! parameter's snapshot pointer ([`Param::value_arc`]) keyed by
+//! [`Param::version`], so recording a `param` node costs one atomic load
+//! plus an `Arc` bump — no `RwLock` and no tensor copy. The cache refetches
+//! under the (brief) read lock only on the first touch after an optimizer
+//! step.
 
 // Column-indexed pooling loops read more clearly as index loops.
 #![allow(clippy::needless_range_loop)]
+
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use crate::param::{GradShadow, Param};
 use crate::tensor::Tensor;
@@ -20,7 +31,11 @@ pub struct NodeId(pub(crate) usize);
 
 /// A custom differentiable operation (used by the CRF layers, whose gradients
 /// are computed analytically via forward–backward rather than by tracing).
-pub trait CustomOp {
+///
+/// `Send + Sync` is a supertrait because tapes live inside the trainer's
+/// per-lane arenas, which are shared across the worker pool; implementors
+/// should be plain data captured at record time.
+pub trait CustomOp: Send + Sync {
     /// Gradient contributions to each parent, given the upstream gradient and
     /// the parents' forward values. Must return one tensor per parent with
     /// the parent's shape.
@@ -75,8 +90,28 @@ enum Op {
     },
 }
 
+/// A node's forward value: either computed by (and owned by) the tape, or a
+/// shared snapshot of a parameter — sharing the `Arc` is what removes the
+/// per-example deep copy of every parameter matrix from the hot path.
+#[derive(Clone)]
+enum NodeValue {
+    Owned(Tensor),
+    Shared(Arc<Tensor>),
+}
+
+impl Deref for NodeValue {
+    type Target = Tensor;
+
+    fn deref(&self) -> &Tensor {
+        match self {
+            NodeValue::Owned(t) => t,
+            NodeValue::Shared(a) => a,
+        }
+    }
+}
+
 struct Node {
-    value: Tensor,
+    value: NodeValue,
     grad: Tensor,
     op: Op,
 }
@@ -85,6 +120,9 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Per-parameter snapshot cache: id → (version at fetch, snapshot).
+    /// Survives [`Graph::reset`] so steady-state reads are lock-free.
+    snapshots: HashMap<u64, (u64, Arc<Tensor>)>,
 }
 
 impl Graph {
@@ -92,6 +130,7 @@ impl Graph {
     pub fn new() -> Self {
         Graph {
             nodes: Vec::with_capacity(64),
+            snapshots: HashMap::new(),
         }
     }
 
@@ -105,7 +144,33 @@ impl Graph {
         self.nodes.is_empty()
     }
 
-    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+    /// Clear the tape for the next example, keeping node capacity and the
+    /// parameter snapshot cache (arena reuse on the training path).
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Current snapshot of `p`, revalidated by version. One `Acquire` load
+    /// on the hit path; refetches under the read lock only after the
+    /// parameter was written (at most once per param per optimizer step).
+    ///
+    /// A write racing between the version load and the snapshot fetch can
+    /// cache a newer value under the older version; the next call then sees
+    /// a version mismatch and refetches — the cache can run one step behind
+    /// for one read, never serve a torn or stale-forever value.
+    fn snapshot_of(&mut self, p: &Param) -> Arc<Tensor> {
+        let version = p.version();
+        match self.snapshots.get(&p.id()) {
+            Some((v, arc)) if *v == version => Arc::clone(arc),
+            _ => {
+                let arc = p.value_arc();
+                self.snapshots.insert(p.id(), (version, Arc::clone(&arc)));
+                arc
+            }
+        }
+    }
+
+    fn push_value(&mut self, value: NodeValue, op: Op) -> NodeId {
         let (r, c) = value.shape();
         self.nodes.push(Node {
             value,
@@ -113,6 +178,10 @@ impl Graph {
             op,
         });
         NodeId(self.nodes.len() - 1)
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.push_value(NodeValue::Owned(value), op)
     }
 
     /// Forward value of a node.
@@ -133,16 +202,18 @@ impl Graph {
     }
 
     /// Leaf reading a parameter's current value; gradients accumulate into
-    /// the parameter on `backward`.
+    /// the parameter on `backward`. The node shares the parameter's snapshot
+    /// pointer — no lock on the cached path and no tensor copy.
     pub fn param(&mut self, p: &Param) -> NodeId {
-        let value = p.value().clone();
-        self.push(value, Op::Param(p.clone()))
+        let value = self.snapshot_of(p);
+        self.push_value(NodeValue::Shared(value), Op::Param(p.clone()))
     }
 
     /// Embedding lookup: gathers `indices` rows of `p` into an
     /// `(indices.len(), dim)` matrix. Gradients scatter-add back into `p`.
+    /// The gather runs against the cached snapshot, not under a lock.
     pub fn lookup(&mut self, p: &Param, indices: &[usize]) -> NodeId {
-        let table = p.value();
+        let table = self.snapshot_of(p);
         let dim = table.cols();
         let mut out = Tensor::zeros(indices.len(), dim);
         for (r, &ix) in indices.iter().enumerate() {
@@ -153,7 +224,6 @@ impl Graph {
             );
             out.row_slice_mut(r).copy_from_slice(table.row_slice(ix));
         }
-        drop(table);
         self.push(
             out,
             Op::Lookup {
@@ -632,7 +702,7 @@ impl Graph {
                 }
                 Op::Custom { parents, op } => {
                     let values: Vec<&Tensor> =
-                        parents.iter().map(|p| &self.nodes[p.0].value).collect();
+                        parents.iter().map(|p| &*self.nodes[p.0].value).collect();
                     let grads = op.grads(&g, &values);
                     assert_eq!(
                         grads.len(),
@@ -841,5 +911,44 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input(Tensor::zeros(2, 2));
         g.backward(x);
+    }
+
+    #[test]
+    fn reset_reuses_tape_and_matches_fresh_graph() {
+        let p = Param::new("w", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let mut reused = Graph::new();
+        for _ in 0..3 {
+            reused.reset();
+            let w = reused.param(&p);
+            let s = reused.sigmoid(w);
+            let loss = reused.sum_all(s);
+            reused.backward(loss);
+
+            let mut fresh = Graph::new();
+            let w2 = fresh.param(&p);
+            let s2 = fresh.sigmoid(w2);
+            let loss2 = fresh.sum_all(s2);
+            fresh.backward(loss2);
+
+            assert_eq!(reused.value(loss).data(), fresh.value(loss2).data());
+            assert_eq!(reused.len(), fresh.len());
+        }
+    }
+
+    #[test]
+    fn snapshot_cache_sees_writes_across_reset() {
+        // The lock-free cached read must revalidate by version: a parameter
+        // write between tapes has to be visible to the next `param` node.
+        let p = Param::new("w", Tensor::scalar(1.0));
+        let mut g = Graph::new();
+        let w = g.param(&p);
+        assert_eq!(g.value(w).item(), 1.0);
+        *p.value_mut() = Tensor::scalar(5.0);
+        g.reset();
+        let w = g.param(&p);
+        assert_eq!(g.value(w).item(), 5.0, "stale snapshot served after write");
+        // And lookups go through the same cache.
+        let e = g.lookup(&p, &[0]);
+        assert_eq!(g.value(e).item(), 5.0);
     }
 }

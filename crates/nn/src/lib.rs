@@ -39,4 +39,7 @@ pub mod util;
 pub use graph::{Graph, NodeId};
 pub use param::{Adam, GradShadow, Optimizer, Param, ParamSet, Sgd};
 pub use tensor::Tensor;
-pub use train::{record_epoch_stats, EpochStats, RawEpoch, StopCriterion, TrainConfig, Trainer};
+pub use train::{
+    planned_threads, record_epoch_stats, EpochStats, RawEpoch, StopCriterion, TrainConfig, Trainer,
+    MAX_MERGE_LANES,
+};

@@ -5,14 +5,27 @@
 //! [`crate::graph::Graph::lookup`]. A [`ParamSet`] groups every parameter of
 //! a model so optimizers can step them together.
 //!
-//! Storage is `Arc`-based with interior `RwLock`s so parameters can be read
-//! concurrently from [`std::thread::scope`] training workers (see
-//! [`crate::train`]). Workers never write gradients into shared storage
-//! directly; each accumulates into a private [`GradShadow`] which the trainer
-//! merges in a fixed order, keeping training byte-identical for any worker
-//! count.
+//! # Snapshot-pointer storage
+//!
+//! A parameter's value is an `Arc<Tensor>` behind a `RwLock` plus a
+//! monotonically increasing **version** counter. Readers never hold the lock
+//! while computing: [`Param::value`] clones the `Arc` under a momentary read
+//! lock and hands back an owned snapshot, and hot paths (the autodiff tape's
+//! parameter cache, see [`crate::graph::Graph`]) go further — they keep the
+//! `Arc` across examples and revalidate it with a **single atomic version
+//! load**, so steady-state forward passes acquire no lock at all. Writers go
+//! through [`Param::value_mut`], a copy-on-write guard: if any snapshot is
+//! still alive the tensor is cloned before mutation (readers keep their
+//! consistent old value — a mid-step value can never be observed torn), and
+//! the version is bumped when the guard drops so caches refresh on their
+//! next read.
+//!
+//! Workers never write gradients into shared storage directly; each
+//! accumulates into a private [`GradShadow`] which the trainer merges in a
+//! fixed order, keeping training byte-identical for any worker count.
 
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -30,7 +43,11 @@ struct ParamInner {
     /// Process-unique identity, used to key shadow-gradient buffers.
     id: u64,
     name: String,
-    value: RwLock<Tensor>,
+    /// Current value, published as a snapshot pointer (see module docs).
+    value: RwLock<Arc<Tensor>>,
+    /// Bumped (with `Release` ordering) after every value write; snapshot
+    /// caches revalidate with one `Acquire` load.
+    version: AtomicU64,
     grad: RwLock<Tensor>,
     adam: RwLock<AdamState>,
 }
@@ -49,6 +66,56 @@ pub struct Param(Arc<ParamInner>);
 
 static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(0);
 
+/// Owned snapshot of a parameter's value, returned by [`Param::value`].
+///
+/// Dereferences to [`Tensor`]. The snapshot stays internally consistent for
+/// as long as it is held — writers copy-on-write instead of mutating a
+/// tensor a reader can still see — but it does not pin the parameter:
+/// concurrent [`Param::value_mut`] writes simply publish a newer snapshot.
+pub struct ParamValue(Arc<Tensor>);
+
+impl Deref for ParamValue {
+    type Target = Tensor;
+
+    fn deref(&self) -> &Tensor {
+        &self.0
+    }
+}
+
+/// Write guard over a parameter's value, returned by [`Param::value_mut`].
+///
+/// The first mutable dereference copies the tensor if any snapshot of it is
+/// still alive (copy-on-write), so readers never observe a half-written
+/// value. Dropping the guard bumps the parameter's version, invalidating
+/// every snapshot cache.
+pub struct ParamValueMut<'a> {
+    guard: RwLockWriteGuard<'a, Arc<Tensor>>,
+    version: &'a AtomicU64,
+}
+
+impl Deref for ParamValueMut<'_> {
+    type Target = Tensor;
+
+    fn deref(&self) -> &Tensor {
+        &self.guard
+    }
+}
+
+impl DerefMut for ParamValueMut<'_> {
+    fn deref_mut(&mut self) -> &mut Tensor {
+        Arc::make_mut(&mut self.guard)
+    }
+}
+
+impl Drop for ParamValueMut<'_> {
+    fn drop(&mut self) {
+        // Publish while the write lock is still held: any reader that
+        // observes the new version is ordered after this store and will
+        // read the new value once the lock releases.
+        self.version.fetch_add(1, Ordering::Release);
+    }
+}
+
 impl Param {
     /// Create a new instance.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
@@ -56,7 +123,8 @@ impl Param {
         Param(Arc::new(ParamInner {
             id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
             name: name.into(),
-            value: RwLock::new(value),
+            value: RwLock::new(Arc::new(value)),
+            version: AtomicU64::new(0),
             grad: RwLock::new(Tensor::zeros(r, c)),
             adam: RwLock::new(AdamState {
                 m: Tensor::zeros(r, c),
@@ -75,14 +143,31 @@ impl Param {
         self.0.name.clone()
     }
 
-    /// Value.
-    pub fn value(&self) -> RwLockReadGuard<'_, Tensor> {
-        read_lock(&self.0.value)
+    /// Owned snapshot of the current value (momentary read lock, no lock
+    /// held while the snapshot is used).
+    pub fn value(&self) -> ParamValue {
+        ParamValue(self.value_arc())
     }
 
-    /// Value mut.
-    pub fn value_mut(&self) -> RwLockWriteGuard<'_, Tensor> {
-        write_lock(&self.0.value)
+    /// The raw snapshot pointer. Hot paths cache this `Arc` and revalidate
+    /// it against [`Param::version`] instead of re-locking per read.
+    pub fn value_arc(&self) -> Arc<Tensor> {
+        Arc::clone(&read_lock(&self.0.value))
+    }
+
+    /// Snapshot version, bumped after every value write. A cached
+    /// [`Param::value_arc`] obtained at (or after) some observed version is
+    /// current for as long as this still loads the same number.
+    pub fn version(&self) -> u64 {
+        self.0.version.load(Ordering::Acquire)
+    }
+
+    /// Value mut (copy-on-write; bumps the version on drop).
+    pub fn value_mut(&self) -> ParamValueMut<'_> {
+        ParamValueMut {
+            guard: write_lock(&self.0.value),
+            version: &self.0.version,
+        }
     }
 
     /// Grad.
@@ -112,7 +197,9 @@ impl Param {
 ///
 /// Buffers are keyed by [`Param::id`]; parameters the tape never touched (or
 /// frozen tensors that are not registered in any [`ParamSet`]) simply have no
-/// entry and receive no gradient on merge.
+/// entry and receive no gradient on merge. Shadows are reusable arenas:
+/// [`GradShadow::reset`] zeroes the accumulated gradients in place, keeping
+/// every buffer allocation for the next batch.
 #[derive(Default)]
 pub struct GradShadow {
     bufs: HashMap<u64, Tensor>,
@@ -124,9 +211,17 @@ impl GradShadow {
         Self::default()
     }
 
-    /// True when no gradient has been accumulated.
+    /// True when no gradient buffer has ever been accumulated.
     pub fn is_empty(&self) -> bool {
         self.bufs.is_empty()
+    }
+
+    /// Zero every buffer in place, keeping the allocations (arena reuse
+    /// between batches — no per-example allocation on the training path).
+    pub fn reset(&mut self) {
+        for t in self.bufs.values_mut() {
+            t.fill_zero();
+        }
     }
 
     fn buf_for(&mut self, p: &Param) -> &mut Tensor {
@@ -299,7 +394,7 @@ impl Optimizer for Sgd {
             params.clip_grad_norm(c);
         }
         for p in params.iter() {
-            let mut value = write_lock(&p.0.value);
+            let mut value = p.value_mut();
             let mut grad = write_lock(&p.0.grad);
             value.axpy(-self.lr, &grad);
             grad.fill_zero();
@@ -345,11 +440,12 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);
         for p in params.iter() {
-            let mut value = write_lock(&p.0.value);
+            let mut value = p.value_mut();
             let mut grad = write_lock(&p.0.grad);
             let mut adam = write_lock(&p.0.adam);
             let AdamState { m, v } = &mut *adam;
-            for k in 0..value.len() {
+            let out = value.data_mut();
+            for (k, w) in out.iter_mut().enumerate() {
                 let g = grad.data()[k];
                 let mk = self.beta1 * m.data()[k] + (1.0 - self.beta1) * g;
                 let vk = self.beta2 * v.data()[k] + (1.0 - self.beta2) * g * g;
@@ -357,7 +453,7 @@ impl Optimizer for Adam {
                 v.data_mut()[k] = vk;
                 let mhat = mk / bc1;
                 let vhat = vk / bc2;
-                value.data_mut()[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                *w -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
             grad.fill_zero();
         }
@@ -441,6 +537,28 @@ mod tests {
     }
 
     #[test]
+    fn held_snapshot_survives_a_write() {
+        // The snapshot-pointer contract: a reader's snapshot is immutable
+        // even while a writer updates the parameter (copy-on-write).
+        let p = Param::new("w", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let before = p.value();
+        let v0 = p.version();
+        *p.value_mut() = Tensor::from_vec(1, 2, vec![9.0, 9.0]);
+        assert_eq!(before.data(), &[1.0, 2.0], "held snapshot mutated");
+        assert_eq!(p.value().data(), &[9.0, 9.0]);
+        assert!(p.version() > v0, "write must bump the version");
+    }
+
+    #[test]
+    fn version_bumps_on_in_place_mutation() {
+        let p = Param::new("w", Tensor::zeros(1, 1));
+        let v0 = p.version();
+        p.value_mut().data_mut()[0] = 4.0;
+        assert!(p.version() > v0);
+        assert_eq!(p.value().item(), 4.0);
+    }
+
+    #[test]
     fn shadow_merge_matches_direct_accumulation() {
         let p = Param::new("w", Tensor::zeros(2, 2));
         let e = Param::new("emb", Tensor::zeros(3, 2));
@@ -455,6 +573,24 @@ mod tests {
 
         assert_eq!(p.grad().data(), &[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(e.grad().data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn shadow_reset_zeroes_but_keeps_buffers() {
+        let p = Param::new("w", Tensor::zeros(2, 2));
+        let mut set = ParamSet::new();
+        set.register(&p);
+        let mut shadow = GradShadow::new();
+        shadow.accum(&p, &Tensor::from_vec(2, 2, vec![1.0; 4]));
+        shadow.reset();
+        assert!(!shadow.is_empty(), "reset keeps the arena buffers");
+        shadow.accum(&p, &Tensor::from_vec(2, 2, vec![2.0; 4]));
+        shadow.merge_into(&set);
+        assert_eq!(
+            p.grad().data(),
+            &[2.0; 4],
+            "reset gradients must not leak into the next merge"
+        );
     }
 
     #[test]

@@ -2,19 +2,30 @@
 //!
 //! Every model in `alicoco-mining` (§7 of the paper: vocabulary mining,
 //! hypernym discovery, concept classification, concept tagging, semantic
-//! matching) trains the same way: shuffle the examples each epoch, build a
-//! fresh [`Graph`] tape per example, run forward/backward, clip the global
-//! gradient norm, and take an optimizer step. [`Trainer`] owns that loop
-//! once, adding two things the hand-rolled loops lacked:
+//! matching) trains the same way: shuffle the examples each epoch, run
+//! forward/backward per example, clip the global gradient norm, and take an
+//! optimizer step. [`Trainer`] owns that loop once, adding three things the
+//! hand-rolled loops lacked:
 //!
 //! - **Data parallelism with a determinism guarantee.** A mini-batch is
-//!   sharded across [`std::thread::scope`] workers; each worker runs
-//!   forward/backward into a private [`GradShadow`], and the trainer merges
-//!   the shadows *in example order* on the calling thread before the single
-//!   optimizer step. Summation order is therefore independent of
-//!   [`TrainConfig::workers`], making losses and final parameters
-//!   byte-identical for any worker count (the training-side mirror of
-//!   `search_batch`'s parity contract from the serving layer).
+//!   split into at most [`MAX_MERGE_LANES`] contiguous *merge lanes* whose
+//!   boundaries depend only on the batch length — never on the worker
+//!   count. Each lane accumulates its examples (in example order) into a
+//!   private [`GradShadow`]; the caller then merges lane shadows in lane
+//!   order before the single optimizer step. Physical workers claim whole
+//!   lanes, so how many threads ran — one or eight — cannot change any
+//!   summation order: losses and final parameters are byte-identical for
+//!   any [`TrainConfig::workers`] (the training-side mirror of
+//!   `search_batch`'s parity contract from the serving layer). The serial
+//!   merge section is `O(params × lanes)`, not `O(params × batch)`.
+//! - **An epoch-scoped worker pool.** Threads are spawned once per
+//!   [`Trainer::train`] call and fed batches through a condvar gate, so
+//!   thread startup amortizes over the whole run instead of being paid per
+//!   mini-batch. Each lane owns a reusable [`Graph`] tape and shadow arena
+//!   (`reset()` between examples — no per-example allocation), and
+//!   parameter reads go through the tape's lock-free snapshot cache (see
+//!   [`crate::graph`]). The pool never exceeds the machine's available
+//!   parallelism: extra configured workers cost nothing and change nothing.
 //! - **Generalized early stopping.** [`StopCriterion::BestSnapshot`] lifts
 //!   `congen`'s validation-driven best-parameter snapshot/restore so any
 //!   model can use it, with optional patience.
@@ -23,6 +34,9 @@
 //! arithmetically identical to the per-example loops it replaced: the same
 //! RNG draws, the same per-example optimizer steps, the same loss telemetry.
 
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use rand::seq::SliceRandom;
@@ -33,6 +47,33 @@ use alicoco_obs::Registry;
 use crate::graph::{Graph, NodeId};
 use crate::param::{GradShadow, Optimizer, ParamSet};
 use crate::tensor::Tensor;
+
+/// Upper bound on merge lanes per batch. Lane boundaries are a pure
+/// function of the batch length, so gradient summation order — and hence
+/// every trained parameter, bit for bit — is independent of how many
+/// worker threads actually ran. This is also the ceiling on useful
+/// parallelism per batch and on the serial merge cost per step.
+pub const MAX_MERGE_LANES: usize = 4;
+
+/// Physical worker threads a run configured with `workers` will use: capped
+/// by the machine's available parallelism (oversubscribing cores only adds
+/// context switches) and by [`MAX_MERGE_LANES`] (there is never more
+/// claimable work per batch than lanes). Extra configured workers are
+/// harmless — determinism never depends on the thread count.
+pub fn planned_threads(workers: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    workers.max(1).min(hw).min(MAX_MERGE_LANES)
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn ns_between(a: Instant, b: Instant) -> u64 {
+    b.duration_since(a).as_nanos().min(u64::MAX as u128) as u64
+}
 
 /// Shared hyper-parameters of the training loop. Each model config embeds
 /// one of these (replacing the per-module `{epochs, lr}` pairs).
@@ -46,9 +87,16 @@ pub struct TrainConfig {
     pub clip_norm: Option<f32>,
     /// Examples per optimizer step. `1` reproduces per-example stepping.
     pub batch_size: usize,
-    /// Worker threads a batch is sharded across. Any value produces
+    /// Worker threads batches are sharded across. Any value produces
     /// byte-identical results; more workers only change wall-clock time.
+    /// The engine caps the physical thread count at the machine's available
+    /// parallelism (see [`planned_threads`]).
     pub workers: usize,
+    /// Floor on physical threads, overriding the available-parallelism cap.
+    /// `0` (the default) lets the cap apply. Tests use this to force a real
+    /// pool on machines whose reported parallelism is 1; it never affects
+    /// results, only which threads do the work.
+    pub min_threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -59,6 +107,7 @@ impl Default for TrainConfig {
             clip_norm: Some(5.0),
             batch_size: 1,
             workers: 1,
+            min_threads: 0,
         }
     }
 }
@@ -94,6 +143,13 @@ impl TrainConfig {
     /// Builder-style worker-count override.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Builder-style physical-thread floor override (see
+    /// [`TrainConfig::min_threads`]).
+    pub fn with_min_threads(mut self, min_threads: usize) -> Self {
+        self.min_threads = min_threads;
         self
     }
 }
@@ -135,7 +191,8 @@ pub struct EpochStats {
     /// Examples that produced a loss (skipped examples excluded).
     pub examples: usize,
     /// Total loss divided by the dataset size (matching the historical
-    /// per-module telemetry, which averaged over all examples).
+    /// per-module telemetry, which averaged over all examples). Losses are
+    /// accumulated in `f64` so the mean does not drift on large corpora.
     pub mean_loss: f32,
     /// Validation metric `(key, secondary)` under
     /// [`StopCriterion::BestSnapshot`]; `None` for fixed-epoch runs.
@@ -143,13 +200,24 @@ pub struct EpochStats {
     /// Wall-clock nanoseconds the epoch took (forward/backward, merge, and
     /// optimizer steps; excludes the validation-metric closure).
     pub elapsed_ns: u64,
+    /// Wall-clock nanoseconds of the parallel forward/backward sections
+    /// (batch dispatch through last lane completion), summed over batches.
+    pub forward_ns: u64,
+    /// Wall-clock nanoseconds of the serial sections that read lane losses
+    /// and merge lane shadows into shared gradients, summed over batches.
+    pub merge_ns: u64,
+    /// Wall-clock nanoseconds of gradient clipping plus optimizer steps,
+    /// summed over batches.
+    pub step_ns: u64,
 }
 
 /// Bridge per-epoch telemetry into a metrics [`Registry`] under the
 /// `train.<model>.*` namespace: epoch and example counters, an epoch
-/// wall-clock histogram, and a gauge holding the final mean loss. The
-/// pipeline calls this once per model after training; benches and the CLI
-/// export it alongside the serving metrics.
+/// wall-clock histogram, per-stage histograms proving where the time went
+/// (`forward_ns` / `merge_ns` / `step_ns`, one sample per epoch), and a
+/// gauge holding the final mean loss. The pipeline calls this once per
+/// model after training; benches and the CLI export it alongside the
+/// serving metrics.
 pub fn record_epoch_stats(reg: &Registry, model: &str, stats: &[EpochStats]) {
     if stats.is_empty() {
         return;
@@ -157,14 +225,224 @@ pub fn record_epoch_stats(reg: &Registry, model: &str, stats: &[EpochStats]) {
     let epochs = reg.counter(format!("train.{model}.epochs").as_str());
     let examples = reg.counter(format!("train.{model}.examples").as_str());
     let epoch_ns = reg.histogram(format!("train.{model}.epoch_ns").as_str());
+    let forward_ns = reg.histogram(format!("train.{model}.forward_ns").as_str());
+    let merge_ns = reg.histogram(format!("train.{model}.merge_ns").as_str());
+    let step_ns = reg.histogram(format!("train.{model}.step_ns").as_str());
     for s in stats {
         epochs.inc();
         examples.add(s.examples as u64);
         epoch_ns.record(s.elapsed_ns);
+        forward_ns.record(s.forward_ns);
+        merge_ns.record(s.merge_ns);
+        step_ns.record(s.step_ns);
     }
     if let Some(last) = stats.last() {
         reg.gauge(format!("train.{model}.mean_loss").as_str())
             .set(f64::from(last.mean_loss));
+    }
+}
+
+/// How one batch is split into merge lanes. Depends only on the batch
+/// length: `lane_size = ceil(len / MAX_MERGE_LANES)` contiguous examples
+/// per lane. Batches of at most [`MAX_MERGE_LANES`] examples degenerate to
+/// one example per lane, i.e. exactly the historical per-example merge
+/// order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct LanePlan {
+    lane_size: usize,
+    lanes: usize,
+}
+
+impl LanePlan {
+    fn of(batch_len: usize) -> Self {
+        let lane_size = batch_len.div_ceil(MAX_MERGE_LANES).max(1);
+        LanePlan {
+            lane_size,
+            lanes: batch_len.div_ceil(lane_size),
+        }
+    }
+
+    fn bounds(&self, lane: usize, batch_len: usize) -> (usize, usize) {
+        let lo = lane * self.lane_size;
+        (lo, (lo + self.lane_size).min(batch_len))
+    }
+}
+
+/// Reusable per-lane arena: one autodiff tape, one gradient shadow, and the
+/// per-example losses of the lane's current slice. Reset (not reallocated)
+/// every batch.
+struct Lane {
+    graph: Graph,
+    shadow: GradShadow,
+    losses: Vec<Option<f32>>,
+}
+
+impl Lane {
+    fn new() -> Self {
+        Lane {
+            graph: Graph::new(),
+            shadow: GradShadow::new(),
+            losses: Vec::new(),
+        }
+    }
+}
+
+/// Forward/backward every example of the lane's slice, in example order,
+/// pre-merging gradients into the lane's private shadow.
+fn run_lane<E, F>(lane: &mut Lane, data: &[E], examples: &[usize], forward: &F)
+where
+    F: Fn(&mut Graph, &E) -> Option<NodeId>,
+{
+    lane.losses.clear();
+    lane.shadow.reset();
+    for &ix in examples {
+        lane.graph.reset();
+        match forward(&mut lane.graph, &data[ix]) {
+            Some(loss) => {
+                lane.graph.backward_shadow(loss, &mut lane.shadow);
+                lane.losses.push(Some(lane.graph.value(loss).item()));
+            }
+            None => lane.losses.push(None),
+        }
+    }
+}
+
+/// First worker panic of a batch, captured with enough context to re-raise
+/// it usefully on the caller.
+struct PanicReport {
+    lane: usize,
+    lo: usize,
+    hi: usize,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Batch handoff between the caller and the pool: the caller publishes lane
+/// geometry, wakes the workers, claims lanes itself alongside them, and
+/// sleeps until `lanes_done` reaches `lanes_total`. Claims are serialized
+/// by the mutex, so each lane runs exactly once per batch no matter which
+/// thread wins it.
+#[derive(Default)]
+struct Gate {
+    state: Mutex<GateState>,
+    /// Workers wait here for a published batch (or shutdown).
+    work_ready: Condvar,
+    /// The caller waits here for the last lane of the batch.
+    batch_done: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    /// Shuffled example indices of the current batch.
+    batch: Vec<usize>,
+    lane_size: usize,
+    lanes_total: usize,
+    next_lane: usize,
+    lanes_done: usize,
+    shutdown: bool,
+    panic: Option<PanicReport>,
+}
+
+/// Record a finished lane (panicked or not) and wake the caller when it was
+/// the batch's last. Only the first panic payload is kept; every lane still
+/// counts as done so the caller can never deadlock waiting for it.
+fn finish_lane(
+    gate: &Gate,
+    result: Result<(), Box<dyn Any + Send>>,
+    lane: usize,
+    lo: usize,
+    hi: usize,
+) {
+    let mut st = lock(&gate.state);
+    if let Err(payload) = result {
+        if st.panic.is_none() {
+            st.panic = Some(PanicReport {
+                lane,
+                lo,
+                hi,
+                payload,
+            });
+        }
+    }
+    st.lanes_done += 1;
+    if st.lanes_done >= st.lanes_total {
+        gate.batch_done.notify_all();
+    }
+}
+
+/// Pool worker: claim lanes of the published batch until none remain, then
+/// sleep until the next batch (or shutdown). Lane panics are caught and
+/// reported through the gate — a worker survives them; the caller re-raises.
+fn worker_loop<E, F>(gate: &Gate, lanes: &[Mutex<Lane>], data: &[E], forward: &F)
+where
+    E: Sync,
+    F: Fn(&mut Graph, &E) -> Option<NodeId> + Sync,
+{
+    let mut examples: Vec<usize> = Vec::new();
+    loop {
+        let (lane, lo, hi) = {
+            let mut st = lock(&gate.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.next_lane < st.lanes_total {
+                    break;
+                }
+                st = gate
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            let lane = st.next_lane;
+            st.next_lane += 1;
+            let lo = lane * st.lane_size;
+            let hi = (lo + st.lane_size).min(st.batch.len());
+            examples.clear();
+            examples.extend_from_slice(&st.batch[lo..hi]);
+            (lane, lo, hi)
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_lane(&mut lock(&lanes[lane]), data, &examples, forward);
+        }));
+        finish_lane(gate, result, lane, lo, hi);
+    }
+}
+
+/// Unblocks the pool no matter how the caller leaves the scope — normal
+/// return or unwind — so `thread::scope`'s implicit join can never hang on
+/// workers parked at the gate.
+struct ShutdownOnDrop<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for ShutdownOnDrop<'_> {
+    fn drop(&mut self) {
+        lock(&self.gate.state).shutdown = true;
+        self.gate.work_ready.notify_all();
+    }
+}
+
+/// Re-raise a captured worker panic on the caller, prefixed with model and
+/// shard context. String payloads are rewrapped to carry the context in the
+/// message; other payloads are resumed unchanged (the context goes to
+/// stderr) so `catch_unwind`-based callers still see the original value.
+fn resume_worker_panic(report: PanicReport, label: Option<&str>) -> ! {
+    let model = label.unwrap_or("train");
+    let at = format!(
+        "[{model}] training worker panicked on lane {} (batch positions {}..{})",
+        report.lane, report.lo, report.hi
+    );
+    let message = if let Some(s) = report.payload.downcast_ref::<&str>() {
+        Some((*s).to_string())
+    } else {
+        report.payload.downcast_ref::<String>().cloned()
+    };
+    match message {
+        Some(msg) => panic::panic_any(format!("{at}: {msg}")),
+        None => {
+            eprintln!("{at}; resuming original panic payload");
+            panic::resume_unwind(report.payload)
+        }
     }
 }
 
@@ -173,17 +451,45 @@ pub fn record_epoch_stats(reg: &Registry, model: &str, stats: &[EpochStats]) {
 pub struct Trainer<'a> {
     params: &'a ParamSet,
     cfg: TrainConfig,
+    label: Option<String>,
 }
 
 impl<'a> Trainer<'a> {
     /// Create a new instance.
     pub fn new(params: &'a ParamSet, cfg: TrainConfig) -> Self {
-        Trainer { params, cfg }
+        Trainer {
+            params,
+            cfg,
+            label: None,
+        }
+    }
+
+    /// Attach a model label, used to contextualize worker panics and log
+    /// output (e.g. `"hypernym_projection"`).
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
     }
 
     /// The configuration this trainer runs with.
     pub fn config(&self) -> &TrainConfig {
         &self.cfg
+    }
+
+    /// Physical threads this trainer will actually use (see
+    /// [`planned_threads`]; [`TrainConfig::min_threads`] can raise the
+    /// hardware cap, and a batch size of `n` never needs more than `n`
+    /// lanes' worth of threads).
+    fn physical_threads(&self) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.cfg
+            .workers
+            .max(1)
+            .min(hw.max(self.cfg.min_threads))
+            .min(MAX_MERGE_LANES)
+            .min(self.cfg.batch_size.max(1))
     }
 
     /// Run a raw (non-autodiff) training loop: the counterpart of
@@ -218,8 +524,9 @@ impl<'a> Trainer<'a> {
     }
 
     /// Train for [`TrainConfig::epochs`] epochs. `forward` builds the loss
-    /// for one example on a fresh tape, returning `None` to skip it (e.g.
-    /// empty token lists); skipped examples consume no optimizer step.
+    /// for one example on a (reused) tape, returning `None` to skip it
+    /// (e.g. empty token lists); skipped examples consume no optimizer
+    /// step.
     pub fn train<E, F, R>(
         &self,
         opt: &mut dyn Optimizer,
@@ -263,6 +570,56 @@ impl<'a> Trainer<'a> {
         R: Rng + ?Sized,
     {
         let batch_size = self.cfg.batch_size.max(1);
+        let lanes: Vec<Mutex<Lane>> = (0..batch_size.min(MAX_MERGE_LANES))
+            .map(|_| Mutex::new(Lane::new()))
+            .collect();
+        let planned = self.physical_threads();
+        if planned <= 1 {
+            // No pool: the caller runs every lane inline, same lane
+            // structure, no gate traffic.
+            return self.train_loop(opt, data, &forward, stop, &mut metric, rng, &lanes, None);
+        }
+        let gate = Gate::default();
+        std::thread::scope(|s| {
+            let _shutdown = ShutdownOnDrop { gate: &gate };
+            // The caller claims lanes too, so `planned` threads of work
+            // need only `planned - 1` spawns.
+            for _ in 0..planned - 1 {
+                s.spawn(|| worker_loop(&gate, &lanes, data, &forward));
+            }
+            self.train_loop(
+                opt,
+                data,
+                &forward,
+                stop,
+                &mut metric,
+                rng,
+                &lanes,
+                Some(&gate),
+            )
+        })
+    }
+
+    /// The epoch loop shared by the pooled and inline paths.
+    #[allow(clippy::too_many_arguments)]
+    fn train_loop<E, F, M, R>(
+        &self,
+        opt: &mut dyn Optimizer,
+        data: &[E],
+        forward: &F,
+        stop: StopCriterion,
+        metric: &mut M,
+        rng: &mut R,
+        lanes: &[Mutex<Lane>],
+        pool: Option<&Gate>,
+    ) -> Vec<EpochStats>
+    where
+        E: Sync,
+        F: Fn(&mut Graph, &E) -> Option<NodeId> + Sync,
+        M: FnMut() -> (f64, f64),
+        R: Rng + ?Sized,
+    {
+        let batch_size = self.cfg.batch_size.max(1);
         // The order vector persists across epochs and is shuffled in place,
         // exactly as the per-module loops did, so seeded runs reproduce the
         // historical permutation sequence.
@@ -274,19 +631,39 @@ impl<'a> Trainer<'a> {
         for epoch in 0..self.cfg.epochs {
             let epoch_start = Instant::now();
             order.shuffle(rng);
-            let mut total = 0.0f32;
+            // f64 accumulation: per-example f32 losses summed over a large
+            // corpus would otherwise lose low-order bits batch by batch.
+            let mut total = 0.0f64;
             let mut trained = 0usize;
+            let (mut forward_ns, mut merge_ns, mut step_ns) = (0u64, 0u64, 0u64);
             for batch in order.chunks(batch_size) {
-                let results = self.run_batch(data, batch, &forward);
+                let plan = LanePlan::of(batch.len());
+                let t0 = Instant::now();
+                self.run_lanes(data, batch, forward, lanes, plan, pool);
+                let t1 = Instant::now();
+                forward_ns += ns_between(t0, t1);
+
+                // Deterministic merge: lane order (= example order, lanes
+                // are contiguous), then ParamSet registration order within
+                // each shadow.
                 let mut any = false;
-                // Deterministic merge: example order within the batch, then
-                // ParamSet registration order within each shadow.
-                for (loss, shadow) in results.iter().flatten() {
-                    total += *loss;
-                    trained += 1;
-                    any = true;
-                    shadow.merge_into(self.params);
+                for lane in lanes.iter().take(plan.lanes) {
+                    let lane = lock(lane);
+                    for loss in &lane.losses {
+                        if let Some(l) = *loss {
+                            total += f64::from(l);
+                            trained += 1;
+                            any = true;
+                        }
+                    }
                 }
+                if any {
+                    for lane in lanes.iter().take(plan.lanes) {
+                        lock(lane).shadow.merge_into(self.params);
+                    }
+                }
+                let t2 = Instant::now();
+                merge_ns += ns_between(t1, t2);
                 if !any {
                     continue;
                 }
@@ -294,14 +671,18 @@ impl<'a> Trainer<'a> {
                     self.params.clip_grad_norm(c);
                 }
                 opt.step(self.params);
+                step_ns += ns_between(t2, Instant::now());
             }
 
             let mut epoch_stats = EpochStats {
                 epoch,
                 examples: trained,
-                mean_loss: total / data.len().max(1) as f32,
+                mean_loss: (total / data.len().max(1) as f64) as f32,
                 metric: None,
                 elapsed_ns: epoch_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                forward_ns,
+                merge_ns,
+                step_ns,
             };
             match stop {
                 StopCriterion::FixedEpochs => stats.push(epoch_stats),
@@ -328,57 +709,70 @@ impl<'a> Trainer<'a> {
         stats
     }
 
-    /// Forward/backward every example of `batch`, each on a fresh tape with
-    /// gradients captured in a private [`GradShadow`]. With more than one
-    /// worker the batch is split into contiguous shards; results come back
-    /// in batch order regardless of which thread produced them.
-    fn run_batch<E, F>(
+    /// Forward/backward every lane of `batch`. Single-lane batches (and the
+    /// poolless path) run inline on the caller; otherwise the batch is
+    /// published to the gate and the caller claims lanes alongside the
+    /// workers, then sleeps until the last lane completes. A worker panic
+    /// is re-raised here, after the batch has fully drained.
+    fn run_lanes<E, F>(
         &self,
         data: &[E],
         batch: &[usize],
         forward: &F,
-    ) -> Vec<Option<(f32, GradShadow)>>
-    where
+        lanes: &[Mutex<Lane>],
+        plan: LanePlan,
+        pool: Option<&Gate>,
+    ) where
         E: Sync,
         F: Fn(&mut Graph, &E) -> Option<NodeId> + Sync,
     {
-        let workers = self.cfg.workers.max(1).min(batch.len());
-        if workers <= 1 {
-            return batch
-                .iter()
-                .map(|&ix| run_example(&data[ix], forward))
-                .collect();
-        }
-        let shard = batch.len().div_ceil(workers);
-        let mut out = Vec::with_capacity(batch.len());
-        std::thread::scope(|s| {
-            let handles: Vec<_> = batch
-                .chunks(shard)
-                .map(|part| {
-                    s.spawn(move || {
-                        part.iter()
-                            .map(|&ix| run_example(&data[ix], forward))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("training worker panicked"));
+        let gate = match pool {
+            Some(gate) if plan.lanes > 1 => gate,
+            _ => {
+                for (i, chunk) in batch.chunks(plan.lane_size).enumerate() {
+                    run_lane(&mut lock(&lanes[i]), data, chunk, forward);
+                }
+                return;
             }
-        });
-        out
+        };
+        {
+            let mut st = lock(&gate.state);
+            st.batch.clear();
+            st.batch.extend_from_slice(batch);
+            st.lane_size = plan.lane_size;
+            st.lanes_total = plan.lanes;
+            st.next_lane = 0;
+            st.lanes_done = 0;
+        }
+        gate.work_ready.notify_all();
+        loop {
+            let claimed = {
+                let mut st = lock(&gate.state);
+                if st.next_lane >= st.lanes_total {
+                    break;
+                }
+                let lane = st.next_lane;
+                st.next_lane += 1;
+                lane
+            };
+            let (lo, hi) = plan.bounds(claimed, batch.len());
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                run_lane(&mut lock(&lanes[claimed]), data, &batch[lo..hi], forward);
+            }));
+            finish_lane(gate, result, claimed, lo, hi);
+        }
+        let mut st = lock(&gate.state);
+        while st.lanes_done < st.lanes_total {
+            st = gate
+                .batch_done
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some(report) = st.panic.take() {
+            drop(st);
+            resume_worker_panic(report, self.label.as_deref());
+        }
     }
-}
-
-fn run_example<E, F>(example: &E, forward: &F) -> Option<(f32, GradShadow)>
-where
-    F: Fn(&mut Graph, &E) -> Option<NodeId>,
-{
-    let mut g = Graph::new();
-    let loss = forward(&mut g, example)?;
-    let mut shadow = GradShadow::new();
-    g.backward_shadow(loss, &mut shadow);
-    Some((g.value(loss).item(), shadow))
 }
 
 #[cfg(test)]
@@ -428,7 +822,8 @@ mod tests {
             let par = fit(
                 TrainConfig::new(3, 0.05)
                     .with_batch_size(4)
-                    .with_workers(workers),
+                    .with_workers(workers)
+                    .with_min_threads(workers),
                 &data,
                 11,
             );
@@ -438,6 +833,31 @@ mod tests {
             for (a, b) in base.1.iter().zip(&par.1) {
                 assert_eq!(a.data(), b.data());
             }
+        }
+    }
+
+    #[test]
+    fn lane_plan_is_a_pure_function_of_batch_length() {
+        // Lanes must never depend on worker count, and small batches must
+        // degenerate to one example per lane (the historical merge order).
+        for len in 1..=MAX_MERGE_LANES {
+            let plan = LanePlan::of(len);
+            assert_eq!((plan.lane_size, plan.lanes), (1, len));
+        }
+        let plan = LanePlan::of(2 * MAX_MERGE_LANES);
+        assert_eq!((plan.lane_size, plan.lanes), (2, MAX_MERGE_LANES));
+        // Lanes tile the batch contiguously with no gaps or overlap.
+        for len in 1..100 {
+            let plan = LanePlan::of(len);
+            assert!(plan.lanes <= MAX_MERGE_LANES);
+            let mut covered = 0;
+            for lane in 0..plan.lanes {
+                let (lo, hi) = plan.bounds(lane, len);
+                assert_eq!(lo, covered);
+                assert!(hi > lo);
+                covered = hi;
+            }
+            assert_eq!(covered, len);
         }
     }
 
@@ -525,5 +945,20 @@ mod tests {
         );
         // Epoch 0 sets the best; epochs 1 and 2 are stale; stop.
         assert_eq!(stats.len(), 3);
+    }
+
+    #[test]
+    fn stage_clocks_cover_the_epoch() {
+        let data: Vec<(f32, f32)> = (0..16).map(|i| (i as f32 / 8.0, i as f32 / 4.0)).collect();
+        let (stats, _) = fit(TrainConfig::new(2, 0.05).with_batch_size(4), &data, 5);
+        for s in &stats {
+            assert!(s.forward_ns > 0, "forward stage not timed");
+            assert!(s.merge_ns > 0, "merge stage not timed");
+            assert!(s.step_ns > 0, "step stage not timed");
+            assert!(
+                s.forward_ns + s.merge_ns + s.step_ns <= s.elapsed_ns,
+                "stage clocks exceed the epoch wall clock"
+            );
+        }
     }
 }

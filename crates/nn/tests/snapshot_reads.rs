@@ -1,0 +1,204 @@
+//! Concurrency contracts of the snapshot-pointer parameter storage and the
+//! training worker pool: readers never observe a torn mid-step value, and a
+//! worker panic is re-raised exactly once on the caller with model/shard
+//! context instead of aborting the process mid-scope.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use alicoco_nn::graph::Graph;
+use alicoco_nn::param::{Param, ParamSet, Sgd};
+use alicoco_nn::tensor::Tensor;
+use alicoco_nn::train::{TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_uniform(data: &[f32], what: &str) {
+    let first = data[0];
+    assert!(
+        data.iter().all(|&v| v.to_bits() == first.to_bits()),
+        "{what} observed a torn value: first={first}, full={data:?}"
+    );
+}
+
+/// Hammer the snapshot-pointer protocol: a writer repeatedly rewrites every
+/// element of a parameter to a single per-step constant while readers pull
+/// snapshots through both read paths — `Param::value()` and a persistent
+/// `Graph`'s version-checked cache. Every observed tensor must be uniform;
+/// a mix of old and new elements would mean a torn mid-step read.
+#[test]
+fn snapshot_reads_never_observe_torn_values() {
+    let p = Param::new("w", Tensor::zeros(16, 16));
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                while !done.load(Ordering::Relaxed) {
+                    let snap = p.value();
+                    assert_uniform(snap.data(), "Param::value reader");
+                }
+            });
+        }
+        s.spawn(|| {
+            // The trainer's hot path: one tape reused across examples, with
+            // the parameter snapshot revalidated by version on each read.
+            let mut g = Graph::new();
+            while !done.load(Ordering::Relaxed) {
+                g.reset();
+                let node = g.param(&p);
+                assert_uniform(g.value(node).data(), "Graph cache reader");
+            }
+        });
+
+        // Writer: the optimizer-step pattern. Half the steps mutate through
+        // `DerefMut` (copy-on-write in place), half replace the tensor
+        // wholesale — both must publish atomically.
+        for step in 1..=400i32 {
+            let k = step as f32;
+            if step % 2 == 0 {
+                let mut v = p.value_mut();
+                for x in v.data_mut() {
+                    *x = k;
+                }
+            } else {
+                *p.value_mut() = Tensor::full(16, 16, k);
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    assert_uniform(p.value().data(), "final state");
+    assert_eq!(p.value().get(0, 0), 400.0);
+}
+
+/// A panicking forward pass inside the pooled engine must surface as one
+/// caller-side panic carrying the model label and the lane/shard position —
+/// not as a worker-thread abort or a bare `expect` message.
+#[test]
+fn worker_panic_resumes_on_caller_with_context() {
+    let mut ps = ParamSet::new();
+    let w = ps.add("w", Tensor::scalar(1.0));
+    let cfg = TrainConfig::new(1, 0.1)
+        .with_batch_size(8)
+        .with_workers(4)
+        .with_min_threads(4);
+    let trainer = Trainer::new(&ps, cfg).labeled("hypernym_projection");
+    let data: Vec<f32> = (0..8).map(|i| i as f32).collect();
+
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut opt = Sgd::new(0.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        trainer.train(
+            &mut opt,
+            &data,
+            |g, &x| {
+                if x == 3.0 {
+                    panic!("boom on example {x}");
+                }
+                let wn = g.param(&w);
+                let xn = g.input(Tensor::scalar(x));
+                let p = g.mul(wn, xn);
+                Some(g.sum_all(p))
+            },
+            &mut rng,
+        );
+    }));
+
+    let payload = result.expect_err("the worker panic must propagate to the caller");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("contextualized panics carry a String payload");
+    assert!(
+        msg.contains("hypernym_projection"),
+        "missing model label: {msg}"
+    );
+    assert!(
+        msg.contains("training worker panicked on lane"),
+        "missing shard context: {msg}"
+    );
+    assert!(
+        msg.contains("boom on example 3"),
+        "original message lost: {msg}"
+    );
+}
+
+/// Non-string panic payloads must be resumed unchanged so callers that
+/// panic with typed values can still downcast them.
+#[test]
+fn non_string_panic_payloads_survive_the_round_trip() {
+    #[derive(Debug)]
+    struct Typed(u32);
+
+    let mut ps = ParamSet::new();
+    let w = ps.add("w", Tensor::scalar(1.0));
+    let cfg = TrainConfig::new(1, 0.1)
+        .with_batch_size(4)
+        .with_workers(4)
+        .with_min_threads(4);
+    let trainer = Trainer::new(&ps, cfg);
+    let data = [0.0f32, 1.0, 2.0, 3.0];
+
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut opt = Sgd::new(0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        trainer.train(
+            &mut opt,
+            &data,
+            |g, &x| {
+                if x == 2.0 {
+                    std::panic::panic_any(Typed(77));
+                }
+                let wn = g.param(&w);
+                let xn = g.input(Tensor::scalar(x));
+                let p = g.mul(wn, xn);
+                Some(g.sum_all(p))
+            },
+            &mut rng,
+        );
+    }));
+
+    let payload = result.expect_err("the worker panic must propagate");
+    let typed = payload
+        .downcast_ref::<Typed>()
+        .expect("typed payload must be resumed unchanged");
+    assert_eq!(typed.0, 77);
+}
+
+/// The pooled engine (threads forced via `min_threads`) must keep training
+/// correct, not just deterministic: a real fit on the pool converges to the
+/// same answer as the inline path.
+#[test]
+fn forced_pool_still_fits() {
+    let data: Vec<(f32, f32)> = (0..24).map(|i| (i as f32 / 8.0, i as f32 / 4.0)).collect();
+    let mut snaps = Vec::new();
+    for (workers, min_threads) in [(1usize, 0usize), (4, 4)] {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::zeros(1, 1));
+        let cfg = TrainConfig::new(30, 0.05)
+            .with_batch_size(8)
+            .with_workers(workers)
+            .with_min_threads(min_threads);
+        let mut opt = Sgd::new(cfg.lr);
+        let mut rng = StdRng::seed_from_u64(9);
+        Trainer::new(&ps, cfg).train(
+            &mut opt,
+            &data,
+            |g, &(x, y)| {
+                let wn = g.param(&w);
+                let xn = g.input(Tensor::scalar(x));
+                let yn = g.input(Tensor::scalar(y));
+                let pred = g.mul(wn, xn);
+                let d = g.sub(pred, yn);
+                let sq = g.mul(d, d);
+                Some(g.sum_all(sq))
+            },
+            &mut rng,
+        );
+        assert!((w.value().item() - 2.0).abs() < 0.05, "pool failed to fit");
+        snaps.push(ps.snapshot());
+    }
+    for (a, b) in snaps[0].iter().zip(&snaps[1]) {
+        assert_eq!(a.data(), b.data(), "pooled fit drifted from inline fit");
+    }
+}

@@ -44,32 +44,81 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The tentpole determinism guarantee: for any random dataset, feature
-    /// dimension, batch size, and seed, training with 1 worker and with
-    /// 2..=4 workers yields bit-identical per-epoch losses and final
-    /// parameters.
+    /// dimension, batch size (including batches far larger than the merge
+    /// lane cap, and tail batches smaller than the worker count), and seed,
+    /// training with 1 worker and with 2..=8 workers yields bit-identical
+    /// per-epoch losses and final parameters. `min_threads` forces a real
+    /// worker pool even on machines whose available parallelism is 1, so
+    /// the pooled code path itself is what gets exercised.
     #[test]
     fn worker_parity_on_random_datasets(
         dim in 1usize..5,
-        n in 3usize..20,
-        batch in 2usize..6,
+        n in 3usize..40,
+        batch_ix in 0usize..4,
         seed in 0u64..1000,
-        raw in prop::collection::vec(-2.0f32..2.0, 5 * 20 + 20),
+        raw in prop::collection::vec(-2.0f32..2.0, 5 * 40 + 40),
     ) {
+        let batch = [1usize, 3, 8, 32][batch_ix];
         let data: Vec<(Vec<f32>, f32)> = (0..n)
             .map(|i| {
                 let x: Vec<f32> = (0..dim).map(|j| raw[i * dim + j]).collect();
-                (x, raw[5 * 20 + i])
+                (x, raw[5 * 40 + i])
             })
             .collect();
         let cfg = TrainConfig::new(3, 0.02).with_batch_size(batch);
         let (base_losses, base_params) = run(cfg.clone(), dim, &data, seed);
-        for workers in 2..=4 {
-            let (losses, params) = run(cfg.clone().with_workers(workers), dim, &data, seed);
+        for workers in 2..=8 {
+            let (losses, params) = run(
+                cfg.clone().with_workers(workers).with_min_threads(workers),
+                dim,
+                &data,
+                seed,
+            );
             for (a, b) in base_losses.iter().zip(&losses) {
                 prop_assert_eq!(a.to_bits(), b.to_bits(), "loss drift at {} workers", workers);
             }
             for (a, b) in base_params.iter().zip(&params) {
                 prop_assert_eq!(a.data(), b.data(), "param drift at {} workers", workers);
+            }
+        }
+    }
+}
+
+/// A dataset whose final batch is smaller than the worker count (7 examples
+/// at batch 32 → one 7-example batch; 9 at batch 8 → tail of 1) must still
+/// be byte-identical across worker counts — the lane plan, not the worker
+/// count, decides the merge grouping.
+#[test]
+fn tail_batches_smaller_than_worker_count_keep_parity() {
+    for (n, batch) in [(7usize, 32usize), (9, 8), (5, 3)] {
+        let raw: Vec<f32> = (0..n * 3 + n)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) / 5.0)
+            .collect();
+        let data: Vec<(Vec<f32>, f32)> = (0..n)
+            .map(|i| (raw[i * 3..i * 3 + 3].to_vec(), raw[n * 3 + i]))
+            .collect();
+        let cfg = TrainConfig::new(2, 0.02).with_batch_size(batch);
+        let (base_losses, base_params) = run(cfg.clone(), 3, &data, 42);
+        for workers in [2usize, 6, 8] {
+            let (losses, params) = run(
+                cfg.clone().with_workers(workers).with_min_threads(workers),
+                3,
+                &data,
+                42,
+            );
+            for (a, b) in base_losses.iter().zip(&losses) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "loss drift: n={n} batch={batch} workers={workers}"
+                );
+            }
+            for (a, b) in base_params.iter().zip(&params) {
+                assert_eq!(
+                    a.data(),
+                    b.data(),
+                    "param drift: n={n} batch={batch} workers={workers}"
+                );
             }
         }
     }
