@@ -238,7 +238,10 @@ fn al005_flags_unsorted_hash_iteration_in_serialization() {
             }
         }
     "#;
-    assert_eq!(rules_for("crates/core/src/snapshot.rs", src), vec!["AL005"]);
+    assert_eq!(
+        rules_for("crates/core/src/snapshot/binary.rs", src),
+        vec!["AL005"]
+    );
 }
 
 #[test]
@@ -252,7 +255,7 @@ fn al005_allows_sorted_collection_and_out_of_scope_files() {
             }
         }
     "#;
-    assert!(rules_for("crates/core/src/snapshot.rs", sorted).is_empty());
+    assert!(rules_for("crates/core/src/snapshot/binary.rs", sorted).is_empty());
 
     let elsewhere = r#"
         fn count(map: &FxHashMap<String, u32>) -> u32 {

@@ -121,6 +121,31 @@ impl<'kg> SemanticSearch<'kg> {
         engine
     }
 
+    /// Build the engine around a prebuilt [`QueryIndex`] — the fast-start
+    /// path when token postings come straight out of a binary snapshot's
+    /// postings sections (`QueryIndex::from_postings`) instead of being
+    /// re-tokenized from every surface at construction.
+    pub fn from_index(kg: &'kg AliCoCo, index: QueryIndex<'kg>, cfg: SearchConfig) -> Self {
+        SemanticSearch {
+            kg,
+            index,
+            cfg,
+            metrics: None,
+        }
+    }
+
+    /// [`from_index`](Self::from_index) with `search.*` metrics wired.
+    pub fn from_index_with_metrics(
+        kg: &'kg AliCoCo,
+        index: QueryIndex<'kg>,
+        cfg: SearchConfig,
+        metrics: &Registry,
+    ) -> Self {
+        let mut engine = Self::from_index(kg, index, cfg);
+        engine.metrics = Some(SearchMetrics::register(metrics));
+        engine
+    }
+
     /// The token index the engine retrieves from.
     pub fn index(&self) -> &QueryIndex<'kg> {
         &self.index
@@ -425,6 +450,34 @@ mod tests {
         assert_eq!(reg.counter("search.batch_queries").get(), 2);
         assert_eq!(reg.histogram("search.batch_ns").count(), 1);
         assert_eq!(reg.counter("search.requests").get(), 5);
+    }
+
+    #[test]
+    fn engine_from_snapshot_postings_matches_fresh_build() {
+        let kg = sample_kg();
+        let mut bytes = Vec::new();
+        alicoco::snapshot::binary::save(&kg, &mut bytes).unwrap();
+        let view = alicoco::snapshot::binary::SnapshotView::open(&bytes).unwrap();
+        let index = QueryIndex::from_postings(
+            &kg,
+            view.concept_postings()
+                .unwrap()
+                .into_iter()
+                .map(|(t, ids)| (t.to_string(), ids)),
+            view.item_postings()
+                .unwrap()
+                .into_iter()
+                .map(|(t, ids)| (t.to_string(), ids)),
+        );
+        let fast = SemanticSearch::from_index(&kg, index, SearchConfig::default());
+        let fresh = SemanticSearch::new(&kg, SearchConfig::default());
+        for q in ["barbecue outdoor", "indoor", "grill", "nothing here", ""] {
+            assert_eq!(fast.search(q), fresh.search(q), "query {q:?}");
+        }
+        assert_eq!(
+            fast.keyword_items("charcoal grill", 5),
+            fresh.keyword_items("charcoal grill", 5)
+        );
     }
 
     #[test]

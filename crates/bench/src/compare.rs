@@ -63,6 +63,17 @@ pub const MIN_SPEEDUP_MULTICORE: f64 = 1.4;
 /// beat one core with one core.
 pub const MIN_SPEEDUP_PARITY: f64 = 0.9;
 
+/// Absolute floor for `*cold_load_speedup` metrics: binary-vs-TSV *cold
+/// start to first answer*. TSV's only path to any answer is a full
+/// materializing load; the binary codec opens its checksummed view and
+/// answers a keyword probe zero-copy from the persisted postings. Unlike
+/// parallel speedups this gate is not about worker count — both paths run
+/// on one core — so no machine context applies and the floor holds
+/// unconditionally: a cold process over the binary snapshot must reach
+/// its first answer at least this much faster than over TSV, or the
+/// storage layer has lost its reason to exist.
+pub const MIN_COLD_LOAD_SPEEDUP: f64 = 5.0;
+
 /// Pick the speedup minimum for a current run from its own machine
 /// context: the flattened `cpus` key the train bench records. Runs without
 /// the key (older documents, serving benches) get the conservative parity
@@ -175,8 +186,14 @@ pub fn compare(
     tolerance_pct: f64,
     min_speedup: Option<f64>,
 ) -> Vec<MetricDiff> {
-    let below_minimum =
-        |key: &str, cur: f64| key.ends_with("speedup") && min_speedup.is_some_and(|min| cur < min);
+    let below_minimum = |key: &str, cur: f64| {
+        if key.ends_with("cold_load_speedup") {
+            // Single-core storage gate: always enforced, machine-independent.
+            cur < MIN_COLD_LOAD_SPEEDUP
+        } else {
+            key.ends_with("speedup") && min_speedup.is_some_and(|min| cur < min)
+        }
+    };
     let mut out = Vec::new();
     let cur_lookup: std::collections::BTreeMap<&str, f64> =
         current.iter().map(|(k, v)| (k.as_str(), *v)).collect();
@@ -379,6 +396,32 @@ mod tests {
         let cur = metrics(&[("m.speedup", 1.1)]);
         let diffs = compare(&base, &cur, 15.0, Some(MIN_SPEEDUP_MULTICORE));
         assert_eq!(diffs[0].status, Status::BelowMinimum);
+    }
+
+    #[test]
+    fn cold_load_speedup_has_an_unconditional_absolute_floor() {
+        // A 4x binary-vs-TSV load at 1M fails even when the baseline had
+        // slipped enough for the relative gate to tolerate it, and even
+        // with no min_speedup context at all.
+        let base = metrics(&[("snapshot.n1000k.cold_load_speedup", 5.5)]);
+        let cur = metrics(&[("snapshot.n1000k.cold_load_speedup", 4.0)]);
+        let diffs = compare(&base, &cur, 50.0, None);
+        assert_eq!(diffs[0].status, Status::BelowMinimum);
+        // Above the floor with a tolerant baseline: fine.
+        let cur = metrics(&[("snapshot.n1000k.cold_load_speedup", 5.1)]);
+        assert_eq!(compare(&base, &cur, 50.0, None)[0].status, Status::Ok);
+        // A brand-new key (no baseline) is still held to the floor.
+        let cur = metrics(&[("snapshot.n1000k.cold_load_speedup", 3.0)]);
+        assert_eq!(
+            compare(&metrics(&[]), &cur, 15.0, None)[0].status,
+            Status::BelowMinimum
+        );
+        // The machine-aware parity floor does not weaken it.
+        let cur = metrics(&[("snapshot.n1000k.cold_load_speedup", 1.2)]);
+        assert_eq!(
+            compare(&base, &cur, 50.0, Some(MIN_SPEEDUP_PARITY))[0].status,
+            Status::BelowMinimum
+        );
     }
 
     #[test]

@@ -3,7 +3,6 @@
 pub mod compare;
 pub mod json;
 
-use alicoco::AliCoCo;
 use alicoco_corpus::{Dataset, WorldConfig};
 use alicoco_mining::resources::{Resources, ResourcesConfig};
 use std::time::Instant;
@@ -44,66 +43,9 @@ pub fn f(x: f64) -> String {
     format!("{x:.4}")
 }
 
-/// 60 distinct base words for the synthetic at-scale worlds.
-pub const SCALE_BASE: &[&str] = &[
-    "outdoor", "barbecue", "summer", "beach", "grill", "party", "yoga", "indoor", "camping",
-    "picnic", "winter", "gift", "hiking", "garden", "travel", "kids", "retro", "festival",
-    "wedding", "office", "budget", "luxury", "vintage", "portable", "family", "night", "morning",
-    "spring", "autumn", "rain", "snow", "city", "lake", "forest", "desert", "island", "sports",
-    "music", "art", "cooking", "baking", "fishing", "cycling", "running", "climbing", "reading",
-    "gaming", "crafts", "pets", "garage", "balcony", "rooftop", "street", "market", "school",
-    "holiday", "birthday", "romantic", "minimal", "cozy",
-];
-
-/// 240 distinct single-word tokens ("outdoor0" … "cozy3").
-pub fn scale_vocab() -> Vec<String> {
-    SCALE_BASE
-        .iter()
-        .flat_map(|w| (0..4).map(move |v| format!("{w}{v}")))
-        .collect()
-}
-
-/// A deterministic synthetic world big enough that full-layer scans hurt:
-/// `n_concepts` *distinct* two-word concepts over a 240-token vocabulary
-/// (concept `i` gets the base-240 digit pair of `i`, so names never
-/// collide and `add_concept` cannot dedup them away), each interpreted by
-/// its two word primitives, with a thin item layer.
-pub fn scale_world(n_concepts: usize) -> AliCoCo {
-    let vocab = scale_vocab();
-    assert!(
-        n_concepts <= vocab.len() * vocab.len(),
-        "digit pairs must stay distinct"
-    );
-    let mut kg = AliCoCo::new();
-    let root = kg.add_class("concept", None);
-    let classes: Vec<_> = (0..4)
-        .map(|d| kg.add_class(&format!("domain{d}"), Some(root)))
-        .collect();
-    let prims: Vec<_> = vocab
-        .iter()
-        .enumerate()
-        .map(|(i, w)| kg.add_primitive(w, classes[i % classes.len()]))
-        .collect();
-    let items: Vec<_> = (0..n_concepts / 4)
-        .map(|i| {
-            kg.add_item(&[
-                vocab[i % vocab.len()].clone(),
-                vocab[(i * 7 + 3) % vocab.len()].clone(),
-            ])
-        })
-        .collect();
-    for i in 0..n_concepts {
-        let (a, b) = (i % vocab.len(), i / vocab.len());
-        let c = kg.add_concept(&format!("{} {}", vocab[a], vocab[b]));
-        kg.link_concept_primitive(c, prims[a]);
-        kg.link_concept_primitive(c, prims[b]);
-        if i % 3 == 0 {
-            kg.link_concept_item(c, items[i % items.len()], 0.5 + (i % 50) as f32 / 100.0);
-        }
-    }
-    assert_eq!(kg.num_concepts(), n_concepts, "synthetic names collided");
-    kg
-}
+// The at-scale synthetic world generator lives in `alicoco_corpus::scale`
+// (streaming, 1M+ capable); re-exported here so benches keep their import.
+pub use alicoco_corpus::scale::{scale_vocab, scale_world, SCALE_BASE};
 
 /// Median wall-clock seconds of `runs` executions of `f`.
 pub fn median_secs<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {

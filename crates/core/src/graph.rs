@@ -17,7 +17,7 @@ use alicoco_nn::util::FxHashMap;
 use crate::ids::{ClassId, ConceptId, ItemId, PrimitiveId};
 
 /// A taxonomy class.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClassNode {
     /// Class name (unique in the taxonomy).
     pub name: String,
@@ -28,7 +28,7 @@ pub struct ClassNode {
 }
 
 /// A primitive concept: a typed vocabulary entry.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PrimitiveNode {
     /// Surface form of the primitive.
     pub name: String,
@@ -41,7 +41,7 @@ pub struct PrimitiveNode {
 }
 
 /// An e-commerce concept: a conceptualized user need.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ConceptNode {
     /// Surface form, tokens joined by spaces.
     pub name: String,
@@ -55,7 +55,7 @@ pub struct ConceptNode {
 }
 
 /// An item node.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ItemNode {
     /// Title tokens.
     pub title: Vec<String>,
@@ -89,7 +89,11 @@ pub struct PrimitiveRelation {
 }
 
 /// The assembled concept net.
-#[derive(Debug, Default)]
+///
+/// Equality compares the full structure — node arenas, edge lists (in
+/// order), relations, and the derived name indices — which is what the
+/// snapshot round-trip tests mean by "the same net".
+#[derive(Debug, Default, PartialEq)]
 pub struct AliCoCo {
     classes: Vec<ClassNode>,
     primitives: Vec<PrimitiveNode>,
@@ -107,6 +111,83 @@ impl AliCoCo {
     /// Create a new instance.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Assemble a net directly from decoded node arenas — the bulk path the
+    /// binary snapshot codec uses instead of replaying `add_*` calls one
+    /// record at a time. Incoming nodes carry only their *forward* state
+    /// (parents, hypernyms, out-edges); all derived state — class children,
+    /// primitive hyponyms, item→concept reverse links, and the three name
+    /// indices — is rebuilt here in the same order the incremental builders
+    /// produce it, so a net built this way compares equal to one built
+    /// record by record. Callers must have range-checked every id.
+    pub(crate) fn from_parts(
+        mut classes: Vec<ClassNode>,
+        mut primitives: Vec<PrimitiveNode>,
+        concepts: Vec<ConceptNode>,
+        mut items: Vec<ItemNode>,
+        schema: Vec<SchemaRelation>,
+        primitive_relations: Vec<PrimitiveRelation>,
+    ) -> Self {
+        let parents: Vec<Option<ClassId>> = classes.iter().map(|c| c.parent).collect();
+        for (i, parent) in parents.iter().enumerate() {
+            if let Some(p) = *parent {
+                classes[p.index()].children.push(ClassId::from_index(i));
+            }
+        }
+        let mut class_by_name =
+            FxHashMap::with_capacity_and_hasher(classes.len(), Default::default());
+        for (i, c) in classes.iter().enumerate() {
+            class_by_name.insert(c.name.clone(), ClassId::from_index(i));
+        }
+        let mut primitives_by_name: FxHashMap<String, Vec<PrimitiveId>> =
+            FxHashMap::with_capacity_and_hasher(primitives.len(), Default::default());
+        for (i, p) in primitives.iter().enumerate() {
+            primitives_by_name
+                .entry(p.name.clone())
+                .or_default()
+                .push(PrimitiveId::from_index(i));
+        }
+        let hyper_edges: Vec<(PrimitiveId, PrimitiveId)> = primitives
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| {
+                p.hypernyms
+                    .iter()
+                    .map(move |&h| (h, PrimitiveId::from_index(i)))
+            })
+            .collect();
+        for (hyper, hypo) in hyper_edges {
+            primitives[hyper.index()].hyponyms.push(hypo);
+        }
+        let mut concept_by_name =
+            FxHashMap::with_capacity_and_hasher(concepts.len(), Default::default());
+        for (i, c) in concepts.iter().enumerate() {
+            concept_by_name.insert(c.name.clone(), ConceptId::from_index(i));
+        }
+        let item_edges: Vec<(ItemId, ConceptId)> = concepts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| {
+                c.items
+                    .iter()
+                    .map(move |&(item, _)| (item, ConceptId::from_index(i)))
+            })
+            .collect();
+        for (item, concept) in item_edges {
+            items[item.index()].concepts.push(concept);
+        }
+        Self {
+            classes,
+            primitives,
+            concepts,
+            items,
+            class_by_name,
+            primitives_by_name,
+            concept_by_name,
+            schema,
+            primitive_relations,
+        }
     }
 
     // ---- taxonomy --------------------------------------------------------

@@ -17,7 +17,10 @@
 //! - [`stats::Stats`] — the Table 2 statistics of a built net,
 //! - [`coverage`] — the §7.1 user-needs coverage evaluator, with the
 //!   CPV-only baseline vocabulary,
-//! - [`snapshot`] — a line-oriented TSV persistence format,
+//! - [`snapshot`] — persistence codecs: the line-oriented TSV oracle and a
+//!   compact sectioned binary format with zero-copy reads,
+//! - [`store`] — the pluggable [`store::Store`] trait over both codecs,
+//!   with format auto-detection,
 //! - [`rank`] — the shared `(score desc, id asc)` ranking order and a
 //!   bounded top-k heap used by every serving surface,
 //! - [`infer`] — implied-relation mining (§10 future work: "boy's T-shirt"
@@ -76,6 +79,7 @@ pub mod infer;
 pub mod query;
 pub mod snapshot;
 pub mod stats;
+pub mod store;
 pub mod validate;
 
 /// Shared ranking primitives, re-exported from the base `alicoco-nn` crate

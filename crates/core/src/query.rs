@@ -29,14 +29,9 @@ pub struct QueryIndex<'kg> {
 impl<'kg> QueryIndex<'kg> {
     /// Build all inverted indices (one pass over each layer).
     pub fn build(kg: &'kg AliCoCo) -> Self {
-        let mut concepts_by_primitive: FxHashMap<PrimitiveId, Vec<ConceptId>> =
-            FxHashMap::default();
         let mut concepts_by_token: FxHashMap<String, Vec<ConceptId>> = FxHashMap::default();
         let mut token_set: FxHashSet<&str> = FxHashSet::default();
         for c in kg.concept_ids() {
-            for &p in &kg.concept(c).primitives {
-                concepts_by_primitive.entry(p).or_default().push(c);
-            }
             // One posting entry per distinct token: surface words plus the
             // full surface of every interpreting primitive (a primitive
             // match is what makes retrieval order-free, §8.1).
@@ -55,16 +50,50 @@ impl<'kg> QueryIndex<'kg> {
                     .push(c);
             }
         }
-        let mut items_by_primitive: FxHashMap<PrimitiveId, Vec<ItemId>> = FxHashMap::default();
         let mut items_by_token: FxHashMap<String, Vec<ItemId>> = FxHashMap::default();
         for i in kg.item_ids() {
-            for &p in &kg.item(i).primitives {
-                items_by_primitive.entry(p).or_default().push(i);
-            }
             token_set.clear();
             token_set.extend(kg.item(i).title.iter().map(String::as_str));
             for tok in token_set.drain() {
                 items_by_token.entry(tok.to_string()).or_default().push(i);
+            }
+        }
+        Self::with_postings(kg, concepts_by_token, items_by_token)
+    }
+
+    /// Build the index from precomputed token postings — the fast-start
+    /// path for binary snapshots, which persist exactly the postings
+    /// [`build`](Self::build) would tokenize. The id-level inverted
+    /// indices are cheap single scans over edge lists and are always
+    /// rebuilt here; only the string-heavy tokenization is skipped.
+    pub fn from_postings(
+        kg: &'kg AliCoCo,
+        concept_postings: impl IntoIterator<Item = (String, Vec<ConceptId>)>,
+        item_postings: impl IntoIterator<Item = (String, Vec<ItemId>)>,
+    ) -> Self {
+        Self::with_postings(
+            kg,
+            concept_postings.into_iter().collect(),
+            item_postings.into_iter().collect(),
+        )
+    }
+
+    fn with_postings(
+        kg: &'kg AliCoCo,
+        concepts_by_token: FxHashMap<String, Vec<ConceptId>>,
+        items_by_token: FxHashMap<String, Vec<ItemId>>,
+    ) -> Self {
+        let mut concepts_by_primitive: FxHashMap<PrimitiveId, Vec<ConceptId>> =
+            FxHashMap::default();
+        for c in kg.concept_ids() {
+            for &p in &kg.concept(c).primitives {
+                concepts_by_primitive.entry(p).or_default().push(c);
+            }
+        }
+        let mut items_by_primitive: FxHashMap<PrimitiveId, Vec<ItemId>> = FxHashMap::default();
+        for i in kg.item_ids() {
+            for &p in &kg.item(i).primitives {
+                items_by_primitive.entry(p).or_default().push(i);
             }
         }
         let mut primitives_by_domain: FxHashMap<ClassId, Vec<PrimitiveId>> = FxHashMap::default();
@@ -80,6 +109,31 @@ impl<'kg> QueryIndex<'kg> {
             concepts_by_token,
             items_by_token,
         }
+    }
+
+    /// Concept postings in lexicographic token order — the deterministic
+    /// view the binary snapshot codec serializes (AL005: hash-map postings
+    /// must be sorted before they touch a wire format).
+    pub fn sorted_concept_postings(&self) -> Vec<(&str, &[ConceptId])> {
+        let mut v: Vec<(&str, &[ConceptId])> = self
+            .concepts_by_token
+            .iter()
+            .map(|(t, ids)| (t.as_str(), ids.as_slice()))
+            .collect();
+        v.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+
+    /// Item postings in lexicographic token order (see
+    /// [`sorted_concept_postings`](Self::sorted_concept_postings)).
+    pub fn sorted_item_postings(&self) -> Vec<(&str, &[ItemId])> {
+        let mut v: Vec<(&str, &[ItemId])> = self
+            .items_by_token
+            .iter()
+            .map(|(t, ids)| (t.as_str(), ids.as_slice()))
+            .collect();
+        v.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        v
     }
 
     /// Concepts interpreted by a primitive ("which needs involve
@@ -391,6 +445,51 @@ mod tests {
     fn degree_stats_empty_graph() {
         let kg = AliCoCo::new();
         assert_eq!(concept_item_degrees(&kg), DegreeStats::default());
+    }
+
+    #[test]
+    fn from_postings_matches_a_fresh_build() {
+        let (kg, _, _, bbq) = sample();
+        let built = QueryIndex::build(&kg);
+        let concept_postings: Vec<(String, Vec<ConceptId>)> = built
+            .sorted_concept_postings()
+            .into_iter()
+            .map(|(t, ids)| (t.to_string(), ids.to_vec()))
+            .collect();
+        let item_postings: Vec<(String, Vec<ItemId>)> = built
+            .sorted_item_postings()
+            .into_iter()
+            .map(|(t, ids)| (t.to_string(), ids.to_vec()))
+            .collect();
+        let restored = QueryIndex::from_postings(&kg, concept_postings, item_postings);
+        assert_eq!(
+            built.sorted_concept_postings(),
+            restored.sorted_concept_postings()
+        );
+        assert_eq!(
+            built.sorted_item_postings(),
+            restored.sorted_item_postings()
+        );
+        // Id-level indices are rebuilt, not restored — check one.
+        assert_eq!(
+            built.concepts_by_primitive(bbq),
+            restored.concepts_by_primitive(bbq)
+        );
+        assert_eq!(
+            built.items_by_primitive(bbq),
+            restored.items_by_primitive(bbq)
+        );
+    }
+
+    #[test]
+    fn sorted_postings_are_lexicographic_and_ascending() {
+        let (kg, _, _, _) = sample();
+        let q = QueryIndex::build(&kg);
+        let postings = q.sorted_concept_postings();
+        assert!(postings.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(postings
+            .iter()
+            .all(|(_, ids)| ids.windows(2).all(|w| w[0] < w[1])));
     }
 
     #[test]

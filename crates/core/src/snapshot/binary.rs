@@ -1,0 +1,1338 @@
+//! The compact binary snapshot codec: a sectioned, checksummed container
+//! whose reader borrows every string and record slice straight out of one
+//! loaded byte buffer (mmap-style), so a cold process reaches "serving"
+//! without re-parsing and re-allocating per record.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header   magic "ALCC" · version u32 · section_count u32        (12 B)
+//! table    per section: tag [u8;4] · offset u64 · len u64
+//!          · FNV-1a-64 checksum u64                              (28 B each)
+//! payload  the sections themselves, contiguous, in table order,
+//!          last one ending exactly at EOF
+//! ```
+//!
+//! Sections, in their fixed order:
+//!
+//! | tag    | content                                                      |
+//! |--------|--------------------------------------------------------------|
+//! | `STRA` | string arena: every name/title/token, UTF-8, deduplicated    |
+//! | `CLAS` | count u32, then per class `off u32 · len u32 · parent u32`   |
+//! | `PRIM` | count u32, then per primitive `off · len · class`            |
+//! | `CONC` | count u32, then per concept `off · len`                      |
+//! | `ITEM` | count u32, then per item `off · len` (space-joined title)    |
+//! | `PPIA` | per primitive: varint degree, zigzag-varint id deltas        |
+//! | `CCIA` | per concept: hypernym list, same coding                      |
+//! | `CPRI` | per concept: interpreting-primitive list                     |
+//! | `CITM` | per concept: varint degree, then per edge zigzag item delta  |
+//! |        | followed by the f32 weight bits                              |
+//! | `IPRI` | per item: property-primitive list                            |
+//! | `SCHM` | count u32, then per relation `off · len · from u32 · to u32` |
+//! | `PREL` | same, between primitives                                     |
+//! | `PSTC` | concept token postings: varint token count, then per token   |
+//! |        | (lexicographic) varint `off/len/degree`, first id absolute,  |
+//! |        | then gaps ≥ 1                                                |
+//! | `PSTI` | item token postings, same coding                             |
+//!
+//! `parent` uses `u32::MAX` as "none". String references are
+//! `offset/len` pairs into the arena. Every section is integrity-checked
+//! at [`SnapshotView::open`]; varint-coded sections are additionally
+//! validated (id ranges, weight domain, buffer-capped degrees) as they
+//! are decoded, so corrupt input of any shape yields a typed
+//! [`LoadError`] instead of a panic or an unbounded allocation.
+
+use std::io;
+
+use alicoco_nn::util::FxHashMap;
+
+use super::{check_name, LoadError, SaveError};
+use crate::graph::{
+    AliCoCo, ClassNode, ConceptNode, ItemNode, PrimitiveNode, PrimitiveRelation, SchemaRelation,
+};
+use crate::ids::{ClassId, ConceptId, ItemId, PrimitiveId};
+use crate::query::QueryIndex;
+
+/// First four bytes of every binary snapshot — what format auto-detection
+/// keys on.
+pub const MAGIC: [u8; 4] = *b"ALCC";
+/// Format version the codec reads and writes.
+pub const VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 12;
+const TABLE_ENTRY_LEN: usize = 28;
+
+/// `(tag, human name)` of every section, in their one fixed file order.
+const SECTIONS: &[(&[u8; 4], &str)] = &[
+    (b"STRA", "string arena"),
+    (b"CLAS", "classes"),
+    (b"PRIM", "primitives"),
+    (b"CONC", "concepts"),
+    (b"ITEM", "items"),
+    (b"PPIA", "primitive-isA"),
+    (b"CCIA", "concept-isA"),
+    (b"CPRI", "concept-primitive"),
+    (b"CITM", "concept-item"),
+    (b"IPRI", "item-primitive"),
+    (b"SCHM", "schema relations"),
+    (b"PREL", "primitive relations"),
+    (b"PSTC", "concept postings"),
+    (b"PSTI", "item postings"),
+];
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn corrupt(section: &'static str, msg: impl Into<String>) -> LoadError {
+    LoadError::Corrupt(section, msg.into())
+}
+
+// ---- writer ----------------------------------------------------------------
+
+/// Deduplicating string arena builder. Interning order is deterministic
+/// (first use wins), which is part of what makes re-saves byte-identical.
+#[derive(Default)]
+struct Arena {
+    bytes: Vec<u8>,
+    seen: FxHashMap<String, (u32, u32)>,
+}
+
+impl Arena {
+    fn intern(&mut self, s: &str) -> Result<(u32, u32), SaveError> {
+        if let Some(&r) = self.seen.get(s) {
+            return Ok(r);
+        }
+        let off = self.bytes.len();
+        if off + s.len() > u32::MAX as usize {
+            return Err(SaveError::Io(io::Error::other(
+                "string arena exceeds 4 GiB",
+            )));
+        }
+        self.bytes.extend_from_slice(s.as_bytes());
+        let r = (off as u32, s.len() as u32);
+        self.seen.insert(s.to_string(), r);
+        Ok(r)
+    }
+}
+
+fn count_u32(n: usize, what: &str) -> Result<u32, SaveError> {
+    u32::try_from(n)
+        .map_err(|_| SaveError::Io(io::Error::other(format!("{what} count exceeds u32"))))
+}
+
+fn push_str_ref(sec: &mut Vec<u8>, (off, len): (u32, u32)) {
+    sec.extend_from_slice(&off.to_le_bytes());
+    sec.extend_from_slice(&len.to_le_bytes());
+}
+
+fn encode_deltas(sec: &mut Vec<u8>, ids: &mut dyn ExactSizeIterator<Item = usize>) {
+    write_varint(sec, ids.len() as u64);
+    let mut prev = 0i64;
+    for id in ids {
+        let v = id as i64;
+        write_varint(sec, zigzag(v - prev));
+        prev = v;
+    }
+}
+
+fn encode_postings(
+    sec: &mut Vec<u8>,
+    arena: &mut Arena,
+    postings: &[(&str, Vec<usize>)],
+) -> Result<(), SaveError> {
+    write_varint(sec, postings.len() as u64);
+    for (tok, ids) in postings {
+        let (off, len) = arena.intern(tok)?;
+        write_varint(sec, u64::from(off));
+        write_varint(sec, u64::from(len));
+        write_varint(sec, ids.len() as u64);
+        let mut prev: Option<usize> = None;
+        for &id in ids {
+            match prev {
+                None => write_varint(sec, id as u64),
+                Some(p) => {
+                    debug_assert!(id > p, "postings must be strictly ascending");
+                    write_varint(sec, (id - p) as u64);
+                }
+            }
+            prev = Some(id);
+        }
+    }
+    Ok(())
+}
+
+/// Serialize a net (plus its derived [`QueryIndex`] token postings) into
+/// `out` as one binary snapshot. Output is deterministic: the same net
+/// always produces the same bytes.
+pub fn save(kg: &AliCoCo, out: &mut Vec<u8>) -> Result<(), SaveError> {
+    let mut arena = Arena::default();
+    let mut clas = Vec::new();
+    clas.extend_from_slice(&count_u32(kg.num_classes(), "class")?.to_le_bytes());
+    for id in kg.class_ids() {
+        let c = kg.class(id);
+        push_str_ref(&mut clas, arena.intern(check_name("class", &c.name)?)?);
+        let parent = c.parent.map_or(u32::MAX, |p| p.index() as u32);
+        clas.extend_from_slice(&parent.to_le_bytes());
+    }
+    let mut prim = Vec::new();
+    prim.extend_from_slice(&count_u32(kg.num_primitives(), "primitive")?.to_le_bytes());
+    for id in kg.primitive_ids() {
+        let p = kg.primitive(id);
+        push_str_ref(&mut prim, arena.intern(check_name("primitive", &p.name)?)?);
+        prim.extend_from_slice(&(p.class.index() as u32).to_le_bytes());
+    }
+    let mut conc = Vec::new();
+    conc.extend_from_slice(&count_u32(kg.num_concepts(), "concept")?.to_le_bytes());
+    for id in kg.concept_ids() {
+        push_str_ref(
+            &mut conc,
+            arena.intern(check_name("concept", &kg.concept(id).name)?)?,
+        );
+    }
+    let mut item = Vec::new();
+    item.extend_from_slice(&count_u32(kg.num_items(), "item")?.to_le_bytes());
+    for id in kg.item_ids() {
+        let joined = kg.item(id).title.join(" ");
+        push_str_ref(&mut item, arena.intern(check_name("item title", &joined)?)?);
+    }
+    let mut ppia = Vec::new();
+    for id in kg.primitive_ids() {
+        let hypernyms = &kg.primitive(id).hypernyms;
+        encode_deltas(&mut ppia, &mut hypernyms.iter().map(|h| h.index()));
+    }
+    let mut ccia = Vec::new();
+    let mut cpri = Vec::new();
+    let mut citm = Vec::new();
+    for id in kg.concept_ids() {
+        let c = kg.concept(id);
+        encode_deltas(&mut ccia, &mut c.hypernyms.iter().map(|h| h.index()));
+        encode_deltas(&mut cpri, &mut c.primitives.iter().map(|p| p.index()));
+        write_varint(&mut citm, c.items.len() as u64);
+        let mut prev = 0i64;
+        for &(i, w) in &c.items {
+            let v = i.index() as i64;
+            write_varint(&mut citm, zigzag(v - prev));
+            prev = v;
+            citm.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    let mut ipri = Vec::new();
+    for id in kg.item_ids() {
+        let primitives = &kg.item(id).primitives;
+        encode_deltas(&mut ipri, &mut primitives.iter().map(|p| p.index()));
+    }
+    let mut schm = Vec::new();
+    schm.extend_from_slice(&count_u32(kg.schema().len(), "schema relation")?.to_le_bytes());
+    for s in kg.schema() {
+        push_str_ref(
+            &mut schm,
+            arena.intern(check_name("schema relation", &s.name)?)?,
+        );
+        schm.extend_from_slice(&(s.from.index() as u32).to_le_bytes());
+        schm.extend_from_slice(&(s.to.index() as u32).to_le_bytes());
+    }
+    let mut prel = Vec::new();
+    prel.extend_from_slice(
+        &count_u32(kg.primitive_relations().len(), "primitive relation")?.to_le_bytes(),
+    );
+    for r in kg.primitive_relations() {
+        push_str_ref(
+            &mut prel,
+            arena.intern(check_name("primitive relation", &r.name)?)?,
+        );
+        prel.extend_from_slice(&(r.from.index() as u32).to_le_bytes());
+        prel.extend_from_slice(&(r.to.index() as u32).to_le_bytes());
+    }
+    let index = QueryIndex::build(kg);
+    let concept_postings: Vec<(&str, Vec<usize>)> = index
+        .sorted_concept_postings()
+        .into_iter()
+        .map(|(t, ids)| (t, ids.iter().map(|c| c.index()).collect()))
+        .collect();
+    let item_postings: Vec<(&str, Vec<usize>)> = index
+        .sorted_item_postings()
+        .into_iter()
+        .map(|(t, ids)| (t, ids.iter().map(|i| i.index()).collect()))
+        .collect();
+    let mut pstc = Vec::new();
+    encode_postings(&mut pstc, &mut arena, &concept_postings)?;
+    let mut psti = Vec::new();
+    encode_postings(&mut psti, &mut arena, &item_postings)?;
+
+    let sections: [Vec<u8>; 14] = [
+        arena.bytes,
+        clas,
+        prim,
+        conc,
+        item,
+        ppia,
+        ccia,
+        cpri,
+        citm,
+        ipri,
+        schm,
+        prel,
+        pstc,
+        psti,
+    ];
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(SECTIONS.len() as u32).to_le_bytes());
+    let mut offset = (HEADER_LEN + SECTIONS.len() * TABLE_ENTRY_LEN) as u64;
+    for ((tag, _), payload) in SECTIONS.iter().zip(&sections) {
+        out.extend_from_slice(*tag);
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        offset += payload.len() as u64;
+    }
+    for payload in &sections {
+        out.extend_from_slice(payload);
+    }
+    Ok(())
+}
+
+// ---- reader ----------------------------------------------------------------
+
+/// Total little-endian u32 read for post-validation accessors: entries were
+/// bounds-checked at [`SnapshotView::open`], so the fallback is unreachable.
+fn u32_at(bytes: &[u8], off: usize) -> u32 {
+    bytes
+        .get(off..off + 4)
+        .and_then(|b| <[u8; 4]>::try_from(b).ok())
+        .map(u32::from_le_bytes)
+        .unwrap_or(0)
+}
+
+fn u64_at(bytes: &[u8], off: usize, section: &'static str) -> Result<u64, LoadError> {
+    bytes
+        .get(off..off + 8)
+        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+        .map(u64::from_le_bytes)
+        .ok_or_else(|| corrupt(section, "truncated integer"))
+}
+
+/// A fixed-stride node section: a u32 count followed by `count` equal-size
+/// entries.
+#[derive(Clone, Copy)]
+struct FixedSection<'a> {
+    entries: &'a [u8],
+    stride: usize,
+    count: usize,
+}
+
+impl<'a> FixedSection<'a> {
+    fn parse(sec: &'a [u8], stride: usize, name: &'static str) -> Result<Self, LoadError> {
+        let count = sec
+            .get(..4)
+            .and_then(|b| <[u8; 4]>::try_from(b).ok())
+            .map(u32::from_le_bytes)
+            .ok_or_else(|| corrupt(name, "section shorter than its count"))?
+            as usize;
+        let entries = sec.get(4..).unwrap_or(&[]);
+        // The count is validated against the actual section length before
+        // anything is allocated from it.
+        if count.checked_mul(stride) != Some(entries.len()) {
+            return Err(corrupt(name, "count does not match section length"));
+        }
+        Ok(Self {
+            entries,
+            stride,
+            count,
+        })
+    }
+
+    fn entry(&self, i: usize) -> &'a [u8] {
+        self.entries
+            .get(i * self.stride..(i + 1) * self.stride)
+            .unwrap_or(&[])
+    }
+}
+
+/// Sequential validating reader over one varint-coded section.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8], section: &'static str) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn varint(&mut self) -> Result<u64, LoadError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = *self
+                .buf
+                .get(self.pos)
+                .ok_or_else(|| corrupt(self.section, "truncated varint"))?;
+            self.pos += 1;
+            if shift == 63 && (b & 0x7e) != 0 {
+                return Err(corrupt(self.section, "varint overflows u64"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(corrupt(self.section, "varint overflows u64"));
+            }
+        }
+    }
+
+    /// A varint degree, capped against the bytes actually left in the
+    /// section (every encoded entry takes at least one byte), so a
+    /// corrupted length can never drive an oversized allocation.
+    fn degree(&mut self) -> Result<usize, LoadError> {
+        let deg = self.varint()?;
+        if deg > self.remaining() as u64 {
+            return Err(corrupt(self.section, "degree exceeds section size"));
+        }
+        Ok(deg as usize)
+    }
+
+    /// One zigzag-delta-coded id list, every id checked against `n`.
+    fn id_list(&mut self, n: usize) -> Result<Vec<u32>, LoadError> {
+        let deg = self.degree()?;
+        let mut out = Vec::with_capacity(deg);
+        let mut prev = 0i64;
+        for _ in 0..deg {
+            let delta = unzigzag(self.varint()?);
+            prev = prev
+                .checked_add(delta)
+                .ok_or_else(|| corrupt(self.section, "id delta overflows"))?;
+            if prev < 0 || prev >= n as i64 {
+                return Err(corrupt(self.section, "id out of range"));
+            }
+            out.push(prev as u32);
+        }
+        Ok(out)
+    }
+
+    /// One id list with an f32 weight per entry (the `CITM` coding);
+    /// weights must be finite probabilities.
+    fn weighted_list(&mut self, n: usize) -> Result<Vec<(u32, f32)>, LoadError> {
+        let deg = self.degree()?;
+        let mut out = Vec::with_capacity(deg);
+        let mut prev = 0i64;
+        for _ in 0..deg {
+            let delta = unzigzag(self.varint()?);
+            prev = prev
+                .checked_add(delta)
+                .ok_or_else(|| corrupt(self.section, "id delta overflows"))?;
+            if prev < 0 || prev >= n as i64 {
+                return Err(corrupt(self.section, "id out of range"));
+            }
+            let bytes = self
+                .buf
+                .get(self.pos..self.pos + 4)
+                .and_then(|b| <[u8; 4]>::try_from(b).ok())
+                .ok_or_else(|| corrupt(self.section, "truncated weight"))?;
+            self.pos += 4;
+            let w = f32::from_le_bytes(bytes);
+            if !w.is_finite() || !(0.0..=1.0).contains(&w) {
+                return Err(corrupt(self.section, "weight must be a probability"));
+            }
+            out.push((prev as u32, w));
+        }
+        Ok(out)
+    }
+
+    /// Skip one list, returning its degree (used for record counting).
+    fn skip_list(&mut self, weighted: bool) -> Result<u64, LoadError> {
+        let deg = self.degree()?;
+        for _ in 0..deg {
+            self.varint()?;
+            if weighted {
+                if self.remaining() < 4 {
+                    return Err(corrupt(self.section, "truncated weight"));
+                }
+                self.pos += 4;
+            }
+        }
+        Ok(deg as u64)
+    }
+
+    fn expect_end(&self) -> Result<(), LoadError> {
+        if self.pos != self.buf.len() {
+            return Err(corrupt(self.section, "trailing bytes in section"));
+        }
+        Ok(())
+    }
+}
+
+/// A zero-copy view over a binary snapshot buffer: all strings are `&str`
+/// borrows into the file's string arena. [`open`](Self::open) verifies the
+/// header, the section table (tags, contiguity, bounds), every section
+/// checksum, arena UTF-8 validity, and every fixed-stride record, so the
+/// accessors after it are total.
+pub struct SnapshotView<'a> {
+    arena: &'a str,
+    classes: FixedSection<'a>,
+    primitives: FixedSection<'a>,
+    concepts: FixedSection<'a>,
+    items: FixedSection<'a>,
+    ppia: &'a [u8],
+    ccia: &'a [u8],
+    cpri: &'a [u8],
+    citm: &'a [u8],
+    ipri: &'a [u8],
+    schema: FixedSection<'a>,
+    relations: FixedSection<'a>,
+    pstc: &'a [u8],
+    psti: &'a [u8],
+}
+
+impl<'a> SnapshotView<'a> {
+    /// Open and integrity-check a snapshot buffer without materializing a
+    /// graph.
+    pub fn open(bytes: &'a [u8]) -> Result<Self, LoadError> {
+        let header = bytes
+            .get(..HEADER_LEN)
+            .ok_or_else(|| corrupt("header", "file shorter than header"))?;
+        if header.get(..4) != Some(&MAGIC[..]) {
+            return Err(corrupt("header", "bad magic"));
+        }
+        let version = u32_at(header, 4);
+        if version != VERSION {
+            return Err(corrupt("header", format!("unsupported version {version}")));
+        }
+        if u32_at(header, 8) as usize != SECTIONS.len() {
+            return Err(corrupt("header", "wrong section count"));
+        }
+        let mut payloads: Vec<&'a [u8]> = Vec::with_capacity(SECTIONS.len());
+        let mut expected = HEADER_LEN + SECTIONS.len() * TABLE_ENTRY_LEN;
+        for (i, (tag, name)) in SECTIONS.iter().enumerate() {
+            let base = HEADER_LEN + i * TABLE_ENTRY_LEN;
+            let entry = bytes
+                .get(base..base + TABLE_ENTRY_LEN)
+                .ok_or_else(|| corrupt("section table", "truncated table"))?;
+            if entry.get(..4) != Some(&tag[..]) {
+                return Err(corrupt("section table", format!("expected section {name}")));
+            }
+            let off = usize::try_from(u64_at(entry, 4, "section table")?)
+                .map_err(|_| corrupt("section table", "offset overflow"))?;
+            let len = usize::try_from(u64_at(entry, 12, "section table")?)
+                .map_err(|_| corrupt("section table", "length overflow"))?;
+            if off != expected {
+                return Err(corrupt("section table", "sections must be contiguous"));
+            }
+            // The length is capped against the remaining buffer before any
+            // use — an oversized-length attack fails here, allocation-free.
+            let payload = off
+                .checked_add(len)
+                .and_then(|end| bytes.get(off..end))
+                .ok_or_else(|| corrupt("section table", "section length exceeds file"))?;
+            if fnv1a64(payload) != u64_at(entry, 20, "section table")? {
+                return Err(corrupt(name_of(i), "checksum mismatch"));
+            }
+            payloads.push(payload);
+            expected = off + len;
+        }
+        if expected != bytes.len() {
+            return Err(corrupt(
+                "section table",
+                "trailing bytes after last section",
+            ));
+        }
+        let [stra, clas, prim, conc, item, ppia, ccia, cpri, citm, ipri, schm, prel, pstc, psti]: [&'a [u8];
+            14] = payloads
+            .try_into()
+            .map_err(|_| corrupt("section table", "wrong section count"))?;
+        let arena =
+            std::str::from_utf8(stra).map_err(|_| corrupt("string arena", "invalid UTF-8"))?;
+        let view = SnapshotView {
+            arena,
+            classes: FixedSection::parse(clas, 12, "classes")?,
+            primitives: FixedSection::parse(prim, 12, "primitives")?,
+            concepts: FixedSection::parse(conc, 8, "concepts")?,
+            items: FixedSection::parse(item, 8, "items")?,
+            ppia,
+            ccia,
+            cpri,
+            citm,
+            ipri,
+            schema: FixedSection::parse(schm, 16, "schema relations")?,
+            relations: FixedSection::parse(prel, 16, "primitive relations")?,
+            pstc,
+            psti,
+        };
+        view.validate_fixed()?;
+        Ok(view)
+    }
+
+    /// Range- and boundary-check every fixed-stride record so the plain
+    /// accessors are total afterwards.
+    fn validate_fixed(&self) -> Result<(), LoadError> {
+        let check_str = |entry: &[u8], section: &'static str| -> Result<(), LoadError> {
+            let off = u32_at(entry, 0) as usize;
+            let len = u32_at(entry, 4) as usize;
+            if self.arena.get(off..off + len).is_none() {
+                return Err(corrupt(
+                    section,
+                    "string ref out of bounds or splits a UTF-8 character",
+                ));
+            }
+            Ok(())
+        };
+        for i in 0..self.classes.count {
+            let e = self.classes.entry(i);
+            check_str(e, "classes")?;
+            let parent = u32_at(e, 8);
+            if parent != u32::MAX && parent as usize >= self.classes.count {
+                return Err(corrupt("classes", "parent out of range"));
+            }
+        }
+        for i in 0..self.primitives.count {
+            let e = self.primitives.entry(i);
+            check_str(e, "primitives")?;
+            if u32_at(e, 8) as usize >= self.classes.count {
+                return Err(corrupt("primitives", "class out of range"));
+            }
+        }
+        for i in 0..self.concepts.count {
+            check_str(self.concepts.entry(i), "concepts")?;
+        }
+        for i in 0..self.items.count {
+            check_str(self.items.entry(i), "items")?;
+        }
+        for i in 0..self.schema.count {
+            let e = self.schema.entry(i);
+            check_str(e, "schema relations")?;
+            if u32_at(e, 8) as usize >= self.classes.count
+                || u32_at(e, 12) as usize >= self.classes.count
+            {
+                return Err(corrupt("schema relations", "class out of range"));
+            }
+        }
+        for i in 0..self.relations.count {
+            let e = self.relations.entry(i);
+            check_str(e, "primitive relations")?;
+            if u32_at(e, 8) as usize >= self.primitives.count
+                || u32_at(e, 12) as usize >= self.primitives.count
+            {
+                return Err(corrupt("primitive relations", "primitive out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    fn str_at(&self, entry: &[u8]) -> &'a str {
+        let off = u32_at(entry, 0) as usize;
+        let len = u32_at(entry, 4) as usize;
+        self.arena.get(off..off + len).unwrap_or("")
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.count
+    }
+
+    /// Number of primitives.
+    pub fn num_primitives(&self) -> usize {
+        self.primitives.count
+    }
+
+    /// Number of concepts.
+    pub fn num_concepts(&self) -> usize {
+        self.concepts.count
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.items.count
+    }
+
+    /// Class name, borrowed from the arena.
+    pub fn class_name(&self, i: usize) -> &'a str {
+        self.str_at(self.classes.entry(i))
+    }
+
+    /// Class parent, if any.
+    pub fn class_parent(&self, i: usize) -> Option<usize> {
+        match u32_at(self.classes.entry(i), 8) {
+            u32::MAX => None,
+            p => Some(p as usize),
+        }
+    }
+
+    /// Primitive surface form, borrowed from the arena.
+    pub fn primitive_name(&self, i: usize) -> &'a str {
+        self.str_at(self.primitives.entry(i))
+    }
+
+    /// Primitive class index.
+    pub fn primitive_class(&self, i: usize) -> usize {
+        u32_at(self.primitives.entry(i), 8) as usize
+    }
+
+    /// Concept surface form, borrowed from the arena.
+    pub fn concept_name(&self, i: usize) -> &'a str {
+        self.str_at(self.concepts.entry(i))
+    }
+
+    /// Space-joined item title, borrowed from the arena.
+    pub fn item_title(&self, i: usize) -> &'a str {
+        self.str_at(self.items.entry(i))
+    }
+
+    /// Materialize the full owned graph via the bulk constructor. Varint
+    /// sections are validated here (id ranges, weight domain, exact
+    /// section consumption).
+    pub fn to_graph(&self) -> Result<AliCoCo, LoadError> {
+        let n_class = self.classes.count;
+        let n_prim = self.primitives.count;
+        let n_conc = self.concepts.count;
+        let n_item = self.items.count;
+        let mut classes = Vec::with_capacity(n_class);
+        for i in 0..n_class {
+            classes.push(ClassNode {
+                name: self.class_name(i).to_string(),
+                parent: self.class_parent(i).map(ClassId::from_index),
+                children: Vec::new(),
+            });
+        }
+        let mut prim_isa = Cursor::new(self.ppia, "primitive-isA");
+        let mut primitives = Vec::with_capacity(n_prim);
+        for i in 0..n_prim {
+            let hypernyms = prim_isa
+                .id_list(n_prim)?
+                .into_iter()
+                .map(|p| PrimitiveId::from_index(p as usize))
+                .collect();
+            primitives.push(PrimitiveNode {
+                name: self.primitive_name(i).to_string(),
+                class: ClassId::from_index(self.primitive_class(i)),
+                hypernyms,
+                hyponyms: Vec::new(),
+            });
+        }
+        prim_isa.expect_end()?;
+        let mut isa = Cursor::new(self.ccia, "concept-isA");
+        let mut interp = Cursor::new(self.cpri, "concept-primitive");
+        let mut sugg = Cursor::new(self.citm, "concept-item");
+        let mut concepts = Vec::with_capacity(n_conc);
+        for i in 0..n_conc {
+            let hypernyms = isa
+                .id_list(n_conc)?
+                .into_iter()
+                .map(|c| ConceptId::from_index(c as usize))
+                .collect();
+            let prims = interp
+                .id_list(n_prim)?
+                .into_iter()
+                .map(|p| PrimitiveId::from_index(p as usize))
+                .collect();
+            let items = sugg
+                .weighted_list(n_item)?
+                .into_iter()
+                .map(|(id, w)| (ItemId::from_index(id as usize), w))
+                .collect();
+            concepts.push(ConceptNode {
+                name: self.concept_name(i).to_string(),
+                primitives: prims,
+                hypernyms,
+                items,
+            });
+        }
+        isa.expect_end()?;
+        interp.expect_end()?;
+        sugg.expect_end()?;
+        let mut props = Cursor::new(self.ipri, "item-primitive");
+        let mut items = Vec::with_capacity(n_item);
+        for i in 0..n_item {
+            let joined = self.item_title(i);
+            let title = if joined.is_empty() {
+                Vec::new()
+            } else {
+                joined.split(' ').map(String::from).collect()
+            };
+            let primitives = props
+                .id_list(n_prim)?
+                .into_iter()
+                .map(|p| PrimitiveId::from_index(p as usize))
+                .collect();
+            items.push(ItemNode {
+                title,
+                primitives,
+                concepts: Vec::new(),
+            });
+        }
+        props.expect_end()?;
+        let schema = (0..self.schema.count)
+            .map(|i| {
+                let e = self.schema.entry(i);
+                SchemaRelation {
+                    name: self.str_at(e).to_string(),
+                    from: ClassId::from_index(u32_at(e, 8) as usize),
+                    to: ClassId::from_index(u32_at(e, 12) as usize),
+                }
+            })
+            .collect();
+        let relations = (0..self.relations.count)
+            .map(|i| {
+                let e = self.relations.entry(i);
+                PrimitiveRelation {
+                    name: self.str_at(e).to_string(),
+                    from: PrimitiveId::from_index(u32_at(e, 8) as usize),
+                    to: PrimitiveId::from_index(u32_at(e, 12) as usize),
+                }
+            })
+            .collect();
+        Ok(AliCoCo::from_parts(
+            classes, primitives, concepts, items, schema, relations,
+        ))
+    }
+
+    /// Decode the persisted concept token postings (token → ascending
+    /// concept ids), tokens borrowed from the arena.
+    pub fn concept_postings(&self) -> Result<Vec<(&'a str, Vec<ConceptId>)>, LoadError> {
+        let raw = decode_postings(
+            self.pstc,
+            self.arena,
+            self.concepts.count,
+            "concept postings",
+        )?;
+        Ok(raw
+            .into_iter()
+            .map(|(t, ids)| {
+                (
+                    t,
+                    ids.into_iter()
+                        .map(|i| ConceptId::from_index(i as usize))
+                        .collect(),
+                )
+            })
+            .collect())
+    }
+
+    /// Zero-copy point lookup: the ascending concept-id posting list for
+    /// one token, decoding only the bytes up to that token's entry (the
+    /// section stores tokens in lexicographic order, so the walk
+    /// early-stops past the probe). This is the cold serving path: a
+    /// freshly opened snapshot answers a keyword probe without
+    /// materializing the graph or building an index.
+    pub fn concept_posting_for(&self, token: &str) -> Result<Option<Vec<ConceptId>>, LoadError> {
+        Ok(posting_for(
+            self.pstc,
+            self.arena,
+            self.concepts.count,
+            "concept postings",
+            token,
+        )?
+        .map(|ids| {
+            ids.into_iter()
+                .map(|i| ConceptId::from_index(i as usize))
+                .collect()
+        }))
+    }
+
+    /// Zero-copy point lookup into the item token postings; see
+    /// [`concept_posting_for`](Self::concept_posting_for).
+    pub fn item_posting_for(&self, token: &str) -> Result<Option<Vec<ItemId>>, LoadError> {
+        Ok(posting_for(
+            self.psti,
+            self.arena,
+            self.items.count,
+            "item postings",
+            token,
+        )?
+        .map(|ids| {
+            ids.into_iter()
+                .map(|i| ItemId::from_index(i as usize))
+                .collect()
+        }))
+    }
+
+    /// Decode the persisted item token postings.
+    pub fn item_postings(&self) -> Result<Vec<(&'a str, Vec<ItemId>)>, LoadError> {
+        let raw = decode_postings(self.psti, self.arena, self.items.count, "item postings")?;
+        Ok(raw
+            .into_iter()
+            .map(|(t, ids)| {
+                (
+                    t,
+                    ids.into_iter()
+                        .map(|i| ItemId::from_index(i as usize))
+                        .collect(),
+                )
+            })
+            .collect())
+    }
+
+    /// Per-section `(name, payload bytes, record count)` — what
+    /// `snapshot inspect` prints. Walks the varint sections to count
+    /// records, so it also fully validates their framing.
+    pub fn section_info(&self) -> Result<Vec<(&'static str, u64, u64)>, LoadError> {
+        let fixed = |s: &FixedSection<'_>| (4 + s.entries.len()) as u64;
+        let mut out = Vec::with_capacity(SECTIONS.len());
+        out.push(("string arena", self.arena.len() as u64, 0));
+        out.push(("classes", fixed(&self.classes), self.classes.count as u64));
+        out.push((
+            "primitives",
+            fixed(&self.primitives),
+            self.primitives.count as u64,
+        ));
+        out.push((
+            "concepts",
+            fixed(&self.concepts),
+            self.concepts.count as u64,
+        ));
+        out.push(("items", fixed(&self.items), self.items.count as u64));
+        let count_lists = |sec: &'a [u8],
+                           lists: usize,
+                           weighted: bool,
+                           name: &'static str|
+         -> Result<u64, LoadError> {
+            let mut cur = Cursor::new(sec, name);
+            let mut total = 0u64;
+            for _ in 0..lists {
+                total += cur.skip_list(weighted)?;
+            }
+            cur.expect_end()?;
+            Ok(total)
+        };
+        out.push((
+            "primitive-isA",
+            self.ppia.len() as u64,
+            count_lists(self.ppia, self.primitives.count, false, "primitive-isA")?,
+        ));
+        out.push((
+            "concept-isA",
+            self.ccia.len() as u64,
+            count_lists(self.ccia, self.concepts.count, false, "concept-isA")?,
+        ));
+        out.push((
+            "concept-primitive",
+            self.cpri.len() as u64,
+            count_lists(self.cpri, self.concepts.count, false, "concept-primitive")?,
+        ));
+        out.push((
+            "concept-item",
+            self.citm.len() as u64,
+            count_lists(self.citm, self.concepts.count, true, "concept-item")?,
+        ));
+        out.push((
+            "item-primitive",
+            self.ipri.len() as u64,
+            count_lists(self.ipri, self.items.count, false, "item-primitive")?,
+        ));
+        out.push((
+            "schema relations",
+            fixed(&self.schema),
+            self.schema.count as u64,
+        ));
+        out.push((
+            "primitive relations",
+            fixed(&self.relations),
+            self.relations.count as u64,
+        ));
+        let count_postings = |sec: &'a [u8], name: &'static str| -> Result<u64, LoadError> {
+            let mut cur = Cursor::new(sec, name);
+            let tokens = cur.varint()?;
+            for _ in 0..tokens {
+                cur.varint()?;
+                cur.varint()?;
+                cur.skip_list(false)?;
+            }
+            cur.expect_end()?;
+            Ok(tokens)
+        };
+        out.push((
+            "concept postings",
+            self.pstc.len() as u64,
+            count_postings(self.pstc, "concept postings")?,
+        ));
+        out.push((
+            "item postings",
+            self.psti.len() as u64,
+            count_postings(self.psti, "item postings")?,
+        ));
+        Ok(out)
+    }
+}
+
+fn name_of(i: usize) -> &'static str {
+    SECTIONS.get(i).map(|(_, name)| *name).unwrap_or("section")
+}
+
+/// One token's arena reference at the cursor, resolved to its `&str`.
+fn posting_token<'a>(
+    cur: &mut Cursor<'_>,
+    arena: &'a str,
+    section: &'static str,
+) -> Result<&'a str, LoadError> {
+    let off = cur.varint()? as usize;
+    let len = cur.varint()? as usize;
+    off.checked_add(len)
+        .and_then(|end| arena.get(off..end))
+        .ok_or_else(|| corrupt(section, "token ref out of bounds"))
+}
+
+/// One gap-coded strictly-ascending posting list (the tail of a postings
+/// token entry), every id checked against `n`.
+fn posting_ids(
+    cur: &mut Cursor<'_>,
+    n: usize,
+    section: &'static str,
+) -> Result<Vec<u32>, LoadError> {
+    let deg = cur.degree()?;
+    let mut ids = Vec::with_capacity(deg);
+    let mut prev: Option<u64> = None;
+    for _ in 0..deg {
+        let v = cur.varint()?;
+        let id = match prev {
+            None => v,
+            Some(p) => {
+                if v == 0 {
+                    return Err(corrupt(section, "postings must be strictly ascending"));
+                }
+                p.checked_add(v)
+                    .ok_or_else(|| corrupt(section, "postings id overflows"))?
+            }
+        };
+        if id >= n as u64 {
+            return Err(corrupt(section, "postings id out of range"));
+        }
+        ids.push(id as u32);
+        prev = Some(id);
+    }
+    Ok(ids)
+}
+
+fn decode_postings<'a>(
+    sec: &'a [u8],
+    arena: &'a str,
+    n: usize,
+    section: &'static str,
+) -> Result<Vec<(&'a str, Vec<u32>)>, LoadError> {
+    let mut cur = Cursor::new(sec, section);
+    let tokens = cur.varint()?;
+    if tokens > sec.len() as u64 {
+        return Err(corrupt(section, "token count exceeds section size"));
+    }
+    let mut out: Vec<(&'a str, Vec<u32>)> = Vec::with_capacity(tokens as usize);
+    for _ in 0..tokens {
+        let tok = posting_token(&mut cur, arena, section)?;
+        if out.last().is_some_and(|(prev, _)| *prev >= tok) {
+            return Err(corrupt(
+                section,
+                "postings tokens must be strictly ascending",
+            ));
+        }
+        let ids = posting_ids(&mut cur, n, section)?;
+        out.push((tok, ids));
+    }
+    cur.expect_end()?;
+    Ok(out)
+}
+
+/// Point lookup of one token's posting list without materializing the
+/// rest of the section. Tokens are stored in strictly ascending
+/// lexicographic order (canonical form, enforced by `decode_postings`),
+/// so the walk early-stops at the first token past the probe.
+fn posting_for(
+    sec: &[u8],
+    arena: &str,
+    n: usize,
+    section: &'static str,
+    token: &str,
+) -> Result<Option<Vec<u32>>, LoadError> {
+    let mut cur = Cursor::new(sec, section);
+    let tokens = cur.varint()?;
+    if tokens > sec.len() as u64 {
+        return Err(corrupt(section, "token count exceeds section size"));
+    }
+    for _ in 0..tokens {
+        let tok = posting_token(&mut cur, arena, section)?;
+        if tok == token {
+            return posting_ids(&mut cur, n, section).map(Some);
+        }
+        if tok > token {
+            return Ok(None);
+        }
+        cur.skip_list(false)?;
+    }
+    Ok(None)
+}
+
+/// Open + materialize in one call — the cold-load entry point stores use.
+pub fn load(bytes: &[u8]) -> Result<AliCoCo, LoadError> {
+    SnapshotView::open(bytes)?.to_graph()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::test_support::build_sample;
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut out = Vec::new();
+        save(&build_sample(), &mut out).unwrap();
+        out
+    }
+
+    /// Recompute section checksums after a test deliberately patches a
+    /// payload (so corruption *past* the checksum layer can be exercised).
+    fn fix_checksums(bytes: &mut [u8]) {
+        for i in 0..SECTIONS.len() {
+            let base = HEADER_LEN + i * TABLE_ENTRY_LEN;
+            let off = u64::from_le_bytes(bytes[base + 4..base + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[base + 12..base + 20].try_into().unwrap()) as usize;
+            let sum = fnv1a64(&bytes[off..off + len]);
+            bytes[base + 20..base + 28].copy_from_slice(&sum.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn roundtrip_reproduces_the_net_and_is_deterministic() {
+        let kg = build_sample();
+        let bytes = sample_bytes();
+        let loaded = load(&bytes).unwrap();
+        assert_eq!(loaded, kg);
+        let mut again = Vec::new();
+        save(&loaded, &mut again).unwrap();
+        assert_eq!(bytes, again, "re-save must be byte-identical");
+    }
+
+    #[test]
+    fn binary_to_model_to_tsv_matches_the_oracle() {
+        let kg = build_sample();
+        let mut oracle = Vec::new();
+        crate::snapshot::save(&kg, &mut oracle).unwrap();
+        let mut tsv = Vec::new();
+        crate::snapshot::save(&load(&sample_bytes()).unwrap(), &mut tsv).unwrap();
+        assert_eq!(oracle, tsv);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let mut bytes = Vec::new();
+        save(&AliCoCo::new(), &mut bytes).unwrap();
+        let loaded = load(&bytes).unwrap();
+        assert_eq!(loaded, AliCoCo::new());
+    }
+
+    #[test]
+    fn postings_match_a_fresh_index() {
+        let kg = build_sample();
+        let bytes = sample_bytes();
+        let view = SnapshotView::open(&bytes).unwrap();
+        let index = QueryIndex::build(&kg);
+        let expect: Vec<(&str, Vec<ConceptId>)> = index
+            .sorted_concept_postings()
+            .into_iter()
+            .map(|(t, ids)| (t, ids.to_vec()))
+            .collect();
+        assert_eq!(view.concept_postings().unwrap(), expect);
+        let expect_items: Vec<(&str, Vec<ItemId>)> = index
+            .sorted_item_postings()
+            .into_iter()
+            .map(|(t, ids)| (t, ids.to_vec()))
+            .collect();
+        assert_eq!(view.item_postings().unwrap(), expect_items);
+    }
+
+    #[test]
+    fn posting_point_lookups_match_the_full_decode() {
+        let bytes = sample_bytes();
+        let view = SnapshotView::open(&bytes).unwrap();
+        for (tok, ids) in &view.concept_postings().unwrap() {
+            assert_eq!(view.concept_posting_for(tok).unwrap().as_ref(), Some(ids));
+        }
+        for (tok, ids) in &view.item_postings().unwrap() {
+            assert_eq!(view.item_posting_for(tok).unwrap().as_ref(), Some(ids));
+        }
+        // Probes below, between, and above the stored token range all
+        // resolve to a clean miss via the early-stop walk.
+        assert_eq!(view.concept_posting_for("").unwrap(), None);
+        assert_eq!(view.concept_posting_for("outdoorz").unwrap(), None);
+        assert_eq!(view.concept_posting_for("zzzz").unwrap(), None);
+        assert_eq!(view.item_posting_for("zzzz").unwrap(), None);
+    }
+
+    #[test]
+    fn zero_copy_accessors_borrow_from_the_buffer() {
+        let kg = build_sample();
+        let bytes = sample_bytes();
+        let view = SnapshotView::open(&bytes).unwrap();
+        assert_eq!(view.num_concepts(), kg.num_concepts());
+        for i in 0..view.num_concepts() {
+            assert_eq!(
+                view.concept_name(i),
+                kg.concept(crate::ids::ConceptId::from_index(i)).name
+            );
+        }
+        for i in 0..view.num_items() {
+            assert_eq!(
+                view.item_title(i),
+                kg.item(crate::ids::ItemId::from_index(i)).title.join(" ")
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = sample_bytes();
+        for len in 0..bytes.len() {
+            let r = SnapshotView::open(&bytes[..len]).and_then(|v| v.to_graph());
+            assert!(r.is_err(), "truncation at {len} must fail");
+        }
+    }
+
+    #[test]
+    fn every_bitflip_is_detected_at_open() {
+        let bytes = sample_bytes();
+        for i in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0x40;
+            assert!(
+                SnapshotView::open(&b).is_err(),
+                "flip at byte {i} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_section_length_is_rejected_without_allocating() {
+        let mut bytes = sample_bytes();
+        // Patch the string arena's table length to an absurd value.
+        let base = HEADER_LEN;
+        bytes[base + 12..base + 20].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            SnapshotView::open(&bytes),
+            Err(LoadError::Corrupt("section table", _))
+        ));
+    }
+
+    #[test]
+    fn corrupt_varint_degree_is_capped() {
+        let mut bytes = sample_bytes();
+        // PPIA is section index 5; its first byte is the degree of
+        // primitive 0's hypernym list. Blow it up and re-checksum.
+        let base = HEADER_LEN + 5 * TABLE_ENTRY_LEN;
+        let off = u64::from_le_bytes(bytes[base + 4..base + 12].try_into().unwrap()) as usize;
+        bytes[off] = 0xff; // continuation bit set: large degree follows
+        bytes[off + 1] = 0x7f;
+        fix_checksums(&mut bytes);
+        let view = SnapshotView::open(&bytes).unwrap();
+        let err = view.to_graph().unwrap_err();
+        assert!(matches!(err, LoadError::Corrupt("primitive-isA", _)));
+    }
+
+    #[test]
+    fn corrupt_weight_is_rejected() {
+        let kg = build_sample();
+        let mut bytes = Vec::new();
+        save(&kg, &mut bytes).unwrap();
+        // CITM is section index 8. The first concept with items starts
+        // with varint degree, zigzag delta, then the weight's 4 bytes.
+        let base = HEADER_LEN + 8 * TABLE_ENTRY_LEN;
+        let off = u64::from_le_bytes(bytes[base + 4..base + 12].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[base + 12..base + 20].try_into().unwrap()) as usize;
+        // Find the first weight: scan for a decodable position is fragile;
+        // instead overwrite the last 4 bytes of the section (a weight,
+        // since every CITM entry ends with one) with NaN bits.
+        assert!(len >= 4, "sample has concept-item edges");
+        bytes[off + len - 4..off + len].copy_from_slice(&f32::NAN.to_le_bytes());
+        fix_checksums(&mut bytes);
+        let view = SnapshotView::open(&bytes).unwrap();
+        let err = view.to_graph().unwrap_err();
+        assert!(matches!(err, LoadError::Corrupt("concept-item", _)));
+    }
+
+    #[test]
+    fn non_ascending_postings_are_rejected() {
+        // Hand-built postings section: one token (empty string at 0..0),
+        // two ids with a zero gap.
+        let mut sec = Vec::new();
+        write_varint(&mut sec, 1); // token count
+        write_varint(&mut sec, 0); // off
+        write_varint(&mut sec, 0); // len
+        write_varint(&mut sec, 2); // degree
+        write_varint(&mut sec, 5); // first id
+        write_varint(&mut sec, 0); // zero gap: duplicate id
+        let err = decode_postings(&sec, "", 100, "concept postings").unwrap_err();
+        assert!(matches!(err, LoadError::Corrupt(_, m) if m.contains("ascending")));
+    }
+
+    #[test]
+    fn section_info_counts_records() {
+        let kg = build_sample();
+        let bytes = sample_bytes();
+        let view = SnapshotView::open(&bytes).unwrap();
+        let info = view.section_info().unwrap();
+        assert_eq!(info.len(), SECTIONS.len());
+        let get = |name: &str| {
+            info.iter()
+                .find(|(n, _, _)| *n == name)
+                .map(|&(_, _, recs)| recs)
+                .unwrap()
+        };
+        assert_eq!(get("classes"), kg.num_classes() as u64);
+        assert_eq!(get("concepts"), kg.num_concepts() as u64);
+        assert_eq!(get("primitive-isA"), kg.num_primitive_is_a() as u64);
+        assert_eq!(get("concept-item"), kg.num_concept_item_links() as u64);
+        let total: u64 = info.iter().map(|&(_, bytes, _)| bytes).sum();
+        assert_eq!(
+            total as usize + HEADER_LEN + SECTIONS.len() * TABLE_ENTRY_LEN,
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn varint_roundtrip_and_overflow() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut cur = Cursor::new(&buf, "test");
+            assert_eq!(cur.varint().unwrap(), v);
+            cur.expect_end().unwrap();
+        }
+        // 11-byte varint overflows.
+        let buf = [0x80u8; 11];
+        let mut cur = Cursor::new(&buf, "test");
+        assert!(cur.varint().is_err());
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123456] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -9,7 +9,7 @@ use alicoco_nn::util::FxHashMap;
 use crate::graph::AliCoCo;
 
 /// The Table 2 analogue for a built concept net.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Stats {
     /// Number of classes.
     pub num_classes: usize,

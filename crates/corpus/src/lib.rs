@@ -28,6 +28,7 @@ pub mod gloss;
 pub mod items;
 pub mod lexicon;
 pub mod oracle;
+pub mod scale;
 pub mod taxonomy;
 pub mod world;
 

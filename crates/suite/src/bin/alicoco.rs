@@ -1,14 +1,19 @@
 //! `alicoco` — command-line interface over the concept net.
 //!
 //! ```text
-//! alicoco build <snapshot.tsv> [--full]    build a synthetic world, run the
-//!                                          pipeline, save the net
-//! alicoco stats <snapshot.tsv>             Table-2-style statistics
-//! alicoco search <snapshot.tsv> <query>    concept cards for a query
-//! alicoco qa <snapshot.tsv> <question>     scenario question answering
-//! alicoco recommend <snapshot.tsv>         concept cards for a sampled user
-//! alicoco concept <snapshot.tsv> <name>    dump one concept's neighbourhood
+//! alicoco build <snapshot> [--full] [--binary]  build a synthetic world, run
+//!                                               the pipeline, save the net
+//! alicoco stats <snapshot>                 Table-2-style statistics
+//! alicoco search <snapshot> <query>        concept cards for a query
+//! alicoco qa <snapshot> <question>         scenario question answering
+//! alicoco recommend <snapshot>             concept cards for a sampled user
+//! alicoco concept <snapshot> <name>        dump one concept's neighbourhood
+//! alicoco snapshot convert <in> <out>      convert TSV <-> binary (by magic)
+//! alicoco snapshot inspect <file>          section sizes and record counts
 //! ```
+//!
+//! Every `<snapshot>` argument accepts either codec — the format is sniffed
+//! from the leading magic bytes (see `alicoco::store`).
 //!
 //! Any invocation also accepts a global `--metrics <out.json>` flag: the
 //! command runs with instrumented engines and the metric registry is
@@ -19,10 +24,10 @@
 //! without a snapshot on disk.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
-use alicoco::{AliCoCo, Stats};
+use alicoco::{store, AliCoCo, Stats};
 use alicoco_apps::{
     CognitiveRecommender, RecommendConfig, RelevanceScorer, ScenarioQa, SearchConfig,
     SemanticSearch,
@@ -48,11 +53,12 @@ fn main() -> ExitCode {
         Some("qa") => cmd_qa(&args[1..], &metrics),
         Some("recommend") => cmd_recommend(&args[1..], &metrics),
         Some("concept") => cmd_concept(&args[1..], &metrics),
+        Some("snapshot") => cmd_snapshot(&args[1..], &metrics),
         None if metrics_path.is_some() => cmd_demo(&metrics),
         _ => {
             eprintln!(
                 "usage: alicoco [--metrics <out.json>] \
-                 <build|stats|search|qa|recommend|concept> <snapshot.tsv> [args]"
+                 <build|stats|search|qa|recommend|concept|snapshot> <snapshot> [args]"
             );
             return ExitCode::from(2);
         }
@@ -95,12 +101,22 @@ fn write_metrics(path: &str, metrics: &Registry) -> CliResult {
     Ok(())
 }
 
+/// Load a net from either codec, sniffed by magic. The TSV path keeps the
+/// legacy `snapshot.load_*` metric names; binary snapshots record the
+/// per-backend `snapshot.binary.*` family.
 fn load_net(path: &str, metrics: &Registry) -> Result<AliCoCo, Box<dyn std::error::Error>> {
-    let file = File::open(path)?;
-    Ok(alicoco::snapshot::load_instrumented(
-        &mut BufReader::new(file),
-        metrics,
-    )?)
+    let bytes = std::fs::read(path)?;
+    match store::Format::detect(&bytes) {
+        store::Format::Tsv => Ok(alicoco::snapshot::load_instrumented(
+            &mut bytes.as_slice(),
+            metrics,
+        )?),
+        store::Format::Binary => Ok(store::load_instrumented(
+            &store::BinaryStore,
+            &bytes,
+            metrics,
+        )?),
+    }
 }
 
 fn require<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
@@ -112,6 +128,7 @@ fn require<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, Stri
 fn cmd_build(args: &[String], metrics: &Registry) -> CliResult {
     let path = require(args, 0, "snapshot path")?;
     let full = args.iter().any(|a| a == "--full");
+    let binary = args.iter().any(|a| a == "--binary");
     let config = if full {
         WorldConfig::default()
     } else {
@@ -122,10 +139,56 @@ fn cmd_build(args: &[String], metrics: &Registry) -> CliResult {
     eprintln!("running construction pipeline...");
     let (kg, report) = build_alicoco_instrumented(&ds, &PipelineConfig::default(), metrics);
     eprintln!("{report:#?}");
-    let file = File::create(path)?;
-    alicoco::snapshot::save_instrumented(&kg, &mut BufWriter::new(file), metrics)?;
+    if binary {
+        let mut out = Vec::new();
+        store::save_instrumented(&store::BinaryStore, &kg, &mut out, metrics)?;
+        std::fs::write(path, &out)?;
+    } else {
+        let file = File::create(path)?;
+        alicoco::snapshot::save_instrumented(&kg, &mut BufWriter::new(file), metrics)?;
+    }
     eprintln!("saved {path}");
     Ok(())
+}
+
+/// `snapshot convert <in> <out>` / `snapshot inspect <file>`: storage-layer
+/// utilities over both codecs, format sniffed by magic.
+fn cmd_snapshot(args: &[String], metrics: &Registry) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("convert") => {
+            let input = require(args, 1, "input snapshot")?;
+            let output = require(args, 2, "output snapshot")?;
+            let bytes = std::fs::read(input)?;
+            let from = store::detect(&bytes);
+            let kg = store::load_instrumented(from, &bytes, metrics)?;
+            let to = store::store_for(from.format().other());
+            let mut out = Vec::new();
+            store::save_instrumented(to, &kg, &mut out, metrics)?;
+            std::fs::write(output, &out)?;
+            eprintln!(
+                "converted {input} ({} bytes, {}) -> {output} ({} bytes, {})",
+                bytes.len(),
+                from.format(),
+                out.len(),
+                to.format()
+            );
+            Ok(())
+        }
+        Some("inspect") => {
+            let path = require(args, 1, "snapshot path")?;
+            let bytes = std::fs::read(path)?;
+            let backend = store::detect(&bytes);
+            let info = store::open_instrumented(backend, &bytes, metrics)?;
+            println!("format: {}", info.format);
+            println!("total:  {} bytes", info.total_bytes);
+            println!("{:<10} {:>12} {:>12}", "section", "bytes", "records");
+            for s in &info.sections {
+                println!("{:<10} {:>12} {:>12}", s.name, s.bytes, s.records);
+            }
+            Ok(())
+        }
+        _ => Err("usage: alicoco snapshot <convert <in> <out> | inspect <file>>".into()),
+    }
 }
 
 fn cmd_stats(args: &[String], metrics: &Registry) -> CliResult {
@@ -307,6 +370,7 @@ fn cmd_demo(metrics: &Registry) -> CliResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use alicoco::store::Store as _;
 
     fn strings(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
@@ -337,6 +401,87 @@ mod tests {
     fn metrics_flag_without_path_is_an_error() {
         let mut args = strings(&["search", "net.tsv", "--metrics"]);
         assert!(take_metrics_flag(&mut args).is_err());
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("alicoco-suite-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshot_convert_roundtrips_to_oracle_bytes() {
+        let dir = scratch_dir("convert");
+        let tsv = dir.join("net.tsv");
+        let bin = dir.join("net.bin");
+        let back = dir.join("back.tsv");
+        let kg = demo_net();
+        let mut oracle = Vec::new();
+        alicoco::snapshot::save(&kg, &mut oracle).unwrap();
+        std::fs::write(&tsv, &oracle).unwrap();
+
+        let reg = Registry::new();
+        let args = strings(&["convert", tsv.to_str().unwrap(), bin.to_str().unwrap()]);
+        cmd_snapshot(&args, &reg).unwrap();
+        let bin_bytes = std::fs::read(&bin).unwrap();
+        assert_eq!(store::Format::detect(&bin_bytes), store::Format::Binary);
+
+        let args = strings(&["convert", bin.to_str().unwrap(), back.to_str().unwrap()]);
+        cmd_snapshot(&args, &reg).unwrap();
+        assert_eq!(
+            std::fs::read(&back).unwrap(),
+            oracle,
+            "binary -> model -> TSV must reproduce the oracle bytes"
+        );
+        // Both backends recorded their own metric family.
+        assert_eq!(reg.histogram("snapshot.tsv.load_ns").count(), 1);
+        assert_eq!(reg.histogram("snapshot.binary.save_ns").count(), 1);
+        assert_eq!(reg.histogram("snapshot.binary.load_ns").count(), 1);
+        assert_eq!(reg.histogram("snapshot.tsv.save_ns").count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_inspect_reports_sections_for_both_codecs() {
+        let dir = scratch_dir("inspect");
+        let kg = demo_net();
+        let reg = Registry::new();
+        for backend in [&store::TsvStore as &dyn store::Store, &store::BinaryStore] {
+            let mut bytes = Vec::new();
+            backend.save(&kg, &mut bytes).unwrap();
+            let path = dir.join(format!("net.{}", backend.format()));
+            std::fs::write(&path, &bytes).unwrap();
+            let args = strings(&["inspect", path.to_str().unwrap()]);
+            cmd_snapshot(&args, &reg).unwrap();
+            let name = format!("snapshot.{}.open_ns", backend.format());
+            assert_eq!(reg.histogram(&name).count(), 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_subcommand_rejects_unknown_actions() {
+        let reg = Registry::new();
+        assert!(cmd_snapshot(&strings(&["frobnicate"]), &reg).is_err());
+        assert!(cmd_snapshot(&strings(&["convert", "only-one-path"]), &reg).is_err());
+    }
+
+    #[test]
+    fn load_net_auto_detects_binary_snapshots() {
+        let dir = scratch_dir("load");
+        let kg = demo_net();
+        let mut bytes = Vec::new();
+        store::BinaryStore.save(&kg, &mut bytes).unwrap();
+        let path = dir.join("net.bin");
+        std::fs::write(&path, &bytes).unwrap();
+        let reg = Registry::new();
+        let loaded = load_net(path.to_str().unwrap(), &reg).unwrap();
+        assert_eq!(loaded, kg);
+        assert_eq!(
+            reg.counter("snapshot.binary.loaded_bytes").get(),
+            bytes.len() as u64
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
