@@ -1,29 +1,53 @@
 //! Command-line entry point for `alicoco-lint`.
 //!
 //! ```text
-//! alicoco-lint [--root DIR] [--allowlist FILE] [--json FILE]
+//! alicoco-lint [--root DIR] [--allowlist FILE] [--json FILE] [--sarif FILE]
+//!              [--deny-stale] [--metrics] [--no-cache] [--cache-dir DIR]
 //! ```
 //!
-//! Exit codes: 0 = clean (possibly with vetted suppressions), 1 = active
-//! findings, 2 = usage or I/O error.
+//! Exit codes:
+//!
+//! - **0** — clean (possibly with vetted suppressions),
+//! - **1** — active findings, or stale allowlist entries under
+//!   `--deny-stale`,
+//! - **2** — internal error: usage, I/O, or a corrupt cache entry.
+//!
+//! The incremental cache (default `<root>/target/alicoco-lint-cache`)
+//! makes warm runs re-analyze only changed files; `--no-cache` forces a
+//! full cold analysis and `--cache-dir` relocates the artifacts (CI points
+//! it at its cross-run cache). `--metrics` times the run into
+//! `analysis.lint_ns` via `crates/obs` and prints the registry export.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use analysis::allowlist::Allowlist;
-use analysis::{lint_workspace, report};
+use analysis::{report, sarif, LintOptions};
 
 struct Args {
     root: PathBuf,
     allowlist: Option<PathBuf>,
     json: Option<PathBuf>,
+    sarif: Option<PathBuf>,
+    deny_stale: bool,
+    metrics: bool,
+    no_cache: bool,
+    cache_dir: Option<PathBuf>,
 }
+
+const USAGE: &str = "usage: alicoco-lint [--root DIR] [--allowlist FILE] [--json FILE] \
+[--sarif FILE] [--deny-stale] [--metrics] [--no-cache] [--cache-dir DIR]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         allowlist: None,
         json: None,
+        sarif: None,
+        deny_stale: false,
+        metrics: false,
+        no_cache: false,
+        cache_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -37,11 +61,18 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 args.json = Some(PathBuf::from(it.next().ok_or("--json needs a file")?));
             }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: alicoco-lint [--root DIR] [--allowlist FILE] [--json FILE]".to_string(),
-                );
+            "--sarif" => {
+                args.sarif = Some(PathBuf::from(it.next().ok_or("--sarif needs a file")?));
             }
+            "--deny-stale" => args.deny_stale = true,
+            "--metrics" => args.metrics = true,
+            "--no-cache" => args.no_cache = true,
+            "--cache-dir" => {
+                args.cache_dir = Some(PathBuf::from(
+                    it.next().ok_or("--cache-dir needs a directory")?,
+                ));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
@@ -56,13 +87,37 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let findings = match lint_workspace(&args.root) {
-        Ok(f) => f,
+    let registry = obs::Registry::new();
+    let span = args.metrics.then(|| registry.span("analysis.lint_ns"));
+    let opts = LintOptions {
+        cache_dir: if args.no_cache {
+            None
+        } else {
+            Some(
+                args.cache_dir
+                    .clone()
+                    .unwrap_or_else(|| args.root.join("target/alicoco-lint-cache")),
+            )
+        },
+    };
+    let run = match analysis::lint_workspace_with(&args.root, &opts) {
+        Ok(r) => r,
         Err(e) => {
-            eprintln!("alicoco-lint: cannot walk `{}`: {e}", args.root.display());
+            eprintln!(
+                "alicoco-lint: analysis failed under `{}`: {e}",
+                args.root.display()
+            );
             return ExitCode::from(2);
         }
     };
+    if args.metrics {
+        registry
+            .counter("analysis.files_seen")
+            .add(run.files_seen as u64);
+        registry
+            .counter("analysis.cache_hits")
+            .add(run.cache_hits as u64);
+    }
     let allow_path = args
         .allowlist
         .clone()
@@ -85,7 +140,7 @@ fn main() -> ExitCode {
     } else {
         Allowlist::empty()
     };
-    let (active, suppressed, stale) = allow.apply(findings);
+    let (active, suppressed, stale) = allow.apply(run.findings);
     for f in &active {
         println!("{}:{}:{}: {}: {}", f.path, f.line, f.col, f.rule, f.message);
         println!("    {}", f.snippet);
@@ -96,8 +151,11 @@ fn main() -> ExitCode {
     }
     for e in &stale {
         eprintln!(
-            "alicoco-lint: warning: stale allowlist entry {} {} ({}) matches nothing — remove it",
-            e.rule, e.fingerprint, e.note
+            "alicoco-lint: {}: stale allowlist entry {} {} ({}) matches nothing — remove it",
+            if args.deny_stale { "error" } else { "warning" },
+            e.rule,
+            e.fingerprint,
+            e.note
         );
     }
     if let Some(json_path) = &args.json {
@@ -107,16 +165,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(sarif_path) = &args.sarif {
+        let doc = sarif::to_sarif(&active, &suppressed, &allow);
+        if let Err(e) = std::fs::write(sarif_path, doc) {
+            eprintln!("alicoco-lint: cannot write `{}`: {e}", sarif_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(span) = span {
+        span.stop();
+    }
     println!(
-        "alicoco-lint: {} finding(s), {} suppressed, {} stale allowlist entr{}",
+        "alicoco-lint: {} finding(s), {} suppressed, {} stale allowlist entr{}, {}/{} file(s) from cache",
         active.len(),
         suppressed.len(),
         stale.len(),
-        if stale.len() == 1 { "y" } else { "ies" }
+        if stale.len() == 1 { "y" } else { "ies" },
+        run.cache_hits,
+        run.files_seen,
     );
-    if active.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
+    if args.metrics {
+        println!("{}", registry.export_json());
     }
+    if !active.is_empty() || (args.deny_stale && !stale.is_empty()) {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
 }

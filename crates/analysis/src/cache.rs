@@ -1,0 +1,566 @@
+//! Incremental analysis cache: per-file [`FileAnalysis`] artifacts keyed
+//! by content hash.
+//!
+//! A cache entry stores everything the per-file phase produces — local
+//! findings *and* the symbol summary — so a warm run never re-lexes an
+//! unchanged file, and the workspace phase ([`crate::callgraph`]) sees
+//! bit-identical inputs whether an entry was computed or loaded. The key
+//! hashes the workspace-relative path and the file bytes, so any edit (or
+//! rename) misses naturally; nothing ever needs invalidation by hand.
+//!
+//! Entries are plain text: a version header line, then tab-separated,
+//! escape-encoded records. Two failure modes are deliberately distinct:
+//!
+//! - **Version mismatch** (rules or format changed): silent miss, the file
+//!   is re-analyzed and the entry overwritten.
+//! - **Corrupt body under a valid header** (torn write survived the atomic
+//!   rename, bit rot, manual tampering): an [`io::ErrorKind::InvalidData`]
+//!   error, which the CLI maps to exit code 2 — a cache that lies must
+//!   never silently shape findings.
+//!
+//! Writes go through a temp file + rename so concurrent lint runs and
+//! killed processes leave either the old entry or the new one, not a torn
+//! hybrid.
+//!
+//! Bump [`FORMAT_VERSION`] whenever rule logic, the summary shape, or the
+//! record encoding changes — the version participates in the header check,
+//! turning every stale entry into a miss.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::symbols::{
+    CallKind, CallSite, FileSummary, FnInfo, LockAcq, RecvHint, Site, StructInfo,
+};
+use crate::{FileAnalysis, Finding};
+
+/// Cache format + rule-generation version. Part of the entry header; any
+/// mismatch is a miss.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Header line prefix; the version follows.
+const HEADER_PREFIX: &str = "alicoco-lint-cache v";
+
+/// Rule ids whose findings may appear in cached artifacts. `Finding.rule`
+/// is `&'static str`, so deserialization re-interns against this table.
+const KNOWN_RULES: &[&str] = &[
+    "AL001", "AL002", "AL003", "AL004", "AL005", "AL006", "AL007", "AL008", "AL009",
+];
+
+/// A directory of cache entries.
+pub struct Store {
+    dir: PathBuf,
+}
+
+/// Content key for one file: FNV-1a over the workspace-relative path and
+/// the source bytes. Doubles as the entry's file name.
+pub fn content_key(rel_path: &str, src: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in [rel_path.as_bytes(), b"|", src.as_bytes()] {
+        for &b in chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+impl Store {
+    /// Open (creating if needed) a cache directory.
+    pub fn open(dir: &Path) -> io::Result<Store> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Store {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.lint"))
+    }
+
+    /// Load the entry for `key`. `Ok(None)` on miss or version mismatch;
+    /// `Err(InvalidData)` when the body is corrupt under a valid header.
+    pub fn load(&self, key: &str) -> io::Result<Option<FileAnalysis>> {
+        let path = self.entry_path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h == format!("{HEADER_PREFIX}{FORMAT_VERSION}") => {}
+            // Older/newer generation or no header at all: plain miss.
+            _ => return Ok(None),
+        }
+        decode_body(lines).map(Some).map_err(|msg| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt lint cache entry {}: {msg}", path.display()),
+            )
+        })
+    }
+
+    /// Persist an entry atomically (temp file + rename).
+    pub fn save(&self, key: &str, analysis: &FileAnalysis) -> io::Result<()> {
+        let mut text = format!("{HEADER_PREFIX}{FORMAT_VERSION}\n");
+        encode_body(analysis, &mut text);
+        let tmp = self.dir.join(format!(".{key}.tmp"));
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, self.entry_path(key))
+    }
+}
+
+// ------------------------------------------------------------ records
+
+/// Escape one field: `\` `\t` `\n` `\r` become two-character sequences so
+/// fields can hold arbitrary snippets yet split on raw tabs/newlines.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            _ => return Err("bad escape".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+fn push_record(out: &mut String, fields: &[&str]) {
+    let escaped: Vec<String> = fields.iter().map(|f| esc(f)).collect();
+    out.push_str(&escaped.join("\t"));
+    out.push('\n');
+}
+
+fn split_record(line: &str) -> Result<Vec<String>, String> {
+    line.split('\t').map(unesc).collect()
+}
+
+fn site_fields(s: &Site) -> [String; 4] {
+    [
+        s.line.to_string(),
+        s.col.to_string(),
+        s.snippet.clone(),
+        s.what.clone(),
+    ]
+}
+
+fn encode_body(analysis: &FileAnalysis, out: &mut String) {
+    for f in &analysis.findings {
+        push_record(
+            out,
+            &[
+                "F",
+                f.rule,
+                &f.path,
+                &f.line.to_string(),
+                &f.col.to_string(),
+                &f.message,
+                &f.snippet,
+                &f.fingerprint,
+            ],
+        );
+    }
+    let s = &analysis.summary;
+    push_record(out, &["S", &s.path]);
+    if !s.types.is_empty() {
+        let mut fields: Vec<&str> = vec!["D"];
+        fields.extend(s.types.iter().map(String::as_str));
+        push_record(out, &fields);
+    }
+    for st in &s.structs {
+        let mut fields: Vec<String> = vec!["T".to_string(), st.name.clone()];
+        for (name, ty, is_lock) in &st.fields {
+            fields.push(name.clone());
+            fields.push(ty.clone());
+            fields.push(if *is_lock { "1" } else { "0" }.to_string());
+        }
+        let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        push_record(out, &refs);
+    }
+    for f in &s.functions {
+        push_record(
+            out,
+            &[
+                "N",
+                &f.name,
+                f.self_type.as_deref().unwrap_or(""),
+                if f.self_type.is_some() { "1" } else { "0" },
+                if f.has_self { "1" } else { "0" },
+                if f.is_pub { "1" } else { "0" },
+                if f.is_test { "1" } else { "0" },
+                &f.line.to_string(),
+                f.ret_type.as_deref().unwrap_or(""),
+                if f.ret_type.is_some() { "1" } else { "0" },
+            ],
+        );
+        for c in &f.calls {
+            let (kind_tag, kind_arg) = match &c.kind {
+                CallKind::Method => ("m", ""),
+                CallKind::Path(q) => ("p", q.as_str()),
+                CallKind::Free => ("f", ""),
+            };
+            let (recv_tag, recv_arg) = match &c.recv {
+                RecvHint::SelfType => ("s", ""),
+                RecvHint::SelfField(f) => ("d", f.as_str()),
+                RecvHint::Known(t) => ("k", t.as_str()),
+                RecvHint::Unknown => ("u", ""),
+            };
+            let mut fields: Vec<String> = vec![
+                "C".to_string(),
+                c.name.clone(),
+                kind_tag.to_string(),
+                kind_arg.to_string(),
+                recv_tag.to_string(),
+                recv_arg.to_string(),
+                c.line.to_string(),
+            ];
+            fields.extend(c.held.iter().cloned());
+            let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+            push_record(out, &refs);
+        }
+        for p in &f.panics {
+            let sf = site_fields(p);
+            push_record(out, &["X", &sf[0], &sf[1], &sf[2], &sf[3]]);
+        }
+        for l in &f.locks {
+            let sf = site_fields(&l.site);
+            let mut fields: Vec<String> = vec![
+                "K".to_string(),
+                l.chain.clone(),
+                sf[0].clone(),
+                sf[1].clone(),
+                sf[2].clone(),
+                sf[3].clone(),
+            ];
+            fields.extend(l.held.iter().cloned());
+            let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+            push_record(out, &refs);
+        }
+        for h in &f.hash_iters {
+            let sf = site_fields(h);
+            push_record(out, &["I", &sf[0], &sf[1], &sf[2], &sf[3]]);
+        }
+        for w in &f.clock_reads {
+            let sf = site_fields(w);
+            push_record(out, &["W", &sf[0], &sf[1], &sf[2], &sf[3]]);
+        }
+    }
+}
+
+fn parse_u32(s: &str) -> Result<u32, String> {
+    s.parse::<u32>().map_err(|_| format!("bad number `{s}`"))
+}
+
+fn parse_bool(s: &str) -> Result<bool, String> {
+    match s {
+        "1" => Ok(true),
+        "0" => Ok(false),
+        _ => Err(format!("bad flag `{s}`")),
+    }
+}
+
+fn parse_opt(value: &str, present: &str) -> Result<Option<String>, String> {
+    Ok(if parse_bool(present)? {
+        Some(value.to_string())
+    } else {
+        None
+    })
+}
+
+fn parse_site(f: &[String], what_idx: usize) -> Result<Site, String> {
+    if f.len() < what_idx + 1 {
+        return Err("truncated site record".to_string());
+    }
+    Ok(Site {
+        line: parse_u32(&f[what_idx - 3])?,
+        col: parse_u32(&f[what_idx - 2])?,
+        snippet: f[what_idx - 1].clone(),
+        what: f[what_idx].clone(),
+    })
+}
+
+fn decode_body<'a, I: Iterator<Item = &'a str>>(lines: I) -> Result<FileAnalysis, String> {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut summary = FileSummary::default();
+    let mut saw_path = false;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let f = split_record(line)?;
+        match f[0].as_str() {
+            "F" => {
+                if f.len() != 8 {
+                    return Err("bad finding record".to_string());
+                }
+                let rule = KNOWN_RULES
+                    .iter()
+                    .find(|r| **r == f[1])
+                    .copied()
+                    .ok_or_else(|| format!("unknown rule `{}`", f[1]))?;
+                findings.push(Finding {
+                    rule,
+                    path: f[2].clone(),
+                    line: parse_u32(&f[3])?,
+                    col: parse_u32(&f[4])?,
+                    message: f[5].clone(),
+                    snippet: f[6].clone(),
+                    fingerprint: f[7].clone(),
+                });
+            }
+            "S" => {
+                if f.len() != 2 {
+                    return Err("bad summary record".to_string());
+                }
+                summary.path = f[1].clone();
+                saw_path = true;
+            }
+            "D" => {
+                summary.types = f[1..].to_vec();
+            }
+            "T" => {
+                if f.len() < 2 || (f.len() - 2) % 3 != 0 {
+                    return Err("bad struct record".to_string());
+                }
+                let mut fields = Vec::new();
+                for tri in f[2..].chunks(3) {
+                    fields.push((tri[0].clone(), tri[1].clone(), parse_bool(&tri[2])?));
+                }
+                summary.structs.push(StructInfo {
+                    name: f[1].clone(),
+                    fields,
+                });
+            }
+            "N" => {
+                if f.len() != 10 {
+                    return Err("bad fn record".to_string());
+                }
+                summary.functions.push(FnInfo {
+                    name: f[1].clone(),
+                    self_type: parse_opt(&f[2], &f[3])?,
+                    has_self: parse_bool(&f[4])?,
+                    is_pub: parse_bool(&f[5])?,
+                    is_test: parse_bool(&f[6])?,
+                    line: parse_u32(&f[7])?,
+                    ret_type: parse_opt(&f[8], &f[9])?,
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                    locks: Vec::new(),
+                    hash_iters: Vec::new(),
+                    clock_reads: Vec::new(),
+                });
+            }
+            "C" => {
+                if f.len() < 7 {
+                    return Err("bad call record".to_string());
+                }
+                let kind = match f[2].as_str() {
+                    "m" => CallKind::Method,
+                    "p" => CallKind::Path(f[3].clone()),
+                    "f" => CallKind::Free,
+                    other => return Err(format!("bad call kind `{other}`")),
+                };
+                let recv = match f[4].as_str() {
+                    "s" => RecvHint::SelfType,
+                    "d" => RecvHint::SelfField(f[5].clone()),
+                    "k" => RecvHint::Known(f[5].clone()),
+                    "u" => RecvHint::Unknown,
+                    other => return Err(format!("bad recv hint `{other}`")),
+                };
+                let call = CallSite {
+                    name: f[1].clone(),
+                    kind,
+                    recv,
+                    line: parse_u32(&f[6])?,
+                    held: f[7..].to_vec(),
+                };
+                summary
+                    .functions
+                    .last_mut()
+                    .ok_or("call record before fn record")?
+                    .calls
+                    .push(call);
+            }
+            "X" => {
+                let site = parse_site(&f, 4)?;
+                summary
+                    .functions
+                    .last_mut()
+                    .ok_or("panic record before fn record")?
+                    .panics
+                    .push(site);
+            }
+            "K" => {
+                if f.len() < 6 {
+                    return Err("bad lock record".to_string());
+                }
+                let acq = LockAcq {
+                    chain: f[1].clone(),
+                    site: parse_site(&f, 5)?,
+                    held: f[6..].to_vec(),
+                };
+                summary
+                    .functions
+                    .last_mut()
+                    .ok_or("lock record before fn record")?
+                    .locks
+                    .push(acq);
+            }
+            "I" => {
+                let site = parse_site(&f, 4)?;
+                summary
+                    .functions
+                    .last_mut()
+                    .ok_or("iteration record before fn record")?
+                    .hash_iters
+                    .push(site);
+            }
+            "W" => {
+                let site = parse_site(&f, 4)?;
+                summary
+                    .functions
+                    .last_mut()
+                    .ok_or("clock record before fn record")?
+                    .clock_reads
+                    .push(site);
+            }
+            other => return Err(format!("unknown record tag `{other}`")),
+        }
+    }
+    if !saw_path {
+        return Err("missing summary record".to_string());
+    }
+    Ok(FileAnalysis { findings, summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+pub struct S { table: RwLock<HashMap<String, u32>> }
+
+impl S {
+    pub fn get_all(&self) -> Vec<u32> {
+        let g = self.table.read().unwrap();
+        let mut out: Vec<u32> = g.values().copied().collect();
+        helper(&out);
+        out
+    }
+}
+
+fn helper(v: &[u32]) -> u32 { v[0] }
+"#;
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let analysis = crate::analyze_source("crates/core/src/x.rs", SRC);
+        let dir = std::env::temp_dir().join("alicoco-lint-cache-test-rt");
+        let store = Store::open(&dir).unwrap();
+        let key = content_key("crates/core/src/x.rs", SRC);
+        store.save(&key, &analysis).unwrap();
+        let loaded = store.load(&key).unwrap().expect("entry present");
+        assert_eq!(loaded.summary, analysis.summary);
+        assert_eq!(loaded.findings.len(), analysis.findings.len());
+        for (a, b) in loaded.findings.iter().zip(&analysis.findings) {
+            assert_eq!(
+                (
+                    a.rule,
+                    &a.path,
+                    a.line,
+                    a.col,
+                    &a.message,
+                    &a.snippet,
+                    &a.fingerprint
+                ),
+                (
+                    b.rule,
+                    &b.path,
+                    b.line,
+                    b.col,
+                    &b.message,
+                    &b.snippet,
+                    &b.fingerprint
+                )
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss_but_corrupt_body_errors() {
+        let analysis = crate::analyze_source("crates/core/src/x.rs", SRC);
+        let dir = std::env::temp_dir().join("alicoco-lint-cache-test-ver");
+        let store = Store::open(&dir).unwrap();
+        let key = content_key("crates/core/src/x.rs", SRC);
+        store.save(&key, &analysis).unwrap();
+        let path = store.entry_path(&key);
+        // Stale generation → miss.
+        let body = std::fs::read_to_string(&path).unwrap();
+        let stale = body.replacen(
+            &format!("{HEADER_PREFIX}{FORMAT_VERSION}"),
+            &format!("{HEADER_PREFIX}{}", FORMAT_VERSION + 1),
+            1,
+        );
+        std::fs::write(&path, stale).unwrap();
+        assert!(store.load(&key).unwrap().is_none());
+        // Valid header, garbage body → InvalidData.
+        std::fs::write(
+            &path,
+            format!("{HEADER_PREFIX}{FORMAT_VERSION}\nZ\tgarbage\n"),
+        )
+        .unwrap();
+        let err = store.load(&key).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keys_differ_by_path_and_content() {
+        let a = content_key("crates/a.rs", "fn main() {}");
+        assert_eq!(a, content_key("crates/a.rs", "fn main() {}"));
+        assert_ne!(a, content_key("crates/b.rs", "fn main() {}"));
+        assert_ne!(a, content_key("crates/a.rs", "fn main() { }"));
+    }
+
+    #[test]
+    fn escaping_roundtrips_awkward_strings() {
+        for s in [
+            "",
+            "plain",
+            "tab\there",
+            "line\nbreak",
+            "back\\slash",
+            "\r\n\t\\",
+        ] {
+            assert_eq!(unesc(&esc(s)).unwrap(), s);
+        }
+        assert!(unesc("dangling\\").is_err());
+    }
+}

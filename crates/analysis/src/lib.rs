@@ -5,9 +5,14 @@
 //! deadlock-free parameter locking — are invariants the Rust compiler
 //! cannot check. This crate checks them. It is deliberately dependency-free
 //! (no `syn`, no crates.io): a hand-rolled lexer ([`lexer`]) feeds a
-//! lightweight structural pass ([`parse`]) feeds six rules ([`rules`]),
-//! and findings can be suppressed only through a fingerprinted, justified
-//! allowlist ([`allowlist`]).
+//! lightweight structural pass ([`parse`]) feeds six per-file rules
+//! ([`rules`]); per-file symbol summaries ([`symbols`]) then feed a
+//! workspace call graph ([`callgraph`]) running three inter-procedural
+//! rules (panic-reachability, lock-order cycles, nondeterminism escape).
+//! Findings can be suppressed only through a fingerprinted, justified
+//! allowlist ([`allowlist`]); per-file results are cached by content hash
+//! ([`cache`]) and reports export as JSON ([`report`]) or SARIF 2.1.0
+//! ([`sarif`]).
 //!
 //! Run it with:
 //!
@@ -18,10 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod cache;
+pub mod callgraph;
 pub mod lexer;
 pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 
 use std::collections::HashMap;
 use std::io;
@@ -31,7 +40,7 @@ use std::path::{Path, PathBuf};
 /// fingerprint.
 #[derive(Clone, Debug)]
 pub struct Finding {
-    /// Rule id, `AL001`..`AL006`.
+    /// Rule id, `AL001`..`AL009`.
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes.
     pub path: String,
@@ -67,8 +76,20 @@ pub fn fingerprint(rule: &str, path: &str, snippet: &str, ordinal: u32) -> Strin
     format!("{h:016x}")
 }
 
-/// Lint one file's source, returning findings sorted by position.
-pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+/// The complete per-file analysis artifact: local-rule findings plus the
+/// symbol summary the workspace phase consumes. This pair is exactly what
+/// the incremental cache ([`cache`]) stores, so a warm run never re-lexes
+/// an unchanged file and the call-graph phase sees bit-identical inputs.
+#[derive(Clone, Debug)]
+pub struct FileAnalysis {
+    /// Findings from the per-file rules (AL001..AL006).
+    pub findings: Vec<Finding>,
+    /// Symbol summary feeding the workspace rules (AL007..AL009).
+    pub summary: symbols::FileSummary,
+}
+
+/// Run the per-file rules *and* symbol extraction over one source file.
+pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
     let toks = lexer::lex(src);
     let ctx = parse::FileCtx::new(path, &toks);
     let mut raw = rules::run_all(&ctx);
@@ -79,7 +100,8 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     });
     let lines: Vec<&str> = src.lines().collect();
     let mut ordinals: HashMap<(&'static str, String), u32> = HashMap::new();
-    raw.into_iter()
+    let findings = raw
+        .into_iter()
         .map(|r| {
             let snippet = lines
                 .get(r.line as usize - 1)
@@ -99,29 +121,161 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
                 snippet,
             }
         })
-        .collect()
+        .collect();
+    FileAnalysis {
+        findings,
+        summary: symbols::summarize(&ctx, src),
+    }
 }
 
-/// Lint every `.rs` file under `<root>/crates`, in deterministic path
-/// order. `target/` directories are skipped. Returns findings sorted by
-/// (path, line, col).
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+/// Lint one file's source with the per-file rules only, returning findings
+/// sorted by position.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    analyze_source(path, src).findings
+}
+
+/// Lint a set of in-memory sources as one miniature workspace: per-file
+/// rules plus the call-graph rules (AL007..AL009). The fixture entry point
+/// for workspace-rule tests; paths should look like real workspace paths
+/// (`crates/<name>/src/...`) so scope filters apply.
+pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Finding> {
+    let mut sorted: Vec<(&str, &str)> = files.to_vec();
+    sorted.sort();
+    let mut out = Vec::new();
+    let mut summaries = Vec::new();
+    for (path, src) in &sorted {
+        let a = analyze_source(path, src);
+        out.extend(a.findings);
+        summaries.push(a.summary);
+    }
+    out.extend(callgraph::run(&summaries));
+    sort_findings(&mut out);
+    out
+}
+
+/// Global finding order: (path, line, col, rule, message).
+pub(crate) fn sort_findings(out: &mut [Finding]) {
+    out.sort_by(|a, b| {
+        (&a.path, a.line, a.col, a.rule, &a.message)
+            .cmp(&(&b.path, b.line, b.col, b.rule, &b.message))
+    });
+}
+
+/// Options controlling a workspace lint run.
+#[derive(Clone, Debug, Default)]
+pub struct LintOptions {
+    /// Incremental cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Outcome of a workspace lint run: findings plus cache statistics.
+#[derive(Clone, Debug)]
+pub struct LintRun {
+    /// All findings (per-file and workspace rules), globally sorted.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files analyzed or loaded from cache.
+    pub files_seen: usize,
+    /// How many of those were served from the incremental cache.
+    pub cache_hits: usize,
+}
+
+/// Lint every `.rs` file under `<root>/crates` (skipping `target/`), then
+/// run the workspace call-graph rules over the per-file summaries.
+/// Per-file analysis fans out across threads; results are re-sorted into
+/// deterministic (path, line, col, rule, message) order before returning.
+pub fn lint_workspace_with(root: &Path, opts: &LintOptions) -> io::Result<LintRun> {
     let mut files = Vec::new();
     collect_rs_files(&root.join("crates"), &mut files)?;
     files.sort();
-    let mut out = Vec::new();
-    for file in files {
-        let rel = file
-            .strip_prefix(root)
-            .unwrap_or(&file)
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
-        let src = std::fs::read_to_string(&file)?;
-        out.extend(lint_source(&rel, &src));
+    let rels: Vec<String> = files
+        .iter()
+        .map(|file| {
+            file.strip_prefix(root)
+                .unwrap_or(file)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect();
+    let store = match &opts.cache_dir {
+        Some(dir) => Some(cache::Store::open(dir)?),
+        None => None,
+    };
+    let analyses = analyze_files_parallel(&files, &rels, store.as_ref())?;
+    let cache_hits = analyses.iter().filter(|(_, hit)| *hit).count();
+    let mut findings = Vec::new();
+    let mut summaries = Vec::new();
+    for (a, _) in analyses {
+        findings.extend(a.findings);
+        summaries.push(a.summary);
     }
-    Ok(out)
+    findings.extend(callgraph::run(&summaries));
+    sort_findings(&mut findings);
+    Ok(LintRun {
+        findings,
+        files_seen: files.len(),
+        cache_hits,
+    })
+}
+
+/// Back-compat single-call entry point: cacheless workspace lint.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(lint_workspace_with(root, &LintOptions::default())?.findings)
+}
+
+/// Fan per-file analysis out over `std::thread::scope`. Each worker owns a
+/// disjoint index range, so results land in walk order and the final sort
+/// sees identical input regardless of thread count. Returns per file the
+/// analysis and whether it came from the cache.
+fn analyze_files_parallel(
+    files: &[PathBuf],
+    rels: &[String],
+    store: Option<&cache::Store>,
+) -> io::Result<Vec<(FileAnalysis, bool)>> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(files.len().max(1))
+        .min(8);
+    let chunk = files.len().div_ceil(workers.max(1)).max(1);
+    let mut slots: Vec<io::Result<(FileAnalysis, bool)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (wi, file_chunk) in files.chunks(chunk).enumerate() {
+            let rel_chunk = &rels[wi * chunk..wi * chunk + file_chunk.len()];
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::with_capacity(file_chunk.len());
+                for (file, rel) in file_chunk.iter().zip(rel_chunk) {
+                    out.push(analyze_one(file, rel, store));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            slots.extend(h.join().expect("lint worker panicked"));
+        }
+    });
+    slots.into_iter().collect()
+}
+
+/// Analyze one file, consulting the cache when available.
+fn analyze_one(
+    file: &Path,
+    rel: &str,
+    store: Option<&cache::Store>,
+) -> io::Result<(FileAnalysis, bool)> {
+    let src = std::fs::read_to_string(file)?;
+    if let Some(store) = store {
+        let key = cache::content_key(rel, &src);
+        if let Some(hit) = store.load(&key)? {
+            return Ok((hit, true));
+        }
+        let analysis = analyze_source(rel, &src);
+        store.save(&key, &analysis)?;
+        return Ok((analysis, false));
+    }
+    Ok((analyze_source(rel, &src), false))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

@@ -70,7 +70,7 @@ fn path_in(ctx: &FileCtx, fragments: &[&str]) -> bool {
 }
 
 /// Is the sig token at `si` a method-call name: `.name(`?
-fn is_method_call(ctx: &FileCtx, si: usize, name: &str) -> bool {
+pub(crate) fn is_method_call(ctx: &FileCtx, si: usize, name: &str) -> bool {
     ctx.tok(si).is_ident(name)
         && si > 0
         && ctx.tok(si - 1).is_punct('.')
@@ -79,7 +79,7 @@ fn is_method_call(ctx: &FileCtx, si: usize, name: &str) -> bool {
 }
 
 /// Is the sig token at `si` a macro invocation name: `name!`?
-fn is_macro_call(ctx: &FileCtx, si: usize, name: &str) -> bool {
+pub(crate) fn is_macro_call(ctx: &FileCtx, si: usize, name: &str) -> bool {
     ctx.tok(si).is_ident(name)
         && si + 1 < ctx.sig.len()
         && ctx.tok(si + 1).is_punct('!')
@@ -123,6 +123,13 @@ fn al001_no_panics(ctx: &FileCtx, out: &mut Vec<RawFinding>) {
             out.push(finding);
         }
     }
+}
+
+/// Whether the sig token at `si` opens a bare (panic-able) index
+/// expression — the same test AL001 applies, exposed for the workspace
+/// summaries ([`crate::symbols`]).
+pub(crate) fn bare_index_site(ctx: &FileCtx, si: usize) -> bool {
+    bare_index_at(ctx, si).is_some()
 }
 
 /// Flag `expr[index]` when `index` is not the typed-id convention
@@ -493,8 +500,25 @@ fn al005_canonical_iteration(ctx: &FileCtx, out: &mut Vec<RawFinding>) {
     if !AL005_SCOPE.iter().any(|s| ctx.path.ends_with(s)) {
         return;
     }
+    for si in hash_iteration_sites(ctx, 0, ctx.sig.len()) {
+        out.push(RawFinding::at(
+            "AL005",
+            ctx,
+            si,
+            "iteration over a hash collection in serialization code without a canonical sort; collect and sort (or use a BTree map) so artifacts are byte-identical across runs"
+                .into(),
+        ));
+    }
+}
+
+/// Sig indices in `[lo, hi)` where a hash collection is iterated without a
+/// canonicalizing sort nearby — AL005's detector, exposed over a range so
+/// the workspace summaries ([`crate::symbols`]) can apply it per function
+/// in any file (AL009 generalizes the rule through the call graph).
+pub(crate) fn hash_iteration_sites(ctx: &FileCtx, lo: usize, hi: usize) -> Vec<usize> {
     let bindings = hash_bindings(ctx);
-    for si in 0..ctx.sig.len() {
+    let mut out = Vec::new();
+    for si in lo..hi.min(ctx.sig.len()) {
         if ctx.is_test(si) {
             continue;
         }
@@ -528,15 +552,10 @@ fn al005_canonical_iteration(ctx: &FileCtx, out: &mut Vec<RawFinding>) {
             }
         }
         if candidate && !sorted_nearby(ctx, si) {
-            out.push(RawFinding::at(
-                "AL005",
-                ctx,
-                si,
-                "iteration over a hash collection in serialization code without a canonical sort; collect and sort (or use a BTree map) so artifacts are byte-identical across runs"
-                    .into(),
-            ));
+            out.push(si);
         }
     }
+    out
 }
 
 /// Names of `let` bindings / parameters / fields with a hash-collection

@@ -1,0 +1,178 @@
+//! SARIF 2.1.0 emitter (hand-rolled JSON; the workspace has no serde).
+//!
+//! CI annotation services ingest SARIF natively, so next to the bespoke
+//! JSON report ([`crate::report`]) the CLI can emit a standards-shaped
+//! document. Mapping:
+//!
+//! - each [`Finding`] → one `result`; active findings at `"error"` level,
+//!   allowlisted ones at `"note"` with a `suppressions` entry carrying the
+//!   allowlist justification (`kind: "external"`, `status: "accepted"`);
+//! - the finding fingerprint → `partialFingerprints` under the
+//!   `alicocoLint/v1` key, so annotation dedup tracks the same identity the
+//!   allowlist does (line-shift tolerant, expires when the line changes);
+//! - rule ids AL001..AL009 → `tool.driver.rules` with short descriptions.
+//!
+//! Output is deterministic: findings arrive pre-sorted and the emitter
+//! adds no timestamps or absolute paths (URIs are workspace-relative).
+
+use crate::allowlist::Allowlist;
+use crate::report::json_escape;
+use crate::Finding;
+
+/// Rule metadata for `tool.driver.rules`.
+const RULES: &[(&str, &str)] = &[
+    (
+        "AL001",
+        "No panic-prone patterns (unwrap/expect/indexing) in serving code",
+    ),
+    (
+        "AL002",
+        "Float comparisons must go through the total-order helpers",
+    ),
+    (
+        "AL003",
+        "No lock-guard use across await-free long spans / guard hygiene",
+    ),
+    (
+        "AL004",
+        "No nested acquisition of the same lock in one scope",
+    ),
+    (
+        "AL005",
+        "Hash-collection iteration feeding serialization must be canonicalized",
+    ),
+    ("AL006", "Public APIs document their panics and invariants"),
+    (
+        "AL007",
+        "Public serving APIs must not transitively reach a panic site",
+    ),
+    (
+        "AL008",
+        "Lock acquisition order must be globally consistent (no cycles)",
+    ),
+    (
+        "AL009",
+        "Nondeterminism (hash order, clock reads) must not escape into outputs",
+    ),
+];
+
+fn result_json(f: &Finding, suppression_note: Option<&str>, indent: &str) -> String {
+    let level = if suppression_note.is_some() {
+        "note"
+    } else {
+        "error"
+    };
+    let mut out = String::new();
+    out.push_str(&format!("{indent}{{\n"));
+    out.push_str(&format!("{indent}  \"ruleId\": \"{}\",\n", f.rule));
+    out.push_str(&format!("{indent}  \"level\": \"{level}\",\n"));
+    out.push_str(&format!(
+        "{indent}  \"message\": {{\"text\": \"{}\"}},\n",
+        json_escape(&f.message)
+    ));
+    out.push_str(&format!(
+        "{indent}  \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}, \"snippet\": {{\"text\": \"{}\"}}}}}}}}],\n",
+        json_escape(&f.path),
+        f.line,
+        f.col,
+        json_escape(&f.snippet)
+    ));
+    out.push_str(&format!(
+        "{indent}  \"partialFingerprints\": {{\"alicocoLint/v1\": \"{}\"}}",
+        f.fingerprint
+    ));
+    if let Some(note) = suppression_note {
+        out.push_str(&format!(
+            ",\n{indent}  \"suppressions\": [{{\"kind\": \"external\", \"status\": \"accepted\", \"justification\": \"{}\"}}]",
+            json_escape(note)
+        ));
+    }
+    out.push_str(&format!("\n{indent}}}"));
+    out
+}
+
+/// Render the SARIF document. `allow` supplies justifications for
+/// suppressed findings (matched by rule + fingerprint).
+pub fn to_sarif(active: &[Finding], suppressed: &[Finding], allow: &Allowlist) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"alicoco-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/alicoco-lint\",\n");
+    out.push_str("          \"rules\": [\n");
+    let rules: Vec<String> = RULES
+        .iter()
+        .map(|(id, desc)| {
+            format!(
+                "            {{\"id\": \"{id}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+                json_escape(desc)
+            )
+        })
+        .collect();
+    out.push_str(&rules.join(",\n"));
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let mut rows: Vec<String> = Vec::new();
+    for f in active {
+        rows.push(result_json(f, None, "        "));
+    }
+    for f in suppressed {
+        let note = allow
+            .entries
+            .iter()
+            .find(|e| e.rule == f.rule && e.fingerprint == f.fingerprint)
+            .map(|e| e.note.as_str())
+            .unwrap_or("vetted");
+        rows.push(result_json(f, Some(note), "        "));
+    }
+    out.push_str(&rows.join(",\n"));
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str) -> Finding {
+        Finding {
+            rule,
+            path: "crates/core/src/x.rs".into(),
+            line: 4,
+            col: 9,
+            message: "a \"quoted\" message".into(),
+            snippet: "let x = v[i];".into(),
+            fingerprint: "0123456789abcdef".into(),
+        }
+    }
+
+    #[test]
+    fn emits_required_sarif_fields() {
+        let doc = to_sarif(&[finding("AL007")], &[], &Allowlist::empty());
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("\"ruleId\": \"AL007\""));
+        assert!(doc.contains("\"level\": \"error\""));
+        assert!(doc.contains("\"startLine\": 4"));
+        assert!(doc.contains("\"alicocoLint/v1\": \"0123456789abcdef\""));
+        assert!(doc.contains("a \\\"quoted\\\" message"));
+        // All nine rules declared.
+        for (id, _) in RULES {
+            assert!(doc.contains(&format!("\"id\": \"{id}\"")), "{id} missing");
+        }
+    }
+
+    #[test]
+    fn suppressed_findings_carry_justifications() {
+        let allow = Allowlist::parse("AL001 0123456789abcdef vetted: bounded by arena\n").unwrap();
+        let doc = to_sarif(&[], &[finding("AL001")], &allow);
+        assert!(doc.contains("\"level\": \"note\""));
+        assert!(doc.contains("\"status\": \"accepted\""));
+        assert!(doc.contains("vetted: bounded by arena"));
+    }
+}

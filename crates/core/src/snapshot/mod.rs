@@ -20,9 +20,8 @@ pub mod records;
 pub mod tsv;
 
 use std::io::{self, BufRead, Write};
-use std::time::Instant;
 
-use alicoco_obs::Registry;
+use alicoco_obs::{Registry, Stopwatch};
 
 use crate::graph::AliCoCo;
 
@@ -142,13 +141,13 @@ pub fn save_instrumented<W: Write>(
     w: &mut W,
     metrics: &Registry,
 ) -> Result<(), SaveError> {
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let mut counted = LineCountWriter { inner: w, lines: 0 };
     save(kg, &mut counted)?;
     let records = counted.lines;
     metrics
         .histogram("snapshot.save_ns")
-        .record_duration(start.elapsed());
+        .record_duration(watch.elapsed());
     metrics.counter("snapshot.save_records").add(records);
     Ok(())
 }
@@ -164,11 +163,11 @@ pub fn load<R: BufRead>(r: &mut R) -> Result<AliCoCo, LoadError> {
 /// histogram and the record count onto the `snapshot.load_records`
 /// counter.
 pub fn load_instrumented<R: BufRead>(r: &mut R, metrics: &Registry) -> Result<AliCoCo, LoadError> {
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let (kg, records) = tsv::load_counted(r)?;
     metrics
         .histogram("snapshot.load_ns")
-        .record_duration(start.elapsed());
+        .record_duration(watch.elapsed());
     metrics.counter("snapshot.load_records").add(records);
     Ok(kg)
 }

@@ -10,9 +10,7 @@
 //! `snapshot.{tsv,binary}.*` timings and byte counts into a metrics
 //! [`Registry`].
 
-use std::time::Instant;
-
-use alicoco_obs::Registry;
+use alicoco_obs::{Registry, Stopwatch};
 
 use crate::graph::AliCoCo;
 use crate::snapshot::{self, binary, tsv, LoadError, SaveError};
@@ -221,13 +219,13 @@ pub fn save_instrumented(
     out: &mut Vec<u8>,
     metrics: &Registry,
 ) -> Result<(), SaveError> {
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let before = out.len();
     store.save(kg, out)?;
     let fmt = store.format().name();
     metrics
         .histogram(&format!("snapshot.{fmt}.save_ns"))
-        .record_duration(start.elapsed());
+        .record_duration(watch.elapsed());
     metrics
         .counter(&format!("snapshot.{fmt}.saved_bytes"))
         .add((out.len() - before) as u64);
@@ -241,12 +239,12 @@ pub fn load_instrumented(
     bytes: &[u8],
     metrics: &Registry,
 ) -> Result<AliCoCo, LoadError> {
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let kg = store.load(bytes)?;
     let fmt = store.format().name();
     metrics
         .histogram(&format!("snapshot.{fmt}.load_ns"))
-        .record_duration(start.elapsed());
+        .record_duration(watch.elapsed());
     metrics
         .counter(&format!("snapshot.{fmt}.loaded_bytes"))
         .add(bytes.len() as u64);
@@ -259,11 +257,11 @@ pub fn open_instrumented(
     bytes: &[u8],
     metrics: &Registry,
 ) -> Result<SnapshotInfo, LoadError> {
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let info = store.open(bytes)?;
     metrics
         .histogram(&format!("snapshot.{}.open_ns", store.format().name()))
-        .record_duration(start.elapsed());
+        .record_duration(watch.elapsed());
     Ok(info)
 }
 

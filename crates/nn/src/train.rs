@@ -37,12 +37,11 @@
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use alicoco_obs::Registry;
+use alicoco_obs::{Registry, Stopwatch};
 
 use crate::graph::{Graph, NodeId};
 use crate::param::{GradShadow, Optimizer, ParamSet};
@@ -69,10 +68,6 @@ pub fn planned_threads(workers: usize) -> usize {
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-fn ns_between(a: Instant, b: Instant) -> u64 {
-    b.duration_since(a).as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// Shared hyper-parameters of the training loop. Each model config embeds
@@ -629,7 +624,7 @@ impl<'a> Trainer<'a> {
         let mut stale = 0usize;
 
         for epoch in 0..self.cfg.epochs {
-            let epoch_start = Instant::now();
+            let epoch_watch = Stopwatch::start();
             order.shuffle(rng);
             // f64 accumulation: per-example f32 losses summed over a large
             // corpus would otherwise lose low-order bits batch by batch.
@@ -638,10 +633,9 @@ impl<'a> Trainer<'a> {
             let (mut forward_ns, mut merge_ns, mut step_ns) = (0u64, 0u64, 0u64);
             for batch in order.chunks(batch_size) {
                 let plan = LanePlan::of(batch.len());
-                let t0 = Instant::now();
+                let mut phase_watch = Stopwatch::start();
                 self.run_lanes(data, batch, forward, lanes, plan, pool);
-                let t1 = Instant::now();
-                forward_ns += ns_between(t0, t1);
+                forward_ns += phase_watch.lap_ns();
 
                 // Deterministic merge: lane order (= example order, lanes
                 // are contiguous), then ParamSet registration order within
@@ -662,8 +656,7 @@ impl<'a> Trainer<'a> {
                         lock(lane).shadow.merge_into(self.params);
                     }
                 }
-                let t2 = Instant::now();
-                merge_ns += ns_between(t1, t2);
+                merge_ns += phase_watch.lap_ns();
                 if !any {
                     continue;
                 }
@@ -671,7 +664,7 @@ impl<'a> Trainer<'a> {
                     self.params.clip_grad_norm(c);
                 }
                 opt.step(self.params);
-                step_ns += ns_between(t2, Instant::now());
+                step_ns += phase_watch.lap_ns();
             }
 
             let mut epoch_stats = EpochStats {
@@ -679,7 +672,7 @@ impl<'a> Trainer<'a> {
                 examples: trained,
                 mean_loss: (total / data.len().max(1) as f64) as f32,
                 metric: None,
-                elapsed_ns: epoch_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                elapsed_ns: epoch_watch.elapsed_ns(),
                 forward_ns,
                 merge_ns,
                 step_ns,

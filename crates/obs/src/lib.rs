@@ -32,7 +32,10 @@
 //! - [`Registry`] — `Arc`-shared, thread-safe name → metric table with
 //!   deterministic sorted JSON export,
 //! - [`SpanTimer`] / [`StageClock`] — RAII wall-clock guards that record
-//!   elapsed nanoseconds into a histogram.
+//!   elapsed nanoseconds into a histogram,
+//! - [`Stopwatch`] — raw elapsed-ns reader for call sites that aggregate
+//!   timings themselves; the only sanctioned clock access outside this
+//!   crate (enforced by the AL009 lint).
 
 mod histogram;
 mod metric;
@@ -42,4 +45,4 @@ mod span;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metric::{Counter, Gauge};
 pub use registry::Registry;
-pub use span::{SpanTimer, StageClock};
+pub use span::{SpanTimer, StageClock, Stopwatch};

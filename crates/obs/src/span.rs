@@ -1,9 +1,52 @@
 //! RAII wall-clock guards: whole-operation spans and multi-stage laps.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::histogram::Histogram;
+
+/// A raw elapsed-time reader for call sites that aggregate timings
+/// themselves (summing per-batch phases, stamping a struct field) rather
+/// than recording into a histogram. This is the workspace's only
+/// sanctioned way to touch the wall clock outside `crates/obs` — the
+/// AL009 lint flags direct `Instant::now()` reads elsewhere, so timing
+/// stays out of deterministic paths and has one owner.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    last: Instant,
+}
+
+impl Stopwatch {
+    /// Start (or restart) the watch now.
+    pub fn start() -> Self {
+        Stopwatch {
+            last: Instant::now(),
+        }
+    }
+
+    /// Time since start (or the last [`lap_ns`](Stopwatch::lap_ns)).
+    pub fn elapsed(&self) -> Duration {
+        self.last.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX`.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.last.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Nanoseconds since the previous lap (or start), restarting the lap —
+    /// one clock read covers both the end of one phase and the start of
+    /// the next.
+    pub fn lap_ns(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = now
+            .duration_since(self.last)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        self.last = now;
+        ns
+    }
+}
 
 /// Times a span of work and records elapsed nanoseconds into a histogram
 /// when dropped (or explicitly [`stop`](SpanTimer::stop)ped). Early
@@ -75,6 +118,20 @@ impl StageClock {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stopwatch_laps_are_monotone_and_resetting() {
+        let mut sw = Stopwatch::start();
+        std::hint::black_box(1 + 1);
+        let before_laps = sw.elapsed_ns();
+        let a = sw.lap_ns();
+        let b = sw.lap_ns();
+        // The first lap covers at least the span measured before it, and
+        // each lap restarts the watch, so the second starts near zero.
+        assert!(a >= before_laps);
+        assert!(b <= a + sw.elapsed_ns() + 1_000_000_000);
+        assert!(sw.elapsed() >= Duration::ZERO);
+    }
 
     #[test]
     fn span_records_once_on_drop() {

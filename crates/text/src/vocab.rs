@@ -56,7 +56,9 @@ impl Vocab {
     /// Intern `token`, returning its id (existing or new).
     pub fn add(&mut self, token: &str) -> TokenId {
         if let Some(&id) = self.token_to_id.get(token) {
-            self.counts[id] += 1;
+            if let Some(c) = self.counts.get_mut(id) {
+                *c += 1;
+            }
             return id;
         }
         let id = self.id_to_token.len();
@@ -84,9 +86,9 @@ impl Vocab {
         &self.id_to_token[id]
     }
 
-    /// Occurrence count recorded for `id`.
+    /// Occurrence count recorded for `id` (zero for out-of-range ids).
     pub fn count(&self, id: TokenId) -> u64 {
-        self.counts[id]
+        self.counts.get(id).copied().unwrap_or(0)
     }
 
     /// Number of entries.
