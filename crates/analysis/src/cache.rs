@@ -80,7 +80,7 @@ impl Store {
 
     /// Load the entry for `key`. `Ok(None)` on miss or version mismatch;
     /// `Err(InvalidData)` when the body is corrupt under a valid header.
-    pub fn load(&self, key: &str) -> io::Result<Option<FileAnalysis>> {
+    pub fn load_entry(&self, key: &str) -> io::Result<Option<FileAnalysis>> {
         let path = self.entry_path(key);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -485,7 +485,7 @@ fn helper(v: &[u32]) -> u32 { v[0] }
         let store = Store::open(&dir).unwrap();
         let key = content_key("crates/core/src/x.rs", SRC);
         store.save(&key, &analysis).unwrap();
-        let loaded = store.load(&key).unwrap().expect("entry present");
+        let loaded = store.load_entry(&key).unwrap().expect("entry present");
         assert_eq!(loaded.summary, analysis.summary);
         assert_eq!(loaded.findings.len(), analysis.findings.len());
         for (a, b) in loaded.findings.iter().zip(&analysis.findings) {
@@ -529,14 +529,14 @@ fn helper(v: &[u32]) -> u32 { v[0] }
             1,
         );
         std::fs::write(&path, stale).unwrap();
-        assert!(store.load(&key).unwrap().is_none());
+        assert!(store.load_entry(&key).unwrap().is_none());
         // Valid header, garbage body → InvalidData.
         std::fs::write(
             &path,
             format!("{HEADER_PREFIX}{FORMAT_VERSION}\nZ\tgarbage\n"),
         )
         .unwrap();
-        let err = store.load(&key).unwrap_err();
+        let err = store.load_entry(&key).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_dir_all(&dir).ok();
     }

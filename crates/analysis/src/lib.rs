@@ -268,7 +268,7 @@ fn analyze_one(
     let src = std::fs::read_to_string(file)?;
     if let Some(store) = store {
         let key = cache::content_key(rel, &src);
-        if let Some(hit) = store.load(&key)? {
+        if let Some(hit) = store.load_entry(&key)? {
             return Ok((hit, true));
         }
         let analysis = analyze_source(rel, &src);

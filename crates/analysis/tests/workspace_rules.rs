@@ -258,6 +258,73 @@ fn al009_flags_clock_reads_outside_obs_only() {
     assert!(rules_for(&[("crates/bench/src/run.rs", timed)]).is_empty());
 }
 
+// ------------------------------------------- serve crate jurisdiction
+
+#[test]
+fn serve_crate_panic_sites_are_al001_jurisdiction() {
+    // The HTTP layer is serving code: direct panics there are AL001's,
+    // exactly like apps/ and core/.
+    let local = "pub fn handle(v: &[u32]) -> u32 { *v.first().unwrap() }";
+    assert_eq!(
+        rules_for(&[("crates/serve/src/router.rs", local)]),
+        vec!["AL001"]
+    );
+}
+
+#[test]
+fn al007_walks_chains_rooted_at_serve_entry_points() {
+    // A panic in a helper crate reachable from a public serve fn must be
+    // flagged with the chain from the HTTP entry point down.
+    let entry = "pub fn dispatch(q: &str) -> u32 { risky_lookup(q) }";
+    let helper = "pub fn risky_lookup(q: &str) -> u32 { q.parse().unwrap() }";
+    let findings = lint_sources(&[
+        ("crates/serve/src/router.rs", entry),
+        ("crates/text/src/util.rs", helper),
+    ]);
+    let al007: Vec<_> = findings.iter().filter(|f| f.rule == "AL007").collect();
+    assert_eq!(al007.len(), 1, "findings: {findings:?}");
+    assert_eq!(al007[0].path, "crates/text/src/util.rs");
+    assert!(
+        al007[0].message.contains("dispatch -> risky_lookup"),
+        "chain missing from: {}",
+        al007[0].message
+    );
+}
+
+#[test]
+fn al009_covers_serve_rooted_nondeterminism_and_clock_reads() {
+    // Hash-map iteration escaping through a serve entry point is AL009's.
+    let entry = "pub fn dispatch(q: &str) -> u32 { risky_lookup(q) }";
+    let helper = r#"
+        pub fn risky_lookup(q: &str) -> u32 {
+            let map: FxHashMap<String, u32> = FxHashMap::default();
+            let mut n = 0;
+            for (_k, v) in &map { n += v; }
+            n
+        }
+    "#;
+    let findings = lint_sources(&[
+        ("crates/serve/src/router.rs", entry),
+        ("crates/text/src/util.rs", helper),
+    ]);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "AL009" && f.message.contains("dispatch -> risky_lookup")),
+        "serve-rooted escape missed: {findings:?}"
+    );
+
+    // serve is not clock-exempt: raw Instant reads must go through obs.
+    let timed = "pub fn deadline() -> Instant { Instant::now() }";
+    let findings = lint_sources(&[("crates/serve/src/server2.rs", timed)]);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "AL009" && f.message.contains("clock")),
+        "clock read in serve missed: {findings:?}"
+    );
+}
+
 // ---------------------------------------------------- suppression flow
 
 #[test]

@@ -176,6 +176,14 @@ impl<'kg> SemanticSearch<'kg> {
     /// hits, so it cannot score above zero — and the best `k` are kept in
     /// a bounded heap (`O(c log k)` over `c` candidates).
     pub fn search(&self, query: &str) -> Vec<ConceptCard> {
+        self.search_top(query, self.cfg.k)
+    }
+
+    /// [`search`](Self::search) with a per-call result cap instead of the
+    /// configured `cfg.k` — the HTTP layer maps its `k=` query parameter
+    /// here so one shared engine serves callers with different page
+    /// sizes. `search_top(q, cfg.k)` is exactly `search(q)`.
+    pub fn search_top(&self, query: &str, k: usize) -> Vec<ConceptCard> {
         let words: FxHashSet<&str> = query.split_whitespace().collect();
         if words.is_empty() {
             return Vec::new();
@@ -188,7 +196,7 @@ impl<'kg> SemanticSearch<'kg> {
             m.candidates_examined.add(candidates.len() as u64);
             clock.lap(&m.retrieve_ns);
         }
-        let mut top = TopK::new(self.cfg.k);
+        let mut top = TopK::new(k);
         for cid in candidates {
             let score = self.score_concept(cid, &words);
             if score > 0.0 {
@@ -345,6 +353,21 @@ mod tests {
         assert!(card
             .interpretation
             .contains(&("Event".to_string(), "barbecue".to_string())));
+    }
+
+    #[test]
+    fn search_top_with_cfg_k_is_search() {
+        let kg = sample_kg();
+        let cfg = SearchConfig::default();
+        let s = SemanticSearch::new(&kg, cfg);
+        assert_eq!(
+            s.search("barbecue outdoor"),
+            s.search_top("barbecue outdoor", cfg.k)
+        );
+        // A tighter per-call cap truncates without reordering.
+        let one = s.search_top("barbecue outdoor", 1);
+        assert!(one.len() <= 1);
+        assert_eq!(one, s.search("barbecue outdoor")[..one.len()].to_vec());
     }
 
     #[test]

@@ -35,6 +35,19 @@ impl Direction {
             (Direction::LowerBetter, 1_000.0)
         } else if key.ends_with("_secs") {
             (Direction::LowerBetter, 1e-3)
+        } else if key.ends_with("error_rate") {
+            // Error fractions in [0, 1]. A loaded open-loop bench sheds a
+            // handful of requests run to run, so give two percentage
+            // points of absolute slack — but beyond it a rising error
+            // rate is a regression even though the relative change from
+            // a ~0 baseline is astronomically large (which is exactly
+            // why the generic Info fallback must not swallow this key).
+            (Direction::LowerBetter, 0.02)
+        } else if key.ends_with("saturation_qps") {
+            // Saturation throughput from the load sweep: discrete qps
+            // levels make it chunky, so the floor is one whole level of
+            // the smallest sweep step rather than 1 qps.
+            (Direction::HigherBetter, 25.0)
         } else if key.ends_with("per_sec") || key.ends_with("qps") {
             (Direction::HigherBetter, 1.0)
         } else if key.ends_with("speedup") {
@@ -365,6 +378,46 @@ mod tests {
         let cur = metrics(&[("retrieve_ns", 150_000.0), ("overhead_pct", 4.0)]);
         let diffs = compare(&base, &cur, 15.0, None);
         assert!(diffs.iter().all(|d| d.status == Status::Regression));
+    }
+
+    #[test]
+    fn error_rate_gates_lower_better_with_an_absolute_floor() {
+        // The relative change from a near-zero baseline is huge, but the
+        // absolute floor absorbs a couple of shed requests...
+        let base = metrics(&[("serving.http.error_rate", 0.0)]);
+        let cur = metrics(&[("serving.http.error_rate", 0.015)]);
+        let diffs = compare(&base, &cur, 15.0, None);
+        assert_eq!(diffs[0].status, Status::Ok);
+        // ...while a real error-rate climb regresses despite any floor.
+        let cur = metrics(&[("serving.http.error_rate", 0.10)]);
+        let diffs = compare(&base, &cur, 15.0, None);
+        assert_eq!(diffs[0].status, Status::Regression);
+        // The lower-better direction: dropping back to zero improves
+        // (or at worst passes), never regresses.
+        let base = metrics(&[("serving.http.error_rate", 0.10)]);
+        let cur = metrics(&[("serving.http.error_rate", 0.0)]);
+        let diffs = compare(&base, &cur, 15.0, None);
+        assert_ne!(diffs[0].status, Status::Regression);
+    }
+
+    #[test]
+    fn saturation_qps_gates_higher_better() {
+        let (dir, floor) = Direction::of("serving.http.saturation_qps");
+        assert_eq!(dir, Direction::HigherBetter);
+        assert!(floor >= 1.0);
+        // Throughput collapse is a regression...
+        let base = metrics(&[("serving.http.saturation_qps", 1200.0)]);
+        let cur = metrics(&[("serving.http.saturation_qps", 600.0)]);
+        let diffs = compare(&base, &cur, 15.0, None);
+        assert_eq!(diffs[0].status, Status::Regression);
+        // ...a climb is an improvement, not a false alarm.
+        let cur = metrics(&[("serving.http.saturation_qps", 2400.0)]);
+        let diffs = compare(&base, &cur, 15.0, None);
+        assert_eq!(diffs[0].status, Status::Improved);
+        // One sweep-step of chunkiness stays under the floor.
+        let cur = metrics(&[("serving.http.saturation_qps", 1180.0)]);
+        let diffs = compare(&base, &cur, 15.0, None);
+        assert_eq!(diffs[0].status, Status::Ok);
     }
 
     #[test]

@@ -29,7 +29,7 @@ impl Json {
             pos: 0,
         };
         p.skip_ws();
-        let v = p.value()?;
+        let v = p.parse_value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
             return Err(format!("trailing garbage at byte {}", p.pos));
@@ -60,6 +60,94 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Render back to JSON text (pretty, two-space indent) so tools can
+    /// rewrite `BENCH_*.json` files in place. `parse(render(v)) == v`
+    /// for every value this module can hold.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => render_num(out, *n),
+            Json::Str(s) => render_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.render_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    render_str(out, key);
+                    out.push_str(": ");
+                    value.render_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_num(out: &mut String, n: f64) {
+    if n.is_finite() {
+        out.push_str(&format!("{n}"));
+    } else {
+        // JSON has no NaN/Inf; a measurement that produced one is absent.
+        out.push_str("null");
+    }
+}
+
+fn render_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 struct Parser<'a> {
@@ -82,7 +170,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -96,15 +184,15 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn parse_value(&mut self) -> Result<Json, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
             other => Err(format!(
                 "unexpected {:?} at byte {}",
                 other.map(|c| c as char),
@@ -113,7 +201,7 @@ impl Parser<'_> {
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+    fn parse_literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
@@ -122,8 +210,8 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -132,11 +220,11 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
-            let key = self.string()?;
+            let key = self.parse_string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
-            members.push((key, self.value()?));
+            members.push((key, self.parse_value()?));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -149,8 +237,8 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -159,7 +247,7 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
-            items.push(self.value()?);
+            items.push(self.parse_value()?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -172,8 +260,8 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -232,7 +320,7 @@ impl Parser<'_> {
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn parse_number(&mut self) -> Result<Json, String> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -306,5 +394,34 @@ mod tests {
     fn duplicate_keys_keep_the_last_value() {
         let v = Json::parse(r#"{"a": 1, "a": 2}"#).unwrap();
         assert_eq!(v.get("a").unwrap().as_num(), Some(2.0));
+    }
+
+    #[test]
+    fn render_roundtrips_through_parse() {
+        let doc = r#"{
+            "meta": {"bench": "serving", "note": "a \"quoted\" name\n"},
+            "levels": [
+                {"target_qps": 200, "achieved_qps": 199.5, "p99_ns": 120000, "passed": true},
+                {"target_qps": 3200, "achieved_qps": 801.25, "passed": false, "note": null}
+            ],
+            "empty_obj": {},
+            "empty_arr": [],
+            "negative": -1.5e3
+        }"#;
+        let v = Json::parse(doc).unwrap();
+        let text = v.render();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        // Rendering is deterministic: same value, same bytes.
+        assert_eq!(v.render(), text);
+        // And idempotent through a second roundtrip.
+        assert_eq!(Json::parse(&text).unwrap().render(), text);
+    }
+
+    #[test]
+    fn render_emits_compact_scalars() {
+        assert_eq!(Json::Num(8.0).render(), "8\n");
+        assert_eq!(Json::Str("a\tb".into()).render(), "\"a\\tb\"\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Obj(vec![]).render(), "{}\n");
     }
 }

@@ -265,6 +265,42 @@ pub fn open_instrumented(
     Ok(info)
 }
 
+/// Failure of [`load_file`]: either the filesystem or the codec.
+#[derive(Debug)]
+pub enum FileLoadError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// The bytes did not decode.
+    Load(LoadError),
+}
+
+impl std::fmt::Display for FileLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileLoadError::Io(e) => write!(f, "read: {e}"),
+            FileLoadError::Load(e) => write!(f, "load: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FileLoadError {}
+
+impl From<LoadError> for FileLoadError {
+    fn from(e: LoadError) -> Self {
+        FileLoadError::Load(e)
+    }
+}
+
+/// Read `path`, sniff the codec from its magic bytes, and load the net,
+/// recording per-backend `snapshot.<fmt>.*` metrics. The one-stop entry
+/// point for anything that serves a snapshot from disk — the CLI and
+/// `alicoco-serve` both load through here, so format support stays in
+/// one place.
+pub fn load_file(path: &std::path::Path, metrics: &Registry) -> Result<AliCoCo, FileLoadError> {
+    let bytes = std::fs::read(path).map_err(FileLoadError::Io)?;
+    Ok(load_instrumented(detect(&bytes), &bytes, metrics)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +308,43 @@ mod tests {
 
     fn both() -> [&'static dyn Store; 2] {
         [&TsvStore, &BinaryStore]
+    }
+
+    #[test]
+    fn load_file_sniffs_both_formats_and_types_its_errors() {
+        let dir = std::env::temp_dir().join(format!("alicoco-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let kg = build_sample();
+        for store in both() {
+            let mut bytes = Vec::new();
+            store.save(&kg, &mut bytes).unwrap();
+            let path = dir.join(format!("net.{}", store.format().name()));
+            std::fs::write(&path, &bytes).unwrap();
+            let reg = Registry::new();
+            let loaded = load_file(&path, &reg).unwrap();
+            assert_eq!(loaded, kg);
+            assert_eq!(
+                reg.counter(&format!("snapshot.{}.loaded_bytes", store.format().name()))
+                    .get(),
+                bytes.len() as u64
+            );
+        }
+        let missing = load_file(&dir.join("absent"), &Registry::new());
+        assert!(matches!(missing, Err(FileLoadError::Io(_))));
+        let garbled = dir.join("garbled");
+        std::fs::write(&garbled, b"ALCC\x00garbage").ok();
+        std::fs::write(&garbled, {
+            let mut b = Vec::new();
+            BinaryStore.save(&kg, &mut b).unwrap();
+            b.truncate(b.len() / 2);
+            b
+        })
+        .unwrap();
+        assert!(matches!(
+            load_file(&garbled, &Registry::new()),
+            Err(FileLoadError::Load(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -151,8 +151,8 @@ impl Histogram {
         }
         let mut seen = 0u64;
         let mut estimate = self.max.load(Ordering::Relaxed);
-        for i in 0..N_BUCKETS {
-            let in_bucket = self.buckets[i].load(Ordering::Relaxed);
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
             if in_bucket == 0 {
                 continue;
             }
@@ -176,10 +176,10 @@ impl Histogram {
     /// commutative (up to `sum` wrap-around) — shard-local histograms can
     /// be combined in any order.
     pub fn merge_from(&self, other: &Histogram) {
-        for i in 0..N_BUCKETS {
-            let n = other.buckets[i].load(Ordering::Relaxed);
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
             if n > 0 {
-                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+                mine.fetch_add(n, Ordering::Relaxed);
             }
         }
         let n = other.count.load(Ordering::Relaxed);
@@ -197,9 +197,12 @@ impl Histogram {
 
     /// A point-in-time copy for export or comparison.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let buckets = (0..N_BUCKETS)
-            .filter_map(|i| {
-                let n = self.buckets[i].load(Ordering::Relaxed);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, bucket)| {
+                let n = bucket.load(Ordering::Relaxed);
                 (n > 0).then_some(BucketCount {
                     lower: Self::bucket_lower(i),
                     upper: Self::bucket_upper(i),

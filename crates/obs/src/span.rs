@@ -34,6 +34,14 @@ impl Stopwatch {
         self.last.elapsed().as_nanos().min(u64::MAX as u128) as u64
     }
 
+    /// How much of `budget` is left, saturating at zero. Deadline loops
+    /// (graceful-shutdown drains, bounded waits) use this instead of
+    /// subtracting `Duration`s themselves — `budget - elapsed` panics on
+    /// underflow, and panic-free crates cannot afford that edge.
+    pub fn remaining(&self, budget: Duration) -> Duration {
+        budget.saturating_sub(self.elapsed())
+    }
+
     /// Nanoseconds since the previous lap (or start), restarting the lap —
     /// one clock read covers both the end of one phase and the start of
     /// the next.
@@ -131,6 +139,13 @@ mod tests {
         assert!(a >= before_laps);
         assert!(b <= a + sw.elapsed_ns() + 1_000_000_000);
         assert!(sw.elapsed() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn remaining_saturates_at_zero() {
+        let sw = Stopwatch::start();
+        assert!(sw.remaining(Duration::from_secs(3600)) > Duration::ZERO);
+        assert_eq!(sw.remaining(Duration::ZERO), Duration::ZERO);
     }
 
     #[test]

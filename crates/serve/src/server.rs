@@ -1,0 +1,531 @@
+//! The server proper: accept loop, bounded dispatch queue, fixed worker
+//! pool, keep-alive connection handling with deadlines, and graceful
+//! drain.
+//!
+//! Memory is bounded by construction: at most `queue_capacity` accepted
+//! connections wait behind at most `workers` in-flight ones, and every
+//! connection past that is answered with a fast `503` and closed. Time
+//! is bounded by socket deadlines: a client that stalls mid-request is
+//! shed at the read timeout, so no slow-loris holds a worker.
+//!
+//! Connection accounting is exact: every accepted connection ends in
+//! exactly one of `completed` (ran to a clean end, typed error responses
+//! included), `rejected` (503 at the queue), or `shed` (abandoned at a
+//! read deadline or write failure) — `accepted = completed + rejected +
+//! shed` is asserted by the lifecycle suite against `/metrics`.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use alicoco_obs::{Counter, Gauge, Histogram, Registry, Stopwatch};
+
+use crate::http::{HttpError, Limits, Method, Request, RequestParser, Response};
+use crate::json;
+use crate::router::{self, RouteKey};
+use crate::state::PackSlot;
+
+/// Server tunables. Defaults suit the smoke workload; the fault
+/// injection tests shrink them hard to force each edge.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free one.
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker. Together with
+    /// `workers` this caps open connections at `workers + queue`.
+    pub queue_capacity: usize,
+    /// Per-read socket deadline; a client stalled mid-request this long
+    /// is shed.
+    pub read_timeout: Duration,
+    /// Per-write socket deadline.
+    pub write_timeout: Duration,
+    /// Keep-alive cap: requests served per connection before a forced
+    /// close, so one client cannot pin a worker forever.
+    pub max_requests_per_connection: usize,
+    /// Graceful-shutdown budget for draining queued + in-flight work.
+    pub drain_deadline: Duration,
+    /// Parser limits.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 1000,
+            drain_deadline: Duration::from_secs(5),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Why a connection ended; maps one-to-one onto the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Completed,
+    Shed,
+}
+
+/// Per-route metric handles, registered once at server start.
+struct RouteMetrics {
+    latency_ns: Arc<Histogram>,
+    status_2xx: Arc<Counter>,
+    status_4xx: Arc<Counter>,
+    status_5xx: Arc<Counter>,
+}
+
+impl RouteMetrics {
+    fn register(registry: &Registry, route: &str) -> Self {
+        RouteMetrics {
+            latency_ns: registry.histogram(&format!("serve.{route}.latency_ns")),
+            status_2xx: registry.counter(&format!("serve.{route}.status_2xx")),
+            status_4xx: registry.counter(&format!("serve.{route}.status_4xx")),
+            status_5xx: registry.counter(&format!("serve.{route}.status_5xx")),
+        }
+    }
+
+    fn record(&self, ns: u64, status: u16) {
+        self.latency_ns.record(ns);
+        self.record_status(status);
+    }
+
+    fn record_status(&self, status: u16) {
+        match status / 100 {
+            2 => self.status_2xx.inc(),
+            4 => self.status_4xx.inc(),
+            5 => self.status_5xx.inc(),
+            _ => {}
+        }
+    }
+}
+
+/// Connection-level counters (see the module docs for the identity).
+struct ConnCounters {
+    accepted: Arc<Counter>,
+    completed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    shed: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+}
+
+impl ConnCounters {
+    fn register(registry: &Registry) -> Self {
+        ConnCounters {
+            accepted: registry.counter("serve.accepted"),
+            completed: registry.counter("serve.completed"),
+            rejected: registry.counter("serve.rejected"),
+            shed: registry.counter("serve.shed"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+        }
+    }
+}
+
+/// One [`RouteMetrics`] per route key, as named fields so lookup is a
+/// total `match` (no indexing on the panic-free path).
+struct Routes {
+    search: RouteMetrics,
+    qa: RouteMetrics,
+    recommend: RouteMetrics,
+    relevance: RouteMetrics,
+    healthz: RouteMetrics,
+    metrics: RouteMetrics,
+    other: RouteMetrics,
+}
+
+impl Routes {
+    fn register(registry: &Registry) -> Self {
+        Routes {
+            search: RouteMetrics::register(registry, RouteKey::Search.name()),
+            qa: RouteMetrics::register(registry, RouteKey::Qa.name()),
+            recommend: RouteMetrics::register(registry, RouteKey::Recommend.name()),
+            relevance: RouteMetrics::register(registry, RouteKey::Relevance.name()),
+            healthz: RouteMetrics::register(registry, RouteKey::Healthz.name()),
+            metrics: RouteMetrics::register(registry, RouteKey::Metrics.name()),
+            other: RouteMetrics::register(registry, RouteKey::Other.name()),
+        }
+    }
+
+    fn for_key(&self, key: RouteKey) -> &RouteMetrics {
+        match key {
+            RouteKey::Search => &self.search,
+            RouteKey::Qa => &self.qa,
+            RouteKey::Recommend => &self.recommend,
+            RouteKey::Relevance => &self.relevance,
+            RouteKey::Healthz => &self.healthz,
+            RouteKey::Metrics => &self.metrics,
+            RouteKey::Other => &self.other,
+        }
+    }
+}
+
+/// Dispatch queue plus the drain bookkeeping the shutdown path waits on.
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    /// Workers currently handling a connection.
+    active: usize,
+}
+
+/// Everything the accept loop, workers, and shutdown path share.
+struct Shared {
+    slot: Arc<PackSlot>,
+    cfg: ServeConfig,
+    metrics: Registry,
+    shutdown: AtomicBool,
+    queue: Mutex<QueueState>,
+    /// Workers wait here for connections.
+    wake: Condvar,
+    /// The shutdown path waits here for the queue to drain.
+    idle: Condvar,
+    counters: ConnCounters,
+    routes: Routes,
+}
+
+impl Shared {
+    fn route_metrics(&self, key: RouteKey) -> &RouteMetrics {
+        self.routes.for_key(key)
+    }
+}
+
+/// A running server. Dropping it without calling
+/// [`shutdown`](Server::shutdown) leaves the threads detached.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// What the graceful shutdown observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Whether every queued and in-flight connection finished within
+    /// [`ServeConfig::drain_deadline`].
+    pub drained: bool,
+    /// Connections accepted over the server's life.
+    pub accepted: u64,
+    /// Connections that ran to a clean end.
+    pub completed: u64,
+    /// Connections answered `503` at the queue.
+    pub rejected: u64,
+    /// Connections abandoned at a deadline or write failure.
+    pub shed: u64,
+}
+
+impl Server {
+    /// Bind, spawn the accept loop and `cfg.workers` workers, and start
+    /// serving the slot's current pack.
+    pub fn start(slot: Arc<PackSlot>, cfg: ServeConfig, metrics: Registry) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let n_workers = cfg.workers.max(1);
+        let routes = Routes::register(&metrics);
+        let shared = Arc::new(Shared {
+            slot,
+            counters: ConnCounters::register(&metrics),
+            cfg,
+            metrics,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(QueueState {
+                conns: VecDeque::new(),
+                active: 0,
+            }),
+            wake: Condvar::new(),
+            idle: Condvar::new(),
+            routes,
+        });
+        let accept = {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || accept_loop(&s, listener))?
+        };
+        let mut workers = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let s = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&s))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry `/metrics` exports.
+    pub fn metrics(&self) -> &Registry {
+        &self.shared.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, serve what is queued, let
+    /// in-flight connections finish (their next response closes), and
+    /// join everything — all within `drain_deadline`.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        // Flag first, under the queue lock, so no worker can check the
+        // flag and then miss the wake-up.
+        {
+            let _guard = lock(&self.shared.queue);
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            self.shared.wake.notify_all();
+        }
+        // Poke the listener so a blocked accept() observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let drained = self.shared.wait_drained();
+        if drained {
+            for handle in std::mem::take(&mut self.workers) {
+                let _ = handle.join();
+            }
+        }
+        // If the drain deadline passed, leave stragglers detached —
+        // they hold no lock a future server would need.
+        let c = &self.shared.counters;
+        ShutdownReport {
+            drained,
+            accepted: c.accepted.get(),
+            completed: c.completed.get(),
+            rejected: c.rejected.get(),
+            shed: c.shed.get(),
+        }
+    }
+}
+
+impl Shared {
+    /// Queue an accepted connection, or hand it back when full.
+    fn enqueue(&self, stream: TcpStream) -> Option<TcpStream> {
+        let mut q = lock(&self.queue);
+        if q.conns.len() >= self.cfg.queue_capacity {
+            return Some(stream);
+        }
+        q.conns.push_back(stream);
+        self.counters.queue_depth.set(q.conns.len() as f64);
+        self.wake.notify_one();
+        None
+    }
+
+    /// Fast best-effort `503` for a connection the queue cannot hold.
+    fn reject(&self, mut stream: TcpStream) {
+        self.counters.rejected.inc();
+        self.route_metrics(RouteKey::Other).record_status(503);
+        let resp = Response::json(503, json::render_error(503, "server overloaded")).closing();
+        let _ = stream.set_write_timeout(Some(self.cfg.write_timeout));
+        let _ = stream.write_all(&resp.encode(false));
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+
+    /// Block until a connection is available or shutdown drains the
+    /// queue dry; `None` tells the worker to exit.
+    fn next_conn(&self) -> Option<TcpStream> {
+        let mut q = lock(&self.queue);
+        loop {
+            if let Some(stream) = q.conns.pop_front() {
+                q.active += 1;
+                self.counters.queue_depth.set(q.conns.len() as f64);
+                return Some(stream);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self
+                .wake
+                .wait(q)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Mark a connection finished and wake the drain waiter.
+    fn conn_done(&self) {
+        let mut q = lock(&self.queue);
+        q.active = q.active.saturating_sub(1);
+        let drained = q.conns.is_empty() && q.active == 0;
+        drop(q);
+        if drained {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Wait until queued + active connections hit zero, bounded by the
+    /// drain deadline. Returns whether the drain finished in time.
+    fn wait_drained(&self) -> bool {
+        let watch = Stopwatch::start();
+        let mut q = lock(&self.queue);
+        loop {
+            if q.conns.is_empty() && q.active == 0 {
+                return true;
+            }
+            let left = watch.remaining(self.cfg.drain_deadline);
+            if left.is_zero() {
+                return false;
+            }
+            let (guard, _timeout) = self
+                .idle
+                .wait_timeout(q, left)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            q = guard;
+        }
+    }
+}
+
+fn lock(queue: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
+    queue
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The shutdown poke (or a late client) lands here; either
+            // way it was never part of the workload.
+            return;
+        }
+        shared.counters.accepted.inc();
+        if let Some(stream) = shared.enqueue(stream) {
+            shared.reject(stream);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.next_conn() {
+        let outcome = handle_connection(shared, stream);
+        match outcome {
+            Outcome::Completed => shared.counters.completed.inc(),
+            Outcome::Shed => shared.counters.shed.inc(),
+        }
+        shared.conn_done();
+    }
+}
+
+/// What one attempt to produce the next request yielded.
+enum NextRequest {
+    Request(Request),
+    /// Clean EOF between requests.
+    Eof,
+    /// Read deadline fired; `mid` is whether a request was in progress.
+    Timeout {
+        mid: bool,
+    },
+    /// Hard I/O error.
+    Failed,
+    /// Typed protocol error.
+    Protocol(HttpError),
+}
+
+fn next_request(parser: &mut RequestParser, stream: &mut TcpStream) -> NextRequest {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parser.poll() {
+            Ok(Some(req)) => return NextRequest::Request(req),
+            Ok(None) => {}
+            Err(e) => return NextRequest::Protocol(e),
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return NextRequest::Eof,
+            Ok(n) => parser.push(chunk.get(..n).unwrap_or(&[])),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return NextRequest::Timeout {
+                    mid: parser.mid_request(),
+                }
+            }
+            Err(_) => return NextRequest::Failed,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) -> Outcome {
+    let cfg = &shared.cfg;
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new(cfg.limits);
+    let mut served = 0usize;
+    let outcome = loop {
+        let req = match next_request(&mut parser, &mut stream) {
+            NextRequest::Request(req) => req,
+            NextRequest::Eof => break Outcome::Completed,
+            NextRequest::Timeout { mid: true } => {
+                // Slow-loris: a best-effort 408, then shed.
+                let resp = Response::json(408, json::render_error(408, "read deadline exceeded"))
+                    .closing();
+                shared.route_metrics(RouteKey::Other).record_status(408);
+                let _ = stream.write_all(&resp.encode(false));
+                break Outcome::Shed;
+            }
+            NextRequest::Timeout { mid: false } => {
+                // Idle keep-alive connection: close it quietly.
+                break Outcome::Completed;
+            }
+            NextRequest::Failed => {
+                break if parser.mid_request() {
+                    Outcome::Shed
+                } else {
+                    Outcome::Completed
+                }
+            }
+            NextRequest::Protocol(err) => {
+                let status = err.status();
+                let resp =
+                    Response::json(status, json::render_error(status, err.reason())).closing();
+                shared.route_metrics(RouteKey::Other).record_status(status);
+                let _ = stream.write_all(&resp.encode(false));
+                break Outcome::Completed;
+            }
+        };
+        served += 1;
+        let head_only = req.method == Method::Head;
+        let watch = Stopwatch::start();
+        let pack = shared.slot.get();
+        let (key, mut resp) = router::handle(&req, &pack, &shared.metrics);
+        let closing = !req.keep_alive
+            || served >= cfg.max_requests_per_connection
+            || shared.shutdown.load(Ordering::SeqCst);
+        resp.close = resp.close || closing;
+        shared
+            .route_metrics(key)
+            .record(watch.elapsed_ns(), resp.status);
+        if stream.write_all(&resp.encode(head_only)).is_err() {
+            break Outcome::Shed;
+        }
+        if resp.close {
+            break Outcome::Completed;
+        }
+    };
+    let _ = stream.shutdown(Shutdown::Both);
+    outcome
+}

@@ -1,0 +1,190 @@
+//! The shared serving state: one immutable concept net plus every engine
+//! built over it, bundled into a [`ServingPack`] behind a swappable
+//! [`PackSlot`]. Workers clone the current `Arc` per request and hold no
+//! lock while serving, so a snapshot swap never blocks in-flight traffic
+//! — old requests finish on the old pack, which frees itself when the
+//! last clone drops.
+
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use alicoco::AliCoCo;
+use alicoco_apps::qa::ScenarioQa;
+use alicoco_apps::recommend::{CognitiveRecommender, RecommendConfig};
+use alicoco_apps::relevance::RelevanceScorer;
+use alicoco_apps::search::{SearchConfig, SemanticSearch};
+use alicoco_obs::Registry;
+
+/// Engine tunables for one pack.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Semantic-search tunables.
+    pub search: SearchConfig,
+    /// Recommender tunables.
+    pub recommend: RecommendConfig,
+}
+
+/// An immutable net and the four serving engines indexed over it.
+///
+/// The engines borrow the net, so the struct is self-referential: the
+/// borrows are extended to `'static` at construction and shrunk back at
+/// every accessor, and the `Arc` they actually point into is owned by
+/// the last field.
+pub struct ServingPack {
+    search: SemanticSearch<'static>,
+    qa: ScenarioQa<'static>,
+    recommend: CognitiveRecommender<'static>,
+    relevance: RelevanceScorer<'static>,
+    /// Declared after the engines: dropped last, so the `'static`
+    /// borrows above never dangle.
+    kg: Arc<AliCoCo>,
+}
+
+impl ServingPack {
+    /// Build every engine over `kg`, registering metrics in `metrics`.
+    pub fn build(kg: Arc<AliCoCo>, cfg: &EngineConfig, metrics: &Registry) -> Arc<Self> {
+        let graph: &'static AliCoCo =
+            // SAFETY: `graph` points into the heap allocation owned by
+            // the `kg` field of the pack under construction. The
+            // allocation's address is stable (`Arc` contents never
+            // move), the net is immutable for the pack's whole life,
+            // and field order guarantees every engine drops before the
+            // `Arc` it borrows from. The fabricated `'static` never
+            // escapes: all accessors shrink it back to `&self`.
+            unsafe { &*Arc::as_ptr(&kg) };
+        let search = SemanticSearch::with_metrics(graph, cfg.search, metrics);
+        let qa = ScenarioQa::with_metrics(graph, metrics);
+        let recommend = CognitiveRecommender::with_metrics(graph, cfg.recommend, metrics);
+        let relevance = RelevanceScorer::with_metrics(graph, metrics);
+        Arc::new(ServingPack {
+            search,
+            qa,
+            recommend,
+            relevance,
+            kg,
+        })
+    }
+
+    /// The net itself.
+    pub fn graph(&self) -> &AliCoCo {
+        &self.kg
+    }
+
+    /// Semantic-search engine.
+    pub fn search(&self) -> &SemanticSearch<'_> {
+        &self.search
+    }
+
+    /// Scenario question answering.
+    pub fn qa(&self) -> &ScenarioQa<'_> {
+        &self.qa
+    }
+
+    /// Cognitive recommender.
+    pub fn recommender(&self) -> &CognitiveRecommender<'_> {
+        &self.recommend
+    }
+
+    /// isA-expanded relevance scorer.
+    pub fn relevance(&self) -> &RelevanceScorer<'_> {
+        &self.relevance
+    }
+}
+
+/// The server's one mutable cell: the current pack, swapped atomically
+/// under a short-lived write lock.
+pub struct PackSlot {
+    current: RwLock<Arc<ServingPack>>,
+}
+
+impl PackSlot {
+    /// Slot initially serving `pack`.
+    pub fn new(pack: Arc<ServingPack>) -> Self {
+        PackSlot {
+            current: RwLock::new(pack),
+        }
+    }
+
+    /// Clone the current pack handle. Cheap; callers hold no lock while
+    /// they serve from the clone.
+    pub fn get(&self) -> Arc<ServingPack> {
+        let guard = read_lock(&self.current);
+        Arc::clone(&guard)
+    }
+
+    /// Install a freshly built pack, returning the previous one.
+    /// In-flight requests keep serving from the pack they cloned.
+    pub fn swap(&self, pack: Arc<ServingPack>) -> Arc<ServingPack> {
+        let mut guard = write_lock(&self.current);
+        std::mem::replace(&mut *guard, pack)
+    }
+}
+
+/// Read even if a writer panicked: the slot holds a plain pointer swap,
+/// so a poisoned guard is still structurally sound.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net() -> AliCoCo {
+        let mut kg = AliCoCo::new();
+        let root = kg.add_class("concept", None);
+        let event = kg.add_class("Event", Some(root));
+        let bbq = kg.add_primitive("barbecue", event);
+        let c = kg.add_concept("outdoor barbecue");
+        kg.link_concept_primitive(c, bbq);
+        let item = kg.add_item(&["brand".into(), "grill".into()]);
+        kg.link_concept_item(c, item, 0.9);
+        kg
+    }
+
+    #[test]
+    fn pack_serves_after_the_building_scope_ends() {
+        let pack = {
+            let kg = Arc::new(tiny_net());
+            ServingPack::build(kg, &EngineConfig::default(), &Registry::new())
+        };
+        let cards = pack.search().search("barbecue");
+        assert_eq!(cards.len(), 1);
+        assert_eq!(pack.graph().num_items(), 1);
+    }
+
+    #[test]
+    fn swap_leaves_old_clones_serving() {
+        let reg = Registry::new();
+        let slot = PackSlot::new(ServingPack::build(
+            Arc::new(tiny_net()),
+            &EngineConfig::default(),
+            &reg,
+        ));
+        let old = slot.get();
+        let empty = Arc::new(AliCoCo::new());
+        let prev = slot.swap(ServingPack::build(empty, &EngineConfig::default(), &reg));
+        // The old handle still answers even though the slot moved on.
+        assert_eq!(old.search().search("barbecue").len(), 1);
+        assert_eq!(prev.graph().num_items(), 1);
+        assert!(slot.get().search().search("barbecue").is_empty());
+    }
+
+    #[test]
+    fn packs_cross_threads() {
+        let pack = ServingPack::build(
+            Arc::new(tiny_net()),
+            &EngineConfig::default(),
+            &Registry::new(),
+        );
+        let p = Arc::clone(&pack);
+        let n = std::thread::spawn(move || p.search().search("barbecue").len())
+            .join()
+            .unwrap();
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Protocol-torture suite: conformance over a real loopback socket.
+//! Every case asserts the exact response status, and the table-driven
+//! cases re-probe `/healthz` afterwards to prove the worker survived
+//! whatever the client just did to it.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::Shutdown;
+use std::time::Duration;
+
+use common::{connect, get, read_reply, roundtrip, start_server, test_cfg};
+
+#[test]
+fn torture_table_statuses_and_worker_survival() {
+    let server = start_server(test_cfg());
+    let cases: &[(&str, &[u8], u16)] = &[
+        ("plain get", b"GET /healthz HTTP/1.1\r\n\r\n", 200),
+        ("http/1.0", b"GET /healthz HTTP/1.0\r\n\r\n", 200),
+        ("unknown route", b"GET /nope HTTP/1.1\r\n\r\n", 404),
+        (
+            "post to route",
+            b"POST /search HTTP/1.1\r\ncontent-length: 0\r\n\r\n",
+            405,
+        ),
+        ("garbage request line", b"GET /\r\n\r\n", 400),
+        ("lowercase method", b"get /healthz HTTP/1.1\r\n\r\n", 501),
+        ("unknown method", b"FROB /healthz HTTP/1.1\r\n\r\n", 501),
+        ("bad version", b"GET /healthz HTTP/2.0\r\n\r\n", 505),
+        ("bad target", b"GET healthz HTTP/1.1\r\n\r\n", 400),
+        (
+            "duplicate content-length",
+            b"GET /healthz HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 2\r\n\r\nxx",
+            400,
+        ),
+        (
+            "unparsable content-length",
+            b"GET /healthz HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+            400,
+        ),
+        (
+            "transfer-encoding",
+            b"GET /healthz HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            501,
+        ),
+        (
+            "oversized declared body",
+            b"POST /search HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n",
+            413,
+        ),
+        ("missing query param", b"GET /search HTTP/1.1\r\n\r\n", 400),
+        (
+            "bad percent escape",
+            b"GET /search?q=%zz HTTP/1.1\r\n\r\n",
+            400,
+        ),
+    ];
+    for (name, raw, want) in cases {
+        let reply = roundtrip(&server, raw);
+        assert_eq!(reply.status, *want, "case {name}: {}", reply.body_text());
+        // The worker that just handled that must still serve cleanly.
+        let probe = get(&server, "/healthz");
+        assert_eq!(probe.status, 200, "probe after case {name}");
+    }
+    let report = server.shutdown();
+    assert!(report.drained);
+    assert_eq!(
+        report.accepted,
+        report.completed + report.rejected + report.shed
+    );
+}
+
+#[test]
+fn oversized_headers_get_431() {
+    let server = start_server(test_cfg());
+    let raw = format!(
+        "GET /healthz HTTP/1.1\r\nx-padding: {}\r\n\r\n",
+        "a".repeat(16 * 1024)
+    );
+    let reply = roundtrip(&server, raw.as_bytes());
+    assert_eq!(reply.status, 431);
+    assert_eq!(get(&server, "/healthz").status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn byte_at_a_time_trickle_parses() {
+    let server = start_server(test_cfg());
+    let mut s = connect(&server);
+    let raw = b"GET /search?q=barbecue HTTP/1.1\r\nconnection: close\r\n\r\n";
+    for &b in raw.iter() {
+        s.write_all(&[b]).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let reply = read_reply(&mut s).unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(reply.body_text().contains("outdoor barbecue"));
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_keep_alive_requests_answer_in_order() {
+    let server = start_server(test_cfg());
+    let mut s = connect(&server);
+    s.write_all(
+        b"GET /search?q=barbecue HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+    )
+    .unwrap();
+    let first = read_reply(&mut s).unwrap();
+    let second = read_reply(&mut s).unwrap();
+    assert_eq!(first.status, 200);
+    assert!(first.body_text().contains("cards"));
+    assert_eq!(second.status, 200);
+    assert_eq!(second.body_text(), "{\"status\":\"ok\"}");
+    assert_eq!(second.header("connection").as_deref(), Some("close"));
+    // The connection really does close afterwards.
+    let mut tail = Vec::new();
+    assert_eq!(s.read_to_end(&mut tail).unwrap(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let server = start_server(test_cfg());
+    let mut s = connect(&server);
+    for _ in 0..3 {
+        s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let reply = read_reply(&mut s).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("connection").as_deref(), Some("keep-alive"));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn head_request_gets_headers_only() {
+    let server = start_server(test_cfg());
+    let mut s = connect(&server);
+    s.write_all(b"HEAD /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+    assert!(text.contains("content-length: 15")); // len of {"status":"ok"}
+    assert!(text.ends_with("\r\n\r\n"), "no body after a HEAD: {text:?}");
+    server.shutdown();
+}
+
+#[test]
+fn early_disconnect_mid_request_leaves_server_healthy() {
+    let server = start_server(test_cfg());
+    {
+        let mut s = connect(&server);
+        s.write_all(b"GET /search?q=barbe").unwrap();
+        // Drop: client vanishes mid-request.
+    }
+    assert_eq!(get(&server, "/healthz").status, 200);
+    let report = server.shutdown();
+    assert!(report.drained);
+    assert_eq!(
+        report.accepted,
+        report.completed + report.rejected + report.shed
+    );
+}
+
+#[test]
+fn early_disconnect_mid_response_leaves_server_healthy() {
+    let server = start_server(test_cfg());
+    {
+        let mut s = connect(&server);
+        s.write_all(b"GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        // Vanish without reading the (large) response.
+        drop(s);
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(get(&server, "/healthz").status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn half_close_still_receives_the_response() {
+    let server = start_server(test_cfg());
+    let mut s = connect(&server);
+    s.write_all(b"GET /search?q=barbecue HTTP/1.1\r\n\r\n")
+        .unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    let reply = read_reply(&mut s).unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(reply.body_text().contains("outdoor barbecue"));
+    // After the half-closed request the server sees EOF and closes.
+    let mut tail = Vec::new();
+    s.read_to_end(&mut tail).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn responses_carry_json_content_type() {
+    let server = start_server(test_cfg());
+    let reply = get(&server, "/search?q=barbecue&k=1");
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.header("content-type").as_deref(),
+        Some("application/json")
+    );
+    server.shutdown();
+}

@@ -105,18 +105,7 @@ fn write_metrics(path: &str, metrics: &Registry) -> CliResult {
 /// legacy `snapshot.load_*` metric names; binary snapshots record the
 /// per-backend `snapshot.binary.*` family.
 fn load_net(path: &str, metrics: &Registry) -> Result<AliCoCo, Box<dyn std::error::Error>> {
-    let bytes = std::fs::read(path)?;
-    match store::Format::detect(&bytes) {
-        store::Format::Tsv => Ok(alicoco::snapshot::load_instrumented(
-            &mut bytes.as_slice(),
-            metrics,
-        )?),
-        store::Format::Binary => Ok(store::load_instrumented(
-            &store::BinaryStore,
-            &bytes,
-            metrics,
-        )?),
-    }
+    Ok(store::load_file(std::path::Path::new(path), metrics)?)
 }
 
 fn require<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
