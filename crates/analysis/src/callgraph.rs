@@ -107,7 +107,12 @@ fn report_lock_cycle(
 
 /// Serving crates whose public functions are AL007 entry points and whose
 /// direct panic sites are AL001's jurisdiction.
-const SERVING_SCOPE: &[&str] = &["crates/apps/src/", "crates/core/src/", "crates/serve/src/"];
+const SERVING_SCOPE: &[&str] = &[
+    "crates/ann/src/",
+    "crates/apps/src/",
+    "crates/core/src/",
+    "crates/serve/src/",
+];
 
 /// Serialization files — AL005's jurisdiction for direct sites, and AL009
 /// sink roots for transitive ones.

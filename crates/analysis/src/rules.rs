@@ -89,7 +89,12 @@ pub(crate) fn is_macro_call(ctx: &FileCtx, si: usize, name: &str) -> bool {
 // ---------------------------------------------------------------- AL001
 
 /// Serving crates whose non-test code must be panic-free.
-const AL001_SCOPE: &[&str] = &["crates/apps/src/", "crates/core/src/", "crates/serve/src/"];
+const AL001_SCOPE: &[&str] = &[
+    "crates/ann/src/",
+    "crates/apps/src/",
+    "crates/core/src/",
+    "crates/serve/src/",
+];
 
 fn al001_no_panics(ctx: &FileCtx, out: &mut Vec<RawFinding>) {
     if !path_in(ctx, AL001_SCOPE) {

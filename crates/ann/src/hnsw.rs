@@ -1,0 +1,813 @@
+//! A dependency-free, deterministic HNSW (Hierarchical Navigable Small
+//! World) index over dense vectors.
+//!
+//! Determinism is the design constraint everything else bends around:
+//!
+//! - **Level assignment** is a pure hash of `(seed, id)` — not a draw from
+//!   mutable RNG state — so a node's level never depends on insertion
+//!   history.
+//! - **Every ordering decision** (candidate frontier, result set, neighbor
+//!   selection, greedy descent) goes through the workspace ranking order
+//!   [`rank::by_score_then_id`] (similarity descending, id ascending), a
+//!   total order even under NaN, so ties never depend on float luck or
+//!   hash iteration.
+//! - **Construction is single-threaded in id order**, which together with
+//!   the above makes builds byte-reproducible: the same `(seed, inserts)`
+//!   always [`encode`](Hnsw::encode)s to the same bytes — asserted by the
+//!   determinism tests and relied on by the snapshot codec.
+//!
+//! Similarity is the dot product of stored vectors. [`Hnsw::insert`]
+//! L2-normalizes the copy it stores, so with normalized queries the score
+//! is cosine similarity. [`Hnsw::scan_knn`] is the exact brute-force
+//! oracle the approximate [`Hnsw::knn`] is recall-gated against (same
+//! oracle pattern as `SemanticSearch::search_scan`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use alicoco::snapshot::LoadError;
+use alicoco_nn::rank::{self, Ranked, TopK};
+use alicoco_nn::util::FxHashSet;
+
+/// Hard cap on assigned levels; with `m ≥ 4` the geometric level
+/// distribution makes reaching it astronomically unlikely, but the cap
+/// keeps the encoded layout bounded regardless of seed.
+const MAX_LEVEL: usize = 16;
+
+/// Encoded-format version tag (the payload travels inside a checksummed
+/// `ALCC` section, so this only guards against format evolution).
+const VERSION: u32 = 1;
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HnswConfig {
+    /// Max neighbors per node on levels ≥ 1 (level 0 keeps `2·m`).
+    pub m: usize,
+    /// Candidate-frontier width during construction. The default of 200
+    /// is calibrated on the serving bench's 100k clustered workload
+    /// (`crates/ann/tests/calibration.rs`): 100 left recall@10 at ~0.81
+    /// even with wide query-time `ef`, while 200 clears 0.93 at `ef=64`
+    /// for ~1.5× the build cost.
+    pub ef_construction: usize,
+    /// Seed for the level-assignment hash.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig {
+            m: 16,
+            ef_construction: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// The index: vectors plus one adjacency list per `(node, level)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hnsw {
+    dim: usize,
+    cfg: HnswConfig,
+    /// Entry point for search — the highest-level node.
+    entry: Option<u32>,
+    /// Highest assigned level.
+    max_level: usize,
+    /// Assigned level per node.
+    levels: Vec<u32>,
+    /// L2-normalized vectors, `n × dim`, row-major.
+    vectors: Vec<f32>,
+    /// `links[id][level]` = neighbor ids of `id` at `level`
+    /// (`levels[id] + 1` lists per node).
+    links: Vec<Vec<Vec<u32>>>,
+}
+
+/// L2-normalize in place; zero vectors stay zero.
+pub fn normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 && norm.is_finite() {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Dot product over the common prefix of two slices.
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Hnsw {
+    /// Empty index over `dim`-dimensional vectors.
+    pub fn new(dim: usize, cfg: HnswConfig) -> Self {
+        let cfg = HnswConfig {
+            m: cfg.m.clamp(2, 64),
+            ef_construction: cfg.ef_construction.max(1),
+            seed: cfg.seed,
+        };
+        Hnsw {
+            dim: dim.max(1),
+            cfg,
+            entry: None,
+            max_level: 0,
+            levels: Vec::new(),
+            vectors: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Construction parameters.
+    pub fn config(&self) -> HnswConfig {
+        self.cfg
+    }
+
+    /// The stored (normalized) vector of `id`; empty slice for an
+    /// out-of-range id.
+    pub fn vector(&self, id: u32) -> &[f32] {
+        let start = (id as usize).saturating_mul(self.dim);
+        self.vectors.get(start..start + self.dim).unwrap_or(&[])
+    }
+
+    /// Level assigned to `id` — a pure function of `(seed, id)`, so it is
+    /// independent of insertion history.
+    fn level_for(&self, id: u32) -> usize {
+        let h = splitmix64(self.cfg.seed ^ u64::from(id).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // 53 uniform mantissa bits → u in (0, 1]; -ln(u)·ml is the usual
+        // geometric-ish HNSW level draw with ml = 1/ln(m).
+        let u = 1.0 - (h >> 11) as f64 / (1u64 << 53) as f64;
+        let ml = 1.0 / (self.cfg.m as f64).ln();
+        let lvl = (-u.ln() * ml) as usize;
+        lvl.min(MAX_LEVEL)
+    }
+
+    fn neighbors(&self, id: u32, level: usize) -> &[u32] {
+        self.links
+            .get(id as usize)
+            .and_then(|per_node| per_node.get(level))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Similarity of stored node `id` to a query slice — the dot product
+    /// of the stored (normalized) vector with `q`, i.e. the cosine when
+    /// `q` is normalized too. Out-of-range ids and shorter queries zip to
+    /// fewer terms and score toward zero; nothing panics.
+    pub fn sim_to(&self, id: u32, q: &[f32]) -> f32 {
+        dot(self.vector(id), q)
+    }
+
+    /// Similarity between two stored nodes.
+    fn sim_pair(&self, a: u32, b: u32) -> f32 {
+        dot(self.vector(a), self.vector(b))
+    }
+
+    /// Copy `v` into a `dim`-sized normalized buffer (zero-padding or
+    /// truncating a mismatched length, so no input shape can panic).
+    fn fit(&self, v: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for (dst, src) in out.iter_mut().zip(v) {
+            *dst = if src.is_finite() { *src } else { 0.0 };
+        }
+        normalize(&mut out);
+        out
+    }
+
+    /// Greedy descent on one level: hill-climb to the rank-best neighbor
+    /// until no neighbor improves. Ties go to the lower id via the
+    /// ranking order, so the path is deterministic.
+    fn greedy(&self, q: &[f32], mut ep: u32, level: usize) -> u32 {
+        let mut best = self.sim_to(ep, q);
+        loop {
+            let mut improved = false;
+            for &nb in self.neighbors(ep, level) {
+                let s = self.sim_to(nb, q);
+                if Ranked(nb, s) < Ranked(ep, best) {
+                    ep = nb;
+                    best = s;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// The ef-bounded best-first search of one level, returning up to
+    /// `ef` results best-first under the ranking order.
+    fn search_layer(&self, q: &[f32], eps: &[u32], ef: usize, level: usize) -> Vec<(u32, f32)> {
+        let ef = ef.max(1);
+        let mut visited: FxHashSet<u32> = FxHashSet::default();
+        // Max-heap root = worst kept result (Ord *is* the ranking order).
+        let mut results: BinaryHeap<Ranked<u32, f32>> = BinaryHeap::new();
+        // Reverse ⇒ pops the rank-best unexplored candidate first.
+        let mut frontier: BinaryHeap<Reverse<Ranked<u32, f32>>> = BinaryHeap::new();
+        for &e in eps {
+            if visited.insert(e) {
+                let s = self.sim_to(e, q);
+                results.push(Ranked(e, s));
+                frontier.push(Reverse(Ranked(e, s)));
+            }
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+        while let Some(Reverse(cand)) = frontier.pop() {
+            if results.len() >= ef {
+                match results.peek() {
+                    Some(worst) if cand > *worst => break,
+                    _ => {}
+                }
+            }
+            for &nb in self.neighbors(cand.0, level) {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let s = self.sim_to(nb, q);
+                let keep =
+                    results.len() < ef || results.peek().is_none_or(|worst| Ranked(nb, s) < *worst);
+                if keep {
+                    frontier.push(Reverse(Ranked(nb, s)));
+                    results.push(Ranked(nb, s));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        // Ascending under the ranking Ord = best-first.
+        results
+            .into_sorted_vec()
+            .into_iter()
+            .map(|r| (r.0, r.1))
+            .collect()
+    }
+
+    /// The HNSW neighbor-selection heuristic, made deterministic: walk
+    /// candidates best-first, keep one iff it is closer to the base than
+    /// to every already-kept neighbor (diversity), then backfill with the
+    /// best pruned ones up to `m`.
+    fn select_neighbors(&self, cands: &[(u32, f32)], m: usize) -> Vec<(u32, f32)> {
+        let mut selected: Vec<(u32, f32)> = Vec::with_capacity(m);
+        let mut pruned: Vec<(u32, f32)> = Vec::new();
+        for &(c, sim_c) in cands {
+            if selected.len() >= m {
+                break;
+            }
+            let diverse = selected.iter().all(|&(s, _)| self.sim_pair(c, s) <= sim_c);
+            if diverse {
+                selected.push((c, sim_c));
+            } else {
+                pruned.push((c, sim_c));
+            }
+        }
+        for &(c, s) in &pruned {
+            if selected.len() >= m {
+                break;
+            }
+            selected.push((c, s));
+        }
+        selected
+    }
+
+    /// Insert a vector (stored L2-normalized) and return its id — always
+    /// the current [`len`](Self::len), so ids are dense insertion
+    /// ordinals. Single-threaded id-order insertion is what makes builds
+    /// byte-reproducible.
+    pub fn insert(&mut self, vector: &[f32]) -> u32 {
+        let id = self.levels.len() as u32;
+        let v = self.fit(vector);
+        let level = self.level_for(id);
+        self.vectors.extend_from_slice(&v);
+        self.levels.push(level as u32);
+        self.links.push(vec![Vec::new(); level + 1]);
+        let Some(mut ep) = self.entry else {
+            self.entry = Some(id);
+            self.max_level = level;
+            return id;
+        };
+        // Descend greedily through levels above the node's own.
+        for l in (level + 1..=self.max_level).rev() {
+            ep = self.greedy(&v, ep, l);
+        }
+        // Connect on every level the node lives on.
+        let mut eps = vec![ep];
+        for l in (0..=level.min(self.max_level)).rev() {
+            let cands = self.search_layer(&v, &eps, self.cfg.ef_construction, l);
+            let selected = self.select_neighbors(&cands, self.cfg.m);
+            let m_max = if l == 0 { self.cfg.m * 2 } else { self.cfg.m };
+            if let Some(slot) = self
+                .links
+                .get_mut(id as usize)
+                .and_then(|per_node| per_node.get_mut(l))
+            {
+                *slot = selected.iter().map(|&(c, _)| c).collect();
+            }
+            for &(nb, _) in &selected {
+                self.link_back(nb, id, l, m_max);
+            }
+            eps = cands.into_iter().map(|(c, _)| c).collect();
+            if eps.is_empty() {
+                eps = vec![ep];
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Add the back-edge `nb → id` at `level`, re-selecting `nb`'s
+    /// neighbor list when it overflows `m_max`.
+    fn link_back(&mut self, nb: u32, id: u32, level: usize, m_max: usize) {
+        let current = self.neighbors(nb, level);
+        if current.contains(&id) {
+            return;
+        }
+        if current.len() < m_max {
+            if let Some(slot) = self
+                .links
+                .get_mut(nb as usize)
+                .and_then(|per_node| per_node.get_mut(level))
+            {
+                slot.push(id);
+            }
+            return;
+        }
+        // Overflow: rank all candidates by similarity to `nb` and keep a
+        // diverse `m_max` of them.
+        let mut cands: Vec<(u32, f32)> = current
+            .iter()
+            .chain(std::iter::once(&id))
+            .map(|&c| (c, self.sim_pair(c, nb)))
+            .collect();
+        cands.sort_by(rank::by_score_then_id);
+        let kept: Vec<u32> = self
+            .select_neighbors(&cands, m_max)
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect();
+        if let Some(slot) = self
+            .links
+            .get_mut(nb as usize)
+            .and_then(|per_node| per_node.get_mut(level))
+        {
+            *slot = kept;
+        }
+    }
+
+    /// Approximate k-nearest-neighbor search: the best `k` of an
+    /// `ef`-wide level-0 frontier (`ef` is raised to `k` if below),
+    /// best-first under the ranking order — similarity descending, id
+    /// ascending, no duplicates.
+    pub fn knn(&self, query: &[f32], k: usize, ef: usize) -> Vec<(u32, f32)> {
+        let Some(entry) = self.entry else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        let q = self.fit(query);
+        let mut ep = entry;
+        for l in (1..=self.max_level).rev() {
+            ep = self.greedy(&q, ep, l);
+        }
+        let mut out = self.search_layer(&q, &[ep], ef.max(k), 0);
+        out.truncate(k);
+        out
+    }
+
+    /// Exact brute-force kNN over every stored vector — the oracle
+    /// [`knn`](Self::knn) is recall-gated against.
+    pub fn scan_knn(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
+        let q = self.fit(query);
+        let mut top = TopK::new(k);
+        for id in 0..self.levels.len() as u32 {
+            top.push(id, self.sim_to(id, &q));
+        }
+        top.into_sorted_vec()
+    }
+
+    // ---- codec -------------------------------------------------------------
+
+    /// Serialize into `out`. The layout is fixed-stride little-endian
+    /// (header, per-node levels, vectors, then one CSR adjacency per
+    /// level), so equal indexes always produce equal bytes.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let n = self.levels.len();
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.dim as u32).to_le_bytes());
+        out.extend_from_slice(&(self.cfg.m as u32).to_le_bytes());
+        out.extend_from_slice(&(self.cfg.ef_construction as u32).to_le_bytes());
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        out.extend_from_slice(&self.entry.unwrap_or(u32::MAX).to_le_bytes());
+        out.extend_from_slice(&(self.max_level as u32).to_le_bytes());
+        out.extend_from_slice(&self.cfg.seed.to_le_bytes());
+        for &l in &self.levels {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        for &x in &self.vectors {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        if n == 0 {
+            return;
+        }
+        for level in 0..=self.max_level {
+            let mut off = 0u32;
+            out.extend_from_slice(&off.to_le_bytes());
+            for id in 0..n as u32 {
+                off = off.saturating_add(self.neighbors(id, level).len() as u32);
+                out.extend_from_slice(&off.to_le_bytes());
+            }
+            for id in 0..n as u32 {
+                for &nb in self.neighbors(id, level) {
+                    out.extend_from_slice(&nb.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decode an index previously produced by [`encode`](Self::encode),
+    /// validating every count, id and offset — corrupt input of any shape
+    /// is a typed [`LoadError`], never a panic. `decode(encode(x)) == x`,
+    /// and re-encoding reproduces the input bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Hnsw, LoadError> {
+        let mut r = ByteReader::new(bytes, "ann index");
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(r.corrupt(format!("unsupported ann version {version}")));
+        }
+        let dim = r.u32()? as usize;
+        let m = r.u32()? as usize;
+        let ef_construction = r.u32()? as usize;
+        let n = r.u32()? as usize;
+        let entry_raw = r.u32()?;
+        let max_level = r.u32()? as usize;
+        let seed = r.u64()?;
+        if dim == 0 || dim > 4096 {
+            return Err(r.corrupt("dimension out of range"));
+        }
+        if !(2..=64).contains(&m) || max_level > MAX_LEVEL {
+            return Err(r.corrupt("parameters out of range"));
+        }
+        // Counts are validated against the bytes actually present before
+        // any allocation is sized from them.
+        let need = n
+            .checked_mul(4 + dim * 4)
+            .ok_or_else(|| r.corrupt("node count overflows"))?;
+        if r.remaining() < need {
+            return Err(r.corrupt("truncated node data"));
+        }
+        let entry = if entry_raw == u32::MAX {
+            None
+        } else if (entry_raw as usize) < n {
+            Some(entry_raw)
+        } else {
+            return Err(r.corrupt("entry point out of range"));
+        };
+        if entry.is_none() && n != 0 {
+            return Err(r.corrupt("non-empty index without an entry point"));
+        }
+        let mut levels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = r.u32()?;
+            if l as usize > max_level {
+                return Err(r.corrupt("node level above max level"));
+            }
+            levels.push(l);
+        }
+        if let Some(e) = entry {
+            if levels.get(e as usize).copied() != Some(max_level as u32) {
+                return Err(r.corrupt("entry point is not on the max level"));
+            }
+        }
+        let mut vectors = Vec::with_capacity(n * dim);
+        for _ in 0..n * dim {
+            let x = r.f32()?;
+            if !x.is_finite() {
+                return Err(r.corrupt("non-finite vector component"));
+            }
+            vectors.push(x);
+        }
+        let mut links: Vec<Vec<Vec<u32>>> = levels
+            .iter()
+            .map(|&l| vec![Vec::new(); l as usize + 1])
+            .collect();
+        if n > 0 {
+            for level in 0..=max_level {
+                let mut offsets = Vec::with_capacity(n + 1);
+                for _ in 0..=n {
+                    offsets.push(r.u32()? as usize);
+                }
+                if offsets.first() != Some(&0) {
+                    return Err(r.corrupt("adjacency offsets must start at zero"));
+                }
+                let total = offsets.last().copied().unwrap_or(0);
+                if total > r.remaining() / 4 {
+                    return Err(r.corrupt("adjacency longer than section"));
+                }
+                for id in 0..n {
+                    let (start, end) = match (offsets.get(id), offsets.get(id + 1)) {
+                        (Some(&s), Some(&e)) if s <= e => (s, e),
+                        _ => return Err(r.corrupt("adjacency offsets must be non-decreasing")),
+                    };
+                    let degree = end - start;
+                    let node_level = levels.get(id).copied().unwrap_or(0) as usize;
+                    if level > node_level && degree > 0 {
+                        return Err(r.corrupt("neighbors above the node's level"));
+                    }
+                    let mut nbs = Vec::with_capacity(degree);
+                    for _ in 0..degree {
+                        let nb = r.u32()?;
+                        if nb as usize >= n || nb as usize == id {
+                            return Err(r.corrupt("neighbor id out of range"));
+                        }
+                        if levels.get(nb as usize).map_or(0, |&l| l as usize) < level {
+                            return Err(r.corrupt("neighbor below this level"));
+                        }
+                        nbs.push(nb);
+                    }
+                    if let Some(slot) = links
+                        .get_mut(id)
+                        .and_then(|per_node| per_node.get_mut(level))
+                    {
+                        *slot = nbs;
+                    }
+                }
+            }
+        }
+        r.expect_end()?;
+        Ok(Hnsw {
+            dim,
+            cfg: HnswConfig {
+                m,
+                ef_construction: ef_construction.max(1),
+                seed,
+            },
+            entry,
+            max_level,
+            levels,
+            vectors,
+            links,
+        })
+    }
+}
+
+/// Sequential validating little-endian reader (the ann-payload analogue
+/// of the codec's varint `Cursor`).
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8], section: &'static str) -> Self {
+        ByteReader {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    pub(crate) fn corrupt(&self, msg: impl Into<String>) -> LoadError {
+        LoadError::Corrupt(self.section, msg.into())
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], LoadError> {
+        let bytes = self
+            .buf
+            .get(self.pos..self.pos + N)
+            .and_then(|b| <[u8; N]>::try_from(b).ok())
+            .ok_or_else(|| self.corrupt("truncated integer"))?;
+        self.pos += N;
+        Ok(bytes)
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, LoadError> {
+        Ok(u32::from_le_bytes(self.take()?))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, LoadError> {
+        Ok(u64::from_le_bytes(self.take()?))
+    }
+
+    pub(crate) fn f32(&mut self) -> Result<f32, LoadError> {
+        Ok(f32::from_le_bytes(self.take()?))
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
+        let out = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or_else(|| self.corrupt("truncated payload"))?;
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn expect_end(&self) -> Result<(), LoadError> {
+        if self.pos != self.buf.len() {
+            return Err(self.corrupt("trailing bytes in section"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen::<f32>() - 0.5).collect())
+            .collect()
+    }
+
+    fn build(vectors: &[Vec<f32>], cfg: HnswConfig) -> Hnsw {
+        let dim = vectors.first().map_or(4, Vec::len);
+        let mut h = Hnsw::new(dim, cfg);
+        for v in vectors {
+            h.insert(v);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_index_answers_empty() {
+        let h = Hnsw::new(8, HnswConfig::default());
+        assert!(h.knn(&[1.0; 8], 5, 32).is_empty());
+        assert!(h.scan_knn(&[1.0; 8], 5).is_empty());
+        let mut bytes = Vec::new();
+        h.encode(&mut bytes);
+        assert_eq!(Hnsw::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn knn_is_exact_on_small_sets() {
+        // With ef ≥ n the frontier visits the whole connected graph, so
+        // the approximate search must equal the scan oracle.
+        let vectors = random_vectors(64, 8, 7);
+        let h = build(&vectors, HnswConfig::default());
+        for (qi, q) in vectors.iter().enumerate().step_by(9) {
+            let approx = h.knn(q, 10, 64);
+            let exact = h.scan_knn(q, 10);
+            assert_eq!(approx, exact, "query {qi}");
+            assert_eq!(approx.first().map(|&(id, _)| id), Some(qi as u32));
+        }
+    }
+
+    #[test]
+    fn results_are_rank_ordered_without_duplicates() {
+        let vectors = random_vectors(200, 6, 3);
+        let h = build(
+            &vectors,
+            HnswConfig {
+                m: 8,
+                ..HnswConfig::default()
+            },
+        );
+        let out = h.knn(&vectors[17], 20, 40);
+        assert!(!out.is_empty());
+        let mut sorted = out.clone();
+        sorted.sort_by(rank::by_score_then_id);
+        assert_eq!(out, sorted, "results must follow the ranking order");
+        let ids: FxHashSet<u32> = out.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids.len(), out.len(), "no duplicate ids");
+    }
+
+    #[test]
+    fn same_inserts_same_seed_is_byte_identical() {
+        let vectors = random_vectors(120, 8, 11);
+        let cfg = HnswConfig {
+            seed: 5,
+            ..HnswConfig::default()
+        };
+        let (a, b) = (build(&vectors, cfg), build(&vectors, cfg));
+        let (mut ba, mut bb) = (Vec::new(), Vec::new());
+        a.encode(&mut ba);
+        b.encode(&mut bb);
+        assert_eq!(ba, bb, "same seed + inserts must be byte-identical");
+        // A different seed re-rolls levels and produces different bytes.
+        let c = build(&vectors, HnswConfig { seed: 6, ..cfg });
+        let mut bc = Vec::new();
+        c.encode(&mut bc);
+        assert_ne!(ba, bc);
+    }
+
+    #[test]
+    fn decode_roundtrips_and_reencodes_identically() {
+        let vectors = random_vectors(90, 5, 23);
+        let h = build(&vectors, HnswConfig::default());
+        let mut bytes = Vec::new();
+        h.encode(&mut bytes);
+        let back = Hnsw::decode(&bytes).unwrap();
+        assert_eq!(back, h);
+        let mut again = Vec::new();
+        back.encode(&mut again);
+        assert_eq!(bytes, again);
+        // The decoded index answers identically.
+        assert_eq!(back.knn(&vectors[3], 5, 50), h.knn(&vectors[3], 5, 50));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let h = build(&random_vectors(24, 4, 1), HnswConfig::default());
+        let mut bytes = Vec::new();
+        h.encode(&mut bytes);
+        for len in 0..bytes.len() {
+            assert!(Hnsw::decode(&bytes[..len]).is_err(), "truncation at {len}");
+        }
+    }
+
+    #[test]
+    fn corrupt_fields_are_typed_errors() {
+        let h = build(&random_vectors(24, 4, 1), HnswConfig::default());
+        let mut bytes = Vec::new();
+        h.encode(&mut bytes);
+        // Version.
+        let mut b = bytes.clone();
+        b[0] = 99;
+        assert!(Hnsw::decode(&b).is_err());
+        // Entry point beyond n.
+        let mut b = bytes.clone();
+        b[16..20].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(Hnsw::decode(&b).is_err());
+        // A neighbor id in the adjacency tail flipped out of range.
+        let mut b = bytes.clone();
+        let tail = b.len() - 4;
+        b[tail..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Hnsw::decode(&b).is_err());
+        // Trailing garbage.
+        let mut b = bytes.clone();
+        b.push(0);
+        assert!(Hnsw::decode(&b).is_err());
+    }
+
+    #[test]
+    fn recall_is_high_on_clustered_data() {
+        // Clustered vectors (the realistic embedding shape): recall@10
+        // against the exact oracle must clear the CI gate's floor.
+        let mut rng = StdRng::seed_from_u64(99);
+        let dim = 16;
+        let centers: Vec<Vec<f32>> = (0..8)
+            .map(|_| (0..dim).map(|_| rng.gen::<f32>() - 0.5).collect())
+            .collect();
+        let vectors: Vec<Vec<f32>> = (0..600)
+            .map(|i| {
+                let c = &centers[i % centers.len()];
+                c.iter()
+                    .map(|x| x + 0.1 * (rng.gen::<f32>() - 0.5))
+                    .collect()
+            })
+            .collect();
+        let h = build(&vectors, HnswConfig::default());
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in vectors.iter().step_by(13) {
+            let approx: FxHashSet<u32> = h.knn(q, 10, 64).into_iter().map(|(id, _)| id).collect();
+            for (id, _) in h.scan_knn(q, 10) {
+                total += 1;
+                hit += usize::from(approx.contains(&id));
+            }
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.9, "recall@10 {recall} below the gate floor");
+    }
+
+    #[test]
+    fn mismatched_query_lengths_do_not_panic() {
+        let h = build(&random_vectors(10, 4, 2), HnswConfig::default());
+        assert!(!h.knn(&[1.0], 3, 8).is_empty());
+        assert!(!h.knn(&[1.0; 64], 3, 8).is_empty());
+        assert!(!h.knn(&[f32::NAN; 4], 3, 8).is_empty());
+        assert_eq!(h.knn(&[], 3, 8).len(), 3);
+    }
+}

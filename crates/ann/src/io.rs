@@ -1,0 +1,145 @@
+//! Snapshot I/O for ann-bearing snapshots: the one-stop load/save
+//! helpers the CLI and `alicoco-serve` use when a snapshot may carry
+//! the `AVOC`/`ACON`/`AITM` trailer sections.
+//!
+//! These sit in this crate (not `core::store`) because core treats the
+//! ANN payloads as opaque bytes — only this crate knows how to decode
+//! them into an [`AnnBundle`].
+
+use std::path::Path;
+
+use alicoco::snapshot::binary::{self, AnnPayload, SnapshotView};
+use alicoco::snapshot::SaveError;
+use alicoco::store::{FileLoadError, Format};
+use alicoco::AliCoCo;
+use alicoco_obs::{Registry, Stopwatch};
+
+use crate::bundle::AnnBundle;
+
+/// Serialize a net plus its retrieval bundle as one binary snapshot
+/// with the three ANN trailer sections.
+pub fn save_snapshot_with_bundle(
+    kg: &AliCoCo,
+    bundle: &AnnBundle,
+    out: &mut Vec<u8>,
+) -> Result<(), SaveError> {
+    let (vocab, concepts, items) = bundle.encode();
+    binary::save_with_ann(
+        kg,
+        Some(AnnPayload {
+            vocab: &vocab,
+            concepts: &concepts,
+            items: &items,
+        }),
+        out,
+    )
+}
+
+/// Decode a snapshot buffer into the net plus its bundle, if the
+/// snapshot carries one. TSV snapshots (and binary snapshots without
+/// the trailer) load with `None`.
+pub fn load_snapshot_with_bundle(
+    bytes: &[u8],
+) -> Result<(AliCoCo, Option<AnnBundle>), alicoco::snapshot::LoadError> {
+    if Format::detect(bytes) != Format::Binary {
+        let store = alicoco::store::store_for(Format::Tsv);
+        return Ok((store.load(bytes)?, None));
+    }
+    let view = SnapshotView::open(bytes)?;
+    let kg = view.to_graph()?;
+    let bundle = view
+        .ann()
+        .map(|(v, c, i)| AnnBundle::decode(v, c, i))
+        .transpose()?;
+    Ok((kg, bundle))
+}
+
+/// Read `path`, sniff the codec, and load net + optional bundle,
+/// recording the same `snapshot.<fmt>.*` metrics as
+/// [`alicoco::store::load_file`] — the serve binary's loading path.
+pub fn load_file_with_bundle(
+    path: &Path,
+    metrics: &Registry,
+) -> Result<(AliCoCo, Option<AnnBundle>), FileLoadError> {
+    let bytes = std::fs::read(path).map_err(FileLoadError::Io)?;
+    let fmt = Format::detect(&bytes).name();
+    let watch = Stopwatch::start();
+    let loaded = load_snapshot_with_bundle(&bytes)?;
+    metrics
+        .histogram(&format!("snapshot.{fmt}.load_ns"))
+        .record_duration(watch.elapsed());
+    metrics
+        .counter(&format!("snapshot.{fmt}.loaded_bytes"))
+        .add(bytes.len() as u64);
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::build_default_bundle;
+
+    fn sample_kg() -> AliCoCo {
+        let mut kg = AliCoCo::new();
+        let root = kg.add_class("root", None);
+        let event = kg.add_class("Event", Some(root));
+        let bbq = kg.add_primitive("barbecue", event);
+        let c = kg.add_concept("outdoor barbecue");
+        kg.link_concept_primitive(c, bbq);
+        let i = kg.add_item(&["charcoal".into(), "grill".into()]);
+        kg.link_concept_item(c, i, 0.75);
+        kg
+    }
+
+    #[test]
+    fn snapshot_with_bundle_roundtrips() {
+        let kg = sample_kg();
+        let bundle = build_default_bundle(&kg);
+        let mut bytes = Vec::new();
+        save_snapshot_with_bundle(&kg, &bundle, &mut bytes).unwrap();
+        let (kg2, bundle2) = load_snapshot_with_bundle(&bytes).unwrap();
+        assert_eq!(kg2, kg);
+        assert_eq!(bundle2.as_ref(), Some(&bundle));
+        // Saving again from the reloaded pair is byte-identical.
+        let mut again = Vec::new();
+        save_snapshot_with_bundle(&kg2, &bundle2.unwrap(), &mut again).unwrap();
+        assert_eq!(bytes, again);
+        // A bare binary snapshot loads with no bundle.
+        let mut bare = Vec::new();
+        binary::save(&kg, &mut bare).unwrap();
+        let (kg3, none) = load_snapshot_with_bundle(&bare).unwrap();
+        assert_eq!(kg3, kg);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn file_loader_records_metrics_and_types_errors() {
+        let dir = std::env::temp_dir().join(format!("alicoco-ann-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let kg = sample_kg();
+        let bundle = build_default_bundle(&kg);
+        let mut bytes = Vec::new();
+        save_snapshot_with_bundle(&kg, &bundle, &mut bytes).unwrap();
+        let path = dir.join("net.alcc");
+        std::fs::write(&path, &bytes).unwrap();
+        let reg = Registry::new();
+        let (kg2, loaded) = load_file_with_bundle(&path, &reg).unwrap();
+        assert_eq!(kg2, kg);
+        assert_eq!(loaded, Some(bundle));
+        assert_eq!(
+            reg.counter("snapshot.binary.loaded_bytes").get(),
+            bytes.len() as u64
+        );
+        assert!(matches!(
+            load_file_with_bundle(&dir.join("absent"), &reg),
+            Err(FileLoadError::Io(_))
+        ));
+        let truncated = dir.join("trunc.alcc");
+        std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            load_file_with_bundle(&truncated, &reg),
+            Err(FileLoadError::Load(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,91 @@
+//! Recall calibration harness for the serving-bench workload. Ignored by
+//! default: run `cargo test --release -p alicoco-ann -- --ignored
+//! --nocapture` to re-measure recall@10 across query-time `ef` (and a
+//! doubled `ef_construction`) on the same 100k clustered synthetic set
+//! the serving bench gates on, when retuning `ANN_EF` or the index
+//! defaults against the `serving.ann.recall_at_10 >= 0.9` floor.
+
+use alicoco_ann::{Hnsw, HnswConfig};
+
+const N: usize = 100_000;
+const DIM: usize = 32;
+const CLUSTERS: usize = 256;
+const QUERIES: usize = 512;
+const K: usize = 10;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f32 {
+    (splitmix(state) >> 40) as f32 / (1u64 << 23) as f32 * 2.0 - 1.0
+}
+
+fn clustered_vectors(n: usize, dim: usize, clusters: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut state = seed;
+    let anchors: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| unit(&mut state)).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let anchor = &anchors[i % clusters];
+            anchor.iter().map(|a| a + 0.3 * unit(&mut state)).collect()
+        })
+        .collect()
+}
+
+fn recall_at_k(index: &Hnsw, queries: &[Vec<f32>], ef: usize) -> f64 {
+    let mut sum = 0.0;
+    for q in queries {
+        let approx = index.knn(q, K, ef);
+        let exact = index.scan_knn(q, K);
+        let exact_ids: std::collections::BTreeSet<u32> = exact.iter().map(|a| a.0).collect();
+        let hits = approx.iter().filter(|a| exact_ids.contains(&a.0)).count();
+        sum += hits as f64 / K as f64;
+    }
+    sum / queries.len() as f64
+}
+
+#[test]
+#[ignore = "calibration harness: minutes of wall clock, prints a table"]
+fn recall_vs_ef_on_the_bench_workload() {
+    let vectors = clustered_vectors(N, DIM, CLUSTERS, 0x0A11_C0C0);
+    for ef_construction in [100usize, 200] {
+        let cfg = HnswConfig {
+            ef_construction,
+            ..HnswConfig::default()
+        };
+        let t = std::time::Instant::now();
+        let mut index = Hnsw::new(DIM, cfg);
+        for v in &vectors {
+            index.insert(v);
+        }
+        let build = t.elapsed().as_secs_f64();
+
+        let mut state = 0x00C0_FFEE;
+        let queries: Vec<Vec<f32>> = (0..QUERIES)
+            .map(|_| {
+                let id = (splitmix(&mut state) % N as u64) as u32;
+                let mut q: Vec<f32> = index.vector(id).to_vec();
+                for x in &mut q {
+                    *x += 0.1 * unit(&mut state);
+                }
+                q
+            })
+            .collect();
+
+        println!("ef_construction {ef_construction}: build {build:.1} s");
+        for ef in [64usize, 96, 128, 192, 256] {
+            let t = std::time::Instant::now();
+            let recall = recall_at_k(&index, &queries, ef);
+            let per_query_ns = t.elapsed().as_nanos() as f64 / QUERIES as f64;
+            println!(
+                "  ef {ef:>3}: recall@{K} {recall:.4} (~{per_query_ns:.0} ns/query incl. oracle)"
+            );
+        }
+    }
+}

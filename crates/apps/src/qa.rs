@@ -7,8 +7,17 @@ use std::sync::Arc;
 use alicoco::query::QueryIndex;
 use alicoco::rank::{by_score_then_id, TopK};
 use alicoco::{AliCoCo, ConceptId, ItemId};
+use alicoco_ann::AnnBundle;
 use alicoco_nn::util::FxHashSet;
 use alicoco_obs::{Counter, Histogram, Registry, SpanTimer};
+
+/// Weight of the vector cosine in the fused resolution score, and how
+/// many nearest concepts the HNSW index proposes per question. QA keeps
+/// fixed fusion knobs (unlike [`crate::SearchConfig`]) because question
+/// resolution wants one concept, not a tunable ranking.
+const VECTOR_WEIGHT: f64 = 0.5;
+const ANN_K: usize = 8;
+const ANN_EF: usize = 64;
 
 /// Pre-registered `qa.*` metric handles.
 #[derive(Clone, Debug)]
@@ -69,6 +78,7 @@ const QUESTION_WORDS: &[&str] = &[
 pub struct ScenarioQa<'kg> {
     kg: &'kg AliCoCo,
     index: QueryIndex<'kg>,
+    ann: Option<Arc<AnnBundle>>,
     metrics: Option<QaMetrics>,
 }
 
@@ -78,8 +88,20 @@ impl<'kg> ScenarioQa<'kg> {
         ScenarioQa {
             kg,
             index: QueryIndex::build(kg),
+            ann: None,
             metrics: None,
         }
+    }
+
+    /// Attach a retrieval bundle: content words are embedded and the HNSW
+    /// nearest concepts join the lexical candidates with a
+    /// `VECTOR_WEIGHT · max(0, cos)` fused bonus, so a question whose
+    /// content words never appear in a concept surface ("what do I need
+    /// for charcoal?") can still resolve.
+    #[must_use]
+    pub fn with_ann(mut self, bundle: Arc<AnnBundle>) -> Self {
+        self.ann = Some(bundle);
+        self
     }
 
     /// Create an instance recording `qa.*` metrics into `metrics`.
@@ -143,15 +165,37 @@ impl<'kg> ScenarioQa<'kg> {
         }
         let word_set: FxHashSet<&str> = words.iter().map(String::as_str).collect();
         // Only concepts on the content words' posting lists can have a
-        // positive match score; keep the single best (ties resolve to the
-        // lowest concept id, as a full in-order scan would).
+        // positive lexical score; with a bundle attached the HNSW nearest
+        // concepts of the embedded question join the candidate union and
+        // everything is scored lexical + vector. Keep the single best
+        // (ties resolve to the lowest concept id, as a full in-order scan
+        // would).
         let mut best = TopK::new(1);
-        let candidates = self.index.concept_candidates(word_set.iter().copied());
+        let mut candidates = self.index.concept_candidates(word_set.iter().copied());
+        let qvec = self
+            .ann
+            .as_ref()
+            .and_then(|b| b.embed_query(&words.join(" ")));
+        if let (Some(bundle), Some(q)) = (&self.ann, &qvec) {
+            let lexical: FxHashSet<ConceptId> = candidates.iter().copied().collect();
+            candidates.extend(
+                bundle
+                    .concepts()
+                    .knn(q, ANN_K, ANN_EF)
+                    .into_iter()
+                    .map(|(id, _)| ConceptId::from_index(id as usize))
+                    .filter(|cid| !lexical.contains(cid)),
+            );
+        }
         if let Some(m) = &self.metrics {
             m.candidates.add(candidates.len() as u64);
         }
         for cid in candidates {
-            let base = self.match_score(cid, &word_set);
+            let mut base = self.match_score(cid, &word_set);
+            if let (Some(bundle), Some(q)) = (&self.ann, &qvec) {
+                let cos = bundle.concepts().sim_to(cid.index() as u32, q);
+                base += VECTOR_WEIGHT * f64::from(cos.max(0.0));
+            }
             if base > 0.0 {
                 // Stocked concepts get a bonus so they win ties.
                 let stocked = !self.kg.concept(cid).items.is_empty();
@@ -302,6 +346,38 @@ mod tests {
         assert_eq!(reg.counter("qa.sibling_fallbacks").get(), 1);
         assert!(reg.counter("qa.candidates").get() >= 2);
         assert_eq!(reg.histogram("qa.answer_ns").count(), 3);
+    }
+
+    /// Hybrid retrieval: a question whose only content word appears in an
+    /// item title (never in a concept surface or primitive) resolves
+    /// through the vector candidates.
+    #[test]
+    fn lexical_miss_question_resolves_via_vectors() {
+        let kg = sample_kg();
+        let plain = ScenarioQa::new(&kg);
+        assert!(
+            plain.answer("what do i need for charcoal?").is_none(),
+            "lexical-only QA is blind to item-title tokens"
+        );
+        let bundle = Arc::new(alicoco_ann::build_default_bundle(&kg));
+        let qa = ScenarioQa::new(&kg).with_ann(bundle);
+        let a = qa
+            .answer("what do i need for charcoal?")
+            .expect("vector candidates must resolve the question");
+        assert_eq!(a.concept_name, "outdoor barbecue");
+        assert!(!a.checklist.is_empty());
+        // Lexically resolvable questions still resolve identically.
+        assert_eq!(
+            qa.answer("what should i prepare for a barbecue?")
+                .map(|a| a.concept),
+            plain
+                .answer("what should i prepare for a barbecue?")
+                .map(|a| a.concept)
+        );
+        // Unknown vocabulary still fails closed.
+        assert!(qa
+            .answer("what should i buy for quantum entanglement?")
+            .is_none());
     }
 
     #[test]

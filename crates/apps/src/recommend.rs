@@ -7,6 +7,7 @@ use std::sync::Arc;
 use alicoco::query::QueryIndex;
 use alicoco::rank::TopK;
 use alicoco::{AliCoCo, ConceptId, ItemId, PrimitiveId};
+use alicoco_ann::AnnBundle;
 use alicoco_nn::util::{FxHashMap, FxHashSet};
 use alicoco_obs::{Counter, Histogram, Registry, SpanTimer};
 
@@ -59,6 +60,13 @@ pub enum Reason {
         /// The shared primitive concepts.
         primitives: Vec<PrimitiveId>,
     },
+    /// A viewed item's embedding is close to the concept's — the hybrid
+    /// trigger for concepts sharing neither links nor primitives with the
+    /// history.
+    SimilarIntent {
+        /// The viewed item whose vector triggered the card.
+        item: ItemId,
+    },
 }
 
 impl Reason {
@@ -81,6 +89,11 @@ impl Reason {
                     concept
                 )
             }
+            Reason::SimilarIntent { item } => format!(
+                "close to what \"{}\" is for — {}",
+                kg.item(*item).title.join(" "),
+                concept
+            ),
         }
     }
 }
@@ -96,6 +109,15 @@ pub struct RecommendConfig {
     pub direct_weight: f64,
     /// Vote weight of each shared primitive.
     pub shared_weight: f64,
+    /// Vote weight of the cosine between a viewed item's embedding and a
+    /// concept's, when an [`AnnBundle`] is attached. Deliberately below
+    /// `shared_weight`·votes so vector evidence refines but never outranks
+    /// graph evidence.
+    pub vector_weight: f64,
+    /// Nearest concepts proposed per history item by the HNSW index.
+    pub ann_k: usize,
+    /// `ef` beam width for the HNSW search.
+    pub ann_ef: usize,
 }
 
 impl Default for RecommendConfig {
@@ -105,6 +127,9 @@ impl Default for RecommendConfig {
             items_per_card: 8,
             direct_weight: 1.0,
             shared_weight: 0.2,
+            vector_weight: 0.1,
+            ann_k: 8,
+            ann_ef: 64,
         }
     }
 }
@@ -115,6 +140,7 @@ pub struct CognitiveRecommender<'kg> {
     cfg: RecommendConfig,
     /// Shared serving index (primitive → concepts postings).
     index: QueryIndex<'kg>,
+    ann: Option<Arc<AnnBundle>>,
     metrics: Option<RecommendMetrics>,
 }
 
@@ -125,8 +151,19 @@ impl<'kg> CognitiveRecommender<'kg> {
             kg,
             cfg,
             index: QueryIndex::build(kg),
+            ann: None,
             metrics: None,
         }
+    }
+
+    /// Attach a retrieval bundle: each viewed item's stored embedding
+    /// votes (weight `cfg.vector_weight · max(0, cos)`) for its nearest
+    /// concepts in the HNSW index, so a history can trigger a concept it
+    /// shares neither item links nor primitives with.
+    #[must_use]
+    pub fn with_ann(mut self, bundle: Arc<AnnBundle>) -> Self {
+        self.ann = Some(bundle);
+        self
     }
 
     /// Create an instance recording `recommend.*` metrics into `metrics`.
@@ -146,6 +183,7 @@ impl<'kg> CognitiveRecommender<'kg> {
         let mut votes: FxHashMap<ConceptId, f64> = FxHashMap::default();
         let mut direct_trigger: FxHashMap<ConceptId, ItemId> = FxHashMap::default();
         let mut shared: FxHashMap<ConceptId, FxHashSet<PrimitiveId>> = FxHashMap::default();
+        let mut vector_trigger: FxHashMap<ConceptId, ItemId> = FxHashMap::default();
         for &item in history {
             for &cid in self.kg.concepts_for_item(item) {
                 *votes.entry(cid).or_insert(0.0) += self.cfg.direct_weight;
@@ -155,6 +193,19 @@ impl<'kg> CognitiveRecommender<'kg> {
                 for &cid in self.index.concepts_by_primitive(p) {
                     *votes.entry(cid).or_insert(0.0) += self.cfg.shared_weight;
                     shared.entry(cid).or_default().insert(p);
+                }
+            }
+            if let Some(bundle) = &self.ann {
+                // The viewed item's stored embedding votes for its nearest
+                // concepts; zero-or-negative cosines never vote, so a
+                // zero-vector item (all-unknown title) adds nothing.
+                let qv = bundle.items().vector(item.index() as u32);
+                for (id, cos) in bundle.concepts().knn(qv, self.cfg.ann_k, self.cfg.ann_ef) {
+                    if cos > 0.0 {
+                        let cid = ConceptId::from_index(id as usize);
+                        *votes.entry(cid).or_insert(0.0) += self.cfg.vector_weight * f64::from(cos);
+                        vector_trigger.entry(cid).or_insert(item);
+                    }
                 }
             }
         }
@@ -170,16 +221,21 @@ impl<'kg> CognitiveRecommender<'kg> {
         ranked
             .into_iter()
             .map(|(cid, affinity)| {
-                let reason = match direct_trigger.get(&cid) {
-                    Some(&item) => Reason::ViewedItem { item },
-                    None => {
-                        let mut prims: Vec<PrimitiveId> = shared
-                            .get(&cid)
-                            .map(|s| s.iter().copied().collect())
-                            .unwrap_or_default();
+                // Reason preference mirrors evidence strength: a direct
+                // link beats shared primitives beats vector proximity.
+                let reason = match (direct_trigger.get(&cid), shared.get(&cid)) {
+                    (Some(&item), _) => Reason::ViewedItem { item },
+                    (None, Some(s)) if !s.is_empty() => {
+                        let mut prims: Vec<PrimitiveId> = s.iter().copied().collect();
                         prims.sort();
                         Reason::SharedNeed { primitives: prims }
                     }
+                    _ => match vector_trigger.get(&cid) {
+                        Some(&item) => Reason::SimilarIntent { item },
+                        None => Reason::SharedNeed {
+                            primitives: Vec::new(),
+                        },
+                    },
                 };
                 // Novelty (§8.2.1): never re-show viewed items.
                 let items: Vec<(ItemId, f32)> = self
@@ -274,6 +330,34 @@ mod tests {
         assert_eq!(reg.counter("recommend.history_items").get(), 1);
         assert_eq!(reg.counter("recommend.candidates").get(), 1);
         assert_eq!(reg.histogram("recommend.total_ns").count(), 2);
+    }
+
+    /// Hybrid retrieval: an item with no concept link and no primitive can
+    /// still trigger the concept its embedding sits next to, with a
+    /// vector-proximity reason — and graph evidence still outranks it.
+    #[test]
+    fn vector_proximity_triggers_unlinked_concepts() {
+        let (mut kg, grill, _, c) = sample_kg();
+        // "skewers" shares barbecue vocabulary through its concept-item
+        // corpus co-occurrence only: no link, no primitive.
+        let skewers = kg.add_item(&["charcoal".into(), "skewers".into()]);
+        let bundle = Arc::new(alicoco_ann::build_default_bundle(&kg));
+        let plain = CognitiveRecommender::new(&kg, RecommendConfig::default());
+        assert!(
+            plain.recommend(&[skewers]).is_empty(),
+            "graph-only recommender has no evidence for this history"
+        );
+        let rec = CognitiveRecommender::new(&kg, RecommendConfig::default()).with_ann(bundle);
+        let out = rec.recommend(&[skewers]);
+        assert!(!out.is_empty(), "vector votes must surface a concept");
+        assert_eq!(out[0].concept, c);
+        assert_eq!(out[0].reason, Reason::SimilarIntent { item: skewers });
+        let text = out[0].reason.text(&kg, &out[0].name);
+        assert!(text.contains("skewers"), "reason text: {text}");
+        // A direct link still outranks pure vector proximity.
+        let fused = rec.recommend(&[grill]);
+        assert_eq!(fused[0].concept, c);
+        assert_eq!(fused[0].reason, Reason::ViewedItem { item: grill });
     }
 
     #[test]

@@ -6,10 +6,17 @@
 use std::sync::Arc;
 
 use alicoco::{AliCoCo, PrimitiveId};
+use alicoco_ann::AnnBundle;
 use alicoco_nn::util::FxHashSet;
 use alicoco_obs::{Counter, Histogram, Registry, SpanTimer};
 use alicoco_text::bm25::{Bm25Index, Bm25Metrics, Bm25Params};
 use alicoco_text::vocab::{TokenId, Vocab};
+
+/// Weight of the vector cosine in the fused item score, and how many
+/// nearest items the HNSW index proposes per query.
+const VECTOR_WEIGHT: f64 = 0.5;
+const ANN_K: usize = 16;
+const ANN_EF: usize = 64;
 
 /// Pre-registered `relevance.*` metric handles.
 #[derive(Clone, Debug)]
@@ -36,6 +43,7 @@ pub struct RelevanceScorer<'kg> {
     kg: &'kg AliCoCo,
     vocab: Vocab,
     index: Bm25Index,
+    ann: Option<Arc<AnnBundle>>,
     metrics: Option<RelevanceMetrics>,
 }
 
@@ -53,8 +61,20 @@ impl<'kg> RelevanceScorer<'kg> {
             kg,
             vocab,
             index,
+            ann: None,
             metrics: None,
         }
+    }
+
+    /// Attach a retrieval bundle: [`Self::top_items`] additionally embeds
+    /// the query, unions the HNSW nearest *items* into the BM25 candidate
+    /// set, and scores the union `bm25 + VECTOR_WEIGHT · max(0, cos)` —
+    /// so a query word that titles no item can still retrieve the items
+    /// of the concept it embeds next to.
+    #[must_use]
+    pub fn with_ann(mut self, bundle: Arc<AnnBundle>) -> Self {
+        self.ann = Some(bundle);
+        self
     }
 
     /// Build the scorer recording `relevance.*` (and the underlying
@@ -138,9 +158,31 @@ impl<'kg> RelevanceScorer<'kg> {
             m.queries.inc();
             SpanTimer::new(Arc::clone(&m.retrieve_ns))
         });
+        let qvec = self
+            .ann
+            .as_ref()
+            .and_then(|b| b.embed_query(&words.join(" ")));
         let mut top = alicoco::rank::TopK::new(k);
-        for (doc, score) in self.index.candidate_scores(&self.encode(words)) {
-            top.push(alicoco::ItemId::from_index(doc), score);
+        if let (Some(bundle), Some(q)) = (&self.ann, &qvec) {
+            // Hybrid: fuse `bm25 + VECTOR_WEIGHT · max(0, cos)` over the
+            // union of BM25 candidates and the HNSW nearest items.
+            let mut fused: alicoco_nn::util::FxHashMap<usize, f64> = self
+                .index
+                .candidate_scores(&self.encode(words))
+                .into_iter()
+                .collect();
+            for (id, _) in bundle.items().knn(q, ANN_K.max(k), ANN_EF) {
+                fused.entry(id as usize).or_insert(0.0);
+            }
+            for (doc, bm25) in fused {
+                let cos = bundle.items().sim_to(doc as u32, q);
+                let score = bm25 + VECTOR_WEIGHT * f64::from(cos.max(0.0));
+                top.push(alicoco::ItemId::from_index(doc), score);
+            }
+        } else {
+            for (doc, score) in self.index.candidate_scores(&self.encode(words)) {
+                top.push(alicoco::ItemId::from_index(doc), score);
+            }
         }
         top.into_sorted_vec()
     }
@@ -247,6 +289,38 @@ mod tests {
         // The underlying BM25 index records too.
         assert_eq!(reg.counter("bm25.queries").get(), 1);
         assert!(reg.counter("bm25.postings_scanned").get() > 0);
+    }
+
+    /// Hybrid retrieval: a query word titling no item retrieves the items
+    /// whose embeddings sit next to it (trained over concept surfaces and
+    /// item titles together).
+    #[test]
+    fn vector_candidates_recover_title_misses() {
+        let mut kg = AliCoCo::new();
+        let root = kg.add_class("concept", None);
+        let event = kg.add_class("Event", Some(root));
+        let bbq = kg.add_primitive("barbecue", event);
+        let c = kg.add_concept("outdoor barbecue");
+        kg.link_concept_primitive(c, bbq);
+        let grill = kg.add_item(&["charcoal".into(), "grill".into()]);
+        kg.link_concept_item(c, grill, 0.9);
+        let c2 = kg.add_concept("indoor yoga");
+        let mat = kg.add_item(&["yoga".into(), "mat".into()]);
+        kg.link_concept_item(c2, mat, 0.8);
+        let q = vec!["barbecue".to_string()];
+        // "barbecue" titles no item: keyword BM25 retrieves nothing.
+        let plain = RelevanceScorer::build(&kg);
+        assert!(plain.top_items(&q, 5).is_empty());
+        let bundle = Arc::new(alicoco_ann::build_default_bundle(&kg));
+        let fused = RelevanceScorer::build(&kg).with_ann(bundle);
+        let hits = fused.top_items(&q, 5);
+        assert!(!hits.is_empty(), "vector candidates must surface items");
+        assert_eq!(hits[0].0, grill, "the barbecue-linked item ranks first");
+        // Lexical hits keep their BM25 evidence and gain the bonus.
+        let direct = fused.top_items(&["charcoal".to_string()], 5);
+        assert_eq!(direct[0].0, grill);
+        let plain_direct = plain.top_items(&["charcoal".to_string()], 5);
+        assert!(direct[0].1 >= plain_direct[0].1);
     }
 
     #[test]

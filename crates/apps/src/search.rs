@@ -9,12 +9,25 @@
 //! best `k` in a bounded heap. [`SemanticSearch::search_scan`] retains the
 //! original full-scan ranking as the reference implementation; property
 //! tests assert the two agree card-for-card.
+//!
+//! ## Hybrid retrieval
+//!
+//! With an [`AnnBundle`] attached ([`SemanticSearch::with_ann`]) the
+//! candidate set becomes the *union* of the lexical posting lists and the
+//! HNSW nearest concepts of the embedded query, and every candidate is
+//! scored `lexical + vector_weight · max(0, cos)` using the exact stored
+//! vector — the approximate index only proposes candidates, it never
+//! scores them. This closes the zero-token-overlap gap: "charcoal" has no
+//! surface or primitive in common with "outdoor barbecue", but its
+//! embedding (trained over item titles too) does. Without a bundle the
+//! engine is byte-for-byte the lexical engine it always was.
 
 use std::sync::Arc;
 
 use alicoco::query::QueryIndex;
 use alicoco::rank::TopK;
 use alicoco::{AliCoCo, ConceptId, ItemId};
+use alicoco_ann::AnnBundle;
 use alicoco_nn::util::FxHashSet;
 use alicoco_obs::{Counter, Histogram, Registry, StageClock};
 
@@ -25,6 +38,7 @@ struct SearchMetrics {
     requests: Arc<Counter>,
     candidates_examined: Arc<Counter>,
     postings_hit: Arc<Counter>,
+    ann_candidates: Arc<Counter>,
     retrieve_ns: Arc<Histogram>,
     score_ns: Arc<Histogram>,
     rank_ns: Arc<Histogram>,
@@ -38,6 +52,7 @@ impl SearchMetrics {
             requests: reg.counter("search.requests"),
             candidates_examined: reg.counter("search.candidates_examined"),
             postings_hit: reg.counter("search.postings_hit"),
+            ann_candidates: reg.counter("search.ann_candidates"),
             retrieve_ns: reg.histogram("search.retrieve_ns"),
             score_ns: reg.histogram("search.score_ns"),
             rank_ns: reg.histogram("search.rank_ns"),
@@ -76,6 +91,15 @@ pub struct SearchConfig {
     pub stocked_bonus: f64,
     /// Worker threads used by [`SemanticSearch::search_batch`].
     pub batch_workers: usize,
+    /// Weight of the (non-negative) cosine between the embedded query and
+    /// a concept's stored vector when an [`AnnBundle`] is attached.
+    pub vector_weight: f64,
+    /// Nearest concepts proposed by the HNSW index per query (the index
+    /// proposes at least `max(ann_k, k)` so a tight `k` never starves the
+    /// union).
+    pub ann_k: usize,
+    /// `ef` beam width for the HNSW search.
+    pub ann_ef: usize,
 }
 
 impl Default for SearchConfig {
@@ -86,6 +110,9 @@ impl Default for SearchConfig {
             primitive_weight: 0.3,
             stocked_bonus: 0.1,
             batch_workers: 4,
+            vector_weight: 0.6,
+            ann_k: 16,
+            ann_ef: 64,
         }
     }
 }
@@ -97,6 +124,7 @@ pub struct SemanticSearch<'kg> {
     kg: &'kg AliCoCo,
     index: QueryIndex<'kg>,
     cfg: SearchConfig,
+    ann: Option<Arc<AnnBundle>>,
     metrics: Option<SearchMetrics>,
 }
 
@@ -107,8 +135,18 @@ impl<'kg> SemanticSearch<'kg> {
             kg,
             index: QueryIndex::build(kg),
             cfg,
+            ann: None,
             metrics: None,
         }
+    }
+
+    /// Attach a retrieval bundle: queries are additionally embedded and
+    /// the HNSW nearest concepts join the lexical candidate union (module
+    /// docs, "Hybrid retrieval").
+    #[must_use]
+    pub fn with_ann(mut self, bundle: Arc<AnnBundle>) -> Self {
+        self.ann = Some(bundle);
+        self
     }
 
     /// Build the engine recording `search.*` metrics into `metrics`.
@@ -130,6 +168,7 @@ impl<'kg> SemanticSearch<'kg> {
             kg,
             index,
             cfg,
+            ann: None,
             metrics: None,
         }
     }
@@ -169,6 +208,45 @@ impl<'kg> SemanticSearch<'kg> {
         score
     }
 
+    /// Embed the query through the attached bundle, if any. `None` when
+    /// no bundle is attached or no query token is in the vocabulary.
+    fn query_vector(&self, query: &str) -> Option<Vec<f32>> {
+        self.ann.as_ref()?.embed_query(query)
+    }
+
+    /// The vector half of the fused score: `vector_weight · max(0, cos)`
+    /// against the concept's **exact stored vector** (the approximate
+    /// index only proposes candidates; it never scores them).
+    fn vector_bonus(&self, cid: ConceptId, qvec: Option<&[f32]>) -> f64 {
+        match (&self.ann, qvec) {
+            (Some(bundle), Some(q)) => {
+                let cos = bundle.concepts().sim_to(cid.index() as u32, q);
+                self.cfg.vector_weight * f64::from(cos.max(0.0))
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Fused score of one concept: lexical plus vector bonus.
+    fn fused_score(&self, cid: ConceptId, words: &FxHashSet<&str>, qvec: Option<&[f32]>) -> f64 {
+        self.score_concept(cid, words) + self.vector_bonus(cid, qvec)
+    }
+
+    /// Nearest-concept ids proposed by the HNSW index for an embedded
+    /// query, mapped back to [`ConceptId`]s (index slot `i` is the concept
+    /// with ordinal `i` — the bundle is built over concepts in id order).
+    fn ann_candidates(&self, qvec: Option<&[f32]>, k: usize) -> Vec<ConceptId> {
+        match (&self.ann, qvec) {
+            (Some(bundle), Some(q)) => bundle
+                .concepts()
+                .knn(q, self.cfg.ann_k.max(k), self.cfg.ann_ef)
+                .into_iter()
+                .map(|(id, _)| ConceptId::from_index(id as usize))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
     /// Retrieve concept cards for a keyword query.
     ///
     /// Only concepts on the posting lists of the query's words are scored
@@ -189,16 +267,24 @@ impl<'kg> SemanticSearch<'kg> {
             return Vec::new();
         }
         let mut clock = StageClock::started(self.metrics.is_some());
-        let (candidates, postings) = self.index.concept_candidates_counted(words.iter().copied());
+        let (mut candidates, postings) =
+            self.index.concept_candidates_counted(words.iter().copied());
+        let qvec = self.query_vector(query);
+        let ann = self.ann_candidates(qvec.as_deref(), k);
+        if !ann.is_empty() {
+            let lexical: FxHashSet<ConceptId> = candidates.iter().copied().collect();
+            candidates.extend(ann.iter().filter(|cid| !lexical.contains(cid)));
+        }
         if let Some(m) = &self.metrics {
             m.requests.inc();
             m.postings_hit.add(postings as u64);
+            m.ann_candidates.add(ann.len() as u64);
             m.candidates_examined.add(candidates.len() as u64);
             clock.lap(&m.retrieve_ns);
         }
         let mut top = TopK::new(k);
         for cid in candidates {
-            let score = self.score_concept(cid, &words);
+            let score = self.fused_score(cid, &words, qvec.as_deref());
             if score > 0.0 {
                 top.push(cid, score);
             }
@@ -217,18 +303,22 @@ impl<'kg> SemanticSearch<'kg> {
         cards
     }
 
-    /// Reference ranking: score every concept in the net, sort, truncate.
-    /// Kept as the oracle the indexed [`search`](Self::search) is verified
-    /// against (and benchmarked over).
+    /// Reference ranking: score every concept in the net with the **full
+    /// fused score** (lexical + vector bonus when a bundle is attached),
+    /// sort, truncate. This is the exact oracle the hybrid
+    /// [`search`](Self::search) is recall-gated against: the only way the
+    /// two can disagree is the HNSW index failing to propose a concept
+    /// whose fused score makes the top `k`.
     pub fn search_scan(&self, query: &str) -> Vec<ConceptCard> {
         let words: FxHashSet<&str> = query.split_whitespace().collect();
         if words.is_empty() {
             return Vec::new();
         }
+        let qvec = self.query_vector(query);
         let mut scored: Vec<(ConceptId, f64)> = self
             .kg
             .concept_ids()
-            .map(|cid| (cid, self.score_concept(cid, &words)))
+            .map(|cid| (cid, self.fused_score(cid, &words, qvec.as_deref())))
             .filter(|&(_, s)| s > 0.0)
             .collect();
         scored.sort_by(alicoco::rank::by_score_then_id);
@@ -501,6 +591,54 @@ mod tests {
             fast.keyword_items("charcoal grill", 5),
             fresh.keyword_items("charcoal grill", 5)
         );
+    }
+
+    /// The tentpole acceptance property: a query with **zero** token
+    /// overlap with every concept surface and primitive still resolves to
+    /// the right concept through the vector half of the hybrid union.
+    #[test]
+    fn lexical_miss_query_reaches_concept_via_vectors() {
+        let mut kg = sample_kg();
+        // Stock "indoor yoga" so the training corpus separates the two
+        // concepts' item vocabularies.
+        let c2 = kg.concept_by_name("indoor yoga").unwrap();
+        let mat = kg.add_item(&["yoga".into(), "mat".into()]);
+        kg.link_concept_item(c2, mat, 0.7);
+        let bundle = Arc::new(alicoco_ann::build_default_bundle(&kg));
+        // "charcoal" appears only in an item title: the lexical engine is
+        // structurally blind to it…
+        let lexical = SemanticSearch::new(&kg, SearchConfig::default());
+        assert!(lexical.search("charcoal").is_empty());
+        // …but the fused union proposes the barbecue concept.
+        let s = SemanticSearch::new(&kg, SearchConfig::default()).with_ann(Arc::clone(&bundle));
+        let cards = s.search("charcoal");
+        assert!(!cards.is_empty(), "fused path must propose a concept");
+        assert_eq!(cards[0].name, "outdoor barbecue");
+        // The hybrid ranking agrees with the fused exact-scan oracle.
+        for q in ["charcoal", "barbecue outdoor", "yoga", "nothing here", ""] {
+            assert_eq!(s.search(q), s.search_scan(q), "query {q:?}");
+        }
+        // Vector evidence is additive: a lexically-matching query keeps
+        // its card, and the fused score is at least the lexical one.
+        let fused = s.search("barbecue outdoor");
+        let plain = lexical.search("barbecue outdoor");
+        assert_eq!(fused[0].name, plain[0].name);
+        assert!(fused[0].score >= plain[0].score);
+    }
+
+    #[test]
+    fn hybrid_search_counts_ann_candidates() {
+        let kg = sample_kg();
+        let bundle = Arc::new(alicoco_ann::build_default_bundle(&kg));
+        let reg = Registry::new();
+        let wired =
+            SemanticSearch::with_metrics(&kg, SearchConfig::default(), &reg).with_ann(bundle);
+        let _ = wired.search("charcoal");
+        assert!(reg.counter("search.ann_candidates").get() > 0);
+        // Unknown-token queries embed to nothing and propose nothing.
+        let before = reg.counter("search.ann_candidates").get();
+        assert!(wired.search("zzz unknown").is_empty());
+        assert_eq!(reg.counter("search.ann_candidates").get(), before);
     }
 
     #[test]

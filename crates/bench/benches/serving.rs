@@ -9,13 +9,22 @@
 //! the binary codec answers zero-copy from a freshly opened view — with
 //! byte-identity and answer equality asserted before any timing. The
 //! first-answer ratio is the gated metric (`snapshot.*.cold_load_speedup`,
-//! absolute floor in `alicoco_bench::compare`). Emits `BENCH_serving.json`
-//! at the workspace root for the CI perf gate.
+//! absolute floor in `alicoco_bench::compare`). Finally measures the HNSW
+//! vector index on a synthetic clustered workload (100k vectors by
+//! default, 1M with `ALICOCO_BENCH_ANN_1M=1`): well-formedness is
+//! asserted and recall@10 against the exact `scan_knn` oracle is measured
+//! *before* any timing, then per-query knn latency percentiles and the
+//! build cost are reported as `serving.ann.*` — `recall_at_10` is the
+//! gated metric (absolute ≥ 0.9 floor in `alicoco_bench::compare`).
+//! Emits `BENCH_serving.json` at the workspace root for the CI perf
+//! gate, stamped with the machine's `cpus` so cpu-conditional floors
+//! apply.
 
 use std::time::Instant;
 
 use alicoco::snapshot::binary::SnapshotView;
 use alicoco::store::{BinaryStore, Store, TsvStore};
+use alicoco_ann::{Hnsw, HnswConfig};
 use alicoco_apps::{
     CognitiveRecommender, RecommendConfig, ScenarioQa, SearchConfig, SemanticSearch,
 };
@@ -30,6 +39,13 @@ const SNAPSHOT_ROUNDS: usize = 5;
 const SNAPSHOT_ROUNDS_1M: usize = 3;
 const BATCH: usize = 64;
 const MAX_OVERHEAD_PCT: f64 = 5.0;
+const ANN_VECTORS: usize = 100_000;
+const ANN_VECTORS_1M: usize = 1_000_000;
+const ANN_DIM: usize = 32;
+const ANN_CLUSTERS: usize = 256;
+const ANN_QUERIES: usize = 512;
+const ANN_K: usize = 10;
+const ANN_EF: usize = 96;
 
 fn queries(n: usize) -> Vec<String> {
     let vocab = scale_vocab();
@@ -222,6 +238,115 @@ fn snapshot_json(c: &SnapshotCosts) -> String {
     )
 }
 
+/// SplitMix64: a deterministic, dependency-free stream for the synthetic
+/// vector workload. Seeded construction makes every run (and every
+/// machine) benchmark the identical index.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in [-1, 1).
+fn unit(state: &mut u64) -> f32 {
+    (splitmix(state) >> 40) as f32 / (1u64 << 23) as f32 * 2.0 - 1.0
+}
+
+/// Clustered synthetic embeddings: seeded anchor directions plus per-point
+/// noise, mimicking the concept-embedding geometry (trained embeddings of
+/// related concepts bunch around shared topics) rather than the
+/// adversarially-uniform sphere where any ANN graph looks artificially bad.
+fn clustered_vectors(n: usize, dim: usize, clusters: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut state = seed;
+    let anchors: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| unit(&mut state)).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let anchor = &anchors[i % clusters];
+            anchor.iter().map(|a| a + 0.3 * unit(&mut state)).collect()
+        })
+        .collect()
+}
+
+/// Build cost, oracle recall, and query latency of the HNSW index on the
+/// synthetic clustered workload.
+struct AnnCosts {
+    n_vectors: usize,
+    build_secs: f64,
+    recall_at_10: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+fn ann_costs(n: usize) -> AnnCosts {
+    let vectors = clustered_vectors(n, ANN_DIM, ANN_CLUSTERS, 0x0A11_C0C0);
+    let t = Instant::now();
+    let mut index = Hnsw::new(ANN_DIM, HnswConfig::default());
+    for v in &vectors {
+        index.insert(v);
+    }
+    let build_secs = t.elapsed().as_secs_f64();
+
+    // Queries: perturbed stored vectors, so every query has meaningful
+    // near neighbors to recall.
+    let mut state = 0x00C0_FFEE;
+    let queries: Vec<Vec<f32>> = (0..ANN_QUERIES)
+        .map(|_| {
+            let id = (splitmix(&mut state) % n as u64) as u32;
+            let mut q: Vec<f32> = index.vector(id).to_vec();
+            for x in &mut q {
+                *x += 0.1 * unit(&mut state);
+            }
+            q
+        })
+        .collect();
+
+    // Correctness gate before any timing: every answer set is k-sized,
+    // duplicate-free, and in rank order; recall@10 against the exact scan
+    // oracle is measured here (and gated via `serving.ann.recall_at_10`).
+    let mut recall_sum = 0.0;
+    for q in &queries {
+        let approx = index.knn(q, ANN_K, ANN_EF);
+        assert_eq!(approx.len(), ANN_K, "knn returned fewer than k answers");
+        for w in approx.windows(2) {
+            assert!(
+                w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                "knn answers out of rank order"
+            );
+        }
+        let mut ids: Vec<u32> = approx.iter().map(|a| a.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), approx.len(), "knn returned a duplicate id");
+        let exact = index.scan_knn(q, ANN_K);
+        let hits = approx
+            .iter()
+            .filter(|a| exact.iter().any(|e| e.0 == a.0))
+            .count();
+        recall_sum += hits as f64 / exact.len().max(1) as f64;
+    }
+    let recall_at_10 = recall_sum / queries.len() as f64;
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(queries.len());
+    for q in &queries {
+        let t = Instant::now();
+        std::hint::black_box(index.knn(q, ANN_K, ANN_EF));
+        latencies.push(t.elapsed().as_nanos() as u64);
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize];
+    AnnCosts {
+        n_vectors: n,
+        build_secs,
+        recall_at_10,
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+    }
+}
+
 fn main() {
     let kg = scale_world(N_CONCEPTS);
     let plain = SemanticSearch::new(&kg, SearchConfig::default());
@@ -322,8 +447,30 @@ fn main() {
     drop(big);
     print_snapshot_costs("n1000k", &snap_1m);
 
+    // Vector index on the synthetic clustered workload. 100k vectors by
+    // default; paper scale (1M) is opt-in because the build alone takes
+    // minutes.
+    let ann_n = if std::env::var("ALICOCO_BENCH_ANN_1M").is_ok() {
+        ANN_VECTORS_1M
+    } else {
+        ANN_VECTORS
+    };
+    let ann = ann_costs(ann_n);
+    println!(
+        "serving/ann: {} vectors, build {:.1} s, recall@10 {:.4}, knn p50 {} ns p99 {} ns",
+        ann.n_vectors, ann.build_secs, ann.recall_at_10, ann.p50_ns, ann.p99_ns,
+    );
+
+    // Machine context: cpu-conditional floors in `alicoco_bench::compare`
+    // (speedups, saturation throughput) key off this stamp, mirroring
+    // BENCH_train.json.
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     let json = format!(
-        "{{\n  \"n_concepts\": {N_CONCEPTS},\n  \"queries_per_round\": {QUERIES},\n  \
+        "{{\n  \"n_concepts\": {N_CONCEPTS},\n  \"cpus\": {cpus},\n  \
+         \"queries_per_round\": {QUERIES},\n  \
          \"rounds\": {ROUNDS},\n  \"search\": {{\n    \
          \"plain_per_query_ns\": {:.0},\n    \"instrumented_per_query_ns\": {:.0},\n    \
          \"overhead_pct\": {overhead_pct:.3},\n    \
@@ -333,7 +480,12 @@ fn main() {
          \"batch_size\": {BATCH},\n    \"qps\": {batch_qps:.0}\n  }},\n  \"qa\": {{\n    \
          \"p50_ns\": {},\n    \"p99_ns\": {}\n  }},\n  \"recommend\": {{\n    \
          \"p50_ns\": {},\n    \"p99_ns\": {}\n  }},\n  \"snapshot\": {{\n    \
-         \"n50k\": {{\n      {}\n    }},\n    \"n1000k\": {{\n      {}\n    }}\n  }}\n}}\n",
+         \"n50k\": {{\n      {}\n    }},\n    \"n1000k\": {{\n      {}\n    }}\n  }},\n  \
+         \"serving\": {{\n    \"ann\": {{\n      \
+         \"n_vectors\": {},\n      \"dim\": {ANN_DIM},\n      \
+         \"queries\": {ANN_QUERIES},\n      \"build_ns\": {:.0},\n      \
+         \"recall_at_10\": {:.4},\n      \"p50_ns\": {},\n      \
+         \"p99_ns\": {}\n    }}\n  }}\n}}\n",
         plain_med / QUERIES as f64 * 1e9,
         instr_med / QUERIES as f64 * 1e9,
         retrieve.p50,
@@ -348,6 +500,11 @@ fn main() {
         rec_snap.p99,
         snapshot_json(&snap_50k),
         snapshot_json(&snap_1m),
+        ann.n_vectors,
+        ann.build_secs * 1e9,
+        ann.recall_at_10,
+        ann.p50_ns,
+        ann.p99_ns,
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
     std::fs::write(out, &json).expect("write BENCH_serving.json");

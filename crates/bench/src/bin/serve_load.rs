@@ -363,7 +363,10 @@ fn run_level(addr: &str, clients: usize, target_qps: f64, secs: f64) -> LevelOut
 }
 
 /// Merge the `serving.http` section into `path` (creating the document
-/// if absent), preserving every other section.
+/// if absent), preserving every other section — including sibling
+/// members of `"serving"` itself (the serving bench writes
+/// `serving.ann` before this sweep runs; replacing the whole object
+/// would silently drop it and fail the perf gate's missing-key check).
 fn merge_summary(path: &str, http: Vec<(String, Json)>) -> Result<(), String> {
     let mut members = match std::fs::read_to_string(path) {
         Ok(src) => match Json::parse(&src).map_err(|e| format!("{path}: {e}"))? {
@@ -373,11 +376,17 @@ fn merge_summary(path: &str, http: Vec<(String, Json)>) -> Result<(), String> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(format!("{path}: {e}")),
     };
-    members.retain(|(k, _)| k != "serving");
-    members.push((
-        "serving".to_string(),
-        Json::Obj(vec![("http".to_string(), Json::Obj(http))]),
-    ));
+    let mut serving = match members.iter().position(|(k, _)| k == "serving") {
+        Some(pos) => match members.remove(pos).1 {
+            Json::Obj(existing) => existing,
+            // A malformed scalar `"serving"` has nothing worth keeping.
+            _ => Vec::new(),
+        },
+        None => Vec::new(),
+    };
+    serving.retain(|(k, _)| k != "http");
+    serving.push(("http".to_string(), Json::Obj(http)));
+    members.push(("serving".to_string(), Json::Obj(serving)));
     std::fs::write(path, Json::Obj(members).render()).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -474,4 +483,53 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_summary_preserves_sibling_serving_sections() {
+        let path =
+            std::env::temp_dir().join(format!("serve_load_merge_{}.json", std::process::id()));
+        let path = path.to_string_lossy().into_owned();
+        std::fs::write(
+            &path,
+            r#"{"cpus": 4, "serving": {"ann": {"recall_at_10": 0.97}, "http": {"p50_ns": 1}}}"#,
+        )
+        .unwrap();
+        merge_summary(&path, vec![("p50_ns".to_string(), Json::Num(2.0))]).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        let flat = alicoco_bench::compare::flatten(&doc);
+        assert!(flat.contains(&("cpus".to_string(), 4.0)), "{flat:?}");
+        assert!(
+            flat.contains(&("serving.ann.recall_at_10".to_string(), 0.97)),
+            "sibling serving.ann must survive the merge: {flat:?}"
+        );
+        assert!(
+            flat.contains(&("serving.http.p50_ns".to_string(), 2.0)),
+            "http must be replaced, not duplicated: {flat:?}"
+        );
+        assert_eq!(
+            flat.iter()
+                .filter(|(k, _)| k == "serving.http.p50_ns")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn merge_summary_creates_the_document_when_absent() {
+        let path =
+            std::env::temp_dir().join(format!("serve_load_create_{}.json", std::process::id()));
+        let path = path.to_string_lossy().into_owned();
+        std::fs::remove_file(&path).ok();
+        merge_summary(&path, vec![("p99_ns".to_string(), Json::Num(7.0))]).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        let flat = alicoco_bench::compare::flatten(&doc);
+        assert!(flat.contains(&("serving.http.p99_ns".to_string(), 7.0)));
+    }
 }

@@ -48,6 +48,14 @@ impl Direction {
             // levels make it chunky, so the floor is one whole level of
             // the smallest sweep step rather than 1 qps.
             (Direction::HigherBetter, 25.0)
+        } else if key.ends_with("recall_at_10") {
+            // Recall fractions in [0, 1] from an approximate index: a
+            // point or two of run-to-run jitter is noise, but quality has
+            // an unconditional absolute bar too — see [`MIN_RECALL_AT_10`]
+            // and the `recall_at_10` arm of the minimum gate in
+            // [`compare`], which fails a low value regardless of what the
+            // baseline had slipped to.
+            (Direction::HigherBetter, 0.02)
         } else if key.ends_with("per_sec") || key.ends_with("qps") {
             (Direction::HigherBetter, 1.0)
         } else if key.ends_with("speedup") {
@@ -87,10 +95,19 @@ pub const MIN_SPEEDUP_PARITY: f64 = 0.9;
 /// storage layer has lost its reason to exist.
 pub const MIN_COLD_LOAD_SPEEDUP: f64 = 5.0;
 
+/// Absolute floor for `*recall_at_10` metrics: the hybrid-retrieval
+/// quality bar. The HNSW index is allowed to be approximate — that is
+/// the whole trade — but below 0.9 recall against the exact scan oracle
+/// the fused candidate set starts silently dropping answers the paper's
+/// semantic-matching task exists to surface, so the gate holds
+/// unconditionally: no baseline drift, machine context, or tolerance
+/// setting weakens it.
+pub const MIN_RECALL_AT_10: f64 = 0.9;
+
 /// Pick the speedup minimum for a current run from its own machine
-/// context: the flattened `cpus` key the train bench records. Runs without
-/// the key (older documents, serving benches) get the conservative parity
-/// minimum.
+/// context: the flattened `cpus` key the train and serving benches both
+/// record. Runs without the key (older documents) get the conservative
+/// parity minimum.
 pub fn speedup_minimum(current: &[(String, f64)]) -> f64 {
     let cpus = current
         .iter()
@@ -193,6 +210,12 @@ pub struct MetricDiff {
 /// or missing baseline. A value below it becomes [`Status::BelowMinimum`],
 /// because a speedup the baseline "tolerates" can still mean the parallel
 /// path has collapsed; pick the floor with [`speedup_minimum`].
+///
+/// Two further machine-aware behaviors: `*recall_at_10` metrics carry the
+/// unconditional [`MIN_RECALL_AT_10`] floor, and `*saturation_qps`
+/// metrics are gated against a baseline pro-rated by the two documents'
+/// recorded `cpus` (a smaller runner is held to a proportionally smaller
+/// throughput bar, never a larger one).
 pub fn compare(
     baseline: &[(String, f64)],
     current: &[(String, f64)],
@@ -203,9 +226,23 @@ pub fn compare(
         if key.ends_with("cold_load_speedup") {
             // Single-core storage gate: always enforced, machine-independent.
             cur < MIN_COLD_LOAD_SPEEDUP
+        } else if key.ends_with("recall_at_10") {
+            // Retrieval-quality gate: always enforced, machine-independent.
+            cur < MIN_RECALL_AT_10
         } else {
             key.ends_with("speedup") && min_speedup.is_some_and(|min| cur < min)
         }
+    };
+    // Saturation throughput scales with cores. When both documents record
+    // their machine's `cpus`, gate `*saturation_qps` against the baseline
+    // pro-rated to the current machine (capped at 1.0 so a bigger runner
+    // never lowers the bar): a 1-cpu runner is not a regression against a
+    // 4-cpu baseline, it is a smaller machine. Documents without the
+    // stamp keep the old unconditional comparison.
+    let cpus_of = |doc: &[(String, f64)]| doc.iter().find(|(k, _)| k == "cpus").map(|(_, v)| *v);
+    let saturation_scale = match (cpus_of(baseline), cpus_of(current)) {
+        (Some(base), Some(cur)) if base > 0.0 && cur > 0.0 => (cur / base).min(1.0),
+        _ => 1.0,
     };
     let mut out = Vec::new();
     let cur_lookup: std::collections::BTreeMap<&str, f64> =
@@ -224,13 +261,20 @@ pub fn compare(
             continue;
         };
         let (dir, floor) = Direction::of(key);
+        // The reported change stays relative to the real baseline value;
+        // only the gate itself uses the cpu-adjusted expectation.
         let change_pct = (*base != 0.0).then(|| (cur - base) / base.abs() * 100.0);
+        let gate_base = if key.ends_with("saturation_qps") {
+            *base * saturation_scale
+        } else {
+            *base
+        };
         let worse_by = match dir {
-            Direction::LowerBetter => cur - base,
-            Direction::HigherBetter => base - cur,
+            Direction::LowerBetter => cur - gate_base,
+            Direction::HigherBetter => gate_base - cur,
             Direction::Info => 0.0,
         };
-        let budget = (tolerance_pct / 100.0 * base.abs()).max(floor);
+        let budget = (tolerance_pct / 100.0 * gate_base.abs()).max(floor);
         let status = if below_minimum(key, cur) {
             Status::BelowMinimum
         } else if dir == Direction::Info {
@@ -512,6 +556,80 @@ mod tests {
         assert_eq!(
             speedup_minimum(&metrics(&[("qps", 100.0)])),
             MIN_SPEEDUP_PARITY
+        );
+    }
+
+    #[test]
+    fn recall_at_10_has_an_unconditional_absolute_floor() {
+        let (dir, floor) = Direction::of("serving.ann.recall_at_10");
+        assert_eq!(dir, Direction::HigherBetter);
+        assert!(floor > 0.0);
+        // Run-to-run jitter of an approximate index stays inside the floor...
+        let base = metrics(&[("serving.ann.recall_at_10", 0.97)]);
+        let cur = metrics(&[("serving.ann.recall_at_10", 0.955)]);
+        assert_eq!(compare(&base, &cur, 15.0, None)[0].status, Status::Ok);
+        // ...but dipping under 0.9 fails even though the relative change
+        // from the baseline is within any tolerance.
+        let cur = metrics(&[("serving.ann.recall_at_10", 0.89)]);
+        assert_eq!(
+            compare(&base, &cur, 50.0, None)[0].status,
+            Status::BelowMinimum
+        );
+        // A brand-new recall key (no baseline) is still held to the floor.
+        let cur = metrics(&[("serving.ann.recall_at_10", 0.85)]);
+        assert_eq!(
+            compare(&metrics(&[]), &cur, 15.0, None)[0].status,
+            Status::BelowMinimum
+        );
+        let cur = metrics(&[("serving.ann.recall_at_10", 0.95)]);
+        assert_eq!(
+            compare(&metrics(&[]), &cur, 15.0, None)[0].status,
+            Status::NewInCurrent
+        );
+        // A baseline that itself slipped below the floor cannot launder a
+        // low current value through the relative gate.
+        let base = metrics(&[("serving.ann.recall_at_10", 0.80)]);
+        let cur = metrics(&[("serving.ann.recall_at_10", 0.80)]);
+        assert_eq!(
+            compare(&base, &cur, 15.0, None)[0].status,
+            Status::BelowMinimum
+        );
+    }
+
+    #[test]
+    fn saturation_qps_gate_is_cpu_conditional() {
+        // Baseline captured on 4 cpus; the current run is a 1-cpu runner.
+        // The bar pro-rates to 800 qps: 900 achieved clears it...
+        let base = metrics(&[("cpus", 4.0), ("serving.http.saturation_qps", 3200.0)]);
+        let cur = metrics(&[("cpus", 1.0), ("serving.http.saturation_qps", 900.0)]);
+        let diffs = compare(&base, &cur, 15.0, None);
+        let sat = diffs
+            .iter()
+            .find(|d| d.key.ends_with("saturation_qps"))
+            .unwrap();
+        assert_ne!(sat.status, Status::Regression, "{diffs:?}");
+        // ...while a collapse below even the pro-rated bar still fails.
+        let cur = metrics(&[("cpus", 1.0), ("serving.http.saturation_qps", 500.0)]);
+        let diffs = compare(&base, &cur, 15.0, None);
+        let sat = diffs
+            .iter()
+            .find(|d| d.key.ends_with("saturation_qps"))
+            .unwrap();
+        assert_eq!(sat.status, Status::Regression);
+        // A bigger runner never lowers the bar: the scale caps at 1.
+        let cur = metrics(&[("cpus", 16.0), ("serving.http.saturation_qps", 1600.0)]);
+        let diffs = compare(&base, &cur, 15.0, None);
+        let sat = diffs
+            .iter()
+            .find(|d| d.key.ends_with("saturation_qps"))
+            .unwrap();
+        assert_eq!(sat.status, Status::Regression);
+        // Documents without the stamp keep the unconditional comparison.
+        let base = metrics(&[("serving.http.saturation_qps", 3200.0)]);
+        let cur = metrics(&[("serving.http.saturation_qps", 900.0)]);
+        assert_eq!(
+            compare(&base, &cur, 15.0, None)[0].status,
+            Status::Regression
         );
     }
 

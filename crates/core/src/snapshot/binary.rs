@@ -80,6 +80,31 @@ const SECTIONS: &[(&[u8; 4], &str)] = &[
     (b"PSTI", "item postings"),
 ];
 
+/// `(tag, human name)` of the optional ANN trailer sections, in order.
+/// A snapshot carries either none of them (the bare 14-section layout,
+/// bytes unchanged from before ANN existed) or all three. Their payloads
+/// are opaque to this codec — the `alicoco-ann` crate defines and
+/// validates the formats — but they get the same table/checksum/bounds
+/// treatment as every other section, so truncation and bitflips are
+/// detected at [`SnapshotView::open`] without core knowing the contents.
+const ANN_SECTIONS: &[(&[u8; 4], &str)] = &[
+    (b"AVOC", "ann vocab"),
+    (b"ACON", "ann concepts"),
+    (b"AITM", "ann items"),
+];
+
+/// The three opaque ANN payloads a snapshot can carry as trailer
+/// sections: the query-embedding vocab and the two vector indexes.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnPayload<'a> {
+    /// `AVOC` — token → embedding table bytes.
+    pub vocab: &'a [u8],
+    /// `ACON` — concept vector index bytes.
+    pub concepts: &'a [u8],
+    /// `AITM` — item vector index bytes.
+    pub items: &'a [u8],
+}
+
 fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
@@ -191,6 +216,17 @@ fn encode_postings(
 /// `out` as one binary snapshot. Output is deterministic: the same net
 /// always produces the same bytes.
 pub fn save(kg: &AliCoCo, out: &mut Vec<u8>) -> Result<(), SaveError> {
+    save_with_ann(kg, None, out)
+}
+
+/// [`save`], optionally appending the three ANN trailer sections.
+/// `save_with_ann(kg, None, out)` is byte-identical to the pre-ANN
+/// format, so bare snapshots round-trip unchanged.
+pub fn save_with_ann(
+    kg: &AliCoCo,
+    ann: Option<AnnPayload<'_>>,
+    out: &mut Vec<u8>,
+) -> Result<(), SaveError> {
     let mut arena = Arena::default();
     let mut clas = Vec::new();
     clas.extend_from_slice(&count_u32(kg.num_classes(), "class")?.to_le_bytes());
@@ -301,18 +337,28 @@ pub fn save(kg: &AliCoCo, out: &mut Vec<u8>) -> Result<(), SaveError> {
         pstc,
         psti,
     ];
+    let mut table: Vec<(&[u8; 4], &[u8])> = SECTIONS
+        .iter()
+        .zip(&sections)
+        .map(|((tag, _), payload)| (*tag, payload.as_slice()))
+        .collect();
+    if let Some(a) = ann {
+        table.push((b"AVOC", a.vocab));
+        table.push((b"ACON", a.concepts));
+        table.push((b"AITM", a.items));
+    }
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&(SECTIONS.len() as u32).to_le_bytes());
-    let mut offset = (HEADER_LEN + SECTIONS.len() * TABLE_ENTRY_LEN) as u64;
-    for ((tag, _), payload) in SECTIONS.iter().zip(&sections) {
+    out.extend_from_slice(&(table.len() as u32).to_le_bytes());
+    let mut offset = (HEADER_LEN + table.len() * TABLE_ENTRY_LEN) as u64;
+    for (tag, payload) in &table {
         out.extend_from_slice(*tag);
         out.extend_from_slice(&offset.to_le_bytes());
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
         offset += payload.len() as u64;
     }
-    for payload in &sections {
+    for (_, payload) in &table {
         out.extend_from_slice(payload);
     }
     Ok(())
@@ -519,6 +565,9 @@ pub struct SnapshotView<'a> {
     relations: FixedSection<'a>,
     pstc: &'a [u8],
     psti: &'a [u8],
+    /// The three opaque ANN trailer payloads, when the snapshot carries
+    /// them (checksummed and bounds-checked like every other section).
+    ann: Option<[&'a [u8]; 3]>,
 }
 
 impl<'a> SnapshotView<'a> {
@@ -535,12 +584,18 @@ impl<'a> SnapshotView<'a> {
         if version != VERSION {
             return Err(corrupt("header", format!("unsupported version {version}")));
         }
-        if u32_at(header, 8) as usize != SECTIONS.len() {
+        let section_count = u32_at(header, 8) as usize;
+        let with_ann = section_count == SECTIONS.len() + ANN_SECTIONS.len();
+        if section_count != SECTIONS.len() && !with_ann {
             return Err(corrupt("header", "wrong section count"));
         }
-        let mut payloads: Vec<&'a [u8]> = Vec::with_capacity(SECTIONS.len());
-        let mut expected = HEADER_LEN + SECTIONS.len() * TABLE_ENTRY_LEN;
-        for (i, (tag, name)) in SECTIONS.iter().enumerate() {
+        let expected_tags = SECTIONS
+            .iter()
+            .chain(if with_ann { ANN_SECTIONS } else { &[] })
+            .copied();
+        let mut payloads: Vec<&'a [u8]> = Vec::with_capacity(section_count);
+        let mut expected = HEADER_LEN + section_count * TABLE_ENTRY_LEN;
+        for (i, (tag, name)) in expected_tags.enumerate() {
             let base = HEADER_LEN + i * TABLE_ENTRY_LEN;
             let entry = bytes
                 .get(base..base + TABLE_ENTRY_LEN)
@@ -573,6 +628,15 @@ impl<'a> SnapshotView<'a> {
                 "trailing bytes after last section",
             ));
         }
+        let ann: Option<[&'a [u8]; 3]> = if with_ann {
+            let mut tail = payloads.split_off(SECTIONS.len());
+            let items = tail.pop().unwrap_or(&[]);
+            let concepts = tail.pop().unwrap_or(&[]);
+            let vocab = tail.pop().unwrap_or(&[]);
+            Some([vocab, concepts, items])
+        } else {
+            None
+        };
         let [stra, clas, prim, conc, item, ppia, ccia, cpri, citm, ipri, schm, prel, pstc, psti]: [&'a [u8];
             14] = payloads
             .try_into()
@@ -594,6 +658,7 @@ impl<'a> SnapshotView<'a> {
             relations: FixedSection::parse(prel, 16, "primitive relations")?,
             pstc,
             psti,
+            ann,
         };
         view.validate_fixed()?;
         Ok(view)
@@ -712,6 +777,15 @@ impl<'a> SnapshotView<'a> {
     /// Space-joined item title, borrowed from the arena.
     pub fn item_title(&self, i: usize) -> &'a str {
         self.str_at(self.items.entry(i))
+    }
+
+    /// The three opaque ANN trailer payloads `(vocab, concepts, items)`,
+    /// borrowed zero-copy from the buffer, when the snapshot carries
+    /// them. Checksums and bounds were verified at [`open`](Self::open);
+    /// the payload *contents* are decoded and validated by the
+    /// `alicoco-ann` crate, which owns their format.
+    pub fn ann(&self) -> Option<(&'a [u8], &'a [u8], &'a [u8])> {
+        self.ann.map(|[v, c, i]| (v, c, i))
     }
 
     /// Materialize the full owned graph via the bulk constructor. Varint
@@ -986,12 +1060,22 @@ impl<'a> SnapshotView<'a> {
             self.psti.len() as u64,
             count_postings(self.psti, "item postings")?,
         ));
+        if let Some(payloads) = self.ann {
+            for ((_, name), payload) in ANN_SECTIONS.iter().zip(payloads) {
+                // Opaque to this codec: byte length only, no record count.
+                out.push((name, payload.len() as u64, 0));
+            }
+        }
         Ok(out)
     }
 }
 
 fn name_of(i: usize) -> &'static str {
-    SECTIONS.get(i).map(|(_, name)| *name).unwrap_or("section")
+    SECTIONS
+        .get(i)
+        .or_else(|| ANN_SECTIONS.get(i.wrapping_sub(SECTIONS.len())))
+        .map(|(_, name)| *name)
+        .unwrap_or("section")
 }
 
 /// One token's arena reference at the cursor, resolved to its `&str`.
@@ -1314,6 +1398,74 @@ mod tests {
         let total: u64 = info.iter().map(|&(_, bytes, _)| bytes).sum();
         assert_eq!(
             total as usize + HEADER_LEN + SECTIONS.len() * TABLE_ENTRY_LEN,
+            bytes.len()
+        );
+    }
+
+    fn sample_ann_bytes() -> Vec<u8> {
+        let ann = AnnPayload {
+            vocab: b"fake vocab payload",
+            concepts: b"fake concept index",
+            items: b"fake item index bytes",
+        };
+        let mut out = Vec::new();
+        save_with_ann(&build_sample(), Some(ann), &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn ann_trailer_roundtrips_and_leaves_the_graph_untouched() {
+        let kg = build_sample();
+        let bytes = sample_ann_bytes();
+        let view = SnapshotView::open(&bytes).unwrap();
+        let (vocab, concepts, items) = view.ann().expect("ann sections present");
+        assert_eq!(vocab, b"fake vocab payload");
+        assert_eq!(concepts, b"fake concept index");
+        assert_eq!(items, b"fake item index bytes");
+        // Zero-copy: the payloads borrow from the buffer.
+        let range = bytes.as_ptr_range();
+        assert!(range.contains(&vocab.as_ptr()) && range.contains(&items.as_ptr()));
+        // The graph is exactly the one a bare snapshot produces.
+        assert_eq!(view.to_graph().unwrap(), kg);
+        // A bare snapshot reports no ann and stays byte-identical to the
+        // pre-ANN `save` output.
+        let bare = sample_bytes();
+        assert!(SnapshotView::open(&bare).unwrap().ann().is_none());
+        let mut via_with_ann = Vec::new();
+        save_with_ann(&kg, None, &mut via_with_ann).unwrap();
+        assert_eq!(bare, via_with_ann);
+    }
+
+    #[test]
+    fn ann_trailer_corruption_is_detected_at_open() {
+        let bytes = sample_ann_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                SnapshotView::open(&bytes[..len]).is_err(),
+                "truncation at {len} must fail"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0x40;
+            assert!(
+                SnapshotView::open(&b).is_err(),
+                "flip at byte {i} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn ann_section_info_lists_the_trailer() {
+        let bytes = sample_ann_bytes();
+        let view = SnapshotView::open(&bytes).unwrap();
+        let info = view.section_info().unwrap();
+        assert_eq!(info.len(), SECTIONS.len() + ANN_SECTIONS.len());
+        let vocab = info.iter().find(|(n, _, _)| *n == "ann vocab").unwrap();
+        assert_eq!(vocab.1, b"fake vocab payload".len() as u64);
+        let total: u64 = info.iter().map(|&(_, bytes, _)| bytes).sum();
+        assert_eq!(
+            total as usize + HEADER_LEN + info.len() * TABLE_ENTRY_LEN,
             bytes.len()
         );
     }

@@ -50,6 +50,37 @@ pub fn by_score_then_id<I: Ord, S: Score>(a: &(I, S), b: &(I, S)) -> Ordering {
     score_desc(&a.1, &b.1).then_with(|| a.0.cmp(&b.0))
 }
 
+/// An `(id, score)` pair whose `Ord` *is* the workspace ranking order
+/// ([`by_score_then_id`]): `Less` means "ranks better". This lets code
+/// outside this module put ranked pairs straight into `BinaryHeap`s and
+/// sorted structures without spelling a float comparison — a max-heap's
+/// root is the worst kept entry, and `Reverse<Ranked<_, _>>` pops
+/// best-first.
+#[derive(Clone, Copy, Debug)]
+pub struct Ranked<I, S>(
+    /// Id (the deterministic tie-break, ascending).
+    pub I,
+    /// Score (descending).
+    pub S,
+);
+
+impl<I: Ord, S: Score> PartialEq for Ranked<I, S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<I: Ord, S: Score> Eq for Ranked<I, S> {}
+impl<I: Ord, S: Score> PartialOrd for Ranked<I, S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<I: Ord, S: Score> Ord for Ranked<I, S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        by_score_then_id(&(&self.0, self.1), &(&other.0, other.1))
+    }
+}
+
 /// Heap entry ordered so the binary max-heap's root is the *worst*
 /// currently-kept candidate (the one a better candidate evicts).
 struct Entry<I, S>((I, S));
@@ -166,6 +197,24 @@ mod tests {
             sorted.truncate(k);
             assert_eq!(heap.into_sorted_vec(), sorted, "k={k}");
         }
+    }
+
+    #[test]
+    fn ranked_wrapper_orders_like_the_comparator() {
+        let mut heap = std::collections::BinaryHeap::new();
+        for (id, s) in [(3u32, 0.5f64), (1, 0.9), (2, 0.9), (4, 0.1)] {
+            heap.push(Ranked(id, s));
+        }
+        // Max-heap root = worst-ranked entry.
+        assert_eq!(heap.peek().map(|r| r.0), Some(4));
+        // Ascending sort = best-first, ties by ascending id.
+        let sorted: Vec<u32> = heap.into_sorted_vec().into_iter().map(|r| r.0).collect();
+        assert_eq!(sorted, vec![1, 2, 3, 4]);
+        // Reverse pops best-first out of a max-heap.
+        let mut rev = std::collections::BinaryHeap::new();
+        rev.push(std::cmp::Reverse(Ranked(7u32, 0.2f32)));
+        rev.push(std::cmp::Reverse(Ranked(5, 0.8)));
+        assert_eq!(rev.pop().map(|r| r.0 .0), Some(5));
     }
 
     #[test]

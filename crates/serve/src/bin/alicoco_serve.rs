@@ -58,14 +58,24 @@ fn run(args: &[String]) -> Result<(), String> {
     let path = snapshot.ok_or("usage: alicoco-serve <snapshot> [flags]")?;
 
     let metrics = Registry::new();
-    let kg = alicoco::store::load_file(std::path::Path::new(path), &metrics)
+    let (kg, bundle) = alicoco_ann::load_file_with_bundle(std::path::Path::new(path), &metrics)
         .map_err(|e| format!("{path}: {e}"))?;
     eprintln!(
-        "alicoco-serve: loaded {path}: {} concepts, {} items",
+        "alicoco-serve: loaded {path}: {} concepts, {} items, retrieval={}",
         kg.num_concepts(),
-        kg.num_items()
+        kg.num_items(),
+        if bundle.is_some() {
+            "hybrid (lexical + vectors)"
+        } else {
+            "lexical"
+        }
     );
-    let pack = ServingPack::build(Arc::new(kg), &EngineConfig::default(), &metrics);
+    let pack = ServingPack::build_with_ann(
+        Arc::new(kg),
+        bundle.map(Arc::new),
+        &EngineConfig::default(),
+        &metrics,
+    );
     let slot = Arc::new(PackSlot::new(pack));
     let server = Server::start(slot, cfg, metrics).map_err(|e| format!("bind: {e}"))?;
     eprintln!("alicoco-serve: listening on http://{}", server.local_addr());

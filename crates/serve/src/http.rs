@@ -44,6 +44,8 @@ pub enum Method {
     Get,
     /// Like GET but the response carries headers only.
     Head,
+    /// Capability probe: routes answer `204` with an `Allow` header.
+    Options,
     /// Accepted by the parser so routes can answer `405` deliberately.
     Post,
 }
@@ -318,6 +320,7 @@ fn parse_request_line(line: &[u8], limits: &Limits) -> Result<(Method, String, b
     let method = match method_tok {
         "GET" => Method::Get,
         "HEAD" => Method::Head,
+        "OPTIONS" => Method::Options,
         "POST" => Method::Post,
         tok if tok.chars().all(|c| c.is_ascii_alphabetic()) && !tok.is_empty() => {
             let mut t = tok.to_string();
@@ -355,6 +358,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// Whether to announce and perform connection close.
     pub close: bool,
+    /// Optional `Allow` header (OPTIONS probes and `405` responses).
+    pub allow: Option<&'static str>,
 }
 
 impl Response {
@@ -365,6 +370,7 @@ impl Response {
             body: body.into_bytes(),
             content_type: "application/json",
             close: false,
+            allow: None,
         }
     }
 
@@ -374,10 +380,17 @@ impl Response {
         self
     }
 
+    /// Attach an `Allow` header listing the methods the route serves.
+    pub fn with_allow(mut self, allow: &'static str) -> Self {
+        self.allow = Some(allow);
+        self
+    }
+
     /// Canonical reason phrase for the status codes the server emits.
     pub fn reason(status: u16) -> &'static str {
         match status {
             200 => "OK",
+            204 => "No Content",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
@@ -400,6 +413,10 @@ impl Response {
         out.push_str(&self.status.to_string());
         out.push(' ');
         out.push_str(Response::reason(self.status));
+        if let Some(allow) = self.allow {
+            out.push_str("\r\nallow: ");
+            out.push_str(allow);
+        }
         out.push_str("\r\nconnection: ");
         out.push_str(if self.close { "close" } else { "keep-alive" });
         out.push_str("\r\ncontent-length: ");
@@ -528,6 +545,31 @@ mod tests {
         // Never send the blank line; the buffer cap must still trip.
         let r = p.feed(format!("GET /{} HTTP/1.1\r\n", "a".repeat(64)).as_bytes());
         assert_eq!(r.unwrap_err(), HttpError::HeadTooLarge);
+    }
+
+    #[test]
+    fn options_requests_parse() {
+        let req = parse_all(b"OPTIONS /search HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::Options);
+        assert_eq!(req.target, "/search");
+    }
+
+    #[test]
+    fn allow_header_encodes_in_alphabetical_position() {
+        let resp = Response::json(204, String::new()).with_allow("GET, HEAD, OPTIONS");
+        let text = String::from_utf8(resp.encode(false)).unwrap();
+        assert!(text.starts_with("HTTP/1.1 204 No Content\r\n"));
+        let allow_at = text.find("allow:").unwrap();
+        let conn_at = text.find("connection:").unwrap();
+        assert!(allow_at < conn_at, "headers must stay alphabetical: {text}");
+        assert!(text.contains("allow: GET, HEAD, OPTIONS\r\n"));
+        // Absent allow leaves the header set untouched.
+        let plain = Response::json(200, "{}".to_string());
+        assert!(!String::from_utf8(plain.encode(false))
+            .unwrap()
+            .contains("allow:"));
     }
 
     #[test]

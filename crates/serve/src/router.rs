@@ -62,6 +62,10 @@ impl RouteKey {
 /// silent clamp, so misconfigured clients hear about it.
 const MAX_K: usize = 1000;
 
+/// Every route is read-only: the one `Allow` set, answered to OPTIONS
+/// probes (`204`) and attached to `405`s.
+const ALLOWED_METHODS: &str = "GET, HEAD, OPTIONS";
+
 /// Dispatch one request. `metrics` is the registry `/metrics` exports.
 pub fn handle(req: &Request, pack: &ServingPack, metrics: &Registry) -> (RouteKey, Response) {
     let (path, query) = match req.target.split_once('?') {
@@ -82,10 +86,18 @@ pub fn handle(req: &Request, pack: &ServingPack, metrics: &Registry) -> (RouteKe
             )
         }
     };
+    if req.method == Method::Options {
+        // Capability probe: no body, no query validation, just the verbs.
+        return (
+            key,
+            Response::json(204, String::new()).with_allow(ALLOWED_METHODS),
+        );
+    }
     if req.method == Method::Post {
         return (
             key,
-            Response::json(405, json::render_error(405, "method not allowed")),
+            Response::json(405, json::render_error(405, "method not allowed"))
+                .with_allow(ALLOWED_METHODS),
         );
     }
     let params = match parse_query(query) {
@@ -318,6 +330,37 @@ mod tests {
         post.method = Method::Post;
         let (_, resp) = handle(&post, &pack, &reg);
         assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn options_probes_answer_204_with_allow() {
+        let pack = demo_pack();
+        let reg = Registry::new();
+        for target in [
+            "/healthz",
+            "/metrics",
+            "/search", // no query needed for a probe
+            "/qa",
+            "/recommend",
+            "/relevance",
+        ] {
+            let mut req = get(target);
+            req.method = Method::Options;
+            let (_, resp) = handle(&req, &pack, &reg);
+            assert_eq!(resp.status, 204, "{target}");
+            assert_eq!(resp.allow, Some("GET, HEAD, OPTIONS"), "{target}");
+            assert!(resp.body.is_empty(), "{target}");
+        }
+        // Unknown paths stay 404 even for OPTIONS.
+        let mut req = get("/nope");
+        req.method = Method::Options;
+        assert_eq!(handle(&req, &pack, &reg).1.status, 404);
+        // 405s advertise the allowed set too.
+        let mut post = get("/search?q=x");
+        post.method = Method::Post;
+        let (_, resp) = handle(&post, &pack, &reg);
+        assert_eq!(resp.status, 405);
+        assert_eq!(resp.allow, Some("GET, HEAD, OPTIONS"));
     }
 
     #[test]

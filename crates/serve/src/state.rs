@@ -8,6 +8,7 @@
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use alicoco::AliCoCo;
+use alicoco_ann::AnnBundle;
 use alicoco_apps::qa::ScenarioQa;
 use alicoco_apps::recommend::{CognitiveRecommender, RecommendConfig};
 use alicoco_apps::relevance::RelevanceScorer;
@@ -42,6 +43,21 @@ pub struct ServingPack {
 impl ServingPack {
     /// Build every engine over `kg`, registering metrics in `metrics`.
     pub fn build(kg: Arc<AliCoCo>, cfg: &EngineConfig, metrics: &Registry) -> Arc<Self> {
+        Self::build_with_ann(kg, None, cfg, metrics)
+    }
+
+    /// [`build`](Self::build) with an optional retrieval bundle: when a
+    /// snapshot carries the `AVOC`/`ACON`/`AITM` trailer, every engine
+    /// gets the bundle attached and serves hybrid (lexical ∪ vector)
+    /// candidates. The bundle owns its vectors — it never borrows the
+    /// net, so attaching it adds nothing to the self-referential block
+    /// below.
+    pub fn build_with_ann(
+        kg: Arc<AliCoCo>,
+        ann: Option<Arc<AnnBundle>>,
+        cfg: &EngineConfig,
+        metrics: &Registry,
+    ) -> Arc<Self> {
         let graph: &'static AliCoCo =
             // SAFETY: `graph` points into the heap allocation owned by
             // the `kg` field of the pack under construction. The
@@ -51,10 +67,16 @@ impl ServingPack {
             // `Arc` it borrows from. The fabricated `'static` never
             // escapes: all accessors shrink it back to `&self`.
             unsafe { &*Arc::as_ptr(&kg) };
-        let search = SemanticSearch::with_metrics(graph, cfg.search, metrics);
-        let qa = ScenarioQa::with_metrics(graph, metrics);
-        let recommend = CognitiveRecommender::with_metrics(graph, cfg.recommend, metrics);
-        let relevance = RelevanceScorer::with_metrics(graph, metrics);
+        let mut search = SemanticSearch::with_metrics(graph, cfg.search, metrics);
+        let mut qa = ScenarioQa::with_metrics(graph, metrics);
+        let mut recommend = CognitiveRecommender::with_metrics(graph, cfg.recommend, metrics);
+        let mut relevance = RelevanceScorer::with_metrics(graph, metrics);
+        if let Some(bundle) = ann {
+            search = search.with_ann(Arc::clone(&bundle));
+            qa = qa.with_ann(Arc::clone(&bundle));
+            recommend = recommend.with_ann(Arc::clone(&bundle));
+            relevance = relevance.with_ann(bundle);
+        }
         Arc::new(ServingPack {
             search,
             qa,

@@ -24,7 +24,18 @@ fn torture_table_statuses_and_worker_survival() {
             405,
         ),
         ("garbage request line", b"GET /\r\n\r\n", 400),
+        ("options probe", b"OPTIONS /search HTTP/1.1\r\n\r\n", 204),
+        (
+            "options unknown route",
+            b"OPTIONS /nope HTTP/1.1\r\n\r\n",
+            404,
+        ),
         ("lowercase method", b"get /healthz HTTP/1.1\r\n\r\n", 501),
+        (
+            "lowercase options",
+            b"options /healthz HTTP/1.1\r\n\r\n",
+            501,
+        ),
         ("unknown method", b"FROB /healthz HTTP/1.1\r\n\r\n", 501),
         ("bad version", b"GET /healthz HTTP/2.0\r\n\r\n", 505),
         ("bad target", b"GET healthz HTTP/1.1\r\n\r\n", 400),
@@ -145,6 +156,66 @@ fn head_request_gets_headers_only() {
     assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
     assert!(text.contains("content-length: 15")); // len of {"status":"ok"}
     assert!(text.ends_with("\r\n\r\n"), "no body after a HEAD: {text:?}");
+    server.shutdown();
+}
+
+#[test]
+fn head_matches_get_headers_on_every_route() {
+    let server = start_server(test_cfg());
+    for target in [
+        "/healthz",
+        "/search?q=barbecue",
+        "/qa?q=barbecue",
+        "/recommend",
+        "/relevance?q=grill",
+    ] {
+        let full = get(&server, target);
+        let mut s = connect(&server);
+        s.write_all(format!("HEAD {target} HTTP/1.1\r\nconnection: close\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut raw = Vec::new();
+        s.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(
+            text.ends_with("\r\n\r\n"),
+            "{target}: HEAD must carry no body: {text:?}"
+        );
+        // Content-Length advertises the GET body it is not sending.
+        assert!(
+            text.contains(&format!("content-length: {}", full.body_text().len())),
+            "{target}: HEAD content-length must match GET: {text:?}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn options_answers_allow_and_keeps_the_connection() {
+    let server = start_server(test_cfg());
+    let mut s = connect(&server);
+    // An OPTIONS probe is a normal keep-alive request: the same
+    // connection serves real traffic afterwards.
+    s.write_all(b"OPTIONS /search HTTP/1.1\r\n\r\n").unwrap();
+    let probe = read_reply(&mut s).unwrap();
+    assert_eq!(probe.status, 204);
+    assert_eq!(
+        probe.header("allow").as_deref(),
+        Some("GET, HEAD, OPTIONS"),
+        "OPTIONS must advertise the served methods"
+    );
+    assert_eq!(probe.header("content-length").as_deref(), Some("0"));
+    s.write_all(b"GET /search?q=barbecue HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let real = read_reply(&mut s).unwrap();
+    assert_eq!(real.status, 200);
+    assert!(real.body_text().contains("outdoor barbecue"));
+    // POSTs advertise the allowed set on their 405.
+    let reply = roundtrip(
+        &server,
+        b"POST /search HTTP/1.1\r\ncontent-length: 0\r\n\r\n",
+    );
+    assert_eq!(reply.status, 405);
+    assert_eq!(reply.header("allow").as_deref(), Some("GET, HEAD, OPTIONS"));
     server.shutdown();
 }
 

@@ -1,8 +1,12 @@
 //! `alicoco` — command-line interface over the concept net.
 //!
 //! ```text
-//! alicoco build <snapshot> [--full] [--binary]  build a synthetic world, run
-//!                                               the pipeline, save the net
+//! alicoco build <snapshot> [--full] [--binary] [--embeddings]
+//!                                          build a synthetic world, run
+//!                                          the pipeline, save the net
+//!                                          (--embeddings trains the hybrid
+//!                                          retrieval bundle and implies
+//!                                          --binary)
 //! alicoco stats <snapshot>                 Table-2-style statistics
 //! alicoco search <snapshot> <query>        concept cards for a query
 //! alicoco qa <snapshot> <question>         scenario question answering
@@ -117,7 +121,10 @@ fn require<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, Stri
 fn cmd_build(args: &[String], metrics: &Registry) -> CliResult {
     let path = require(args, 0, "snapshot path")?;
     let full = args.iter().any(|a| a == "--full");
-    let binary = args.iter().any(|a| a == "--binary");
+    let embeddings = args.iter().any(|a| a == "--embeddings");
+    // The ANN trailer only exists in the binary codec, so --embeddings
+    // implies --binary.
+    let binary = embeddings || args.iter().any(|a| a == "--binary");
     let config = if full {
         WorldConfig::default()
     } else {
@@ -128,7 +135,20 @@ fn cmd_build(args: &[String], metrics: &Registry) -> CliResult {
     eprintln!("running construction pipeline...");
     let (kg, report) = build_alicoco_instrumented(&ds, &PipelineConfig::default(), metrics);
     eprintln!("{report:#?}");
-    if binary {
+    if embeddings {
+        eprintln!("training retrieval embeddings + HNSW indexes...");
+        let bundle = alicoco_ann::build_default_bundle(&kg);
+        let mut out = Vec::new();
+        alicoco_ann::save_snapshot_with_bundle(&kg, &bundle, &mut out)?;
+        std::fs::write(path, &out)?;
+        eprintln!(
+            "bundle: {} tokens (dim {}), {} concept vectors, {} item vectors",
+            bundle.tokens().len(),
+            bundle.tokens().dim(),
+            bundle.concepts().len(),
+            bundle.items().len()
+        );
+    } else if binary {
         let mut out = Vec::new();
         store::save_instrumented(&store::BinaryStore, &kg, &mut out, metrics)?;
         std::fs::write(path, &out)?;
@@ -470,6 +490,24 @@ mod tests {
             reg.counter("snapshot.binary.loaded_bytes").get(),
             bytes.len() as u64
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_with_embeddings_writes_a_hybrid_snapshot() {
+        let dir = scratch_dir("embed-build");
+        let path = dir.join("net.alcc");
+        let reg = Registry::new();
+        cmd_build(&strings(&[path.to_str().unwrap(), "--embeddings"]), &reg).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(store::Format::detect(&bytes), store::Format::Binary);
+        let (kg, bundle) = alicoco_ann::load_snapshot_with_bundle(&bytes).unwrap();
+        let bundle = bundle.expect("--embeddings must attach the ANN trailer");
+        assert_eq!(bundle.concepts().len(), kg.num_concepts());
+        assert_eq!(bundle.items().len(), kg.num_items());
+        // The bare binary store still reads the graph, trailer ignored.
+        let plain = load_net(path.to_str().unwrap(), &reg).unwrap();
+        assert_eq!(plain, kg);
         std::fs::remove_dir_all(&dir).ok();
     }
 
